@@ -1,0 +1,141 @@
+"""Experiment ABL -- ablations on the design choices DESIGN.md calls out.
+
+1. Ancestor- vs descendant-based estimation (paper Section 3.2 derives
+   both): totals agree on guaranteed regions, differ on boundary
+   apportioning -- measure both against the real answer.
+2. Coverage on/off for no-overlap ancestors: how much accuracy the
+   coverage histogram buys (paper Section 4).
+3. Parent-child edges estimated as ancestor-descendant: the documented
+   approximation of the twig cascade -- measure the gap on / vs //
+   queries where the data makes them differ.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.predicates.base import TagPredicate
+from repro.utils.tables import format_table
+
+
+def test_ablation_based_direction(benchmark, dblp_estimator, orgchart_estimator):
+    cases = [
+        (dblp_estimator, "article", "author"),
+        (dblp_estimator, "article", "cite"),
+        (orgchart_estimator, "department", "employee"),
+        (orgchart_estimator, "manager", "email"),
+    ]
+
+    def run_all():
+        out = []
+        for estimator, anc, desc in cases:
+            pa, pd = TagPredicate(anc), TagPredicate(desc)
+            anc_based = estimator.estimate_pair(pa, pd, method="ph-join", based="ancestor")
+            desc_based = estimator.estimate_pair(pa, pd, method="ph-join", based="descendant")
+            real = estimator.real_answer(f"//{anc}//{desc}")
+            out.append((anc, desc, anc_based.value, desc_based.value, real))
+        return out
+
+    results = benchmark(run_all)
+
+    rows = []
+    for anc, desc, anc_value, desc_value, real in results:
+        rows.append(
+            [
+                f"{anc}//{desc}",
+                round(anc_value, 1),
+                round(desc_value, 1),
+                real,
+                round(anc_value / real, 2) if real else "-",
+                round(desc_value / real, 2) if real else "-",
+            ]
+        )
+        # Both directions target the same quantity: same order of
+        # magnitude always.
+        assert max(anc_value, desc_value) <= 10 * max(min(anc_value, desc_value), 1)
+
+    table = format_table(
+        ["query", "ancestor-based", "descendant-based", "real", "anc/real", "desc/real"],
+        rows,
+        title="Ablation 1 -- ancestor- vs descendant-based pH-join",
+    )
+    emit("ablation_based", table)
+
+
+def test_ablation_coverage_value(benchmark, dblp_estimator):
+    """Coverage on/off: error ratio of pH-join vs no-overlap."""
+    queries = [("article", "author"), ("article", "cite"), ("article", "cdrom"), ("book", "cdrom")]
+
+    def run_all():
+        out = []
+        for anc, desc in queries:
+            pa, pd = TagPredicate(anc), TagPredicate(desc)
+            without = dblp_estimator.estimate_pair(pa, pd, method="ph-join").value
+            with_cov = dblp_estimator.estimate_pair(pa, pd, method="no-overlap").value
+            real = dblp_estimator.real_answer(f"//{anc}//{desc}")
+            out.append((anc, desc, without, with_cov, real))
+        return out
+
+    results = benchmark(run_all)
+
+    rows = []
+    improvements = []
+    for anc, desc, without, with_cov, real in results:
+        err_without = abs(without - real) / max(real, 1)
+        err_with = abs(with_cov - real) / max(real, 1)
+        improvements.append(err_without / max(err_with, 1e-9))
+        rows.append(
+            [
+                f"{anc}//{desc}",
+                round(without, 1),
+                round(with_cov, 1),
+                real,
+                round(err_without, 3),
+                round(err_with, 3),
+            ]
+        )
+    table = format_table(
+        ["query", "pH-join (no coverage)", "no-overlap (coverage)", "real",
+         "rel err w/o", "rel err w/"],
+        rows,
+        title="Ablation 2 -- value of the coverage histogram on no-overlap ancestors",
+    )
+    emit("ablation_coverage", table)
+    # Coverage must help dramatically on this data set (paper Table 2).
+    assert max(improvements) > 5
+
+
+def test_ablation_parent_child_approximation(benchmark, orgchart_estimator):
+    """// vs /: the estimator treats both as //, so the / estimate
+    equals the // estimate while real answers differ -- quantify it."""
+    pairs = [("department", "employee"), ("manager", "department"), ("employee", "name")]
+
+    def run_all():
+        out = []
+        for anc, desc in pairs:
+            est = orgchart_estimator.estimate(f"//{anc}//{desc}").value
+            real_desc = orgchart_estimator.real_answer(f"//{anc}//{desc}")
+            real_child = orgchart_estimator.real_answer(f"//{anc}/{desc}")
+            out.append((anc, desc, est, real_desc, real_child))
+        return out
+
+    results = benchmark(run_all)
+
+    rows = []
+    for anc, desc, est, real_desc, real_child in results:
+        rows.append(
+            [
+                f"{anc} -> {desc}",
+                round(est, 1),
+                real_desc,
+                real_child,
+                round(real_child / real_desc, 2) if real_desc else "-",
+            ]
+        )
+        assert real_child <= real_desc
+    table = format_table(
+        ["edge", "estimate (// semantics)", "real //", "real /", "child/desc ratio"],
+        rows,
+        title="Ablation 3 -- parent-child edges approximated as ancestor-descendant",
+    )
+    emit("ablation_parent_child", table)

@@ -1,0 +1,142 @@
+"""Experiment EXT -- the paper's future-work extensions, implemented.
+
+The conclusion of the paper lists open issues: estimation for
+parent-child queries, and histograms with non-uniform grid cells; its
+Section 3.3 sketches precomputing the per-cell multiplicative
+coefficients as a space-time tradeoff.  This bench measures all three:
+
+1. parent-child (``/``) estimation via level-augmented histograms,
+   against the real ``/`` answer and against naively reusing the ``//``
+   estimate;
+2. equi-depth vs uniform grids at equal grid size;
+3. precomputed-coefficient pH-join vs recomputing per query.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.estimation import AnswerSizeEstimator
+from repro.predicates.base import TagPredicate
+from repro.utils.tables import format_table
+from repro.utils.timing import median_time
+
+
+def test_extension_parent_child(benchmark, orgchart_estimator, dblp_estimator):
+    cases = [
+        (orgchart_estimator, "manager", "department"),
+        (orgchart_estimator, "department", "employee"),
+        (orgchart_estimator, "employee", "name"),
+        (dblp_estimator, "article", "author"),
+    ]
+
+    def run_all():
+        out = []
+        for estimator, anc, desc in cases:
+            pa, pd = TagPredicate(anc), TagPredicate(desc)
+            child = estimator.estimate_pair(pa, pd, method="ph-join-child").value
+            desc_est = estimator.estimate_pair(pa, pd, method="ph-join").value
+            real_child = estimator.real_answer(f"//{anc}/{desc}")
+            real_desc = estimator.real_answer(f"//{anc}//{desc}")
+            out.append((anc, desc, child, desc_est, real_child, real_desc))
+        return out
+
+    results = benchmark(run_all)
+
+    rows = []
+    for anc, desc, child, desc_est, real_child, real_desc in results:
+        rows.append(
+            [
+                f"{anc}/{desc}",
+                round(child, 1),
+                real_child,
+                round(desc_est, 1),
+                real_desc,
+                round(child / real_child, 2) if real_child else "-",
+            ]
+        )
+        # The child estimate must be at least as close to the real /
+        # answer as the // estimate is (the naive fallback).
+        assert abs(child - real_child) <= abs(desc_est - real_child) + 1e-9
+    table = format_table(
+        ["edge", "child est", "real /", "desc est", "real //", "child est/real"],
+        rows,
+        title="Extension 1 -- parent-child estimation via level-augmented histograms",
+    )
+    emit("extension_parent_child", table)
+
+
+def test_extension_equi_depth_grid(benchmark, dblp_estimator, orgchart_estimator):
+    cases = [
+        (dblp_estimator.tree, "article", "cite", "//article//cite"),
+        (dblp_estimator.tree, "article", "author", "//article//author"),
+        (orgchart_estimator.tree, "department", "email", "//department//email"),
+        (orgchart_estimator.tree, "manager", "employee", "//manager//employee"),
+    ]
+    grid_size = 10
+
+    def run_all():
+        out = []
+        for tree, anc, desc, xpath in cases:
+            uniform = AnswerSizeEstimator(tree, grid_size=grid_size)
+            shaped = AnswerSizeEstimator(tree, grid_size=grid_size, grid="equi-depth")
+            pa, pd = TagPredicate(anc), TagPredicate(desc)
+            u = uniform.estimate_pair(pa, pd, method="ph-join").value
+            e = shaped.estimate_pair(pa, pd, method="ph-join").value
+            real = uniform.real_answer(xpath)
+            out.append((xpath, u, e, real))
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for xpath, u, e, real in results:
+        rows.append(
+            [
+                xpath,
+                round(u, 1),
+                round(e, 1),
+                real,
+                round(u / real, 3) if real else "-",
+                round(e / real, 3) if real else "-",
+            ]
+        )
+        # Equi-depth must stay in the same accuracy regime as uniform.
+        assert abs(e - real) <= 3 * abs(u - real) + 0.3 * real
+    table = format_table(
+        ["query", "uniform est", "equi-depth est", "real", "uni/real", "eqd/real"],
+        rows,
+        title=f"Extension 2 -- equi-depth vs uniform grids (g={grid_size})",
+    )
+    emit("extension_equi_depth", table)
+
+
+def test_extension_precomputed_coefficients(benchmark, dblp_estimator):
+    pa, pd = TagPredicate("article"), TagPredicate("author")
+    dblp_estimator.join_coefficients(pd)  # warm the cache
+
+    benchmark(
+        lambda: dblp_estimator.estimate_pair(pa, pd, method="ph-join-precomputed")
+    )
+
+    _, plain_time = median_time(
+        lambda: dblp_estimator.estimate_pair(pa, pd, method="ph-join"), 9
+    )
+    _, pre_time = median_time(
+        lambda: dblp_estimator.estimate_pair(pa, pd, method="ph-join-precomputed"), 9
+    )
+    plain_value = dblp_estimator.estimate_pair(pa, pd, method="ph-join").value
+    pre_value = dblp_estimator.estimate_pair(
+        pa, pd, method="ph-join-precomputed"
+    ).value
+    table = format_table(
+        ["variant", "estimate", "time (us)"],
+        [
+            ["recompute per query", round(plain_value, 1), f"{plain_time * 1e6:.1f}"],
+            ["precomputed coefficients", round(pre_value, 1), f"{pre_time * 1e6:.1f}"],
+        ],
+        title="Extension 3 -- precomputed join coefficients (paper Section 3.3)",
+    )
+    emit("extension_precomputed", table)
+    assert abs(pre_value - plain_value) < 1e-6
+    assert pre_time <= plain_time * 1.5

@@ -1,0 +1,84 @@
+"""Experiment F11 -- paper Fig. 11: storage and accuracy vs grid size,
+overlap predicates (department//email on the synthetic data set).
+
+The paper's claims: position-histogram storage grows linearly in the
+grid side with a constant factor near 2 non-zero cells per unit of g,
+and the estimate/real ratio converges to ~1 for grids beyond 10-20.
+The benchmarked kernel is one full sweep point (build + estimate) at
+g=20.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.estimation import AnswerSizeEstimator
+from repro.predicates.base import TagPredicate
+from repro.utils.tables import format_table
+
+GRID_SIZES = (2, 5, 10, 15, 20, 30, 40, 50)
+
+
+def sweep_point(tree, grid_size: int, real: int):
+    estimator = AnswerSizeEstimator(tree, grid_size=grid_size)
+    dept, email = TagPredicate("department"), TagPredicate("email")
+    hist_dept = estimator.position_histogram(dept)
+    hist_email = estimator.position_histogram(email)
+    estimate = estimator.estimate_pair(dept, email, method="ph-join").value
+    from repro.histograms.storage import position_storage_bytes
+
+    return {
+        "g": grid_size,
+        "dept_bytes": position_storage_bytes(hist_dept),
+        "email_bytes": position_storage_bytes(hist_email),
+        "dept_cells": hist_dept.nonzero_cell_count(),
+        "email_cells": hist_email.nonzero_cell_count(),
+        "ratio": estimate / real,
+    }
+
+
+def test_fig11_storage_and_accuracy_overlap(benchmark, orgchart_estimator):
+    tree = orgchart_estimator.tree
+    real = orgchart_estimator.real_answer("//department//email")
+
+    benchmark(lambda: sweep_point(tree, 20, real))
+
+    rows = []
+    points = [sweep_point(tree, g, real) for g in GRID_SIZES]
+    for point in points:
+        rows.append(
+            [
+                point["g"],
+                point["dept_bytes"],
+                point["email_bytes"],
+                point["dept_cells"],
+                point["email_cells"],
+                round(point["ratio"], 3),
+            ]
+        )
+    table = format_table(
+        [
+            "grid size",
+            "dept bytes",
+            "email bytes",
+            "dept cells",
+            "email cells",
+            "estimate/real",
+        ],
+        rows,
+        title=(
+            "Fig. 11 -- storage requirement and estimation accuracy vs grid "
+            f"size, overlap predicates (department//email, real={real})"
+        ),
+    )
+    emit("fig11", table)
+
+    # Paper claims: linear storage (constant cells-per-g factor) ...
+    for point in points:
+        assert point["dept_cells"] <= 4 * point["g"]
+        assert point["email_cells"] <= 4 * point["g"]
+    # ... and convergence of the accuracy ratio toward 1 past g ~ 10-20.
+    final = points[-1]["ratio"]
+    first = points[0]["ratio"]
+    assert abs(final - 1.0) <= abs(first - 1.0) + 1e-9
+    assert 0.5 <= final <= 1.5

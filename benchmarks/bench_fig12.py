@@ -1,0 +1,86 @@
+"""Experiment F12 -- paper Fig. 12: storage and accuracy vs grid size,
+no-overlap predicates (article//cdrom on DBLP).
+
+Both predicates are no-overlap, so each stores a position histogram and
+a coverage histogram.  The paper's claims: total storage remains linear
+in g (constant factor 2-3), and the estimate converges fast -- within
+1 +/- 0.05 of the real answer from grid size ~5 on, because coverage
+captures the extra structural information.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.estimation import AnswerSizeEstimator
+from repro.histograms.storage import coverage_storage_bytes, position_storage_bytes
+from repro.predicates.base import TagPredicate
+from repro.utils.tables import format_table
+
+GRID_SIZES = (2, 5, 10, 15, 20, 30, 40, 50)
+
+
+def sweep_point(tree, grid_size: int, real: int):
+    estimator = AnswerSizeEstimator(tree, grid_size=grid_size)
+    article, cdrom = TagPredicate("article"), TagPredicate("cdrom")
+    hist_article = estimator.position_histogram(article)
+    hist_cdrom = estimator.position_histogram(cdrom)
+    cvg_article = estimator.coverage_histogram(article)
+    cvg_cdrom = estimator.coverage_histogram(cdrom)
+    assert cvg_article is not None and cvg_cdrom is not None
+    estimate = estimator.estimate_pair(article, cdrom, method="no-overlap").value
+    return {
+        "g": grid_size,
+        "hist_article": position_storage_bytes(hist_article),
+        "cvg_article": coverage_storage_bytes(cvg_article),
+        "hist_cdrom": position_storage_bytes(hist_cdrom),
+        "cvg_cdrom": coverage_storage_bytes(cvg_cdrom),
+        "ratio": estimate / real,
+    }
+
+
+def test_fig12_storage_and_accuracy_no_overlap(benchmark, dblp_estimator):
+    tree = dblp_estimator.tree
+    real = dblp_estimator.real_answer("//article//cdrom")
+
+    benchmark(lambda: sweep_point(tree, 20, real))
+
+    points = [sweep_point(tree, g, real) for g in GRID_SIZES]
+    rows = [
+        [
+            p["g"],
+            p["hist_article"],
+            p["cvg_article"],
+            p["hist_cdrom"],
+            p["cvg_cdrom"],
+            round(p["ratio"], 3),
+        ]
+        for p in points
+    ]
+    table = format_table(
+        [
+            "grid size",
+            "Hist Article",
+            "Cvg Article",
+            "Hist Cdrom",
+            "Cvg Cdrom",
+            "estimate/real",
+        ],
+        rows,
+        title=(
+            "Fig. 12 -- storage requirement and estimation accuracy vs grid "
+            f"size, no-overlap predicates (article//cdrom, real={real})"
+        ),
+    )
+    emit("fig12", table)
+
+    # Linear total storage (cells per g bounded) ...
+    for p in points:
+        total = (
+            p["hist_article"] + p["cvg_article"] + p["hist_cdrom"] + p["cvg_cdrom"]
+        )
+        assert total <= 60 * p["g"] + 200, f"g={p['g']}: {total} bytes"
+    # ... and the paper's fast convergence: within 1 +/- 0.15 from g=10.
+    for p in points:
+        if p["g"] >= 10:
+            assert abs(p["ratio"] - 1.0) <= 0.15, f"g={p['g']}: {p['ratio']}"

@@ -1,0 +1,104 @@
+"""Experiment T4 -- paper Table 4: simple queries on the synthetic set.
+
+Seven queries mixing overlap and no-overlap ancestors.  The paper's
+pattern: pH-join estimates are close for overlap ancestors (deep
+recursion), the no-overlap algorithm is markedly better where it
+applies, and N/A is reported where it does not.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.predicates.base import TagPredicate
+from repro.utils.tables import format_table
+from repro.utils.timing import median_time
+from repro.workloads import ORGCHART_SIMPLE_QUERIES
+
+PAPER_TABLE4 = {
+    ("manager", "department"): (11_880, 656, "N/A", 761),
+    ("manager", "employee"): (20_812, 1_205, "N/A", 1_395),
+    ("manager", "email"): (7_612, 429, "N/A", 491),
+    ("department", "employee"): (127_710, 2_914, "N/A", 1_663),
+    ("department", "email"): (46_710, 1_082, "N/A", 473),
+    ("employee", "name"): (473_946, 8_070, 559, 688),
+    ("employee", "email"): (81_829, 1_391, 96, 99),
+}
+
+
+def test_table4_synthetic_queries(benchmark, orgchart_estimator):
+    estimator = orgchart_estimator
+    for anc, desc in ORGCHART_SIMPLE_QUERIES:
+        estimator.position_histogram(TagPredicate(anc))
+        estimator.position_histogram(TagPredicate(desc))
+        estimator.coverage_histogram(TagPredicate(anc))
+
+    def estimate_all_auto():
+        return [
+            estimator.estimate_pair(
+                TagPredicate(anc), TagPredicate(desc), method="auto"
+            ).value
+            for anc, desc in ORGCHART_SIMPLE_QUERIES
+        ]
+
+    benchmark(estimate_all_auto)
+
+    rows = []
+    for anc, desc in ORGCHART_SIMPLE_QUERIES:
+        pa, pd = TagPredicate(anc), TagPredicate(desc)
+        naive = estimator.estimate_pair(pa, pd, method="naive").value
+        overlap_result, overlap_time = median_time(
+            lambda: estimator.estimate_pair(pa, pd, method="ph-join"), 5
+        )
+        if estimator.is_no_overlap(pa):
+            nov_result, nov_time = median_time(
+                lambda: estimator.estimate_pair(pa, pd, method="no-overlap"), 5
+            )
+            nov_value: object = round(nov_result.value, 1)
+            nov_time_text = f"{nov_time:.6f}"
+        else:
+            nov_value, nov_time_text = "N/A", "N/A"
+        real = estimator.real_answer(f"//{anc}//{desc}")
+        rows.append(
+            [
+                anc,
+                desc,
+                naive,
+                round(overlap_result.value, 1),
+                f"{overlap_time:.6f}",
+                nov_value,
+                nov_time_text,
+                real,
+            ]
+        )
+
+    table = format_table(
+        [
+            "Ancs",
+            "Desc",
+            "Naive Est",
+            "Overlap Est",
+            "Ovl Time(s)",
+            "No-Ovl Est",
+            "NoOvl Time(s)",
+            "Real",
+        ],
+        rows,
+        title="Table 4 -- synthetic data set simple query estimation (10x10 grids)",
+    )
+    paper = format_table(
+        ["Ancs", "Desc", "Naive", "Overlap Est", "No-Ovl Est", "Real"],
+        [[a, d, *values] for (a, d), values in PAPER_TABLE4.items()],
+        title="Paper's Table 4 (original IBM-generator data), for shape comparison",
+    )
+    emit("table4", table + "\n\n" + paper)
+
+    # Regime assertions: N/A exactly where the paper has N/A, and the
+    # no-overlap estimator beats pH-join on the employee rows.
+    by_query = {(r[0], r[1]): r for r in rows}
+    for anc in ("manager", "department"):
+        assert by_query[(anc, "employee") if (anc, "employee") in by_query else (anc, "department")][5] == "N/A"
+    for anc, desc in (("employee", "name"), ("employee", "email")):
+        row = by_query[(anc, desc)]
+        real = row[7]
+        assert abs(float(row[5]) - real) <= abs(float(row[3]) - real)

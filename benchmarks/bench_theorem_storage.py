@@ -1,0 +1,71 @@
+"""Experiments TH1/TH2 -- Theorems 1 and 2: O(g) storage.
+
+Theorem 1: a position histogram over a g x g grid has O(g) non-zero
+cells.  Theorem 2: a coverage histogram has O(g) partial (non-0/1)
+entries.  This bench sweeps g over both data sets and reports the
+cells-per-g density, which must stay bounded as g grows.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.estimation import AnswerSizeEstimator
+from repro.predicates.base import TagPredicate
+from repro.utils.tables import format_table
+
+GRID_SIZES = (5, 10, 20, 40, 80)
+
+
+def measure(tree, tag: str, grid_size: int):
+    estimator = AnswerSizeEstimator(tree, grid_size=grid_size)
+    predicate = TagPredicate(tag)
+    hist = estimator.position_histogram(predicate)
+    coverage = estimator.coverage_histogram(predicate)
+    return {
+        "nonzero": hist.nonzero_cell_count(),
+        "partial": coverage.partial_entry_count() if coverage else 0,
+    }
+
+
+def test_theorem1_and_2_storage_linear(benchmark, dblp_estimator, orgchart_estimator):
+    benchmark(lambda: measure(dblp_estimator.tree, "article", 40))
+
+    rows = []
+    for dataset_name, tree, tag in (
+        ("dblp", dblp_estimator.tree, "article"),
+        ("dblp", dblp_estimator.tree, "author"),
+        ("orgchart", orgchart_estimator.tree, "employee"),
+        ("orgchart", orgchart_estimator.tree, "department"),
+    ):
+        for g in GRID_SIZES:
+            m = measure(tree, tag, g)
+            rows.append(
+                [
+                    dataset_name,
+                    tag,
+                    g,
+                    m["nonzero"],
+                    round(m["nonzero"] / g, 2),
+                    m["partial"],
+                    round(m["partial"] / g, 2),
+                ]
+            )
+            # Theorem bounds with generous constants.
+            assert m["nonzero"] <= 5 * g
+            assert m["partial"] <= 8 * g
+
+    table = format_table(
+        [
+            "dataset",
+            "predicate",
+            "g",
+            "non-zero cells",
+            "cells/g",
+            "partial cvg entries",
+            "partial/g",
+        ],
+        rows,
+        title="Theorems 1-2 -- summary sizes grow linearly in grid size",
+    )
+    emit("theorem_storage", table)

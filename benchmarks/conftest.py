@@ -1,0 +1,49 @@
+"""Shared fixtures and reporting helpers for the experiment benches.
+
+Every bench regenerates one table or figure of the paper.  Rendered
+tables are written to ``benchmarks/results/*.txt`` (and echoed to
+stdout) so the paper-vs-measured comparison in EXPERIMENTS.md can be
+refreshed from the files.
+
+The data sets here are larger than the unit-test fixtures: Table 1's
+DBLP snapshot had ~0.5M nodes; we default to ~55k (scale 1.0) to keep a
+bench run under a minute while preserving all structural ratios.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import generate_dblp, generate_orgchart, paper_example_document
+from repro.estimation import AnswerSizeEstimator
+from repro.labeling import label_document
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered experiment table and persist it to results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def dblp_estimator() -> AnswerSizeEstimator:
+    tree = label_document(generate_dblp(seed=7, scale=1.0))
+    return AnswerSizeEstimator(tree, grid_size=10)
+
+
+@pytest.fixture(scope="session")
+def orgchart_estimator() -> AnswerSizeEstimator:
+    tree = label_document(generate_orgchart(seed=42))
+    return AnswerSizeEstimator(tree, grid_size=10)
+
+
+@pytest.fixture(scope="session")
+def paper_estimator() -> AnswerSizeEstimator:
+    tree = label_document(paper_example_document())
+    return AnswerSizeEstimator(tree, grid_size=2)

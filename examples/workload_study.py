@@ -1,0 +1,65 @@
+"""Workload study: estimation accuracy over many random twig queries.
+
+Generates a random twig workload against the synthetic orgchart data
+set, estimates every query, computes exact answers, and prints the
+per-size q-error breakdown plus the worst offenders -- the analysis a
+practitioner would run before trusting the estimator in an optimizer.
+
+Run:  python examples/workload_study.py
+"""
+
+from collections import defaultdict
+
+from repro import AnswerSizeEstimator, label_document
+from repro.datasets import generate_orgchart
+from repro.utils.tables import format_table
+from repro.workloads import ErrorSummary, RandomTwigGenerator, q_error
+
+
+def main() -> None:
+    print("generating orgchart data set ...")
+    tree = label_document(generate_orgchart(seed=42))
+    estimator = AnswerSizeEstimator(tree, grid_size=10)
+    print(f"  {len(tree):,} element nodes\n")
+
+    generator = RandomTwigGenerator(tree, seed=7, miss_probability=0.1)
+    workload = generator.workload(80, min_size=2, max_size=5)
+
+    by_size: dict[int, list[tuple[float, float]]] = defaultdict(list)
+    per_query: list[tuple[str, float, float]] = []
+    for pattern in workload:
+        estimate = estimator.estimate(pattern).value
+        real = float(estimator.real_answer(pattern))
+        by_size[pattern.size()].append((estimate, real))
+        per_query.append((pattern.to_xpath(), estimate, real))
+
+    rows = []
+    for size in sorted(by_size):
+        summary = ErrorSummary.from_pairs(by_size[size])
+        rows.append([f"{size}-node twigs", *summary.as_row()])
+    overall = ErrorSummary.from_pairs([p for pairs in by_size.values() for p in pairs])
+    rows.append(["all", *overall.as_row()])
+    print(
+        format_table(
+            ["workload slice", "queries", "geo-mean q", "median q", "p90 q", "p99 q", "worst q"],
+            rows,
+            title="q-error by twig size (80 random twigs, 10x10 grids)",
+        )
+    )
+    print()
+
+    worst = sorted(per_query, key=lambda t: q_error(t[1], t[2]), reverse=True)[:5]
+    print(
+        format_table(
+            ["query", "estimate", "real", "q-error"],
+            [
+                [xpath, round(estimate, 1), int(real), round(q_error(estimate, real), 1)]
+                for xpath, estimate, real in worst
+            ],
+            title="Worst five queries (where the uniformity assumption bites)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro -- reproduction of "Estimating Answer Sizes for XML Queries".
+
+Wu, Patel, Jagadish (EDBT 2002): position histograms, the pH-join
+estimation algorithm, coverage histograms for no-overlap predicates, and
+cascaded twig-pattern answer-size estimation, implemented over a
+self-contained XML substrate (parser, interval labeling, predicates,
+exact matchers, DTD tools, data generators, and a small cost-based
+optimizer).
+
+Quickstart::
+
+    from repro import AnswerSizeEstimator, label_document, parse_document
+
+    doc = parse_document(open("data.xml").read())
+    tree = label_document(doc)
+    est = AnswerSizeEstimator(tree, grid_size=10)
+    print(est.estimate("//article//author").value)
+    print(est.real_answer("//article//author"))
+"""
+
+from repro.estimation import (
+    AnswerSizeEstimator,
+    EstimationResult,
+    TwigEstimator,
+    naive_product_estimate,
+    no_overlap_estimate,
+    ph_join,
+    ph_join_literal,
+    upper_bound_estimate,
+)
+from repro.histograms import (
+    CoverageHistogram,
+    GridSpec,
+    PositionHistogram,
+    build_coverage_histogram,
+    build_position_histogram,
+    build_true_histogram,
+)
+from repro.labeling import LabeledTree, label_document, label_forest
+from repro.predicates import (
+    PredicateCatalog,
+    TagPredicate,
+    TruePredicate,
+)
+from repro.query import PatternTree, count_matches, parse_xpath
+from repro.xmltree import Document, Element, parse_document
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnswerSizeEstimator",
+    "CoverageHistogram",
+    "Document",
+    "Element",
+    "EstimationResult",
+    "GridSpec",
+    "LabeledTree",
+    "PatternTree",
+    "PositionHistogram",
+    "PredicateCatalog",
+    "TagPredicate",
+    "TruePredicate",
+    "TwigEstimator",
+    "build_coverage_histogram",
+    "build_position_histogram",
+    "build_true_histogram",
+    "count_matches",
+    "label_document",
+    "label_forest",
+    "naive_product_estimate",
+    "no_overlap_estimate",
+    "parse_document",
+    "parse_xpath",
+    "ph_join",
+    "ph_join_literal",
+    "upper_bound_estimate",
+]

@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the practical workflow:
+
+* ``generate`` -- produce one of the built-in synthetic data sets (or a
+  document from a user DTD) as an XML file;
+* ``stats`` -- predicate characteristics of an XML file (the paper's
+  Table 1 / Table 3 view): counts, overlap property, summary storage;
+* ``estimate`` -- estimate a query's answer size over an XML file,
+  optionally comparing all estimators against the exact answer.
+
+Examples
+--------
+::
+
+    python -m repro generate dblp --scale 0.2 --out dblp.xml
+    python -m repro stats dblp.xml
+    python -m repro estimate dblp.xml "//article//author" --grid 10 --compare
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.estimation import AnswerSizeEstimator
+from repro.histograms.storage import coverage_storage_bytes, position_storage_bytes
+from repro.labeling import label_document
+from repro.predicates.base import TagPredicate
+from repro.utils.tables import format_table
+from repro.xmltree.parser import parse_document
+from repro.xmltree.writer import write_document
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Position-histogram answer-size estimation for XML queries "
+        "(Wu, Patel, Jagadish; EDBT 2002).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic data set as an XML file"
+    )
+    generate.add_argument(
+        "dataset",
+        choices=[
+            "dblp",
+            "orgchart",
+            "shakespeare",
+            "xmark",
+            "treebank",
+            "paper-example",
+        ],
+        help="which built-in generator to run",
+    )
+    generate.add_argument("--out", required=True, help="output XML path")
+    generate.add_argument("--seed", type=int, default=7, help="RNG seed")
+    generate.add_argument(
+        "--scale", type=float, default=0.2, help="size factor (dblp/xmark)"
+    )
+
+    stats = commands.add_parser(
+        "stats", help="predicate characteristics of an XML file"
+    )
+    stats.add_argument("data", help="XML file path")
+    stats.add_argument("--grid", type=int, default=10, help="grid side g")
+
+    estimate = commands.add_parser(
+        "estimate", help="estimate a query's answer size over an XML file"
+    )
+    estimate.add_argument("data", help="XML file path")
+    estimate.add_argument("query", help='mini-XPath query, e.g. "//article//author"')
+    estimate.add_argument("--grid", type=int, default=10, help="grid side g")
+    estimate.add_argument(
+        "--grid-kind",
+        choices=["uniform", "equi-depth"],
+        default="uniform",
+        help="bucket boundary placement",
+    )
+    estimate.add_argument(
+        "--compare",
+        action="store_true",
+        help="run every estimator and the exact matcher, print a table",
+    )
+
+    workload = commands.add_parser(
+        "workload",
+        help="random-twig accuracy study: q-error percentiles over N queries",
+    )
+    workload.add_argument("data", help="XML file path")
+    workload.add_argument("--count", type=int, default=30, help="number of twigs")
+    workload.add_argument("--grid", type=int, default=10, help="grid side g")
+    workload.add_argument("--seed", type=int, default=0, help="workload seed")
+    workload.add_argument(
+        "--max-size", type=int, default=4, help="largest twig size"
+    )
+    return parser
+
+
+def _load_estimator(path: str, grid: int, grid_kind: str = "uniform") -> AnswerSizeEstimator:
+    text = Path(path).read_text()
+    tree = label_document(parse_document(text))
+    return AnswerSizeEstimator(tree, grid_size=grid, grid=grid_kind)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.datasets import (
+        generate_dblp,
+        generate_orgchart,
+        generate_shakespeare,
+        generate_treebank,
+        generate_xmark,
+        paper_example_document,
+    )
+
+    if args.dataset == "dblp":
+        document = generate_dblp(seed=args.seed, scale=args.scale)
+    elif args.dataset == "orgchart":
+        document = generate_orgchart(seed=args.seed)
+    elif args.dataset == "shakespeare":
+        document = generate_shakespeare(seed=args.seed)
+    elif args.dataset == "xmark":
+        document = generate_xmark(seed=args.seed, scale=args.scale)
+    elif args.dataset == "treebank":
+        document = generate_treebank(seed=args.seed, sentences=max(5, int(60 * args.scale)))
+    else:
+        document = paper_example_document()
+    Path(args.out).write_text(write_document(document, indent=1))
+    print(f"wrote {document.count_nodes():,} elements to {args.out}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    estimator = _load_estimator(args.data, args.grid)
+    rows = []
+    for stats in estimator.catalog.register_all_tags():
+        predicate = stats.predicate
+        hist_bytes = position_storage_bytes(estimator.position_histogram(predicate))
+        coverage = estimator.coverage_histogram(predicate)
+        cvg_bytes = coverage_storage_bytes(coverage) if coverage else 0
+        rows.append(
+            [
+                predicate.name,
+                stats.count,
+                "no overlap" if stats.no_overlap else "overlap",
+                hist_bytes,
+                cvg_bytes,
+            ]
+        )
+    print(
+        format_table(
+            ["Predicate", "Node Count", "Overlap Property", "Hist Bytes", "Cvg Bytes"],
+            rows,
+            title=(
+                f"{args.data}: {len(estimator.tree):,} elements, "
+                f"{args.grid}x{args.grid} grid"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    estimator = _load_estimator(args.data, args.grid, args.grid_kind)
+    result = estimator.estimate(args.query)
+    if not args.compare:
+        print(f"{result.value:.2f}")
+        return 0
+
+    from repro.query.xpath import parse_xpath
+
+    pattern = parse_xpath(args.query)
+    rows = [[result.method, round(result.value, 2), f"{result.elapsed_seconds:.6f}"]]
+    if pattern.size() == 2:
+        anc = pattern.root.predicate
+        desc = pattern.root.children[0].predicate
+        methods = ["naive", "ph-join", "ph-join-level"]
+        if estimator.is_no_overlap(anc):
+            methods += ["upper-bound", "no-overlap"]
+        for method in methods:
+            r = estimator.estimate_pair(anc, desc, method=method)
+            timing = f"{r.elapsed_seconds:.6f}" if r.elapsed_seconds else "-"
+            rows.append([r.method, round(r.value, 2), timing])
+    real = estimator.real_answer(args.query)
+    rows.append(["exact", real, "-"])
+    print(
+        format_table(
+            ["method", "answer size", "time (s)"],
+            rows,
+            title=f"{args.query} on {args.data}",
+        )
+    )
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.workloads import ErrorSummary, RandomTwigGenerator
+
+    estimator = _load_estimator(args.data, args.grid)
+    generator = RandomTwigGenerator(estimator.tree, seed=args.seed)
+    workload = generator.workload(args.count, min_size=2, max_size=args.max_size)
+    pairs = []
+    for pattern in workload:
+        estimate = estimator.estimate(pattern).value
+        real = float(estimator.real_answer(pattern))
+        pairs.append((estimate, real))
+    summary = ErrorSummary.from_pairs(pairs)
+    print(
+        format_table(
+            ["queries", "geo-mean q", "median q", "p90 q", "p99 q", "worst q"],
+            [summary.as_row()],
+            title=(
+                f"q-error over {args.count} random twigs on {args.data} "
+                f"({args.grid}x{args.grid} grid)"
+            ),
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": cmd_generate,
+        "stats": cmd_stats,
+        "estimate": cmd_estimate,
+        "workload": cmd_workload,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Data sets for experiments: the paper's example plus generators.
+
+The paper evaluates on DBLP, XMark, Shakespeare and IBM-generator
+synthetic data.  None of those artifacts are redistributable here, so
+each is *simulated* by a seeded generator that reproduces the structural
+characteristics the estimation problem depends on (see DESIGN.md §4 for
+the substitution argument):
+
+* :mod:`repro.datasets.paper_example` -- the exact Fig. 1 department
+  document (3 faculty, 5 TA, real faculty//TA answer = 2).
+* :mod:`repro.datasets.dblp` -- a DBLP-like bibliography (Table 1).
+* :mod:`repro.datasets.orgchart` -- the manager/department/employee DTD
+  of Section 5.2, generated through the DTD-driven generator with deep
+  recursion (Table 3).
+* :mod:`repro.datasets.generator` -- the IBM-XML-generator analogue: a
+  random document generator driven by any parsed DTD.
+* :mod:`repro.datasets.shakespeare` / :mod:`repro.datasets.xmark` --
+  small analogues of the paper's other two data sets, used for
+  robustness tests.
+"""
+
+from repro.datasets.dblp import generate_dblp
+from repro.datasets.generator import DtdGenerator, GeneratorConfig
+from repro.datasets.orgchart import ORGCHART_DTD, generate_orgchart
+from repro.datasets.paper_example import paper_example_document
+from repro.datasets.shakespeare import generate_shakespeare
+from repro.datasets.treebank import generate_treebank
+from repro.datasets.xmark import generate_xmark
+
+__all__ = [
+    "DtdGenerator",
+    "GeneratorConfig",
+    "ORGCHART_DTD",
+    "generate_dblp",
+    "generate_orgchart",
+    "generate_shakespeare",
+    "generate_treebank",
+    "generate_xmark",
+    "paper_example_document",
+]

@@ -1,0 +1,73 @@
+"""The example XML document of the paper's Fig. 1.
+
+A department with six personnel in document order:
+
+1. faculty (name, RA)
+2. staff (name)
+3. faculty (name, secretary, RA, RA, RA)
+4. lecturer (name, TA, TA, TA)
+5. faculty (name, secretary, TA, RA, RA, TA)
+6. research_scientist (name, secretary, RA, RA, RA, RA)
+
+which yields the counts the paper's running example quotes: 3 faculty
+nodes, 5 TA nodes, 10 RA nodes, and exactly 2 (faculty, TA)
+ancestor-descendant pairs -- against the naive estimate of 15 and the
+no-overlap upper bound of 5.
+"""
+
+from __future__ import annotations
+
+from repro.xmltree.builder import element
+from repro.xmltree.tree import Document
+
+
+def paper_example_document() -> Document:
+    """Build the Fig. 1 document."""
+    department = element(
+        "department",
+        element(
+            "faculty",
+            element("name", "Faculty One"),
+            element("RA", "ra-1"),
+        ),
+        element(
+            "staff",
+            element("name", "Staff One"),
+        ),
+        element(
+            "faculty",
+            element("name", "Faculty Two"),
+            element("secretary", "Secretary A"),
+            element("RA", "ra-2"),
+            element("RA", "ra-3"),
+            element("RA", "ra-4"),
+        ),
+        element(
+            "lecturer",
+            element("name", "Lecturer One"),
+            element("TA", "ta-1"),
+            element("TA", "ta-2"),
+            element("TA", "ta-3"),
+        ),
+        element(
+            "faculty",
+            element("name", "Faculty Three"),
+            element("secretary", "Secretary B"),
+            element("TA", "ta-4"),
+            element("RA", "ra-5"),
+            element("RA", "ra-6"),
+            element("TA", "ta-5"),
+        ),
+        element(
+            "research_scientist",
+            element("name", "Scientist One"),
+            element("secretary", "Secretary C"),
+            element("RA", "ra-7"),
+            element("RA", "ra-8"),
+            element("RA", "ra-9"),
+            element("RA", "ra-10"),
+        ),
+    )
+    document = Document()
+    document.append(department)
+    return document

@@ -1,0 +1,57 @@
+"""A Shakespeare-play-like data set (substitute for the ibiblio corpus).
+
+The paper reports that results on the Shakespeare play collection were
+"substantially similar" to DBLP.  This generator reproduces the play
+markup hierarchy (PLAY / ACT / SCENE / SPEECH / SPEAKER / LINE), which
+is strictly non-recursive (every tag predicate is no-overlap) but deeper
+than DBLP -- a useful robustness point between the flat bibliography and
+the recursive orgchart.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmltree.builder import TreeBuilder
+from repro.xmltree.tree import Document
+
+_SPEAKERS = (
+    "HAMLET OPHELIA CLAUDIUS GERTRUDE HORATIO LAERTES POLONIUS "
+    "ROSENCRANTZ GUILDENSTERN FORTINBRAS"
+).split()
+_WORDS = (
+    "the and to of a my in you is not it that with this for be his "
+    "what but as he have so do will thou all by we him no"
+).split()
+
+
+def generate_shakespeare(seed: int = 11, plays: int = 2) -> Document:
+    """Generate a collection of ``plays`` Shakespeare-like plays."""
+    if plays < 1:
+        raise ValueError("need at least one play")
+    rng = random.Random(seed)
+    builder = TreeBuilder()
+    builder.start("PLAYS")
+    for p in range(plays):
+        builder.start("PLAY")
+        builder.leaf("TITLE", f"The Tragedy of Play {p + 1}")
+        for act_number in range(1, rng.randint(3, 5) + 1):
+            builder.start("ACT")
+            builder.leaf("TITLE", f"ACT {act_number}")
+            for scene_number in range(1, rng.randint(2, 6) + 1):
+                builder.start("SCENE")
+                builder.leaf("TITLE", f"SCENE {scene_number}")
+                for _ in range(rng.randint(4, 18)):
+                    builder.start("SPEECH")
+                    builder.leaf("SPEAKER", rng.choice(_SPEAKERS))
+                    for _ in range(rng.randint(1, 6)):
+                        line = " ".join(
+                            rng.choice(_WORDS) for _ in range(rng.randint(4, 9))
+                        )
+                        builder.leaf("LINE", line)
+                    builder.end()
+                builder.end()
+            builder.end()
+        builder.end()
+    builder.end()
+    return builder.finish()

@@ -1,0 +1,94 @@
+"""A Treebank-like data set: deep linguistic parse trees.
+
+Penn-Treebank-style XML is the classic stress test for XML cardinality
+estimation: almost every tag (S, NP, VP, PP, SBAR) is recursive, so
+nearly all predicates have the *overlap* property and nesting depth is
+large and skewed.  The paper claims its technique is "insensitive to
+depth of tree" -- this generator provides the data to test exactly
+that, complementing the shallow DBLP and the moderately recursive
+orgchart.
+
+The grammar below is a tiny PCFG over the usual phrase labels; the
+generator expands it with depth damping so sentences terminate while
+still producing nesting depths of 15+.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmltree.builder import TreeBuilder
+from repro.xmltree.tree import Document
+
+# Phrase label -> list of (weight, children) productions.  "TOKEN"
+# expands to a terminal word.
+_GRAMMAR: dict[str, list[tuple[float, tuple[str, ...]]]] = {
+    "S": [
+        (0.6, ("NP", "VP")),
+        (0.2, ("S", "CC", "S")),
+        (0.2, ("PP", "NP", "VP")),
+    ],
+    "NP": [
+        (0.4, ("DT", "NN")),
+        (0.25, ("NP", "PP")),
+        (0.2, ("DT", "JJ", "NN")),
+        (0.15, ("NP", "SBAR")),
+    ],
+    "VP": [
+        (0.4, ("VB", "NP")),
+        (0.25, ("VB", "NP", "PP")),
+        (0.2, ("VB", "SBAR")),
+        (0.15, ("VB",)),
+    ],
+    "PP": [(1.0, ("IN", "NP"))],
+    "SBAR": [(1.0, ("IN", "S"))],
+}
+
+_TERMINALS = {
+    "DT": ["the", "a", "this", "that"],
+    "NN": ["histogram", "query", "answer", "tree", "node", "join"],
+    "JJ": ["large", "nested", "sparse", "accurate"],
+    "VB": ["estimates", "contains", "matches", "joins"],
+    "IN": ["of", "in", "under", "with", "that"],
+    "CC": ["and", "but", "or"],
+}
+
+
+def generate_treebank(seed: int = 17, sentences: int = 60) -> Document:
+    """Generate a corpus of deeply nested parse trees."""
+    if sentences < 1:
+        raise ValueError("need at least one sentence")
+    rng = random.Random(seed)
+    builder = TreeBuilder()
+    builder.start("corpus")
+    for _ in range(sentences):
+        _expand(builder, rng, "S", depth=0)
+    builder.end()
+    return builder.finish()
+
+
+def _expand(builder: TreeBuilder, rng: random.Random, label: str, depth: int) -> None:
+    if label in _TERMINALS:
+        builder.leaf(label, rng.choice(_TERMINALS[label]))
+        return
+    builder.start(label)
+    productions = _GRAMMAR[label]
+    if depth >= 14:
+        # Depth cap: take the production with the fewest recursive
+        # symbols to force termination.
+        children = min(
+            (p for _w, p in productions),
+            key=lambda p: sum(1 for s in p if s in _GRAMMAR),
+        )
+    else:
+        pick = rng.random() * sum(w for w, _p in productions)
+        acc = 0.0
+        children = productions[-1][1]
+        for weight, production in productions:
+            acc += weight
+            if pick <= acc:
+                children = production
+                break
+    for child in children:
+        _expand(builder, rng, child, depth + 1)
+    builder.end()

@@ -1,0 +1,91 @@
+"""An XMark-auction-like data set (substitute for the XMark benchmark).
+
+XMark models an auction site (site / regions / open_auctions / people /
+categories).  The interesting structural feature for this paper is the
+recursive ``parlist`` inside item descriptions -- it gives an
+*overlapping* predicate inside an otherwise no-overlap catalog, like the
+paper's synthetic DTD but with realistic skew.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmltree.builder import TreeBuilder
+from repro.xmltree.tree import Document
+
+_REGIONS = "africa asia australia europe namerica samerica".split()
+_WORDS = (
+    "vintage rare mint boxed signed limited original restored classic "
+    "antique modern sealed graded complete working"
+).split()
+
+
+def generate_xmark(seed: int = 23, scale: float = 1.0) -> Document:
+    """Generate an XMark-like auction document (~3k nodes at scale 1)."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    rng = random.Random(seed)
+    items_per_region = max(2, int(12 * scale))
+    people = max(5, int(60 * scale))
+    auctions = max(5, int(40 * scale))
+
+    builder = TreeBuilder()
+    builder.start("site")
+
+    builder.start("regions")
+    for region in _REGIONS:
+        builder.start(region)
+        for item_number in range(items_per_region):
+            builder.start("item")
+            builder.leaf("name", f"item-{region}-{item_number}")
+            builder.start("description")
+            _emit_parlist(builder, rng, depth=0)
+            builder.end()
+            if rng.random() < 0.5:
+                builder.leaf("payment", "credit card")
+            builder.end()
+        builder.end()
+    builder.end()
+
+    builder.start("people")
+    for person_number in range(people):
+        builder.start("person")
+        builder.leaf("name", f"person-{person_number}")
+        if rng.random() < 0.7:
+            builder.leaf("emailaddress", f"p{person_number}@example.org")
+        if rng.random() < 0.4:
+            builder.start("profile")
+            builder.leaf("interest", rng.choice(_REGIONS))
+            builder.end()
+        builder.end()
+    builder.end()
+
+    builder.start("open_auctions")
+    for auction_number in range(auctions):
+        builder.start("open_auction")
+        builder.leaf("initial", f"{rng.randint(1, 500)}.00")
+        for _ in range(rng.randint(0, 5)):
+            builder.start("bidder")
+            builder.leaf("increase", f"{rng.randint(1, 50)}.00")
+            builder.end()
+        builder.leaf("current", f"{rng.randint(1, 2000)}.00")
+        builder.end()
+    builder.end()
+
+    builder.end()
+    return builder.finish()
+
+
+def _emit_parlist(builder: TreeBuilder, rng: random.Random, depth: int) -> None:
+    """Recursive parlist/listitem description markup (overlapping tags)."""
+    builder.start("parlist")
+    for _ in range(rng.randint(1, 3)):
+        builder.start("listitem")
+        if depth < 3 and rng.random() < 0.35:
+            _emit_parlist(builder, rng, depth + 1)
+        else:
+            text = " ".join(rng.choice(_WORDS) for _ in range(rng.randint(2, 6)))
+            builder.leaf("text", text)
+        builder.end()
+    builder.end()

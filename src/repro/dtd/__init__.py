@@ -1,0 +1,46 @@
+"""DTD substrate: parsing and schema analysis.
+
+The paper's synthetic experiments (Section 5.2) use the IBM XML
+generator driven by a DTD; its no-overlap reasoning (Section 4) is
+schema knowledge.  This package provides both halves:
+
+* :mod:`repro.dtd.ast` and :mod:`repro.dtd.parser` -- a content-model
+  AST and a recursive-descent parser for ``<!ELEMENT ...>``
+  declarations (sequences, choices, ``?``/``*``/``+``, ``#PCDATA``,
+  ``EMPTY``, ``ANY``);
+* :mod:`repro.dtd.analyzer` -- containment-graph analysis deriving, for
+  each element tag, whether the schema guarantees the no-overlap
+  property (the tag cannot transitively contain itself).
+"""
+
+from repro.dtd.analyzer import SchemaAnalysis, analyze_dtd
+from repro.dtd.ast import (
+    AnyContent,
+    Choice,
+    ContentModel,
+    ElementDecl,
+    EmptyContent,
+    NameRef,
+    PCData,
+    Repeat,
+    RepeatKind,
+    Sequence,
+)
+from repro.dtd.parser import DTDParseError, parse_dtd
+
+__all__ = [
+    "AnyContent",
+    "Choice",
+    "ContentModel",
+    "DTDParseError",
+    "ElementDecl",
+    "EmptyContent",
+    "NameRef",
+    "PCData",
+    "Repeat",
+    "RepeatKind",
+    "SchemaAnalysis",
+    "Sequence",
+    "analyze_dtd",
+    "parse_dtd",
+]

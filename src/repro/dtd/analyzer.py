@@ -1,0 +1,123 @@
+"""Schema analysis over a parsed DTD.
+
+Section 4 of the paper exploits schema knowledge, chiefly the no-overlap
+property: "for a given predicate, two nodes satisfying the predicate
+cannot have any ancestor-descendant relationship."  For an element-tag
+predicate this holds exactly when the tag cannot transitively contain
+itself in the containment graph induced by the DTD.
+
+:func:`analyze_dtd` builds that graph and computes, per tag:
+
+* ``can_contain`` -- the set of tags reachable as descendants;
+* ``no_overlap`` -- whether the tag is schema-guaranteed no-overlap;
+* ``zero_pairs`` / ``guaranteed_parent`` helpers backing the paper's
+  other schema shortcuts ("estimate is zero", "equal to the child
+  count").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dtd.ast import (
+    AnyContent,
+    Choice,
+    ContentModel,
+    ElementDecl,
+    NameRef,
+    Repeat,
+    RepeatKind,
+    Sequence,
+    referenced_names,
+)
+
+
+@dataclass
+class SchemaAnalysis:
+    """Derived structural facts about a DTD."""
+
+    declarations: dict[str, ElementDecl]
+    #: direct containment: tag -> tags that may appear as children
+    children: dict[str, set[str]]
+    #: transitive containment: tag -> tags reachable as descendants
+    reachable: dict[str, set[str]]
+
+    def no_overlap(self, tag: str) -> bool:
+        """Schema-guaranteed no-overlap: the tag cannot contain itself."""
+        return tag not in self.reachable.get(tag, set())
+
+    def can_contain(self, ancestor: str, descendant: str) -> bool:
+        """Whether ``descendant`` may appear under ``ancestor`` at any depth."""
+        return descendant in self.reachable.get(ancestor, set())
+
+    def zero_answer(self, ancestor: str, descendant: str) -> bool:
+        """The paper's first shortcut: if the schema forbids the
+        nesting, the pattern's answer size is exactly zero."""
+        return not self.can_contain(ancestor, descendant)
+
+    def sole_parent(self, child: str) -> str | None:
+        """If exactly one tag may directly contain ``child``, return it.
+
+        This backs the paper's second shortcut: when every ``author``
+        has a ``book`` parent, ``|book//author| = |author|``.
+        """
+        parents = [
+            tag for tag, kids in self.children.items() if child in kids
+        ]
+        if len(parents) == 1:
+            return parents[0]
+        return None
+
+    def mandatory_tags(self, tag: str) -> set[str]:
+        """Direct children that must occur at least once under ``tag``."""
+        decl = self.declarations.get(tag)
+        if decl is None:
+            return set()
+        return _mandatory(decl.model)
+
+
+def analyze_dtd(declarations: dict[str, ElementDecl]) -> SchemaAnalysis:
+    """Compute containment reachability for a parsed DTD."""
+    children: dict[str, set[str]] = {}
+    for name, decl in declarations.items():
+        if isinstance(decl.model, AnyContent):
+            children[name] = set(declarations)
+        else:
+            children[name] = set(referenced_names(decl.model))
+
+    reachable: dict[str, set[str]] = {}
+    for name in declarations:
+        seen: set[str] = set()
+        stack = list(children.get(name, ()))
+        while stack:
+            tag = stack.pop()
+            if tag in seen:
+                continue
+            seen.add(tag)
+            stack.extend(children.get(tag, ()))
+        reachable[name] = seen
+    return SchemaAnalysis(declarations, children, reachable)
+
+
+def _mandatory(model: ContentModel) -> set[str]:
+    """Tags guaranteed to occur at least once under this model."""
+    if isinstance(model, NameRef):
+        return {model.name}
+    if isinstance(model, Sequence):
+        out: set[str] = set()
+        for item in model.items:
+            out |= _mandatory(item)
+        return out
+    if isinstance(model, Choice):
+        options = [_mandatory(o) for o in model.options]
+        if not options:
+            return set()
+        common = options[0]
+        for other in options[1:]:
+            common = common & other
+        return common
+    if isinstance(model, Repeat):
+        if model.kind is RepeatKind.PLUS:
+            return _mandatory(model.item)
+        return set()  # ? and * may produce zero occurrences
+    return set()

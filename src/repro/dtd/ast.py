@@ -1,0 +1,110 @@
+"""Content-model AST for DTD element declarations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, Union
+
+
+class RepeatKind(Enum):
+    """The three DTD occurrence operators."""
+
+    OPTIONAL = "?"   # zero or one
+    STAR = "*"       # zero or more
+    PLUS = "+"       # one or more
+
+
+@dataclass(frozen=True)
+class NameRef:
+    """Reference to a child element by tag name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PCData:
+    """``#PCDATA`` -- character data content."""
+
+    def __str__(self) -> str:
+        return "#PCDATA"
+
+
+@dataclass(frozen=True)
+class EmptyContent:
+    """``EMPTY`` -- the element has no content."""
+
+    def __str__(self) -> str:
+        return "EMPTY"
+
+
+@dataclass(frozen=True)
+class AnyContent:
+    """``ANY`` -- the element may contain anything."""
+
+    def __str__(self) -> str:
+        return "ANY"
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """``(a, b, c)`` -- ordered sequence."""
+
+    items: tuple["ContentModel", ...]
+
+    def __str__(self) -> str:
+        return "(" + ",".join(str(i) for i in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class Choice:
+    """``(a | b | c)`` -- exclusive choice."""
+
+    options: tuple["ContentModel", ...]
+
+    def __str__(self) -> str:
+        return "(" + "|".join(str(o) for o in self.options) + ")"
+
+
+@dataclass(frozen=True)
+class Repeat:
+    """A content particle with an occurrence operator."""
+
+    item: "ContentModel"
+    kind: RepeatKind
+
+    def __str__(self) -> str:
+        return f"{self.item}{self.kind.value}"
+
+
+ContentModel = Union[NameRef, PCData, EmptyContent, AnyContent, Sequence, Choice, Repeat]
+
+
+@dataclass(frozen=True)
+class ElementDecl:
+    """One ``<!ELEMENT name model>`` declaration."""
+
+    name: str
+    model: ContentModel
+
+    def __str__(self) -> str:
+        return f"<!ELEMENT {self.name} {self.model}>"
+
+
+def referenced_names(model: ContentModel) -> Iterator[str]:
+    """Yield every element name mentioned in a content model."""
+    stack: list[ContentModel] = [model]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, NameRef):
+            yield node.name
+        elif isinstance(node, Sequence):
+            stack.extend(node.items)
+        elif isinstance(node, Choice):
+            stack.extend(node.options)
+        elif isinstance(node, Repeat):
+            stack.append(node.item)
+        # PCData / EmptyContent / AnyContent reference nothing.

@@ -1,0 +1,148 @@
+"""Recursive-descent parser for DTD element declarations.
+
+Parses the subset of DTD syntax needed for data generation and schema
+analysis: ``<!ELEMENT name content-model>`` declarations.  Attribute
+lists, entities and notations are skipped (tolerated, not modelled).
+
+Content-model grammar::
+
+    model    := 'EMPTY' | 'ANY' | group ('?' | '*' | '+')?
+    group    := '(' body ')'
+    body     := particle ( ',' particle )*      -- sequence
+              | particle ( '|' particle )*      -- choice
+              | '#PCDATA' ( '|' name )*         -- mixed content
+    particle := name ('?' | '*' | '+')?
+              | group ('?' | '*' | '+')?
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.dtd.ast import (
+    AnyContent,
+    Choice,
+    ContentModel,
+    ElementDecl,
+    EmptyContent,
+    NameRef,
+    PCData,
+    Repeat,
+    RepeatKind,
+    Sequence,
+)
+
+_ELEMENT_RE = re.compile(r"<!ELEMENT\s+([-A-Za-z0-9._:]+)\s+(.*?)>", re.DOTALL)
+_SKIPPED_RE = re.compile(r"<!(?:ATTLIST|ENTITY|NOTATION)\s.*?>", re.DOTALL)
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+_NAME_RE = re.compile(r"[-A-Za-z0-9._:]+")
+
+
+class DTDParseError(ValueError):
+    """Raised on malformed DTD input."""
+
+
+def parse_dtd(text: str) -> dict[str, ElementDecl]:
+    """Parse all element declarations in ``text``.
+
+    Returns a mapping from element name to its declaration, in source
+    order (dicts preserve insertion order).  Raises
+    :class:`DTDParseError` on duplicate or malformed declarations.
+    """
+    text = _COMMENT_RE.sub(" ", text)
+    text = _SKIPPED_RE.sub(" ", text)
+    declarations: dict[str, ElementDecl] = {}
+    for match in _ELEMENT_RE.finditer(text):
+        name = match.group(1)
+        if name in declarations:
+            raise DTDParseError(f"duplicate declaration for element {name!r}")
+        model = _parse_model(match.group(2).strip(), name)
+        declarations[name] = ElementDecl(name, model)
+    if not declarations:
+        raise DTDParseError("no <!ELEMENT ...> declarations found")
+    return declarations
+
+
+def _parse_model(text: str, element: str) -> ContentModel:
+    if text == "EMPTY":
+        return EmptyContent()
+    if text == "ANY":
+        return AnyContent()
+    parser = _ModelParser(text, element)
+    model = parser.parse_particle(top_level=True)
+    parser.skip_spaces()
+    if not parser.eof():
+        raise DTDParseError(
+            f"trailing input {parser.rest()!r} in content model of {element!r}"
+        )
+    return model
+
+
+class _ModelParser:
+    def __init__(self, text: str, element: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.element = element
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def rest(self) -> str:
+        return self.text[self.pos :]
+
+    def skip_spaces(self) -> None:
+        while not self.eof() and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos] if not self.eof() else ""
+
+    def fail(self, message: str) -> DTDParseError:
+        return DTDParseError(
+            f"{message} at position {self.pos} in content model of "
+            f"{self.element!r}: {self.text!r}"
+        )
+
+    def parse_particle(self, top_level: bool = False) -> ContentModel:
+        self.skip_spaces()
+        if self.peek() == "(":
+            inner = self.parse_group()
+        elif self.text.startswith("#PCDATA", self.pos):
+            self.pos += len("#PCDATA")
+            inner = PCData()
+        else:
+            match = _NAME_RE.match(self.text, self.pos)
+            if match is None:
+                raise self.fail("expected a name, '(' or '#PCDATA'")
+            self.pos = match.end()
+            inner = NameRef(match.group())
+        return self._maybe_repeat(inner)
+
+    def parse_group(self) -> ContentModel:
+        assert self.peek() == "("
+        self.pos += 1
+        items = [self.parse_particle()]
+        self.skip_spaces()
+        separator = ""
+        while self.peek() in (",", "|"):
+            if separator and self.peek() != separator:
+                raise self.fail("cannot mix ',' and '|' in one group")
+            separator = self.peek()
+            self.pos += 1
+            items.append(self.parse_particle())
+            self.skip_spaces()
+        if self.peek() != ")":
+            raise self.fail("expected ')'")
+        self.pos += 1
+        if len(items) == 1:
+            return items[0]
+        if separator == "|":
+            return Choice(tuple(items))
+        return Sequence(tuple(items))
+
+    def _maybe_repeat(self, inner: ContentModel) -> ContentModel:
+        if self.peek() in ("?", "*", "+"):
+            kind = RepeatKind(self.peek())
+            self.pos += 1
+            return Repeat(inner, kind)
+        return inner

@@ -1,0 +1,16 @@
+"""Physical twig execution engine.
+
+The paper's setting is TIMBER's cost-based optimizer choosing among
+structural-join orders.  This package supplies the execution side: a
+:class:`~repro.engine.bindings.BindingTable` of partial matches and a
+plan :class:`~repro.engine.executor.PlanExecutor` that runs a
+:class:`~repro.optimizer.plans.JoinPlan` step by step with stack-tree
+joins, producing the full set of twig matches and an accounting of the
+actual work done -- which is what the optimizer's cost model is trying
+to predict.
+"""
+
+from repro.engine.bindings import BindingTable
+from repro.engine.executor import ExecutionStats, PlanExecutor
+
+__all__ = ["BindingTable", "ExecutionStats", "PlanExecutor"]

@@ -1,0 +1,77 @@
+"""Binding tables: intermediate results of twig-plan execution.
+
+A binding table holds partial matches of a twig: one column per bound
+pattern node (identified by its pre-order index in the pattern), one
+row per distinct assignment of data-node indices to those pattern
+nodes.  Stored as plain tuples in row-major lists -- simple, exact, and
+fast enough for the data-set sizes of the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+
+class BindingTable:
+    """Partial twig matches: ``columns`` pattern-node ids, ``rows`` of
+    data-node indices aligned with the columns."""
+
+    def __init__(self, columns: Sequence[int], rows: Iterable[tuple[int, ...]]) -> None:
+        self.columns = tuple(columns)
+        self.rows = list(rows)
+        width = len(self.columns)
+        for row in self.rows:
+            if len(row) != width:
+                raise ValueError(
+                    f"row width {len(row)} does not match {width} columns"
+                )
+
+    @classmethod
+    def single_column(cls, column: int, nodes: Iterable[int]) -> "BindingTable":
+        """A base table: one pattern node, one row per matching data node."""
+        return cls((column,), ((int(n),) for n in nodes))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[int, ...]]:
+        return iter(self.rows)
+
+    def column_position(self, column: int) -> int:
+        """Index of a pattern-node column within each row."""
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise KeyError(f"pattern node {column} is not bound") from None
+
+    def column_values(self, column: int) -> list[int]:
+        """All data-node indices bound to one pattern node (with
+        multiplicity, row order)."""
+        position = self.column_position(column)
+        return [row[position] for row in self.rows]
+
+    def expand(
+        self,
+        column: int,
+        new_column: int,
+        matches: dict[int, list[int]],
+    ) -> "BindingTable":
+        """Join with a new pattern node.
+
+        ``matches`` maps each data node that may appear in ``column`` to
+        the data nodes joinable with it for ``new_column``; rows without
+        matches are dropped (inner join).
+        """
+        position = self.column_position(column)
+        out_rows: list[tuple[int, ...]] = []
+        for row in self.rows:
+            for partner in matches.get(row[position], ()):  # inner join
+                out_rows.append(row + (partner,))
+        return BindingTable(self.columns + (new_column,), out_rows)
+
+    def distinct(self, column: int) -> list[int]:
+        """Sorted distinct data nodes bound to a pattern node."""
+        return sorted(set(self.column_values(column)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BindingTable(columns={self.columns}, rows={len(self.rows)})"

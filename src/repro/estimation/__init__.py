@@ -1,0 +1,47 @@
+"""Answer-size estimation algorithms.
+
+* :mod:`repro.estimation.naive` -- the baselines of the paper's Tables 2
+  and 4: the naive cardinality product and the schema-only upper bound.
+* :mod:`repro.estimation.phjoin` -- the primitive estimation formulae
+  (paper Fig. 6) and Algorithm pH-Join (paper Fig. 9), in three
+  implementations: a literal transcription of the paper's pseudo-code, a
+  vectorised numpy version, and an O(g^4) first-principles reference used
+  to cross-check both.
+* :mod:`repro.estimation.nooverlap` -- the no-overlap estimation
+  formulae of paper Fig. 10 (coverage-based estimate, participation via
+  the occupancy formula, join factors, coverage propagation).
+* :mod:`repro.estimation.twig` -- cascading the pairwise estimators
+  bottom-up over arbitrary pattern trees.
+* :mod:`repro.estimation.estimator` -- :class:`AnswerSizeEstimator`, the
+  public facade binding a labeled tree, a predicate catalog, and
+  histogram caches.
+"""
+
+from repro.estimation.estimator import AnswerSizeEstimator
+from repro.estimation.naive import naive_product_estimate, upper_bound_estimate
+from repro.estimation.nooverlap import (
+    no_overlap_estimate,
+    participation_ancestor,
+    participation_descendant,
+)
+from repro.estimation.phjoin import (
+    ph_join,
+    ph_join_literal,
+    reference_region_estimate,
+)
+from repro.estimation.result import EstimationResult
+from repro.estimation.twig import TwigEstimator
+
+__all__ = [
+    "AnswerSizeEstimator",
+    "EstimationResult",
+    "TwigEstimator",
+    "naive_product_estimate",
+    "no_overlap_estimate",
+    "participation_ancestor",
+    "participation_descendant",
+    "ph_join",
+    "ph_join_literal",
+    "reference_region_estimate",
+    "upper_bound_estimate",
+]

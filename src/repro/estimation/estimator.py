@@ -1,0 +1,369 @@
+"""The public estimation facade: :class:`AnswerSizeEstimator`.
+
+Binds together a labeled database tree, a predicate catalog, histogram
+caches, and all estimation algorithms, so that end users (and the
+benchmark harnesses) write::
+
+    estimator = AnswerSizeEstimator(tree, grid_size=10)
+    result = estimator.estimate("//article//author")
+    real = estimator.real_answer("//article//author")
+
+Estimation method selection follows the paper: when the ancestor
+predicate of a primitive pattern has the no-overlap property (from the
+data or asserted via schema), the coverage-based no-overlap estimator is
+used; otherwise the primitive pH-join.  The same rule applies per join
+inside twig cascades.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.estimation.leveljoin import ph_join_level_refined, ph_join_parent_child
+from repro.estimation.naive import naive_product_estimate, upper_bound_estimate
+from repro.estimation.nooverlap import no_overlap_estimate
+from repro.estimation.phjoin import (
+    ancestor_based_coefficients,
+    ph_join,
+    ph_join_literal,
+    reference_region_estimate,
+)
+from repro.estimation.result import EstimationResult
+from repro.estimation.twig import TwigEstimator
+from repro.histograms.adaptive import equi_depth_grid
+from repro.histograms.coverage import CoverageHistogram, build_coverage_histogram
+from repro.histograms.grid import GridSpec
+from repro.histograms.levels import LevelPositionHistogram, build_level_histogram
+from repro.histograms.position import PositionHistogram, build_position_histogram
+from repro.histograms.storage import coverage_storage_bytes, position_storage_bytes
+from repro.histograms.truehist import build_true_histogram
+from repro.labeling.interval import LabeledTree
+from repro.predicates.base import Predicate
+from repro.predicates.catalog import PredicateCatalog
+from repro.query.matcher import count_matches, count_pairs
+from repro.query.pattern import Axis, PatternTree
+from repro.query.xpath import parse_xpath
+from repro.utils.timing import time_call
+
+Query = Union[str, PatternTree]
+
+
+class AnswerSizeEstimator:
+    """Answer-size estimation service over one XML database tree.
+
+    Parameters
+    ----------
+    tree:
+        The labeled database tree.
+    grid_size:
+        Side of the histogram grid (the paper defaults to 10).
+    catalog:
+        Optional pre-populated predicate catalog to share across
+        estimators.
+    grid:
+        ``"uniform"`` (default, the paper's setting) or ``"equi-depth"``
+        for quantile bucket boundaries (the paper's non-uniform-grid
+        future-work extension).
+    schema:
+        Optional :class:`~repro.dtd.analyzer.SchemaAnalysis`.  When
+        given, the paper's Section 4 shortcuts apply: schema-impossible
+        nestings estimate to exactly zero, and sole-parent/no-overlap
+        pairs estimate to the exact descendant count -- both without
+        touching histograms.
+    """
+
+    def __init__(
+        self,
+        tree: LabeledTree,
+        grid_size: int = 10,
+        catalog: Optional[PredicateCatalog] = None,
+        grid: str = "uniform",
+        schema=None,
+    ) -> None:
+        if grid_size < 1:
+            raise ValueError(f"grid size must be >= 1, got {grid_size}")
+        self.tree = tree
+        if grid == "uniform":
+            self.grid = GridSpec(grid_size, tree.max_label)
+        elif grid == "equi-depth":
+            self.grid = equi_depth_grid(tree, grid_size)
+        else:
+            raise ValueError(f"grid must be 'uniform' or 'equi-depth', got {grid!r}")
+        self.catalog = catalog if catalog is not None else PredicateCatalog(tree)
+        self.schema = schema
+        self._true_hist: Optional[PositionHistogram] = None
+        self._position_cache: dict[Predicate, PositionHistogram] = {}
+        self._coverage_cache: dict[Predicate, Optional[CoverageHistogram]] = {}
+        self._level_cache: dict[Predicate, LevelPositionHistogram] = {}
+        self._coefficient_cache: dict[Predicate, np.ndarray] = {}
+
+    # -- summary structures --------------------------------------------------
+
+    @property
+    def true_histogram(self) -> PositionHistogram:
+        """The TRUE histogram (all nodes), built lazily."""
+        if self._true_hist is None:
+            self._true_hist = build_true_histogram(self.tree, self.grid)
+        return self._true_hist
+
+    def position_histogram(self, predicate: Predicate) -> PositionHistogram:
+        """The position histogram of a predicate (cached)."""
+        if predicate not in self._position_cache:
+            stats = self.catalog.stats(predicate)
+            self._position_cache[predicate] = build_position_histogram(
+                self.tree, stats.node_indices, self.grid, name=predicate.name
+            )
+        return self._position_cache[predicate]
+
+    def coverage_histogram(self, predicate: Predicate) -> Optional[CoverageHistogram]:
+        """The coverage histogram, or None for overlap predicates.
+
+        Coverage is only meaningful (and only built) for predicates with
+        the no-overlap property, mirroring the paper's storage policy.
+        """
+        if predicate not in self._coverage_cache:
+            stats = self.catalog.stats(predicate)
+            if stats.effective_no_overlap:
+                self._coverage_cache[predicate] = build_coverage_histogram(
+                    self.tree,
+                    stats.node_indices,
+                    self.true_histogram,
+                    name=predicate.name,
+                )
+            else:
+                self._coverage_cache[predicate] = None
+        return self._coverage_cache[predicate]
+
+    def level_histogram(self, predicate: Predicate) -> LevelPositionHistogram:
+        """The level-augmented position histogram (cached).
+
+        Used by the parent-child and level-refined estimators; built on
+        first use, like the plain position histograms.
+        """
+        if predicate not in self._level_cache:
+            stats = self.catalog.stats(predicate)
+            self._level_cache[predicate] = build_level_histogram(
+                self.tree, stats.node_indices, self.grid, name=predicate.name
+            )
+        return self._level_cache[predicate]
+
+    def join_coefficients(self, descendant: Predicate) -> np.ndarray:
+        """Precomputed per-cell join coefficients for a descendant
+        predicate (paper Section 3.3's space-time tradeoff).
+
+        Multiplying an ancestor histogram cell-wise by this matrix and
+        summing yields the ancestor-based pH-join estimate; the matrix
+        depends only on the descendant operand, so it is computed once
+        and reused across queries.
+        """
+        if descendant not in self._coefficient_cache:
+            self._coefficient_cache[descendant] = ancestor_based_coefficients(
+                self.position_histogram(descendant).dense()
+            )
+        return self._coefficient_cache[descendant]
+
+    def is_no_overlap(self, predicate: Predicate) -> bool:
+        """Whether the estimators treat ``predicate`` as no-overlap."""
+        return self.catalog.stats(predicate).effective_no_overlap
+
+    def storage_bytes(self, predicate: Predicate) -> dict[str, int]:
+        """Summary storage cost of a predicate under the byte model."""
+        out = {"position": position_storage_bytes(self.position_histogram(predicate))}
+        coverage = self.coverage_histogram(predicate)
+        out["coverage"] = coverage_storage_bytes(coverage) if coverage else 0
+        return out
+
+    # -- primitive (two-node) estimation --------------------------------------
+
+    def estimate_pair(
+        self,
+        ancestor: Predicate,
+        descendant: Predicate,
+        method: str = "auto",
+        based: str = "ancestor",
+    ) -> EstimationResult:
+        """Estimate ``|ancestor // descendant|`` with a chosen method.
+
+        ``method`` is one of:
+
+        * ``"auto"`` -- no-overlap when the ancestor predicate has the
+          property, else pH-join (the paper's policy);
+        * ``"ph-join"`` -- the primitive estimator regardless;
+        * ``"ph-join-literal"`` -- the paper's Fig. 9 pseudo-code;
+        * ``"reference"`` -- the O(g^4) region-weight reference;
+        * ``"no-overlap"`` -- coverage-based (requires the property);
+        * ``"naive"`` -- cardinality product;
+        * ``"upper-bound"`` -- descendant count (requires the property);
+        * ``"ph-join-precomputed"`` -- pH-join via cached coefficients
+          (paper Section 3.3's space-time tradeoff);
+        * ``"ph-join-level"`` -- level-refined pH-join;
+        * ``"ph-join-child"`` -- parent-child (``/``) estimation via
+          level-augmented histograms.
+        """
+        if method == "auto":
+            # Paper Section 4: schema knowledge first.  An impossible
+            # nesting is exactly zero; a mandatory sole parent with a
+            # no-overlap ancestor yields exactly the descendant count.
+            if self.schema_zero(ancestor, descendant):
+                return EstimationResult(value=0.0, method="schema-zero",
+                                        elapsed_seconds=0.0)
+            exact = self._schema_exact(ancestor, descendant)
+            if exact is not None:
+                return EstimationResult(value=exact, method="schema-exact",
+                                        elapsed_seconds=0.0)
+        hist_anc = self.position_histogram(ancestor)
+        hist_desc = self.position_histogram(descendant)
+        if method == "auto":
+            method = "no-overlap" if self.is_no_overlap(ancestor) else "ph-join"
+        if method == "ph-join":
+            return ph_join(hist_anc, hist_desc, based=based)
+        if method == "ph-join-literal":
+            return ph_join_literal(hist_anc, hist_desc)
+        if method == "ph-join-precomputed":
+            coefficients = self.join_coefficients(descendant)
+
+            def run() -> float:
+                return float((hist_anc.dense() * coefficients).sum())
+
+            value, elapsed = time_call(run)
+            return EstimationResult(
+                value=value, method="ph-join-precomputed", elapsed_seconds=elapsed
+            )
+        if method == "ph-join-level":
+            return ph_join_level_refined(
+                self.level_histogram(ancestor), self.level_histogram(descendant)
+            )
+        if method == "ph-join-child":
+            return ph_join_parent_child(
+                self.level_histogram(ancestor), self.level_histogram(descendant)
+            )
+        if method == "reference":
+            return reference_region_estimate(hist_anc, hist_desc, based=based)
+        if method == "no-overlap":
+            coverage = self.coverage_histogram(ancestor)
+            if coverage is None:
+                raise ValueError(
+                    f"predicate {ancestor.name!r} lacks the no-overlap property"
+                )
+            return no_overlap_estimate(hist_anc, coverage, hist_desc)
+        if method == "naive":
+            return naive_product_estimate(hist_anc.total(), hist_desc.total())
+        if method == "upper-bound":
+            return upper_bound_estimate(
+                hist_desc.total(), self.is_no_overlap(ancestor)
+            )
+        raise ValueError(f"unknown estimation method {method!r}")
+
+    # -- schema shortcuts (paper Section 4, first paragraph) --------------------
+
+    def schema_zero(self, ancestor: Predicate, descendant: Predicate) -> bool:
+        """True when the answer is provably zero without histograms.
+
+        Two sources: Definition 2 directly (a no-overlap predicate can
+        never pair with itself), and DTD containment analysis when a
+        schema was supplied.
+        """
+        if ancestor == descendant and self.is_no_overlap(ancestor):
+            return True
+        if self.schema is None:
+            return False
+        anc_tag = getattr(ancestor, "tag", None)
+        desc_tag = getattr(descendant, "tag", None)
+        if isinstance(anc_tag, str) and isinstance(desc_tag, str):
+            return self.schema.zero_answer(anc_tag, desc_tag)
+        return False
+
+    def _schema_exact(
+        self, ancestor: Predicate, descendant: Predicate
+    ) -> Optional[float]:
+        """The paper's uniqueness shortcut: when every descendant-tag
+        element must sit under an ancestor-tag parent and the ancestor
+        is no-overlap, the answer is exactly the descendant count."""
+        if self.schema is None:
+            return None
+        anc_tag = getattr(ancestor, "tag", None)
+        desc_tag = getattr(descendant, "tag", None)
+        if not (isinstance(anc_tag, str) and isinstance(desc_tag, str)):
+            return None
+        # Sound for any tag-scoped predicate: every matching descendant
+        # has the descendant tag, hence a mandatory ancestor-tag parent.
+        if (
+            self.schema.sole_parent(desc_tag) == anc_tag
+            and self.schema.no_overlap(anc_tag)
+        ):
+            return float(self.catalog.stats(descendant).count)
+        return None
+
+    # -- ordered semantics -----------------------------------------------------
+
+    def estimate_following(
+        self, before: Predicate, after: Predicate
+    ) -> EstimationResult:
+        """Estimate pairs where a ``before`` node entirely precedes an
+        ``after`` node in document order (future-work extension)."""
+        from repro.estimation.ordered import ph_join_following
+
+        return ph_join_following(
+            self.position_histogram(before), self.position_histogram(after)
+        )
+
+    def real_following(self, before: Predicate, after: Predicate) -> int:
+        """Exact count of document-order (before, after) pairs."""
+        from repro.estimation.ordered import count_following_pairs
+
+        return count_following_pairs(
+            self.tree,
+            self.catalog.stats(before).node_indices,
+            self.catalog.stats(after).node_indices,
+        )
+
+    # -- twig estimation -------------------------------------------------------
+
+    def twig_estimator(self) -> TwigEstimator:
+        """A :class:`TwigEstimator` wired to this estimator's caches."""
+        return TwigEstimator(
+            histogram_provider=self.position_histogram,
+            coverage_provider=self.coverage_histogram,
+            grid_size=self.grid.size,
+            zero_hook=self.schema_zero,
+        )
+
+    def estimate(self, query: Query) -> EstimationResult:
+        """Estimate the answer size of a twig query (pattern or XPath).
+
+        Two-node patterns route through :meth:`estimate_pair` with the
+        paper's automatic method choice; larger twigs run the cascade.
+        """
+        pattern = self._as_pattern(query)
+        nodes = pattern.nodes()
+        if len(nodes) == 2:
+            if nodes[1].axis is Axis.CHILD:
+                return self.estimate_pair(
+                    nodes[0].predicate, nodes[1].predicate, method="ph-join-child"
+                )
+            return self.estimate_pair(
+                nodes[0].predicate, nodes[1].predicate, method="auto"
+            )
+        return self.twig_estimator().estimate(pattern)
+
+    # -- ground truth ------------------------------------------------------------
+
+    def real_answer(self, query: Query) -> int:
+        """Exact number of matches (the tables' "Real Result" column)."""
+        pattern = self._as_pattern(query)
+        nodes = pattern.nodes()
+        if len(nodes) == 2 and not pattern.has_child_axis():
+            anc = self.catalog.stats(nodes[0].predicate).node_indices
+            desc = self.catalog.stats(nodes[1].predicate).node_indices
+            return count_pairs(self.tree, anc, desc)
+        return count_matches(self.tree, pattern)
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _as_pattern(query: Query) -> PatternTree:
+        if isinstance(query, PatternTree):
+            return query
+        return parse_xpath(query)

@@ -1,0 +1,180 @@
+"""No-overlap estimation (paper Section 4, Fig. 10).
+
+When the ancestor predicate P1 of a primitive pattern has the no-overlap
+property (Definition 2), each descendant joins with at most one P1 node,
+and the uniformity assumption of the primitive pH-join systematically
+overestimates.  The coverage histogram fixes this: within each covered
+cell, the fraction of *all* nodes that sit under some P1-node of a given
+covering cell is known exactly, and that fraction is assumed to apply to
+the P2 nodes of the cell.
+
+This module implements, for a primitive two-node pattern:
+
+* :func:`no_overlap_estimate` -- the ancestor-based pattern count
+  estimate (first formula of Fig. 10, with join factors defaulting to 1
+  for base predicates);
+* :func:`participation_ancestor` -- how many P1 nodes participate in
+  the join (case 2 of Fig. 10's participation estimation: the occupancy
+  formula ``N * (1 - ((N-1)/N)^M)``);
+* :func:`participation_descendant` -- how many P2 nodes participate
+  (case 3: descendant-based, summing coverage over populated ancestor
+  cells);
+* :func:`join_factor` -- ``Est / Hist`` per cell (Fig. 10's
+  ``Jn_Fct``).
+
+The cascaded versions threading these through multi-node twigs live in
+:mod:`repro.estimation.twig`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.estimation.result import EstimationResult
+from repro.histograms.coverage import CoverageHistogram
+from repro.histograms.position import PositionHistogram
+from repro.utils.timing import time_call
+
+
+def no_overlap_estimate(
+    hist_ancestor: PositionHistogram,
+    coverage_ancestor: CoverageHistogram,
+    hist_descendant: PositionHistogram,
+    ancestor_join_factor: Optional[np.ndarray] = None,
+    descendant_join_factor: Optional[np.ndarray] = None,
+) -> EstimationResult:
+    """Ancestor-based pattern count estimate for a no-overlap ancestor.
+
+    Implements Fig. 10's::
+
+        Est_AB[i][j] = Jn_Fct_A[i][j]
+                       * sum_{m=i..j, n=m..j} Cvg_A[m][n][i][j]
+                                              * Hist_B[m][n]
+                                              * Jn_Fct_B[m][n]
+
+    For a primitive pattern both join factors are 1 (``None``).  The
+    per-cell output is indexed by the ancestor cell ``(i, j)``.
+    """
+    if not hist_ancestor.grid.compatible_with(hist_descendant.grid):
+        raise ValueError("histograms were built over different grids")
+    if not hist_ancestor.grid.compatible_with(coverage_ancestor.grid):
+        raise ValueError("coverage histogram grid differs from position grids")
+    grid_size = hist_ancestor.grid.size
+
+    def run() -> tuple[float, np.ndarray]:
+        per_cell = np.zeros((grid_size, grid_size))
+        desc = hist_descendant.dense()
+        for (m, n, i, j), fraction in coverage_ancestor.entries():
+            # (m, n): covered cell; (i, j): covering (ancestor) cell.
+            if hist_ancestor.count(i, j) <= 0:
+                # Participating ancestors may be fewer than the original
+                # predicate's nodes in a cascade; skip unpopulated cells.
+                continue
+            contribution = fraction * desc[m, n]
+            if descendant_join_factor is not None:
+                contribution *= descendant_join_factor[m, n]
+            per_cell[i, j] += contribution
+        if ancestor_join_factor is not None:
+            per_cell *= ancestor_join_factor
+        return float(per_cell.sum()), per_cell
+
+    (total, per_cell), elapsed = time_call(run)
+    return EstimationResult(
+        value=total,
+        method="no-overlap",
+        elapsed_seconds=elapsed,
+        per_cell=per_cell,
+    )
+
+
+def participation_ancestor(
+    hist_ancestor: PositionHistogram,
+    hist_descendant: PositionHistogram,
+    descendant_join_factor: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Participation estimate for a no-overlap ancestor (Fig. 10 case 2).
+
+    For each ancestor cell, ``N`` ancestors compete for ``M`` descendant
+    "balls" (the descendants lying in the cells the ancestor block can
+    cover); the expected number of ancestors hit at least once is the
+    occupancy formula ``N * (1 - ((N-1)/N)^M)``.
+    """
+    grid_size = hist_ancestor.grid.size
+    desc = hist_descendant.dense()
+    if descendant_join_factor is not None:
+        desc = desc * np.where(descendant_join_factor > 0, 1.0, 0.0)
+    # M[i, j] = descendants in the block {(m, n) : i <= m <= n <= j}.
+    participation = np.zeros((grid_size, grid_size))
+    for (i, j), count_n in hist_ancestor.cells():
+        block = 0.0
+        for m in range(i, j + 1):
+            block += desc[m, m : j + 1].sum()
+        if count_n <= 0 or block <= 0:
+            continue
+        # The occupancy formula handles N == 1 too: ((N-1)/N)^M = 0.
+        participation[i, j] = count_n * (
+            1.0 - ((count_n - 1.0) / count_n) ** block
+        )
+    return participation
+
+
+def participation_descendant(
+    hist_descendant: PositionHistogram,
+    hist_ancestor: PositionHistogram,
+    coverage_ancestor: CoverageHistogram,
+    descendant_join_factor: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Participation estimate based on the descendant (Fig. 10 case 3).
+
+    ``Hist_AB_P2[i][j] = Hist_B_P2[i][j] * sum_{(m, n)} notzero(Hist_A[m][n])
+    * Cvg_A[i][j][m][n]`` -- the fraction of the cell's descendants lying
+    under some populated ancestor cell.
+    """
+    grid_size = hist_descendant.grid.size
+    participation = np.zeros((grid_size, grid_size))
+    for (i, j, m, n), fraction in coverage_ancestor.entries():
+        if hist_ancestor.count(m, n) > 0:
+            participation[i, j] += fraction
+    # The summed coverage is a fraction of the cell population; clamp to 1
+    # (distinct covering cells cover disjoint node subsets for a
+    # no-overlap predicate, but numeric noise can push past 1).
+    np.clip(participation, 0.0, 1.0, out=participation)
+    out = np.zeros((grid_size, grid_size))
+    for (i, j), count in hist_descendant.cells():
+        out[i, j] = count * participation[i, j]
+        if descendant_join_factor is not None and descendant_join_factor[i, j] == 0:
+            out[i, j] = 0.0
+    return out
+
+
+def join_factor(
+    estimate_per_cell: np.ndarray, participation: np.ndarray
+) -> np.ndarray:
+    """Fig. 10's join factor: ``Est / Hist`` where participation > 0."""
+    factor = np.zeros_like(estimate_per_cell)
+    mask = participation > 0
+    factor[mask] = estimate_per_cell[mask] / participation[mask]
+    return factor
+
+
+def propagate_coverage(
+    coverage: CoverageHistogram,
+    participation: np.ndarray,
+    original_hist: PositionHistogram,
+) -> CoverageHistogram:
+    """Re-weight coverage after a join (Fig. 10 coverage estimation,
+    case 1): participating ancestors are a subset of the original
+    predicate's nodes, so each covering cell's fractions shrink by the
+    participation ratio of that cell."""
+    entries: dict[tuple[int, int, int, int], float] = {}
+    for (i, j, m, n), fraction in coverage.entries():
+        original = original_hist.count(m, n)
+        if original <= 0:
+            continue
+        ratio = participation[m, n] / original
+        scaled = fraction * ratio
+        if scaled > 0:
+            entries[(i, j, m, n)] = min(scaled, 1.0)
+    return CoverageHistogram(coverage.grid, entries, name=coverage.name)

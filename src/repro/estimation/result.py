@@ -1,0 +1,52 @@
+"""Result object returned by every estimator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class EstimationResult:
+    """An answer-size estimate with provenance.
+
+    Attributes
+    ----------
+    value:
+        The estimated number of matches (float; estimates are expected
+        values, not integers).
+    method:
+        Which estimator produced it ("naive", "upper-bound", "ph-join",
+        "no-overlap", "twig", ...).  Mirrors the column structure of the
+        paper's Tables 2 and 4.
+    elapsed_seconds:
+        Wall-clock time spent computing the estimate (the paper's
+        "Est Time" columns).  None when not measured.
+    per_cell:
+        Optional estimation histogram: the per-grid-cell contribution
+        (``EstP12[A]`` of the paper's Fig. 6).  Needed when the estimate
+        feeds a cascaded twig join; plain callers can ignore it.
+    """
+
+    value: float
+    method: str
+    elapsed_seconds: Optional[float] = None
+    per_cell: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def ratio_to(self, real: float) -> float:
+        """Estimate / real -- the accuracy metric of paper Figs. 11-12.
+
+        Returns ``inf`` when the real answer is zero but the estimate is
+        not, and 1.0 when both are zero.
+        """
+        if real == 0:
+            return 1.0 if self.value == 0 else float("inf")
+        return self.value / real
+
+    def __str__(self) -> str:
+        timing = (
+            f", {self.elapsed_seconds:.6f}s" if self.elapsed_seconds is not None else ""
+        )
+        return f"{self.value:,.1f} [{self.method}{timing}]"

@@ -1,0 +1,246 @@
+"""Cascaded estimation for arbitrary twig patterns.
+
+The paper's Fig. 10 defines, besides the primitive pattern-count
+estimate, the bookkeeping needed to *chain* estimates through a larger
+pattern tree: per-cell participation histograms (how many nodes of a
+predicate take part in the sub-pattern matched so far), join factors
+(matches per participating node), and coverage propagation.  This module
+implements that cascade bottom-up over a
+:class:`~repro.query.pattern.PatternTree`.
+
+For every query node ``q`` we maintain a :class:`SubpatternState`:
+
+* ``participation[i, j]`` -- estimated number of q-nodes in cell (i, j)
+  that root at least one match of the subtree pattern below q
+  (``Hist_AB_Px`` in the paper's notation);
+* ``join_factor[i, j]`` -- estimated matches of the subtree per
+  participating q-node (``Jn_Fct``);
+* ``coverage`` -- the re-weighted coverage histogram when q's predicate
+  has the no-overlap property (``Cvg_AB_P1``), else None.
+
+Joining q with a child subtree c uses
+
+* the **no-overlap formulae** (Fig. 10) when q's predicate is
+  no-overlap: coverage-driven estimate, occupancy-formula participation
+  ``N (1 - ((N-1)/N)^M)``, coverage re-weighting; or
+* the **primitive pH-join** (Fig. 6/9) otherwise, in which case
+  participation equals the estimate itself (Fig. 10, participation
+  case 1) and the join factor resets to 1.
+
+The final answer-size estimate is ``sum_cells participation * join_factor``
+at the root.  Parent-child edges are estimated as ancestor-descendant
+(the histogram carries no level information; the paper defers
+parent-child to its tech report) -- the approximation error is measured
+by the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.estimation.phjoin import ancestor_based_coefficients
+from repro.estimation.result import EstimationResult
+from repro.histograms.coverage import CoverageHistogram
+from repro.histograms.position import PositionHistogram
+from repro.query.pattern import PatternNode, PatternTree
+from repro.utils.timing import time_call
+
+
+@dataclass
+class SubpatternState:
+    """Estimation state for the subpattern rooted at one query node."""
+
+    participation: np.ndarray
+    join_factor: np.ndarray
+    coverage: Optional[CoverageHistogram]
+    no_overlap: bool
+
+    def estimate_total(self) -> float:
+        """Total matches of the subpattern."""
+        return float((self.participation * self.join_factor).sum())
+
+    def weighted(self) -> np.ndarray:
+        """Per-cell total matches (participation x join factor)."""
+        return self.participation * self.join_factor
+
+
+class TwigEstimator:
+    """Bottom-up twig answer-size estimation over position histograms.
+
+    Parameters
+    ----------
+    histogram_provider:
+        Callable mapping a predicate to its :class:`PositionHistogram`.
+    coverage_provider:
+        Callable mapping a predicate to its :class:`CoverageHistogram`
+        or ``None`` when the predicate lacks the no-overlap property.
+    grid_size:
+        Side of the (shared) grid, for shaping work arrays.
+    zero_hook:
+        Optional callable ``(ancestor_predicate, descendant_predicate)
+        -> bool`` returning True when schema knowledge guarantees the
+        join is empty (paper Section 4's first shortcut); the cascade
+        then zeroes that join without touching histograms.
+    """
+
+    def __init__(
+        self,
+        histogram_provider: Callable[[object], PositionHistogram],
+        coverage_provider: Callable[[object], Optional[CoverageHistogram]],
+        grid_size: int,
+        zero_hook: Optional[Callable[[object, object], bool]] = None,
+    ) -> None:
+        self._histograms = histogram_provider
+        self._coverages = coverage_provider
+        self._grid_size = grid_size
+        self._zero_hook = zero_hook
+
+    # -- public API --------------------------------------------------------
+
+    def estimate(self, pattern: PatternTree) -> EstimationResult:
+        """Estimate the number of matches of ``pattern``."""
+
+        def run() -> float:
+            state = self._estimate_node(pattern.root)
+            return state.estimate_total()
+
+        value, elapsed = time_call(run)
+        return EstimationResult(value=value, method="twig", elapsed_seconds=elapsed)
+
+    def root_state(self, pattern: PatternTree) -> SubpatternState:
+        """The full root state (participation + join factors), for
+        callers that need per-cell output (e.g. the optimizer)."""
+        return self._estimate_node(pattern.root)
+
+    # -- cascade -----------------------------------------------------------
+
+    def _leaf_state(self, qnode: PatternNode) -> SubpatternState:
+        histogram = self._histograms(qnode.predicate)
+        dense = histogram.dense().copy()
+        join_factor = np.where(dense > 0, 1.0, 0.0)
+        coverage = self._coverages(qnode.predicate)
+        return SubpatternState(
+            participation=dense,
+            join_factor=join_factor,
+            coverage=coverage,
+            no_overlap=coverage is not None,
+        )
+
+    def _estimate_node(self, qnode: PatternNode) -> SubpatternState:
+        state = self._leaf_state(qnode)
+        for child in qnode.children:
+            child_state = self._estimate_node(child)
+            state = self._join(state, child_state, qnode.predicate, child.predicate)
+        return state
+
+    def _join(
+        self,
+        ancestor: SubpatternState,
+        child: SubpatternState,
+        ancestor_predicate: object,
+        child_predicate: object,
+    ) -> SubpatternState:
+        if self._zero_hook is not None and self._zero_hook(
+            ancestor_predicate, child_predicate
+        ):
+            zero = np.zeros((self._grid_size, self._grid_size))
+            return SubpatternState(
+                participation=zero,
+                join_factor=zero.copy(),
+                coverage=None,
+                no_overlap=ancestor.no_overlap,
+            )
+        if ancestor.no_overlap and ancestor.coverage is not None:
+            return self._join_no_overlap(ancestor, child)
+        return self._join_overlap(ancestor, child)
+
+    def _join_overlap(
+        self, ancestor: SubpatternState, child: SubpatternState
+    ) -> SubpatternState:
+        """Primitive pH-join cascade step (Fig. 10 participation case 1).
+
+        Each current partial match at the ancestor is treated as an
+        independent point; the estimate histogram becomes the new
+        participation and the join factor resets to 1.
+        """
+        coeff = ancestor_based_coefficients(child.weighted())
+        estimate = ancestor.weighted() * coeff
+        join_factor = np.where(estimate > 0, 1.0, 0.0)
+        return SubpatternState(
+            participation=estimate,
+            join_factor=join_factor,
+            coverage=None,
+            no_overlap=False,
+        )
+
+    def _join_no_overlap(
+        self, ancestor: SubpatternState, child: SubpatternState
+    ) -> SubpatternState:
+        """No-overlap cascade step (Fig. 10, ancestor-based)."""
+        assert ancestor.coverage is not None
+        grid_size = self._grid_size
+        child_weighted = child.weighted()
+
+        # Pattern count estimate per ancestor cell.
+        estimate = np.zeros((grid_size, grid_size))
+        for (m, n, i, j), fraction in ancestor.coverage.entries():
+            if ancestor.participation[i, j] <= 0:
+                continue
+            estimate[i, j] += fraction * child_weighted[m, n]
+        estimate *= ancestor.join_factor
+
+        # Participation via the occupancy formula: N ancestors in the
+        # cell, M participating child nodes in the coverable block.
+        participation = np.zeros((grid_size, grid_size))
+        child_part = child.participation
+        for (i, j), count_n in _nonzero_cells(ancestor.participation):
+            block = 0.0
+            for m in range(i, j + 1):
+                block += child_part[m, m : j + 1].sum()
+            if block <= 0 or estimate[i, j] <= 0:
+                continue
+            participation[i, j] = count_n * (
+                1.0 - ((count_n - 1.0) / count_n) ** block
+            )
+
+        join_factor = np.zeros((grid_size, grid_size))
+        mask = participation > 0
+        join_factor[mask] = estimate[mask] / participation[mask]
+
+        coverage = self._propagate_coverage(
+            ancestor.coverage, ancestor.participation, participation
+        )
+        return SubpatternState(
+            participation=participation,
+            join_factor=join_factor,
+            coverage=coverage,
+            no_overlap=True,
+        )
+
+    @staticmethod
+    def _propagate_coverage(
+        coverage: CoverageHistogram,
+        old_participation: np.ndarray,
+        new_participation: np.ndarray,
+    ) -> CoverageHistogram:
+        """Fig. 10 coverage estimation (case 1): scale each covering
+        cell's fractions by that cell's participation ratio."""
+        entries: dict[tuple[int, int, int, int], float] = {}
+        for (i, j, m, n), fraction in coverage.entries():
+            old = old_participation[m, n]
+            if old <= 0:
+                continue
+            scaled = fraction * (new_participation[m, n] / old)
+            if scaled > 0:
+                entries[(i, j, m, n)] = min(scaled, 1.0)
+        return CoverageHistogram(coverage.grid, entries, name=coverage.name)
+
+
+def _nonzero_cells(matrix: np.ndarray):
+    """Yield ((i, j), value) over non-zero cells of a dense matrix."""
+    rows, cols = np.nonzero(matrix)
+    for i, j in zip(rows.tolist(), cols.tolist()):
+        yield (i, j), float(matrix[i, j])

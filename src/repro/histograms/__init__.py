@@ -1,0 +1,57 @@
+"""Summary data structures: position and coverage histograms.
+
+This package implements the paper's central data structures:
+
+* :mod:`repro.histograms.grid` -- the ``g x g`` bucketisation of the
+  (start, end) label space.
+* :mod:`repro.histograms.position` -- :class:`PositionHistogram`
+  (Section 3.1), the sparse 2-D histogram over node interval positions.
+* :mod:`repro.histograms.truehist` -- the TRUE histogram and the algebra
+  for synthesising compound-predicate histograms from component
+  histograms under the in-cell independence assumption (Section 3.4).
+* :mod:`repro.histograms.coverage` -- :class:`CoverageHistogram`
+  (Section 4.2) for predicates with the no-overlap property.
+* :mod:`repro.histograms.storage` -- the byte-accounting model used by
+  the storage experiments (paper Figs. 11 and 12, Theorems 1 and 2) and
+  binary (de)serialisation of histograms.
+"""
+
+from repro.histograms.adaptive import equi_depth_boundaries, equi_depth_grid
+from repro.histograms.coverage import CoverageHistogram, build_coverage_histogram
+from repro.histograms.grid import GridSpec
+from repro.histograms.levels import LevelPositionHistogram, build_level_histogram
+from repro.histograms.position import PositionHistogram, build_position_histogram
+from repro.histograms.storage import (
+    coverage_storage_bytes,
+    load_histogram,
+    position_storage_bytes,
+    save_histogram,
+)
+from repro.histograms.truehist import (
+    and_histograms,
+    build_true_histogram,
+    not_histogram,
+    or_histograms,
+    synthesize_histogram,
+)
+
+__all__ = [
+    "CoverageHistogram",
+    "GridSpec",
+    "LevelPositionHistogram",
+    "PositionHistogram",
+    "and_histograms",
+    "build_coverage_histogram",
+    "build_level_histogram",
+    "build_position_histogram",
+    "build_true_histogram",
+    "equi_depth_boundaries",
+    "equi_depth_grid",
+    "coverage_storage_bytes",
+    "load_histogram",
+    "not_histogram",
+    "or_histograms",
+    "position_storage_bytes",
+    "save_histogram",
+    "synthesize_histogram",
+]

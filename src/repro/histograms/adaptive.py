@@ -1,0 +1,64 @@
+"""Non-uniform (equi-depth) grids -- the paper's future-work item.
+
+The paper's conclusion lists "estimation using histogram with
+non-uniform grid cells" as an open issue.  With interval labels the
+natural choice is a shared set of boundaries on both axes (so the
+diagonal keeps its on/off semantics), placed at quantiles of the label
+distribution: busy regions of the document get finer cells, empty
+regions coarser ones.
+
+:func:`equi_depth_grid` computes such boundaries from the combined
+start/end label population of the whole database; the estimators work
+unchanged because they only ever reason about cell indices and the
+in-cell uniformity assumption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.histograms.grid import GridSpec
+from repro.labeling.interval import LabeledTree
+
+
+def equi_depth_boundaries(positions: np.ndarray, size: int, max_label: int) -> tuple[float, ...]:
+    """Quantile boundaries over a label population.
+
+    Returns ``size + 1`` strictly increasing values starting at 0 and
+    ending just past ``max_label``.  Duplicate quantiles (heavy ties)
+    are resolved by nudging, falling back toward equi-width in the
+    degenerate tail.
+    """
+    if size < 1:
+        raise ValueError(f"grid size must be >= 1, got {size}")
+    quantiles = np.quantile(
+        np.asarray(positions, dtype=np.float64), np.linspace(0.0, 1.0, size + 1)
+    )
+    bounds = [0.0]
+    for q in quantiles[1:-1]:
+        candidate = float(q)
+        if candidate <= bounds[-1]:
+            candidate = bounds[-1] + 1.0
+        bounds.append(candidate)
+    top = float(max_label) + 1.0
+    if bounds[-1] >= top:
+        # Degenerate tail: re-space the offending prefix evenly.
+        bounds = [0.0] + [top * (k + 1) / size for k in range(size - 1)]
+    bounds.append(top)
+    # Final safety: enforce strict monotonicity.
+    for k in range(1, len(bounds)):
+        if bounds[k] <= bounds[k - 1]:
+            bounds[k] = bounds[k - 1] + 1e-9
+    return tuple(bounds)
+
+
+def equi_depth_grid(tree: LabeledTree, size: int) -> GridSpec:
+    """An equi-depth :class:`GridSpec` for a labeled database tree.
+
+    Boundaries are placed at quantiles of the combined start and end
+    label population, so each axis bucket holds roughly the same number
+    of node endpoints.
+    """
+    positions = np.concatenate([tree.start, tree.end])
+    boundaries = equi_depth_boundaries(positions, size, tree.max_label)
+    return GridSpec(size=size, max_label=tree.max_label, boundaries=boundaries)

@@ -1,0 +1,179 @@
+"""Coverage histograms for no-overlap predicates (paper Section 4.2).
+
+For a predicate ``P`` with the no-overlap property (Definition 2), the
+coverage histogram records, for each pair of grid cells, the fraction of
+*all* database nodes in a covered cell that are descendants of some
+P-node located in a covering cell::
+
+    Cvg_P[i][j][m][n] = |{v in cell (i,j) : some P-ancestor of v in (m,n)}|
+                        -----------------------------------------------
+                        |{v in cell (i,j)}|
+
+During estimation, the fraction observed over all nodes is assumed to
+apply equally to the nodes of the descendant predicate ("the best one
+can do is to determine what fraction of the total nodes in the cell are
+descendants of a, and assume that the same fraction applies to d
+nodes").
+
+Theorem 2 of the paper: only ``O(g)`` cell pairs have *partial*
+(non-zero, non-one) coverage, so the structure needs only linear
+storage.  We expose :meth:`CoverageHistogram.partial_entry_count` so the
+experiments can verify this directly.
+
+Construction walks the mega-tree in pre-order with an explicit ancestor
+stack, so it is exact for overlap predicates too (a node covered by two
+P-ancestors in the same cell is counted once for that cell).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional
+
+import numpy as np
+
+from repro.histograms.grid import GridSpec
+from repro.histograms.position import PositionHistogram
+from repro.labeling.interval import LabeledTree
+
+CellPair = tuple[int, int, int, int]  # (i, j, m, n): covered cell, covering cell
+
+
+class CoverageHistogram:
+    """Sparse coverage fractions ``Cvg[i][j][m][n]``.
+
+    Only non-zero entries are stored.  ``(i, j)`` is the covered cell,
+    ``(m, n)`` the cell of the covering (ancestor) P-nodes, following the
+    index order of the paper's definition.
+    """
+
+    def __init__(
+        self,
+        grid: GridSpec,
+        entries: Optional[Mapping[CellPair, float]] = None,
+        name: str = "",
+    ) -> None:
+        self.grid = grid
+        self.name = name
+        self._entries: dict[CellPair, float] = {}
+        if entries:
+            for key, fraction in entries.items():
+                self._set(key, float(fraction))
+
+    def _set(self, key: CellPair, fraction: float) -> None:
+        i, j, m, n = key
+        size = self.grid.size
+        if not all(0 <= x < size for x in key):
+            raise ValueError(f"cell pair {key} outside {size}x{size} grid")
+        if j < i or n < m:
+            raise ValueError(f"cell pair {key} has a below-diagonal cell")
+        if not 0.0 <= fraction <= 1.0 + 1e-9:
+            raise ValueError(f"coverage fraction {fraction} outside [0, 1]")
+        if fraction == 0.0:
+            self._entries.pop(key, None)
+        else:
+            self._entries[key] = min(fraction, 1.0)
+
+    # -- access ------------------------------------------------------------
+
+    def coverage(self, i: int, j: int, m: int, n: int) -> float:
+        """Fraction of cell ``(i, j)`` covered by P-nodes in ``(m, n)``."""
+        return self._entries.get((i, j, m, n), 0.0)
+
+    def entries(self) -> Iterator[tuple[CellPair, float]]:
+        """Yield ``((i, j, m, n), fraction)`` for non-zero entries."""
+        for key in sorted(self._entries):
+            yield key, self._entries[key]
+
+    def entry_count(self) -> int:
+        """Number of stored (non-zero) entries."""
+        return len(self._entries)
+
+    def partial_entry_count(self, tolerance: float = 1e-12) -> int:
+        """Entries strictly between 0 and 1 -- the Theorem 2 quantity."""
+        return sum(
+            1 for f in self._entries.values() if tolerance < f < 1.0 - tolerance
+        )
+
+    def covering_cells(self, i: int, j: int) -> Iterator[tuple[tuple[int, int], float]]:
+        """All covering cells of covered cell ``(i, j)`` with fractions."""
+        for (ci, cj, m, n), fraction in self._entries.items():
+            if (ci, cj) == (i, j):
+                yield (m, n), fraction
+
+    def covered_cells(self, m: int, n: int) -> Iterator[tuple[tuple[int, int], float]]:
+        """All covered cells for covering cell ``(m, n)`` with fractions."""
+        for (i, j, cm, cn), fraction in self._entries.items():
+            if (cm, cn) == (m, n):
+                yield (i, j), fraction
+
+    def scaled_copy(self, name: str = "") -> "CoverageHistogram":
+        """A shallow value copy (used by the twig cascade when it
+        re-weights coverage)."""
+        return CoverageHistogram(self.grid, dict(self._entries), name=name or self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CoverageHistogram({self.name or '?'}, g={self.grid.size}, "
+            f"entries={len(self._entries)})"
+        )
+
+
+def build_coverage_histogram(
+    tree: LabeledTree,
+    node_indices: Iterable[int],
+    true_hist: PositionHistogram,
+    name: str = "",
+) -> CoverageHistogram:
+    """Build the coverage histogram of predicate nodes ``node_indices``.
+
+    Parameters
+    ----------
+    tree:
+        The labeled database tree.
+    node_indices:
+        Pre-order indices of the nodes satisfying the predicate, in
+        ascending order (as produced by the catalog).
+    true_hist:
+        The TRUE histogram over the same grid (denominators).
+
+    Algorithm
+    ---------
+    One pre-order sweep with an explicit stack of active P-ancestors.
+    For each element we collect the distinct grid cells of the P-nodes
+    currently on the stack (at most one for a no-overlap predicate) and
+    bump the numerator for each ``(cell(v), cell(ancestor))`` pair.
+    Runs in ``O(N * depth)`` worst case, ``O(N)`` for no-overlap
+    predicates.
+    """
+    grid = true_hist.grid
+    predicate_set = set(int(x) for x in node_indices)
+    numerators: dict[CellPair, int] = {}
+
+    start = tree.start
+    end = tree.end
+    # Stack of (end_label, cell) for P-ancestors of the current node.
+    stack: list[tuple[int, tuple[int, int]]] = []
+
+    for v in range(len(tree)):
+        v_start = int(start[v])
+        while stack and stack[-1][0] < v_start:
+            stack.pop()
+        if stack:
+            v_cell = grid.cell_of(v_start, int(end[v]))
+            seen: set[tuple[int, int]] = set()
+            for _, ancestor_cell in stack:
+                if ancestor_cell in seen:
+                    continue
+                seen.add(ancestor_cell)
+                key = (v_cell[0], v_cell[1], ancestor_cell[0], ancestor_cell[1])
+                numerators[key] = numerators.get(key, 0) + 1
+        if v in predicate_set:
+            v_end = int(end[v])
+            stack.append((v_end, grid.cell_of(v_start, v_end)))
+
+    entries: dict[CellPair, float] = {}
+    for (i, j, m, n), numerator in numerators.items():
+        denominator = true_hist.count(i, j)
+        if denominator > 0:
+            entries[(i, j, m, n)] = numerator / denominator
+    return CoverageHistogram(grid, entries, name=name)

@@ -1,0 +1,131 @@
+"""Grid geometry for position histograms.
+
+A :class:`GridSpec` partitions the label space ``[0, max_label]`` into
+``g`` buckets per axis -- equi-width by default, or along explicit
+shared ``boundaries`` (the paper's future-work "histograms with
+non-uniform grid cells"; see :func:`equi_depth_grid` in
+:mod:`repro.histograms.adaptive`).  Start positions index the X axis
+and end positions the Y axis, exactly as in the paper's Figs. 3-5.
+Because ``start < end`` for every node, only cells ``(i, j)`` with
+``j >= i`` can be populated; both axes share one set of boundaries, so
+the diagonal keeps its meaning under non-uniform bucketing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A ``g x g`` grid over label positions.
+
+    Attributes
+    ----------
+    size:
+        The grid side ``g`` (the paper uses 10x10 by default).
+    max_label:
+        The largest label value in the database; positions lie in
+        ``[0, max_label]``.
+    boundaries:
+        Optional non-uniform bucket boundaries: a strictly increasing
+        tuple of ``size + 1`` values with ``boundaries[0] <= 0`` and
+        ``boundaries[-1] > max_label``.  Bucket ``i`` covers
+        ``[boundaries[i], boundaries[i+1])``.  ``None`` (default) means
+        equi-width buckets.
+    """
+
+    size: int
+    max_label: int
+    boundaries: Optional[tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"grid size must be >= 1, got {self.size}")
+        if self.max_label < 0:
+            raise ValueError(f"max_label must be >= 0, got {self.max_label}")
+        if self.boundaries is not None:
+            bounds = self.boundaries
+            if len(bounds) != self.size + 1:
+                raise ValueError(
+                    f"need {self.size + 1} boundaries, got {len(bounds)}"
+                )
+            if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+                raise ValueError("boundaries must be strictly increasing")
+            if bounds[0] > 0 or bounds[-1] <= self.max_label:
+                raise ValueError(
+                    f"boundaries must cover [0, {self.max_label}]"
+                )
+
+    @property
+    def span(self) -> float:
+        """Width of one equi-width bucket (may be fractional).
+
+        Undefined for non-uniform grids; use :meth:`bucket_bounds`.
+        """
+        if self.boundaries is not None:
+            raise ValueError("span is undefined for non-uniform grids")
+        return (self.max_label + 1) / self.size
+
+    def bucket(self, position: int) -> int:
+        """Bucket index of a single label position."""
+        if position < 0 or position > self.max_label:
+            raise ValueError(
+                f"position {position} outside [0, {self.max_label}]"
+            )
+        if self.boundaries is not None:
+            import bisect
+
+            return min(
+                self.size - 1, bisect.bisect_right(self.boundaries, position) - 1
+            )
+        return min(self.size - 1, int(position * self.size // (self.max_label + 1)))
+
+    def buckets(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`bucket` over an int array."""
+        if self.boundaries is not None:
+            idx = np.searchsorted(
+                np.asarray(self.boundaries), positions, side="right"
+            ) - 1
+            return np.clip(idx, 0, self.size - 1)
+        idx = (positions.astype(np.int64) * self.size) // (self.max_label + 1)
+        return np.minimum(idx, self.size - 1)
+
+    def cell_of(self, start: int, end: int) -> tuple[int, int]:
+        """Grid cell ``(i, j)`` of a node with the given interval."""
+        return self.bucket(start), self.bucket(end)
+
+    def bucket_bounds(self, index: int) -> tuple[float, float]:
+        """Half-open position range ``[lo, hi)`` covered by bucket ``index``."""
+        if not 0 <= index < self.size:
+            raise ValueError(f"bucket {index} outside [0, {self.size})")
+        if self.boundaries is not None:
+            return self.boundaries[index], self.boundaries[index + 1]
+        return index * self.span, (index + 1) * self.span
+
+    def is_on_diagonal(self, i: int, j: int) -> bool:
+        """Definition 1 of the paper: the start-interval of column ``i``
+        and the end-interval of row ``j`` intersect.
+
+        With equi-width buckets on a shared axis this is simply
+        ``i == j``.
+        """
+        return i == j
+
+    def iter_upper_cells(self) -> Iterator[tuple[int, int]]:
+        """Yield all cells ``(i, j)`` with ``j >= i`` (the populated
+        upper triangle), row-major."""
+        for i in range(self.size):
+            for j in range(i, self.size):
+                yield (i, j)
+
+    def compatible_with(self, other: "GridSpec") -> bool:
+        """Histograms can only be joined when built over the same grid."""
+        return (
+            self.size == other.size
+            and self.max_label == other.max_label
+            and self.boundaries == other.boundaries
+        )

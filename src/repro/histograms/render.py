@@ -1,0 +1,58 @@
+"""Plain-text rendering of position histograms (the paper's Fig. 7 view).
+
+Grid cells are drawn with start buckets as columns and end buckets as
+rows, highest end bucket on top (matching the paper's figures, where
+the populated triangle sits upper-left).  Useful in examples, teaching
+material, and debugging sessions.
+"""
+
+from __future__ import annotations
+
+from repro.histograms.coverage import CoverageHistogram
+from repro.histograms.position import PositionHistogram
+
+
+def render_position_histogram(histogram: PositionHistogram) -> str:
+    """Draw a position histogram as a text grid.
+
+    Empty-but-possible cells show ``.``, impossible (below-diagonal)
+    cells are blank, and counts print in the cell.
+    """
+    size = histogram.grid.size
+    width = max(
+        [len(_fmt(count)) for _cell, count in histogram.cells()] + [1]
+    )
+    lines: list[str] = []
+    title = histogram.name or "position histogram"
+    lines.append(f"{title} (g={size}, total={histogram.total():g})")
+    for j in range(size - 1, -1, -1):
+        cells = []
+        for i in range(size):
+            if j < i:
+                cells.append(" " * width)
+            else:
+                count = histogram.count(i, j)
+                cells.append((_fmt(count) if count else ".").rjust(width))
+        lines.append(f"end {j:>2} | " + " ".join(cells))
+    lines.append(" " * 8 + " ".join(f"{i:>{width}}" for i in range(size)))
+    lines.append(" " * 8 + "start bucket".center((width + 1) * size))
+    return "\n".join(lines)
+
+
+def render_coverage_histogram(coverage: CoverageHistogram, max_rows: int = 40) -> str:
+    """List coverage entries: covered cell <- covering cell: fraction."""
+    lines = [f"{coverage.name or 'coverage histogram'} (g={coverage.grid.size})"]
+    for row, ((i, j, m, n), fraction) in enumerate(coverage.entries()):
+        if row >= max_rows:
+            lines.append(f"  ... {coverage.entry_count() - max_rows} more entries")
+            break
+        lines.append(f"  cell ({i},{j}) <- ancestors in ({m},{n}): {fraction:.3f}")
+    if coverage.entry_count() == 0:
+        lines.append("  (empty)")
+    return "\n".join(lines)
+
+
+def _fmt(count: float) -> str:
+    if count == int(count):
+        return str(int(count))
+    return f"{count:.2g}"

@@ -1,0 +1,131 @@
+"""Persistent summary store.
+
+A database keeps its statistics on disk and loads them at optimizer
+startup; this module provides that layer: a directory of histogram
+files plus a manifest, written from a built
+:class:`~repro.estimation.estimator.AnswerSizeEstimator` and loadable
+without touching the data again.
+
+Layout::
+
+    <dir>/manifest.json            grid spec + predicate index
+    <dir>/<n>.position.json        position histogram of predicate n
+    <dir>/<n>.coverage.json        coverage histogram (no-overlap only)
+
+Only predicates that have actually been summarised (histogram built)
+are persisted, mirroring the paper's policy of building histograms for
+the predicates worth the storage.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.histograms.coverage import CoverageHistogram
+from repro.histograms.grid import GridSpec
+from repro.histograms.position import PositionHistogram
+from repro.histograms.storage import load_histogram, save_histogram
+
+
+class SummaryStore:
+    """Read/write a directory of persisted histograms."""
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    # -- writing -----------------------------------------------------------
+
+    def save(self, estimator) -> int:
+        """Persist every histogram the estimator has built so far.
+
+        Returns the number of predicates written.  The estimator's
+        caches are inspected directly; predicates whose histograms were
+        never requested are skipped.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest: dict = {
+            "grid": {
+                "size": estimator.grid.size,
+                "max_label": estimator.grid.max_label,
+                "boundaries": list(estimator.grid.boundaries)
+                if estimator.grid.boundaries
+                else None,
+            },
+            "predicates": [],
+        }
+        written = 0
+        for index, (predicate, histogram) in enumerate(
+            estimator._position_cache.items()
+        ):
+            entry = {
+                "index": index,
+                "name": predicate.name,
+                "description": predicate.description(),
+                "no_overlap": estimator.is_no_overlap(predicate),
+                "count": histogram.total(),
+            }
+            save_histogram(histogram, self.directory / f"{index}.position.json")
+            coverage = estimator._coverage_cache.get(predicate)
+            if coverage is not None:
+                save_histogram(coverage, self.directory / f"{index}.coverage.json")
+                entry["has_coverage"] = True
+            else:
+                entry["has_coverage"] = False
+            manifest["predicates"].append(entry)
+            written += 1
+        (self.directory / self.MANIFEST).write_text(json.dumps(manifest, indent=1))
+        return written
+
+    # -- reading -----------------------------------------------------------
+
+    def load_manifest(self) -> dict:
+        path = self.directory / self.MANIFEST
+        if not path.exists():
+            raise FileNotFoundError(f"no summary manifest in {self.directory}")
+        return json.loads(path.read_text())
+
+    def grid(self) -> GridSpec:
+        meta = self.load_manifest()["grid"]
+        boundaries = meta.get("boundaries")
+        return GridSpec(
+            size=meta["size"],
+            max_label=meta["max_label"],
+            boundaries=tuple(boundaries) if boundaries else None,
+        )
+
+    def load_position(self, name: str) -> PositionHistogram:
+        """Load a predicate's position histogram by predicate name."""
+        entry = self._entry(name)
+        histogram = load_histogram(
+            self.directory / f"{entry['index']}.position.json"
+        )
+        assert isinstance(histogram, PositionHistogram)
+        return histogram
+
+    def load_coverage(self, name: str) -> CoverageHistogram | None:
+        """Load a predicate's coverage histogram, or None if absent."""
+        entry = self._entry(name)
+        if not entry.get("has_coverage"):
+            return None
+        histogram = load_histogram(
+            self.directory / f"{entry['index']}.coverage.json"
+        )
+        assert isinstance(histogram, CoverageHistogram)
+        return histogram
+
+    def predicate_names(self) -> list[str]:
+        return [e["name"] for e in self.load_manifest()["predicates"]]
+
+    def total_bytes(self) -> int:
+        """On-disk footprint of the store (all files)."""
+        return sum(p.stat().st_size for p in self.directory.iterdir())
+
+    def _entry(self, name: str) -> dict:
+        for entry in self.load_manifest()["predicates"]:
+            if entry["name"] == name:
+                return entry
+        raise KeyError(f"predicate {name!r} is not in the summary store")

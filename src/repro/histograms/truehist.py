@@ -1,0 +1,166 @@
+"""The TRUE histogram and compound-predicate histogram algebra.
+
+Paper Section 3.4: when a query predicate is a boolean combination of
+basic predicates, its position histogram can be *synthesised* from the
+component histograms, assuming independence between the components
+within each grid cell.  Counts are converted to probabilities by
+normalising with the TRUE histogram (the position histogram of the
+predicate satisfied by every node), combined, and converted back:
+
+* AND:  ``p = (a / t) * (b / t)``, count ``p * t  =  a * b / t``
+* OR:   ``a + b - a * b / t`` (inclusion-exclusion)
+* NOT:  ``t - a``
+
+Disjoint OR (e.g. the paper's decade predicates, unions of distinct
+years) reduces to plain cell-wise addition; :func:`or_histograms` takes
+a ``disjoint`` flag for that case.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.histograms.grid import GridSpec
+from repro.histograms.position import PositionHistogram, build_position_histogram
+from repro.labeling.interval import LabeledTree
+from repro.predicates.base import Predicate, TruePredicate
+from repro.predicates.boolean import AndPredicate, NotPredicate, OrPredicate
+
+
+def build_true_histogram(tree: LabeledTree, grid: GridSpec) -> PositionHistogram:
+    """Position histogram of every element in the database."""
+    return build_position_histogram(
+        tree, range(len(tree)), grid, name=TruePredicate().name
+    )
+
+
+def _require_same_grid(*histograms: PositionHistogram) -> GridSpec:
+    grid = histograms[0].grid
+    for h in histograms[1:]:
+        if not grid.compatible_with(h.grid):
+            raise ValueError("histograms were built over different grids")
+    return grid
+
+
+def and_histograms(
+    a: PositionHistogram,
+    b: PositionHistogram,
+    true_hist: PositionHistogram,
+    name: str = "",
+) -> PositionHistogram:
+    """Synthesise the histogram of ``A AND B`` under in-cell independence."""
+    grid = _require_same_grid(a, b, true_hist)
+    cells: dict[tuple[int, int], float] = {}
+    for cell, count_a in a.cells():
+        count_b = b.count(*cell)
+        total = true_hist.count(*cell)
+        if count_b > 0 and total > 0:
+            cells[cell] = count_a * count_b / total
+    return PositionHistogram(grid, cells, name=name)
+
+
+def or_histograms(
+    a: PositionHistogram,
+    b: PositionHistogram,
+    true_hist: PositionHistogram,
+    disjoint: bool = False,
+    name: str = "",
+) -> PositionHistogram:
+    """Synthesise the histogram of ``A OR B``.
+
+    With ``disjoint=True`` (predicates that cannot both hold, like
+    distinct years) this is exact cell-wise addition -- how the paper
+    builds its "1990's" compound predicate by "adding up 10
+    corresponding primitive histograms".
+    """
+    grid = _require_same_grid(a, b, true_hist)
+    cells: dict[tuple[int, int], float] = {}
+    for cell, count in a.cells():
+        cells[cell] = cells.get(cell, 0.0) + count
+    for cell, count in b.cells():
+        cells[cell] = cells.get(cell, 0.0) + count
+    if not disjoint:
+        overlap = and_histograms(a, b, true_hist)
+        for cell, count in overlap.cells():
+            remaining = cells.get(cell, 0.0) - count
+            if remaining <= 0:
+                cells.pop(cell, None)
+            else:
+                cells[cell] = remaining
+    return PositionHistogram(grid, cells, name=name)
+
+
+def sum_histograms(
+    histograms: Iterable[PositionHistogram], name: str = ""
+) -> PositionHistogram:
+    """Cell-wise sum of disjoint-predicate histograms (decade compounds)."""
+    histograms = list(histograms)
+    if not histograms:
+        raise ValueError("need at least one histogram")
+    grid = _require_same_grid(*histograms)
+    cells: dict[tuple[int, int], float] = {}
+    for histogram in histograms:
+        for cell, count in histogram.cells():
+            cells[cell] = cells.get(cell, 0.0) + count
+    return PositionHistogram(grid, cells, name=name)
+
+
+def not_histogram(
+    a: PositionHistogram, true_hist: PositionHistogram, name: str = ""
+) -> PositionHistogram:
+    """Synthesise the histogram of ``NOT A`` as ``TRUE - A`` cell-wise."""
+    grid = _require_same_grid(a, true_hist)
+    cells: dict[tuple[int, int], float] = {}
+    for cell, total in true_hist.cells():
+        remaining = total - a.count(*cell)
+        if remaining > 0:
+            cells[cell] = remaining
+    return PositionHistogram(grid, cells, name=name)
+
+
+def synthesize_histogram(
+    predicate: Predicate,
+    base_histograms: dict[Predicate, PositionHistogram],
+    true_hist: PositionHistogram,
+) -> PositionHistogram:
+    """Recursively synthesise a compound predicate's histogram.
+
+    ``base_histograms`` maps basic predicates to their (data-built)
+    histograms; boolean structure is handled with the cell-wise algebra
+    above.  Raises KeyError when a needed basic histogram is missing --
+    callers decide whether to fall back to a data scan.
+    """
+    if predicate in base_histograms:
+        return base_histograms[predicate]
+    if isinstance(predicate, AndPredicate):
+        parts = [
+            synthesize_histogram(p, base_histograms, true_hist)
+            for p in predicate.parts
+        ]
+        result = parts[0]
+        for part in parts[1:]:
+            result = and_histograms(result, part, true_hist)
+        return PositionHistogram(result.grid, dict(result.cells()), name=predicate.name)
+    if isinstance(predicate, OrPredicate):
+        parts = [
+            synthesize_histogram(p, base_histograms, true_hist)
+            for p in predicate.parts
+        ]
+        result = parts[0]
+        for part in parts[1:]:
+            result = or_histograms(result, part, true_hist)
+        return PositionHistogram(result.grid, dict(result.cells()), name=predicate.name)
+    if isinstance(predicate, NotPredicate):
+        inner = synthesize_histogram(predicate.part, base_histograms, true_hist)
+        return not_histogram(inner, true_hist, name=predicate.name)
+    raise KeyError(f"no base histogram for predicate {predicate.name!r}")
+
+
+def synthesize_from_tree(
+    predicate: Predicate, tree: LabeledTree, grid: GridSpec
+) -> PositionHistogram:
+    """Exact fallback: scan the data and build the histogram directly."""
+    indices = [
+        i for i, element in enumerate(tree.elements) if predicate.matches(element)
+    ]
+    return build_position_histogram(tree, indices, grid, name=predicate.name)

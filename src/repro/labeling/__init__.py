@@ -1,0 +1,26 @@
+"""Interval (region) encoding of XML trees.
+
+Section 3.1 of the paper associates a numeric ``start`` and ``end`` label
+with every node such that a descendant's interval is strictly contained
+in its ancestors' intervals.  This package computes those labels and
+exposes them as an immutable :class:`~repro.labeling.interval.LabeledTree`
+table that the histogram and estimation layers consume.
+"""
+
+from repro.labeling.interval import (
+    IntervalLabel,
+    LabeledTree,
+    label_document,
+    label_forest,
+)
+from repro.labeling.regions import Region, classify_pair, region_of
+
+__all__ = [
+    "IntervalLabel",
+    "LabeledTree",
+    "Region",
+    "classify_pair",
+    "label_document",
+    "label_forest",
+    "region_of",
+]

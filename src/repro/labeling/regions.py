@@ -1,0 +1,101 @@
+"""Region geometry of the (start, end) plane.
+
+The pH-join estimation formulae (paper Figs. 4-6) partition the plane
+around a grid cell ``A = (i, j)`` into nine regions R0..R8.  This module
+names those regions and classifies cells and node pairs, both for the
+estimators and for tests that check the estimators against first
+principles.
+
+Region layout relative to the anchor cell ``A`` at column ``i`` (start
+bucket) and row ``j`` (end bucket), with start on the X axis and end on
+the Y axis (j >= i always, since start <= end):
+
+* ``SELF``       -- the anchor cell itself (R0 / A).
+* ``INSIDE``     -- start bucket in (i, j], end bucket < j, strictly
+  inside: guaranteed descendants of every point of A (regions B/E
+  interior of the paper's Fig. 5).
+* ``SAME_COL_BELOW`` -- cells (i, l) with i < l < j: descendants of all
+  points of A by the forbidden-region argument (region E boundary).
+* ``SAME_ROW_RIGHT`` -- cells (k, j) with i < k < j: likewise guaranteed
+  descendants (region C boundary).
+* ``DIAG_LOW``   -- the diagonal cell (i, i): half its points are
+  descendants on average (region F).
+* ``DIAG_HIGH``  -- the diagonal cell (j, j): half descendants on
+  average (region D).
+* ``OUTSIDE_ANC`` -- cells (m, n) with m < i and n > j: guaranteed
+  ancestors of every point of A (region G for descendant-based
+  estimation).
+* ``SAME_COL_ABOVE`` -- cells (i, n), n > j: guaranteed ancestors
+  (region F of the descendant-based formula).
+* ``SAME_ROW_LEFT``  -- cells (m, j), m < i: guaranteed ancestors
+  (region H).
+* ``UNRELATED``  -- everything else (R4/R8): no structural relation.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+from repro.labeling.interval import IntervalLabel
+
+
+class Region(Enum):
+    """Position of a grid cell relative to an anchor cell."""
+
+    SELF = auto()
+    INSIDE = auto()
+    SAME_COL_BELOW = auto()
+    SAME_ROW_RIGHT = auto()
+    DIAG_LOW = auto()
+    DIAG_HIGH = auto()
+    OUTSIDE_ANC = auto()
+    SAME_COL_ABOVE = auto()
+    SAME_ROW_LEFT = auto()
+    UNRELATED = auto()
+
+
+def region_of(anchor_i: int, anchor_j: int, cell_i: int, cell_j: int) -> Region:
+    """Classify cell ``(cell_i, cell_j)`` relative to ``(anchor_i, anchor_j)``.
+
+    Both cells must be in the populated upper triangle (``j >= i``).
+    The anchor is the cell of the node we are estimating around; the
+    classification mirrors the paper's Fig. 5.
+    """
+    if (anchor_i, anchor_j) == (cell_i, cell_j):
+        return Region.SELF
+    if cell_i == anchor_i:
+        if cell_j < anchor_j:
+            if cell_j == cell_i:
+                return Region.DIAG_LOW
+            return Region.SAME_COL_BELOW
+        return Region.SAME_COL_ABOVE
+    if cell_j == anchor_j:
+        if cell_i > anchor_i:
+            if cell_i == cell_j:
+                return Region.DIAG_HIGH
+            return Region.SAME_ROW_RIGHT
+        return Region.SAME_ROW_LEFT
+    if anchor_i < cell_i and cell_j < anchor_j:
+        if cell_i == cell_j == anchor_j:  # unreachable, kept for clarity
+            return Region.DIAG_HIGH
+        return Region.INSIDE
+    if cell_i < anchor_i and cell_j > anchor_j:
+        return Region.OUTSIDE_ANC
+    return Region.UNRELATED
+
+
+def classify_pair(u: IntervalLabel, v: IntervalLabel) -> str:
+    """Exact structural relation between two labeled nodes.
+
+    Returns one of ``"ancestor"`` (u is a proper ancestor of v),
+    ``"descendant"`` (u is a proper descendant of v), ``"self"`` (same
+    interval) or ``"disjoint"``.  Because labels are unique and strictly
+    nested, these four cases are exhaustive.
+    """
+    if u.start == v.start and u.end == v.end:
+        return "self"
+    if u.start < v.start and v.end < u.end:
+        return "ancestor"
+    if v.start < u.start and u.end < v.end:
+        return "descendant"
+    return "disjoint"

@@ -1,0 +1,30 @@
+"""A small cost-based twig-join optimizer (the paper's motivating use).
+
+The paper's introduction argues the whole point of answer-size
+estimation: a query like ``department//faculty[TA][RA]`` can be
+evaluated by structural joins in several orders, and "depending on the
+cardinalities of the intermediate result set, one plan may be
+substantially better than another."  This package closes that loop:
+
+* :mod:`repro.optimizer.plans` -- join plans: orderings of the twig's
+  edges such that the joined subpattern stays connected;
+* :mod:`repro.optimizer.cost` -- a cost model charging each structural
+  join its input and (estimated) output cardinalities;
+* :mod:`repro.optimizer.optimizer` -- exhaustive plan enumeration and
+  selection, plus execution of the chosen plan with the stack-tree
+  join for end-to-end validation.
+"""
+
+from repro.optimizer.cost import PlanCost, estimate_plan_cost
+from repro.optimizer.optimizer import Optimizer, PlanChoice
+from repro.optimizer.plans import JoinPlan, JoinStep, enumerate_plans
+
+__all__ = [
+    "JoinPlan",
+    "JoinStep",
+    "Optimizer",
+    "PlanChoice",
+    "PlanCost",
+    "enumerate_plans",
+    "estimate_plan_cost",
+]

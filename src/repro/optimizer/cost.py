@@ -1,0 +1,89 @@
+"""Cost model for twig join plans.
+
+Each structural join step reads its two inputs and writes its output;
+with the merge-based stack-tree join the work is linear in input and
+output sizes, so the model charges::
+
+    step_cost = |left input| + |right input| + |output|
+
+where the left input is the intermediate result so far (match count of
+the joined subpattern), the right input the cardinality of the new
+node's predicate, and the output the match count of the extended
+subpattern.  Sizes come from the estimator (planning) or from exact
+counting (post-hoc validation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.optimizer.plans import JoinPlan, induced_subpattern
+from repro.query.pattern import PatternTree
+
+SizeOracle = Callable[[PatternTree], float]
+
+
+@dataclass
+class PlanCost:
+    """Cost breakdown of one plan."""
+
+    plan: JoinPlan
+    step_costs: list[float]
+    intermediate_sizes: list[float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.step_costs)
+
+
+def estimate_plan_cost(
+    pattern: PatternTree,
+    plan: JoinPlan,
+    subpattern_size: SizeOracle,
+    leaf_size: SizeOracle,
+) -> PlanCost:
+    """Cost a plan using a size oracle for subpatterns.
+
+    Parameters
+    ----------
+    pattern:
+        The full twig.
+    plan:
+        The join order to cost.
+    subpattern_size:
+        Maps an induced subpattern to its (estimated or exact) match
+        count.
+    leaf_size:
+        Maps a single-node pattern to its cardinality (usually also
+        ``subpattern_size``, split out so estimators can use exact node
+        counts for base inputs).
+    """
+    step_costs: list[float] = []
+    intermediates: list[float] = []
+    for step_number, step in enumerate(plan.steps, start=1):
+        before = plan.joined_after(step_number - 1)
+        after = plan.joined_after(step_number)
+
+        if before:
+            left_pattern = induced_subpattern(pattern, before)
+            assert left_pattern is not None
+            left = subpattern_size(left_pattern)
+            (new_node,) = after - before
+            right_pattern = induced_subpattern(pattern, frozenset({new_node}))
+        else:
+            # First step: both inputs are base node lists.
+            left_pattern = induced_subpattern(pattern, frozenset({step.parent}))
+            right_pattern = induced_subpattern(pattern, frozenset({step.child}))
+            assert left_pattern is not None
+            left = leaf_size(left_pattern)
+        assert right_pattern is not None
+        right = leaf_size(right_pattern)
+
+        output_pattern = induced_subpattern(pattern, after)
+        assert output_pattern is not None
+        output = subpattern_size(output_pattern)
+
+        step_costs.append(left + right + output)
+        intermediates.append(output)
+    return PlanCost(plan=plan, step_costs=step_costs, intermediate_sizes=intermediates)

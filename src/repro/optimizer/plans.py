@@ -1,0 +1,130 @@
+"""Join plans over twig patterns.
+
+A twig with ``k`` edges is evaluated as a sequence of ``k`` pairwise
+structural joins.  A :class:`JoinPlan` is an ordering of the edges such
+that after every step the set of joined pattern nodes is connected --
+the standard "no cross products" restriction.  Each step joins the
+current intermediate result with one new pattern node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.query.pattern import PatternNode, PatternTree
+
+
+@dataclass(frozen=True)
+class JoinStep:
+    """One pairwise join: attach ``child`` below ``parent``.
+
+    Node identity is positional: indices into the pattern's pre-order
+    node list (stable across copies of the same pattern).
+    """
+
+    parent: int
+    child: int
+
+    def __str__(self) -> str:
+        return f"({self.parent} -> {self.child})"
+
+
+@dataclass(frozen=True)
+class JoinPlan:
+    """An ordered sequence of join steps covering every pattern edge."""
+
+    steps: tuple[JoinStep, ...]
+
+    def __str__(self) -> str:
+        return " , ".join(str(s) for s in self.steps)
+
+    def joined_after(self, count: int) -> frozenset[int]:
+        """The set of pattern-node indices joined after ``count`` steps."""
+        nodes: set[int] = set()
+        for step in self.steps[:count]:
+            nodes.add(step.parent)
+            nodes.add(step.child)
+        return frozenset(nodes)
+
+
+def pattern_edges(pattern: PatternTree) -> list[JoinStep]:
+    """The edges of a pattern as (parent-index, child-index) pairs."""
+    nodes = pattern.nodes()
+    index_of = {id(n): i for i, n in enumerate(nodes)}
+    return [
+        JoinStep(parent=index_of[id(node.parent)], child=index_of[id(node)])
+        for node in nodes
+        if node.parent is not None
+    ]
+
+
+def enumerate_plans(pattern: PatternTree) -> Iterator[JoinPlan]:
+    """Yield every connected join order for the pattern's edges.
+
+    Backtracking over edge permutations with a connectivity filter: a
+    step may be appended only if it shares a node with the already
+    joined set (the first step is free).  Exhaustive -- intended for the
+    small twigs of the paper (2-6 nodes).
+    """
+    edges = pattern_edges(pattern)
+    if not edges:
+        return
+
+    def extend(
+        chosen: list[JoinStep], joined: set[int], remaining: list[JoinStep]
+    ) -> Iterator[JoinPlan]:
+        if not remaining:
+            yield JoinPlan(tuple(chosen))
+            return
+        for index, edge in enumerate(remaining):
+            if joined and edge.parent not in joined and edge.child not in joined:
+                continue
+            chosen.append(edge)
+            added = {n for n in (edge.parent, edge.child) if n not in joined}
+            joined.update(added)
+            rest = remaining[:index] + remaining[index + 1 :]
+            yield from extend(chosen, joined, rest)
+            chosen.pop()
+            joined.difference_update(added)
+
+    yield from extend([], set(), edges)
+
+
+def induced_subpattern(
+    pattern: PatternTree, node_indices: frozenset[int]
+) -> Optional[PatternTree]:
+    """The subpattern induced by a connected set of node indices.
+
+    Returns a fresh :class:`PatternTree` rooted at the topmost included
+    node.  Edges of the induced pattern correspond to original edges;
+    an excluded node between two included ones cannot occur because the
+    set is connected in the tree.  Returns None for the empty set.
+    """
+    if not node_indices:
+        return None
+    nodes = pattern.nodes()
+    included = sorted(node_indices)
+    index_of = {id(n): i for i, n in enumerate(nodes)}
+
+    # The root of the induced pattern: the included node whose parent is
+    # not included (unique, because the set is connected).
+    roots = [
+        i
+        for i in included
+        if nodes[i].parent is None or index_of[id(nodes[i].parent)] not in node_indices
+    ]
+    if len(roots) != 1:
+        raise ValueError(f"node set {set(node_indices)} is not connected")
+
+    copies: dict[int, PatternNode] = {}
+    for i in included:
+        original = nodes[i]
+        copies[i] = PatternNode(original.predicate, original.axis)
+    for i in included:
+        original = nodes[i]
+        if original.parent is not None:
+            p = index_of[id(original.parent)]
+            if p in node_indices:
+                copies[p].attach(copies[i])
+    return PatternTree(copies[roots[0]])

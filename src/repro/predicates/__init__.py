@@ -1,0 +1,49 @@
+"""Predicate system over XML element nodes.
+
+Section 2 of the paper assumes a set ``P`` of boolean node predicates;
+Section 3.4 divides them into *element-tag* predicates and
+*element-content* predicates, and shows how compound (boolean) predicates
+are handled via a TRUE histogram.  This package provides:
+
+* :mod:`repro.predicates.base` -- tag predicates and the content
+  predicate family (exact / prefix / suffix / numeric range).
+* :mod:`repro.predicates.boolean` -- And / Or / Not composition.
+* :mod:`repro.predicates.catalog` -- a :class:`PredicateCatalog` binding
+  predicates to a labeled tree: node lists, cardinalities, and the
+  data-derived no-overlap property of Definition 2.
+"""
+
+from repro.predicates.attributes import (
+    AttributeEqualsPredicate,
+    AttributePrefixPredicate,
+    AttributePresentPredicate,
+)
+from repro.predicates.base import (
+    ContentEqualsPredicate,
+    ContentPrefixPredicate,
+    ContentSuffixPredicate,
+    NumericRangePredicate,
+    Predicate,
+    TagPredicate,
+    TruePredicate,
+)
+from repro.predicates.boolean import AndPredicate, NotPredicate, OrPredicate
+from repro.predicates.catalog import PredicateCatalog, PredicateStats
+
+__all__ = [
+    "AndPredicate",
+    "AttributeEqualsPredicate",
+    "AttributePrefixPredicate",
+    "AttributePresentPredicate",
+    "ContentEqualsPredicate",
+    "ContentPrefixPredicate",
+    "ContentSuffixPredicate",
+    "NotPredicate",
+    "NumericRangePredicate",
+    "OrPredicate",
+    "Predicate",
+    "PredicateCatalog",
+    "PredicateStats",
+    "TagPredicate",
+    "TruePredicate",
+]

@@ -1,0 +1,99 @@
+"""Attribute predicates.
+
+XML elements carry attributes (DBLP records have ``key``, XMark items
+have ``id``); queries select on them just like on content.  These
+predicates complete the predicate family of paper Section 3.4 --
+attribute predicates are element-content predicates in the paper's
+taxonomy, summarised by exactly the same position histograms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.predicates.base import Predicate
+from repro.xmltree.tree import Element
+
+
+class AttributePresentPredicate(Predicate):
+    """``@name`` -- the element has the attribute, any value."""
+
+    def __init__(self, attribute: str, tag: Optional[str] = None) -> None:
+        self.attribute = attribute
+        self.tag = tag
+
+    @property
+    def name(self) -> str:
+        scope = f"{self.tag}" if self.tag else "*"
+        return f"{scope}[@{self.attribute}]"
+
+    def matches(self, element: Element) -> bool:
+        if self.tag is not None and element.tag != self.tag:
+            return False
+        return self.attribute in element.attributes
+
+    def description(self) -> str:
+        scope = f"{self.tag} " if self.tag else ""
+        return f"{scope}has attribute @{self.attribute}"
+
+    def _key(self) -> tuple:
+        return (self.attribute, self.tag)
+
+
+class AttributeEqualsPredicate(Predicate):
+    """``@name = "value"`` -- exact attribute-value match."""
+
+    def __init__(
+        self, attribute: str, value: str, tag: Optional[str] = None
+    ) -> None:
+        self.attribute = attribute
+        self.value = value
+        self.tag = tag
+
+    @property
+    def name(self) -> str:
+        scope = f"{self.tag}" if self.tag else "*"
+        return f'{scope}[@{self.attribute}="{self.value}"]'
+
+    def matches(self, element: Element) -> bool:
+        if self.tag is not None and element.tag != self.tag:
+            return False
+        return element.attributes.get(self.attribute) == self.value
+
+    def description(self) -> str:
+        scope = f"{self.tag} " if self.tag else ""
+        return f'{scope}@{self.attribute} = "{self.value}"'
+
+    def _key(self) -> tuple:
+        return (self.attribute, self.value, self.tag)
+
+
+class AttributePrefixPredicate(Predicate):
+    """``starts-with(@name, "prefix")`` -- DBLP keys are hierarchical
+    (``journals/tods/...``), making prefix selection the natural
+    attribute predicate, mirroring the paper's ``cite`` prefixes."""
+
+    def __init__(
+        self, attribute: str, prefix: str, tag: Optional[str] = None
+    ) -> None:
+        self.attribute = attribute
+        self.prefix = prefix
+        self.tag = tag
+
+    @property
+    def name(self) -> str:
+        scope = f"{self.tag}" if self.tag else "*"
+        return f'{scope}[@{self.attribute}^="{self.prefix}"]'
+
+    def matches(self, element: Element) -> bool:
+        if self.tag is not None and element.tag != self.tag:
+            return False
+        value = element.attributes.get(self.attribute)
+        return value is not None and value.startswith(self.prefix)
+
+    def description(self) -> str:
+        scope = f"{self.tag} " if self.tag else ""
+        return f'{scope}@{self.attribute} starts-with "{self.prefix}"'
+
+    def _key(self) -> tuple:
+        return (self.attribute, self.prefix, self.tag)

@@ -1,0 +1,205 @@
+"""Base node predicates.
+
+A predicate maps an :class:`~repro.xmltree.tree.Element` to a boolean
+(paper Section 2).  Every predicate has a stable ``name`` used as the key
+in the :class:`~repro.predicates.catalog.PredicateCatalog` and in
+histogram files, mirroring the "Predicate Name" column of the paper's
+Tables 1 and 3.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from repro.xmltree.tree import Element
+
+
+class Predicate(ABC):
+    """A boolean predicate over element nodes.
+
+    Subclasses must be value objects: equal predicates must compare and
+    hash equal, because catalogs and estimators key off them.
+    """
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Stable human-readable identifier (Tables 1 and 3 style)."""
+
+    @abstractmethod
+    def matches(self, element: Element) -> bool:
+        """Evaluate the predicate on one element."""
+
+    @abstractmethod
+    def description(self) -> str:
+        """The 'Predicate' column text, e.g. ``element tag = "article"``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        """Value-identity key; subclasses override."""
+        return (self.name,)
+
+
+class TruePredicate(Predicate):
+    """The predicate satisfied by every element.
+
+    Its position histogram is the per-cell normalisation constant used
+    for compound predicates (paper Section 3.4).
+    """
+
+    @property
+    def name(self) -> str:
+        return "TRUE"
+
+    def matches(self, element: Element) -> bool:
+        return True
+
+    def description(self) -> str:
+        return "TRUE (all elements)"
+
+
+class TagPredicate(Predicate):
+    """``element tag = <tag>`` -- the workhorse predicate of the paper."""
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+
+    @property
+    def name(self) -> str:
+        return self.tag
+
+    def matches(self, element: Element) -> bool:
+        return element.tag == self.tag
+
+    def description(self) -> str:
+        return f'element tag = "{self.tag}"'
+
+    def _key(self) -> tuple:
+        return (self.tag,)
+
+
+class _ContentPredicate(Predicate):
+    """Shared machinery for content predicates.
+
+    Content predicates inspect an element's immediate text content.  When
+    ``tag`` is given, the predicate additionally requires that tag (the
+    paper's year-content predicates are of this form: text nodes with a
+    parent node ``year``).
+    """
+
+    def __init__(self, value: str, tag: Optional[str] = None) -> None:
+        self.value = value
+        self.tag = tag
+
+    def _own_text(self, element: Element) -> str:
+        from repro.xmltree.tree import Text
+
+        return "".join(
+            c.value for c in element.children if isinstance(c, Text)
+        ).strip()
+
+    def _tag_ok(self, element: Element) -> bool:
+        return self.tag is None or element.tag == self.tag
+
+    def _key(self) -> tuple:
+        return (self.value, self.tag)
+
+
+class ContentEqualsPredicate(_ContentPredicate):
+    """Exact match on an element's own text content."""
+
+    @property
+    def name(self) -> str:
+        return self.value if self.tag is None else f"{self.tag}={self.value}"
+
+    def matches(self, element: Element) -> bool:
+        return self._tag_ok(element) and self._own_text(element) == self.value
+
+    def description(self) -> str:
+        scope = f"{self.tag} " if self.tag else ""
+        return f'{scope}text = "{self.value}"'
+
+
+class ContentPrefixPredicate(_ContentPredicate):
+    """Prefix match, e.g. the paper's ``text start-with "conf"``."""
+
+    @property
+    def name(self) -> str:
+        return self.value if self.tag is None else f"{self.tag}^={self.value}"
+
+    def matches(self, element: Element) -> bool:
+        return self._tag_ok(element) and self._own_text(element).startswith(self.value)
+
+    def description(self) -> str:
+        scope = f"{self.tag} " if self.tag else ""
+        return f'{scope}text start-with "{self.value}"'
+
+
+class ContentSuffixPredicate(_ContentPredicate):
+    """Suffix match on an element's own text content."""
+
+    @property
+    def name(self) -> str:
+        return f"*{self.value}" if self.tag is None else f"{self.tag}$={self.value}"
+
+    def matches(self, element: Element) -> bool:
+        return self._tag_ok(element) and self._own_text(element).endswith(self.value)
+
+    def description(self) -> str:
+        scope = f"{self.tag} " if self.tag else ""
+        return f'{scope}text end-with "{self.value}"'
+
+
+class NumericRangePredicate(Predicate):
+    """Numeric range over an element's own text, e.g. year in [1990, 1999].
+
+    The paper's "1990's" compound predicate is the union of ten exact
+    year predicates; this class provides the equivalent single predicate
+    so both formulations can be compared.
+    """
+
+    def __init__(self, low: int, high: int, tag: Optional[str] = None,
+                 label: Optional[str] = None) -> None:
+        if low > high:
+            raise ValueError(f"empty range [{low}, {high}]")
+        self.low = low
+        self.high = high
+        self.tag = tag
+        self.label = label
+
+    @property
+    def name(self) -> str:
+        if self.label:
+            return self.label
+        scope = f"{self.tag}:" if self.tag else ""
+        return f"{scope}[{self.low}..{self.high}]"
+
+    def matches(self, element: Element) -> bool:
+        if self.tag is not None and element.tag != self.tag:
+            return False
+        from repro.xmltree.tree import Text
+
+        raw = "".join(
+            c.value for c in element.children if isinstance(c, Text)
+        ).strip()
+        try:
+            value = int(raw)
+        except ValueError:
+            return False
+        return self.low <= value <= self.high
+
+    def description(self) -> str:
+        scope = f"{self.tag} " if self.tag else ""
+        return f"{scope}text in [{self.low}, {self.high}]"
+
+    def _key(self) -> tuple:
+        return (self.low, self.high, self.tag, self.label)

@@ -1,0 +1,86 @@
+"""Boolean composition of predicates.
+
+Compound predicates arise both from query expressions and from the choice
+of the basic predicate set ``P`` (paper Section 3.4).  The estimation
+layer can either evaluate a compound predicate exactly (when building a
+histogram from data) or synthesise its histogram from the component
+histograms and the TRUE histogram under an in-cell independence
+assumption (see :func:`repro.histograms.truehist.combine_histograms`).
+"""
+
+from __future__ import annotations
+
+from repro.predicates.base import Predicate
+from repro.xmltree.tree import Element
+
+
+class AndPredicate(Predicate):
+    """Conjunction of two or more predicates."""
+
+    def __init__(self, *parts: Predicate) -> None:
+        if len(parts) < 2:
+            raise ValueError("AndPredicate needs at least two parts")
+        self.parts = tuple(parts)
+
+    @property
+    def name(self) -> str:
+        return "(" + " AND ".join(p.name for p in self.parts) + ")"
+
+    def matches(self, element: Element) -> bool:
+        return all(p.matches(element) for p in self.parts)
+
+    def description(self) -> str:
+        return " AND ".join(p.description() for p in self.parts)
+
+    def _key(self) -> tuple:
+        return self.parts
+
+
+class OrPredicate(Predicate):
+    """Disjunction of two or more predicates.
+
+    The paper's decade predicates ("1990's") are Or-compositions of ten
+    exact year predicates whose histograms are summed; see
+    :func:`repro.histograms.truehist.or_histograms`.
+    """
+
+    def __init__(self, *parts: Predicate, label: str | None = None) -> None:
+        if len(parts) < 2:
+            raise ValueError("OrPredicate needs at least two parts")
+        self.parts = tuple(parts)
+        self.label = label
+
+    @property
+    def name(self) -> str:
+        if self.label:
+            return self.label
+        return "(" + " OR ".join(p.name for p in self.parts) + ")"
+
+    def matches(self, element: Element) -> bool:
+        return any(p.matches(element) for p in self.parts)
+
+    def description(self) -> str:
+        return " OR ".join(p.description() for p in self.parts)
+
+    def _key(self) -> tuple:
+        return self.parts + (self.label,)
+
+
+class NotPredicate(Predicate):
+    """Negation of a predicate."""
+
+    def __init__(self, part: Predicate) -> None:
+        self.part = part
+
+    @property
+    def name(self) -> str:
+        return f"NOT {self.part.name}"
+
+    def matches(self, element: Element) -> bool:
+        return not self.part.matches(element)
+
+    def description(self) -> str:
+        return f"NOT ({self.part.description()})"
+
+    def _key(self) -> tuple:
+        return (self.part,)

@@ -1,0 +1,175 @@
+"""Predicate catalog: binding predicates to a labeled database tree.
+
+The catalog is the bridge between the raw data and the summary
+structures.  For each registered predicate it records the matching node
+indices (the "index structure that identifies lists of nodes satisfying
+each predicate" of paper Section 3.1), the cardinality, and whether the
+predicate has the *no-overlap* property of Definition 2 -- determined
+from the data itself, and optionally asserted from schema knowledge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+import numpy as np
+
+from repro.labeling.interval import LabeledTree
+from repro.predicates.base import Predicate, TagPredicate
+from repro.xmltree.tree import Element
+
+
+@dataclass
+class PredicateStats:
+    """Summary row for one predicate (the paper's Table 1 / Table 3 row).
+
+    Attributes
+    ----------
+    predicate: the predicate object.
+    node_indices: pre-order indices of matching nodes, ascending.
+    count: number of matching nodes.
+    no_overlap: True if no matching node is an ancestor of another
+        matching node (Definition 2), as observed in the data.
+    schema_no_overlap: optional assertion from schema analysis; when
+        set it overrides the data-derived flag for estimation choices.
+    """
+
+    predicate: Predicate
+    node_indices: np.ndarray
+    count: int
+    no_overlap: bool
+    schema_no_overlap: Optional[bool] = None
+
+    @property
+    def effective_no_overlap(self) -> bool:
+        """The overlap property the estimators should use."""
+        if self.schema_no_overlap is not None:
+            return self.schema_no_overlap
+        return self.no_overlap
+
+
+def detect_no_overlap(tree: LabeledTree, indices: np.ndarray) -> bool:
+    """Check Definition 2 on a sorted list of node indices.
+
+    With nodes sorted by start label, a set has the no-overlap property
+    iff no node's interval contains the next node's interval -- nesting
+    among matching nodes always manifests between start-adjacent pairs,
+    because an ancestor's interval contains everything up to its end.
+    We keep a running maximum of seen end labels: if the next start falls
+    below it, some earlier matching node contains this one.
+    """
+    if len(indices) <= 1:
+        return True
+    starts = tree.start[indices]
+    ends = tree.end[indices]
+    running_end = ends[0]
+    for k in range(1, len(indices)):
+        if starts[k] < running_end:
+            return False
+        running_end = max(running_end, ends[k])
+    return True
+
+
+class PredicateCatalog:
+    """All predicates known for one labeled database tree.
+
+    Typical use::
+
+        catalog = PredicateCatalog(tree)
+        catalog.register_all_tags()
+        stats = catalog.stats(TagPredicate("article"))
+    """
+
+    def __init__(self, tree: LabeledTree) -> None:
+        self.tree = tree
+        self._stats: dict[Predicate, PredicateStats] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def register(
+        self, predicate: Predicate, schema_no_overlap: Optional[bool] = None
+    ) -> PredicateStats:
+        """Evaluate ``predicate`` over the tree and record its stats.
+
+        Registration is idempotent: re-registering returns the cached
+        stats (updating the schema assertion if one is supplied).
+        """
+        if predicate in self._stats:
+            stats = self._stats[predicate]
+            if schema_no_overlap is not None:
+                stats.schema_no_overlap = schema_no_overlap
+            return stats
+
+        indices = self._scan(predicate)
+        stats = PredicateStats(
+            predicate=predicate,
+            node_indices=indices,
+            count=int(len(indices)),
+            no_overlap=detect_no_overlap(self.tree, indices),
+            schema_no_overlap=schema_no_overlap,
+        )
+        self._stats[predicate] = stats
+        return stats
+
+    def register_all_tags(self) -> list[PredicateStats]:
+        """Register a :class:`TagPredicate` for every distinct tag.
+
+        This is the paper's recommendation: "there are not many element
+        tags defined in an XML document, so it is easy to justify ...
+        a histogram on each one of these distinct element tags."
+        """
+        by_tag: dict[str, list[int]] = {}
+        for i, element in enumerate(self.tree.elements):
+            by_tag.setdefault(element.tag, []).append(i)
+        out: list[PredicateStats] = []
+        for tag in sorted(by_tag):
+            predicate = TagPredicate(tag)
+            if predicate in self._stats:
+                out.append(self._stats[predicate])
+                continue
+            indices = np.asarray(by_tag[tag], dtype=np.int64)
+            stats = PredicateStats(
+                predicate=predicate,
+                node_indices=indices,
+                count=int(len(indices)),
+                no_overlap=detect_no_overlap(self.tree, indices),
+            )
+            self._stats[predicate] = stats
+            out.append(stats)
+        return out
+
+    # -- lookup ----------------------------------------------------------
+
+    def stats(self, predicate: Predicate) -> PredicateStats:
+        """Stats for a predicate, registering it on first use."""
+        if predicate not in self._stats:
+            return self.register(predicate)
+        return self._stats[predicate]
+
+    def __contains__(self, predicate: Predicate) -> bool:
+        return predicate in self._stats
+
+    def __iter__(self) -> Iterator[PredicateStats]:
+        return iter(self._stats.values())
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def predicates(self) -> Iterable[Predicate]:
+        """The registered predicates, in registration order."""
+        return self._stats.keys()
+
+    def matching_elements(self, predicate: Predicate) -> list[Element]:
+        """The elements satisfying ``predicate``, in document order."""
+        stats = self.stats(predicate)
+        return [self.tree.elements[i] for i in stats.node_indices]
+
+    # -- internals ---------------------------------------------------------
+
+    def _scan(self, predicate: Predicate) -> np.ndarray:
+        matches = [
+            i for i, element in enumerate(self.tree.elements)
+            if predicate.matches(element)
+        ]
+        return np.asarray(matches, dtype=np.int64)

@@ -1,0 +1,29 @@
+"""Twig (pattern tree) queries: model, parsing, and exact evaluation.
+
+* :mod:`repro.query.pattern` -- the pattern-tree model of paper
+  Section 2 (nodes labeled with predicates, ancestor-descendant or
+  parent-child edges).
+* :mod:`repro.query.xpath` -- a mini-XPath parser building pattern
+  trees from expressions like ``//department/faculty[.//TA][.//RA]``.
+* :mod:`repro.query.matcher` -- exact match counting by dynamic
+  programming over the labeled tree (the "Real Result" columns).
+* :mod:`repro.query.structjoin` -- the stack-based structural join, the
+  physical operator a TIMBER-style optimizer schedules; also counts and
+  enumerates pairs for ground truth.
+"""
+
+from repro.query.matcher import count_matches, count_pairs
+from repro.query.pattern import Axis, PatternNode, PatternTree
+from repro.query.structjoin import stack_tree_join, structural_join_pairs
+from repro.query.xpath import parse_xpath
+
+__all__ = [
+    "Axis",
+    "PatternNode",
+    "PatternTree",
+    "count_matches",
+    "count_pairs",
+    "parse_xpath",
+    "stack_tree_join",
+    "structural_join_pairs",
+]

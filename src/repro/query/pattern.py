@@ -1,0 +1,162 @@
+"""Pattern trees ("twigs", paper Section 2).
+
+A query is a small rooted node-labeled tree.  Each node carries a
+predicate; each edge carries an axis:
+
+* :attr:`Axis.DESCENDANT` -- the paper's default: the mapped data node
+  of the child pattern node must be a proper descendant of the mapped
+  data node of the parent pattern node.
+* :attr:`Axis.CHILD` -- parent-child, supported by the exact matcher
+  and discussed in the paper's future work; the histogram estimators
+  treat it as descendant (documented approximation, tested in the
+  ablation benches).
+
+A *match* is a total mapping from pattern nodes to data nodes that
+satisfies all node predicates and all edge relationships; the answer
+size of a query is its number of matches.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterator, Optional
+
+from repro.predicates.base import Predicate, TagPredicate
+
+
+class Axis(Enum):
+    """Edge semantics between a pattern node and its parent."""
+
+    DESCENDANT = "descendant"
+    CHILD = "child"
+
+    @property
+    def symbol(self) -> str:
+        return "//" if self is Axis.DESCENDANT else "/"
+
+
+class PatternNode:
+    """One node of a pattern tree."""
+
+    def __init__(
+        self,
+        predicate: Predicate,
+        axis: Axis = Axis.DESCENDANT,
+    ) -> None:
+        self.predicate = predicate
+        #: Axis connecting this node to its parent (ignored at the root).
+        self.axis = axis
+        self.children: list["PatternNode"] = []
+        self.parent: Optional["PatternNode"] = None
+
+    def add_child(
+        self, predicate: Predicate, axis: Axis = Axis.DESCENDANT
+    ) -> "PatternNode":
+        """Create and attach a child pattern node; returns the child."""
+        child = PatternNode(predicate, axis)
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def attach(self, child: "PatternNode") -> "PatternNode":
+        """Attach an existing subtree as a child; returns the child."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # -- traversal ---------------------------------------------------------
+
+    def iter_nodes(self) -> Iterator["PatternNode"]:
+        """Pre-order over the subtree rooted here."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def post_order(self) -> Iterator["PatternNode"]:
+        """Post-order over the subtree rooted here (children first)."""
+        stack: list[tuple[PatternNode, bool]] = [(self, False)]
+        while stack:
+            node, visited = stack.pop()
+            if visited:
+                yield node
+                continue
+            stack.append((node, True))
+            for child in reversed(node.children):
+                stack.append((child, False))
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def size(self) -> int:
+        """Number of nodes in the subtree rooted here."""
+        return sum(1 for _ in self.iter_nodes())
+
+    def to_xpath(self) -> str:
+        """Render the subtree in the mini-XPath syntax (lossless for
+        patterns built from tag predicates)."""
+        label = self.predicate.name
+        predicates = "".join(
+            f"[.{child.axis.symbol}{child.to_xpath()}]" for child in self.children[:-1]
+        )
+        if self.children:
+            last = self.children[-1]
+            return f"{label}{predicates}{last.axis.symbol}{last.to_xpath()}"
+        return f"{label}{predicates}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PatternNode({self.predicate.name!r}, children={len(self.children)})"
+
+
+class PatternTree:
+    """A rooted twig query."""
+
+    def __init__(self, root: PatternNode) -> None:
+        self.root = root
+
+    @classmethod
+    def simple_pair(
+        cls,
+        ancestor: Predicate,
+        descendant: Predicate,
+        axis: Axis = Axis.DESCENDANT,
+    ) -> "PatternTree":
+        """The primitive two-node pattern of paper Section 3.2."""
+        root = PatternNode(ancestor)
+        root.add_child(descendant, axis)
+        return cls(root)
+
+    @classmethod
+    def path(cls, *tags: str, axis: Axis = Axis.DESCENDANT) -> "PatternTree":
+        """A linear path of tag predicates, e.g. ``path("a", "b", "c")``."""
+        if not tags:
+            raise ValueError("path needs at least one tag")
+        root = PatternNode(TagPredicate(tags[0]))
+        node = root
+        for tag in tags[1:]:
+            node = node.add_child(TagPredicate(tag), axis)
+        return cls(root)
+
+    def size(self) -> int:
+        return self.root.size()
+
+    def nodes(self) -> list[PatternNode]:
+        return list(self.root.iter_nodes())
+
+    def predicates(self) -> list[Predicate]:
+        return [node.predicate for node in self.root.iter_nodes()]
+
+    def has_child_axis(self) -> bool:
+        """True if any edge uses the parent-child axis."""
+        return any(
+            node.axis is Axis.CHILD
+            for node in self.root.iter_nodes()
+            if node.parent is not None
+        )
+
+    def to_xpath(self) -> str:
+        return "//" + self.root.to_xpath()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PatternTree({self.to_xpath()!r})"

@@ -1,0 +1,200 @@
+"""A mini-XPath parser producing :class:`~repro.query.pattern.PatternTree`.
+
+Supports the fragment needed to express the paper's queries (and the
+XQuery example of its introduction):
+
+* ``//a//b`` and ``//a/b`` -- descendant and child steps;
+* ``*`` -- any element (the TRUE predicate);
+* branching qualifiers: ``//department/faculty[.//TA][.//RA]``;
+* content qualifiers on a step:
+  ``//year[text()="1995"]``, ``//cite[starts-with(text(), "conf")]``,
+  ``//cite[ends-with(text(), "99")]``.
+
+The grammar (recursive descent)::
+
+    xpath     := ('//' | '/') step ( ('//' | '/') step )*
+    step      := nodetest qualifier*
+    nodetest  := NAME | '*'
+    qualifier := '[' ( relpath | content ) ']'
+    relpath   := ('.//' | './') step ( ('//' | '/') step )*
+    content   := 'text()' '=' STRING
+               | 'starts-with' '(' 'text()' ',' STRING ')'
+               | 'ends-with' '(' 'text()' ',' STRING ')'
+"""
+
+from __future__ import annotations
+
+from repro.predicates.base import (
+    ContentEqualsPredicate,
+    ContentPrefixPredicate,
+    ContentSuffixPredicate,
+    Predicate,
+    TagPredicate,
+    TruePredicate,
+)
+from repro.predicates.boolean import AndPredicate
+from repro.query.pattern import Axis, PatternNode, PatternTree
+
+
+class XPathSyntaxError(ValueError):
+    """Raised on malformed mini-XPath input."""
+
+
+class _Scanner:
+    """Character-level scanner with a tiny lookahead API."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def looking_at(self, literal: str) -> bool:
+        return self.text.startswith(literal, self.pos)
+
+    def take(self, literal: str) -> bool:
+        if self.looking_at(literal):
+            self.pos += len(literal)
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        if not self.take(literal):
+            raise XPathSyntaxError(
+                f"expected {literal!r} at position {self.pos} in {self.text!r}"
+            )
+
+    def skip_spaces(self) -> None:
+        while not self.eof() and self.text[self.pos] in " \t":
+            self.pos += 1
+
+    def read_name(self) -> str:
+        start = self.pos
+        while not self.eof():
+            ch = self.text[self.pos]
+            if ch.isalnum() or ch in "_-.:":
+                self.pos += 1
+            else:
+                break
+        if self.pos == start:
+            raise XPathSyntaxError(
+                f"expected a name at position {start} in {self.text!r}"
+            )
+        return self.text[start : self.pos]
+
+    def read_string(self) -> str:
+        quote = self.text[self.pos] if not self.eof() else ""
+        if quote not in ("'", '"'):
+            raise XPathSyntaxError(
+                f"expected a quoted string at position {self.pos}"
+            )
+        self.pos += 1
+        end = self.text.find(quote, self.pos)
+        if end == -1:
+            raise XPathSyntaxError("unterminated string literal")
+        value = self.text[self.pos : end]
+        self.pos = end + 1
+        return value
+
+
+def parse_xpath(expression: str) -> PatternTree:
+    """Parse a mini-XPath expression into a pattern tree."""
+    scanner = _Scanner(expression.strip())
+    if scanner.take("//"):
+        axis = Axis.DESCENDANT
+    elif scanner.take("/"):
+        axis = Axis.CHILD
+    else:
+        raise XPathSyntaxError("an XPath must start with '/' or '//'")
+    root = _parse_step(scanner, axis)
+    node = root
+    while not scanner.eof():
+        node = _parse_next_step(scanner, node)
+    return PatternTree(root)
+
+
+def _parse_next_step(scanner: _Scanner, parent: PatternNode) -> PatternNode:
+    if scanner.take("//"):
+        axis = Axis.DESCENDANT
+    elif scanner.take("/"):
+        axis = Axis.CHILD
+    else:
+        raise XPathSyntaxError(
+            f"unexpected input at position {scanner.pos} in {scanner.text!r}"
+        )
+    step = _parse_step(scanner, axis)
+    parent.attach(step)
+    return step
+
+
+def _parse_step(scanner: _Scanner, axis: Axis) -> PatternNode:
+    scanner.skip_spaces()
+    if scanner.take("*"):
+        predicate: Predicate = TruePredicate()
+        tag = None
+    else:
+        tag = scanner.read_name()
+        predicate = TagPredicate(tag)
+    node = PatternNode(predicate, axis)
+    while scanner.looking_at("["):
+        _parse_qualifier(scanner, node, tag)
+    return node
+
+
+def _parse_qualifier(scanner: _Scanner, node: PatternNode, tag: str | None) -> None:
+    scanner.expect("[")
+    scanner.skip_spaces()
+    if scanner.looking_at("text()"):
+        scanner.expect("text()")
+        scanner.skip_spaces()
+        scanner.expect("=")
+        scanner.skip_spaces()
+        value = scanner.read_string()
+        _conjoin(node, ContentEqualsPredicate(value, tag=tag))
+    elif scanner.looking_at("starts-with"):
+        scanner.expect("starts-with")
+        _parse_text_function_args(scanner, node, tag, ContentPrefixPredicate)
+    elif scanner.looking_at("ends-with"):
+        scanner.expect("ends-with")
+        _parse_text_function_args(scanner, node, tag, ContentSuffixPredicate)
+    else:
+        # A relative-path qualifier: a branch of the twig.
+        if scanner.take(".//"):
+            axis = Axis.DESCENDANT
+        elif scanner.take("./"):
+            axis = Axis.CHILD
+        else:
+            # Bare name defaults to the child axis, as in XPath.
+            axis = Axis.CHILD
+        branch = _parse_step(scanner, axis)
+        inner = branch
+        while not scanner.looking_at("]"):
+            inner = _parse_next_step(scanner, inner)
+        node.attach(branch)
+    scanner.skip_spaces()
+    scanner.expect("]")
+
+
+def _parse_text_function_args(
+    scanner: _Scanner, node: PatternNode, tag: str | None, predicate_cls: type
+) -> None:
+    scanner.skip_spaces()
+    scanner.expect("(")
+    scanner.skip_spaces()
+    scanner.expect("text()")
+    scanner.skip_spaces()
+    scanner.expect(",")
+    scanner.skip_spaces()
+    value = scanner.read_string()
+    scanner.skip_spaces()
+    scanner.expect(")")
+    _conjoin(node, predicate_cls(value, tag=tag))
+
+
+def _conjoin(node: PatternNode, extra: Predicate) -> None:
+    """And a content predicate into a step's node predicate."""
+    if isinstance(node.predicate, TruePredicate):
+        node.predicate = extra
+    else:
+        node.predicate = AndPredicate(node.predicate, extra)

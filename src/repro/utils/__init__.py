@@ -1,0 +1,6 @@
+"""Shared utilities: timing, table rendering, deterministic RNG helpers."""
+
+from repro.utils.tables import format_table
+from repro.utils.timing import Timer, time_call
+
+__all__ = ["Timer", "format_table", "time_call"]

@@ -1,0 +1,74 @@
+"""Plain-text table rendering for the experiment harnesses.
+
+The benchmark scripts print tables shaped like the paper's Tables 1-4 so
+paper-vs-measured comparison is a side-by-side read.  No external
+dependency; column widths adapt to content.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Cells are str()-ed; numeric-looking cells are right-aligned, others
+    left-aligned.
+    """
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    columns = len(headers)
+    for row in text_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row!r}"
+            )
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for c, cell in enumerate(row):
+            widths[c] = max(widths[c], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for c, cell in enumerate(cells):
+            if _is_numeric(cell):
+                parts.append(cell.rjust(widths[c]))
+            else:
+                parts.append(cell.ljust(widths[c]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(render_row(list(headers)))
+    lines.append(separator)
+    for row in text_rows:
+        lines.append(render_row(row))
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "N/A"
+        if cell == float("inf"):
+            return "N/A"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        return f"{cell:,.4g}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def _is_numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace(".", "").replace("-", "")
+    stripped = stripped.replace("e", "").replace("+", "")
+    return stripped.isdigit() and len(stripped) > 0

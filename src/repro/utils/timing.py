@@ -1,0 +1,57 @@
+"""Timing helpers used for the paper's "Est Time" measurements."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class Timer:
+    """Context manager measuring wall-clock time with ``perf_counter``.
+
+    ::
+
+        with Timer() as timer:
+            do_work()
+        print(timer.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_call(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` once and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def median_time(fn: Callable[[], T], repeats: int = 5) -> tuple[T, float]:
+    """Run ``fn`` several times; return the last result and median time.
+
+    The paper reports per-query estimation times of fractions of a
+    millisecond; a median over a few repeats keeps those numbers stable
+    against scheduler noise.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    times: list[float] = []
+    result: T
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return result, times[len(times) // 2]

@@ -1,0 +1,22 @@
+"""Query workloads for the experiment harnesses."""
+
+from repro.workloads.generator import RandomTwigGenerator, observed_containments
+from repro.workloads.metrics import ErrorSummary, q_error, relative_error
+from repro.workloads.queries import (
+    DBLP_SIMPLE_QUERIES,
+    DBLP_TWIG_QUERIES,
+    ORGCHART_SIMPLE_QUERIES,
+    ORGCHART_TWIG_QUERIES,
+)
+
+__all__ = [
+    "DBLP_SIMPLE_QUERIES",
+    "DBLP_TWIG_QUERIES",
+    "ErrorSummary",
+    "ORGCHART_SIMPLE_QUERIES",
+    "ORGCHART_TWIG_QUERIES",
+    "RandomTwigGenerator",
+    "observed_containments",
+    "q_error",
+    "relative_error",
+]

@@ -1,0 +1,98 @@
+"""Random twig workload generator.
+
+The paper evaluates hand-picked queries; a robustness study needs many.
+:class:`RandomTwigGenerator` samples twigs that are *structurally
+plausible* for a given database: edges are drawn from tag pairs that
+actually occur in an ancestor-descendant relationship in the data, so
+generated queries have non-trivial answers with controllable
+probability, while a configurable fraction of "miss" edges keeps
+zero-answer queries in the mix.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.labeling.interval import LabeledTree
+from repro.predicates.base import TagPredicate
+from repro.query.pattern import PatternNode, PatternTree
+
+
+def observed_containments(tree: LabeledTree) -> dict[str, set[str]]:
+    """Tag-level containment observed in the data: ancestor tag ->
+    set of tags occurring among its descendants.
+
+    One pre-order sweep with an ancestor-tag stack; O(N * depth).
+    """
+    containments: dict[str, set[str]] = {}
+    stack: list[tuple[int, str]] = []  # (end_label, tag)
+    for index in range(len(tree)):
+        start = int(tree.start[index])
+        while stack and stack[-1][0] < start:
+            stack.pop()
+        tag = tree.elements[index].tag
+        for _, ancestor_tag in stack:
+            containments.setdefault(ancestor_tag, set()).add(tag)
+        stack.append((int(tree.end[index]), tag))
+    return containments
+
+
+class RandomTwigGenerator:
+    """Generate random twig queries plausible for a labeled tree.
+
+    Parameters
+    ----------
+    tree:
+        The database the workload targets.
+    seed:
+        RNG seed (generation is deterministic per seed).
+    miss_probability:
+        Chance that an edge is drawn *outside* the observed containment
+        relation, producing likely-empty subqueries (estimators must
+        handle those gracefully too).
+    """
+
+    def __init__(
+        self, tree: LabeledTree, seed: int = 0, miss_probability: float = 0.1
+    ) -> None:
+        self.tree = tree
+        self._rng = random.Random(seed)
+        self.miss_probability = miss_probability
+        self._containments = observed_containments(tree)
+        self._tags = sorted({e.tag for e in tree.elements})
+        self._roots = sorted(
+            tag for tag, kids in self._containments.items() if kids
+        )
+
+    def generate(self, size: int) -> PatternTree:
+        """Generate one twig with ``size`` nodes (size >= 2)."""
+        if size < 2:
+            raise ValueError("a twig needs at least 2 nodes")
+        if not self._roots:
+            raise ValueError("the tree has no nested tags to query")
+        root_tag = self._rng.choice(self._roots)
+        root = PatternNode(TagPredicate(root_tag))
+        open_nodes: list[tuple[PatternNode, str]] = [(root, root_tag)]
+        for _ in range(size - 1):
+            parent, parent_tag = self._rng.choice(open_nodes)
+            child_tag = self._pick_child_tag(parent_tag)
+            child = parent.add_child(TagPredicate(child_tag))
+            if self._containments.get(child_tag):
+                open_nodes.append((child, child_tag))
+        return PatternTree(root)
+
+    def workload(self, count: int, min_size: int = 2, max_size: int = 5) -> list[PatternTree]:
+        """Generate ``count`` twigs with sizes uniform in the range."""
+        if min_size > max_size:
+            raise ValueError("min_size must be <= max_size")
+        return [
+            self.generate(self._rng.randint(min_size, max_size))
+            for _ in range(count)
+        ]
+
+    def _pick_child_tag(self, parent_tag: str) -> str:
+        reachable = sorted(self._containments.get(parent_tag, ()))
+        if not reachable or self._rng.random() < self.miss_probability:
+            return self._rng.choice(self._tags)
+        return self._rng.choice(reachable)

@@ -1,0 +1,80 @@
+"""Error metrics for estimation quality studies.
+
+The paper reports estimate-vs-real per query and estimate/real ratio
+curves; modern cardinality-estimation practice summarises workloads
+with the q-error (max(est/real, real/est)).  This module provides both,
+plus a :class:`ErrorSummary` aggregating a workload run into the
+percentile view the robustness bench prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def relative_error(estimate: float, real: float) -> float:
+    """|estimate - real| / real (real = 0 handled as absolute error)."""
+    if real == 0:
+        return abs(estimate)
+    return abs(estimate - real) / real
+
+
+def q_error(estimate: float, real: float, floor: float = 1.0) -> float:
+    """max(est/real, real/est) with both sides floored at ``floor``.
+
+    The floor keeps near-zero answers from exploding the metric, the
+    standard convention in cardinality-estimation benchmarks.
+    """
+    est = max(estimate, floor)
+    true = max(real, floor)
+    return max(est / true, true / est)
+
+
+@dataclass
+class ErrorSummary:
+    """Percentile summary of a workload's q-errors."""
+
+    count: int
+    mean: float
+    geometric_mean: float
+    median: float
+    p90: float
+    p99: float
+    worst: float
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Sequence[tuple[float, float]], floor: float = 1.0
+    ) -> "ErrorSummary":
+        """Build from (estimate, real) pairs."""
+        if not pairs:
+            raise ValueError("need at least one (estimate, real) pair")
+        errors = sorted(q_error(e, r, floor) for e, r in pairs)
+        count = len(errors)
+
+        def percentile(fraction: float) -> float:
+            index = min(count - 1, int(math.ceil(fraction * count)) - 1)
+            return errors[max(index, 0)]
+
+        return cls(
+            count=count,
+            mean=sum(errors) / count,
+            geometric_mean=math.exp(sum(math.log(e) for e in errors) / count),
+            median=percentile(0.5),
+            p90=percentile(0.9),
+            p99=percentile(0.99),
+            worst=errors[-1],
+        )
+
+    def as_row(self) -> list:
+        """Row cells for :func:`repro.utils.tables.format_table`."""
+        return [
+            self.count,
+            round(self.geometric_mean, 2),
+            round(self.median, 2),
+            round(self.p90, 2),
+            round(self.p99, 2),
+            round(self.worst, 2),
+        ]

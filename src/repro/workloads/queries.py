@@ -1,0 +1,44 @@
+"""The query workloads of the paper's evaluation section.
+
+Simple (two-node) queries are given as (ancestor-tag, descendant-tag)
+pairs, exactly the rows of Tables 2 and 4.  Twig workloads extend them
+with the multi-branch patterns the paper says it also ran (Section 5.2,
+"we ran all types of queries we presented above"), including the
+XQuery example from the introduction.
+"""
+
+#: Table 2 rows: simple queries on the DBLP data set.
+DBLP_SIMPLE_QUERIES: list[tuple[str, str]] = [
+    ("article", "author"),
+    ("article", "cdrom"),
+    ("article", "cite"),
+    ("book", "cdrom"),
+]
+
+#: Extra DBLP twig patterns (intro example shape, bibliography flavor).
+DBLP_TWIG_QUERIES: list[str] = [
+    "//article[.//author]//cite",
+    "//article[.//year]//author",
+    "//inproceedings[.//author][.//cite]//title",
+    "//dblp//article[.//author][.//url]//year",
+]
+
+#: Table 4 rows: simple queries on the synthetic orgchart data set.
+ORGCHART_SIMPLE_QUERIES: list[tuple[str, str]] = [
+    ("manager", "department"),
+    ("manager", "employee"),
+    ("manager", "email"),
+    ("department", "employee"),
+    ("department", "email"),
+    ("employee", "name"),
+    ("employee", "email"),
+]
+
+#: Orgchart twigs, including the paper's introductory faculty-style twig
+#: transposed to the synthetic schema.
+ORGCHART_TWIG_QUERIES: list[str] = [
+    "//manager//department[.//employee]//email",
+    "//manager[.//email]//employee//name",
+    "//department[.//employee][.//department]//email",
+    "//manager//department//employee[.//name]//email",
+]

@@ -1,0 +1,46 @@
+"""Minimal, self-contained XML substrate.
+
+The paper models an XML database as a rooted node-labeled tree.  This
+package provides everything the rest of the library needs to go from XML
+text to such a tree and back, without depending on any external XML
+library:
+
+* :mod:`repro.xmltree.tree` -- the node model (:class:`Element`,
+  :class:`Text`, :class:`Document`) with parent/child navigation and
+  traversal helpers.
+* :mod:`repro.xmltree.tokenizer` -- a hand-written streaming tokenizer for
+  the XML subset the paper's data sets use (elements, attributes, text,
+  comments, CDATA, processing instructions, character references).
+* :mod:`repro.xmltree.parser` -- an event-driven parser building
+  :class:`Document` trees from tokens, with well-formedness checks.
+* :mod:`repro.xmltree.writer` -- serialisation back to XML text (used for
+  round-trip tests and for persisting generated data sets).
+* :mod:`repro.xmltree.builder` -- a programmatic tree builder used by the
+  synthetic data generators.
+"""
+
+from repro.xmltree.builder import TreeBuilder, element, text
+from repro.xmltree.errors import XMLSyntaxError, XMLWellFormednessError
+from repro.xmltree.parser import parse_document, parse_fragment
+from repro.xmltree.tokenizer import Token, TokenType, tokenize
+from repro.xmltree.tree import Document, Element, Node, Text
+from repro.xmltree.writer import write_document, write_node
+
+__all__ = [
+    "Document",
+    "Element",
+    "Node",
+    "Text",
+    "Token",
+    "TokenType",
+    "TreeBuilder",
+    "XMLSyntaxError",
+    "XMLWellFormednessError",
+    "element",
+    "parse_document",
+    "parse_fragment",
+    "text",
+    "tokenize",
+    "write_document",
+    "write_node",
+]

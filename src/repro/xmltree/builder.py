@@ -1,0 +1,114 @@
+"""Programmatic construction of XML trees.
+
+The synthetic data generators (:mod:`repro.datasets`) build documents
+directly as trees instead of emitting text and re-parsing it.  Two styles
+are offered:
+
+* :func:`element` / :func:`text` -- small constructors for literal trees
+  in tests and examples.
+* :class:`TreeBuilder` -- a push/pop builder mirroring SAX-style
+  generation, convenient when a generator walks a DTD content model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.xmltree.tree import Document, Element, Node, Text
+
+Child = Union[Node, str]
+
+
+def text(value: str) -> Text:
+    """Create a detached text node."""
+    return Text(value)
+
+
+def element(
+    tag: str,
+    *children: Child,
+    attributes: Optional[dict[str, str]] = None,
+) -> Element:
+    """Create an element with the given children.
+
+    String children become text nodes, e.g.::
+
+        element("faculty", element("name", "Jagadish"), element("TA"))
+    """
+    node = Element(tag, attributes)
+    for child in children:
+        if isinstance(child, str):
+            node.append_text(child)
+        else:
+            node.append(child)
+    return node
+
+
+class TreeBuilder:
+    """Incrementally build a :class:`Document` with start/end/text calls.
+
+    Example
+    -------
+    ::
+
+        builder = TreeBuilder()
+        builder.start("department")
+        builder.start("faculty")
+        builder.leaf("name", "Patel")
+        builder.end()          # faculty
+        builder.end()          # department
+        doc = builder.finish()
+    """
+
+    def __init__(self) -> None:
+        self._document = Document()
+        self._stack: list[Element] = []
+        self._finished = False
+
+    def start(self, tag: str, attributes: Optional[dict[str, str]] = None) -> Element:
+        """Open a new element as a child of the current element."""
+        self._check_open()
+        node = Element(tag, attributes)
+        if self._stack:
+            self._stack[-1].append(node)
+        else:
+            if self._document.children:
+                raise ValueError("document already has a root element")
+            self._document.append(node)
+        self._stack.append(node)
+        return node
+
+    def end(self) -> None:
+        """Close the most recently opened element."""
+        self._check_open()
+        if not self._stack:
+            raise ValueError("end() with no open element")
+        self._stack.pop()
+
+    def text(self, value: str) -> None:
+        """Append character data to the current element."""
+        self._check_open()
+        if not self._stack:
+            raise ValueError("text outside of any element")
+        self._stack[-1].append_text(value)
+
+    def leaf(self, tag: str, value: Optional[str] = None) -> None:
+        """Append ``<tag>value</tag>`` (or an empty element) and close it."""
+        self.start(tag)
+        if value is not None:
+            self.text(value)
+        self.end()
+
+    def finish(self) -> Document:
+        """Close the builder and return the document."""
+        self._check_open()
+        if self._stack:
+            raise ValueError(f"unclosed element <{self._stack[-1].tag}>")
+        if not self._document.children:
+            raise ValueError("no root element was built")
+        self._finished = True
+        return self._document
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise ValueError("builder already finished")

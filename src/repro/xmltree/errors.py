@@ -1,0 +1,25 @@
+"""Exception types raised by the XML substrate."""
+
+
+class XMLError(Exception):
+    """Base class for all XML substrate errors."""
+
+
+class XMLSyntaxError(XMLError):
+    """Raised when the tokenizer meets text that is not lexically XML.
+
+    Carries the character ``offset`` into the input at which the problem
+    was detected, so callers can produce useful diagnostics.
+    """
+
+    def __init__(self, message: str, offset: int) -> None:
+        super().__init__(f"{message} (at offset {offset})")
+        self.offset = offset
+
+
+class XMLWellFormednessError(XMLError):
+    """Raised when a token stream is lexically fine but not a tree.
+
+    Examples: mismatched close tag, more than one root element, text at
+    the document top level, or a dangling open element at end of input.
+    """

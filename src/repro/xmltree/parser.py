@@ -1,0 +1,92 @@
+"""Event-driven XML parser building :class:`~repro.xmltree.tree.Document`.
+
+The parser consumes the token stream of :mod:`repro.xmltree.tokenizer`
+and enforces well-formedness: balanced tags, a single root element, and
+no character data outside the root.  Whitespace-only text between
+elements is dropped by default (the paper's data sets are data-centric,
+so indentation whitespace is noise for cardinality estimation); pass
+``keep_whitespace=True`` to retain it.
+"""
+
+from __future__ import annotations
+
+from repro.xmltree.errors import XMLWellFormednessError
+from repro.xmltree.tokenizer import TokenType, tokenize
+from repro.xmltree.tree import Document, Element
+
+
+def parse_document(data: str, keep_whitespace: bool = False) -> Document:
+    """Parse XML text into a :class:`Document`.
+
+    Parameters
+    ----------
+    data:
+        The XML text.
+    keep_whitespace:
+        When False (default), text nodes that are entirely whitespace are
+        discarded.
+
+    Raises
+    ------
+    XMLSyntaxError
+        On lexical errors (from the tokenizer).
+    XMLWellFormednessError
+        On structural errors (mismatched tags, multiple roots, ...).
+    """
+    document = Document()
+    stack: list[Element] = []
+    saw_root = False
+
+    for token in tokenize(data):
+        if token.type in (TokenType.COMMENT, TokenType.PI, TokenType.DOCTYPE):
+            continue
+        if token.type == TokenType.TEXT:
+            if not token.value.strip():
+                if keep_whitespace and stack:
+                    stack[-1].append_text(token.value)
+                continue
+            if not stack:
+                raise XMLWellFormednessError(
+                    f"character data outside the root element: {token.value[:40]!r}"
+                )
+            stack[-1].append_text(token.value)
+        elif token.type in (TokenType.START_TAG, TokenType.EMPTY_TAG):
+            element = Element(token.value, token.attributes())
+            if stack:
+                stack[-1].append(element)
+            else:
+                if saw_root:
+                    raise XMLWellFormednessError(
+                        f"second root element <{token.value}>"
+                    )
+                document.append(element)
+                saw_root = True
+            if token.type == TokenType.START_TAG:
+                stack.append(element)
+        elif token.type == TokenType.END_TAG:
+            if not stack:
+                raise XMLWellFormednessError(
+                    f"close tag </{token.value}> with no open element"
+                )
+            open_element = stack.pop()
+            if open_element.tag != token.value:
+                raise XMLWellFormednessError(
+                    f"close tag </{token.value}> does not match <{open_element.tag}>"
+                )
+
+    if stack:
+        raise XMLWellFormednessError(
+            f"unclosed element <{stack[-1].tag}> at end of input"
+        )
+    if not saw_root:
+        raise XMLWellFormednessError("document has no root element")
+    return document
+
+
+def parse_fragment(data: str, keep_whitespace: bool = False) -> Element:
+    """Parse an XML fragment that has a single element root.
+
+    A convenience wrapper over :func:`parse_document` returning the root
+    element directly; handy in tests.
+    """
+    return parse_document(data, keep_whitespace=keep_whitespace).root_element

@@ -1,0 +1,251 @@
+"""Hand-written streaming tokenizer for the XML subset used in this repo.
+
+Supports the constructs that occur in the paper's data sets (DBLP,
+Shakespeare, XMark, IBM-generator output): start/end/empty element tags
+with attributes, character data with entity and character references,
+comments, CDATA sections, processing instructions, XML declarations, and
+DOCTYPE declarations (skipped, including an internal subset).
+
+It does *not* implement full XML 1.0 (no namespaces-aware validation, no
+external entities) -- the goal is a dependency-free, well-tested substrate,
+not a standards-complete parser.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator
+
+from repro.xmltree.errors import XMLSyntaxError
+
+_NAME_START = re.compile(r"[A-Za-z_:]")
+_NAME_RE = re.compile(r"[A-Za-z_:][-A-Za-z0-9._:]*")
+_WHITESPACE = " \t\r\n"
+
+_BUILTIN_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+
+class TokenType(Enum):
+    """Kinds of tokens the tokenizer emits."""
+
+    START_TAG = auto()      # <tag attr="v"> ; value=tag, attrs filled
+    END_TAG = auto()        # </tag>
+    EMPTY_TAG = auto()      # <tag/>
+    TEXT = auto()           # character data (entities resolved)
+    COMMENT = auto()        # <!-- ... -->
+    PI = auto()             # <?target data?>
+    DOCTYPE = auto()        # <!DOCTYPE ...> (raw content in value)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes
+    ----------
+    type: the :class:`TokenType`.
+    value: tag name for tags, text for TEXT/COMMENT/PI/DOCTYPE.
+    attrs: attribute mapping for START_TAG / EMPTY_TAG, else empty.
+    offset: character offset of the token start in the input.
+    """
+
+    type: TokenType
+    value: str
+    attrs: tuple[tuple[str, str], ...]
+    offset: int
+
+    def attributes(self) -> dict[str, str]:
+        """Attribute pairs as a fresh dict."""
+        return dict(self.attrs)
+
+
+def resolve_references(data: str, offset: int = 0) -> str:
+    """Resolve ``&name;`` and ``&#NN;`` / ``&#xHH;`` references in text."""
+    if "&" not in data:
+        return data
+    out: list[str] = []
+    i = 0
+    n = len(data)
+    while i < n:
+        ch = data[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = data.find(";", i + 1)
+        if end == -1:
+            raise XMLSyntaxError("unterminated entity reference", offset + i)
+        body = data[i + 1 : end]
+        if not body:
+            raise XMLSyntaxError("empty entity reference", offset + i)
+        if body.startswith("#x") or body.startswith("#X"):
+            try:
+                out.append(chr(int(body[2:], 16)))
+            except ValueError as exc:
+                raise XMLSyntaxError(f"bad character reference &{body};", offset + i) from exc
+        elif body.startswith("#"):
+            try:
+                out.append(chr(int(body[1:], 10)))
+            except ValueError as exc:
+                raise XMLSyntaxError(f"bad character reference &{body};", offset + i) from exc
+        elif body in _BUILTIN_ENTITIES:
+            out.append(_BUILTIN_ENTITIES[body])
+        else:
+            # Unknown entity: keep it literally; real-world DBLP uses many
+            # latin entities and estimation only needs stable text values.
+            out.append(f"&{body};")
+        i = end + 1
+    return "".join(out)
+
+
+class _Cursor:
+    """Mutable scan position over the input string."""
+
+    __slots__ = ("data", "pos")
+
+    def __init__(self, data: str) -> None:
+        self.data = data
+        self.pos = 0
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.data)
+
+    def peek(self) -> str:
+        return self.data[self.pos] if self.pos < len(self.data) else ""
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def skip_whitespace(self) -> None:
+        data, pos, n = self.data, self.pos, len(self.data)
+        while pos < n and data[pos] in _WHITESPACE:
+            pos += 1
+        self.pos = pos
+
+    def expect(self, literal: str) -> None:
+        if not self.data.startswith(literal, self.pos):
+            raise XMLSyntaxError(f"expected {literal!r}", self.pos)
+        self.pos += len(literal)
+
+    def read_name(self) -> str:
+        match = _NAME_RE.match(self.data, self.pos)
+        if match is None:
+            raise XMLSyntaxError("expected an XML name", self.pos)
+        self.pos = match.end()
+        return match.group()
+
+    def read_until(self, literal: str, error: str) -> str:
+        end = self.data.find(literal, self.pos)
+        if end == -1:
+            raise XMLSyntaxError(error, self.pos)
+        chunk = self.data[self.pos : end]
+        self.pos = end + len(literal)
+        return chunk
+
+
+def _read_attributes(cur: _Cursor) -> tuple[tuple[str, str], ...]:
+    """Read zero or more ``name="value"`` pairs up to ``>`` or ``/>``."""
+    attrs: list[tuple[str, str]] = []
+    while True:
+        cur.skip_whitespace()
+        ch = cur.peek()
+        if ch in (">", "/") or ch == "":
+            return tuple(attrs)
+        if not _NAME_START.match(ch):
+            raise XMLSyntaxError(f"unexpected character {ch!r} in tag", cur.pos)
+        name = cur.read_name()
+        cur.skip_whitespace()
+        cur.expect("=")
+        cur.skip_whitespace()
+        quote = cur.peek()
+        if quote not in ("'", '"'):
+            raise XMLSyntaxError("attribute value must be quoted", cur.pos)
+        cur.advance()
+        start = cur.pos
+        raw = cur.read_until(quote, "unterminated attribute value")
+        attrs.append((name, resolve_references(raw, start)))
+
+
+def _read_doctype(cur: _Cursor) -> str:
+    """Consume a DOCTYPE declaration, including an internal subset."""
+    start = cur.pos
+    depth = 0
+    data = cur.data
+    n = len(data)
+    while cur.pos < n:
+        ch = data[cur.pos]
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == ">" and depth <= 0:
+            body = data[start : cur.pos]
+            cur.advance()
+            return body
+        cur.advance()
+    raise XMLSyntaxError("unterminated DOCTYPE declaration", start)
+
+
+def tokenize(data: str) -> Iterator[Token]:
+    """Yield :class:`Token` objects for the XML text ``data``.
+
+    Raises :class:`XMLSyntaxError` on lexical problems.  Well-formedness
+    of the tag structure is checked by the parser, not here.
+    """
+    cur = _Cursor(data)
+    while not cur.eof():
+        if cur.peek() != "<":
+            start = cur.pos
+            raw = ""
+            end = data.find("<", cur.pos)
+            if end == -1:
+                raw = data[cur.pos :]
+                cur.pos = len(data)
+            else:
+                raw = data[cur.pos : end]
+                cur.pos = end
+            yield Token(TokenType.TEXT, resolve_references(raw, start), (), start)
+            continue
+
+        start = cur.pos
+        if data.startswith("<!--", cur.pos):
+            cur.advance(4)
+            body = cur.read_until("-->", "unterminated comment")
+            yield Token(TokenType.COMMENT, body, (), start)
+        elif data.startswith("<![CDATA[", cur.pos):
+            cur.advance(9)
+            body = cur.read_until("]]>", "unterminated CDATA section")
+            yield Token(TokenType.TEXT, body, (), start)
+        elif data.startswith("<!DOCTYPE", cur.pos):
+            cur.advance(len("<!DOCTYPE"))
+            body = _read_doctype(cur)
+            yield Token(TokenType.DOCTYPE, body.strip(), (), start)
+        elif data.startswith("<?", cur.pos):
+            cur.advance(2)
+            body = cur.read_until("?>", "unterminated processing instruction")
+            yield Token(TokenType.PI, body, (), start)
+        elif data.startswith("</", cur.pos):
+            cur.advance(2)
+            name = cur.read_name()
+            cur.skip_whitespace()
+            cur.expect(">")
+            yield Token(TokenType.END_TAG, name, (), start)
+        else:
+            cur.advance(1)
+            name = cur.read_name()
+            attrs = _read_attributes(cur)
+            cur.skip_whitespace()
+            if data.startswith("/>", cur.pos):
+                cur.advance(2)
+                yield Token(TokenType.EMPTY_TAG, name, attrs, start)
+            else:
+                cur.expect(">")
+                yield Token(TokenType.START_TAG, name, attrs, start)

@@ -1,0 +1,224 @@
+"""Node-labeled tree model for XML documents.
+
+The paper (Section 2) models the database as a large rooted node-labeled
+tree ``T = (V_T, E_T)``.  This module provides that tree: a small class
+hierarchy with :class:`Element` and :class:`Text` nodes under a
+:class:`Document` root.
+
+Design notes
+------------
+* Nodes know their parent, so ancestor tests and root-to-node paths are
+  cheap; children are stored in document order.
+* The classes are deliberately plain (no ``__slots__``-breaking dynamic
+  attributes, no metaclasses) -- "explicit is better than implicit".
+* Interval labels (start/end positions, Section 3.1 of the paper) are
+  *not* stored here; :mod:`repro.labeling` computes them into a separate
+  immutable table, keeping the data model independent from any particular
+  numbering scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+
+class Node:
+    """Common base for all tree nodes.
+
+    Attributes
+    ----------
+    parent:
+        The owning :class:`Element` or :class:`Document`, or ``None`` for
+        a detached node.
+    """
+
+    __slots__ = ("parent",)
+
+    def __init__(self) -> None:
+        self.parent: Optional[Node] = None
+
+    # -- navigation ------------------------------------------------------
+
+    def ancestors(self) -> Iterator["Node"]:
+        """Yield the proper ancestors of this node, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def is_ancestor_of(self, other: "Node") -> bool:
+        """Return True if ``self`` is a proper ancestor of ``other``."""
+        return any(anc is self for anc in other.ancestors())
+
+    def root(self) -> "Node":
+        """Return the topmost node reachable through parent links."""
+        node: Node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def depth(self) -> int:
+        """Number of proper ancestors (the document root has depth 0)."""
+        return sum(1 for _ in self.ancestors())
+
+
+class Text(Node):
+    """A text node holding character data."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        super().__init__()
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = self.value if len(self.value) <= 24 else self.value[:21] + "..."
+        return f"Text({preview!r})"
+
+
+class Element(Node):
+    """An XML element: a tag, attributes, and ordered children."""
+
+    __slots__ = ("tag", "attributes", "children")
+
+    def __init__(self, tag: str, attributes: Optional[dict[str, str]] = None) -> None:
+        super().__init__()
+        self.tag = tag
+        self.attributes: dict[str, str] = dict(attributes) if attributes else {}
+        self.children: list[Node] = []
+
+    # -- mutation --------------------------------------------------------
+
+    def append(self, child: Node) -> Node:
+        """Attach ``child`` as the last child and return it."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def append_text(self, value: str) -> Text:
+        """Convenience: create and attach a :class:`Text` child."""
+        node = Text(value)
+        self.append(node)
+        return node
+
+    # -- navigation ------------------------------------------------------
+
+    def child_elements(self) -> Iterator["Element"]:
+        """Yield the element children, in document order."""
+        for child in self.children:
+            if isinstance(child, Element):
+                yield child
+
+    def iter(self) -> Iterator["Element"]:
+        """Yield this element and every descendant element, pre-order."""
+        stack: list[Element] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(list(node.child_elements())))
+
+    def descendants(self) -> Iterator["Element"]:
+        """Yield every proper descendant element, pre-order."""
+        first = True
+        for node in self.iter():
+            if first:
+                first = False
+                continue
+            yield node
+
+    def find_all(self, tag: str) -> Iterator["Element"]:
+        """Yield descendant-or-self elements with the given tag."""
+        for node in self.iter():
+            if node.tag == tag:
+                yield node
+
+    def text_content(self) -> str:
+        """Concatenated character data of all descendant text nodes."""
+        parts: list[str] = []
+        stack: list[Node] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Text):
+                parts.append(node.value)
+            elif isinstance(node, Element):
+                stack.extend(reversed(node.children))
+        return "".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Element({self.tag!r}, children={len(self.children)})"
+
+
+class Document(Node):
+    """A parsed XML document: a container around the single root element.
+
+    For the mega-tree construction of the paper (Section 3.1, merging all
+    documents under a dummy root), see
+    :func:`repro.labeling.interval.label_forest`, which accepts several
+    documents at once.
+    """
+
+    __slots__ = ("children",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.children: list[Node] = []
+
+    @property
+    def root_element(self) -> Element:
+        """The document element; raises ValueError if there is none."""
+        for child in self.children:
+            if isinstance(child, Element):
+                return child
+        raise ValueError("document has no root element")
+
+    def append(self, child: Node) -> Node:
+        """Attach a top-level child (root element, comments-as-text)."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def iter_elements(self) -> Iterator[Element]:
+        """Yield every element of the document, pre-order."""
+        yield from self.root_element.iter()
+
+    def count_nodes(self) -> int:
+        """Total number of element nodes in the document."""
+        return sum(1 for _ in self.iter_elements())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        try:
+            tag = self.root_element.tag
+        except ValueError:
+            tag = "<empty>"
+        return f"Document(root={tag!r})"
+
+
+def walk(
+    node: Node,
+    enter: Callable[[Element], None],
+    leave: Optional[Callable[[Element], None]] = None,
+) -> None:
+    """Depth-first walk calling ``enter`` (and ``leave``) on each element.
+
+    The walk is iterative so arbitrarily deep synthetic documents (the
+    paper's recursive manager DTD produces deep trees) never hit Python's
+    recursion limit.
+    """
+    if isinstance(node, Document):
+        roots = [c for c in node.children if isinstance(c, Element)]
+    elif isinstance(node, Element):
+        roots = [node]
+    else:
+        return
+    # Stack entries are (element, visited_flag).
+    stack: list[tuple[Element, bool]] = [(r, False) for r in reversed(roots)]
+    while stack:
+        element, visited = stack.pop()
+        if visited:
+            if leave is not None:
+                leave(element)
+            continue
+        enter(element)
+        stack.append((element, True))
+        for child in reversed(list(element.child_elements())):
+            stack.append((child, False))

@@ -1,0 +1,82 @@
+"""Serialisation of tree nodes back to XML text.
+
+Used for round-trip testing of the parser and for persisting generated
+data sets to disk so experiments can be re-run on identical inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.xmltree.tree import Document, Element, Node, Text
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    for raw, escaped in _TEXT_ESCAPES.items():
+        value = value.replace(raw, escaped)
+    return value
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    for raw, escaped in _ATTR_ESCAPES.items():
+        value = value.replace(raw, escaped)
+    return value
+
+
+def write_node(node: Node, indent: Optional[int] = None) -> str:
+    """Serialise a single node (and its subtree) to XML text.
+
+    Parameters
+    ----------
+    node:
+        An :class:`Element` or :class:`Text` node.
+    indent:
+        When given, pretty-print with this many spaces per level.
+        Pretty-printing inserts whitespace, so only use it for documents
+        where whitespace is insignificant.
+    """
+    parts: list[str] = []
+    _write(node, parts, indent, 0)
+    return "".join(parts)
+
+
+def write_document(document: Document, indent: Optional[int] = None) -> str:
+    """Serialise a full document, with an XML declaration."""
+    parts: list[str] = ['<?xml version="1.0" encoding="UTF-8"?>']
+    if indent is not None:
+        parts.append("\n")
+    for child in document.children:
+        _write(child, parts, indent, 0)
+    if indent is not None and parts[-1] != "\n":
+        parts.append("\n")
+    return "".join(parts)
+
+
+def _write(node: Node, parts: list[str], indent: Optional[int], level: int) -> None:
+    pad = "" if indent is None else " " * (indent * level)
+    newline = "" if indent is None else "\n"
+    if isinstance(node, Text):
+        parts.append(pad + escape_text(node.value) + newline)
+        return
+    if not isinstance(node, Element):
+        return
+    attrs = "".join(
+        f' {name}="{escape_attribute(value)}"' for name, value in node.attributes.items()
+    )
+    if not node.children:
+        parts.append(f"{pad}<{node.tag}{attrs}/>{newline}")
+        return
+    only_text = all(isinstance(c, Text) for c in node.children)
+    if only_text:
+        content = "".join(escape_text(c.value) for c in node.children if isinstance(c, Text))
+        parts.append(f"{pad}<{node.tag}{attrs}>{content}</{node.tag}>{newline}")
+        return
+    parts.append(f"{pad}<{node.tag}{attrs}>{newline}")
+    for child in node.children:
+        _write(child, parts, indent, level + 1)
+    parts.append(f"{pad}</{node.tag}>{newline}")

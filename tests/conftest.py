@@ -1,0 +1,63 @@
+"""Shared fixtures: labeled trees and estimators for the standard data sets.
+
+Session-scoped where construction is expensive, so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    generate_dblp,
+    generate_orgchart,
+    generate_shakespeare,
+    generate_xmark,
+    paper_example_document,
+)
+from repro.estimation import AnswerSizeEstimator
+from repro.labeling import label_document
+from repro.labeling.interval import LabeledTree
+
+
+@pytest.fixture(scope="session")
+def paper_tree() -> LabeledTree:
+    """The labeled Fig. 1 example document."""
+    return label_document(paper_example_document())
+
+
+@pytest.fixture(scope="session")
+def paper_estimator(paper_tree: LabeledTree) -> AnswerSizeEstimator:
+    """A 2x2-grid estimator over the Fig. 1 document (as in Fig. 7)."""
+    return AnswerSizeEstimator(paper_tree, grid_size=2)
+
+
+@pytest.fixture(scope="session")
+def dblp_tree() -> LabeledTree:
+    """A small DBLP-like database (~5.5k nodes, seed-stable)."""
+    return label_document(generate_dblp(seed=7, scale=0.1))
+
+
+@pytest.fixture(scope="session")
+def dblp_estimator(dblp_tree: LabeledTree) -> AnswerSizeEstimator:
+    return AnswerSizeEstimator(dblp_tree, grid_size=10)
+
+
+@pytest.fixture(scope="session")
+def orgchart_tree() -> LabeledTree:
+    """The recursive orgchart database of the paper's Section 5.2."""
+    return label_document(generate_orgchart(seed=42))
+
+
+@pytest.fixture(scope="session")
+def orgchart_estimator(orgchart_tree: LabeledTree) -> AnswerSizeEstimator:
+    return AnswerSizeEstimator(orgchart_tree, grid_size=10)
+
+
+@pytest.fixture(scope="session")
+def xmark_tree() -> LabeledTree:
+    return label_document(generate_xmark(seed=23, scale=0.5))
+
+
+@pytest.fixture(scope="session")
+def shakespeare_tree() -> LabeledTree:
+    return label_document(generate_shakespeare(seed=11, plays=1))

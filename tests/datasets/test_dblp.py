@@ -1,0 +1,71 @@
+"""DBLP-like generator tests: Table 1 structural characteristics."""
+
+from collections import Counter
+
+from repro.datasets import generate_dblp
+from repro.labeling import label_document
+from repro.predicates.base import ContentPrefixPredicate, TagPredicate
+from repro.predicates.catalog import PredicateCatalog
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self):
+        a = generate_dblp(seed=3, scale=0.02)
+        b = generate_dblp(seed=3, scale=0.02)
+        assert [e.tag for e in a.iter_elements()] == [
+            e.tag for e in b.iter_elements()
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_dblp(seed=3, scale=0.02)
+        b = generate_dblp(seed=4, scale=0.02)
+        assert [e.tag for e in a.iter_elements()] != [
+            e.tag for e in b.iter_elements()
+        ]
+
+    def test_scale_scales_linearly(self):
+        small = generate_dblp(seed=3, scale=0.02).count_nodes()
+        large = generate_dblp(seed=3, scale=0.08).count_nodes()
+        assert 2.5 <= large / small <= 6.0
+
+    def test_scale_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            generate_dblp(scale=0)
+
+
+class TestTable1Characteristics:
+    def test_tag_mix(self, dblp_tree):
+        counts = Counter(e.tag for e in dblp_tree.elements)
+        # Table 1 ratios: authors outnumber articles; years/titles per
+        # record; cites concentrated.
+        assert counts["author"] > counts["article"]
+        assert counts["year"] >= counts["article"]
+        assert counts["title"] >= counts["article"]
+        assert counts["book"] < counts["article"] / 5
+        assert counts["cdrom"] < counts["url"]
+
+    def test_all_tag_predicates_no_overlap(self, dblp_tree):
+        """Table 1: every DBLP element-tag predicate is no-overlap."""
+        catalog = PredicateCatalog(dblp_tree)
+        for stats in catalog.register_all_tags():
+            assert stats.no_overlap, stats.predicate.name
+
+    def test_prefix_predicates_nonempty(self, dblp_tree):
+        catalog = PredicateCatalog(dblp_tree)
+        conf = catalog.stats(ContentPrefixPredicate("conf", tag="cite"))
+        journal = catalog.stats(ContentPrefixPredicate("journal", tag="cite"))
+        cite = catalog.stats(TagPredicate("cite"))
+        assert conf.count > 0 and journal.count > 0
+        assert conf.count + journal.count == cite.count
+
+    def test_two_level_records(self, dblp_tree):
+        """Structure: record children of the root, fields below them."""
+        assert int(dblp_tree.level.max()) == 3
+
+    def test_years_parse_as_integers(self, dblp_tree):
+        for element in dblp_tree.elements:
+            if element.tag == "year":
+                year = int(element.text_content())
+                assert 1960 <= year <= 2001

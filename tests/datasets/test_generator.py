@@ -1,0 +1,132 @@
+"""DTD-driven generator tests: output must conform to the DTD."""
+
+import pytest
+
+from repro.datasets.generator import DtdGenerator, GeneratorConfig
+from repro.dtd.analyzer import analyze_dtd
+from repro.dtd.parser import parse_dtd
+
+SIMPLE_DTD = """
+<!ELEMENT library (book+)>
+<!ELEMENT book (title, author+, isbn?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT isbn (#PCDATA)>
+"""
+
+RECURSIVE_DTD = """
+<!ELEMENT part (name, part*)>
+<!ELEMENT name (#PCDATA)>
+"""
+
+CHOICE_DTD = """
+<!ELEMENT doc ((a | b | c)+)>
+<!ELEMENT a EMPTY>
+<!ELEMENT b EMPTY>
+<!ELEMENT c EMPTY>
+"""
+
+
+class TestConformance:
+    def test_sequence_order_respected(self):
+        generator = DtdGenerator(parse_dtd(SIMPLE_DTD), seed=1)
+        doc = generator.generate("library")
+        for book in doc.root_element.find_all("book"):
+            tags = [c.tag for c in book.child_elements()]
+            assert tags[0] == "title"
+            assert all(t == "author" for t in tags[1:-1] or tags[1:])
+            assert tags.count("title") == 1
+            assert tags.count("author") >= 1
+            assert tags.count("isbn") <= 1
+            if "isbn" in tags:
+                assert tags[-1] == "isbn"
+
+    def test_plus_produces_at_least_one(self):
+        generator = DtdGenerator(parse_dtd(SIMPLE_DTD), seed=2)
+        doc = generator.generate("library")
+        books = list(doc.root_element.find_all("book"))
+        assert len(books) >= 1
+        for book in books:
+            assert any(c.tag == "author" for c in book.child_elements())
+
+    def test_pcdata_elements_have_text(self):
+        generator = DtdGenerator(parse_dtd(SIMPLE_DTD), seed=3)
+        doc = generator.generate("library")
+        for title in doc.root_element.find_all("title"):
+            assert title.text_content().strip()
+
+    def test_only_declared_tags_appear(self):
+        generator = DtdGenerator(parse_dtd(SIMPLE_DTD), seed=4)
+        doc = generator.generate("library")
+        declared = {"library", "book", "title", "author", "isbn"}
+        assert {e.tag for e in doc.iter_elements()} <= declared
+
+
+class TestRecursionControl:
+    def test_max_depth_respected_approximately(self):
+        config = GeneratorConfig(max_depth=5, repeat_mean=3.0, depth_damping=1.0)
+        generator = DtdGenerator(parse_dtd(RECURSIVE_DTD), config, seed=5)
+        doc = generator.generate("part")
+        from repro.labeling import label_document
+
+        tree = label_document(doc)
+        # Repeats collapse to minimum (0 for *) at the cap, so depth
+        # stays close to max_depth.
+        assert int(tree.level.max()) <= config.max_depth + 2
+
+    def test_max_nodes_soft_cap(self):
+        config = GeneratorConfig(
+            max_nodes=50, repeat_mean=5.0, depth_damping=1.0, max_depth=50
+        )
+        generator = DtdGenerator(parse_dtd(RECURSIVE_DTD), config, seed=6)
+        doc = generator.generate("part")
+        # The cap is soft (applies at repeat decisions), so allow slack.
+        assert doc.count_nodes() < 500
+
+
+class TestChoiceWeights:
+    def test_weights_bias_selection(self):
+        config = GeneratorConfig(
+            repeat_mean=50.0,
+            depth_damping=1.0,
+            choice_weights={"a": 10.0, "b": 1.0, "c": 1.0},
+        )
+        generator = DtdGenerator(parse_dtd(CHOICE_DTD), config, seed=7)
+        doc = generator.generate("doc")
+        from collections import Counter
+
+        counts = Counter(e.tag for e in doc.iter_elements())
+        assert counts["a"] > counts["b"]
+        assert counts["a"] > counts["c"]
+
+    def test_determinism(self):
+        config = GeneratorConfig()
+        a = DtdGenerator(parse_dtd(CHOICE_DTD), config, seed=8).generate("doc")
+        b = DtdGenerator(parse_dtd(CHOICE_DTD), config, seed=8).generate("doc")
+        assert [e.tag for e in a.iter_elements()] == [
+            e.tag for e in b.iter_elements()
+        ]
+
+
+class TestErrors:
+    def test_unknown_root_rejected(self):
+        generator = DtdGenerator(parse_dtd(SIMPLE_DTD))
+        with pytest.raises(KeyError):
+            generator.generate("nonexistent")
+
+
+class TestSchemaDataAgreement:
+    def test_generated_data_respects_schema_no_overlap(self):
+        """Tags the schema says are no-overlap must come out no-overlap
+        in generated data (the converse may fail on lucky draws)."""
+        from repro.labeling import label_document
+        from repro.predicates.base import TagPredicate
+        from repro.predicates.catalog import PredicateCatalog
+
+        declarations = parse_dtd(RECURSIVE_DTD)
+        schema = analyze_dtd(declarations)
+        generator = DtdGenerator(declarations, seed=10)
+        tree = label_document(generator.generate("part"))
+        catalog = PredicateCatalog(tree)
+        assert schema.no_overlap("name")
+        assert catalog.stats(TagPredicate("name")).no_overlap

@@ -1,0 +1,85 @@
+"""Orgchart data set tests: the paper's Table 3 characteristics."""
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets import generate_orgchart
+from repro.datasets.orgchart import ORGCHART_DTD
+from repro.dtd.parser import parse_dtd
+from repro.predicates.base import TagPredicate
+from repro.predicates.catalog import PredicateCatalog
+
+
+class TestTable3Characteristics:
+    def test_overlap_mix_matches_paper(self, orgchart_tree):
+        catalog = PredicateCatalog(orgchart_tree)
+        expected = {
+            "manager": False,     # overlap (recursion)
+            "department": False,  # overlap (recursion)
+            "employee": True,
+            "email": True,
+            "name": True,
+        }
+        for tag, no_overlap in expected.items():
+            assert catalog.stats(TagPredicate(tag)).no_overlap is no_overlap, tag
+
+    def test_counts_in_paper_range(self, orgchart_tree):
+        """Paper: manager 44, department 270, employee 473, email 173,
+        name 1002.  Our generator targets the same order of magnitude."""
+        counts = Counter(e.tag for e in orgchart_tree.elements)
+        assert 10 <= counts["manager"] <= 200
+        assert 50 <= counts["department"] <= 800
+        assert 150 <= counts["employee"] <= 1600
+        assert 50 <= counts["email"] <= 800
+        assert 300 <= counts["name"] <= 3000
+
+    def test_deep_nesting(self, orgchart_tree):
+        """The whole point of the synthetic set: deep recursion."""
+        assert int(orgchart_tree.level.max()) >= 6
+
+    def test_managers_actually_nest(self, orgchart_tree):
+        from repro.query.matcher import count_pairs
+
+        catalog = PredicateCatalog(orgchart_tree)
+        managers = catalog.stats(TagPredicate("manager")).node_indices
+        assert count_pairs(orgchart_tree, managers, managers) > 0
+
+
+class TestDtdConformance:
+    def test_document_conforms_to_content_models(self, orgchart_tree):
+        declarations = parse_dtd(ORGCHART_DTD)
+        for element in orgchart_tree.elements:
+            tags = [c.tag for c in element.child_elements()]
+            if element.tag == "manager":
+                assert tags[0] == "name"
+                assert len(tags) >= 2
+                assert set(tags[1:]) <= {"manager", "department", "employee"}
+            elif element.tag == "department":
+                assert tags[0] == "name"
+                body = tags[1:]
+                if body and body[0] == "email":
+                    body = body[1:]
+                assert "employee" in body
+                split = body.index("employee")
+                assert all(t == "employee" for t in body[split: len([t for t in body if t == 'employee']) + split])
+            elif element.tag == "employee":
+                assert tags and all(t in ("name", "email") for t in tags)
+                assert tags.count("email") <= 1
+            elif element.tag in ("name", "email"):
+                assert tags == []
+
+    def test_determinism(self):
+        a = generate_orgchart(seed=42)
+        b = generate_orgchart(seed=42)
+        assert [e.tag for e in a.iter_elements()] == [
+            e.tag for e in b.iter_elements()
+        ]
+
+    def test_min_nodes_gate(self):
+        doc = generate_orgchart(seed=1, min_nodes=500)
+        assert doc.count_nodes() >= 500
+
+    def test_min_nodes_zero_returns_first_draw(self):
+        doc = generate_orgchart(seed=42, min_nodes=0)
+        assert doc.count_nodes() >= 1

@@ -1,0 +1,43 @@
+"""Fig. 1 example document tests: the paper's quoted counts must hold."""
+
+from collections import Counter
+
+from repro.datasets import paper_example_document
+from repro.query.xpath import parse_xpath
+from repro.query.matcher import count_matches
+
+
+class TestQuotedCounts:
+    def test_tag_counts(self, paper_tree):
+        counts = Counter(e.tag for e in paper_tree.elements)
+        assert counts["faculty"] == 3
+        assert counts["TA"] == 5
+        assert counts["RA"] == 10
+        assert counts["department"] == 1
+        assert counts["lecturer"] == 1
+        assert counts["staff"] == 1
+        assert counts["research_scientist"] == 1
+        assert counts["name"] == 6
+
+    def test_real_faculty_ta_answer_is_two(self, paper_tree):
+        assert count_matches(paper_tree, parse_xpath("//faculty//TA")) == 2
+
+    def test_schema_constraints_hold(self, paper_tree):
+        """Lecturers have TAs but no RA; research scientists have RAs
+        but no TA (the paper's schema description)."""
+        assert count_matches(paper_tree, parse_xpath("//lecturer//RA")) == 0
+        assert count_matches(paper_tree, parse_xpath("//research_scientist//TA")) == 0
+        assert count_matches(paper_tree, parse_xpath("//lecturer//TA")) == 3
+
+    def test_every_personnel_has_name(self, paper_tree):
+        for tag in ("faculty", "staff", "lecturer", "research_scientist"):
+            personnel = [e for e in paper_tree.elements if e.tag == tag]
+            for person in personnel:
+                assert any(c.tag == "name" for c in person.child_elements())
+
+    def test_document_rebuilds_identically(self):
+        doc1 = paper_example_document()
+        doc2 = paper_example_document()
+        tags1 = [e.tag for e in doc1.iter_elements()]
+        tags2 = [e.tag for e in doc2.iter_elements()]
+        assert tags1 == tags2

@@ -1,0 +1,80 @@
+"""Treebank-like data set tests: deep recursion, estimator robustness."""
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets import generate_treebank
+from repro.estimation import AnswerSizeEstimator
+from repro.labeling import label_document
+from repro.predicates.base import TagPredicate
+from repro.predicates.catalog import PredicateCatalog
+
+
+@pytest.fixture(scope="module")
+def treebank_tree():
+    return label_document(generate_treebank(seed=17, sentences=40))
+
+
+class TestStructure:
+    def test_deep_nesting(self, treebank_tree):
+        assert int(treebank_tree.level.max()) >= 12
+
+    def test_phrase_tags_overlap(self, treebank_tree):
+        """Almost everything recurses: S, NP, VP must be overlap
+        predicates -- the hard regime for estimation."""
+        catalog = PredicateCatalog(treebank_tree)
+        for tag in ("S", "NP", "VP"):
+            assert not catalog.stats(TagPredicate(tag)).no_overlap, tag
+
+    def test_terminals_no_overlap(self, treebank_tree):
+        catalog = PredicateCatalog(treebank_tree)
+        for tag in ("NN", "VB", "DT"):
+            assert catalog.stats(TagPredicate(tag)).no_overlap, tag
+
+    def test_expected_tags(self, treebank_tree):
+        counts = Counter(e.tag for e in treebank_tree.elements)
+        assert counts["S"] >= 40  # at least one S per sentence
+        assert counts["NP"] > counts["S"]
+
+    def test_determinism(self):
+        a = generate_treebank(seed=17, sentences=5)
+        b = generate_treebank(seed=17, sentences=5)
+        assert [e.tag for e in a.iter_elements()] == [
+            e.tag for e in b.iter_elements()
+        ]
+
+    def test_sentence_validation(self):
+        with pytest.raises(ValueError):
+            generate_treebank(sentences=0)
+
+
+class TestEstimationAtDepth:
+    """The paper: "our techniques are insensitive to depth of tree"."""
+
+    @pytest.mark.parametrize(
+        "anc,desc", [("S", "NN"), ("NP", "NN"), ("VP", "NP"), ("S", "VP")]
+    )
+    def test_overlap_estimates_bounded_and_converging(self, treebank_tree, anc, desc):
+        """Dense mutual recursion is the estimator's hardest regime
+        (heavy within-cell correlation): expect over-estimates up to
+        ~4x at g=10 that shrink with grid refinement."""
+        real = None
+        errors = {}
+        for g in (10, 20):
+            estimator = AnswerSizeEstimator(treebank_tree, grid_size=g)
+            real = estimator.real_answer(f"//{anc}//{desc}")
+            estimate = estimator.estimate(f"//{anc}//{desc}").value
+            errors[g] = abs(estimate - real) / real
+            assert real / 4.0 <= estimate <= real * 4.0, (g, estimate, real)
+        assert errors[20] <= errors[10] + 0.05
+
+    def test_twig_on_parse_trees(self, treebank_tree):
+        estimator = AnswerSizeEstimator(treebank_tree, grid_size=10)
+        query = "//S//NP[.//NN]//PP"
+        real = estimator.real_answer(query)
+        estimate = estimator.estimate(query).value
+        assert real > 0
+        import math
+
+        assert abs(math.log10(estimate / real)) < 1.0

@@ -1,0 +1,89 @@
+"""Robustness data sets: XMark-like and Shakespeare-like generators.
+
+The paper reports results on these corpora were "substantially similar"
+to DBLP; these tests confirm our estimators behave on them too.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets import generate_shakespeare, generate_xmark
+from repro.estimation import AnswerSizeEstimator
+from repro.predicates.base import TagPredicate
+from repro.predicates.catalog import PredicateCatalog
+
+
+class TestXmarkStructure:
+    def test_parlist_recursion_gives_overlap(self, xmark_tree):
+        catalog = PredicateCatalog(xmark_tree)
+        assert not catalog.stats(TagPredicate("parlist")).no_overlap
+        assert not catalog.stats(TagPredicate("listitem")).no_overlap
+
+    def test_catalog_tags_no_overlap(self, xmark_tree):
+        catalog = PredicateCatalog(xmark_tree)
+        for tag in ("item", "person", "open_auction", "bidder"):
+            assert catalog.stats(TagPredicate(tag)).no_overlap, tag
+
+    def test_expected_sections(self, xmark_tree):
+        counts = Counter(e.tag for e in xmark_tree.elements)
+        assert counts["site"] == 1
+        assert counts["item"] > 0
+        assert counts["person"] > 0
+        assert counts["open_auction"] > 0
+
+    def test_determinism(self):
+        a = generate_xmark(seed=23, scale=0.2)
+        b = generate_xmark(seed=23, scale=0.2)
+        assert [e.tag for e in a.iter_elements()] == [
+            e.tag for e in b.iter_elements()
+        ]
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            generate_xmark(scale=0)
+
+
+class TestShakespeareStructure:
+    def test_hierarchy_depth(self, shakespeare_tree):
+        # PLAYS / PLAY / ACT / SCENE / SPEECH / LINE
+        assert int(shakespeare_tree.level.max()) == 6
+
+    def test_every_tag_no_overlap(self, shakespeare_tree):
+        catalog = PredicateCatalog(shakespeare_tree)
+        for stats in catalog.register_all_tags():
+            assert stats.no_overlap, stats.predicate.name
+
+    def test_speech_structure(self, shakespeare_tree):
+        for speech in (
+            e for e in shakespeare_tree.elements if e.tag == "SPEECH"
+        ):
+            tags = [c.tag for c in speech.child_elements()]
+            assert tags[0] == "SPEAKER"
+            assert all(t == "LINE" for t in tags[1:])
+
+    def test_plays_validation(self):
+        with pytest.raises(ValueError):
+            generate_shakespeare(plays=0)
+
+
+class TestEstimatorsOnRobustnessSets:
+    @pytest.mark.parametrize(
+        "anc,desc", [("ACT", "LINE"), ("SCENE", "SPEAKER"), ("PLAY", "SPEECH")]
+    )
+    def test_shakespeare_estimates(self, shakespeare_tree, anc, desc):
+        estimator = AnswerSizeEstimator(shakespeare_tree, grid_size=10)
+        real = estimator.real_answer(f"//{anc}//{desc}")
+        estimate = estimator.estimate(f"//{anc}//{desc}").value
+        assert estimate == pytest.approx(real, rel=0.4)
+
+    @pytest.mark.parametrize(
+        "anc,desc", [("item", "text"), ("parlist", "text"), ("person", "emailaddress")]
+    )
+    def test_xmark_estimates(self, xmark_tree, anc, desc):
+        estimator = AnswerSizeEstimator(xmark_tree, grid_size=10)
+        real = estimator.real_answer(f"//{anc}//{desc}")
+        estimate = estimator.estimate(f"//{anc}//{desc}").value
+        assert real > 0
+        # parlist recursion is harder; stay within a factor of 2.5.
+        assert real / 2.5 <= estimate <= real * 2.5

@@ -1,0 +1,97 @@
+"""Schema analyzer unit tests (no-overlap inference and shortcuts)."""
+
+from repro.datasets.orgchart import ORGCHART_DTD
+from repro.dtd.analyzer import analyze_dtd
+from repro.dtd.parser import parse_dtd
+
+
+def analysis(dtd_text=ORGCHART_DTD):
+    return analyze_dtd(parse_dtd(dtd_text))
+
+
+class TestNoOverlapInference:
+    def test_recursive_tags_overlap(self):
+        schema = analysis()
+        assert not schema.no_overlap("manager")
+        assert not schema.no_overlap("department")
+
+    def test_non_recursive_tags_no_overlap(self):
+        schema = analysis()
+        assert schema.no_overlap("employee")
+        assert schema.no_overlap("email")
+        assert schema.no_overlap("name")
+
+    def test_mutual_recursion_detected(self):
+        schema = analysis(
+            "<!ELEMENT a (b)>\n<!ELEMENT b (a?)>\n"
+        )
+        assert not schema.no_overlap("a")
+        assert not schema.no_overlap("b")
+
+    def test_schema_agrees_with_data(self, orgchart_tree):
+        """The DTD-derived property must match what the generated data
+        exhibits (the generator must honor the schema)."""
+        from repro.predicates.base import TagPredicate
+        from repro.predicates.catalog import PredicateCatalog
+
+        schema = analysis()
+        catalog = PredicateCatalog(orgchart_tree)
+        for tag in ("manager", "department", "employee", "email", "name"):
+            data_no_overlap = catalog.stats(TagPredicate(tag)).no_overlap
+            if schema.no_overlap(tag):
+                assert data_no_overlap, tag  # schema guarantee must hold
+
+
+class TestContainment:
+    def test_transitive_reachability(self):
+        schema = analysis()
+        assert schema.can_contain("manager", "email")
+        assert schema.can_contain("manager", "department")
+        assert schema.can_contain("department", "employee")
+        assert not schema.can_contain("employee", "department")
+        assert not schema.can_contain("name", "email")
+
+    def test_zero_answer_shortcut(self):
+        """Paper Section 4: schema-forbidden nestings estimate to zero."""
+        schema = analysis()
+        assert schema.zero_answer("email", "manager")
+        assert not schema.zero_answer("manager", "email")
+
+    def test_any_content_contains_everything(self):
+        schema = analysis("<!ELEMENT a ANY>\n<!ELEMENT b (#PCDATA)>\n")
+        assert schema.can_contain("a", "b")
+        assert schema.can_contain("a", "a")
+        assert not schema.no_overlap("a")
+
+
+class TestSoleParent:
+    def test_unique_parent_found(self):
+        schema = analysis(
+            "<!ELEMENT book (author+)>\n<!ELEMENT author (#PCDATA)>\n"
+        )
+        assert schema.sole_parent("author") == "book"
+
+    def test_shared_child_has_no_sole_parent(self):
+        schema = analysis()  # name appears under manager/department/employee
+        assert schema.sole_parent("name") is None
+
+
+class TestMandatoryTags:
+    def test_plus_and_bare_names_mandatory(self):
+        schema = analysis()
+        assert schema.mandatory_tags("employee") == {"name"}
+        assert schema.mandatory_tags("department") == {"name", "employee"}
+
+    def test_choice_mandatory_only_if_common(self):
+        schema = analysis(
+            "<!ELEMENT a ((b, c) | (b, d))>"
+            "<!ELEMENT b EMPTY><!ELEMENT c EMPTY><!ELEMENT d EMPTY>"
+        )
+        assert schema.mandatory_tags("a") == {"b"}
+
+    def test_optional_not_mandatory(self):
+        schema = analysis()
+        assert "email" not in schema.mandatory_tags("department")
+
+    def test_unknown_tag_empty(self):
+        assert analysis().mandatory_tags("ghost") == set()

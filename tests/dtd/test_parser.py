@@ -1,0 +1,144 @@
+"""DTD parser unit tests."""
+
+import pytest
+
+from repro.dtd.ast import (
+    AnyContent,
+    Choice,
+    EmptyContent,
+    NameRef,
+    PCData,
+    Repeat,
+    RepeatKind,
+    Sequence,
+    referenced_names,
+)
+from repro.dtd.parser import DTDParseError, parse_dtd
+
+
+class TestBasicDeclarations:
+    def test_pcdata(self):
+        decls = parse_dtd("<!ELEMENT name (#PCDATA)>")
+        assert decls["name"].model == PCData()
+
+    def test_empty(self):
+        decls = parse_dtd("<!ELEMENT br EMPTY>")
+        assert decls["br"].model == EmptyContent()
+
+    def test_any(self):
+        decls = parse_dtd("<!ELEMENT x ANY>")
+        assert decls["x"].model == AnyContent()
+
+    def test_single_child(self):
+        decls = parse_dtd("<!ELEMENT a (b)>")
+        assert decls["a"].model == NameRef("b")
+
+    def test_sequence(self):
+        decls = parse_dtd("<!ELEMENT a (b, c, d)>")
+        model = decls["a"].model
+        assert isinstance(model, Sequence)
+        assert [str(i) for i in model.items] == ["b", "c", "d"]
+
+    def test_choice(self):
+        decls = parse_dtd("<!ELEMENT a (b | c)>")
+        model = decls["a"].model
+        assert isinstance(model, Choice)
+
+    @pytest.mark.parametrize("op,kind", [("?", RepeatKind.OPTIONAL), ("*", RepeatKind.STAR), ("+", RepeatKind.PLUS)])
+    def test_occurrence_operators(self, op, kind):
+        decls = parse_dtd(f"<!ELEMENT a (b{op})>")
+        model = decls["a"].model
+        assert isinstance(model, Repeat)
+        assert model.kind is kind
+        assert model.item == NameRef("b")
+
+    def test_group_repeat(self):
+        decls = parse_dtd("<!ELEMENT a (b | c)+>")
+        model = decls["a"].model
+        assert isinstance(model, Repeat)
+        assert isinstance(model.item, Choice)
+
+
+class TestPaperDTD:
+    """The manager/department/employee DTD of the paper's Section 5.2."""
+
+    DTD = """
+    <!ELEMENT manager (name, (manager | department | employee)+)>
+    <!ELEMENT department (name, email?, employee+, department*)>
+    <!ELEMENT employee (name+, email?)>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT email (#PCDATA)>
+    """
+
+    def test_all_five_elements_parsed(self):
+        decls = parse_dtd(self.DTD)
+        assert sorted(decls) == ["department", "email", "employee", "manager", "name"]
+
+    def test_manager_model_shape(self):
+        decls = parse_dtd(self.DTD)
+        model = decls["manager"].model
+        assert isinstance(model, Sequence)
+        assert model.items[0] == NameRef("name")
+        repeat = model.items[1]
+        assert isinstance(repeat, Repeat) and repeat.kind is RepeatKind.PLUS
+        assert isinstance(repeat.item, Choice)
+        assert {str(o) for o in repeat.item.options} == {
+            "manager",
+            "department",
+            "employee",
+        }
+
+    def test_referenced_names(self):
+        decls = parse_dtd(self.DTD)
+        assert set(referenced_names(decls["department"].model)) == {
+            "name",
+            "email",
+            "employee",
+            "department",
+        }
+
+    def test_rendering_round_trip(self):
+        decls = parse_dtd(self.DTD)
+        rendered = "\n".join(str(d) for d in decls.values())
+        again = parse_dtd(rendered)
+        assert {n: str(d.model) for n, d in again.items()} == {
+            n: str(d.model) for n, d in decls.items()
+        }
+
+
+class TestToleratedConstructs:
+    def test_comments_skipped(self):
+        decls = parse_dtd("<!-- hi --><!ELEMENT a (b)><!-- bye -->")
+        assert "a" in decls
+
+    def test_attlist_skipped(self):
+        decls = parse_dtd(
+            '<!ELEMENT a (b)><!ATTLIST a id ID #REQUIRED>'
+        )
+        assert sorted(decls) == ["a"]
+
+    def test_entity_skipped(self):
+        decls = parse_dtd('<!ENTITY amp "&#38;"><!ELEMENT a EMPTY>')
+        assert sorted(decls) == ["a"]
+
+
+class TestErrors:
+    def test_no_declarations(self):
+        with pytest.raises(DTDParseError, match="no <!ELEMENT"):
+            parse_dtd("just text")
+
+    def test_duplicate_declaration(self):
+        with pytest.raises(DTDParseError, match="duplicate"):
+            parse_dtd("<!ELEMENT a (b)><!ELEMENT a (c)>")
+
+    def test_mixed_separators_rejected(self):
+        with pytest.raises(DTDParseError, match="mix"):
+            parse_dtd("<!ELEMENT a (b, c | d)>")
+
+    def test_unbalanced_group(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd("<!ELEMENT a (b, (c)>")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(DTDParseError, match="trailing"):
+            parse_dtd("<!ELEMENT a (b) extra>")

@@ -1,0 +1,136 @@
+"""AnswerSizeEstimator facade unit tests."""
+
+import pytest
+
+from repro.estimation.estimator import AnswerSizeEstimator
+from repro.predicates.base import TagPredicate
+from repro.query.pattern import PatternTree
+
+
+class TestMethodRouting:
+    def test_auto_uses_no_overlap_when_available(self, dblp_estimator):
+        result = dblp_estimator.estimate_pair(
+            TagPredicate("article"), TagPredicate("author"), method="auto"
+        )
+        assert result.method == "no-overlap"
+
+    def test_auto_falls_back_to_ph_join(self, orgchart_estimator):
+        result = orgchart_estimator.estimate_pair(
+            TagPredicate("department"), TagPredicate("employee"), method="auto"
+        )
+        assert result.method.startswith("ph-join")
+
+    def test_no_overlap_requires_property(self, orgchart_estimator):
+        with pytest.raises(ValueError, match="no-overlap"):
+            orgchart_estimator.estimate_pair(
+                TagPredicate("department"),
+                TagPredicate("employee"),
+                method="no-overlap",
+            )
+
+    def test_unknown_method_rejected(self, dblp_estimator):
+        with pytest.raises(ValueError, match="unknown"):
+            dblp_estimator.estimate_pair(
+                TagPredicate("article"), TagPredicate("author"), method="magic"
+            )
+
+    def test_naive_method(self, dblp_estimator):
+        a = dblp_estimator.catalog.stats(TagPredicate("article")).count
+        b = dblp_estimator.catalog.stats(TagPredicate("author")).count
+        result = dblp_estimator.estimate_pair(
+            TagPredicate("article"), TagPredicate("author"), method="naive"
+        )
+        assert result.value == pytest.approx(a * b)
+
+    def test_upper_bound_method(self, dblp_estimator):
+        b = dblp_estimator.catalog.stats(TagPredicate("author")).count
+        result = dblp_estimator.estimate_pair(
+            TagPredicate("article"), TagPredicate("author"), method="upper-bound"
+        )
+        assert result.value == b
+
+
+class TestCaching:
+    def test_position_histograms_cached(self, dblp_tree):
+        estimator = AnswerSizeEstimator(dblp_tree, grid_size=10)
+        first = estimator.position_histogram(TagPredicate("article"))
+        second = estimator.position_histogram(TagPredicate("article"))
+        assert first is second
+
+    def test_true_histogram_cached(self, dblp_tree):
+        estimator = AnswerSizeEstimator(dblp_tree, grid_size=10)
+        assert estimator.true_histogram is estimator.true_histogram
+
+    def test_coverage_none_for_overlap(self, orgchart_estimator):
+        assert orgchart_estimator.coverage_histogram(
+            TagPredicate("department")
+        ) is None
+
+    def test_coverage_built_for_no_overlap(self, dblp_estimator):
+        coverage = dblp_estimator.coverage_histogram(TagPredicate("article"))
+        assert coverage is not None
+        assert coverage.entry_count() > 0
+
+
+class TestQueryInterface:
+    def test_accepts_xpath_strings(self, dblp_estimator):
+        result = dblp_estimator.estimate("//article//author")
+        assert result.value > 0
+
+    def test_accepts_pattern_trees(self, dblp_estimator):
+        pattern = PatternTree.path("article", "author")
+        result = dblp_estimator.estimate(pattern)
+        assert result.value > 0
+
+    def test_real_answer_string_and_pattern_agree(self, dblp_estimator):
+        via_string = dblp_estimator.real_answer("//article//author")
+        via_pattern = dblp_estimator.real_answer(PatternTree.path("article", "author"))
+        assert via_string == via_pattern
+
+    def test_storage_bytes_report(self, dblp_estimator):
+        report = dblp_estimator.storage_bytes(TagPredicate("article"))
+        assert report["position"] > 0
+        assert report["coverage"] > 0
+        overlap_report = dblp_estimator.storage_bytes(TagPredicate("dblp"))
+        assert overlap_report["position"] > 0
+
+    def test_bad_grid_size_rejected(self, dblp_tree):
+        with pytest.raises(ValueError):
+            AnswerSizeEstimator(dblp_tree, grid_size=0)
+
+
+class TestAccuracyContract:
+    """End-to-end guarantees the library should keep: the paper's
+    qualitative claims on its own data regimes."""
+
+    @pytest.mark.parametrize(
+        "anc,desc", [("article", "author"), ("article", "cite"), ("book", "cdrom")]
+    )
+    def test_dblp_auto_estimates_close(self, dblp_estimator, anc, desc):
+        real = dblp_estimator.real_answer(f"//{anc}//{desc}")
+        estimate = dblp_estimator.estimate(f"//{anc}//{desc}").value
+        if real >= 20:
+            assert estimate == pytest.approx(real, rel=0.3)
+        else:
+            assert abs(estimate - real) <= max(5, real)
+
+    @pytest.mark.parametrize(
+        "anc,desc",
+        [("manager", "department"), ("manager", "employee"), ("department", "email")],
+    )
+    def test_orgchart_auto_estimates_close(self, orgchart_estimator, anc, desc):
+        real = orgchart_estimator.real_answer(f"//{anc}//{desc}")
+        estimate = orgchart_estimator.estimate(f"//{anc}//{desc}").value
+        assert estimate == pytest.approx(real, rel=0.6)
+
+    def test_estimation_is_fast(self, dblp_estimator):
+        """The paper: 'a few tenths of a millisecond'.  Allow 10 ms on
+        shared CI hardware -- still minuscule next to evaluation."""
+        dblp_estimator.position_histogram(TagPredicate("article"))  # warm
+        dblp_estimator.position_histogram(TagPredicate("author"))
+        dblp_estimator.coverage_histogram(TagPredicate("article"))
+        result = dblp_estimator.estimate_pair(
+            TagPredicate("article"), TagPredicate("author")
+        )
+        assert result.elapsed_seconds is not None
+        assert result.elapsed_seconds < 0.010

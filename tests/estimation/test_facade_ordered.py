@@ -1,0 +1,37 @@
+"""Facade-level ordered-semantics tests."""
+
+import pytest
+
+from repro.predicates.base import TagPredicate
+
+
+class TestEstimateFollowing:
+    def test_against_exact(self, dblp_estimator):
+        before, after = TagPredicate("article"), TagPredicate("book")
+        estimate = dblp_estimator.estimate_following(before, after)
+        real = dblp_estimator.real_following(before, after)
+        assert estimate.method == "following"
+        assert estimate.value == pytest.approx(real, rel=0.25)
+
+    def test_siblings_on_paper_example(self, paper_estimator):
+        staff, lecturer = TagPredicate("staff"), TagPredicate("lecturer")
+        # Fig. 1 order: ... staff ... lecturer ... -> exactly 1 pair.
+        assert paper_estimator.real_following(staff, lecturer) == 1
+        assert paper_estimator.real_following(lecturer, staff) == 0
+        estimate = paper_estimator.estimate_following(staff, lecturer)
+        assert 0.0 <= estimate.value <= 2.0
+
+    def test_nested_pairs_never_follow(self, dblp_estimator):
+        """A record and its own author nest, so following counts only
+        cross-record pairs; the total must be below the full product."""
+        article, author = TagPredicate("article"), TagPredicate("author")
+        real = dblp_estimator.real_following(article, author)
+        product = (
+            dblp_estimator.catalog.stats(article).count
+            * dblp_estimator.catalog.stats(author).count
+        )
+        nested = dblp_estimator.real_answer("//article//author")
+        assert real < product
+        assert real + nested <= product
+        estimate = dblp_estimator.estimate_following(article, author)
+        assert estimate.value == pytest.approx(real, rel=0.2)

@@ -1,0 +1,113 @@
+"""Level-aware estimation tests (parent-child and level refinement)."""
+
+import pytest
+
+from repro.estimation.leveljoin import ph_join_level_refined, ph_join_parent_child
+from repro.histograms.grid import GridSpec
+from repro.histograms.levels import LevelPositionHistogram
+from repro.predicates.base import TagPredicate
+
+
+class TestParentChildEstimation:
+    def test_flat_hierarchy_exactish(self, dblp_estimator):
+        """On DBLP every author's parent is a record: // and / coincide
+        and the child estimate must track the descendant estimate."""
+        pa, pd = TagPredicate("article"), TagPredicate("author")
+        child = dblp_estimator.estimate_pair(pa, pd, method="ph-join-child").value
+        desc = dblp_estimator.estimate_pair(pa, pd, method="ph-join").value
+        real_child = dblp_estimator.real_answer("//article/author")
+        real_desc = dblp_estimator.real_answer("//article//author")
+        assert real_child == real_desc
+        assert child == pytest.approx(desc, rel=1e-9)
+
+    @pytest.mark.parametrize(
+        "anc,desc", [("manager", "department"), ("department", "employee")]
+    )
+    def test_recursive_hierarchy_child_much_tighter(
+        self, orgchart_estimator, anc, desc
+    ):
+        """On the recursive orgchart, / answers are far below //; the
+        level-aware child estimate must follow the / answer."""
+        pa, pd = TagPredicate(anc), TagPredicate(desc)
+        child_estimate = orgchart_estimator.estimate_pair(
+            pa, pd, method="ph-join-child"
+        ).value
+        real_child = orgchart_estimator.real_answer(f"//{anc}/{desc}")
+        real_desc = orgchart_estimator.real_answer(f"//{anc}//{desc}")
+        assert real_child < real_desc
+        assert child_estimate == pytest.approx(real_child, rel=0.6)
+        # The child estimate must sit much closer to real_child than the
+        # descendant answer does.
+        assert abs(child_estimate - real_child) < abs(real_desc - real_child)
+
+    def test_estimate_routes_child_axis(self, orgchart_estimator):
+        result = orgchart_estimator.estimate("//manager/department")
+        assert result.method == "ph-join-child"
+
+    def test_impossible_levels_give_zero(self):
+        grid = GridSpec(2, 19)
+        anc = LevelPositionHistogram(grid, {(0, 1, 5): 3})
+        desc = LevelPositionHistogram(grid, {(1, 1, 2): 4})  # shallower
+        assert ph_join_parent_child(anc, desc).value == 0.0
+
+    def test_grid_mismatch_rejected(self):
+        anc = LevelPositionHistogram(GridSpec(2, 19), {(0, 1, 1): 1})
+        desc = LevelPositionHistogram(GridSpec(3, 19), {(0, 1, 2): 1})
+        with pytest.raises(ValueError, match="grids"):
+            ph_join_parent_child(anc, desc)
+
+
+class TestLevelRefinedEstimation:
+    def test_never_worse_than_plain_on_self_join(self, dblp_estimator):
+        """article//article: plain pH-join assigns in-cell self-pair
+        mass; the level refinement knows all articles share one level
+        and must estimate exactly zero."""
+        pa = TagPredicate("article")
+        refined = dblp_estimator.estimate_pair(pa, pa, method="ph-join-level").value
+        assert refined == 0.0
+        assert dblp_estimator.real_answer("//article//article") == 0
+
+    def test_matches_plain_when_levels_disjoint(self, dblp_estimator):
+        pa, pd = TagPredicate("article"), TagPredicate("author")
+        plain = dblp_estimator.estimate_pair(pa, pd, method="ph-join").value
+        refined = dblp_estimator.estimate_pair(pa, pd, method="ph-join-level").value
+        assert refined == pytest.approx(plain, rel=1e-9)
+
+    def test_improves_on_recursive_self_nesting(self, orgchart_estimator):
+        """employee//name: employees all at many levels but names are
+        one deeper than their employee; refinement must not increase the
+        error of the plain estimator."""
+        pa, pd = TagPredicate("employee"), TagPredicate("name")
+        real = orgchart_estimator.real_answer("//employee//name")
+        plain = orgchart_estimator.estimate_pair(pa, pd, method="ph-join").value
+        refined = orgchart_estimator.estimate_pair(pa, pd, method="ph-join-level").value
+        assert abs(refined - real) <= abs(plain - real)
+
+    def test_nonnegative(self, orgchart_estimator):
+        pa, pd = TagPredicate("department"), TagPredicate("email")
+        value = orgchart_estimator.estimate_pair(pa, pd, method="ph-join-level").value
+        assert value >= 0.0
+
+
+class TestPrecomputedCoefficients:
+    def test_matches_plain_ph_join(self, dblp_estimator):
+        for anc, desc in (("article", "author"), ("book", "cdrom")):
+            pa, pd = TagPredicate(anc), TagPredicate(desc)
+            plain = dblp_estimator.estimate_pair(pa, pd, method="ph-join").value
+            pre = dblp_estimator.estimate_pair(
+                pa, pd, method="ph-join-precomputed"
+            ).value
+            assert pre == pytest.approx(plain, rel=1e-12)
+
+    def test_coefficients_cached(self, dblp_estimator):
+        pd = TagPredicate("author")
+        first = dblp_estimator.join_coefficients(pd)
+        second = dblp_estimator.join_coefficients(pd)
+        assert first is second
+
+    def test_precomputed_is_fast(self, dblp_estimator):
+        pa, pd = TagPredicate("article"), TagPredicate("author")
+        dblp_estimator.join_coefficients(pd)  # warm
+        result = dblp_estimator.estimate_pair(pa, pd, method="ph-join-precomputed")
+        assert result.elapsed_seconds is not None
+        assert result.elapsed_seconds < 0.005

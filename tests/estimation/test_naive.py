@@ -1,0 +1,41 @@
+"""Baseline estimator unit tests."""
+
+import pytest
+
+from repro.estimation.naive import naive_product_estimate, upper_bound_estimate
+
+
+class TestNaiveProduct:
+    def test_paper_example_numbers(self):
+        """Section 2: 3 faculty x 5 TA = 15."""
+        assert naive_product_estimate(3, 5).value == 15.0
+
+    def test_zero_cardinality(self):
+        assert naive_product_estimate(0, 100).value == 0.0
+
+    def test_method_tag(self):
+        assert naive_product_estimate(2, 2).method == "naive"
+
+    def test_timing_recorded(self):
+        assert naive_product_estimate(2, 2).elapsed_seconds is not None
+
+
+class TestUpperBound:
+    def test_paper_example_numbers(self):
+        """Section 2: bound is the 5 TA nodes when faculty is no-overlap."""
+        result = upper_bound_estimate(5, ancestor_no_overlap=True)
+        assert result.value == 5.0
+
+    def test_unavailable_without_property(self):
+        """Table 4 prints no upper bound for overlap ancestors."""
+        result = upper_bound_estimate(5, ancestor_no_overlap=False)
+        assert result.value == float("inf")
+
+    def test_ratio_to_helper(self):
+        result = upper_bound_estimate(5, ancestor_no_overlap=True)
+        assert result.ratio_to(2) == pytest.approx(2.5)
+        assert result.ratio_to(0) == float("inf")
+
+    def test_ratio_both_zero(self):
+        result = upper_bound_estimate(0, ancestor_no_overlap=True)
+        assert result.ratio_to(0) == 1.0

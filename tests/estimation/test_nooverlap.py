@@ -1,0 +1,205 @@
+"""No-overlap estimator unit tests (paper Section 4, Fig. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.nooverlap import (
+    join_factor,
+    no_overlap_estimate,
+    participation_ancestor,
+    participation_descendant,
+    propagate_coverage,
+)
+from repro.estimation.phjoin import ph_join
+from repro.histograms.coverage import CoverageHistogram, build_coverage_histogram
+from repro.histograms.grid import GridSpec
+from repro.histograms.position import PositionHistogram, build_position_histogram
+from repro.histograms.truehist import build_true_histogram
+from repro.predicates.base import TagPredicate
+from repro.predicates.catalog import PredicateCatalog
+
+
+def setup_pair(tree, anc_tag, desc_tag, grid_size):
+    grid = GridSpec(grid_size, tree.max_label)
+    catalog = PredicateCatalog(tree)
+    anc_stats = catalog.stats(TagPredicate(anc_tag))
+    desc_stats = catalog.stats(TagPredicate(desc_tag))
+    true_hist = build_true_histogram(tree, grid)
+    hist_anc = build_position_histogram(tree, anc_stats.node_indices, grid)
+    hist_desc = build_position_histogram(tree, desc_stats.node_indices, grid)
+    coverage = build_coverage_histogram(tree, anc_stats.node_indices, true_hist)
+    return hist_anc, hist_desc, coverage, catalog
+
+
+class TestPaperWorkedExample:
+    def test_faculty_ta_close_to_real(self, paper_tree):
+        """Paper Fig. 8 narrative: no-overlap estimate 1.9 vs real 2."""
+        hist_anc, hist_desc, coverage, _catalog = setup_pair(
+            paper_tree, "faculty", "TA", 2
+        )
+        estimate = no_overlap_estimate(hist_anc, coverage, hist_desc)
+        assert 1.5 <= estimate.value <= 2.4
+        # Dramatically better than both naive (15) and pH-join (~0.5).
+        ph = ph_join(hist_anc, hist_desc).value
+        assert abs(estimate.value - 2) < abs(ph - 2)
+
+    def test_never_exceeds_descendant_count(self, paper_tree):
+        """Upper bound: each descendant joins at most one no-overlap
+        ancestor, so the estimate can't exceed |descendants|."""
+        for g in (2, 4, 8):
+            hist_anc, hist_desc, coverage, _ = setup_pair(
+                paper_tree, "faculty", "TA", g
+            )
+            estimate = no_overlap_estimate(hist_anc, coverage, hist_desc)
+            assert estimate.value <= hist_desc.total() + 1e-9
+
+
+class TestExactnessOnSeparatedData:
+    def test_exact_when_predicates_align_with_cells(self):
+        """When every descendant of a cell is a predicate descendant,
+        coverage is exact and so is the estimate."""
+        grid = GridSpec(2, 19)
+        hist_anc = PositionHistogram.from_cells(grid, {(0, 0): 1})
+        hist_desc = PositionHistogram.from_cells(grid, {(0, 0): 4})
+        coverage = CoverageHistogram(grid, {(0, 0, 0, 0): 1.0})
+        estimate = no_overlap_estimate(hist_anc, coverage, hist_desc)
+        assert estimate.value == pytest.approx(4.0)
+
+    def test_fractional_coverage_scales_linearly(self):
+        grid = GridSpec(2, 19)
+        hist_anc = PositionHistogram.from_cells(grid, {(0, 1): 2})
+        hist_desc = PositionHistogram.from_cells(grid, {(1, 1): 10})
+        coverage = CoverageHistogram(grid, {(1, 1, 0, 1): 0.3})
+        estimate = no_overlap_estimate(hist_anc, coverage, hist_desc)
+        assert estimate.value == pytest.approx(3.0)
+
+    def test_unpopulated_ancestor_cells_skipped(self):
+        grid = GridSpec(2, 19)
+        hist_anc = PositionHistogram(grid)  # no ancestors participate
+        hist_desc = PositionHistogram.from_cells(grid, {(1, 1): 10})
+        coverage = CoverageHistogram(grid, {(1, 1, 0, 1): 0.5})
+        estimate = no_overlap_estimate(hist_anc, coverage, hist_desc)
+        assert estimate.value == 0.0
+
+    def test_join_factors_multiply(self):
+        grid = GridSpec(2, 19)
+        hist_anc = PositionHistogram.from_cells(grid, {(0, 1): 2})
+        hist_desc = PositionHistogram.from_cells(grid, {(1, 1): 10})
+        coverage = CoverageHistogram(grid, {(1, 1, 0, 1): 0.3})
+        anc_jf = np.zeros((2, 2))
+        anc_jf[0, 1] = 2.0
+        desc_jf = np.ones((2, 2)) * 3.0
+        estimate = no_overlap_estimate(
+            hist_anc, coverage, hist_desc,
+            ancestor_join_factor=anc_jf,
+            descendant_join_factor=desc_jf,
+        )
+        assert estimate.value == pytest.approx(3.0 * 2.0 * 3.0)
+
+
+class TestDblpQueries:
+    """The Table 2 regime: no-overlap estimates should be within ~20% of
+    the real answer, pH-join much worse, naive absurd."""
+
+    @pytest.mark.parametrize(
+        "anc,desc",
+        [("article", "author"), ("article", "cite"), ("article", "cdrom")],
+    )
+    def test_no_overlap_beats_ph_join(self, dblp_estimator, anc, desc):
+        pa, pd = TagPredicate(anc), TagPredicate(desc)
+        real = dblp_estimator.real_answer(f"//{anc}//{desc}")
+        nov = dblp_estimator.estimate_pair(pa, pd, method="no-overlap").value
+        ph = dblp_estimator.estimate_pair(pa, pd, method="ph-join").value
+        assert abs(nov - real) < abs(ph - real)
+        assert nov == pytest.approx(real, rel=0.25)
+
+
+class TestParticipation:
+    def test_ancestor_participation_bounded_by_count(self):
+        grid = GridSpec(2, 19)
+        hist_anc = PositionHistogram.from_cells(grid, {(0, 1): 5})
+        hist_desc = PositionHistogram.from_cells(grid, {(1, 1): 100})
+        part = participation_ancestor(hist_anc, hist_desc)
+        assert 0 < part[0, 1] <= 5.0
+        # With many descendants, almost all ancestors participate.
+        assert part[0, 1] > 4.9
+
+    def test_ancestor_participation_occupancy_formula(self):
+        grid = GridSpec(2, 19)
+        hist_anc = PositionHistogram.from_cells(grid, {(0, 1): 4})
+        hist_desc = PositionHistogram.from_cells(grid, {(0, 0): 3})
+        part = participation_ancestor(hist_anc, hist_desc)
+        expected = 4 * (1 - (3 / 4) ** 3)
+        assert part[0, 1] == pytest.approx(expected)
+
+    def test_single_ancestor_participates_fully(self):
+        grid = GridSpec(2, 19)
+        hist_anc = PositionHistogram.from_cells(grid, {(0, 1): 1})
+        hist_desc = PositionHistogram.from_cells(grid, {(1, 1): 2})
+        part = participation_ancestor(hist_anc, hist_desc)
+        assert part[0, 1] == pytest.approx(1.0)
+
+    def test_no_descendants_no_participation(self):
+        grid = GridSpec(2, 19)
+        hist_anc = PositionHistogram.from_cells(grid, {(0, 1): 5})
+        part = participation_ancestor(hist_anc, PositionHistogram(grid))
+        assert part[0, 1] == 0.0
+
+    def test_descendant_participation_sums_coverage(self):
+        grid = GridSpec(2, 19)
+        hist_desc = PositionHistogram.from_cells(grid, {(1, 1): 10})
+        hist_anc = PositionHistogram.from_cells(grid, {(0, 1): 2})
+        coverage = CoverageHistogram(grid, {(1, 1, 0, 1): 0.4})
+        part = participation_descendant(hist_desc, hist_anc, coverage)
+        assert part[1, 1] == pytest.approx(4.0)
+
+    def test_descendant_participation_ignores_empty_ancestor_cells(self):
+        grid = GridSpec(2, 19)
+        hist_desc = PositionHistogram.from_cells(grid, {(1, 1): 10})
+        hist_anc = PositionHistogram(grid)
+        coverage = CoverageHistogram(grid, {(1, 1, 0, 1): 0.4})
+        part = participation_descendant(hist_desc, hist_anc, coverage)
+        assert part[1, 1] == 0.0
+
+
+class TestJoinFactorAndPropagation:
+    def test_join_factor_divides_where_positive(self):
+        est = np.array([[0.0, 6.0], [0.0, 0.0]])
+        part = np.array([[0.0, 3.0], [0.0, 0.0]])
+        jf = join_factor(est, part)
+        assert jf[0, 1] == pytest.approx(2.0)
+        assert jf[0, 0] == 0.0
+
+    def test_propagate_coverage_scales_by_participation_ratio(self):
+        grid = GridSpec(2, 19)
+        coverage = CoverageHistogram(grid, {(1, 1, 0, 1): 0.8})
+        original = PositionHistogram.from_cells(grid, {(0, 1): 4})
+        participation = np.zeros((2, 2))
+        participation[0, 1] = 2.0  # half the ancestors survive
+        scaled = propagate_coverage(coverage, participation, original)
+        assert scaled.coverage(1, 1, 0, 1) == pytest.approx(0.4)
+
+    def test_propagate_coverage_clamps_to_one(self):
+        grid = GridSpec(2, 19)
+        coverage = CoverageHistogram(grid, {(1, 1, 0, 1): 0.9})
+        original = PositionHistogram.from_cells(grid, {(0, 1): 1})
+        participation = np.zeros((2, 2))
+        participation[0, 1] = 2.0  # numerically above the original
+        scaled = propagate_coverage(coverage, participation, original)
+        assert scaled.coverage(1, 1, 0, 1) == 1.0
+
+
+class TestGridValidation:
+    def test_grid_mismatch_rejected(self):
+        a = PositionHistogram.from_cells(GridSpec(2, 19), {(0, 1): 1})
+        b = PositionHistogram.from_cells(GridSpec(3, 19), {(0, 1): 1})
+        coverage = CoverageHistogram(GridSpec(2, 19))
+        with pytest.raises(ValueError, match="different grids"):
+            no_overlap_estimate(a, coverage, b)
+
+    def test_coverage_grid_mismatch_rejected(self):
+        grid = GridSpec(2, 19)
+        a = PositionHistogram.from_cells(grid, {(0, 1): 1})
+        coverage = CoverageHistogram(GridSpec(3, 19))
+        with pytest.raises(ValueError, match="coverage"):
+            no_overlap_estimate(a, coverage, a)

@@ -1,0 +1,123 @@
+"""Ordered-semantics estimator tests (following / preceding)."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.ordered import (
+    count_following_pairs,
+    following_coefficients,
+    ph_join_following,
+    ph_join_preceding,
+)
+from repro.histograms.grid import GridSpec
+from repro.histograms.position import PositionHistogram, build_position_histogram
+from repro.predicates.base import TagPredicate
+from repro.predicates.catalog import PredicateCatalog
+
+
+def setup(tree, before_tag, after_tag, grid_size=10):
+    catalog = PredicateCatalog(tree)
+    grid = GridSpec(grid_size, tree.max_label)
+    before = catalog.stats(TagPredicate(before_tag))
+    after = catalog.stats(TagPredicate(after_tag))
+    return (
+        build_position_histogram(tree, before.node_indices, grid),
+        build_position_histogram(tree, after.node_indices, grid),
+        before.node_indices,
+        after.node_indices,
+    )
+
+
+class TestExactCounter:
+    def test_brute_force_agreement(self, paper_tree):
+        _hb, _ha, before, after = setup(paper_tree, "faculty", "TA", 4)
+        fast = count_following_pairs(paper_tree, before, after)
+        brute = sum(
+            1
+            for u in before
+            for v in after
+            if paper_tree.end[u] < paper_tree.start[v]
+        )
+        assert fast == brute
+
+    def test_empty_inputs(self, paper_tree):
+        empty = np.array([], dtype=np.int64)
+        some = np.array([0], dtype=np.int64)
+        assert count_following_pairs(paper_tree, empty, some) == 0
+        assert count_following_pairs(paper_tree, some, empty) == 0
+
+    def test_asymmetry(self, paper_tree):
+        """following(a, b) + following(b, a) + nesting pairs account for
+        every cross pair (disjointness is exhaustive with nesting)."""
+        from repro.query.matcher import count_pairs
+
+        _hb, _ha, faculty, ta = setup(paper_tree, "faculty", "TA", 4)
+        f_then_t = count_following_pairs(paper_tree, faculty, ta)
+        t_then_f = count_following_pairs(paper_tree, ta, faculty)
+        nested = count_pairs(paper_tree, faculty, ta) + count_pairs(
+            paper_tree, ta, faculty
+        )
+        assert f_then_t + t_then_f + nested == len(faculty) * len(ta)
+
+
+class TestCoefficients:
+    def test_hand_computed(self):
+        grid = GridSpec(3, 29)
+        after = PositionHistogram.from_cells(grid, {(2, 2): 4, (1, 1): 2})
+        coeff = following_coefficients(after.dense())
+        # Anchor ending in bucket 0: everything follows.
+        assert coeff[0, 0] == pytest.approx(6.0)
+        # Anchor ending in bucket 1: bucket-2 mass (4) + half bucket-1 (1).
+        assert coeff[0, 1] == pytest.approx(5.0)
+        assert coeff[1, 1] == pytest.approx(5.0)
+        # Anchor ending in bucket 2: half the bucket-2 mass.
+        assert coeff[0, 2] == pytest.approx(2.0)
+        assert coeff[2, 2] == pytest.approx(2.0)
+
+    def test_lower_triangle_not_used(self):
+        grid = GridSpec(3, 29)
+        after = PositionHistogram.from_cells(grid, {(1, 1): 2})
+        coeff = following_coefficients(after.dense())
+        # coeff values exist for all (i <= j); anchors never occupy j < i.
+        assert coeff.shape == (3, 3)
+
+
+class TestEstimatesAgainstReal:
+    @pytest.mark.parametrize(
+        "before,after", [("article", "book"), ("book", "article"), ("cite", "cdrom")]
+    )
+    def test_dblp_following(self, dblp_tree, before, after):
+        hb, ha, before_idx, after_idx = setup(dblp_tree, before, after)
+        real = count_following_pairs(dblp_tree, before_idx, after_idx)
+        estimate = ph_join_following(hb, ha).value
+        assert estimate == pytest.approx(real, rel=0.25)
+
+    def test_orgchart_following(self, orgchart_tree):
+        hb, ha, before_idx, after_idx = setup(orgchart_tree, "employee", "email")
+        real = count_following_pairs(orgchart_tree, before_idx, after_idx)
+        estimate = ph_join_following(hb, ha).value
+        assert real > 0
+        assert estimate == pytest.approx(real, rel=0.35)
+
+    def test_preceding_mirrors_following(self, dblp_tree):
+        hb, ha, before_idx, after_idx = setup(dblp_tree, "article", "book")
+        follow = ph_join_following(hb, ha).value
+        precede = ph_join_preceding(ha, hb).value
+        assert precede == pytest.approx(follow, rel=1e-12)
+
+    def test_grid_mismatch_rejected(self, dblp_tree):
+        hb, _ha, _b, _a = setup(dblp_tree, "article", "book", 10)
+        other = PositionHistogram(GridSpec(5, dblp_tree.max_label))
+        with pytest.raises(ValueError, match="grids"):
+            ph_join_following(hb, other)
+
+    def test_refinement_converges(self, dblp_tree):
+        """Finer grids shrink the half-weight boundary mass, so the
+        estimate converges toward the exact count."""
+        errors = {}
+        for g in (2, 10, 40):
+            hb, ha, before_idx, after_idx = setup(dblp_tree, "article", "book", g)
+            real = count_following_pairs(dblp_tree, before_idx, after_idx)
+            estimate = ph_join_following(hb, ha).value
+            errors[g] = abs(estimate - real) / max(real, 1)
+        assert errors[40] <= errors[2] + 1e-9

@@ -1,0 +1,49 @@
+"""EstimationResult value-object tests."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.result import EstimationResult
+
+
+class TestRatioTo:
+    def test_normal_ratio(self):
+        result = EstimationResult(value=150.0, method="ph-join")
+        assert result.ratio_to(100.0) == pytest.approx(1.5)
+
+    def test_zero_real_zero_estimate(self):
+        assert EstimationResult(0.0, "naive").ratio_to(0.0) == 1.0
+
+    def test_zero_real_nonzero_estimate(self):
+        assert EstimationResult(3.0, "naive").ratio_to(0.0) == float("inf")
+
+
+class TestStr:
+    def test_with_timing(self):
+        result = EstimationResult(1234.5, "no-overlap", elapsed_seconds=0.000321)
+        text = str(result)
+        assert "1,234.5" in text
+        assert "no-overlap" in text
+        assert "0.000321" in text
+
+    def test_without_timing(self):
+        text = str(EstimationResult(2.0, "naive"))
+        assert "naive" in text
+        assert "s]" not in text
+
+    def test_per_cell_not_in_repr(self):
+        result = EstimationResult(
+            1.0, "ph-join", per_cell=np.ones((10, 10))
+        )
+        assert "per_cell" not in repr(result) or "array" not in repr(result)
+
+
+class TestPerCell:
+    def test_per_cell_sums_to_value(self, dblp_estimator):
+        from repro.predicates.base import TagPredicate
+
+        result = dblp_estimator.estimate_pair(
+            TagPredicate("article"), TagPredicate("author"), method="ph-join"
+        )
+        assert result.per_cell is not None
+        assert float(result.per_cell.sum()) == pytest.approx(result.value)

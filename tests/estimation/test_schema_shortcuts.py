@@ -1,0 +1,98 @@
+"""Schema shortcut tests (paper Section 4, first paragraph).
+
+"If we know that no node that satisfies P2 can be a descendant of a
+node that satisfies P1, then the estimate ... is simply zero -- there
+is no need to compute histograms.  Similarly, if we know that each
+element with tag author must have a parent element with tag book, then
+the number of pairs ... is exactly equal to the number of author
+elements."
+"""
+
+import pytest
+
+from repro.datasets.generator import DtdGenerator
+from repro.dtd import analyze_dtd, parse_dtd
+from repro.estimation import AnswerSizeEstimator
+from repro.labeling import label_document
+from repro.predicates.base import TagPredicate
+
+BOOK_DTD = """
+<!ELEMENT library (book+, magazine*)>
+<!ELEMENT book (title, author+)>
+<!ELEMENT magazine (title)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (#PCDATA)>
+"""
+
+
+@pytest.fixture(scope="module")
+def book_estimator():
+    declarations = parse_dtd(BOOK_DTD)
+    schema = analyze_dtd(declarations)
+    document = DtdGenerator(declarations, seed=3).generate("library")
+    tree = label_document(document)
+    return AnswerSizeEstimator(tree, grid_size=8, schema=schema)
+
+
+class TestZeroShortcut:
+    def test_schema_impossible_nesting_is_zero(self, book_estimator):
+        result = book_estimator.estimate("//author//book")
+        assert result.value == 0.0
+        assert result.method == "schema-zero"
+        assert book_estimator.real_answer("//author//book") == 0
+
+    def test_no_overlap_self_join_is_zero_without_schema(self, dblp_estimator):
+        result = dblp_estimator.estimate("//article//article")
+        assert result.value == 0.0
+        assert result.method == "schema-zero"
+
+    def test_twig_with_impossible_branch_is_zero(self, book_estimator):
+        result = book_estimator.estimate("//book[.//magazine]//author")
+        assert result.value == 0.0
+        assert book_estimator.real_answer("//book[.//magazine]//author") == 0
+
+    def test_possible_nesting_not_zeroed(self, book_estimator):
+        result = book_estimator.estimate("//book//author")
+        assert result.value > 0
+
+
+class TestExactShortcut:
+    def test_sole_parent_gives_exact_count(self, book_estimator):
+        result = book_estimator.estimate("//book//author")
+        author_count = book_estimator.catalog.stats(TagPredicate("author")).count
+        real = book_estimator.real_answer("//book//author")
+        assert result.method == "schema-exact"
+        assert result.value == author_count == real
+
+    def test_shared_child_not_shortcut(self, book_estimator):
+        """title appears under book and magazine: no sole parent, so the
+        histogram path must run."""
+        result = book_estimator.estimate("//book//title")
+        assert result.method not in ("schema-exact", "schema-zero")
+
+    def test_explicit_methods_bypass_shortcuts(self, book_estimator):
+        """Raw estimator measurements must stay unaffected."""
+        result = book_estimator.estimate_pair(
+            TagPredicate("book"), TagPredicate("author"), method="ph-join"
+        )
+        assert result.method.startswith("ph-join")
+
+
+class TestWorkloadImprovement:
+    def test_impossible_random_twigs_now_zero(self, orgchart_tree):
+        """The worst offenders of the robustness study (impossible
+        nestings like employee//manager) become exact zeros once the
+        orgchart schema is supplied."""
+        from repro.datasets.orgchart import ORGCHART_DTD
+
+        schema = analyze_dtd(parse_dtd(ORGCHART_DTD))
+        estimator = AnswerSizeEstimator(orgchart_tree, grid_size=10, schema=schema)
+        for query in (
+            "//employee//manager",
+            "//employee//department",
+            "//email//name",
+            "//employee//employee",
+        ):
+            result = estimator.estimate(query)
+            assert result.value == 0.0, query
+            assert estimator.real_answer(query) == 0, query

@@ -1,0 +1,125 @@
+"""Twig cascade estimator unit tests."""
+
+import pytest
+
+from repro.estimation.estimator import AnswerSizeEstimator
+from repro.query.pattern import PatternTree
+from repro.query.xpath import parse_xpath
+
+
+class TestReducesToPairwise:
+    def test_two_node_twig_matches_pairwise_no_overlap(self, dblp_estimator):
+        """For a primitive pattern the cascade must reproduce the
+        pairwise no-overlap estimate exactly."""
+        pattern = parse_xpath("//article//author")
+        cascade = dblp_estimator.twig_estimator().estimate(pattern).value
+        pairwise = dblp_estimator.estimate_pair(
+            pattern.root.predicate,
+            pattern.root.children[0].predicate,
+            method="no-overlap",
+        ).value
+        assert cascade == pytest.approx(pairwise, rel=1e-9)
+
+    def test_two_node_twig_matches_pairwise_overlap(self, orgchart_estimator):
+        pattern = parse_xpath("//department//employee")
+        cascade = orgchart_estimator.twig_estimator().estimate(pattern).value
+        pairwise = orgchart_estimator.estimate_pair(
+            pattern.root.predicate,
+            pattern.root.children[0].predicate,
+            method="ph-join",
+        ).value
+        assert cascade == pytest.approx(pairwise, rel=1e-9)
+
+
+class TestThreeNodeTwigs:
+    @pytest.mark.parametrize(
+        "xpath",
+        [
+            "//article[.//author]//year",
+            "//article[.//author]//cite",
+            "//inproceedings[.//author]//title",
+        ],
+    )
+    def test_dblp_branching_twig_reasonable(self, dblp_estimator, xpath):
+        pattern = parse_xpath(xpath)
+        estimate = dblp_estimator.estimate(pattern).value
+        real = dblp_estimator.real_answer(pattern)
+        assert real > 0
+        # Within a factor of 3 -- far tighter than the naive product,
+        # which is off by orders of magnitude for these queries.
+        assert real / 3 <= estimate <= real * 3
+
+    def test_path_twig_reasonable(self, dblp_estimator):
+        pattern = parse_xpath("//dblp//article//author")
+        estimate = dblp_estimator.estimate(pattern).value
+        real = dblp_estimator.real_answer(pattern)
+        assert real / 3 <= estimate <= real * 3
+
+    def test_orgchart_recursive_twig(self, orgchart_estimator):
+        pattern = parse_xpath("//manager//department//employee")
+        estimate = orgchart_estimator.estimate(pattern).value
+        real = orgchart_estimator.real_answer(pattern)
+        assert real > 0
+        naive = 1.0
+        for node in pattern.nodes():
+            naive *= orgchart_estimator.catalog.stats(node.predicate).count
+        # The cascade must be much closer (log-scale) than naive.
+        import math
+
+        assert abs(math.log10(max(estimate, 1e-9) / real)) < abs(
+            math.log10(naive / real)
+        )
+
+
+class TestFourNodeTwig:
+    def test_intro_style_twig(self, orgchart_estimator):
+        """The paper's introductory query shape:
+        department/faculty[TA][RA] transposed to the orgchart schema."""
+        pattern = parse_xpath("//manager//department[.//employee]//email")
+        estimate = orgchart_estimator.estimate(pattern).value
+        real = orgchart_estimator.real_answer(pattern)
+        assert estimate > 0
+        assert real > 0
+        import math
+
+        assert abs(math.log10(estimate / real)) < 1.0  # within 10x
+
+    def test_branching_at_root(self, dblp_estimator):
+        pattern = parse_xpath("//article[.//author][.//year]//cite")
+        estimate = dblp_estimator.estimate(pattern).value
+        real = dblp_estimator.real_answer(pattern)
+        assert estimate > 0 and real > 0
+
+
+class TestMonotonicity:
+    def test_adding_branch_never_increases_estimate(self, dblp_estimator):
+        """Adding a filter branch can only reduce (or keep) matches per
+        root; estimates should not explode when constraints are added."""
+        loose = dblp_estimator.estimate(parse_xpath("//article//cite")).value
+        tight = dblp_estimator.estimate(
+            parse_xpath("//article[.//cdrom]//cite")
+        ).value
+        assert tight <= loose * 1.05
+
+    def test_zero_when_branch_impossible(self, dblp_estimator):
+        pattern = parse_xpath("//article[.//nonexistent]//author")
+        assert dblp_estimator.estimate(pattern).value == 0.0
+
+
+class TestRootState:
+    def test_root_state_exposes_per_cell(self, dblp_estimator):
+        pattern = parse_xpath("//article[.//author]//year")
+        state = dblp_estimator.twig_estimator().root_state(pattern)
+        assert state.participation.shape == (10, 10)
+        total = state.estimate_total()
+        assert total == pytest.approx(
+            dblp_estimator.estimate(pattern).value, rel=1e-9
+        )
+
+    def test_participation_bounded_by_predicate_count(self, dblp_estimator):
+        pattern = parse_xpath("//article//author")
+        state = dblp_estimator.twig_estimator().root_state(pattern)
+        article_count = dblp_estimator.catalog.stats(
+            pattern.root.predicate
+        ).count
+        assert state.participation.sum() <= article_count + 1e-6

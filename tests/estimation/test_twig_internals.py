@@ -1,0 +1,143 @@
+"""Hand-verified twig cascade internals (Fig. 10 bookkeeping).
+
+These tests construct tiny synthetic states and check each cascade step
+against hand-computed values: the occupancy participation formula, join
+factors, coverage propagation, and the overlap fallback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.estimation.twig import SubpatternState, TwigEstimator
+from repro.histograms.coverage import CoverageHistogram
+from repro.histograms.grid import GridSpec
+from repro.histograms.position import PositionHistogram
+
+
+def make_estimator(histograms, coverages, grid_size=2):
+    """Histograms/coverages are keyed by predicate *name* here."""
+    return TwigEstimator(
+        histogram_provider=lambda p: histograms[p.name],
+        coverage_provider=lambda p: coverages.get(p.name),
+        grid_size=grid_size,
+    )
+
+
+class TestLeafState:
+    def test_leaf_from_histogram(self):
+        grid = GridSpec(2, 19)
+        hist = PositionHistogram.from_cells(grid, {(0, 1): 4})
+        estimator = make_estimator({"P": hist}, {})
+        state = estimator._leaf_state(_node("P"))
+        assert state.participation[0, 1] == 4
+        assert state.join_factor[0, 1] == 1.0
+        assert state.join_factor[0, 0] == 0.0
+        assert not state.no_overlap
+        assert state.estimate_total() == 4.0
+
+
+class TestNoOverlapJoinStep:
+    def test_hand_computed_cascade_step(self):
+        """One no-overlap join, fully by hand.
+
+        Ancestors: 2 nodes in cell (0, 1), coverage of cell (1, 1) by
+        (0, 1) is 0.5.  Child: 8 participating nodes in cell (1, 1),
+        join factor 1.
+
+        Est[0,1]   = 0.5 * 8 = 4
+        M          = child participation in block {(m,n): 0<=m<=n<=1} = 8
+        Part[0,1]  = 2 * (1 - (1/2)^8) = 2 * 255/256
+        JnFct[0,1] = 4 / Part[0,1]
+        """
+        grid = GridSpec(2, 19)
+        anc_hist = PositionHistogram.from_cells(grid, {(0, 1): 2})
+        child_hist = PositionHistogram.from_cells(grid, {(1, 1): 8})
+        coverage = CoverageHistogram(grid, {(1, 1, 0, 1): 0.5}, name="anc")
+        estimator = make_estimator(
+            {"A": anc_hist, "B": child_hist}, {"A": coverage}
+        )
+        anc_state = estimator._leaf_state(_node("A"))
+        child_state = estimator._leaf_state(_node("B"))
+        joined = estimator._join_no_overlap(anc_state, child_state)
+
+        expected_part = 2 * (1 - 0.5**8)
+        assert joined.participation[0, 1] == pytest.approx(expected_part)
+        assert joined.join_factor[0, 1] == pytest.approx(4.0 / expected_part)
+        assert joined.estimate_total() == pytest.approx(4.0)
+        # Coverage propagated with the participation ratio.
+        assert joined.coverage is not None
+        assert joined.coverage.coverage(1, 1, 0, 1) == pytest.approx(
+            0.5 * expected_part / 2
+        )
+
+    def test_empty_child_zeroes_everything(self):
+        grid = GridSpec(2, 19)
+        anc_hist = PositionHistogram.from_cells(grid, {(0, 1): 2})
+        coverage = CoverageHistogram(grid, {(1, 1, 0, 1): 0.5})
+        estimator = make_estimator(
+            {"A": anc_hist, "B": PositionHistogram(grid)}, {"A": coverage}
+        )
+        joined = estimator._join_no_overlap(
+            estimator._leaf_state(_node("A")), estimator._leaf_state(_node("B"))
+        )
+        assert joined.estimate_total() == 0.0
+
+
+class TestOverlapJoinStep:
+    def test_reduces_to_ph_join(self):
+        from repro.estimation.phjoin import ph_join
+
+        grid = GridSpec(3, 29)
+        anc_hist = PositionHistogram.from_cells(grid, {(0, 2): 3})
+        child_hist = PositionHistogram.from_cells(grid, {(1, 1): 5})
+        estimator = make_estimator(
+            {"A": anc_hist, "B": child_hist}, {}, grid_size=3
+        )
+        joined = estimator._join_overlap(
+            estimator._leaf_state(_node("A")), estimator._leaf_state(_node("B"))
+        )
+        assert joined.estimate_total() == pytest.approx(
+            ph_join(anc_hist, child_hist).value
+        )
+        # Overlap participation equals the estimate (Fig. 10 case 1).
+        assert joined.participation[0, 2] == pytest.approx(15.0)
+        assert joined.join_factor[0, 2] == 1.0
+        assert joined.coverage is None
+
+
+class TestZeroHook:
+    def test_hook_short_circuits_join(self):
+        grid = GridSpec(2, 19)
+        anc_hist = PositionHistogram.from_cells(grid, {(0, 1): 2})
+        child_hist = PositionHistogram.from_cells(grid, {(1, 1): 8})
+        estimator = TwigEstimator(
+            histogram_provider=lambda p: {"A": anc_hist, "B": child_hist}[p.name],
+            coverage_provider=lambda p: None,
+            grid_size=2,
+            zero_hook=lambda anc, child: True,
+        )
+        from repro.query.pattern import PatternNode, PatternTree
+
+        root = PatternNode(_Pred("A"))
+        root.add_child(_Pred("B"))
+        result = estimator.estimate(PatternTree(root))
+        assert result.value == 0.0
+
+
+class _Pred:
+    """Minimal predicate stand-in keyed by name."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Pred) and other.name == self.name
+
+
+def _node(name: str):
+    from repro.query.pattern import PatternNode
+
+    return PatternNode(_Pred(name))

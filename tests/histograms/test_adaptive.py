@@ -1,0 +1,108 @@
+"""Equi-depth (non-uniform) grid unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.histograms.adaptive import equi_depth_boundaries, equi_depth_grid
+from repro.histograms.grid import GridSpec
+from repro.histograms.position import build_position_histogram
+from repro.predicates.base import TagPredicate
+from repro.predicates.catalog import PredicateCatalog
+
+
+class TestBoundaries:
+    def test_strictly_increasing_and_covering(self, dblp_tree):
+        grid = equi_depth_grid(dblp_tree, 10)
+        assert grid.boundaries is not None
+        bounds = grid.boundaries
+        assert len(bounds) == 11
+        assert bounds[0] <= 0
+        assert bounds[-1] > dblp_tree.max_label
+        assert all(b2 > b1 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_roughly_equal_depth(self, dblp_tree):
+        grid = equi_depth_grid(dblp_tree, 10)
+        positions = np.concatenate([dblp_tree.start, dblp_tree.end])
+        buckets = grid.buckets(positions)
+        counts = np.bincount(buckets, minlength=10)
+        # Quantile boundaries: each axis bucket within 3x of the mean.
+        mean = counts.mean()
+        assert counts.max() <= 3 * mean
+        assert counts.min() >= mean / 3
+
+    def test_degenerate_population(self):
+        # All positions identical: must still produce a valid grid.
+        bounds = equi_depth_boundaries(np.array([5, 5, 5, 5]), 4, 10)
+        assert len(bounds) == 5
+        assert all(b2 > b1 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            equi_depth_boundaries(np.array([1, 2, 3]), 0, 10)
+
+
+class TestGridSpecWithBoundaries:
+    def test_bucket_respects_boundaries(self):
+        grid = GridSpec(3, 9, boundaries=(0.0, 2.0, 7.0, 10.0))
+        assert grid.bucket(0) == 0
+        assert grid.bucket(1) == 0
+        assert grid.bucket(2) == 1
+        assert grid.bucket(6) == 1
+        assert grid.bucket(7) == 2
+        assert grid.bucket(9) == 2
+
+    def test_vectorised_matches_scalar(self):
+        grid = GridSpec(3, 9, boundaries=(0.0, 2.0, 7.0, 10.0))
+        positions = np.arange(10)
+        assert grid.buckets(positions).tolist() == [
+            grid.bucket(int(p)) for p in positions
+        ]
+
+    def test_bucket_bounds(self):
+        grid = GridSpec(2, 9, boundaries=(0.0, 4.0, 10.0))
+        assert grid.bucket_bounds(0) == (0.0, 4.0)
+        assert grid.bucket_bounds(1) == (4.0, 10.0)
+
+    def test_span_undefined(self):
+        grid = GridSpec(2, 9, boundaries=(0.0, 4.0, 10.0))
+        with pytest.raises(ValueError, match="span"):
+            grid.span
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="boundaries"):
+            GridSpec(2, 9, boundaries=(0.0, 4.0))  # wrong count
+        with pytest.raises(ValueError, match="increasing"):
+            GridSpec(2, 9, boundaries=(0.0, 4.0, 4.0))
+        with pytest.raises(ValueError, match="cover"):
+            GridSpec(2, 9, boundaries=(0.0, 4.0, 8.0))
+
+    def test_compatibility_includes_boundaries(self):
+        uniform = GridSpec(2, 9)
+        shaped = GridSpec(2, 9, boundaries=(0.0, 4.0, 10.0))
+        assert not uniform.compatible_with(shaped)
+        assert shaped.compatible_with(GridSpec(2, 9, boundaries=(0.0, 4.0, 10.0)))
+
+
+class TestEstimationOnEquiDepthGrids:
+    def test_histograms_and_estimates_work(self, dblp_tree):
+        from repro.estimation import AnswerSizeEstimator
+
+        estimator = AnswerSizeEstimator(dblp_tree, grid_size=10, grid="equi-depth")
+        real = estimator.real_answer("//article//author")
+        estimate = estimator.estimate("//article//author").value
+        assert estimate == pytest.approx(real, rel=0.3)
+
+    def test_lemma1_still_holds(self, dblp_tree):
+        grid = equi_depth_grid(dblp_tree, 8)
+        catalog = PredicateCatalog(dblp_tree)
+        for tag in ("article", "cite"):
+            stats = catalog.stats(TagPredicate(tag))
+            hist = build_position_histogram(dblp_tree, stats.node_indices, grid)
+            assert hist.check_lemma1()
+            assert hist.total() == stats.count
+
+    def test_invalid_grid_kind_rejected(self, dblp_tree):
+        from repro.estimation import AnswerSizeEstimator
+
+        with pytest.raises(ValueError, match="grid"):
+            AnswerSizeEstimator(dblp_tree, grid_size=5, grid="hexagonal")

@@ -1,0 +1,133 @@
+"""Coverage histogram unit tests (paper Section 4.2, Theorem 2)."""
+
+import pytest
+
+from repro.histograms.coverage import CoverageHistogram, build_coverage_histogram
+from repro.histograms.grid import GridSpec
+from repro.histograms.truehist import build_true_histogram
+from repro.predicates.base import TagPredicate
+from repro.predicates.catalog import PredicateCatalog
+
+
+def build(tree, tag, grid_size):
+    grid = GridSpec(grid_size, tree.max_label)
+    true_hist = build_true_histogram(tree, grid)
+    catalog = PredicateCatalog(tree)
+    stats = catalog.stats(TagPredicate(tag))
+    return (
+        build_coverage_histogram(tree, stats.node_indices, true_hist, name=tag),
+        true_hist,
+        stats,
+    )
+
+
+class TestConstructionInvariants:
+    def test_fractions_in_unit_interval(self, paper_tree):
+        coverage, _true, _stats = build(paper_tree, "faculty", 4)
+        for _key, fraction in coverage.entries():
+            assert 0.0 < fraction <= 1.0
+
+    def test_covering_cells_are_populated_cells(self, paper_tree):
+        """Every covering cell must actually contain a predicate node."""
+        from repro.histograms.position import build_position_histogram
+
+        grid = GridSpec(4, paper_tree.max_label)
+        catalog = PredicateCatalog(paper_tree)
+        stats = catalog.stats(TagPredicate("faculty"))
+        hist = build_position_histogram(paper_tree, stats.node_indices, grid)
+        true_hist = build_true_histogram(paper_tree, grid)
+        coverage = build_coverage_histogram(
+            paper_tree, stats.node_indices, true_hist
+        )
+        for (_i, _j, m, n), _fraction in coverage.entries():
+            assert hist.count(m, n) > 0
+
+    def test_numerators_exact_against_brute_force(self, paper_tree):
+        """Reconstruct coverage numerators by brute-force ancestor walks."""
+        grid = GridSpec(3, paper_tree.max_label)
+        true_hist = build_true_histogram(paper_tree, grid)
+        catalog = PredicateCatalog(paper_tree)
+        stats = catalog.stats(TagPredicate("faculty"))
+        coverage = build_coverage_histogram(
+            paper_tree, stats.node_indices, true_hist
+        )
+        predicate_set = set(int(x) for x in stats.node_indices)
+        expected: dict[tuple[int, int, int, int], int] = {}
+        for v in range(len(paper_tree)):
+            v_cell = grid.cell_of(int(paper_tree.start[v]), int(paper_tree.end[v]))
+            seen = set()
+            for u in range(len(paper_tree)):
+                if u in predicate_set and paper_tree.is_ancestor(u, v):
+                    u_cell = grid.cell_of(
+                        int(paper_tree.start[u]), int(paper_tree.end[u])
+                    )
+                    if u_cell not in seen:
+                        seen.add(u_cell)
+                        key = (*v_cell, *u_cell)
+                        expected[key] = expected.get(key, 0) + 1
+        for key, numerator in expected.items():
+            denominator = true_hist.count(key[0], key[1])
+            assert coverage.coverage(*key) == pytest.approx(numerator / denominator)
+        # And nothing extra.
+        assert sum(1 for _ in coverage.entries()) == len(expected)
+
+    def test_overlap_predicate_deduplicates_same_cell(self, orgchart_tree):
+        """With nested predicate nodes (overlap), a node under two
+        ancestors in the same cell must count once for that cell."""
+        coverage, _true, _stats = build(orgchart_tree, "department", 6)
+        for _key, fraction in coverage.entries():
+            assert fraction <= 1.0 + 1e-9
+
+    def test_empty_predicate_gives_empty_coverage(self, paper_tree):
+        grid = GridSpec(4, paper_tree.max_label)
+        true_hist = build_true_histogram(paper_tree, grid)
+        coverage = build_coverage_histogram(paper_tree, [], true_hist)
+        assert coverage.entry_count() == 0
+
+
+class TestAccessors:
+    def test_covering_and_covered_views_agree(self, paper_tree):
+        coverage, _true, _stats = build(paper_tree, "faculty", 4)
+        entries = dict(coverage.entries())
+        for (i, j, m, n), fraction in entries.items():
+            assert ((m, n), fraction) in list(coverage.covering_cells(i, j))
+            assert ((i, j), fraction) in list(coverage.covered_cells(m, n))
+
+    def test_missing_entry_is_zero(self, paper_tree):
+        coverage, _true, _stats = build(paper_tree, "faculty", 4)
+        assert coverage.coverage(3, 3, 0, 0) in (0.0, coverage.coverage(3, 3, 0, 0))
+
+    def test_validation_rejects_bad_fraction(self):
+        grid = GridSpec(3, 10)
+        with pytest.raises(ValueError, match="outside"):
+            CoverageHistogram(grid, {(0, 1, 0, 2): 1.5})
+
+    def test_validation_rejects_below_diagonal(self):
+        grid = GridSpec(3, 10)
+        with pytest.raises(ValueError, match="below-diagonal"):
+            CoverageHistogram(grid, {(1, 0, 0, 2): 0.5})
+
+    def test_scaled_copy_is_independent(self, paper_tree):
+        coverage, _true, _stats = build(paper_tree, "faculty", 4)
+        copy = coverage.scaled_copy()
+        assert dict(copy.entries()) == dict(coverage.entries())
+        assert copy is not coverage
+
+
+class TestTheorem2:
+    def test_partial_entries_linear_in_grid_size(self, dblp_tree):
+        """Theorem 2: partial coverage entries are O(g)."""
+        catalog = PredicateCatalog(dblp_tree)
+        stats = catalog.stats(TagPredicate("article"))
+        partials = {}
+        for g in (5, 10, 20, 40):
+            grid = GridSpec(g, dblp_tree.max_label)
+            true_hist = build_true_histogram(dblp_tree, grid)
+            coverage = build_coverage_histogram(
+                dblp_tree, stats.node_indices, true_hist
+            )
+            partials[g] = coverage.partial_entry_count()
+        for g, count in partials.items():
+            assert count <= 6 * g, f"g={g}: {count} partial entries"
+        # Density per g stays bounded (quadratic would quadruple it).
+        assert partials[40] / 40 <= 2.0 * max(partials[10] / 10, 1.0)

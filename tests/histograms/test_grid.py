@@ -1,0 +1,80 @@
+"""GridSpec unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.histograms.grid import GridSpec
+
+
+class TestBucketing:
+    def test_bucket_boundaries(self):
+        grid = GridSpec(size=10, max_label=99)
+        assert grid.bucket(0) == 0
+        assert grid.bucket(9) == 0
+        assert grid.bucket(10) == 1
+        assert grid.bucket(99) == 9
+
+    def test_bucket_uneven_division(self):
+        grid = GridSpec(size=3, max_label=9)  # span 10/3
+        assert grid.bucket(0) == 0
+        assert grid.bucket(3) == 0
+        assert grid.bucket(4) == 1
+        assert grid.bucket(9) == 2
+
+    def test_bucket_out_of_range(self):
+        grid = GridSpec(size=4, max_label=10)
+        with pytest.raises(ValueError):
+            grid.bucket(-1)
+        with pytest.raises(ValueError):
+            grid.bucket(11)
+
+    def test_vectorised_buckets_match_scalar(self):
+        grid = GridSpec(size=7, max_label=52)
+        positions = np.arange(0, 53)
+        vector = grid.buckets(positions)
+        scalar = [grid.bucket(int(p)) for p in positions]
+        assert vector.tolist() == scalar
+
+    def test_cell_of(self):
+        grid = GridSpec(size=10, max_label=99)
+        assert grid.cell_of(5, 95) == (0, 9)
+
+    def test_single_bucket_grid(self):
+        grid = GridSpec(size=1, max_label=100)
+        assert grid.bucket(0) == 0
+        assert grid.bucket(100) == 0
+
+
+class TestGeometry:
+    def test_bucket_bounds(self):
+        grid = GridSpec(size=4, max_label=7)
+        lo, hi = grid.bucket_bounds(1)
+        assert lo == 2.0 and hi == 4.0
+        with pytest.raises(ValueError):
+            grid.bucket_bounds(4)
+
+    def test_on_diagonal(self):
+        grid = GridSpec(size=5, max_label=9)
+        assert grid.is_on_diagonal(2, 2)
+        assert not grid.is_on_diagonal(2, 3)
+
+    def test_iter_upper_cells(self):
+        grid = GridSpec(size=3, max_label=9)
+        cells = list(grid.iter_upper_cells())
+        assert cells == [(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)]
+
+    def test_compatible_with(self):
+        a = GridSpec(10, 99)
+        assert a.compatible_with(GridSpec(10, 99))
+        assert not a.compatible_with(GridSpec(10, 100))
+        assert not a.compatible_with(GridSpec(9, 99))
+
+
+class TestValidation:
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            GridSpec(size=0, max_label=10)
+
+    def test_bad_max_label(self):
+        with pytest.raises(ValueError):
+            GridSpec(size=2, max_label=-1)

@@ -1,0 +1,79 @@
+"""Level-augmented histogram unit tests."""
+
+import pytest
+
+from repro.histograms.grid import GridSpec
+from repro.histograms.levels import LevelPositionHistogram, build_level_histogram
+from repro.histograms.position import build_position_histogram
+from repro.predicates.base import TagPredicate
+from repro.predicates.catalog import PredicateCatalog
+
+
+class TestConstruction:
+    def test_build_matches_manual(self, paper_tree):
+        catalog = PredicateCatalog(paper_tree)
+        grid = GridSpec(4, paper_tree.max_label)
+        stats = catalog.stats(TagPredicate("TA"))
+        histogram = build_level_histogram(paper_tree, stats.node_indices, grid)
+        manual: dict[tuple[int, int, int], int] = {}
+        for idx in stats.node_indices:
+            cell = grid.cell_of(int(paper_tree.start[idx]), int(paper_tree.end[idx]))
+            key = (*cell, int(paper_tree.level[idx]))
+            manual[key] = manual.get(key, 0) + 1
+        assert dict(histogram.cells()) == pytest.approx(manual)
+
+    def test_total_is_cardinality(self, dblp_tree):
+        catalog = PredicateCatalog(dblp_tree)
+        grid = GridSpec(10, dblp_tree.max_label)
+        stats = catalog.stats(TagPredicate("author"))
+        histogram = build_level_histogram(dblp_tree, stats.node_indices, grid)
+        assert histogram.total() == stats.count
+
+    def test_empty(self, paper_tree):
+        grid = GridSpec(4, paper_tree.max_label)
+        histogram = build_level_histogram(paper_tree, [], grid)
+        assert histogram.total() == 0
+        assert histogram.levels() == []
+
+    def test_validation(self):
+        grid = GridSpec(3, 10)
+        with pytest.raises(ValueError, match="level"):
+            LevelPositionHistogram(grid, {(0, 1, 0): 1})
+        with pytest.raises(ValueError, match="diagonal"):
+            LevelPositionHistogram(grid, {(2, 1, 1): 1})
+        with pytest.raises(ValueError, match="negative"):
+            LevelPositionHistogram(grid, {(0, 1, 1): -2})
+
+
+class TestMarginalConsistency:
+    @pytest.mark.parametrize("tag", ["article", "author", "cite"])
+    def test_marginal_equals_plain_histogram(self, dblp_tree, tag):
+        catalog = PredicateCatalog(dblp_tree)
+        grid = GridSpec(10, dblp_tree.max_label)
+        stats = catalog.stats(TagPredicate(tag))
+        leveled = build_level_histogram(dblp_tree, stats.node_indices, grid)
+        plain = build_position_histogram(dblp_tree, stats.node_indices, grid)
+        assert leveled.marginal() == plain
+
+
+class TestDenseViews:
+    def test_dense_level_and_at_least(self, orgchart_tree):
+        catalog = PredicateCatalog(orgchart_tree)
+        grid = GridSpec(6, orgchart_tree.max_label)
+        stats = catalog.stats(TagPredicate("department"))
+        histogram = build_level_histogram(orgchart_tree, stats.node_indices, grid)
+        levels = histogram.levels()
+        assert len(levels) > 1  # recursion spreads departments over levels
+        total = sum(histogram.dense_level(l).sum() for l in levels)
+        assert total == pytest.approx(stats.count)
+        at_least_min = histogram.dense_levels_at_least(min(levels))
+        assert at_least_min.sum() == pytest.approx(stats.count)
+        at_least_deep = histogram.dense_levels_at_least(max(levels) + 1)
+        assert at_least_deep.sum() == 0.0
+
+    def test_flat_data_single_level(self, dblp_tree):
+        catalog = PredicateCatalog(dblp_tree)
+        grid = GridSpec(10, dblp_tree.max_label)
+        stats = catalog.stats(TagPredicate("author"))
+        histogram = build_level_histogram(dblp_tree, stats.node_indices, grid)
+        assert histogram.levels() == [3]

@@ -1,0 +1,144 @@
+"""Position histogram unit tests (paper Section 3.1, Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.histograms.grid import GridSpec
+from repro.histograms.position import PositionHistogram, build_position_histogram
+from repro.predicates.base import TagPredicate
+from repro.predicates.catalog import PredicateCatalog
+
+
+class TestConstruction:
+    def test_from_cells(self):
+        grid = GridSpec(2, 59)
+        hist = PositionHistogram.from_cells(grid, {(0, 0): 2, (0, 1): 1})
+        assert hist.count(0, 0) == 2
+        assert hist.count(0, 1) == 1
+        assert hist.count(1, 1) == 0
+        assert hist.total() == 3
+
+    def test_below_diagonal_rejected(self):
+        grid = GridSpec(3, 10)
+        with pytest.raises(ValueError, match="below the diagonal"):
+            PositionHistogram.from_cells(grid, {(2, 1): 1})
+
+    def test_negative_count_rejected(self):
+        grid = GridSpec(3, 10)
+        with pytest.raises(ValueError, match="negative"):
+            PositionHistogram.from_cells(grid, {(0, 1): -1})
+
+    def test_out_of_grid_rejected(self):
+        grid = GridSpec(3, 10)
+        with pytest.raises(ValueError, match="outside"):
+            PositionHistogram.from_cells(grid, {(0, 3): 1})
+
+    def test_zero_count_not_stored(self):
+        grid = GridSpec(3, 10)
+        hist = PositionHistogram.from_cells(grid, {(0, 1): 0})
+        assert hist.nonzero_cell_count() == 0
+
+
+class TestBuildFromData:
+    def test_total_equals_cardinality(self, paper_tree):
+        catalog = PredicateCatalog(paper_tree)
+        grid = GridSpec(4, paper_tree.max_label)
+        for tag, expected in [("faculty", 3), ("TA", 5), ("RA", 10)]:
+            stats = catalog.stats(TagPredicate(tag))
+            hist = build_position_histogram(
+                paper_tree, stats.node_indices, grid, name=tag
+            )
+            assert hist.total() == expected
+
+    def test_cells_match_manual_bucketing(self, paper_tree):
+        catalog = PredicateCatalog(paper_tree)
+        grid = GridSpec(5, paper_tree.max_label)
+        stats = catalog.stats(TagPredicate("TA"))
+        hist = build_position_histogram(paper_tree, stats.node_indices, grid)
+        manual: dict[tuple[int, int], int] = {}
+        for i in stats.node_indices:
+            cell = grid.cell_of(int(paper_tree.start[i]), int(paper_tree.end[i]))
+            manual[cell] = manual.get(cell, 0) + 1
+        assert dict(hist.cells()) == pytest.approx(manual)
+
+    def test_empty_predicate(self, paper_tree):
+        grid = GridSpec(4, paper_tree.max_label)
+        hist = build_position_histogram(paper_tree, [], grid)
+        assert hist.total() == 0
+        assert hist.nonzero_cell_count() == 0
+
+    def test_upper_triangle_only(self, dblp_tree):
+        catalog = PredicateCatalog(dblp_tree)
+        grid = GridSpec(10, dblp_tree.max_label)
+        stats = catalog.stats(TagPredicate("article"))
+        hist = build_position_histogram(dblp_tree, stats.node_indices, grid)
+        for (i, j), _count in hist.cells():
+            assert j >= i
+
+
+class TestDense:
+    def test_dense_matches_sparse(self):
+        grid = GridSpec(3, 10)
+        hist = PositionHistogram.from_cells(grid, {(0, 2): 4, (1, 1): 2})
+        dense = hist.dense()
+        assert dense.shape == (3, 3)
+        assert dense[0, 2] == 4
+        assert dense[1, 1] == 2
+        assert dense.sum() == 6
+
+    def test_dense_is_cached(self):
+        grid = GridSpec(3, 10)
+        hist = PositionHistogram.from_cells(grid, {(0, 2): 4})
+        assert hist.dense() is hist.dense()
+
+
+class TestScaled:
+    def test_scaled(self):
+        grid = GridSpec(3, 10)
+        hist = PositionHistogram.from_cells(grid, {(0, 2): 4})
+        half = hist.scaled(0.5)
+        assert half.count(0, 2) == 2
+        assert hist.count(0, 2) == 4  # original untouched
+
+
+class TestLemma1:
+    def test_data_built_histograms_satisfy_lemma1(self, dblp_tree):
+        catalog = PredicateCatalog(dblp_tree)
+        grid = GridSpec(8, dblp_tree.max_label)
+        for tag in ("article", "author", "cite", "year"):
+            stats = catalog.stats(TagPredicate(tag))
+            hist = build_position_histogram(dblp_tree, stats.node_indices, grid)
+            assert hist.check_lemma1(), tag
+
+    def test_violating_histogram_detected(self):
+        grid = GridSpec(5, 99)
+        # (0, 3) populated forbids (1, 4): 0 < 1 < 3 and 4 > 3.
+        bad = PositionHistogram.from_cells(grid, {(0, 3): 1, (1, 4): 1})
+        assert not bad.check_lemma1()
+
+
+class TestTheorem1:
+    """Non-zero cells grow linearly, not quadratically, with grid size."""
+
+    def test_nonzero_cells_linear_in_grid_size(self, dblp_tree):
+        catalog = PredicateCatalog(dblp_tree)
+        stats = catalog.stats(TagPredicate("author"))
+        counts = {}
+        for g in (5, 10, 20, 40):
+            grid = GridSpec(g, dblp_tree.max_label)
+            hist = build_position_histogram(dblp_tree, stats.node_indices, grid)
+            counts[g] = hist.nonzero_cell_count()
+        # Linear bound with a small constant (paper observes factor ~2).
+        for g, cells in counts.items():
+            assert cells <= 4 * g, f"g={g}: {cells} cells"
+        # And clearly not quadratic: the per-g density stays flat instead
+        # of growing with g (quadratic growth would quadruple it).
+        assert counts[40] / 40 <= 2.0 * max(counts[10] / 10, 1.0)
+
+    def test_equality_and_repr(self):
+        grid = GridSpec(3, 10)
+        a = PositionHistogram.from_cells(grid, {(0, 1): 2})
+        b = PositionHistogram.from_cells(grid, {(0, 1): 2})
+        c = PositionHistogram.from_cells(grid, {(0, 1): 3})
+        assert a == b
+        assert a != c

@@ -1,0 +1,65 @@
+"""Histogram rendering tests."""
+
+from repro.histograms.grid import GridSpec
+from repro.histograms.position import PositionHistogram
+from repro.histograms.coverage import CoverageHistogram
+from repro.histograms.render import (
+    render_coverage_histogram,
+    render_position_histogram,
+)
+
+
+class TestPositionRendering:
+    def test_fig7_style_grid(self):
+        grid = GridSpec(2, 59)
+        hist = PositionHistogram.from_cells(
+            grid, {(0, 0): 2, (0, 1): 1}, name="faculty"
+        )
+        text = render_position_histogram(hist)
+        lines = text.splitlines()
+        assert lines[0].startswith("faculty (g=2, total=3)")
+        # Highest end bucket on top.
+        assert lines[1].startswith("end  1")
+        assert lines[2].startswith("end  0")
+        # Counts appear; below-diagonal cell is blank, empty cell dotted.
+        assert "1" in lines[1]
+        assert "2" in lines[2]
+        assert "." in lines[1]  # cell (1,1) is empty
+
+    def test_fractional_counts(self):
+        grid = GridSpec(2, 9)
+        hist = PositionHistogram.from_cells(grid, {(0, 1): 0.25})
+        assert "0.25" in render_position_histogram(hist)
+
+    def test_renders_for_real_data(self, dblp_estimator):
+        from repro.predicates.base import TagPredicate
+
+        hist = dblp_estimator.position_histogram(TagPredicate("article"))
+        text = render_position_histogram(hist)
+        assert text.count("\n") >= dblp_estimator.grid.size
+
+
+class TestCoverageRendering:
+    def test_lists_entries(self):
+        grid = GridSpec(2, 9)
+        coverage = CoverageHistogram(
+            grid, {(0, 0, 0, 1): 0.3, (1, 1, 0, 1): 0.5}, name="faculty"
+        )
+        text = render_coverage_histogram(coverage)
+        assert "cell (0,0) <- ancestors in (0,1): 0.300" in text
+        assert "cell (1,1) <- ancestors in (0,1): 0.500" in text
+
+    def test_truncation(self):
+        grid = GridSpec(4, 99)
+        entries = {
+            (i, j, 0, 3): 0.1
+            for i in range(4)
+            for j in range(i, 4)
+        }
+        coverage = CoverageHistogram(grid, entries)
+        text = render_coverage_histogram(coverage, max_rows=3)
+        assert "more entries" in text
+
+    def test_empty(self):
+        coverage = CoverageHistogram(GridSpec(2, 9))
+        assert "(empty)" in render_coverage_histogram(coverage)

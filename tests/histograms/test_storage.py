@@ -1,0 +1,109 @@
+"""Storage accounting and serialisation unit tests."""
+
+import pytest
+
+from repro.histograms.coverage import CoverageHistogram, build_coverage_histogram
+from repro.histograms.grid import GridSpec
+from repro.histograms.position import PositionHistogram, build_position_histogram
+from repro.histograms.storage import (
+    COVERAGE_ENTRY_BYTES,
+    HEADER_BYTES,
+    POSITION_ENTRY_BYTES,
+    coverage_storage_bytes,
+    load_histogram,
+    position_storage_bytes,
+    save_histogram,
+)
+from repro.histograms.truehist import build_true_histogram
+from repro.predicates.base import TagPredicate
+from repro.predicates.catalog import PredicateCatalog
+
+
+class TestByteModel:
+    def test_position_bytes(self):
+        grid = GridSpec(4, 99)
+        hist = PositionHistogram.from_cells(grid, {(0, 1): 5, (1, 2): 3, (2, 2): 1})
+        assert position_storage_bytes(hist) == HEADER_BYTES + 3 * POSITION_ENTRY_BYTES
+
+    def test_coverage_bytes_charge_partials_only(self):
+        grid = GridSpec(4, 99)
+        coverage = CoverageHistogram(
+            grid,
+            {
+                (0, 1, 0, 2): 0.5,   # partial -> charged
+                (1, 1, 0, 2): 1.0,   # full -> free
+                (2, 2, 0, 3): 0.25,  # partial -> charged
+            },
+        )
+        assert (
+            coverage_storage_bytes(coverage)
+            == HEADER_BYTES + 2 * COVERAGE_ENTRY_BYTES
+        )
+
+    def test_empty_histograms_cost_header_only(self):
+        grid = GridSpec(4, 99)
+        assert position_storage_bytes(PositionHistogram(grid)) == HEADER_BYTES
+        assert coverage_storage_bytes(CoverageHistogram(grid)) == HEADER_BYTES
+
+
+class TestSerialisation:
+    def test_position_roundtrip(self, tmp_path):
+        grid = GridSpec(6, 120)
+        hist = PositionHistogram.from_cells(
+            grid, {(0, 5): 2.5, (2, 3): 7}, name="article"
+        )
+        path = tmp_path / "article.hist.json"
+        save_histogram(hist, path)
+        loaded = load_histogram(path)
+        assert isinstance(loaded, PositionHistogram)
+        assert loaded == hist
+        assert loaded.name == "article"
+
+    def test_coverage_roundtrip(self, tmp_path):
+        grid = GridSpec(6, 120)
+        coverage = CoverageHistogram(
+            grid, {(0, 1, 0, 5): 0.3, (1, 1, 0, 5): 1.0}, name="faculty"
+        )
+        path = tmp_path / "faculty.cvg.json"
+        save_histogram(coverage, path)
+        loaded = load_histogram(path)
+        assert isinstance(loaded, CoverageHistogram)
+        assert dict(loaded.entries()) == dict(coverage.entries())
+
+    def test_data_built_roundtrip(self, paper_tree, tmp_path):
+        grid = GridSpec(5, paper_tree.max_label)
+        catalog = PredicateCatalog(paper_tree)
+        stats = catalog.stats(TagPredicate("RA"))
+        hist = build_position_histogram(paper_tree, stats.node_indices, grid, "RA")
+        save_histogram(hist, tmp_path / "ra.json")
+        assert load_histogram(tmp_path / "ra.json") == hist
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "mystery", "grid": {"size": 2, "max_label": 5}}')
+        with pytest.raises(ValueError, match="unknown histogram kind"):
+            load_histogram(path)
+
+    def test_save_rejects_other_types(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_histogram("not a histogram", tmp_path / "x.json")  # type: ignore[arg-type]
+
+
+class TestStorageGrowth:
+    """The empirical backbone of paper Figs. 11-12: linear in g."""
+
+    def test_total_storage_linear_for_no_overlap_pair(self, dblp_tree):
+        catalog = PredicateCatalog(dblp_tree)
+        stats = catalog.stats(TagPredicate("article"))
+        sizes = {}
+        for g in (10, 20, 40):
+            grid = GridSpec(g, dblp_tree.max_label)
+            hist = build_position_histogram(dblp_tree, stats.node_indices, grid)
+            true_hist = build_true_histogram(dblp_tree, grid)
+            coverage = build_coverage_histogram(
+                dblp_tree, stats.node_indices, true_hist
+            )
+            sizes[g] = position_storage_bytes(hist) + coverage_storage_bytes(coverage)
+        # Quadrupling g must not even triple total bytes beyond linear+const.
+        assert sizes[40] <= 5 * sizes[10]
+        assert sizes[40] > sizes[10]  # it does grow

@@ -1,0 +1,81 @@
+"""Summary store tests: persist and reload histogram catalogs."""
+
+import pytest
+
+from repro.estimation.nooverlap import no_overlap_estimate
+from repro.estimation.phjoin import ph_join
+from repro.histograms.store import SummaryStore
+from repro.predicates.base import TagPredicate
+
+
+@pytest.fixture()
+def populated_store(dblp_estimator, tmp_path):
+    # Build a few histograms, then persist them.
+    for tag in ("article", "author", "cite"):
+        dblp_estimator.position_histogram(TagPredicate(tag))
+        dblp_estimator.coverage_histogram(TagPredicate(tag))
+    store = SummaryStore(tmp_path / "summaries")
+    written = store.save(dblp_estimator)
+    assert written >= 3
+    return store
+
+
+class TestRoundTrip:
+    def test_manifest_lists_predicates(self, populated_store):
+        names = populated_store.predicate_names()
+        assert "article" in names and "author" in names
+
+    def test_grid_round_trips(self, populated_store, dblp_estimator):
+        assert populated_store.grid() == dblp_estimator.grid
+
+    def test_position_histograms_identical(self, populated_store, dblp_estimator):
+        for tag in ("article", "author"):
+            reloaded = populated_store.load_position(tag)
+            original = dblp_estimator.position_histogram(TagPredicate(tag))
+            assert reloaded == original
+
+    def test_coverage_round_trips(self, populated_store, dblp_estimator):
+        reloaded = populated_store.load_coverage("article")
+        original = dblp_estimator.coverage_histogram(TagPredicate("article"))
+        assert reloaded is not None and original is not None
+        assert dict(reloaded.entries()) == dict(original.entries())
+
+    def test_estimates_from_store_match_live(self, populated_store, dblp_estimator):
+        """The whole point: estimate from persisted summaries alone."""
+        hist_anc = populated_store.load_position("article")
+        hist_desc = populated_store.load_position("author")
+        coverage = populated_store.load_coverage("article")
+        assert coverage is not None
+        live = dblp_estimator.estimate_pair(
+            TagPredicate("article"), TagPredicate("author"), method="no-overlap"
+        ).value
+        from_store = no_overlap_estimate(hist_anc, coverage, hist_desc).value
+        assert from_store == pytest.approx(live, rel=1e-12)
+        live_ph = dblp_estimator.estimate_pair(
+            TagPredicate("article"), TagPredicate("author"), method="ph-join"
+        ).value
+        assert ph_join(hist_anc, hist_desc).value == pytest.approx(live_ph, rel=1e-12)
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        store = SummaryStore(tmp_path / "nowhere")
+        with pytest.raises(FileNotFoundError):
+            store.load_manifest()
+
+    def test_unknown_predicate(self, populated_store):
+        with pytest.raises(KeyError):
+            populated_store.load_position("ghost")
+
+    def test_total_bytes_positive(self, populated_store):
+        assert populated_store.total_bytes() > 0
+
+    def test_equi_depth_grid_round_trips(self, dblp_tree, tmp_path):
+        from repro.estimation import AnswerSizeEstimator
+
+        estimator = AnswerSizeEstimator(dblp_tree, grid_size=6, grid="equi-depth")
+        estimator.position_histogram(TagPredicate("article"))
+        store = SummaryStore(tmp_path / "eqd")
+        store.save(estimator)
+        assert store.grid() == estimator.grid
+        assert store.grid().boundaries is not None

@@ -1,0 +1,73 @@
+"""Failure injection for persisted summaries: corrupt stores must fail
+cleanly, never silently return wrong statistics."""
+
+import json
+
+import pytest
+
+from repro.histograms.store import SummaryStore
+from repro.predicates.base import TagPredicate
+
+
+@pytest.fixture()
+def store(dblp_estimator, tmp_path):
+    dblp_estimator.position_histogram(TagPredicate("article"))
+    dblp_estimator.coverage_histogram(TagPredicate("article"))
+    s = SummaryStore(tmp_path / "sums")
+    s.save(dblp_estimator)
+    return s
+
+
+class TestCorruptManifest:
+    def test_truncated_manifest(self, store):
+        path = store.directory / SummaryStore.MANIFEST
+        path.write_text(path.read_text()[:20])
+        with pytest.raises(json.JSONDecodeError):
+            store.load_manifest()
+
+    def test_deleted_manifest(self, store):
+        (store.directory / SummaryStore.MANIFEST).unlink()
+        with pytest.raises(FileNotFoundError):
+            store.predicate_names()
+
+
+class TestCorruptHistogramFiles:
+    def test_missing_position_file(self, store):
+        (store.directory / "0.position.json").unlink()
+        with pytest.raises(FileNotFoundError):
+            store.load_position("article")
+
+    def test_garbage_position_file(self, store):
+        (store.directory / "0.position.json").write_text("{not json")
+        with pytest.raises(json.JSONDecodeError):
+            store.load_position("article")
+
+    def test_wrong_kind_in_file(self, store):
+        # Swap a coverage payload into the position slot: the loader
+        # returns a CoverageHistogram and the typed accessor must fail
+        # loudly rather than hand back the wrong structure.
+        coverage_payload = (store.directory / "0.coverage.json").read_text()
+        (store.directory / "0.position.json").write_text(coverage_payload)
+        with pytest.raises(AssertionError):
+            store.load_position("article")
+
+    def test_invalid_cells_rejected_on_load(self, store):
+        payload = json.loads((store.directory / "0.position.json").read_text())
+        payload["cells"].append([3, 1, 5.0])  # below-diagonal cell
+        (store.directory / "0.position.json").write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="below the diagonal"):
+            store.load_position("article")
+
+    def test_negative_count_rejected_on_load(self, store):
+        payload = json.loads((store.directory / "0.position.json").read_text())
+        payload["cells"][0][2] = -4
+        (store.directory / "0.position.json").write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="negative"):
+            store.load_position("article")
+
+    def test_bad_coverage_fraction_rejected_on_load(self, store):
+        payload = json.loads((store.directory / "0.coverage.json").read_text())
+        payload["entries"][0][4] = 3.5
+        (store.directory / "0.coverage.json").write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="outside"):
+            store.load_coverage("article")

@@ -1,0 +1,93 @@
+"""End-to-end integration: text -> parse -> label -> estimate -> verify."""
+
+import pytest
+
+from repro import AnswerSizeEstimator, label_document, label_forest, parse_document
+from repro.datasets import generate_dblp
+from repro.histograms.storage import load_histogram, save_histogram
+from repro.predicates.base import TagPredicate
+from repro.xmltree.writer import write_document
+
+
+class TestFromRawText:
+    XML = """
+    <library>
+      <shelf><book><title>A</title><author>X</author><author>Y</author></book></shelf>
+      <shelf><book><title>B</title><author>Z</author></book>
+             <book><title>C</title></book></shelf>
+    </library>
+    """
+
+    def test_pipeline(self):
+        tree = label_document(parse_document(self.XML))
+        estimator = AnswerSizeEstimator(tree, grid_size=4)
+        real = estimator.real_answer("//book//author")
+        estimate = estimator.estimate("//book//author").value
+        assert real == 3
+        assert 0 < estimate <= 6
+
+    def test_multi_document_database(self):
+        doc1 = parse_document("<a><b/><b/></a>")
+        doc2 = parse_document("<a><b/></a>")
+        tree = label_forest([doc1, doc2])
+        estimator = AnswerSizeEstimator(tree, grid_size=4)
+        assert estimator.real_answer("//a//b") == 3
+        # Cross-document pairs must not exist.
+        assert estimator.catalog.stats(TagPredicate("a")).count == 2
+
+
+class TestSerializationRoundTripThroughDisk:
+    def test_generated_dataset_survives_disk(self, tmp_path):
+        doc = generate_dblp(seed=5, scale=0.02)
+        path = tmp_path / "dblp.xml"
+        path.write_text(write_document(doc, indent=1))
+        reparsed = parse_document(path.read_text())
+        tree_a = label_document(doc)
+        tree_b = label_document(reparsed)
+        assert len(tree_a) == len(tree_b)
+
+        est_a = AnswerSizeEstimator(tree_a, grid_size=8)
+        est_b = AnswerSizeEstimator(tree_b, grid_size=8)
+        for query in ("//article//author", "//article//cite"):
+            assert est_a.real_answer(query) == est_b.real_answer(query)
+            assert est_a.estimate(query).value == pytest.approx(
+                est_b.estimate(query).value, rel=1e-9
+            )
+
+    def test_histograms_survive_disk(self, dblp_estimator, tmp_path):
+        predicate = TagPredicate("article")
+        hist = dblp_estimator.position_histogram(predicate)
+        coverage = dblp_estimator.coverage_histogram(predicate)
+        assert coverage is not None
+        save_histogram(hist, tmp_path / "h.json")
+        save_histogram(coverage, tmp_path / "c.json")
+        hist2 = load_histogram(tmp_path / "h.json")
+        coverage2 = load_histogram(tmp_path / "c.json")
+        from repro.estimation.nooverlap import no_overlap_estimate
+
+        desc = dblp_estimator.position_histogram(TagPredicate("author"))
+        original = no_overlap_estimate(hist, coverage, desc).value
+        reloaded = no_overlap_estimate(hist2, coverage2, desc).value
+        assert reloaded == pytest.approx(original, rel=1e-12)
+
+
+class TestFailureModes:
+    def test_unknown_tag_estimates_zero(self, dblp_estimator):
+        assert dblp_estimator.estimate("//ghost//author").value == 0.0
+        assert dblp_estimator.real_answer("//ghost//author") == 0
+
+    def test_inverted_query_estimates_near_zero(self, dblp_estimator):
+        """author//article can never match (authors are leaves)."""
+        real = dblp_estimator.real_answer("//author//article")
+        estimate = dblp_estimator.estimate("//author//article").value
+        assert real == 0
+        assert estimate <= 1.0
+
+    def test_self_pair_no_overlap_tag(self, dblp_estimator):
+        real = dblp_estimator.real_answer("//article//article")
+        estimate = dblp_estimator.estimate("//article//article").value
+        assert real == 0
+        # pH-join assigns some mass to within-cell self pairs; it must
+        # stay small relative to cardinality.
+        count = dblp_estimator.catalog.stats(TagPredicate("article")).count
+        assert estimate < count

@@ -1,0 +1,161 @@
+"""Integration tests pinning the paper's qualitative results.
+
+Each test corresponds to a table/figure claim from the evaluation
+section; absolute numbers differ (our data sets are regenerated), but
+the orderings, ratios and regimes the paper reports must hold.
+"""
+
+import math
+
+import pytest
+
+from repro.predicates.base import TagPredicate
+from repro.workloads import DBLP_SIMPLE_QUERIES, ORGCHART_SIMPLE_QUERIES
+
+
+def log_error(estimate: float, real: float) -> float:
+    if real == 0 or estimate <= 0:
+        return float("inf") if estimate != real else 0.0
+    return abs(math.log10(estimate / real))
+
+
+class TestTable2Claims:
+    """DBLP simple queries: naive >> overlap > no-overlap ~= real."""
+
+    @pytest.mark.parametrize("anc,desc", DBLP_SIMPLE_QUERIES)
+    def test_estimator_ordering(self, dblp_estimator, anc, desc):
+        pa, pd = TagPredicate(anc), TagPredicate(desc)
+        real = dblp_estimator.real_answer(f"//{anc}//{desc}")
+        naive = dblp_estimator.estimate_pair(pa, pd, method="naive").value
+        overlap = dblp_estimator.estimate_pair(pa, pd, method="ph-join").value
+        no_overlap = dblp_estimator.estimate_pair(pa, pd, method="no-overlap").value
+
+        assert log_error(no_overlap, real) <= log_error(overlap, real)
+        assert log_error(overlap, real) < log_error(naive, real)
+
+    @pytest.mark.parametrize("anc,desc", DBLP_SIMPLE_QUERIES)
+    def test_no_overlap_within_25_percent(self, dblp_estimator, anc, desc):
+        pa, pd = TagPredicate(anc), TagPredicate(desc)
+        real = dblp_estimator.real_answer(f"//{anc}//{desc}")
+        estimate = dblp_estimator.estimate_pair(pa, pd, method="no-overlap").value
+        if real >= 20:
+            assert estimate == pytest.approx(real, rel=0.25)
+        else:
+            # Tiny answers (book//cdrom regime): stay within a handful.
+            assert abs(estimate - real) <= max(5.0, real)
+
+    @pytest.mark.parametrize("anc,desc", DBLP_SIMPLE_QUERIES)
+    def test_upper_bound_column(self, dblp_estimator, anc, desc):
+        """"Desc Num" column: with the no-overlap schema fact, the bound
+        is the descendant count and the real answer respects it."""
+        pd = TagPredicate(desc)
+        real = dblp_estimator.real_answer(f"//{anc}//{desc}")
+        bound = dblp_estimator.estimate_pair(
+            TagPredicate(anc), pd, method="upper-bound"
+        ).value
+        assert bound == dblp_estimator.catalog.stats(pd).count
+        assert real <= bound
+
+    def test_estimation_times_sub_millisecond_scale(self, dblp_estimator):
+        """Paper: "a few tenths of a millisecond".  Warm caches, then
+        check both estimators stay within an order of magnitude of that
+        on CI hardware."""
+        pa, pd = TagPredicate("article"), TagPredicate("author")
+        dblp_estimator.position_histogram(pa)
+        dblp_estimator.position_histogram(pd)
+        dblp_estimator.coverage_histogram(pa)
+        for method in ("ph-join", "no-overlap"):
+            times = [
+                dblp_estimator.estimate_pair(pa, pd, method=method).elapsed_seconds
+                for _ in range(5)
+            ]
+            assert min(t for t in times if t is not None) < 0.005, method
+
+
+class TestTable4Claims:
+    """Synthetic orgchart: overlap ancestors get good pH-join estimates;
+    no-overlap ancestors get much better no-overlap estimates."""
+
+    @pytest.mark.parametrize("anc,desc", ORGCHART_SIMPLE_QUERIES)
+    def test_auto_estimate_quality(self, orgchart_estimator, anc, desc):
+        real = orgchart_estimator.real_answer(f"//{anc}//{desc}")
+        estimate = orgchart_estimator.estimate(f"//{anc}//{desc}").value
+        assert log_error(estimate, real) <= math.log10(2.5)
+
+    def test_no_overlap_na_for_overlap_ancestors(self, orgchart_estimator):
+        """The paper's N/A entries: manager and department rows have no
+        no-overlap estimate."""
+        for anc in ("manager", "department"):
+            assert not orgchart_estimator.is_no_overlap(TagPredicate(anc))
+
+    @pytest.mark.parametrize("anc,desc", [("employee", "name"), ("employee", "email")])
+    def test_no_overlap_beats_ph_join_on_employee_rows(
+        self, orgchart_estimator, anc, desc
+    ):
+        pa, pd = TagPredicate(anc), TagPredicate(desc)
+        real = orgchart_estimator.real_answer(f"//{anc}//{desc}")
+        overlap = orgchart_estimator.estimate_pair(pa, pd, method="ph-join").value
+        no_overlap = orgchart_estimator.estimate_pair(
+            pa, pd, method="no-overlap"
+        ).value
+        assert log_error(no_overlap, real) < log_error(overlap, real)
+
+
+class TestFig11Fig12Claims:
+    """Storage grows linearly with grid size; accuracy converges to 1."""
+
+    def test_fig11_overlap_pair_accuracy_converges(self, orgchart_estimator):
+        from repro.estimation import AnswerSizeEstimator
+
+        real = orgchart_estimator.real_answer("//department//email")
+        ratios = {}
+        for g in (2, 10, 30):
+            estimator = AnswerSizeEstimator(orgchart_estimator.tree, grid_size=g)
+            estimate = estimator.estimate_pair(
+                TagPredicate("department"), TagPredicate("email"), method="ph-join"
+            ).value
+            ratios[g] = estimate / real
+        assert abs(ratios[30] - 1.0) <= abs(ratios[2] - 1.0) + 0.05
+        assert 0.5 <= ratios[30] <= 1.6
+
+    def test_fig12_no_overlap_pair_accuracy_converges(self, dblp_estimator):
+        from repro.estimation import AnswerSizeEstimator
+
+        real = dblp_estimator.real_answer("//article//cdrom")
+        ratios = {}
+        for g in (2, 10, 30):
+            estimator = AnswerSizeEstimator(dblp_estimator.tree, grid_size=g)
+            estimate = estimator.estimate_pair(
+                TagPredicate("article"), TagPredicate("cdrom"), method="no-overlap"
+            ).value
+            ratios[g] = estimate / real
+        assert 0.7 <= ratios[30] <= 1.3
+        assert abs(ratios[30] - 1.0) <= abs(ratios[2] - 1.0) + 0.05
+
+    def test_storage_linear_in_grid(self, dblp_estimator):
+        from repro.estimation import AnswerSizeEstimator
+
+        bytes_by_g = {}
+        for g in (10, 20, 40):
+            estimator = AnswerSizeEstimator(dblp_estimator.tree, grid_size=g)
+            report = estimator.storage_bytes(TagPredicate("article"))
+            bytes_by_g[g] = report["position"] + report["coverage"]
+        assert bytes_by_g[40] <= 5 * bytes_by_g[10]
+
+
+class TestHeadlineExample:
+    """The running faculty//TA example, end to end."""
+
+    def test_full_story(self, paper_estimator):
+        fac, ta = TagPredicate("faculty"), TagPredicate("TA")
+        naive = paper_estimator.estimate_pair(fac, ta, method="naive").value
+        bound = paper_estimator.estimate_pair(fac, ta, method="upper-bound").value
+        overlap = paper_estimator.estimate_pair(fac, ta, method="ph-join").value
+        no_overlap = paper_estimator.estimate_pair(fac, ta, method="no-overlap").value
+        real = paper_estimator.real_answer("//faculty//TA")
+
+        assert naive == 15.0           # paper: 15
+        assert bound == 5.0            # paper: 5
+        assert 0.2 <= overlap <= 1.5   # paper: 0.6
+        assert 1.5 <= no_overlap <= 2.4  # paper: 1.9
+        assert real == 2               # paper: 2

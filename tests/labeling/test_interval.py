@@ -1,0 +1,134 @@
+"""Interval labeling unit tests (paper Section 3.1 invariants)."""
+
+import numpy as np
+import pytest
+
+from repro.labeling.interval import IntervalLabel, label_document, label_forest
+from repro.xmltree.builder import element
+from repro.xmltree.tree import Document
+
+
+def doc_of(root) -> Document:
+    doc = Document()
+    doc.append(root)
+    return doc
+
+
+@pytest.fixture
+def small_tree():
+    return label_document(
+        doc_of(element("a", element("b", element("c")), element("d")))
+    )
+
+
+class TestLabelInvariants:
+    def test_start_strictly_less_than_end(self, small_tree):
+        assert np.all(small_tree.start < small_tree.end)
+
+    def test_preorder_start_labels(self, small_tree):
+        assert list(small_tree.start) == sorted(small_tree.start)
+
+    def test_ancestor_contains_descendant(self, small_tree):
+        # a=0, b=1, c=2, d=3 in pre-order
+        assert small_tree.is_ancestor(0, 1)
+        assert small_tree.is_ancestor(0, 2)
+        assert small_tree.is_ancestor(1, 2)
+        assert small_tree.is_ancestor(0, 3)
+        assert not small_tree.is_ancestor(1, 3)
+        assert not small_tree.is_ancestor(3, 1)
+        assert not small_tree.is_ancestor(2, 2)
+
+    def test_levels(self, small_tree):
+        assert list(small_tree.level) == [1, 2, 3, 2]
+
+    def test_parent_index(self, small_tree):
+        assert list(small_tree.parent_index) == [-1, 0, 1, 0]
+
+    def test_validate_passes(self, small_tree):
+        small_tree.validate()
+
+    def test_labels_start_at_one(self, small_tree):
+        assert int(small_tree.start[0]) == 1
+
+    def test_max_label_bounds_all(self, small_tree):
+        assert small_tree.max_label > int(small_tree.end.max())
+
+
+class TestSiblingDisjointness:
+    def test_sibling_intervals_disjoint(self, small_tree):
+        b = small_tree.label_of(1)
+        d = small_tree.label_of(3)
+        assert b.disjoint(d)
+        assert not b.contains(d)
+        assert not d.contains(b)
+
+    def test_nested_containment(self, small_tree):
+        a = small_tree.label_of(0)
+        c = small_tree.label_of(2)
+        assert a.contains(c)
+        assert not c.contains(a)
+
+
+class TestForestLabeling:
+    def test_two_documents_share_one_label_space(self):
+        doc1 = doc_of(element("x", element("y")))
+        doc2 = doc_of(element("z"))
+        tree = label_forest([doc1, doc2])
+        assert len(tree) == 3
+        # Document roots are disjoint siblings under the dummy root.
+        x, z = tree.label_of(0), tree.label_of(2)
+        assert x.disjoint(z)
+        assert list(tree.parent_index) == [-1, 0, -1]
+        tree.validate()
+
+    def test_forest_preserves_document_order(self):
+        doc1 = doc_of(element("x"))
+        doc2 = doc_of(element("z"))
+        tree = label_forest([doc1, doc2])
+        assert [e.tag for e in tree.elements] == ["x", "z"]
+        assert tree.start[0] < tree.start[1]
+
+
+class TestSubtreeSlice:
+    def test_slice_covers_descendants(self, small_tree):
+        assert small_tree.subtree_slice(0) == slice(0, 4)
+        assert small_tree.subtree_slice(1) == slice(1, 3)
+        assert small_tree.subtree_slice(2) == slice(2, 3)
+        assert small_tree.subtree_slice(3) == slice(3, 4)
+
+
+class TestIndexOf:
+    def test_index_of_round_trips(self, small_tree):
+        for i, el in enumerate(small_tree.elements):
+            assert small_tree.index_of(el) == i
+
+
+class TestIntervalLabel:
+    def test_contains_is_strict(self):
+        outer = IntervalLabel(1, 10, 1)
+        same = IntervalLabel(1, 10, 1)
+        inner = IntervalLabel(2, 9, 2)
+        assert outer.contains(inner)
+        assert not outer.contains(same)
+        assert not inner.contains(outer)
+
+    def test_disjoint(self):
+        a = IntervalLabel(1, 3, 1)
+        b = IntervalLabel(4, 6, 1)
+        assert a.disjoint(b) and b.disjoint(a)
+        assert not a.disjoint(IntervalLabel(2, 5, 1))
+
+
+class TestDeepTree:
+    def test_deep_chain_labels(self):
+        root = element("n")
+        node = root
+        for _ in range(3000):
+            child = element("n")
+            node.append(child)
+            node = child
+        tree = label_document(doc_of(root))
+        assert len(tree) == 3001
+        # Innermost node nested inside everything.
+        assert tree.is_ancestor(0, 3000)
+        assert int(tree.level[-1]) == 3001

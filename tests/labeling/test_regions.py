@@ -1,0 +1,92 @@
+"""Region geometry unit tests (paper Figs. 4-5)."""
+
+import pytest
+
+from repro.labeling.interval import IntervalLabel
+from repro.labeling.regions import Region, classify_pair, region_of
+
+
+class TestRegionOf:
+    """Anchor cell (2, 5) in an 8x8 grid, per the paper's Fig. 5 layout."""
+
+    ANCHOR = (2, 5)
+
+    @pytest.mark.parametrize(
+        "cell,expected",
+        [
+            ((2, 5), Region.SELF),
+            ((3, 4), Region.INSIDE),        # strictly inside (region B/E)
+            ((3, 3), Region.INSIDE),        # interior diagonal cell
+            ((4, 4), Region.INSIDE),
+            ((2, 3), Region.SAME_COL_BELOW),  # region E boundary
+            ((2, 4), Region.SAME_COL_BELOW),
+            ((3, 5), Region.SAME_ROW_RIGHT),  # region C boundary
+            ((4, 5), Region.SAME_ROW_RIGHT),
+            ((2, 2), Region.DIAG_LOW),      # region F
+            ((5, 5), Region.DIAG_HIGH),     # region D
+            ((1, 6), Region.OUTSIDE_ANC),   # region G
+            ((0, 7), Region.OUTSIDE_ANC),
+            ((2, 6), Region.SAME_COL_ABOVE),
+            ((2, 7), Region.SAME_COL_ABOVE),
+            ((0, 5), Region.SAME_ROW_LEFT),
+            ((1, 5), Region.SAME_ROW_LEFT),
+            ((0, 1), Region.UNRELATED),     # disjoint earlier sibling area
+            ((6, 7), Region.UNRELATED),     # disjoint later sibling area
+            ((0, 3), Region.UNRELATED),     # partially overlapping left
+            ((3, 7), Region.UNRELATED),     # partially overlapping right
+        ],
+    )
+    def test_classification(self, cell, expected):
+        assert region_of(*self.ANCHOR, *cell) is expected
+
+    def test_on_diagonal_anchor(self):
+        # Anchor (3, 3): descendants only in SELF; ancestors above/left.
+        assert region_of(3, 3, 3, 3) is Region.SELF
+        assert region_of(3, 3, 3, 6) is Region.SAME_COL_ABOVE
+        assert region_of(3, 3, 1, 3) is Region.SAME_ROW_LEFT
+        assert region_of(3, 3, 1, 6) is Region.OUTSIDE_ANC
+        assert region_of(3, 3, 4, 4) is Region.UNRELATED
+
+    def test_adjacent_cells_anchor(self):
+        # Anchor (2, 3): no strict interior exists.
+        assert region_of(2, 3, 2, 2) is Region.DIAG_LOW
+        assert region_of(2, 3, 3, 3) is Region.DIAG_HIGH
+        assert region_of(2, 3, 2, 3) is Region.SELF
+
+
+class TestClassifyPair:
+    def test_ancestor(self):
+        u = IntervalLabel(1, 10, 1)
+        v = IntervalLabel(3, 4, 2)
+        assert classify_pair(u, v) == "ancestor"
+        assert classify_pair(v, u) == "descendant"
+
+    def test_disjoint(self):
+        u = IntervalLabel(1, 2, 1)
+        v = IntervalLabel(3, 4, 1)
+        assert classify_pair(u, v) == "disjoint"
+
+    def test_self(self):
+        u = IntervalLabel(1, 2, 1)
+        assert classify_pair(u, IntervalLabel(1, 2, 1)) == "self"
+
+
+class TestRegionConsistencyWithExactRelation:
+    """Guaranteed regions must agree with the exact pair relation.
+
+    For every pair of positions drawn from cells classified INSIDE /
+    SAME-COL / SAME-ROW (weight-1 regions), any valid node pair (one in
+    the anchor cell, one in the region) must be ancestor/descendant *if
+    both can coexist in one tree*.  We verify the geometric direction:
+    a point strictly inside the anchor's bucket ranges is always a
+    descendant.
+    """
+
+    def test_inside_cells_are_guaranteed_descendants(self):
+        # Grid over [0, 79], g=8: bucket width 10.  Anchor cell (2, 5)
+        # covers starts in [20,30), ends in [50,60).
+        ancestor = IntervalLabel(20, 59, 1)   # extreme corners of anchor
+        ancestor2 = IntervalLabel(29, 50, 1)
+        for inside in [IntervalLabel(30, 49, 2), IntervalLabel(39, 40, 2)]:
+            for anchor_point in (ancestor, ancestor2):
+                assert classify_pair(anchor_point, inside) == "ancestor"

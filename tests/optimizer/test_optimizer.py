@@ -1,0 +1,101 @@
+"""Optimizer and cost-model tests: the paper's motivating use case."""
+
+import pytest
+
+from repro.optimizer.cost import estimate_plan_cost
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.plans import enumerate_plans
+from repro.query.xpath import parse_xpath
+
+
+class TestCostModel:
+    def test_costs_positive_and_complete(self, dblp_estimator):
+        pattern = parse_xpath("//article[.//author]//cite")
+        optimizer = Optimizer(dblp_estimator)
+        choice = optimizer.choose_plan(pattern)
+        for plan_cost in choice.all_plans:
+            assert len(plan_cost.step_costs) == 2
+            assert all(c > 0 for c in plan_cost.step_costs)
+            assert plan_cost.total == pytest.approx(sum(plan_cost.step_costs))
+
+    def test_exact_oracle_cost(self, dblp_estimator):
+        pattern = parse_xpath("//article//author")
+        optimizer = Optimizer(dblp_estimator)
+        (plan,) = list(enumerate_plans(pattern))
+        cost = estimate_plan_cost(
+            pattern, plan, optimizer._exact_size, optimizer._exact_size
+        )
+        article = dblp_estimator.catalog.stats(
+            pattern.root.predicate
+        ).count
+        author = dblp_estimator.catalog.stats(
+            pattern.root.children[0].predicate
+        ).count
+        real = dblp_estimator.real_answer(pattern)
+        assert cost.total == pytest.approx(article + author + real)
+
+
+class TestPlanChoice:
+    def test_choice_covers_all_plans(self, dblp_estimator):
+        pattern = parse_xpath("//article[.//author]//cite")
+        optimizer = Optimizer(dblp_estimator)
+        choice = optimizer.choose_plan(pattern)
+        assert choice.plan_count == 2
+        assert choice.best.total == min(p.total for p in choice.all_plans)
+
+    def test_rank_of_best_is_one(self, dblp_estimator):
+        pattern = parse_xpath("//article[.//author]//cite")
+        optimizer = Optimizer(dblp_estimator)
+        choice = optimizer.choose_plan(pattern)
+        assert choice.rank_of(choice.best) == 1
+
+    def test_single_node_pattern_rejected(self, dblp_estimator):
+        optimizer = Optimizer(dblp_estimator)
+        with pytest.raises(ValueError, match="no joins"):
+            optimizer.choose_plan(parse_xpath("//article"))
+
+
+class TestEndToEndValidation:
+    @pytest.mark.parametrize(
+        "xpath",
+        [
+            "//article[.//author]//cite",
+            "//article[.//cdrom]//author",
+            "//inproceedings[.//author]//title",
+        ],
+    )
+    def test_estimator_choice_is_near_optimal_dblp(self, dblp_estimator, xpath):
+        """The payoff claim: estimate-driven plan choice should land on
+        (or near) the truly optimal plan."""
+        optimizer = Optimizer(dblp_estimator)
+        report = optimizer.validate_choice(parse_xpath(xpath))
+        assert report["regret_ratio"] <= 1.5
+
+    def test_estimator_choice_orgchart_twig(self, orgchart_estimator):
+        optimizer = Optimizer(orgchart_estimator)
+        report = optimizer.validate_choice(
+            parse_xpath("//manager//department[.//employee]//email")
+        )
+        assert report["regret_ratio"] <= 2.0
+        assert report["plan_count"] >= 3
+
+    def test_naive_costing_can_mislead(self, dblp_estimator):
+        """Sanity for the premise: with naive product sizes the cost
+        model inflates intermediate sizes by orders of magnitude."""
+        pattern = parse_xpath("//article[.//author]//cite")
+        optimizer = Optimizer(dblp_estimator)
+
+        def naive_size(subpattern):
+            total = 1.0
+            for node in subpattern.nodes():
+                total *= max(
+                    dblp_estimator.catalog.stats(node.predicate).count, 1
+                )
+            return total
+
+        (first_plan, *_rest) = list(enumerate_plans(pattern))
+        naive_cost = estimate_plan_cost(pattern, first_plan, naive_size, naive_size)
+        informed_cost = estimate_plan_cost(
+            pattern, first_plan, optimizer._estimated_size, optimizer._estimated_size
+        )
+        assert naive_cost.total > 50 * informed_cost.total

@@ -1,0 +1,107 @@
+"""Join plan enumeration unit tests."""
+
+import math
+
+from repro.optimizer.plans import (
+    JoinStep,
+    enumerate_plans,
+    induced_subpattern,
+    pattern_edges,
+)
+from repro.query.pattern import PatternTree
+from repro.query.xpath import parse_xpath
+
+
+class TestEdges:
+    def test_path_edges(self):
+        pattern = PatternTree.path("a", "b", "c")
+        assert pattern_edges(pattern) == [JoinStep(0, 1), JoinStep(1, 2)]
+
+    def test_branching_edges(self):
+        pattern = parse_xpath("//a[.//b]//c")
+        assert set(pattern_edges(pattern)) == {JoinStep(0, 1), JoinStep(0, 2)}
+
+
+class TestEnumeration:
+    def test_two_node_pattern_has_one_plan(self):
+        plans = list(enumerate_plans(PatternTree.path("a", "b")))
+        assert len(plans) == 1
+        assert plans[0].steps == (JoinStep(0, 1),)
+
+    def test_path_three_nodes(self):
+        plans = list(enumerate_plans(PatternTree.path("a", "b", "c")))
+        # Both edge orders are connected for a path of two edges.
+        assert len(plans) == 2
+
+    def test_star_three_leaves(self):
+        pattern = parse_xpath("//r[.//a][.//b]//c")
+        plans = list(enumerate_plans(pattern))
+        # All 3! edge orders share the root, all connected.
+        assert len(plans) == 6
+
+    def test_connectivity_pruning(self):
+        # Path a-b-c-d: orderings must keep the joined set connected.
+        pattern = PatternTree.path("a", "b", "c", "d")
+        plans = list(enumerate_plans(pattern))
+        # Edges e1=(0,1), e2=(1,2), e3=(2,3).  Valid orders: those where
+        # the picked set is always contiguous: e1 first: e1,e2,e3;
+        # e2 first: e2,e1,e3 / e2,e3,e1; e3 first: e3,e2,e1.  = 4.
+        assert len(plans) == 4
+        for plan in plans:
+            for k in range(1, len(plan.steps) + 1):
+                joined = plan.joined_after(k)
+                # Connected index sets over a path are intervals.
+                assert max(joined) - min(joined) + 1 == len(joined)
+
+    def test_single_node_no_plans(self):
+        pattern = parse_xpath("//a")
+        assert list(enumerate_plans(pattern)) == []
+
+    def test_all_plans_distinct(self):
+        pattern = parse_xpath("//r[.//a][.//b]//c")
+        plans = list(enumerate_plans(pattern))
+        assert len({p.steps for p in plans}) == len(plans)
+
+
+class TestInducedSubpattern:
+    def test_full_set_recovers_pattern(self):
+        pattern = parse_xpath("//a[.//b]//c")
+        induced = induced_subpattern(pattern, frozenset({0, 1, 2}))
+        assert induced is not None
+        assert induced.size() == 3
+        assert induced.root.predicate.name == "a"
+
+    def test_pair_subset(self):
+        pattern = parse_xpath("//a[.//b]//c")
+        induced = induced_subpattern(pattern, frozenset({0, 2}))
+        assert induced is not None
+        assert induced.to_xpath() == "//a//c"
+
+    def test_single_node(self):
+        pattern = parse_xpath("//a[.//b]//c")
+        induced = induced_subpattern(pattern, frozenset({1}))
+        assert induced is not None
+        assert induced.to_xpath() == "//b"
+
+    def test_axis_preserved(self):
+        pattern = parse_xpath("//a/b")
+        induced = induced_subpattern(pattern, frozenset({0, 1}))
+        assert induced is not None
+        assert induced.to_xpath() == "//a/b"
+
+    def test_empty_set(self):
+        pattern = parse_xpath("//a//b")
+        assert induced_subpattern(pattern, frozenset()) is None
+
+    def test_disconnected_set_rejected(self):
+        import pytest
+
+        pattern = PatternTree.path("a", "b", "c")
+        with pytest.raises(ValueError, match="not connected"):
+            induced_subpattern(pattern, frozenset({0, 2}))
+
+    def test_copies_do_not_alias_original(self):
+        pattern = parse_xpath("//a//b")
+        induced = induced_subpattern(pattern, frozenset({0, 1}))
+        assert induced is not None
+        assert induced.root is not pattern.root

@@ -1,0 +1,112 @@
+"""Base predicate unit tests."""
+
+import pytest
+
+from repro.predicates.base import (
+    ContentEqualsPredicate,
+    ContentPrefixPredicate,
+    ContentSuffixPredicate,
+    NumericRangePredicate,
+    TagPredicate,
+    TruePredicate,
+)
+from repro.xmltree.builder import element
+
+
+class TestTagPredicate:
+    def test_matches(self):
+        pred = TagPredicate("faculty")
+        assert pred.matches(element("faculty"))
+        assert not pred.matches(element("staff"))
+
+    def test_name_and_description(self):
+        pred = TagPredicate("article")
+        assert pred.name == "article"
+        assert pred.description() == 'element tag = "article"'
+
+    def test_value_equality(self):
+        assert TagPredicate("a") == TagPredicate("a")
+        assert TagPredicate("a") != TagPredicate("b")
+        assert hash(TagPredicate("a")) == hash(TagPredicate("a"))
+
+    def test_usable_as_dict_key(self):
+        d = {TagPredicate("a"): 1}
+        assert d[TagPredicate("a")] == 1
+
+
+class TestTruePredicate:
+    def test_matches_everything(self):
+        pred = TruePredicate()
+        assert pred.matches(element("anything"))
+        assert pred.matches(element("x", "text"))
+
+    def test_name(self):
+        assert TruePredicate().name == "TRUE"
+
+
+class TestContentPredicates:
+    def test_equals(self):
+        pred = ContentEqualsPredicate("1999")
+        assert pred.matches(element("year", "1999"))
+        assert not pred.matches(element("year", "2000"))
+
+    def test_equals_with_tag_scope(self):
+        pred = ContentEqualsPredicate("1999", tag="year")
+        assert pred.matches(element("year", "1999"))
+        assert not pred.matches(element("volume", "1999"))
+
+    def test_equals_strips_whitespace(self):
+        pred = ContentEqualsPredicate("1999")
+        assert pred.matches(element("year", "  1999\n"))
+
+    def test_prefix(self):
+        pred = ContentPrefixPredicate("conf")
+        assert pred.matches(element("cite", "conf/sigmod/99"))
+        assert not pred.matches(element("cite", "journal/tods/12"))
+
+    def test_prefix_name_mirrors_paper(self):
+        # The paper's Table 1 names the predicate just "conf".
+        assert ContentPrefixPredicate("conf").name == "conf"
+
+    def test_suffix(self):
+        pred = ContentSuffixPredicate("/99")
+        assert pred.matches(element("cite", "conf/sigmod/99"))
+        assert not pred.matches(element("cite", "conf/sigmod/98"))
+
+    def test_only_own_text_considered(self):
+        # Content predicates look at the element's immediate text, not
+        # descendants' text.
+        nested = element("a", element("b", "conf/x"))
+        assert not ContentPrefixPredicate("conf").matches(nested)
+
+    def test_equality_distinguishes_kind(self):
+        assert ContentPrefixPredicate("x") != ContentSuffixPredicate("x")
+        assert ContentPrefixPredicate("x") != ContentEqualsPredicate("x")
+
+
+class TestNumericRangePredicate:
+    def test_matches_in_range(self):
+        pred = NumericRangePredicate(1990, 1999, tag="year")
+        assert pred.matches(element("year", "1995"))
+        assert pred.matches(element("year", "1990"))
+        assert pred.matches(element("year", "1999"))
+        assert not pred.matches(element("year", "1989"))
+        assert not pred.matches(element("year", "2000"))
+
+    def test_non_numeric_text(self):
+        pred = NumericRangePredicate(1990, 1999)
+        assert not pred.matches(element("year", "noise"))
+        assert not pred.matches(element("year"))
+
+    def test_label_overrides_name(self):
+        pred = NumericRangePredicate(1990, 1999, tag="year", label="1990's")
+        assert pred.name == "1990's"
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError, match="empty range"):
+            NumericRangePredicate(5, 4)
+
+    def test_tag_scope(self):
+        pred = NumericRangePredicate(1, 10, tag="volume")
+        assert pred.matches(element("volume", "5"))
+        assert not pred.matches(element("year", "5"))

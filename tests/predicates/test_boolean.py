@@ -1,0 +1,80 @@
+"""Boolean predicate composition unit tests."""
+
+import pytest
+
+from repro.predicates.base import ContentPrefixPredicate, TagPredicate
+from repro.predicates.boolean import AndPredicate, NotPredicate, OrPredicate
+from repro.xmltree.builder import element
+
+
+class TestAnd:
+    def test_matches_conjunction(self):
+        pred = AndPredicate(TagPredicate("cite"), ContentPrefixPredicate("conf"))
+        assert pred.matches(element("cite", "conf/x"))
+        assert not pred.matches(element("cite", "journal/x"))
+        assert not pred.matches(element("url", "conf/x"))
+
+    def test_needs_two_parts(self):
+        with pytest.raises(ValueError):
+            AndPredicate(TagPredicate("a"))
+
+    def test_name(self):
+        pred = AndPredicate(TagPredicate("a"), TagPredicate("b"))
+        assert pred.name == "(a AND b)"
+
+    def test_equality(self):
+        a = AndPredicate(TagPredicate("a"), TagPredicate("b"))
+        b = AndPredicate(TagPredicate("a"), TagPredicate("b"))
+        c = AndPredicate(TagPredicate("b"), TagPredicate("a"))
+        assert a == b
+        assert a != c  # order matters in the key; fine for caching
+
+
+class TestOr:
+    def test_matches_disjunction(self):
+        pred = OrPredicate(TagPredicate("TA"), TagPredicate("RA"))
+        assert pred.matches(element("TA"))
+        assert pred.matches(element("RA"))
+        assert not pred.matches(element("name"))
+
+    def test_label(self):
+        pred = OrPredicate(
+            TagPredicate("a"), TagPredicate("b"), label="either"
+        )
+        assert pred.name == "either"
+
+    def test_three_way(self):
+        pred = OrPredicate(
+            TagPredicate("a"), TagPredicate("b"), TagPredicate("c")
+        )
+        assert pred.matches(element("c"))
+
+
+class TestNot:
+    def test_matches_negation(self):
+        pred = NotPredicate(TagPredicate("TA"))
+        assert pred.matches(element("RA"))
+        assert not pred.matches(element("TA"))
+
+    def test_name(self):
+        assert NotPredicate(TagPredicate("TA")).name == "NOT TA"
+
+    def test_double_negation_matches_original(self):
+        inner = TagPredicate("x")
+        double = NotPredicate(NotPredicate(inner))
+        assert double.matches(element("x"))
+        assert not double.matches(element("y"))
+
+
+class TestComposition:
+    def test_decade_predicate_shape(self):
+        """The paper's "1990's" compound: OR of ten year predicates."""
+        from repro.predicates.base import ContentEqualsPredicate
+
+        years = [
+            ContentEqualsPredicate(str(y), tag="year") for y in range(1990, 2000)
+        ]
+        decade = OrPredicate(*years, label="1990's")
+        assert decade.matches(element("year", "1995"))
+        assert not decade.matches(element("year", "1989"))
+        assert decade.name == "1990's"

@@ -1,0 +1,130 @@
+"""Predicate catalog unit tests, including no-overlap detection."""
+
+import numpy as np
+
+from repro.labeling import label_document
+from repro.predicates.base import ContentPrefixPredicate, TagPredicate
+from repro.predicates.catalog import PredicateCatalog, detect_no_overlap
+from repro.xmltree.builder import element
+from repro.xmltree.tree import Document
+
+
+def tree_of(root):
+    doc = Document()
+    doc.append(root)
+    return label_document(doc)
+
+
+class TestRegistration:
+    def test_register_counts_nodes(self, paper_tree):
+        catalog = PredicateCatalog(paper_tree)
+        stats = catalog.register(TagPredicate("faculty"))
+        assert stats.count == 3
+        assert len(stats.node_indices) == 3
+
+    def test_registration_is_idempotent(self, paper_tree):
+        catalog = PredicateCatalog(paper_tree)
+        first = catalog.register(TagPredicate("TA"))
+        second = catalog.register(TagPredicate("TA"))
+        assert first is second
+        assert len(catalog) == 1
+
+    def test_stats_auto_registers(self, paper_tree):
+        catalog = PredicateCatalog(paper_tree)
+        stats = catalog.stats(TagPredicate("RA"))
+        assert stats.count == 10
+        assert TagPredicate("RA") in catalog
+
+    def test_register_all_tags(self, paper_tree):
+        catalog = PredicateCatalog(paper_tree)
+        all_stats = catalog.register_all_tags()
+        tags = sorted(s.predicate.name for s in all_stats)
+        assert tags == [
+            "RA",
+            "TA",
+            "department",
+            "faculty",
+            "lecturer",
+            "name",
+            "research_scientist",
+            "secretary",
+            "staff",
+        ]
+        by_name = {s.predicate.name: s.count for s in all_stats}
+        assert by_name["TA"] == 5
+        assert by_name["name"] == 6
+        assert by_name["department"] == 1
+
+    def test_content_predicate_scan(self, dblp_tree):
+        catalog = PredicateCatalog(dblp_tree)
+        stats = catalog.stats(ContentPrefixPredicate("conf", tag="cite"))
+        assert stats.count > 0
+        # Every matched element really is a conf citation.
+        for element_node in catalog.matching_elements(
+            ContentPrefixPredicate("conf", tag="cite")
+        ):
+            assert element_node.tag == "cite"
+            assert element_node.text_content().startswith("conf")
+
+    def test_matching_elements_in_document_order(self, paper_tree):
+        catalog = PredicateCatalog(paper_tree)
+        elements = catalog.matching_elements(TagPredicate("TA"))
+        starts = [paper_tree.start[paper_tree.index_of(e)] for e in elements]
+        assert starts == sorted(starts)
+
+
+class TestNoOverlapDetection:
+    def test_flat_tags_are_no_overlap(self, paper_tree):
+        catalog = PredicateCatalog(paper_tree)
+        for tag in ("faculty", "TA", "RA", "name"):
+            assert catalog.stats(TagPredicate(tag)).no_overlap, tag
+
+    def test_nested_tag_is_overlap(self):
+        tree = tree_of(
+            element("a", element("b", element("a", element("b"))))
+        )
+        catalog = PredicateCatalog(tree)
+        assert not catalog.stats(TagPredicate("a")).no_overlap
+        assert not catalog.stats(TagPredicate("b")).no_overlap
+
+    def test_empty_predicate_is_no_overlap(self, paper_tree):
+        catalog = PredicateCatalog(paper_tree)
+        assert catalog.stats(TagPredicate("nonexistent")).no_overlap
+
+    def test_singleton_is_no_overlap(self, paper_tree):
+        catalog = PredicateCatalog(paper_tree)
+        assert catalog.stats(TagPredicate("department")).no_overlap
+
+    def test_detect_no_overlap_non_adjacent_nesting(self):
+        # x contains y contains x: the two x nodes are not start-adjacent
+        # among x matches?  They are; craft deeper: x (z (x)) x -- the
+        # detector must still catch nesting via the running max end.
+        tree = tree_of(
+            element(
+                "r",
+                element("x", element("z", element("x"))),
+                element("x"),
+            )
+        )
+        catalog = PredicateCatalog(tree)
+        assert not catalog.stats(TagPredicate("x")).no_overlap
+
+    def test_detect_no_overlap_direct(self):
+        tree = tree_of(element("r", element("x"), element("x")))
+        indices = np.array([1, 2], dtype=np.int64)
+        assert detect_no_overlap(tree, indices)
+
+    def test_schema_assertion_overrides(self, paper_tree):
+        catalog = PredicateCatalog(paper_tree)
+        stats = catalog.register(TagPredicate("TA"), schema_no_overlap=False)
+        assert stats.no_overlap  # data says no-overlap
+        assert not stats.effective_no_overlap  # schema assertion wins
+
+    def test_orgchart_overlap_mix(self, orgchart_tree):
+        """The paper's Table 3: manager/department overlap, the rest not."""
+        catalog = PredicateCatalog(orgchart_tree)
+        assert not catalog.stats(TagPredicate("manager")).no_overlap
+        assert not catalog.stats(TagPredicate("department")).no_overlap
+        assert catalog.stats(TagPredicate("employee")).no_overlap
+        assert catalog.stats(TagPredicate("email")).no_overlap
+        assert catalog.stats(TagPredicate("name")).no_overlap

@@ -1,0 +1,161 @@
+"""Property-based tests of the estimators (hypothesis).
+
+Invariants checked on random histograms and random documents:
+
+* the three pH-join implementations agree on arbitrary inputs;
+* estimates are non-negative and respect the descendant upper bound for
+  no-overlap ancestors built from real data;
+* pH-join is bilinear in its operands (scaling an operand scales the
+  estimate);
+* the exact matcher and the structural join agree on random trees.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation.phjoin import ph_join, ph_join_literal, reference_region_estimate
+from repro.histograms.grid import GridSpec
+from repro.histograms.position import PositionHistogram
+
+
+@st.composite
+def histogram_pairs(draw):
+    g = draw(st.integers(1, 7))
+    grid = GridSpec(g, 999)
+
+    def cells():
+        out = {}
+        for i in range(g):
+            for j in range(i, g):
+                if draw(st.booleans()):
+                    out[(i, j)] = draw(
+                        st.floats(0.0, 50.0, allow_nan=False, allow_infinity=False)
+                    )
+        return out
+
+    return (
+        PositionHistogram.from_cells(grid, cells()),
+        PositionHistogram.from_cells(grid, cells()),
+    )
+
+
+@given(histogram_pairs())
+@settings(max_examples=80, deadline=None)
+def test_three_ph_join_implementations_agree(pair):
+    a, b = pair
+    fast = ph_join(a, b).value
+    literal = ph_join_literal(a, b).value
+    reference = reference_region_estimate(a, b).value
+    assert np.isclose(fast, literal, rtol=1e-9, atol=1e-9)
+    assert np.isclose(fast, reference, rtol=1e-9, atol=1e-9)
+
+
+@given(histogram_pairs())
+@settings(max_examples=80, deadline=None)
+def test_ph_join_nonnegative_and_bounded(pair):
+    a, b = pair
+    value = ph_join(a, b).value
+    assert value >= 0.0
+    # Never exceeds the unconstrained product.
+    assert value <= a.total() * b.total() + 1e-6
+
+
+@given(histogram_pairs(), st.floats(0.1, 5.0))
+@settings(max_examples=60, deadline=None)
+def test_ph_join_bilinear(pair, factor):
+    a, b = pair
+    base = ph_join(a, b).value
+    scaled_a = ph_join(a.scaled(factor), b).value
+    scaled_b = ph_join(a, b.scaled(factor)).value
+    assert np.isclose(scaled_a, base * factor, rtol=1e-9, atol=1e-7)
+    assert np.isclose(scaled_b, base * factor, rtol=1e-9, atol=1e-7)
+
+
+@given(histogram_pairs())
+@settings(max_examples=40, deadline=None)
+def test_descendant_based_also_nonnegative(pair):
+    a, b = pair
+    value = ph_join(a, b, based="descendant").value
+    assert value >= 0.0
+    assert value <= a.total() * b.total() + 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Random-document properties: estimators vs exact counts
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_documents(draw):
+    from repro.xmltree.builder import element
+    from repro.xmltree.tree import Document, Element
+
+    def build(depth: int) -> Element:
+        node = element(draw(st.sampled_from(["x", "y", "z"])))
+        if depth < 4:
+            for _ in range(draw(st.integers(0, 3))):
+                node.append(build(depth + 1))
+        return node
+
+    doc = Document()
+    doc.append(build(0))
+    return doc
+
+
+@given(random_documents(), st.integers(2, 8))
+@settings(max_examples=40, deadline=None)
+def test_no_overlap_estimate_respects_descendant_bound(doc, grid_size):
+    from repro.estimation import AnswerSizeEstimator
+    from repro.labeling import label_document
+    from repro.predicates.base import TagPredicate
+
+    tree = label_document(doc)
+    estimator = AnswerSizeEstimator(tree, grid_size=grid_size)
+    for anc in ("x", "y"):
+        predicate = TagPredicate(anc)
+        if not estimator.is_no_overlap(predicate):
+            continue
+        desc = TagPredicate("z")
+        estimate = estimator.estimate_pair(predicate, desc, method="no-overlap")
+        bound = estimator.catalog.stats(desc).count
+        assert estimate.value <= bound + 1e-6
+
+
+@given(random_documents())
+@settings(max_examples=40, deadline=None)
+def test_matcher_agrees_with_structural_join(doc):
+    from repro.labeling import label_document
+    from repro.predicates.base import TagPredicate
+    from repro.predicates.catalog import PredicateCatalog
+    from repro.query.matcher import count_pairs
+    from repro.query.structjoin import stack_tree_join
+
+    tree = label_document(doc)
+    catalog = PredicateCatalog(tree)
+    for anc in ("x", "y", "z"):
+        for desc in ("x", "y", "z"):
+            a = catalog.stats(TagPredicate(anc)).node_indices
+            d = catalog.stats(TagPredicate(desc)).node_indices
+            assert count_pairs(tree, a, d) == stack_tree_join(tree, a, d)
+
+
+@given(random_documents(), st.integers(2, 6))
+@settings(max_examples=30, deadline=None)
+def test_coverage_estimate_exact_at_fine_grids(doc, grid_size):
+    """Coverage numerators are exact by construction; the estimate's
+    only error source is the transfer from all-node fractions to
+    predicate-node fractions.  It must always stay within the trivial
+    bounds [0, |desc|]."""
+    from repro.estimation import AnswerSizeEstimator
+    from repro.labeling import label_document
+    from repro.predicates.base import TagPredicate
+
+    tree = label_document(doc)
+    estimator = AnswerSizeEstimator(tree, grid_size=grid_size)
+    predicate = TagPredicate("x")
+    if not estimator.is_no_overlap(predicate):
+        return
+    desc = TagPredicate("y")
+    estimate = estimator.estimate_pair(predicate, desc, method="no-overlap")
+    assert 0.0 <= estimate.value <= estimator.catalog.stats(desc).count + 1e-6

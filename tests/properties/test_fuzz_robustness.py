@@ -1,0 +1,84 @@
+"""Fuzz robustness: hostile inputs must fail cleanly, never crash.
+
+The parser, DTD parser, and XPath parser are exposed to user input; on
+arbitrary text they must either succeed or raise their documented
+exception types -- never IndexError/KeyError/RecursionError or hangs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtd.parser import DTDParseError, parse_dtd
+from repro.query.xpath import XPathSyntaxError, parse_xpath
+from repro.xmltree.errors import XMLError
+from repro.xmltree.parser import parse_document
+
+# Text biased toward XML-ish structure so the fuzz reaches deep paths.
+xmlish = st.text(
+    alphabet=st.sampled_from(list("<>/=&;!?[]()'\"abcDEF123 \t\n-")), max_size=120
+)
+
+
+@given(xmlish)
+@settings(max_examples=300, deadline=None)
+def test_xml_parser_never_crashes(text):
+    try:
+        parse_document(text)
+    except XMLError:
+        pass
+
+
+@given(st.text(max_size=80))
+@settings(max_examples=200, deadline=None)
+def test_xml_parser_arbitrary_unicode(text):
+    try:
+        parse_document(text)
+    except XMLError:
+        pass
+
+
+dtdish = st.text(
+    alphabet=st.sampled_from(list("<>!ELMNT()|,*+?#PCDAabc \n")), max_size=120
+)
+
+
+@given(dtdish)
+@settings(max_examples=300, deadline=None)
+def test_dtd_parser_never_crashes(text):
+    try:
+        parse_dtd(text)
+    except DTDParseError:
+        pass
+
+
+xpathish = st.text(
+    alphabet=st.sampled_from(list("/[]().*=\"'abcXYZ123 -_")), max_size=60
+)
+
+
+@given(xpathish)
+@settings(max_examples=300, deadline=None)
+def test_xpath_parser_never_crashes(text):
+    try:
+        parse_xpath(text)
+    except XPathSyntaxError:
+        pass
+
+
+@given(xmlish)
+@settings(max_examples=100, deadline=None)
+def test_successful_parses_are_queryable(text):
+    """Anything that parses must label and estimate without error."""
+    try:
+        document = parse_document(text)
+    except XMLError:
+        return
+    from repro.estimation import AnswerSizeEstimator
+    from repro.labeling import label_document
+
+    tree = label_document(document)
+    tree.validate()
+    estimator = AnswerSizeEstimator(tree, grid_size=3)
+    root_tag = document.root_element.tag
+    value = estimator.estimate(f"//{root_tag}//{root_tag}").value
+    assert value >= 0.0

@@ -1,0 +1,99 @@
+"""Property-based tests of the interval labeling (hypothesis).
+
+Random trees in, paper invariants out: strict nesting, pre-order starts,
+Lemma 1 on the induced histograms, and consistency between the tree
+structure and the label arithmetic.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.labeling import label_document
+from repro.labeling.regions import classify_pair
+from repro.xmltree.builder import element
+from repro.xmltree.tree import Document, Element
+
+
+@st.composite
+def random_trees(draw, max_children=4, max_depth=4):
+    """Generate a random Element tree with random tags from a tiny
+    alphabet (collisions are the interesting case)."""
+
+    def build(depth: int) -> Element:
+        tag = draw(st.sampled_from(["a", "b", "c"]))
+        node = element(tag)
+        if depth < max_depth:
+            for _ in range(draw(st.integers(0, max_children))):
+                node.append(build(depth + 1))
+        return node
+
+    return build(0)
+
+
+def as_doc(root: Element) -> Document:
+    doc = Document()
+    doc.append(root)
+    return doc
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_labels_satisfy_all_invariants(root):
+    tree = label_document(as_doc(root))
+    tree.validate()
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_label_arithmetic_matches_tree_structure(root):
+    tree = label_document(as_doc(root))
+    for i, element_i in enumerate(tree.elements):
+        for j, element_j in enumerate(tree.elements):
+            if i == j:
+                continue
+            structural = element_i.is_ancestor_of(element_j)
+            by_labels = tree.is_ancestor(i, j)
+            assert structural == by_labels
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_intervals_nested_or_disjoint(root):
+    """Lemma 1's precondition: any two node intervals either nest
+    strictly or are disjoint."""
+    tree = label_document(as_doc(root))
+    labels = list(tree.iter_labels())
+    for i, u in enumerate(labels):
+        for v in labels[i + 1 :]:
+            relation = classify_pair(u, v)
+            assert relation in ("ancestor", "descendant", "disjoint")
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_subtree_slices_are_exact(root):
+    tree = label_document(as_doc(root))
+    for i in range(len(tree)):
+        sl = tree.subtree_slice(i)
+        inside = set(range(sl.start, sl.stop))
+        for j in range(len(tree)):
+            expected = j == i or tree.is_ancestor(i, j)
+            assert (j in inside) == expected
+
+
+@given(random_trees(), st.integers(2, 12))
+@settings(max_examples=60, deadline=None)
+def test_histograms_satisfy_lemma1(root, grid_size):
+    from repro.histograms.grid import GridSpec
+    from repro.histograms.position import build_position_histogram
+    from repro.predicates.base import TagPredicate
+    from repro.predicates.catalog import PredicateCatalog
+
+    tree = label_document(as_doc(root))
+    catalog = PredicateCatalog(tree)
+    grid = GridSpec(grid_size, tree.max_label)
+    for tag in ("a", "b", "c"):
+        stats = catalog.stats(TagPredicate(tag))
+        hist = build_position_histogram(tree, stats.node_indices, grid)
+        assert hist.check_lemma1()
+        assert hist.total() == stats.count

@@ -1,0 +1,75 @@
+"""Property-based tests of the XML substrate (hypothesis round-trips)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmltree.builder import element
+from repro.xmltree.parser import parse_fragment
+from repro.xmltree.tokenizer import resolve_references
+from repro.xmltree.tree import Element, Text
+from repro.xmltree.writer import escape_attribute, escape_text, write_node
+
+# Text without control characters; the writer escapes <, >, &.
+safe_text = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs", "Cc"),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+tag_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_.-]{0,10}", fullmatch=True)
+
+
+@st.composite
+def random_elements(draw, max_depth=3):
+    def build(depth: int) -> Element:
+        node = element(draw(tag_names))
+        for _ in range(draw(st.integers(0, 2))):
+            name = draw(tag_names)
+            node.attributes[name] = draw(safe_text)
+        for _ in range(draw(st.integers(0, 3))):
+            if depth >= max_depth or draw(st.booleans()):
+                value = draw(safe_text)
+                if value.strip():
+                    node.append(Text(value))
+            else:
+                node.append(build(depth + 1))
+        return node
+
+    return build(0)
+
+
+def shape(node: Element):
+    """Normalised structure: adjacent text nodes coalesce (as XML
+    parsing inherently merges them) and pure-whitespace text drops."""
+    items: list[object] = []
+    for child in node.children:
+        if isinstance(child, Element):
+            items.append(shape(child))
+        elif isinstance(child, Text) and child.value.strip():
+            if items and isinstance(items[-1], str):
+                items[-1] = items[-1] + child.value
+            else:
+                items.append(child.value)
+    return (node.tag, tuple(sorted(node.attributes.items())), tuple(items))
+
+
+@given(random_elements())
+@settings(max_examples=80, deadline=None)
+def test_write_parse_round_trip(root):
+    text = write_node(root)
+    parsed = parse_fragment(text)
+    assert shape(parsed) == shape(root)
+
+
+@given(safe_text)
+@settings(max_examples=100, deadline=None)
+def test_text_escape_round_trip(value):
+    assert resolve_references(escape_text(value)) == value
+
+
+@given(safe_text)
+@settings(max_examples=100, deadline=None)
+def test_attribute_escape_round_trip(value):
+    assert resolve_references(escape_attribute(value)) == value

@@ -1,0 +1,89 @@
+"""Pattern tree model unit tests."""
+
+from repro.predicates.base import TagPredicate, TruePredicate
+from repro.query.pattern import Axis, PatternNode, PatternTree
+
+
+class TestConstruction:
+    def test_simple_pair(self):
+        pattern = PatternTree.simple_pair(
+            TagPredicate("faculty"), TagPredicate("TA")
+        )
+        assert pattern.size() == 2
+        assert pattern.root.predicate.name == "faculty"
+        assert pattern.root.children[0].predicate.name == "TA"
+        assert pattern.root.children[0].axis is Axis.DESCENDANT
+
+    def test_path(self):
+        pattern = PatternTree.path("a", "b", "c")
+        assert pattern.size() == 3
+        assert pattern.to_xpath() == "//a//b//c"
+
+    def test_path_child_axis(self):
+        pattern = PatternTree.path("a", "b", axis=Axis.CHILD)
+        assert pattern.to_xpath() == "//a/b"
+
+    def test_path_requires_tags(self):
+        try:
+            PatternTree.path()
+        except ValueError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_branching(self):
+        root = PatternNode(TagPredicate("faculty"))
+        root.add_child(TagPredicate("TA"))
+        root.add_child(TagPredicate("RA"))
+        pattern = PatternTree(root)
+        assert pattern.size() == 3
+        assert pattern.to_xpath() == "//faculty[.//TA]//RA"
+
+
+class TestTraversal:
+    def build(self) -> PatternTree:
+        root = PatternNode(TagPredicate("a"))
+        b = root.add_child(TagPredicate("b"))
+        b.add_child(TagPredicate("d"))
+        root.add_child(TagPredicate("c"), Axis.CHILD)
+        return PatternTree(root)
+
+    def test_preorder(self):
+        names = [n.predicate.name for n in self.build().root.iter_nodes()]
+        assert names == ["a", "b", "d", "c"]
+
+    def test_postorder(self):
+        names = [n.predicate.name for n in self.build().root.post_order()]
+        assert names == ["d", "b", "c", "a"]
+
+    def test_leaves_and_parents(self):
+        pattern = self.build()
+        nodes = pattern.nodes()
+        assert nodes[0].is_leaf() is False
+        assert nodes[2].is_leaf() is True
+        assert nodes[2].parent is nodes[1]
+
+    def test_predicates_list(self):
+        assert [p.name for p in self.build().predicates()] == ["a", "b", "d", "c"]
+
+    def test_has_child_axis(self):
+        assert self.build().has_child_axis()
+        assert not PatternTree.path("a", "b").has_child_axis()
+
+
+class TestXPathRendering:
+    def test_mixed_axes(self):
+        root = PatternNode(TagPredicate("a"))
+        root.add_child(TagPredicate("b"), Axis.CHILD)
+        assert PatternTree(root).to_xpath() == "//a/b"
+
+    def test_true_predicate_renders_name(self):
+        root = PatternNode(TruePredicate())
+        assert PatternTree(root).to_xpath() == "//TRUE"
+
+    def test_deep_branching(self):
+        root = PatternNode(TagPredicate("x"))
+        y = root.add_child(TagPredicate("y"))
+        y.add_child(TagPredicate("z1"))
+        y.add_child(TagPredicate("z2"))
+        assert PatternTree(root).to_xpath() == "//x//y[.//z1]//z2"

@@ -1,0 +1,107 @@
+"""Stack-tree structural join unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.predicates.base import TagPredicate
+from repro.predicates.catalog import PredicateCatalog
+from repro.query.matcher import count_pairs
+from repro.query.pattern import Axis
+from repro.query.structjoin import (
+    nested_loop_join_count,
+    stack_tree_join,
+    structural_join_pairs,
+)
+
+
+def node_lists(tree, anc_tag, desc_tag):
+    catalog = PredicateCatalog(tree)
+    return (
+        catalog.stats(TagPredicate(anc_tag)).node_indices,
+        catalog.stats(TagPredicate(desc_tag)).node_indices,
+    )
+
+
+class TestCountsAgainstReferences:
+    @pytest.mark.parametrize(
+        "anc,desc",
+        [("faculty", "TA"), ("department", "RA"), ("faculty", "name")],
+    )
+    def test_paper_example(self, paper_tree, anc, desc):
+        anc_idx, desc_idx = node_lists(paper_tree, anc, desc)
+        merge = stack_tree_join(paper_tree, anc_idx, desc_idx)
+        nested = nested_loop_join_count(paper_tree, anc_idx, desc_idx)
+        prefix = count_pairs(paper_tree, anc_idx, desc_idx)
+        assert merge == nested == prefix
+
+    @pytest.mark.parametrize(
+        "anc,desc",
+        [
+            ("manager", "employee"),
+            ("department", "department"),
+            ("manager", "manager"),
+            ("department", "email"),
+        ],
+    )
+    def test_recursive_data(self, orgchart_tree, anc, desc):
+        anc_idx, desc_idx = node_lists(orgchart_tree, anc, desc)
+        merge = stack_tree_join(orgchart_tree, anc_idx, desc_idx)
+        prefix = count_pairs(orgchart_tree, anc_idx, desc_idx)
+        assert merge == prefix
+
+    def test_dblp_scale(self, dblp_tree):
+        anc_idx, desc_idx = node_lists(dblp_tree, "article", "author")
+        assert stack_tree_join(dblp_tree, anc_idx, desc_idx) == count_pairs(
+            dblp_tree, anc_idx, desc_idx
+        )
+
+
+class TestPairEnumeration:
+    def test_pairs_are_valid_and_complete(self, paper_tree):
+        anc_idx, desc_idx = node_lists(paper_tree, "faculty", "RA")
+        pairs = list(structural_join_pairs(paper_tree, anc_idx, desc_idx))
+        assert len(pairs) == stack_tree_join(paper_tree, anc_idx, desc_idx)
+        for a, d in pairs:
+            assert paper_tree.is_ancestor(a, d)
+        # Completeness against brute force.
+        brute = {
+            (int(a), int(d))
+            for a in anc_idx
+            for d in desc_idx
+            if paper_tree.is_ancestor(int(a), int(d))
+        }
+        assert set(pairs) == brute
+
+    def test_parent_child_pairs(self, paper_tree):
+        anc_idx, desc_idx = node_lists(paper_tree, "lecturer", "TA")
+        pairs = list(
+            structural_join_pairs(paper_tree, anc_idx, desc_idx, axis=Axis.CHILD)
+        )
+        assert len(pairs) == 3
+        for a, d in pairs:
+            assert int(paper_tree.parent_index[d]) == a
+
+    def test_nested_ancestors_all_reported(self, orgchart_tree):
+        """With nested departments, an email deep inside must pair with
+        every enclosing department."""
+        anc_idx, desc_idx = node_lists(orgchart_tree, "department", "email")
+        pairs = list(structural_join_pairs(orgchart_tree, anc_idx, desc_idx))
+        brute = {
+            (int(a), int(d))
+            for a in anc_idx
+            for d in desc_idx
+            if orgchart_tree.is_ancestor(int(a), int(d))
+        }
+        assert set(pairs) == brute
+
+
+class TestEdgeCases:
+    def test_empty_inputs(self, paper_tree):
+        empty = np.array([], dtype=np.int64)
+        some = np.array([0], dtype=np.int64)
+        assert stack_tree_join(paper_tree, empty, some) == 0
+        assert stack_tree_join(paper_tree, some, empty) == 0
+
+    def test_self_join_no_overlap_tag_is_zero(self, paper_tree):
+        anc_idx, _d = node_lists(paper_tree, "faculty", "faculty")
+        assert stack_tree_join(paper_tree, anc_idx, anc_idx) == 0

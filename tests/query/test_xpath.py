@@ -1,0 +1,151 @@
+"""Mini-XPath parser unit tests."""
+
+import pytest
+
+from repro.predicates.base import (
+    ContentEqualsPredicate,
+    ContentPrefixPredicate,
+    ContentSuffixPredicate,
+    TagPredicate,
+    TruePredicate,
+)
+from repro.predicates.boolean import AndPredicate
+from repro.query.pattern import Axis
+from repro.query.xpath import XPathSyntaxError, parse_xpath
+
+
+class TestPaths:
+    def test_descendant_pair(self):
+        pattern = parse_xpath("//faculty//TA")
+        assert pattern.size() == 2
+        assert pattern.root.predicate == TagPredicate("faculty")
+        child = pattern.root.children[0]
+        assert child.predicate == TagPredicate("TA")
+        assert child.axis is Axis.DESCENDANT
+
+    def test_child_axis(self):
+        pattern = parse_xpath("//department/faculty")
+        assert pattern.root.children[0].axis is Axis.CHILD
+
+    def test_three_step_path(self):
+        pattern = parse_xpath("//a//b//c")
+        names = [n.predicate.name for n in pattern.nodes()]
+        assert names == ["a", "b", "c"]
+
+    def test_leading_single_slash(self):
+        pattern = parse_xpath("/dblp/article")
+        assert pattern.root.predicate == TagPredicate("dblp")
+
+    def test_wildcard(self):
+        pattern = parse_xpath("//*//TA")
+        assert isinstance(pattern.root.predicate, TruePredicate)
+
+
+class TestQualifiers:
+    def test_single_branch(self):
+        pattern = parse_xpath("//faculty[.//TA]//RA")
+        assert pattern.size() == 3
+        names = sorted(c.predicate.name for c in pattern.root.children)
+        assert names == ["RA", "TA"]
+
+    def test_two_branches(self):
+        """The introduction's XQuery example as a twig."""
+        pattern = parse_xpath("//department/faculty[.//TA][.//RA]")
+        assert pattern.size() == 4
+        faculty = pattern.root.children[0]
+        assert faculty.predicate == TagPredicate("faculty")
+        assert sorted(c.predicate.name for c in faculty.children) == ["RA", "TA"]
+
+    def test_child_axis_in_branch(self):
+        pattern = parse_xpath("//faculty[./TA]")
+        assert pattern.root.children[0].axis is Axis.CHILD
+
+    def test_bare_name_branch_defaults_to_child(self):
+        pattern = parse_xpath("//faculty[TA]")
+        assert pattern.root.children[0].axis is Axis.CHILD
+
+    def test_multi_step_branch(self):
+        pattern = parse_xpath("//a[.//b//c]//d")
+        a = pattern.root
+        b = [c for c in a.children if c.predicate.name == "b"][0]
+        assert b.children[0].predicate.name == "c"
+
+    def test_nested_qualifiers(self):
+        pattern = parse_xpath("//a[.//b[.//c]]")
+        b = pattern.root.children[0]
+        assert b.predicate.name == "b"
+        assert b.children[0].predicate.name == "c"
+
+
+class TestContentQualifiers:
+    def test_text_equals(self):
+        pattern = parse_xpath('//year[text()="1995"]')
+        predicate = pattern.root.predicate
+        assert isinstance(predicate, AndPredicate)
+        assert TagPredicate("year") in predicate.parts
+        assert ContentEqualsPredicate("1995", tag="year") in predicate.parts
+
+    def test_starts_with(self):
+        pattern = parse_xpath('//cite[starts-with(text(), "conf")]')
+        predicate = pattern.root.predicate
+        assert isinstance(predicate, AndPredicate)
+        assert ContentPrefixPredicate("conf", tag="cite") in predicate.parts
+
+    def test_ends_with(self):
+        pattern = parse_xpath('//cite[ends-with(text(), "99")]')
+        predicate = pattern.root.predicate
+        assert isinstance(predicate, AndPredicate)
+        assert ContentSuffixPredicate("99", tag="cite") in predicate.parts
+
+    def test_content_on_wildcard_replaces_true(self):
+        pattern = parse_xpath('//*[text()="x"]')
+        assert isinstance(pattern.root.predicate, ContentEqualsPredicate)
+
+    def test_structural_plus_content(self):
+        pattern = parse_xpath('//article[.//author]//year[text()="1995"]')
+        assert pattern.size() == 3
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "article",         # no leading slash
+            "//",              # missing step
+            "//a[",            # unterminated qualifier
+            "//a[.//]",        # empty branch
+            '//a[text()=x]',   # unquoted string
+            '//a[starts-with(text() "x")]',  # missing comma
+            "//a//",           # trailing axis
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(bad)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "xpath",
+        [
+            "//faculty//TA",
+            "//department/faculty",
+            "//faculty[.//TA]//RA",
+            "//a[.//b]//c",
+            "//a[.//b][.//c]//d",
+        ],
+    )
+    def test_parse_render_parse(self, xpath):
+        pattern = parse_xpath(xpath)
+        rendered = pattern.to_xpath()
+        again = parse_xpath(rendered)
+        assert _shape(again.root) == _shape(pattern.root)
+
+
+def _shape(node):
+    return (
+        node.predicate.name,
+        node.axis.value,
+        tuple(sorted(_shape(c) for c in node.children)),
+    )

@@ -1,0 +1,125 @@
+"""CLI tests: generate / stats / estimate round trips."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "dblp.xml"
+    exit_code = main(
+        ["generate", "dblp", "--out", str(path), "--seed", "3", "--scale", "0.02"]
+    )
+    assert exit_code == 0
+    return path
+
+
+class TestGenerate:
+    def test_generates_parseable_xml(self, dataset_path, capsys):
+        from repro.xmltree.parser import parse_document
+
+        document = parse_document(dataset_path.read_text())
+        assert document.root_element.tag == "dblp"
+
+    def test_paper_example(self, tmp_path, capsys):
+        path = tmp_path / "example.xml"
+        assert main(["generate", "paper-example", "--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "31 elements" in out  # the Fig. 1 document's element count
+
+    def test_orgchart_and_xmark(self, tmp_path):
+        for dataset in ("orgchart", "xmark", "shakespeare", "treebank"):
+            path = tmp_path / f"{dataset}.xml"
+            assert main(["generate", dataset, "--out", str(path), "--seed", "4"]) == 0
+            assert path.exists()
+
+
+class TestStats:
+    def test_prints_predicate_table(self, dataset_path, capsys):
+        assert main(["stats", str(dataset_path), "--grid", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "article" in out
+        assert "no overlap" in out
+        assert "Hist Bytes" in out
+
+
+class TestEstimate:
+    def test_plain_estimate(self, dataset_path, capsys):
+        assert main(["estimate", str(dataset_path), "//article//author"]) == 0
+        value = float(capsys.readouterr().out.strip())
+        assert value > 0
+
+    def test_compare_table(self, dataset_path, capsys):
+        assert (
+            main(
+                [
+                    "estimate",
+                    str(dataset_path),
+                    "//article//author",
+                    "--compare",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "no-overlap" in out
+        assert "exact" in out
+        assert "naive" in out
+
+    def test_equi_depth_grid_flag(self, dataset_path, capsys):
+        assert (
+            main(
+                [
+                    "estimate",
+                    str(dataset_path),
+                    "//article//cite",
+                    "--grid-kind",
+                    "equi-depth",
+                ]
+            )
+            == 0
+        )
+        value = float(capsys.readouterr().out.strip())
+        assert value >= 0
+
+    def test_twig_query(self, dataset_path, capsys):
+        assert (
+            main(
+                [
+                    "estimate",
+                    str(dataset_path),
+                    "//article[.//cdrom]//author",
+                    "--compare",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "twig" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestWorkload:
+    def test_prints_qerror_summary(self, dataset_path, capsys):
+        assert (
+            main(
+                [
+                    "workload",
+                    str(dataset_path),
+                    "--count",
+                    "8",
+                    "--grid",
+                    "6",
+                    "--seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "geo-mean q" in out
+        assert "8 random twigs" in out

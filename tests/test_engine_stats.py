@@ -1,0 +1,45 @@
+"""Execution statistics unit tests."""
+
+from repro.engine.executor import ExecutionStats, StepStats
+
+
+class TestStepStats:
+    def test_work_is_sum_of_io(self):
+        step = StepStats(left_rows=10, right_nodes=5, output_rows=7)
+        assert step.work == 22
+
+
+class TestExecutionStats:
+    def test_total_work(self):
+        stats = ExecutionStats(
+            steps=[
+                StepStats(1, 2, 3),
+                StepStats(10, 20, 30),
+            ]
+        )
+        assert stats.total_work == 66
+
+    def test_peak_intermediate(self):
+        stats = ExecutionStats(
+            steps=[StepStats(1, 1, 5), StepStats(5, 1, 2)]
+        )
+        assert stats.peak_intermediate == 5
+
+    def test_empty(self):
+        stats = ExecutionStats()
+        assert stats.total_work == 0
+        assert stats.peak_intermediate == 0
+
+    def test_stats_match_table_sizes(self, paper_tree):
+        """Recorded output_rows must equal actual binding table growth."""
+        from repro.engine import PlanExecutor
+        from repro.optimizer.plans import enumerate_plans
+        from repro.predicates.catalog import PredicateCatalog
+        from repro.query.xpath import parse_xpath
+
+        pattern = parse_xpath("//department//faculty[.//TA]//RA")
+        executor = PlanExecutor(paper_tree, PredicateCatalog(paper_tree))
+        for plan in enumerate_plans(pattern):
+            table, stats = executor.execute(pattern, plan)
+            assert stats.steps[-1].output_rows == len(table)
+            assert len(stats.steps) == len(plan.steps)

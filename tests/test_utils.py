@@ -1,0 +1,62 @@
+"""Utility module tests: timing and table rendering."""
+
+import time
+
+import pytest
+
+from repro.utils.tables import format_table
+from repro.utils.timing import Timer, median_time, time_call
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_time_call_returns_result(self):
+        result, elapsed = time_call(lambda: 42)
+        assert result == 42
+        assert elapsed >= 0.0
+
+    def test_median_time(self):
+        result, elapsed = median_time(lambda: "x", repeats=3)
+        assert result == "x"
+        assert elapsed >= 0.0
+
+    def test_median_time_validates_repeats(self):
+        with pytest.raises(ValueError):
+            median_time(lambda: 1, repeats=0)
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(
+            ["Name", "Count"],
+            [["article", 7366], ["author", 41501]],
+            title="Table 1",
+        )
+        assert "Table 1" in text
+        assert "article" in text
+        assert "7,366" in text
+        assert "41,501" in text
+        lines = text.splitlines()
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # aligned
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.000344]])
+        assert "0.000344" in text
+
+    def test_inf_and_nan_render_na(self):
+        text = format_table(["x", "y"], [[float("inf"), float("nan")]])
+        assert text.count("N/A") == 2
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_numeric_right_alignment(self):
+        text = format_table(["n"], [[1], [1000000]])
+        rows = [l for l in text.splitlines() if l.startswith("|")][1:]
+        assert rows[1].index("1,000,000") <= rows[0].index("1")

@@ -1,0 +1,121 @@
+"""Workload module tests: static query lists, metrics, random twigs."""
+
+import math
+
+import pytest
+
+from repro.workloads import (
+    DBLP_SIMPLE_QUERIES,
+    DBLP_TWIG_QUERIES,
+    ORGCHART_SIMPLE_QUERIES,
+    ORGCHART_TWIG_QUERIES,
+    ErrorSummary,
+    RandomTwigGenerator,
+    observed_containments,
+    q_error,
+    relative_error,
+)
+from repro.query.xpath import parse_xpath
+
+
+class TestStaticWorkloads:
+    def test_table2_rows_present(self):
+        assert ("article", "author") in DBLP_SIMPLE_QUERIES
+        assert len(DBLP_SIMPLE_QUERIES) == 4
+
+    def test_table4_rows_present(self):
+        assert ("employee", "email") in ORGCHART_SIMPLE_QUERIES
+        assert len(ORGCHART_SIMPLE_QUERIES) == 7
+
+    def test_twig_queries_parse(self):
+        for xpath in DBLP_TWIG_QUERIES + ORGCHART_TWIG_QUERIES:
+            pattern = parse_xpath(xpath)
+            assert pattern.size() >= 3
+
+
+class TestMetrics:
+    def test_relative_error(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(90, 100) == pytest.approx(0.1)
+        assert relative_error(5, 0) == 5
+
+    def test_q_error_symmetric(self):
+        assert q_error(200, 100) == pytest.approx(2.0)
+        assert q_error(50, 100) == pytest.approx(2.0)
+        assert q_error(100, 100) == pytest.approx(1.0)
+
+    def test_q_error_floor(self):
+        assert q_error(0.0, 0.0) == 1.0
+        assert q_error(0.0, 10.0) == 10.0
+
+    def test_summary_percentiles(self):
+        pairs = [(float(2 ** k), 1.0) for k in range(10)]  # q-errors 1..512
+        summary = ErrorSummary.from_pairs(pairs)
+        assert summary.count == 10
+        assert summary.worst == 512
+        assert summary.median == 16  # ceil(0.5*10)=5th value = 2^4
+        assert summary.p90 == 256
+        assert summary.geometric_mean == pytest.approx(
+            math.exp(sum(math.log(2.0**k) for k in range(10)) / 10)
+        )
+
+    def test_summary_needs_data(self):
+        with pytest.raises(ValueError):
+            ErrorSummary.from_pairs([])
+
+    def test_as_row_shape(self):
+        summary = ErrorSummary.from_pairs([(2.0, 1.0), (1.0, 1.0)])
+        assert len(summary.as_row()) == 6
+
+
+class TestObservedContainments:
+    def test_paper_example(self, paper_tree):
+        containments = observed_containments(paper_tree)
+        assert "TA" in containments["department"]
+        assert "TA" in containments["faculty"]
+        assert "TA" in containments["lecturer"]
+        assert "TA" not in containments.get("research_scientist", set())
+        assert "faculty" not in containments.get("faculty", set())
+
+    def test_recursive_data(self, orgchart_tree):
+        containments = observed_containments(orgchart_tree)
+        assert "manager" in containments["manager"]
+        assert "department" in containments["department"]
+
+
+class TestRandomTwigGenerator:
+    def test_deterministic(self, dblp_tree):
+        a = RandomTwigGenerator(dblp_tree, seed=5).workload(10)
+        b = RandomTwigGenerator(dblp_tree, seed=5).workload(10)
+        assert [p.to_xpath() for p in a] == [p.to_xpath() for p in b]
+
+    def test_sizes_in_range(self, dblp_tree):
+        generator = RandomTwigGenerator(dblp_tree, seed=6)
+        for pattern in generator.workload(20, min_size=2, max_size=4):
+            assert 2 <= pattern.size() <= 4
+
+    def test_mostly_nonempty_with_zero_miss(self, dblp_tree):
+        from repro.query.matcher import count_matches
+
+        generator = RandomTwigGenerator(dblp_tree, seed=7, miss_probability=0.0)
+        workload = generator.workload(20, min_size=2, max_size=3)
+        nonempty = sum(
+            1 for pattern in workload if count_matches(dblp_tree, pattern) > 0
+        )
+        assert nonempty >= 15
+
+    def test_size_validation(self, dblp_tree):
+        generator = RandomTwigGenerator(dblp_tree, seed=8)
+        with pytest.raises(ValueError):
+            generator.generate(1)
+        with pytest.raises(ValueError):
+            generator.workload(3, min_size=4, max_size=2)
+
+    def test_estimator_handles_random_workload(self, dblp_estimator):
+        """End-to-end smoke: every random twig estimates without error
+        and with a finite non-negative value."""
+        generator = RandomTwigGenerator(dblp_estimator.tree, seed=9)
+        for pattern in generator.workload(15, min_size=2, max_size=4):
+            value = dblp_estimator.estimate(pattern).value
+            assert value >= 0.0
+            assert value != float("inf")

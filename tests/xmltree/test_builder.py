@@ -1,0 +1,86 @@
+"""TreeBuilder unit tests."""
+
+import pytest
+
+from repro.xmltree.builder import TreeBuilder, element, text
+from repro.xmltree.tree import Element, Text
+
+
+class TestFunctionalConstructors:
+    def test_element_with_string_children(self):
+        node = element("a", "x", element("b"), "y")
+        assert isinstance(node.children[0], Text)
+        assert isinstance(node.children[1], Element)
+        assert node.text_content() == "xy"
+
+    def test_text_constructor(self):
+        node = text("hello")
+        assert node.value == "hello"
+        assert node.parent is None
+
+    def test_attributes_copied(self):
+        attrs = {"k": "v"}
+        node = element("a", attributes=attrs)
+        attrs["k"] = "changed"
+        assert node.attributes == {"k": "v"}
+
+
+class TestTreeBuilder:
+    def test_basic_build(self):
+        builder = TreeBuilder()
+        builder.start("department")
+        builder.start("faculty")
+        builder.leaf("name", "Patel")
+        builder.end()
+        builder.end()
+        doc = builder.finish()
+        assert [e.tag for e in doc.iter_elements()] == [
+            "department",
+            "faculty",
+            "name",
+        ]
+
+    def test_leaf_without_value(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        builder.leaf("empty")
+        builder.end()
+        doc = builder.finish()
+        empty = next(doc.root_element.find_all("empty"))
+        assert empty.children == []
+
+    def test_end_without_start(self):
+        builder = TreeBuilder()
+        with pytest.raises(ValueError, match="no open element"):
+            builder.end()
+
+    def test_text_outside_element(self):
+        builder = TreeBuilder()
+        with pytest.raises(ValueError, match="outside"):
+            builder.text("floating")
+
+    def test_finish_with_open_element(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        with pytest.raises(ValueError, match="unclosed"):
+            builder.finish()
+
+    def test_finish_without_root(self):
+        builder = TreeBuilder()
+        with pytest.raises(ValueError, match="no root"):
+            builder.finish()
+
+    def test_second_root_rejected(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        builder.end()
+        with pytest.raises(ValueError, match="already has a root"):
+            builder.start("b")
+
+    def test_use_after_finish_rejected(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        builder.end()
+        builder.finish()
+        with pytest.raises(ValueError, match="finished"):
+            builder.start("b")

@@ -1,0 +1,111 @@
+"""Parser unit tests: well-formedness and tree construction."""
+
+import pytest
+
+from repro.xmltree.errors import XMLWellFormednessError
+from repro.xmltree.parser import parse_document, parse_fragment
+from repro.xmltree.tree import Element, Text
+
+
+class TestBasicParsing:
+    def test_single_root(self):
+        doc = parse_document("<root/>")
+        assert doc.root_element.tag == "root"
+
+    def test_nested_structure(self):
+        root = parse_fragment("<a><b><c/></b><d/></a>")
+        assert [c.tag for c in root.child_elements()] == ["b", "d"]
+        b = next(root.child_elements())
+        assert [c.tag for c in b.child_elements()] == ["c"]
+
+    def test_text_content(self):
+        root = parse_fragment("<a>hello <b>world</b></a>")
+        assert root.text_content() == "hello world"
+
+    def test_attributes_preserved(self):
+        root = parse_fragment('<a key="value"/>')
+        assert root.attributes == {"key": "value"}
+
+    def test_parent_links(self):
+        root = parse_fragment("<a><b/></a>")
+        b = next(root.child_elements())
+        assert b.parent is root
+
+    def test_prolog_and_comments_skipped(self):
+        doc = parse_document(
+            '<?xml version="1.0"?><!DOCTYPE a><!-- hi --><a/><!-- bye -->'
+        )
+        assert doc.root_element.tag == "a"
+
+
+class TestWhitespaceHandling:
+    def test_indentation_dropped_by_default(self):
+        root = parse_fragment("<a>\n  <b/>\n</a>")
+        assert all(isinstance(c, Element) for c in root.children)
+
+    def test_whitespace_kept_when_asked(self):
+        root = parse_fragment("<a>\n  <b/>\n</a>", keep_whitespace=True)
+        assert any(isinstance(c, Text) for c in root.children)
+
+    def test_significant_text_always_kept(self):
+        root = parse_fragment("<a> x </a>")
+        assert root.text_content() == " x "
+
+
+class TestWellFormedness:
+    def test_mismatched_close_tag(self):
+        with pytest.raises(XMLWellFormednessError, match="does not match"):
+            parse_document("<a></b>")
+
+    def test_unclosed_element(self):
+        with pytest.raises(XMLWellFormednessError, match="unclosed"):
+            parse_document("<a><b></b>")
+
+    def test_stray_close_tag(self):
+        with pytest.raises(XMLWellFormednessError, match="no open element"):
+            parse_document("<a/></a>")
+
+    def test_two_roots(self):
+        with pytest.raises(XMLWellFormednessError, match="second root"):
+            parse_document("<a/><b/>")
+
+    def test_text_outside_root(self):
+        with pytest.raises(XMLWellFormednessError, match="outside the root"):
+            parse_document("junk<a/>")
+
+    def test_empty_input(self):
+        with pytest.raises(XMLWellFormednessError, match="no root element"):
+            parse_document("")
+
+    def test_comment_only(self):
+        with pytest.raises(XMLWellFormednessError, match="no root element"):
+            parse_document("<!-- nothing here -->")
+
+
+class TestRealisticDocuments:
+    DBLP_SNIPPET = """
+    <dblp>
+      <article key="journals/tods/one">
+        <author>Alice Garcia</author>
+        <author>Bob Chen</author>
+        <title>Position Histograms &amp; XML</title>
+        <year>1999</year>
+        <cite>conf/sigmod/42</cite>
+      </article>
+      <book><title>Databases</title><year>1995</year></book>
+    </dblp>
+    """
+
+    def test_dblp_snippet(self):
+        doc = parse_document(self.DBLP_SNIPPET)
+        root = doc.root_element
+        tags = [e.tag for e in root.iter()]
+        assert tags.count("author") == 2
+        assert tags.count("article") == 1
+        article = next(root.find_all("article"))
+        title = next(article.find_all("title"))
+        assert title.text_content() == "Position Histograms & XML"
+
+    def test_count_nodes(self):
+        doc = parse_document(self.DBLP_SNIPPET)
+        assert doc.count_nodes() == 10

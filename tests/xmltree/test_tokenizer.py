@@ -1,0 +1,154 @@
+"""Tokenizer unit tests: lexical behaviour of the XML substrate."""
+
+import pytest
+
+from repro.xmltree.errors import XMLSyntaxError
+from repro.xmltree.tokenizer import Token, TokenType, resolve_references, tokenize
+
+
+def kinds(data: str) -> list[TokenType]:
+    return [t.type for t in tokenize(data)]
+
+
+class TestBasicTokens:
+    def test_simple_element(self):
+        tokens = list(tokenize("<a>text</a>"))
+        assert [t.type for t in tokens] == [
+            TokenType.START_TAG,
+            TokenType.TEXT,
+            TokenType.END_TAG,
+        ]
+        assert tokens[0].value == "a"
+        assert tokens[1].value == "text"
+        assert tokens[2].value == "a"
+
+    def test_empty_element(self):
+        (token,) = list(tokenize("<br/>"))
+        assert token.type is TokenType.EMPTY_TAG
+        assert token.value == "br"
+
+    def test_empty_element_with_space(self):
+        (token,) = list(tokenize("<br />"))
+        assert token.type is TokenType.EMPTY_TAG
+
+    def test_nested_elements(self):
+        assert kinds("<a><b/></a>") == [
+            TokenType.START_TAG,
+            TokenType.EMPTY_TAG,
+            TokenType.END_TAG,
+        ]
+
+    def test_offsets_point_into_input(self):
+        tokens = list(tokenize("<a>xy</a>"))
+        assert tokens[0].offset == 0
+        assert tokens[1].offset == 3
+        assert tokens[2].offset == 5
+
+    def test_names_with_punctuation(self):
+        (token,) = list(tokenize("<ns:tag-1.2_x/>"))
+        assert token.value == "ns:tag-1.2_x"
+
+
+class TestAttributes:
+    def test_double_quoted(self):
+        (token,) = list(tokenize('<a x="1" y="two"/>'))
+        assert token.attributes() == {"x": "1", "y": "two"}
+
+    def test_single_quoted(self):
+        (token,) = list(tokenize("<a x='1'/>"))
+        assert token.attributes() == {"x": "1"}
+
+    def test_entity_in_attribute(self):
+        (token,) = list(tokenize('<a x="a&amp;b"/>'))
+        assert token.attributes() == {"x": "a&b"}
+
+    def test_whitespace_around_equals(self):
+        (token,) = list(tokenize('<a x = "1"/>'))
+        assert token.attributes() == {"x": "1"}
+
+    def test_unquoted_value_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize("<a x=1/>"))
+
+    def test_unterminated_value_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize('<a x="1/>'))
+
+
+class TestReferences:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("&lt;", "<"),
+            ("&gt;", ">"),
+            ("&amp;", "&"),
+            ("&quot;", '"'),
+            ("&apos;", "'"),
+            ("&#65;", "A"),
+            ("&#x41;", "A"),
+            ("&#x263A;", "☺"),
+        ],
+    )
+    def test_builtin_and_character_references(self, raw, expected):
+        assert resolve_references(raw) == expected
+
+    def test_unknown_entity_kept_literally(self):
+        assert resolve_references("&uuml;") == "&uuml;"
+
+    def test_mixed_text(self):
+        assert resolve_references("a &lt; b &amp; c") == "a < b & c"
+
+    def test_unterminated_reference_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            resolve_references("&amp")
+
+    def test_bad_character_reference_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            resolve_references("&#xZZ;")
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            resolve_references("&;")
+
+
+class TestSpecialConstructs:
+    def test_comment(self):
+        tokens = list(tokenize("<a><!-- note --></a>"))
+        assert tokens[1].type is TokenType.COMMENT
+        assert tokens[1].value == " note "
+
+    def test_cdata_becomes_text(self):
+        tokens = list(tokenize("<a><![CDATA[<raw> & stuff]]></a>"))
+        assert tokens[1].type is TokenType.TEXT
+        assert tokens[1].value == "<raw> & stuff"
+
+    def test_processing_instruction(self):
+        tokens = list(tokenize('<?xml version="1.0"?><a/>'))
+        assert tokens[0].type is TokenType.PI
+
+    def test_doctype_with_internal_subset(self):
+        data = '<!DOCTYPE a [<!ELEMENT a (#PCDATA)>]><a/>'
+        tokens = list(tokenize(data))
+        assert tokens[0].type is TokenType.DOCTYPE
+        assert "<!ELEMENT" in tokens[0].value
+
+    def test_unterminated_comment_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize("<a><!-- oops</a>"))
+
+    def test_unterminated_cdata_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize("<a><![CDATA[oops</a>"))
+
+
+class TestTokenValueObject:
+    def test_token_is_frozen(self):
+        token = Token(TokenType.TEXT, "x", (), 0)
+        with pytest.raises(AttributeError):
+            token.value = "y"  # type: ignore[misc]
+
+    def test_attributes_returns_fresh_dict(self):
+        token = Token(TokenType.START_TAG, "a", (("x", "1"),), 0)
+        d = token.attributes()
+        d["x"] = "2"
+        assert token.attributes() == {"x": "1"}

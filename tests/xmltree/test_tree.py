@@ -1,0 +1,108 @@
+"""Tree model unit tests: navigation and traversal."""
+
+from repro.xmltree.builder import element
+from repro.xmltree.tree import Document, Element, Text, walk
+
+
+def sample() -> Element:
+    return element(
+        "a",
+        element("b", element("d"), element("e", "txt")),
+        element("c"),
+    )
+
+
+class TestNavigation:
+    def test_ancestors(self):
+        a = sample()
+        d = next(a.find_all("d"))
+        assert [n.tag for n in d.ancestors() if isinstance(n, Element)] == ["b", "a"]
+
+    def test_is_ancestor_of(self):
+        a = sample()
+        b = next(a.find_all("b"))
+        d = next(a.find_all("d"))
+        c = next(a.find_all("c"))
+        assert a.is_ancestor_of(d)
+        assert b.is_ancestor_of(d)
+        assert not c.is_ancestor_of(d)
+        assert not d.is_ancestor_of(b)
+        assert not d.is_ancestor_of(d)
+
+    def test_root_and_depth(self):
+        a = sample()
+        d = next(a.find_all("d"))
+        assert d.root() is a
+        assert d.depth() == 2
+        assert a.depth() == 0
+
+    def test_preorder_iteration(self):
+        a = sample()
+        assert [n.tag for n in a.iter()] == ["a", "b", "d", "e", "c"]
+
+    def test_descendants_excludes_self(self):
+        a = sample()
+        assert [n.tag for n in a.descendants()] == ["b", "d", "e", "c"]
+
+    def test_text_content_concatenates_in_order(self):
+        node = element("x", "one ", element("y", "two"), " three")
+        assert node.text_content() == "one two three"
+
+
+class TestDocument:
+    def test_root_element_property(self):
+        doc = Document()
+        doc.append(Text("ignored?"))
+        doc.append(element("r"))
+        assert doc.root_element.tag == "r"
+
+    def test_root_element_missing(self):
+        doc = Document()
+        try:
+            doc.root_element
+        except ValueError as exc:
+            assert "no root element" in str(exc)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+    def test_iter_elements(self):
+        doc = Document()
+        doc.append(sample())
+        assert [e.tag for e in doc.iter_elements()] == ["a", "b", "d", "e", "c"]
+        assert doc.count_nodes() == 5
+
+
+class TestWalk:
+    def test_enter_leave_order(self):
+        events: list[str] = []
+        walk(
+            sample(),
+            enter=lambda e: events.append(f"+{e.tag}"),
+            leave=lambda e: events.append(f"-{e.tag}"),
+        )
+        assert events == ["+a", "+b", "+d", "-d", "+e", "-e", "-b", "+c", "-c", "-a"]
+
+    def test_walk_on_document(self):
+        doc = Document()
+        doc.append(sample())
+        seen: list[str] = []
+        walk(doc, enter=lambda e: seen.append(e.tag))
+        assert seen == ["a", "b", "d", "e", "c"]
+
+    def test_walk_deep_tree_does_not_recurse(self):
+        # 5000 levels would blow Python's default recursion limit if the
+        # walk were recursive.
+        root = element("n0")
+        node = root
+        for i in range(1, 5001):
+            child = element(f"n{i}")
+            node.append(child)
+            node = child
+        count = 0
+
+        def enter(_e: Element) -> None:
+            nonlocal count
+            count += 1
+
+        walk(root, enter)
+        assert count == 5001

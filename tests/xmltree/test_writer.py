@@ -1,0 +1,77 @@
+"""Writer unit tests, including parse/write round-trips."""
+
+from repro.xmltree.builder import element
+from repro.xmltree.parser import parse_document, parse_fragment
+from repro.xmltree.writer import (
+    escape_attribute,
+    escape_text,
+    write_document,
+    write_node,
+)
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_attribute_escapes_quotes(self):
+        assert escape_attribute('say "hi" & <go>') == "say &quot;hi&quot; &amp; &lt;go&gt;"
+
+
+class TestWriteNode:
+    def test_empty_element(self):
+        assert write_node(element("a")) == "<a/>"
+
+    def test_text_only_element_stays_inline(self):
+        assert write_node(element("a", "hello")) == "<a>hello</a>"
+
+    def test_attributes(self):
+        node = element("a", attributes={"x": "1", "y": "<2>"})
+        assert write_node(node) == '<a x="1" y="&lt;2&gt;"/>'
+
+    def test_nested(self):
+        node = element("a", element("b", "t"), element("c"))
+        assert write_node(node) == "<a><b>t</b><c/></a>"
+
+    def test_pretty_printing_indents(self):
+        node = element("a", element("b", "t"))
+        text = write_node(node, indent=2)
+        assert text == "<a>\n  <b>t</b>\n</a>\n"
+
+
+class TestRoundTrips:
+    CASES = [
+        "<a/>",
+        "<a>text</a>",
+        '<a k="v"><b/>tail<c>x</c></a>',
+        "<a>&lt;escaped&gt; &amp; more</a>",
+        "<r><x><y><z>deep</z></y></x></r>",
+    ]
+
+    def test_parse_write_parse_is_stable(self):
+        for case in self.CASES:
+            first = parse_fragment(case)
+            text = write_node(first)
+            second = parse_fragment(text)
+            assert _shape(first) == _shape(second), case
+
+    def test_document_roundtrip_with_declaration(self):
+        doc = parse_document("<a><b>x</b></a>")
+        text = write_document(doc)
+        assert text.startswith("<?xml")
+        again = parse_document(text)
+        assert _shape(doc.root_element) == _shape(again.root_element)
+
+
+def _shape(node):
+    """Structure signature: (tag, attrs, text, children)."""
+    from repro.xmltree.tree import Element, Text
+
+    children = []
+    text_parts = []
+    for child in node.children:
+        if isinstance(child, Element):
+            children.append(_shape(child))
+        elif isinstance(child, Text):
+            text_parts.append(child.value)
+    return (node.tag, tuple(sorted(node.attributes.items())), "".join(text_parts), tuple(children))
