@@ -1,0 +1,337 @@
+"""Hot-path benchmark: loop operators vs. the columnar execution core.
+
+Measures, on a synthetic DBLP-scale tree (>= 1e5 nodes by default),
+
+* pair counting    -- stack-tree loop vs. vectorized interval join;
+* pair enumeration -- Python tuple generator vs. pair arrays;
+* plan execution   -- dict-of-list expansion vs. columnar gather/repeat;
+* catalog build    -- per-tag scans + Python overlap check vs. the
+  per-tag index and ``np.maximum.accumulate``;
+* coverage build   -- explicit-stack sweep vs. the join-based builder;
+* batched workload -- 100 sequential ``estimate`` calls vs. one
+  ``estimate_many`` on cold estimators.
+
+Every vectorized result is asserted bit-identical (exact integer
+counts / pair multisets) to its loop reference before timing is
+reported.  Writes a ``BENCH_hotpaths.json`` trajectory artifact with
+ops/sec and speedup per path.
+
+Run:  python benchmarks/bench_hotpaths.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets import generate_dblp, generate_orgchart  # noqa: E402
+from repro.engine.bindings import BindingTable  # noqa: E402
+from repro.engine.executor import PlanExecutor  # noqa: E402
+from repro.estimation import AnswerSizeEstimator  # noqa: E402
+from repro.histograms.coverage import build_coverage_histogram  # noqa: E402
+from repro.labeling import label_document  # noqa: E402
+from repro.optimizer.plans import enumerate_plans  # noqa: E402
+from repro.predicates.base import TagPredicate  # noqa: E402
+from repro.predicates.catalog import PredicateCatalog, detect_no_overlap  # noqa: E402
+from repro.query.structjoin import (  # noqa: E402
+    stack_tree_join,
+    structural_join_pairs,
+    vectorized_join_count,
+    vectorized_join_pairs,
+)
+from repro.query.xpath import parse_xpath  # noqa: E402
+
+
+# ---------------------------------------------------------------------------
+# Loop references (the pre-columnar implementations, kept verbatim here)
+# ---------------------------------------------------------------------------
+
+
+def loop_detect_no_overlap(tree, indices) -> bool:
+    if len(indices) <= 1:
+        return True
+    starts = tree.start[indices]
+    ends = tree.end[indices]
+    running_end = ends[0]
+    for k in range(1, len(indices)):
+        if starts[k] < running_end:
+            return False
+        running_end = max(running_end, ends[k])
+    return True
+
+
+def loop_catalog_build(tree) -> dict[str, tuple[int, bool]]:
+    """Per-tag full scans + Python overlap detection (the old path)."""
+    tags = sorted({e.tag for e in tree.elements})
+    out = {}
+    for tag in tags:
+        indices = np.asarray(
+            [i for i, e in enumerate(tree.elements) if e.tag == tag],
+            dtype=np.int64,
+        )
+        out[tag] = (len(indices), loop_detect_no_overlap(tree, indices))
+    return out
+
+
+def vector_catalog_build(tree) -> dict[str, tuple[int, bool]]:
+    catalog = PredicateCatalog(tree)
+    return {
+        s.predicate.name: (s.count, s.no_overlap) for s in catalog.register_all_tags()
+    }
+
+
+def loop_coverage_build(tree, node_indices, true_hist):
+    """The old explicit-stack coverage sweep."""
+    grid = true_hist.grid
+    predicate_set = set(int(x) for x in node_indices)
+    numerators: dict[tuple[int, int, int, int], int] = {}
+    start, end = tree.start, tree.end
+    stack: list[tuple[int, tuple[int, int]]] = []
+    for v in range(len(tree)):
+        v_start = int(start[v])
+        while stack and stack[-1][0] < v_start:
+            stack.pop()
+        if stack:
+            v_cell = grid.cell_of(v_start, int(end[v]))
+            seen = set()
+            for _, ancestor_cell in stack:
+                if ancestor_cell in seen:
+                    continue
+                seen.add(ancestor_cell)
+                key = (v_cell[0], v_cell[1], ancestor_cell[0], ancestor_cell[1])
+                numerators[key] = numerators.get(key, 0) + 1
+        if v in predicate_set:
+            v_end = int(end[v])
+            stack.append((v_end, grid.cell_of(v_start, v_end)))
+    entries = {}
+    for (i, j, m, n), numerator in numerators.items():
+        denominator = true_hist.count(i, j)
+        if denominator > 0:
+            entries[(i, j, m, n)] = numerator / denominator
+    return entries
+
+
+class LoopExecutor:
+    """The pre-columnar executor: tuple rows + dict-of-list expansion."""
+
+    def __init__(self, tree, catalog):
+        self.tree = tree
+        self.catalog = catalog
+
+    def execute(self, pattern, plan) -> list[tuple[int, ...]]:
+        nodes = pattern.nodes()
+        columns: tuple[int, ...] = ()
+        rows: list[tuple[int, ...]] = []
+        for step in plan.steps:
+            parent_id, child_id = step.parent, step.child
+            axis = nodes[child_id].axis
+            if not columns:
+                parent_nodes = self.catalog.stats(
+                    nodes[parent_id].predicate
+                ).node_indices
+                columns = (parent_id,)
+                rows = [(int(n),) for n in parent_nodes]
+            if parent_id in columns:
+                existing_id, new_id, new_is_child = parent_id, child_id, True
+            else:
+                existing_id, new_id, new_is_child = child_id, parent_id, False
+            position = columns.index(existing_id)
+            bound = np.asarray(
+                sorted({row[position] for row in rows}), dtype=np.int64
+            )
+            candidates = self.catalog.stats(nodes[new_id].predicate).node_indices
+            matches: dict[int, list[int]] = {}
+            if new_is_child:
+                for a, d in structural_join_pairs(
+                    self.tree, bound, candidates, axis=axis
+                ):
+                    matches.setdefault(a, []).append(d)
+            else:
+                for a, d in structural_join_pairs(
+                    self.tree, candidates, bound, axis=axis
+                ):
+                    matches.setdefault(d, []).append(a)
+            out_rows: list[tuple[int, ...]] = []
+            for row in rows:
+                for partner in matches.get(row[position], ()):
+                    out_rows.append(row + (partner,))
+            columns = columns + (new_id,)
+            rows = out_rows
+        return rows
+
+
+# ---------------------------------------------------------------------------
+# Timing harness
+# ---------------------------------------------------------------------------
+
+
+def best_of(fn, repeats: int):
+    """Return (result, best_seconds) over ``repeats`` timed runs."""
+    result = None
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def record(results: dict, path: str, loop_s: float, vector_s: float, extra=None):
+    entry = {
+        "loop_seconds": loop_s,
+        "vectorized_seconds": vector_s,
+        "loop_ops_per_sec": 1.0 / loop_s if loop_s > 0 else None,
+        "vectorized_ops_per_sec": 1.0 / vector_s if vector_s > 0 else None,
+        "speedup": loop_s / vector_s if vector_s > 0 else None,
+        "identical": True,
+    }
+    if extra:
+        entry.update(extra)
+    results[path] = entry
+    print(
+        f"{path:18s} loop {loop_s * 1e3:9.2f} ms   "
+        f"vectorized {vector_s * 1e3:9.2f} ms   speedup {entry['speedup']:.1f}x"
+    )
+
+
+def pair_multiset(anc, desc):
+    order = np.lexsort((desc, anc))
+    return np.stack([anc[order], desc[order]])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small tree / fewer repeats (CI smoke)"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"),
+        help="where to write the JSON trajectory artifact",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.3 if args.quick else 2.2
+    repeats = 2 if args.quick else 3
+    tree = label_document(generate_dblp(seed=7, scale=scale))
+    print(f"synthetic dblp tree: {len(tree)} nodes (scale {scale})")
+
+    catalog = PredicateCatalog(tree)
+    anc = catalog.stats(TagPredicate("article")).node_indices
+    desc = catalog.stats(TagPredicate("author")).node_indices
+
+    results: dict = {}
+    meta = {
+        "nodes": len(tree),
+        "quick": args.quick,
+        "ancestor_count": int(len(anc)),
+        "descendant_count": int(len(desc)),
+    }
+
+    # -- pair counting ------------------------------------------------------
+    loop_count, loop_s = best_of(lambda: stack_tree_join(tree, anc, desc), repeats)
+    vec_count, vec_s = best_of(lambda: vectorized_join_count(tree, anc, desc), repeats)
+    assert loop_count == vec_count, (loop_count, vec_count)
+    record(results, "pair-count", loop_s, vec_s, {"pairs": int(vec_count)})
+
+    # -- pair enumeration ---------------------------------------------------
+    loop_pairs, loop_s = best_of(
+        lambda: list(structural_join_pairs(tree, anc, desc)), repeats
+    )
+    vec_pairs, vec_s = best_of(lambda: vectorized_join_pairs(tree, anc, desc), repeats)
+    loop_arr = np.asarray(loop_pairs, dtype=np.int64).T
+    assert np.array_equal(
+        pair_multiset(loop_arr[0], loop_arr[1]),
+        pair_multiset(vec_pairs[0], vec_pairs[1]),
+    )
+    record(results, "pair-enumeration", loop_s, vec_s, {"pairs": len(vec_pairs[0])})
+
+    # -- plan execution -----------------------------------------------------
+    pattern = parse_xpath("//article[.//cite]//author")
+    plan = next(iter(enumerate_plans(pattern)))
+    loop_exec = LoopExecutor(tree, catalog)
+    columnar_exec = PlanExecutor(tree, catalog)
+    loop_rows, loop_s = best_of(lambda: loop_exec.execute(pattern, plan), repeats)
+    (table, _stats), vec_s = best_of(
+        lambda: columnar_exec.execute(pattern, plan), repeats
+    )
+    assert sorted(loop_rows) == sorted(table.rows)
+    record(results, "plan-execution", loop_s, vec_s, {"bindings": len(table)})
+
+    # -- catalog build ------------------------------------------------------
+    loop_cat, loop_s = best_of(lambda: loop_catalog_build(tree), repeats)
+    vec_cat, vec_s = best_of(lambda: vector_catalog_build(tree), repeats)
+    assert loop_cat == vec_cat
+    record(results, "catalog-build", loop_s, vec_s, {"tags": len(vec_cat)})
+
+    # -- coverage build -----------------------------------------------------
+    estimator = AnswerSizeEstimator(tree, grid_size=10)
+    true_hist = estimator.true_histogram
+    loop_cov, loop_s = best_of(
+        lambda: loop_coverage_build(tree, anc, true_hist), repeats
+    )
+    vec_cov, vec_s = best_of(
+        lambda: build_coverage_histogram(tree, anc, true_hist), repeats
+    )
+    assert loop_cov == dict(vec_cov.entries())
+    record(results, "coverage-build", loop_s, vec_s, {"entries": len(loop_cov)})
+
+    # -- batched estimation workload ---------------------------------------
+    # Recursive (overlap-heavy) data: the pH-join path, where each
+    # sequential estimate recomputes the coefficient kernel the batch
+    # API caches per distinct descendant operand.
+    org_tree = label_document(generate_orgchart(seed=42))
+    tags = ["manager", "department", "employee", "email", "name"]
+    rng = random.Random(5)
+    combos = [f"//{a}//{d}" for a in tags for d in tags if a != d]
+    weights = [1.0 / (k + 1) for k in range(len(combos))]
+    queries = rng.choices(combos, weights=weights, k=100)
+    workload_repeats = max(repeats, 5)
+
+    def sequential():
+        est = AnswerSizeEstimator(org_tree, grid_size=20)
+        return [est.estimate(q) for q in queries]
+
+    def batched():
+        est = AnswerSizeEstimator(org_tree, grid_size=20)
+        return est.estimate_many(queries), est
+
+    seq_results, loop_s = best_of(sequential, workload_repeats)
+    (batch_results, batch_est), vec_s = best_of(batched, workload_repeats)
+    for s, b in zip(seq_results, batch_results):
+        assert abs(s.value - b.value) <= 1e-9 * max(1.0, abs(s.value))
+    record(
+        results,
+        "estimate-workload",
+        loop_s,
+        vec_s,
+        {
+            "queries": len(queries),
+            "distinct_queries_estimated": len(set(queries)),
+            "coefficient_kernels_cached": len(batch_est._coefficient_cache),
+        },
+    )
+
+    artifact = {"meta": meta, "paths": results}
+    Path(args.out).write_text(json.dumps(artifact, indent=1) + "\n")
+    print(f"wrote {args.out}")
+
+    if not args.quick:
+        for path in ("pair-enumeration", "plan-execution"):
+            speedup = results[path]["speedup"]
+            assert speedup >= 3.0, f"{path} speedup {speedup:.1f}x below 3x target"
+        workload = results["estimate-workload"]["speedup"]
+        assert workload > 1.0, f"estimate_many not faster ({workload:.2f}x)"
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,39 +3,65 @@
 A binding table holds partial matches of a twig: one column per bound
 pattern node (identified by its pre-order index in the pattern), one
 row per distinct assignment of data-node indices to those pattern
-nodes.  Stored as plain tuples in row-major lists -- simple, exact, and
-fast enough for the data-set sizes of the experiments.
+nodes.  Storage is columnar: a single 2-D int64 array, so join
+expansion is a vectorized gather/repeat instead of per-row Python
+loops, and column extraction is a slice.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence, Union
+
+import numpy as np
+
+from repro.utils.arrays import expand_ranges
+
+RowsLike = Union[np.ndarray, Iterable[tuple[int, ...]]]
 
 
 class BindingTable:
-    """Partial twig matches: ``columns`` pattern-node ids, ``rows`` of
-    data-node indices aligned with the columns."""
+    """Partial twig matches: ``columns`` pattern-node ids, one row of
+    data-node indices per match, stored as an ``(n_rows, n_cols)``
+    int64 array."""
 
-    def __init__(self, columns: Sequence[int], rows: Iterable[tuple[int, ...]]) -> None:
+    def __init__(self, columns: Sequence[int], rows: RowsLike) -> None:
         self.columns = tuple(columns)
-        self.rows = list(rows)
         width = len(self.columns)
-        for row in self.rows:
-            if len(row) != width:
+        if isinstance(rows, np.ndarray):
+            data = np.ascontiguousarray(rows, dtype=np.int64)
+            if data.ndim != 2 or data.shape[1] != width:
                 raise ValueError(
-                    f"row width {len(row)} does not match {width} columns"
+                    f"row width {data.shape[1] if data.ndim == 2 else '?'} "
+                    f"does not match {width} columns"
                 )
+        else:
+            row_list = [tuple(row) for row in rows]
+            for row in row_list:
+                if len(row) != width:
+                    raise ValueError(
+                        f"row width {len(row)} does not match {width} columns"
+                    )
+            data = np.asarray(row_list, dtype=np.int64).reshape(len(row_list), width)
+        self.data = data
 
     @classmethod
     def single_column(cls, column: int, nodes: Iterable[int]) -> "BindingTable":
         """A base table: one pattern node, one row per matching data node."""
-        return cls((column,), ((int(n),) for n in nodes))
+        values = np.asarray(
+            nodes if isinstance(nodes, np.ndarray) else list(nodes), dtype=np.int64
+        )
+        return cls((column,), values.reshape(-1, 1))
+
+    @property
+    def rows(self) -> list[tuple[int, ...]]:
+        """The rows as Python tuples (materialised on demand)."""
+        return [tuple(row) for row in self.data.tolist()]
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self.data.shape[0]
 
     def __iter__(self) -> Iterator[tuple[int, ...]]:
-        return iter(self.rows)
+        return (tuple(row) for row in self.data.tolist())
 
     def column_position(self, column: int) -> int:
         """Index of a pattern-node column within each row."""
@@ -44,11 +70,52 @@ class BindingTable:
         except ValueError:
             raise KeyError(f"pattern node {column} is not bound") from None
 
+    def column_array(self, column: int) -> np.ndarray:
+        """All data-node indices bound to one pattern node (with
+        multiplicity, row order) as an int64 array."""
+        return self.data[:, self.column_position(column)]
+
     def column_values(self, column: int) -> list[int]:
         """All data-node indices bound to one pattern node (with
         multiplicity, row order)."""
+        return self.column_array(column).tolist()
+
+    def expand_pairs(
+        self,
+        column: int,
+        new_column: int,
+        keys: np.ndarray,
+        partners: np.ndarray,
+    ) -> "BindingTable":
+        """Join with a new pattern node given columnar join pairs.
+
+        ``keys[k]`` is a data node that may appear in ``column``,
+        ``partners[k]`` a data node joinable with it for ``new_column``;
+        rows whose ``column`` value never appears in ``keys`` are
+        dropped (inner join).  Vectorized: sort the pairs by key once,
+        then locate each row's partner range with two binary searches
+        and expand with gather/repeat.
+        """
         position = self.column_position(column)
-        return [row[position] for row in self.rows]
+        keys = np.asarray(keys, dtype=np.int64)
+        partners = np.asarray(partners, dtype=np.int64)
+        if keys.shape != partners.shape:
+            raise ValueError("keys and partners must be aligned 1-D arrays")
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        partners = partners[order]
+
+        values = self.data[:, position]
+        lo = np.searchsorted(keys, values, side="left")
+        hi = np.searchsorted(keys, values, side="right")
+        counts = hi - lo
+
+        row_index = np.repeat(np.arange(self.data.shape[0]), counts)
+        partner_index = expand_ranges(lo, hi)
+        out = np.empty((len(partner_index), self.data.shape[1] + 1), dtype=np.int64)
+        out[:, :-1] = self.data[row_index]
+        out[:, -1] = partners[partner_index]
+        return BindingTable(self.columns + (new_column,), out)
 
     def expand(
         self,
@@ -56,22 +123,26 @@ class BindingTable:
         new_column: int,
         matches: dict[int, list[int]],
     ) -> "BindingTable":
-        """Join with a new pattern node.
+        """Join with a new pattern node given a match adjacency dict.
 
-        ``matches`` maps each data node that may appear in ``column`` to
-        the data nodes joinable with it for ``new_column``; rows without
-        matches are dropped (inner join).
+        Compatibility wrapper over :meth:`expand_pairs` for callers that
+        hold ``{node: [partners]}`` mappings.
         """
-        position = self.column_position(column)
-        out_rows: list[tuple[int, ...]] = []
-        for row in self.rows:
-            for partner in matches.get(row[position], ()):  # inner join
-                out_rows.append(row + (partner,))
-        return BindingTable(self.columns + (new_column,), out_rows)
+        keys = np.asarray(
+            [k for k, vs in matches.items() for _ in vs], dtype=np.int64
+        )
+        partners = np.asarray(
+            [v for vs in matches.values() for v in vs], dtype=np.int64
+        )
+        return self.expand_pairs(column, new_column, keys, partners)
+
+    def distinct_array(self, column: int) -> np.ndarray:
+        """Sorted distinct data nodes bound to a pattern node (int64)."""
+        return np.unique(self.column_array(column))
 
     def distinct(self, column: int) -> list[int]:
         """Sorted distinct data nodes bound to a pattern node."""
-        return sorted(set(self.column_values(column)))
+        return self.distinct_array(column).tolist()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"BindingTable(columns={self.columns}, rows={len(self.rows)})"
+        return f"BindingTable(columns={self.columns}, rows={len(self)})"

@@ -1,13 +1,15 @@
-"""Plan execution with stack-tree structural joins.
+"""Plan execution with columnar structural joins.
 
 :class:`PlanExecutor` runs a :class:`~repro.optimizer.plans.JoinPlan`
 over a labeled tree: it seeds a binding table from the plan's first
-edge and extends it one pattern node per step, using the merge-based
-structural join to find partners and an inner-join expansion to keep
-full bindings.  The executor records :class:`ExecutionStats` whose
-``total_work`` is exactly the quantity the optimizer's cost model
-predicts (input sizes + output size per step), enabling end-to-end
-validation of estimate-driven plan choice against *measured* work.
+edge and extends it one pattern node per step, using the vectorized
+interval join to enumerate partner pair arrays and a columnar
+gather/repeat expansion to keep full bindings -- no per-pair Python
+dictionaries anywhere on the path.  The executor records
+:class:`ExecutionStats` whose ``total_work`` is exactly the quantity
+the optimizer's cost model predicts (input sizes + output size per
+step), enabling end-to-end validation of estimate-driven plan choice
+against *measured* work.
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from repro.labeling.interval import LabeledTree
 from repro.optimizer.plans import JoinPlan
 from repro.predicates.catalog import PredicateCatalog
 from repro.query.pattern import Axis, PatternTree
-from repro.query.structjoin import structural_join_pairs
+from repro.query.structjoin import vectorized_join_pairs
 
 
 @dataclass
@@ -89,21 +91,19 @@ class PlanExecutor:
                     f"plan step {step} is disconnected from the bindings"
                 )
 
-            bound = np.asarray(table.distinct(existing_id), dtype=np.int64)
+            bound = table.distinct_array(existing_id)
             candidates = self._candidates(nodes[new_id])
             if new_is_child:
-                pairs = structural_join_pairs(self.tree, bound, candidates, axis=axis)
-                matches: dict[int, list[int]] = {}
-                for ancestor, descendant in pairs:
-                    matches.setdefault(ancestor, []).append(descendant)
+                keys, partners = vectorized_join_pairs(
+                    self.tree, bound, candidates, axis=axis
+                )
             else:
-                pairs = structural_join_pairs(self.tree, candidates, bound, axis=axis)
-                matches = {}
-                for ancestor, descendant in pairs:
-                    matches.setdefault(descendant, []).append(ancestor)
+                partners, keys = vectorized_join_pairs(
+                    self.tree, candidates, bound, axis=axis
+                )
 
             left_rows = len(table)
-            table = table.expand(existing_id, new_id, matches)
+            table = table.expand_pairs(existing_id, new_id, keys, partners)
             stats.steps.append(
                 StepStats(
                     left_rows=left_rows,

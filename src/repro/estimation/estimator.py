@@ -17,7 +17,7 @@ inside twig cascades.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -40,7 +40,7 @@ from repro.histograms.position import PositionHistogram, build_position_histogra
 from repro.histograms.storage import coverage_storage_bytes, position_storage_bytes
 from repro.histograms.truehist import build_true_histogram
 from repro.labeling.interval import LabeledTree
-from repro.predicates.base import Predicate
+from repro.predicates.base import Predicate, TagPredicate
 from repro.predicates.catalog import PredicateCatalog
 from repro.query.matcher import count_matches, count_pairs
 from repro.query.pattern import Axis, PatternTree
@@ -200,9 +200,13 @@ class AnswerSizeEstimator:
           (paper Section 3.3's space-time tradeoff);
         * ``"ph-join-level"`` -- level-refined pH-join;
         * ``"ph-join-child"`` -- parent-child (``/``) estimation via
-          level-augmented histograms.
+          level-augmented histograms;
+        * ``"auto-precomputed"`` -- like ``"auto"`` but the pH-join
+          branch uses the cached coefficients, so repeated descendant
+          operands across a workload share the kernel (numerically
+          identical to ``"ph-join"`` based on the ancestor).
         """
-        if method == "auto":
+        if method in ("auto", "auto-precomputed"):
             # Paper Section 4: schema knowledge first.  An impossible
             # nesting is exactly zero; a mandatory sole parent with a
             # no-overlap ancestor yields exactly the descendant count.
@@ -215,8 +219,11 @@ class AnswerSizeEstimator:
                                         elapsed_seconds=0.0)
         hist_anc = self.position_histogram(ancestor)
         hist_desc = self.position_histogram(descendant)
-        if method == "auto":
-            method = "no-overlap" if self.is_no_overlap(ancestor) else "ph-join"
+        if method in ("auto", "auto-precomputed"):
+            overlap_method = (
+                "ph-join-precomputed" if method == "auto-precomputed" else "ph-join"
+            )
+            method = "no-overlap" if self.is_no_overlap(ancestor) else overlap_method
         if method == "ph-join":
             return ph_join(hist_anc, hist_desc, based=based)
         if method == "ph-join-literal":
@@ -283,11 +290,16 @@ class AnswerSizeEstimator:
         is no-overlap, the answer is exactly the descendant count."""
         if self.schema is None:
             return None
-        anc_tag = getattr(ancestor, "tag", None)
-        desc_tag = getattr(descendant, "tag", None)
-        if not (isinstance(anc_tag, str) and isinstance(desc_tag, str)):
+        # The ancestor must be the bare tag predicate: a compound
+        # ancestor selects only a subset of the tag's nodes, so the sole
+        # parent of a descendant need not satisfy it.
+        if not isinstance(ancestor, TagPredicate):
             return None
-        # Sound for any tag-scoped predicate: every matching descendant
+        anc_tag = ancestor.tag
+        desc_tag = getattr(descendant, "tag", None)
+        if not isinstance(desc_tag, str):
+            return None
+        # Sound for any tag-scoped descendant: every matching descendant
         # has the descendant tag, hence a mandatory ancestor-tag parent.
         if (
             self.schema.sole_parent(desc_tag) == anc_tag
@@ -336,7 +348,20 @@ class AnswerSizeEstimator:
         Two-node patterns route through :meth:`estimate_pair` with the
         paper's automatic method choice; larger twigs run the cascade.
         """
-        pattern = self._as_pattern(query)
+        return self._estimate_pattern(self._as_pattern(query))
+
+    def _estimate_pattern(
+        self,
+        pattern: PatternTree,
+        overlap_method: str = "auto",
+        twig: Optional[TwigEstimator] = None,
+    ) -> EstimationResult:
+        """Single routing point for both the single and batch APIs.
+
+        ``overlap_method`` is the method handed to :meth:`estimate_pair`
+        for ``//`` pairs (``"auto"`` or its coefficient-cached twin);
+        ``twig`` lets a batch caller reuse one cascade estimator.
+        """
         nodes = pattern.nodes()
         if len(nodes) == 2:
             if nodes[1].axis is Axis.CHILD:
@@ -344,9 +369,70 @@ class AnswerSizeEstimator:
                     nodes[0].predicate, nodes[1].predicate, method="ph-join-child"
                 )
             return self.estimate_pair(
-                nodes[0].predicate, nodes[1].predicate, method="auto"
+                nodes[0].predicate, nodes[1].predicate, method=overlap_method
             )
-        return self.twig_estimator().estimate(pattern)
+        return (twig if twig is not None else self.twig_estimator()).estimate(pattern)
+
+    # -- batched estimation ----------------------------------------------------
+
+    def estimate_many(self, queries: Sequence[Query]) -> list[EstimationResult]:
+        """Estimate a whole workload, amortising the shared machinery.
+
+        Sequential :meth:`estimate` calls repeat work a workload shares:
+        predicate scans run one element pass each, pH-join coefficient
+        kernels are recomputed per query, and duplicate queries are
+        estimated from scratch.  This method instead
+
+        1. registers every predicate of the workload in one
+           :meth:`~repro.predicates.catalog.PredicateCatalog.register_many`
+           call (tag-scoped predicates hit the per-tag index; the rest
+           share a single fused element scan),
+        2. builds each distinct position histogram once up front,
+        3. routes primitive ``//`` patterns through the precomputed
+           coefficient cache, so repeated descendant operands share one
+           kernel evaluation (``"auto-precomputed"``, numerically
+           identical to the per-query pH-join), and
+        4. deduplicates textually identical queries, estimating each
+           distinct query once.
+
+        Returns one result per input query, aligned with ``queries``;
+        duplicate queries share the same result object.
+        """
+        patterns = [self._as_pattern(q) for q in queries]
+        predicates = [
+            node.predicate for pattern in patterns for node in pattern.nodes()
+        ]
+        self.catalog.register_many(predicates)
+        for predicate in dict.fromkeys(predicates):
+            self.position_histogram(predicate)
+
+        twig = self.twig_estimator()
+        cache: dict[tuple, EstimationResult] = {}
+        out: list[EstimationResult] = []
+        for pattern in patterns:
+            key = self._pattern_key(pattern.root)
+            result = cache.get(key)
+            if result is None:
+                result = self._estimate_pattern(
+                    pattern, overlap_method="auto-precomputed", twig=twig
+                )
+                cache[key] = result
+            out.append(result)
+        return out
+
+    @staticmethod
+    def _pattern_key(node) -> tuple:
+        """Structural identity of a pattern subtree.
+
+        Built from the predicate value objects themselves (not their
+        display names, which can collide across predicate types), so
+        deduplication only merges genuinely identical queries.
+        """
+        return (
+            node.predicate,
+            node.axis,
+            tuple(AnswerSizeEstimator._pattern_key(c) for c in node.children),
+        )
 
     # -- ground truth ------------------------------------------------------------
 

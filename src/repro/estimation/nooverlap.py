@@ -65,17 +65,19 @@ def no_overlap_estimate(
 
     def run() -> tuple[float, np.ndarray]:
         per_cell = np.zeros((grid_size, grid_size))
-        desc = hist_descendant.dense()
-        for (m, n, i, j), fraction in coverage_ancestor.entries():
-            # (m, n): covered cell; (i, j): covering (ancestor) cell.
-            if hist_ancestor.count(i, j) <= 0:
-                # Participating ancestors may be fewer than the original
-                # predicate's nodes in a cascade; skip unpopulated cells.
-                continue
-            contribution = fraction * desc[m, n]
+        # Columns: covered cell (m, n), covering ancestor cell (i, j).
+        m, n, i, j, fractions = coverage_ancestor.entry_arrays()
+        if fractions.size:
+            contributions = fractions * hist_descendant.dense()[m, n]
             if descendant_join_factor is not None:
-                contribution *= descendant_join_factor[m, n]
-            per_cell[i, j] += contribution
+                contributions = contributions * descendant_join_factor[m, n]
+            # Participating ancestors may be fewer than the original
+            # predicate's nodes in a cascade; unpopulated covering cells
+            # contribute nothing.
+            contributions = np.where(
+                hist_ancestor.dense()[i, j] > 0, contributions, 0.0
+            )
+            np.add.at(per_cell, (i, j), contributions)
         if ancestor_join_factor is not None:
             per_cell *= ancestor_join_factor
         return float(per_cell.sum()), per_cell

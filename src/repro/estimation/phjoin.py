@@ -41,6 +41,8 @@ Three implementations are provided:
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.estimation.result import EstimationResult
@@ -73,6 +75,22 @@ def _check_grids(a: PositionHistogram, b: PositionHistogram) -> int:
     if not a.grid.compatible_with(b.grid):
         raise ValueError("histograms were built over different grids")
     return a.grid.size
+
+
+@lru_cache(maxsize=None)
+def _grid_indices(grid_size: int) -> tuple[np.ndarray, np.ndarray]:
+    """Cached ``meshgrid`` row/column index arrays for one grid side.
+
+    The coefficient kernels are called once per (query, operand); the
+    index arrays depend only on the grid size, so they are allocated
+    once per grid and shared read-only across the whole workload.
+    """
+    i_idx, j_idx = np.meshgrid(
+        np.arange(grid_size), np.arange(grid_size), indexing="ij"
+    )
+    i_idx.setflags(write=False)
+    j_idx.setflags(write=False)
+    return i_idx, j_idx
 
 
 # ---------------------------------------------------------------------------
@@ -182,9 +200,7 @@ def ancestor_based_coefficients(hist_desc: np.ndarray) -> np.ndarray:
     # Ccol[k, j] = sum_{k' <= k} H[k', j]  (column prefix sums).
     col_prefix = np.cumsum(hist_desc, axis=0)
 
-    i_idx, j_idx = np.meshgrid(
-        np.arange(grid_size), np.arange(grid_size), indexing="ij"
-    )
+    i_idx, j_idx = _grid_indices(grid_size)
 
     coeff = np.zeros((grid_size, grid_size))
     off = j_idx > i_idx  # off-diagonal upper cells
@@ -225,9 +241,7 @@ def descendant_based_coefficients(hist_anc: np.ndarray) -> np.ndarray:
     row_total = row_prefix[:, -1]
     cum_row_total = np.cumsum(row_total)
 
-    i_idx, j_idx = np.meshgrid(
-        np.arange(grid_size), np.arange(grid_size), indexing="ij"
-    )
+    i_idx, j_idx = _grid_indices(grid_size)
 
     # sum over m < i, all n:  cum_row_total[i-1]
     above_all = np.where(i_idx > 0, cum_row_total[np.maximum(i_idx - 1, 0)], 0.0)

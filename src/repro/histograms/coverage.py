@@ -55,6 +55,7 @@ class CoverageHistogram:
         self.grid = grid
         self.name = name
         self._entries: dict[CellPair, float] = {}
+        self._arrays: Optional[tuple[np.ndarray, ...]] = None
         if entries:
             for key, fraction in entries.items():
                 self._set(key, float(fraction))
@@ -72,6 +73,7 @@ class CoverageHistogram:
             self._entries.pop(key, None)
         else:
             self._entries[key] = min(fraction, 1.0)
+        self._arrays = None
 
     # -- access ------------------------------------------------------------
 
@@ -83,6 +85,27 @@ class CoverageHistogram:
         """Yield ``((i, j, m, n), fraction)`` for non-zero entries."""
         for key in sorted(self._entries):
             yield key, self._entries[key]
+
+    def entry_arrays(self) -> tuple[np.ndarray, ...]:
+        """The non-zero entries as five aligned read-only arrays.
+
+        Returns ``(covered_i, covered_j, covering_m, covering_n,
+        fraction)`` in sorted key order -- the columnar counterpart of
+        :meth:`entries`, cached so the estimators can evaluate the
+        Fig. 10 sums as pure array expressions on every call.
+        """
+        if self._arrays is None:
+            keys = sorted(self._entries)
+            quads = np.asarray(keys, dtype=np.int64).reshape(len(keys), 4)
+            fractions = np.asarray(
+                [self._entries[k] for k in keys], dtype=np.float64
+            )
+            columns = tuple(np.ascontiguousarray(quads[:, c]) for c in range(4))
+            arrays = columns + (fractions,)
+            for array in arrays:
+                array.setflags(write=False)
+            self._arrays = arrays
+        return self._arrays
 
     def entry_count(self) -> int:
         """Number of stored (non-zero) entries."""
@@ -123,6 +146,7 @@ def build_coverage_histogram(
     node_indices: Iterable[int],
     true_hist: PositionHistogram,
     name: str = "",
+    chunk_pairs: Optional[int] = None,
 ) -> CoverageHistogram:
     """Build the coverage histogram of predicate nodes ``node_indices``.
 
@@ -138,41 +162,95 @@ def build_coverage_histogram(
 
     Algorithm
     ---------
-    One pre-order sweep with an explicit stack of active P-ancestors.
-    For each element we collect the distinct grid cells of the P-nodes
-    currently on the stack (at most one for a no-overlap predicate) and
-    bump the numerator for each ``(cell(v), cell(ancestor))`` pair.
-    Runs in ``O(N * depth)`` worst case, ``O(N)`` for no-overlap
-    predicates.
+    Columnar: each P-node's covered nodes are exactly the pre-order
+    range of its subtree, so the ``(P-ancestor, node)`` pairs are
+    enumerated as flat index arrays, reduced to distinct
+    ``(node, ancestor-cell)`` combinations (a node covered by two
+    P-ancestors in the same cell counts once, so the result is exact
+    for overlap predicates too), and one more unique pass counts the
+    numerators per ``(cell(v), cell(ancestor))``.  Ancestors are
+    processed in bounded-size chunks: the transient pair arrays stay
+    capped even when a deeply recursive predicate makes the total pair
+    count ``O(N * depth)``, and because a chunk's ancestors only cover
+    nodes after their own pre-order position, pairs for nodes before
+    the next chunk's first ancestor are flushed into the (at most
+    ``g^4``-entry) numerator table after every chunk, bounding the
+    deduplicated running state as well.
     """
+    from repro.query.structjoin import subtree_high
+    from repro.utils.arrays import expand_ranges
+
     grid = true_hist.grid
-    predicate_set = set(int(x) for x in node_indices)
-    numerators: dict[CellPair, int] = {}
+    pnodes = np.asarray(
+        node_indices if isinstance(node_indices, np.ndarray) else list(node_indices),
+        dtype=np.int64,
+    )
+    if pnodes.size == 0:
+        return CoverageHistogram(grid, {}, name=name)
+    # The chunk-flush bound below relies on ascending pre-order indices;
+    # the catalog always supplies them sorted, but the function is
+    # public API and must stay order-insensitive.
+    pnodes = np.sort(pnodes)
 
-    start = tree.start
-    end = tree.end
-    # Stack of (end_label, cell) for P-ancestors of the current node.
-    stack: list[tuple[int, tuple[int, int]]] = []
+    # Per-node cell codes i * g + j, shared by both sides of the pair.
+    g = grid.size
+    cell_code = grid.buckets(tree.start) * g + grid.buckets(tree.end)
 
-    for v in range(len(tree)):
-        v_start = int(start[v])
-        while stack and stack[-1][0] < v_start:
-            stack.pop()
-        if stack:
-            v_cell = grid.cell_of(v_start, int(end[v]))
-            seen: set[tuple[int, int]] = set()
-            for _, ancestor_cell in stack:
-                if ancestor_cell in seen:
-                    continue
-                seen.add(ancestor_cell)
-                key = (v_cell[0], v_cell[1], ancestor_cell[0], ancestor_cell[1])
-                numerators[key] = numerators.get(key, 0) + 1
-        if v in predicate_set:
-            v_end = int(end[v])
-            stack.append((v_end, grid.cell_of(v_start, v_end)))
+    lo = pnodes + 1
+    hi = subtree_high(tree, pnodes)
+    counts = hi - lo
+    cum = np.cumsum(counts)
+    total_pairs = int(cum[-1])
+    if total_pairs == 0:
+        return CoverageHistogram(grid, {}, name=name)
+
+    # Chunk boundaries keep each expansion near the budget (a single
+    # giant subtree may exceed it by itself, which is the floor anyway).
+    # ``chunk_pairs`` overrides the budget, mainly so tests can force
+    # the multi-chunk path on small inputs.
+    budget = chunk_pairs if chunk_pairs else max(1 << 20, 4 * len(tree))
+    splits = np.unique(
+        np.searchsorted(cum, np.arange(budget, total_pairs, budget), side="left") + 1
+    )
+    edges = [0, *splits.tolist(), len(pnodes)]
+
+    g2 = g * g
+    anc_cell_code = cell_code[pnodes]
+    numerators: dict[int, int] = {}
+    pending = np.empty(0, dtype=np.int64)  # sorted distinct node*g2+cell
+
+    def flush(codes: np.ndarray, node_bound: int) -> np.ndarray:
+        """Count pairs of nodes below ``node_bound`` into ``numerators``."""
+        split = int(np.searchsorted(codes, node_bound * g2))
+        final = codes[:split]
+        if final.size:
+            keys, chunk_counts = np.unique(
+                cell_code[final // g2] * g2 + final % g2, return_counts=True
+            )
+            for key, count in zip(keys.tolist(), chunk_counts.tolist()):
+                numerators[key] = numerators.get(key, 0) + count
+        return codes[split:]
+
+    for s, e in zip(edges, edges[1:]):
+        if s >= e:
+            continue
+        covered = expand_ranges(lo[s:e], hi[s:e])
+        anc_codes = np.repeat(anc_cell_code[s:e], counts[s:e])
+        # Distinct (covered node, ancestor cell) within the chunk;
+        # union with pairs still awaiting later same-node ancestors.
+        part = np.unique(covered * g2 + anc_codes)
+        pending = part if pending.size == 0 else np.union1d(pending, part)
+        if e < len(pnodes):
+            # The remaining ancestors only cover nodes strictly after
+            # their own pre-order index.
+            pending = flush(pending, int(pnodes[e]) + 1)
+    flush(pending, len(tree))
 
     entries: dict[CellPair, float] = {}
-    for (i, j, m, n), numerator in numerators.items():
+    for code, numerator in numerators.items():
+        covered_code, covering_code = divmod(code, g2)
+        i, j = divmod(covered_code, g)
+        m, n = divmod(covering_code, g)
         denominator = true_hist.count(i, j)
         if denominator > 0:
             entries[(i, j, m, n)] = numerator / denominator

@@ -86,11 +86,18 @@ class PositionHistogram:
         return float(sum(self._cells.values()))
 
     def dense(self) -> np.ndarray:
-        """Dense ``g x g`` float64 matrix (cached; do not mutate)."""
+        """Dense ``g x g`` float64 matrix (cached, read-only).
+
+        The returned array is the shared cache with the write flag
+        cleared, so accidental mutation raises instead of silently
+        corrupting every later estimate; callers that need a scratch
+        copy must ``.copy()`` explicitly.
+        """
         if self._dense is None:
             matrix = np.zeros((self.grid.size, self.grid.size), dtype=np.float64)
             for (i, j), count in self._cells.items():
                 matrix[i, j] = count
+            matrix.setflags(write=False)
             self._dense = matrix
         return self._dense
 

@@ -151,32 +151,31 @@ def label_forest(documents: Sequence[Document]) -> LabeledTree:
     parents: list[int] = []
 
     counter = 1  # 0 is reserved for the dummy root's start position
-    # Iterative DFS; stack holds (element, parent_index, level, visited).
-    stack: list[tuple[Element, int, int, bool]] = []
+    # Iterative DFS; entry frames hold (element, parent_index, level),
+    # exit frames (None, own_slot, _) -- the slot rides on the frame, so
+    # no per-node lookup table is needed to patch end labels.
+    stack: list[tuple[Optional[Element], int, int]] = []
     for document in reversed(documents):
         roots = [c for c in document.children if isinstance(c, Element)]
         for root in reversed(roots):
-            stack.append((root, -1, 1, False))
+            stack.append((root, -1, 1))
 
-    # Because end labels are assigned on exit, we track each node's slot.
-    slot_of: dict[int, int] = {}
     while stack:
-        node, parent_idx, level, visited = stack.pop()
-        if visited:
-            ends[slot_of[id(node)]] = counter
+        node, index, level = stack.pop()
+        if node is None:  # exit frame: index is this node's slot
+            ends[index] = counter
             counter += 1
             continue
         slot = len(elements)
-        slot_of[id(node)] = slot
         elements.append(node)
         starts.append(counter)
         ends.append(-1)  # patched on exit
         levels.append(level)
-        parents.append(parent_idx)
+        parents.append(index)
         counter += 1
-        stack.append((node, parent_idx, level, True))
+        stack.append((None, slot, level))
         for child in reversed(list(node.child_elements())):
-            stack.append((child, slot, level + 1, False))
+            stack.append((child, slot, level + 1))
 
     max_label = counter  # dummy root's end
     return LabeledTree(

@@ -10,7 +10,9 @@ Tables 1 and 3.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.xmltree.tree import Element
 
@@ -30,6 +32,17 @@ class Predicate(ABC):
     @abstractmethod
     def matches(self, element: Element) -> bool:
         """Evaluate the predicate on one element."""
+
+    def matches_batch(self, elements: Sequence[Element]) -> np.ndarray:
+        """Evaluate the predicate over a node list, returning a bool mask.
+
+        The catalog scans through this hook so subclasses with cheap
+        columnar evaluations can override it; the default is one fused
+        ``fromiter`` pass with no intermediate list.
+        """
+        return np.fromiter(
+            (self.matches(e) for e in elements), dtype=bool, count=len(elements)
+        )
 
     @abstractmethod
     def description(self) -> str:
@@ -62,6 +75,9 @@ class TruePredicate(Predicate):
 
     def matches(self, element: Element) -> bool:
         return True
+
+    def matches_batch(self, elements: Sequence[Element]) -> np.ndarray:
+        return np.ones(len(elements), dtype=bool)
 
     def description(self) -> str:
         return "TRUE (all elements)"

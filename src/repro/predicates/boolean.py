@@ -23,6 +23,19 @@ class AndPredicate(Predicate):
         self.parts = tuple(parts)
 
     @property
+    def tag(self) -> str | None:
+        """The tag every match must carry, when one conjunct pins it.
+
+        Exposing it lets the catalog scan only that tag's candidate
+        nodes (via its per-tag index) instead of the whole tree.
+        """
+        for part in self.parts:
+            tag = getattr(part, "tag", None)
+            if isinstance(tag, str):
+                return tag
+        return None
+
+    @property
     def name(self) -> str:
         return "(" + " AND ".join(p.name for p in self.parts) + ")"
 

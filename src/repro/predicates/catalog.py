@@ -53,22 +53,16 @@ def detect_no_overlap(tree: LabeledTree, indices: np.ndarray) -> bool:
     """Check Definition 2 on a sorted list of node indices.
 
     With nodes sorted by start label, a set has the no-overlap property
-    iff no node's interval contains the next node's interval -- nesting
-    among matching nodes always manifests between start-adjacent pairs,
-    because an ancestor's interval contains everything up to its end.
-    We keep a running maximum of seen end labels: if the next start falls
-    below it, some earlier matching node contains this one.
+    iff no node's start falls below the running maximum of earlier end
+    labels -- nesting among matching nodes always manifests against some
+    earlier node, because an ancestor's interval contains everything up
+    to its end.  The running maximum is one ``np.maximum.accumulate``.
     """
     if len(indices) <= 1:
         return True
     starts = tree.start[indices]
-    ends = tree.end[indices]
-    running_end = ends[0]
-    for k in range(1, len(indices)):
-        if starts[k] < running_end:
-            return False
-        running_end = max(running_end, ends[k])
-    return True
+    running_end = np.maximum.accumulate(tree.end[indices])
+    return not bool(np.any(starts[1:] < running_end[:-1]))
 
 
 class PredicateCatalog:
@@ -84,6 +78,45 @@ class PredicateCatalog:
     def __init__(self, tree: LabeledTree) -> None:
         self.tree = tree
         self._stats: dict[Predicate, PredicateStats] = {}
+        self._tag_indices: Optional[dict[str, np.ndarray]] = None
+
+    # -- tag index -------------------------------------------------------
+
+    def tag_indices(self) -> dict[str, np.ndarray]:
+        """Per-tag sorted node-index arrays, built once per catalog.
+
+        One pass over the elements serves every tag-scoped predicate
+        afterwards: tag predicates resolve by dictionary lookup, and
+        attribute/content predicates scan only their tag's candidates.
+        Grouping is a stable argsort over the tag column, so the only
+        per-element Python work is reading the ``tag`` attribute.
+        """
+        if self._tag_indices is None:
+            if not self.tree.elements:
+                self._tag_indices = {}
+                return self._tag_indices
+            code_of: dict[str, int] = {}
+            codes = np.fromiter(
+                (code_of.setdefault(e.tag, len(code_of)) for e in self.tree.elements),
+                dtype=np.int64,
+                count=len(self.tree.elements),
+            )
+            order = np.argsort(codes, kind="stable")
+            sorted_codes = codes[order]
+            cuts = np.flatnonzero(
+                np.concatenate(([True], sorted_codes[1:] != sorted_codes[:-1]))
+            )
+            groups = np.split(order, cuts[1:])
+            for group in groups:
+                # The groups are shared: handed out as TagPredicate
+                # node_indices and reused by every tag-scoped scan.
+                group.setflags(write=False)
+            tag_of = {code: tag for tag, code in code_of.items()}
+            self._tag_indices = {
+                tag_of[int(sorted_codes[cut])]: group
+                for cut, group in zip(cuts, groups)
+            }
+        return self._tag_indices
 
     # -- registration ----------------------------------------------------
 
@@ -119,25 +152,36 @@ class PredicateCatalog:
         tags defined in an XML document, so it is easy to justify ...
         a histogram on each one of these distinct element tags."
         """
-        by_tag: dict[str, list[int]] = {}
-        for i, element in enumerate(self.tree.elements):
-            by_tag.setdefault(element.tag, []).append(i)
-        out: list[PredicateStats] = []
-        for tag in sorted(by_tag):
-            predicate = TagPredicate(tag)
-            if predicate in self._stats:
-                out.append(self._stats[predicate])
-                continue
-            indices = np.asarray(by_tag[tag], dtype=np.int64)
-            stats = PredicateStats(
-                predicate=predicate,
-                node_indices=indices,
-                count=int(len(indices)),
-                no_overlap=detect_no_overlap(self.tree, indices),
-            )
-            self._stats[predicate] = stats
-            out.append(stats)
-        return out
+        return [self.register(TagPredicate(tag)) for tag in sorted(self.tag_indices())]
+
+    def register_many(self, predicates: Iterable[Predicate]) -> list[PredicateStats]:
+        """Register a batch of predicates, sharing element scans.
+
+        Tag-scoped predicates resolve against the per-tag index; the
+        remaining ones are evaluated together in a single pass over the
+        elements instead of one full scan per predicate.  This is the
+        catalog half of the workload-amortised estimation API.
+        """
+        predicates = list(dict.fromkeys(predicates))  # may be a generator
+        unique = [p for p in predicates if p not in self._stats]
+        full_scan = [
+            p for p in unique if not isinstance(getattr(p, "tag", None), str)
+        ]
+        if len(full_scan) > 1:
+            hits: dict[Predicate, list[int]] = {p: [] for p in full_scan}
+            for i, element in enumerate(self.tree.elements):
+                for p in full_scan:
+                    if p.matches(element):
+                        hits[p].append(i)
+            for p, matched in hits.items():
+                indices = np.asarray(matched, dtype=np.int64)
+                self._stats[p] = PredicateStats(
+                    predicate=p,
+                    node_indices=indices,
+                    count=int(len(indices)),
+                    no_overlap=detect_no_overlap(self.tree, indices),
+                )
+        return [self.register(p) for p in predicates]
 
     # -- lookup ----------------------------------------------------------
 
@@ -168,8 +212,18 @@ class PredicateCatalog:
     # -- internals ---------------------------------------------------------
 
     def _scan(self, predicate: Predicate) -> np.ndarray:
-        matches = [
-            i for i, element in enumerate(self.tree.elements)
-            if predicate.matches(element)
-        ]
-        return np.asarray(matches, dtype=np.int64)
+        tag = getattr(predicate, "tag", None)
+        if isinstance(tag, str):
+            candidates = self.tag_indices().get(tag)
+            if candidates is None:
+                return np.empty(0, dtype=np.int64)
+            if isinstance(predicate, TagPredicate):
+                return candidates
+            elements = self.tree.elements
+            mask = np.fromiter(
+                (predicate.matches(elements[i]) for i in candidates.tolist()),
+                dtype=bool,
+                count=candidates.size,
+            )
+            return candidates[mask]
+        return np.flatnonzero(predicate.matches_batch(self.tree.elements))

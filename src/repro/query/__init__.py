@@ -14,7 +14,12 @@
 
 from repro.query.matcher import count_matches, count_pairs
 from repro.query.pattern import Axis, PatternNode, PatternTree
-from repro.query.structjoin import stack_tree_join, structural_join_pairs
+from repro.query.structjoin import (
+    stack_tree_join,
+    structural_join_pairs,
+    vectorized_join_count,
+    vectorized_join_pairs,
+)
 from repro.query.xpath import parse_xpath
 
 __all__ = [
@@ -26,4 +31,6 @@ __all__ = [
     "parse_xpath",
     "stack_tree_join",
     "structural_join_pairs",
+    "vectorized_join_count",
+    "vectorized_join_pairs",
 ]

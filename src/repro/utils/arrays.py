@@ -1,0 +1,24 @@
+"""Shared integer-array kernels for the columnar operators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def expand_ranges(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Concatenate ``[lo[k], hi[k])`` integer ranges into one flat array.
+
+    The workhorse of pair enumeration and binding expansion: given
+    per-item half-open position ranges, produce every position with no
+    per-range Python loop.  Position ``r`` of the output belongs to
+    range ``k = owner(r)``; its value is ``lo[k] + (r - offset[k])``
+    with ``offset`` the exclusive prefix sum of the range lengths.
+    """
+    counts = hi - lo
+    total = int(counts.sum())
+    offsets = np.cumsum(counts) - counts
+    return (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(offsets, counts)
+        + np.repeat(lo, counts)
+    )

@@ -1,0 +1,127 @@
+"""Batched estimation API: estimate_many and the shared catalog scans."""
+
+import numpy as np
+import pytest
+
+from repro.estimation import AnswerSizeEstimator
+from repro.predicates.base import ContentEqualsPredicate, TagPredicate, TruePredicate
+from repro.predicates.catalog import PredicateCatalog
+
+WORKLOAD = [
+    "//article//author",
+    "//article//cite",
+    "//inproceedings//author",
+    "//article//author",  # duplicate: must share the result object
+    "//article[.//cdrom]//author",
+    "//lecturer/TA",
+]
+
+
+class TestEstimateMany:
+    def test_matches_sequential_estimates(self, dblp_tree):
+        batch_est = AnswerSizeEstimator(dblp_tree, grid_size=10)
+        seq_est = AnswerSizeEstimator(dblp_tree, grid_size=10)
+        queries = [q for q in WORKLOAD if "lecturer" not in q]
+        batch = batch_est.estimate_many(queries)
+        for query, result in zip(queries, batch):
+            assert result.value == pytest.approx(
+                seq_est.estimate(query).value, rel=1e-12
+            ), query
+
+    def test_duplicates_share_results(self, dblp_estimator):
+        results = dblp_estimator.estimate_many(WORKLOAD)
+        assert len(results) == len(WORKLOAD)
+        assert results[0] is results[3]
+
+    def test_child_axis_routed(self, paper_tree):
+        estimator = AnswerSizeEstimator(paper_tree, grid_size=2)
+        (result,) = estimator.estimate_many(["//lecturer/TA"])
+        assert result.method == "ph-join-child"
+
+    def test_empty_workload(self, dblp_estimator):
+        assert dblp_estimator.estimate_many([]) == []
+
+    def test_same_name_predicates_not_merged(self, dblp_tree):
+        """Dedup keys on predicate identity, not display names: a tag
+        predicate and a content predicate can both be named 'author'."""
+        from repro.query.pattern import PatternTree
+
+        article = TagPredicate("article")
+        by_tag = PatternTree.simple_pair(article, TagPredicate("author"))
+        by_text = PatternTree.simple_pair(article, ContentEqualsPredicate("author"))
+        assert by_tag.to_xpath() == by_text.to_xpath()  # the collision
+        estimator = AnswerSizeEstimator(dblp_tree, grid_size=10)
+        tag_result, text_result = estimator.estimate_many([by_tag, by_text])
+        assert tag_result is not text_result
+        reference = AnswerSizeEstimator(dblp_tree, grid_size=10)
+        assert tag_result.value == pytest.approx(
+            reference.estimate(by_tag).value, rel=1e-12
+        )
+        assert text_result.value == pytest.approx(
+            reference.estimate(by_text).value, rel=1e-12
+        )
+
+    def test_precomputed_matches_ph_join(self, orgchart_tree):
+        """Overlap ancestors route through cached coefficients; the
+        value must be bit-identical to the per-query pH-join."""
+        batch_est = AnswerSizeEstimator(orgchart_tree, grid_size=10)
+        seq_est = AnswerSizeEstimator(orgchart_tree, grid_size=10)
+        query = "//department//email"
+        assert not seq_est.is_no_overlap(TagPredicate("department"))
+        (batched,) = batch_est.estimate_many([query])
+        sequential = seq_est.estimate(query)
+        assert batched.value == sequential.value
+        assert TagPredicate("email") in batch_est._coefficient_cache
+
+
+class TestRegisterMany:
+    def test_matches_individual_registration(self, dblp_tree):
+        predicates = [
+            TagPredicate("article"),
+            TagPredicate("author"),
+            ContentEqualsPredicate("1995", tag="year"),
+            TruePredicate(),
+        ]
+        batch_catalog = PredicateCatalog(dblp_tree)
+        batch_stats = batch_catalog.register_many(predicates)
+        seq_catalog = PredicateCatalog(dblp_tree)
+        for predicate, stats in zip(predicates, batch_stats):
+            expected = seq_catalog.register(predicate)
+            assert np.array_equal(stats.node_indices, expected.node_indices)
+            assert stats.count == expected.count
+            assert stats.no_overlap == expected.no_overlap
+
+    def test_shared_full_scan_pass(self, dblp_tree):
+        """Multiple non-tag-scoped predicates are resolved in one fused
+        element pass and still produce exact index lists."""
+        predicates = [TruePredicate(), ContentEqualsPredicate("1995")]
+        catalog = PredicateCatalog(dblp_tree)
+        stats = catalog.register_many(predicates)
+        assert stats[0].count == len(dblp_tree)
+        reference = [
+            i
+            for i, e in enumerate(dblp_tree.elements)
+            if predicates[1].matches(e)
+        ]
+        assert stats[1].node_indices.tolist() == reference
+
+    def test_idempotent(self, dblp_tree):
+        catalog = PredicateCatalog(dblp_tree)
+        first = catalog.register_many([TagPredicate("article")])
+        second = catalog.register_many([TagPredicate("article")])
+        assert first[0] is second[0]
+
+    def test_accepts_generator_input(self, dblp_tree):
+        catalog = PredicateCatalog(dblp_tree)
+        stats = catalog.register_many(
+            TagPredicate(tag) for tag in ("article", "author")
+        )
+        assert [s.predicate.name for s in stats] == ["article", "author"]
+        assert all(s.count > 0 for s in stats)
+
+
+class TestDenseReadOnly:
+    def test_dense_rejects_mutation(self, dblp_estimator):
+        dense = dblp_estimator.position_histogram(TagPredicate("article")).dense()
+        with pytest.raises(ValueError):
+            dense[0, 0] = 99.0

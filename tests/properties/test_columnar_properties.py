@@ -1,0 +1,177 @@
+"""Seeded-random agreement: columnar operators vs. loop references.
+
+The vectorized pair enumeration, the columnar binding-table expansion,
+and the columnar plan executor must agree *exactly* (integer-for-
+integer) with the stack-tree loop operators, the quadratic nested-loop
+reference, and the independent DP match counter, on randomly grown
+labeled forests -- for both the ``//`` and ``/`` axes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.engine.bindings import BindingTable
+from repro.engine.executor import PlanExecutor
+from repro.labeling.interval import LabeledTree, label_forest
+from repro.optimizer.plans import enumerate_plans
+from repro.predicates.base import TagPredicate
+from repro.predicates.catalog import PredicateCatalog
+from repro.query.matcher import count_matches
+from repro.query.pattern import Axis, PatternNode, PatternTree
+from repro.query.structjoin import (
+    nested_loop_join_count,
+    stack_tree_join,
+    structural_join_pairs,
+    vectorized_join_count,
+    vectorized_join_pairs,
+)
+from repro.xmltree.tree import Document, Element
+
+TAGS = ("a", "b", "c", "d")
+
+
+def random_forest(seed: int, max_nodes: int = 120) -> LabeledTree:
+    """Grow a random multi-document forest with recursive tag reuse."""
+    rng = random.Random(seed)
+    budget = rng.randint(5, max_nodes)
+
+    def grow(depth: int) -> Element:
+        nonlocal budget
+        element = Element(rng.choice(TAGS))
+        while budget > 0 and depth < 8 and rng.random() < 0.6:
+            budget -= 1
+            element.append(grow(depth + 1))
+        return element
+
+    documents = []
+    for _ in range(rng.randint(1, 3)):
+        document = Document()
+        budget -= 1
+        document.append(grow(1))
+        documents.append(document)
+    tree = label_forest(documents)
+    tree.validate()
+    return tree
+
+
+def pair_set(anc: np.ndarray, desc: np.ndarray) -> set[tuple[int, int]]:
+    return set(zip(anc.tolist(), desc.tolist()))
+
+
+@pytest.mark.parametrize("seed", range(25))
+class TestPairEnumeration:
+    def tag_lists(self, tree: LabeledTree, seed: int):
+        rng = random.Random(seed * 31 + 7)
+        catalog = PredicateCatalog(tree)
+        anc_tag, desc_tag = rng.choice(TAGS), rng.choice(TAGS)
+        return (
+            catalog.stats(TagPredicate(anc_tag)).node_indices,
+            catalog.stats(TagPredicate(desc_tag)).node_indices,
+        )
+
+    def test_descendant_axis(self, seed):
+        tree = random_forest(seed)
+        anc, desc = self.tag_lists(tree, seed)
+        count = vectorized_join_count(tree, anc, desc)
+        assert count == stack_tree_join(tree, anc, desc)
+        assert count == nested_loop_join_count(tree, anc, desc)
+        pair_anc, pair_desc = vectorized_join_pairs(tree, anc, desc)
+        assert len(pair_anc) == len(pair_desc) == count
+        assert pair_set(pair_anc, pair_desc) == set(
+            structural_join_pairs(tree, anc, desc)
+        )
+
+    def test_child_axis(self, seed):
+        tree = random_forest(seed)
+        anc, desc = self.tag_lists(tree, seed)
+        count = vectorized_join_count(tree, anc, desc, axis=Axis.CHILD)
+        assert count == stack_tree_join(tree, anc, desc, axis=Axis.CHILD)
+        pair_anc, pair_desc = vectorized_join_pairs(tree, anc, desc, axis=Axis.CHILD)
+        assert len(pair_anc) == count
+        assert pair_set(pair_anc, pair_desc) == set(
+            structural_join_pairs(tree, anc, desc, axis=Axis.CHILD)
+        )
+
+
+def random_pattern(seed: int) -> PatternTree:
+    """A random 2-4 node twig over the forest tags, mixing both axes."""
+    rng = random.Random(seed * 17 + 3)
+    root = PatternNode(TagPredicate(rng.choice(TAGS)))
+    attach_points = [root]
+    for _ in range(rng.randint(1, 3)):
+        parent = rng.choice(attach_points)
+        axis = Axis.CHILD if rng.random() < 0.4 else Axis.DESCENDANT
+        attach_points.append(parent.add_child(TagPredicate(rng.choice(TAGS)), axis))
+    return PatternTree(root)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_executor_agrees_with_dp_counter(seed):
+    tree = random_forest(seed)
+    pattern = random_pattern(seed)
+    expected = count_matches(tree, pattern)
+    executor = PlanExecutor(tree, PredicateCatalog(tree))
+    for plan in enumerate_plans(pattern):
+        table, stats = executor.execute(pattern, plan)
+        assert len(table) == expected, str(plan)
+        # Every binding row must satisfy the structural axes exactly.
+        nodes = pattern.nodes()
+        for qidx, qnode in enumerate(nodes):
+            if qnode.parent is None:
+                continue
+            parent_idx = nodes.index(qnode.parent)
+            child_col = table.column_array(qidx)
+            parent_col = table.column_array(parent_idx)
+            if qnode.axis is Axis.CHILD:
+                assert np.array_equal(tree.parent_index[child_col], parent_col)
+            else:
+                assert np.all(tree.start[parent_col] < tree.start[child_col])
+                assert np.all(tree.end[child_col] < tree.end[parent_col])
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_expand_pairs_matches_dict_expand(seed):
+    rng = random.Random(seed)
+    values = [rng.randint(0, 9) for _ in range(rng.randint(0, 20))]
+    table = BindingTable.single_column(0, values)
+    matches = {
+        v: [rng.randint(100, 120) for _ in range(rng.randint(0, 3))]
+        for v in range(10)
+    }
+    keys = np.asarray([k for k, vs in matches.items() for _ in vs], dtype=np.int64)
+    partners = np.asarray([p for vs in matches.values() for p in vs], dtype=np.int64)
+    via_pairs = table.expand_pairs(0, 1, keys, partners)
+    via_dict = table.expand(0, 1, matches)
+    assert sorted(via_pairs.rows) == sorted(via_dict.rows)
+    # Loop reference: row-major inner join.
+    reference = sorted(
+        (v, p) for v in values for p in matches.get(v, ())
+    )
+    assert sorted(via_pairs.rows) == reference
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_chunked_coverage_build_is_chunk_invariant(seed):
+    """Forcing tiny pair chunks must not change the coverage entries."""
+    from repro.histograms.coverage import build_coverage_histogram
+    from repro.histograms.grid import GridSpec
+    from repro.histograms.truehist import build_true_histogram
+
+    tree = random_forest(seed)
+    grid = GridSpec(4, tree.max_label)
+    true_hist = build_true_histogram(tree, grid)
+    catalog = PredicateCatalog(tree)
+    indices = catalog.stats(TagPredicate("a")).node_indices
+    one_shot = build_coverage_histogram(tree, indices, true_hist)
+    chunked = build_coverage_histogram(tree, indices, true_hist, chunk_pairs=3)
+    assert dict(one_shot.entries()) == dict(chunked.entries())
+    # Public API must be input-order-insensitive, including when the
+    # chunk-flush path is active.
+    shuffled = np.array(indices, copy=True)
+    random.Random(seed).shuffle(shuffled)
+    reordered = build_coverage_histogram(tree, shuffled, true_hist, chunk_pairs=3)
+    assert dict(one_shot.entries()) == dict(reordered.entries())
