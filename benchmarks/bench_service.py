@@ -1,0 +1,216 @@
+"""Service benchmark: incremental maintenance vs. rebuild-per-update.
+
+An online estimator must absorb document updates without rebuilding its
+statistics; this bench quantifies the payoff on a DBLP-scale tree
+(>= 1e5 nodes by default):
+
+* **rebuild-per-update** -- after every insert/delete, relabel the
+  document and rebuild the histograms the workload needs (what the
+  offline pipeline would have to do), then answer one estimate;
+* **incremental** -- one long-lived :class:`EstimationService` absorbing
+  the same update stream with delta maintenance, answering the same
+  estimates.
+
+Both sides apply an identical deterministic update sequence to
+identically generated documents.  Before timing, the incremental side's
+correctness is asserted with
+:meth:`~repro.service.EstimationService.differential_check` (bit-identical
+summaries vs. a from-scratch build).  Writes a ``BENCH_service.json``
+artifact with updates/sec, estimate latency, and the speedup; the full
+run asserts the >= 10x acceptance bar.
+
+Run:  python benchmarks/bench_service.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets import generate_dblp  # noqa: E402
+from repro.estimation import AnswerSizeEstimator  # noqa: E402
+from repro.labeling import label_document  # noqa: E402
+from repro.predicates.base import TagPredicate  # noqa: E402
+from repro.service import EstimationService  # noqa: E402
+from repro.xmltree.tree import Element  # noqa: E402
+
+HOT_TAGS = ["article", "author", "title", "cite"]
+QUERIES = ["//article//author", "//article//cite", "//dblp//title"]
+
+
+def update_stream(rng: random.Random, count: int):
+    """A deterministic mixed insert/delete description stream.
+
+    Each op is ``("insert", article_ordinal, subtree_factory_seed)`` or
+    ``("delete", article_ordinal)``; ordinals index the current article
+    list, so the same stream replays identically on any equal document.
+    """
+    ops = []
+    for _ in range(count):
+        if rng.random() < 0.6:
+            ops.append(("insert", rng.random(), rng.randrange(1, 4)))
+        else:
+            ops.append(("delete", rng.random()))
+    return ops
+
+
+def make_subtree(size: int) -> Element:
+    """A small citation blurb: 1-3 authors under a note element."""
+    root = Element("note")
+    for k in range(size):
+        author = Element("author")
+        author.append_text(f"Author {k}")
+        root.append(author)
+    return root
+
+
+def pick_article(indices, fraction: float) -> int:
+    return int(indices[int(fraction * (len(indices) - 1))])
+
+
+def prime(estimator: AnswerSizeEstimator) -> None:
+    """Build the histograms the estimate workload touches."""
+    for tag in HOT_TAGS:
+        estimator.position_histogram(TagPredicate(tag))
+    estimator.coverage_histogram(TagPredicate("article"))
+
+
+def run_incremental(document, grid: int, ops, check: bool):
+    service = EstimationService(document, grid_size=grid, spacing=64)
+    prime(service.estimator)
+    article = TagPredicate("article")
+
+    applied = 0
+    t0 = time.perf_counter()
+    for op in ops:
+        articles = service.catalog.stats(article).node_indices
+        if op[0] == "insert":
+            target = pick_article(articles, op[1])
+            service.insert_subtree(target, make_subtree(op[2]))
+        else:
+            target = pick_article(articles, op[1])
+            service.delete_subtree(target)
+        applied += 1
+    update_seconds = time.perf_counter() - t0
+
+    if check:
+        service.differential_check(QUERIES)
+
+    t0 = time.perf_counter()
+    values = [service.estimate(q).value for q in QUERIES]
+    estimate_seconds = (time.perf_counter() - t0) / len(QUERIES)
+    return {
+        "updates": applied,
+        "update_seconds": update_seconds,
+        "updates_per_sec": applied / update_seconds,
+        "estimate_latency_seconds": estimate_seconds,
+        "rebuilds": service.stats.rebuilds,
+        "final_nodes": len(service),
+        "estimates": values,
+    }
+
+
+def run_rebuild(document, grid: int, ops):
+    """Rebuild-per-update baseline: relabel + rebuild after every op."""
+    article = TagPredicate("article")
+
+    def fresh_estimator():
+        tree = label_document(document)
+        estimator = AnswerSizeEstimator(tree, grid_size=grid)
+        prime(estimator)
+        return estimator
+
+    estimator = fresh_estimator()
+    applied = 0
+    t0 = time.perf_counter()
+    for op in ops:
+        articles = estimator.catalog.stats(article).node_indices
+        target = pick_article(articles, op[1])
+        element = estimator.tree.elements[target]
+        if op[0] == "insert":
+            element.append(make_subtree(op[2]))
+        else:
+            element.parent.children.remove(element)
+            element.parent = None
+        estimator = fresh_estimator()
+        applied += 1
+    update_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    values = [estimator.estimate(q).value for q in QUERIES]
+    estimate_seconds = (time.perf_counter() - t0) / len(QUERIES)
+    return {
+        "updates": applied,
+        "update_seconds": update_seconds,
+        "updates_per_sec": applied / update_seconds,
+        "estimate_latency_seconds": estimate_seconds,
+        "final_nodes": len(estimator.tree),
+        "estimates": values,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small tree / fewer ops (CI smoke)"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_service.json"),
+        help="where to write the JSON trajectory artifact",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.25 if args.quick else 2.2
+    incremental_ops = 40 if args.quick else 200
+    rebuild_ops = 3 if args.quick else 5
+
+    rng = random.Random(11)
+    ops = update_stream(rng, incremental_ops)
+
+    document = generate_dblp(seed=7, scale=scale)
+    nodes = document.count_nodes()
+    print(f"synthetic dblp tree: {nodes} nodes (scale {scale})")
+
+    incremental = run_incremental(document, grid=10, ops=ops, check=True)
+    print(
+        f"incremental      {incremental['updates']:4d} updates  "
+        f"{incremental['updates_per_sec']:10.1f} updates/s  "
+        f"estimate {incremental['estimate_latency_seconds'] * 1e3:.3f} ms  "
+        f"(differential check passed, {incremental['rebuilds']} rebuilds)"
+    )
+
+    rebuild_doc = generate_dblp(seed=7, scale=scale)
+    rebuild = run_rebuild(rebuild_doc, grid=10, ops=ops[:rebuild_ops])
+    print(
+        f"rebuild-per-op   {rebuild['updates']:4d} updates  "
+        f"{rebuild['updates_per_sec']:10.1f} updates/s  "
+        f"estimate {rebuild['estimate_latency_seconds'] * 1e3:.3f} ms"
+    )
+
+    speedup = incremental["updates_per_sec"] / rebuild["updates_per_sec"]
+    print(f"incremental speedup: {speedup:.1f}x")
+
+    artifact = {
+        "meta": {"nodes": nodes, "quick": args.quick, "grid": 10, "seed": 11},
+        "incremental": incremental,
+        "rebuild_per_update": rebuild,
+        "speedup": speedup,
+    }
+    Path(args.out).write_text(json.dumps(artifact, indent=1) + "\n")
+    print(f"wrote {args.out}")
+
+    if not args.quick:
+        assert nodes >= 100_000, f"full run must cover >= 1e5 nodes, got {nodes}"
+        assert speedup >= 10.0, f"speedup {speedup:.1f}x below the 10x acceptance bar"
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

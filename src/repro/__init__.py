@@ -43,6 +43,7 @@ from repro.predicates import (
     TruePredicate,
 )
 from repro.query import PatternTree, count_matches, parse_xpath
+from repro.service import EstimationService
 from repro.xmltree import Document, Element, parse_document
 
 __version__ = "1.0.0"
@@ -53,6 +54,7 @@ __all__ = [
     "Document",
     "Element",
     "EstimationResult",
+    "EstimationService",
     "GridSpec",
     "LabeledTree",
     "PatternTree",

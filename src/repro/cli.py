@@ -1,13 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the practical workflow:
+Commands cover the practical workflow:
 
 * ``generate`` -- produce one of the built-in synthetic data sets (or a
   document from a user DTD) as an XML file;
 * ``stats`` -- predicate characteristics of an XML file (the paper's
   Table 1 / Table 3 view): counts, overlap property, summary storage;
 * ``estimate`` -- estimate a query's answer size over an XML file,
-  optionally comparing all estimators against the exact answer.
+  optionally comparing all estimators against the exact answer;
+* ``workload`` -- q-error percentiles over a random twig workload;
+* ``serve`` -- run the online :class:`~repro.service.EstimationService`
+  over a file, applying update/estimate commands from a script or
+  stdin, with optional statistics persistence and warm start.
 
 Examples
 --------
@@ -16,6 +20,7 @@ Examples
     python -m repro generate dblp --scale 0.2 --out dblp.xml
     python -m repro stats dblp.xml
     python -m repro estimate dblp.xml "//article//author" --grid 10 --compare
+    echo 'estimate //article//author' | python -m repro serve dblp.xml
 """
 
 from __future__ import annotations
@@ -97,6 +102,48 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--seed", type=int, default=0, help="workload seed")
     workload.add_argument(
         "--max-size", type=int, default=4, help="largest twig size"
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="online estimation service: estimates stay correct under "
+        "insert/delete commands read from a script or stdin",
+    )
+    serve.add_argument("data", help="XML file path")
+    # Defaults resolve in cmd_serve: with --warm-start the grid comes
+    # from the store, and an explicit --grid/--grid-kind is an error.
+    serve.add_argument(
+        "--grid", type=int, default=None, help="grid side g (default 10)"
+    )
+    serve.add_argument(
+        "--grid-kind",
+        choices=["uniform", "equi-depth"],
+        default=None,
+        help="bucket boundary placement (default uniform)",
+    )
+    serve.add_argument(
+        "--spacing", type=int, default=64, help="label gap factor for inserts"
+    )
+    serve.add_argument(
+        "--rebuild-threshold",
+        type=float,
+        default=0.25,
+        help="dirty fraction that triggers a full rebuild",
+    )
+    serve.add_argument(
+        "--script",
+        default=None,
+        help="command file (default: read commands from stdin)",
+    )
+    serve.add_argument(
+        "--warm-start",
+        default=None,
+        help="binary summary store (.npz) to warm-start statistics from",
+    )
+    serve.add_argument(
+        "--save-stats",
+        default=None,
+        help="write the final statistics to this .npz path on exit",
     )
     return parser
 
@@ -222,6 +269,139 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the online estimation service over a command stream.
+
+    Command language (one command per line, ``#`` comments skipped)::
+
+        estimate <query>           print the current answer-size estimate
+        exact <query>              print the exact answer (ground truth)
+        insert <parent-tag> <xml>  insert the XML snippet as the last child
+                                   of the first element with the tag
+        delete <tag> [k]           delete the k-th element (1-based,
+                                   default first) with the tag
+        stats                      one status line (nodes, dirty, rebuilds)
+        save <path.npz>            persist current statistics
+        quit                       stop reading commands
+
+    Every response is a single parseable line; errors are reported as
+    ``error: ...`` and the stream continues.
+    """
+    from repro.service import EstimationService
+
+    text = Path(args.data).read_text()
+    document = parse_document(text)
+    if args.warm_start:
+        if args.grid is not None or args.grid_kind is not None:
+            print(
+                "error: --grid/--grid-kind conflict with --warm-start "
+                "(the persisted store fixes the grid)",
+                file=sys.stderr,
+            )
+            return 2
+        service = EstimationService.warm_start(
+            document,
+            args.warm_start,
+            spacing=args.spacing,
+            rebuild_threshold=args.rebuild_threshold,
+        )
+    else:
+        service = EstimationService(
+            document,
+            grid_size=args.grid if args.grid is not None else 10,
+            grid=args.grid_kind if args.grid_kind is not None else "uniform",
+            spacing=args.spacing,
+            rebuild_threshold=args.rebuild_threshold,
+        )
+    print(f"serving {args.data}: {len(service):,} elements, grid {service.estimator.grid.size}")
+
+    if args.script:
+        lines = Path(args.script).read_text().splitlines()
+    else:
+        lines = sys.stdin
+    for raw in lines:
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line == "quit":
+            break
+        try:
+            response = _serve_command(service, line)
+        except Exception as exc:  # keep serving; report the failure
+            response = f"error: {exc}"
+        print(response)
+
+    stats = service.stats
+    print(
+        f"session inserts={stats.inserts} deletes={stats.deletes} "
+        f"rebuilds={stats.rebuilds} nodes={len(service)}"
+    )
+    if args.save_stats:
+        written = service.save_statistics(args.save_stats)
+        print(f"saved {written} predicate summaries to {args.save_stats}")
+    return 0
+
+
+def _serve_command(service, line: str) -> str:
+    """Execute one ``serve`` command line, returning the response line."""
+    command, _, rest = line.partition(" ")
+    rest = rest.strip()
+    if command == "estimate":
+        if not rest:
+            raise ValueError("usage: estimate <query>")
+        return f"estimate {service.estimate(rest).value:.2f}"
+    if command == "exact":
+        if not rest:
+            raise ValueError("usage: exact <query>")
+        return f"exact {service.real_answer(rest)}"
+    if command == "insert":
+        tag, _, xml = rest.partition(" ")
+        if not tag or not xml.strip():
+            raise ValueError("usage: insert <parent-tag> <xml-snippet>")
+        parent = _nth_element(service, tag, 1)
+        snippet = parse_document(xml.strip())
+        subtree = snippet.root_element
+        snippet.children.remove(subtree)
+        subtree.parent = None
+        result = service.insert_subtree(parent, subtree)
+        mode = "rebuild" if result.rebuilt else "incremental"
+        return f"ok insert {result.nodes} nodes ({mode})"
+    if command == "delete":
+        parts = rest.split()
+        if not parts:
+            raise ValueError("usage: delete <tag> [ordinal]")
+        ordinal = int(parts[1]) if len(parts) > 1 else 1
+        victim = _nth_element(service, parts[0], ordinal)
+        result = service.delete_subtree(victim)
+        mode = "rebuild" if result.rebuilt else "incremental"
+        return f"ok delete {result.nodes} nodes ({mode})"
+    if command == "stats":
+        return (
+            f"stats nodes={len(service)} "
+            f"predicates={len(service.catalog)} "
+            f"dirty={service.dirty_fraction:.4f} "
+            f"rebuilds={service.stats.rebuilds}"
+        )
+    if command == "save":
+        if not rest:
+            raise ValueError("usage: save <path.npz>")
+        written = service.save_statistics(rest)
+        return f"ok save {written} predicates -> {rest}"
+    raise ValueError(f"unknown command {command!r}")
+
+
+def _nth_element(service, tag: str, ordinal: int) -> int:
+    """Pre-order index of the ``ordinal``-th element with ``tag`` (1-based)."""
+    if ordinal < 1:
+        raise ValueError(f"ordinal must be >= 1, got {ordinal}")
+    indices = service.catalog.stats(TagPredicate(tag)).node_indices
+    if len(indices) < ordinal:
+        raise ValueError(
+            f"only {len(indices)} elements with tag {tag!r} (wanted #{ordinal})"
+        )
+    return int(indices[ordinal - 1])
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -230,6 +410,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "stats": cmd_stats,
         "estimate": cmd_estimate,
         "workload": cmd_workload,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

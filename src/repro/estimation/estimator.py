@@ -164,6 +164,19 @@ class AnswerSizeEstimator:
             )
         return self._coefficient_cache[descendant]
 
+    def invalidate_derived(self, predicate: Predicate) -> bool:
+        """Drop the caches *derived from* ``predicate``'s node set that
+        cannot be delta-patched: the level histogram and the pH-join
+        coefficient kernel.  The position histogram is left in place --
+        the statistics service maintains it with exact cell deltas.
+
+        Returns True when a coefficient kernel was actually dropped, so
+        the service can report how much Section 3.3 precomputation an
+        update cost.
+        """
+        self._level_cache.pop(predicate, None)
+        return self._coefficient_cache.pop(predicate, None) is not None
+
     def is_no_overlap(self, predicate: Predicate) -> bool:
         """Whether the estimators treat ``predicate`` as no-overlap."""
         return self.catalog.stats(predicate).effective_no_overlap

@@ -141,14 +141,37 @@ class CoverageHistogram:
         )
 
 
-def build_coverage_histogram(
-    tree: LabeledTree,
-    node_indices: Iterable[int],
+def coverage_from_numerators(
+    numerators: Mapping[CellPair, int],
     true_hist: PositionHistogram,
     name: str = "",
-    chunk_pairs: Optional[int] = None,
 ) -> CoverageHistogram:
-    """Build the coverage histogram of predicate nodes ``node_indices``.
+    """Turn integer pair counts into a :class:`CoverageHistogram`.
+
+    ``numerators[(i, j, m, n)]`` is the number of nodes in cell
+    ``(i, j)`` having a P-ancestor in cell ``(m, n)``; denominators come
+    from the TRUE histogram.  This is the single fraction-producing
+    step, shared by the offline builder and the incremental maintenance
+    path of the statistics service, so both produce bit-identical
+    fractions from equal counts.
+    """
+    entries: dict[CellPair, float] = {}
+    for (i, j, m, n), numerator in numerators.items():
+        denominator = true_hist.count(i, j)
+        if denominator > 0 and numerator > 0:
+            entries[(i, j, m, n)] = numerator / denominator
+    return CoverageHistogram(true_hist.grid, entries, name=name)
+
+
+def build_coverage_numerators(
+    tree: LabeledTree,
+    node_indices: Iterable[int],
+    grid: GridSpec,
+    chunk_pairs: Optional[int] = None,
+) -> dict[CellPair, int]:
+    """Count, per ``(covered cell, covering cell)`` pair, the nodes
+    covered by some predicate node -- the integer core of
+    :func:`build_coverage_histogram`.
 
     Parameters
     ----------
@@ -157,8 +180,8 @@ def build_coverage_histogram(
     node_indices:
         Pre-order indices of the nodes satisfying the predicate, in
         ascending order (as produced by the catalog).
-    true_hist:
-        The TRUE histogram over the same grid (denominators).
+    grid:
+        The histogram grid.
 
     Algorithm
     ---------
@@ -180,13 +203,12 @@ def build_coverage_histogram(
     from repro.query.structjoin import subtree_high
     from repro.utils.arrays import expand_ranges
 
-    grid = true_hist.grid
     pnodes = np.asarray(
         node_indices if isinstance(node_indices, np.ndarray) else list(node_indices),
         dtype=np.int64,
     )
     if pnodes.size == 0:
-        return CoverageHistogram(grid, {}, name=name)
+        return {}
     # The chunk-flush bound below relies on ascending pre-order indices;
     # the catalog always supplies them sorted, but the function is
     # public API and must stay order-insensitive.
@@ -202,7 +224,7 @@ def build_coverage_histogram(
     cum = np.cumsum(counts)
     total_pairs = int(cum[-1])
     if total_pairs == 0:
-        return CoverageHistogram(grid, {}, name=name)
+        return {}
 
     # Chunk boundaries keep each expansion near the budget (a single
     # giant subtree may exceed it by itself, which is the floor anyway).
@@ -246,12 +268,29 @@ def build_coverage_histogram(
             pending = flush(pending, int(pnodes[e]) + 1)
     flush(pending, len(tree))
 
-    entries: dict[CellPair, float] = {}
+    out: dict[CellPair, int] = {}
     for code, numerator in numerators.items():
         covered_code, covering_code = divmod(code, g2)
         i, j = divmod(covered_code, g)
         m, n = divmod(covering_code, g)
-        denominator = true_hist.count(i, j)
-        if denominator > 0:
-            entries[(i, j, m, n)] = numerator / denominator
-    return CoverageHistogram(grid, entries, name=name)
+        out[(i, j, m, n)] = numerator
+    return out
+
+
+def build_coverage_histogram(
+    tree: LabeledTree,
+    node_indices: Iterable[int],
+    true_hist: PositionHistogram,
+    name: str = "",
+    chunk_pairs: Optional[int] = None,
+) -> CoverageHistogram:
+    """Build the coverage histogram of predicate nodes ``node_indices``.
+
+    Composition of :func:`build_coverage_numerators` (exact integer pair
+    counts) and :func:`coverage_from_numerators` (division by the TRUE
+    histogram's denominators).
+    """
+    numerators = build_coverage_numerators(
+        tree, node_indices, true_hist.grid, chunk_pairs=chunk_pairs
+    )
+    return coverage_from_numerators(numerators, true_hist, name=name)

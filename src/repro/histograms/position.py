@@ -101,6 +101,36 @@ class PositionHistogram:
             self._dense = matrix
         return self._dense
 
+    def apply_delta(self, cols: np.ndarray, rows: np.ndarray, sign: int = 1) -> None:
+        """Add (``sign=+1``) or remove (``sign=-1``) one node per
+        ``(cols[k], rows[k])`` cell -- the incremental-maintenance hook.
+
+        Counts are integer-valued floats, so additions and removals are
+        exact and a maintained histogram stays bit-identical to one
+        rebuilt from scratch over the same nodes.  Cells that reach zero
+        are dropped, exactly as the from-scratch builder never creates
+        them; a removal that would drive a cell negative raises, because
+        it means the delta does not describe nodes actually counted.
+        """
+        if sign not in (1, -1):
+            raise ValueError(f"sign must be +1 or -1, got {sign}")
+        if len(cols) == 0:
+            return
+        keys, counts = np.unique(
+            np.asarray(cols, dtype=np.int64) * self.grid.size
+            + np.asarray(rows, dtype=np.int64),
+            return_counts=True,
+        )
+        for key, count in zip(keys.tolist(), counts.tolist()):
+            i, j = divmod(key, self.grid.size)
+            updated = self.count(i, j) + sign * count
+            if updated < 0:
+                raise ValueError(
+                    f"delta would drive cell ({i}, {j}) below zero "
+                    f"({self.count(i, j)} - {count})"
+                )
+            self._set(i, j, updated)
+
     def scaled(self, factor: float, name: str = "") -> "PositionHistogram":
         """A copy with every cell multiplied by ``factor``."""
         return PositionHistogram(

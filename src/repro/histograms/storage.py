@@ -56,14 +56,14 @@ def save_histogram(
         payload = {
             "kind": "position",
             "name": histogram.name,
-            "grid": {"size": histogram.grid.size, "max_label": histogram.grid.max_label},
+            "grid": grid_payload(histogram.grid),
             "cells": [[i, j, count] for (i, j), count in histogram.cells()],
         }
     elif isinstance(histogram, CoverageHistogram):
         payload = {
             "kind": "coverage",
             "name": histogram.name,
-            "grid": {"size": histogram.grid.size, "max_label": histogram.grid.max_label},
+            "grid": grid_payload(histogram.grid),
             "entries": [
                 [i, j, m, n, fraction]
                 for (i, j, m, n), fraction in histogram.entries()
@@ -74,10 +74,30 @@ def save_histogram(
     path.write_text(json.dumps(payload))
 
 
+def grid_payload(grid: GridSpec) -> dict:
+    """JSON-serialisable description of a grid, non-uniform boundaries
+    included (Python float repr round-trips exactly through JSON)."""
+    return {
+        "size": grid.size,
+        "max_label": grid.max_label,
+        "boundaries": list(grid.boundaries) if grid.boundaries else None,
+    }
+
+
+def grid_from_payload(meta: dict) -> GridSpec:
+    """Inverse of :func:`grid_payload` (tolerates pre-boundary files)."""
+    boundaries = meta.get("boundaries")
+    return GridSpec(
+        size=meta["size"],
+        max_label=meta["max_label"],
+        boundaries=tuple(boundaries) if boundaries else None,
+    )
+
+
 def load_histogram(path: Union[str, Path]) -> Union[PositionHistogram, CoverageHistogram]:
     """Load a histogram previously written by :func:`save_histogram`."""
     payload = json.loads(Path(path).read_text())
-    grid = GridSpec(payload["grid"]["size"], payload["grid"]["max_label"])
+    grid = grid_from_payload(payload["grid"])
     if payload["kind"] == "position":
         cells = {(int(i), int(j)): float(c) for i, j, c in payload["cells"]}
         return PositionHistogram(grid, cells, name=payload.get("name", ""))

@@ -6,11 +6,22 @@ files plus a manifest, written from a built
 :class:`~repro.estimation.estimator.AnswerSizeEstimator` and loadable
 without touching the data again.
 
-Layout::
+Two formats are provided:
 
-    <dir>/manifest.json            grid spec + predicate index
-    <dir>/<n>.position.json        position histogram of predicate n
-    <dir>/<n>.coverage.json        coverage histogram (no-overlap only)
+* the JSON directory layout (diff-able, used by the experiments)::
+
+      <dir>/manifest.json            grid spec + predicate index
+      <dir>/<n>.position.json        position histogram of predicate n
+      <dir>/<n>.coverage.json        coverage histogram (no-overlap only)
+
+* a single-file versioned binary format
+  (:func:`save_binary_summaries` / :func:`load_binary_summaries`): one
+  ``.npz`` archive whose ``manifest`` member is a JSON header carrying a
+  format tag and version number, and whose array members hold cell
+  indices and counts as raw int64/float64 -- exact round trips, one
+  ``mmap``-able file, the format the online
+  :class:`~repro.service.EstimationService` persists and warm-starts
+  from.
 
 Only predicates that have actually been summarised (histogram built)
 are persisted, mirroring the paper's policy of building histograms for
@@ -20,13 +31,33 @@ the predicates worth the storage.
 from __future__ import annotations
 
 import json
+import zipfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
+
+import numpy as np
 
 from repro.histograms.coverage import CoverageHistogram
 from repro.histograms.grid import GridSpec
 from repro.histograms.position import PositionHistogram
-from repro.histograms.storage import load_histogram, save_histogram
+from repro.histograms.storage import (
+    grid_from_payload,
+    grid_payload,
+    load_histogram,
+    save_histogram,
+)
+
+BINARY_FORMAT = "repro-summaries"
+BINARY_VERSION = 1
+
+
+class SummaryFormatError(ValueError):
+    """The file is not a readable summary store (corrupt or foreign)."""
+
+
+class SummaryVersionError(SummaryFormatError):
+    """The file is a summary store written by an incompatible version."""
 
 
 class SummaryStore:
@@ -48,13 +79,7 @@ class SummaryStore:
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         manifest: dict = {
-            "grid": {
-                "size": estimator.grid.size,
-                "max_label": estimator.grid.max_label,
-                "boundaries": list(estimator.grid.boundaries)
-                if estimator.grid.boundaries
-                else None,
-            },
+            "grid": grid_payload(estimator.grid),
             "predicates": [],
         }
         written = 0
@@ -68,6 +93,7 @@ class SummaryStore:
                 "no_overlap": estimator.is_no_overlap(predicate),
                 "count": histogram.total(),
             }
+            entry.update(_predicate_identity(predicate))
             save_histogram(histogram, self.directory / f"{index}.position.json")
             coverage = estimator._coverage_cache.get(predicate)
             if coverage is not None:
@@ -89,13 +115,7 @@ class SummaryStore:
         return json.loads(path.read_text())
 
     def grid(self) -> GridSpec:
-        meta = self.load_manifest()["grid"]
-        boundaries = meta.get("boundaries")
-        return GridSpec(
-            size=meta["size"],
-            max_label=meta["max_label"],
-            boundaries=tuple(boundaries) if boundaries else None,
-        )
+        return grid_from_payload(self.load_manifest()["grid"])
 
     def load_position(self, name: str) -> PositionHistogram:
         """Load a predicate's position histogram by predicate name."""
@@ -129,3 +149,218 @@ class SummaryStore:
             if entry["name"] == name:
                 return entry
         raise KeyError(f"predicate {name!r} is not in the summary store")
+
+
+# -- binary (.npz) format ----------------------------------------------------
+
+
+def tree_fingerprint(tree) -> str:
+    """Content hash of a labeled tree's structure: labels + tag sequence.
+
+    Everything a warm-started tag-predicate summary depends on -- the
+    start/end label arrays (which encode structure and spacing) and the
+    pre-order tag sequence (which encodes membership) -- feeds a sha256.
+    Two databases agree on this fingerprint iff every persisted tag
+    histogram is valid for both, so it is the staleness check for
+    warm starts (same element *count* alone is not enough).
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(tree.start, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(tree.end, dtype=np.int64).tobytes())
+    digest.update("\x00".join(e.tag for e in tree.elements).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _predicate_identity(predicate) -> dict:
+    """Manifest fields that let a loader reconstruct the predicate.
+
+    Tag predicates (the paper's workhorse, and the only kind an online
+    service warm-starts automatically) round-trip as their tag; every
+    other predicate is recorded as ``opaque`` -- its histograms are
+    still persisted and loadable by name.
+    """
+    from repro.predicates.base import TagPredicate
+
+    if isinstance(predicate, TagPredicate):
+        return {"kind": "tag", "tag": predicate.tag}
+    return {"kind": "opaque"}
+
+
+@dataclass
+class LoadedSummary:
+    """One predicate's statistics as read from a binary store."""
+
+    name: str
+    kind: str
+    tag: Optional[str]
+    no_overlap: bool
+    count: float
+    position: PositionHistogram
+    coverage: Optional[CoverageHistogram]
+
+
+@dataclass
+class LoadedSummaries:
+    """Everything a binary store holds: the grid plus per-predicate rows."""
+
+    grid: GridSpec
+    summaries: list[LoadedSummary]
+    fingerprint: Optional[str] = None
+
+    def by_name(self) -> dict[str, LoadedSummary]:
+        return {s.name: s for s in self.summaries}
+
+
+def save_binary_summaries(estimator, path: Union[str, Path]) -> int:
+    """Persist every built histogram of ``estimator`` as one ``.npz`` file.
+
+    The archive's ``manifest`` member is a JSON header
+    (``format``/``version``/grid/predicate index); each predicate ``k``
+    contributes ``p<k>.cells`` (int64, shape ``(n, 2)``) and
+    ``p<k>.counts`` (float64) for its position histogram, plus
+    ``p<k>.cvg_keys`` (int64, shape ``(n, 4)``) and ``p<k>.cvg_fracs``
+    (float64) when a coverage histogram exists.  Returns the number of
+    predicates written.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    manifest: dict = {
+        "format": BINARY_FORMAT,
+        "version": BINARY_VERSION,
+        "grid": grid_payload(estimator.grid),
+        "predicates": [],
+    }
+    tree = getattr(estimator, "tree", None)
+    if tree is not None:
+        manifest["fingerprint"] = tree_fingerprint(tree)
+    written = 0
+    for index, (predicate, histogram) in enumerate(
+        estimator._position_cache.items()
+    ):
+        cells = list(histogram.cells())
+        arrays[f"p{index}.cells"] = np.asarray(
+            [key for key, _ in cells], dtype=np.int64
+        ).reshape(len(cells), 2)
+        arrays[f"p{index}.counts"] = np.asarray(
+            [count for _, count in cells], dtype=np.float64
+        )
+        entry = {
+            "index": index,
+            "name": predicate.name,
+            "no_overlap": estimator.is_no_overlap(predicate),
+            "count": histogram.total(),
+            "has_coverage": False,
+        }
+        entry.update(_predicate_identity(predicate))
+        coverage = estimator._coverage_cache.get(predicate)
+        if coverage is not None:
+            entries = list(coverage.entries())
+            arrays[f"p{index}.cvg_keys"] = np.asarray(
+                [key for key, _ in entries], dtype=np.int64
+            ).reshape(len(entries), 4)
+            arrays[f"p{index}.cvg_fracs"] = np.asarray(
+                [fraction for _, fraction in entries], dtype=np.float64
+            )
+            entry["has_coverage"] = True
+        manifest["predicates"].append(entry)
+        written += 1
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    return written
+
+
+def load_binary_summaries(path: Union[str, Path]) -> LoadedSummaries:
+    """Load a ``.npz`` summary store written by :func:`save_binary_summaries`.
+
+    Raises
+    ------
+    FileNotFoundError
+        The path does not exist.
+    SummaryVersionError
+        The file is a summary store of an incompatible version.
+    SummaryFormatError
+        The file is not a summary store, or its manifest / array members
+        are corrupt.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no binary summary store at {path}")
+    try:
+        archive = np.load(path)
+    except (zipfile.BadZipFile, ValueError, OSError) as exc:
+        raise SummaryFormatError(f"{path} is not a summary archive: {exc}") from exc
+    with archive:
+        if "manifest" not in archive.files:
+            raise SummaryFormatError(f"{path} has no manifest member")
+        try:
+            manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SummaryFormatError(f"{path} has a corrupted manifest: {exc}") from exc
+        if not isinstance(manifest, dict) or manifest.get("format") != BINARY_FORMAT:
+            raise SummaryFormatError(
+                f"{path} is not a {BINARY_FORMAT!r} archive"
+            )
+        version = manifest.get("version")
+        if version != BINARY_VERSION:
+            raise SummaryVersionError(
+                f"{path} is summary-format version {version}; "
+                f"this build reads version {BINARY_VERSION}"
+            )
+        try:
+            grid = grid_from_payload(manifest["grid"])
+            summaries = [
+                _load_summary(archive, grid, entry)
+                for entry in manifest["predicates"]
+            ]
+        except (KeyError, TypeError, IndexError) as exc:
+            raise SummaryFormatError(f"{path} manifest is incomplete: {exc}") from exc
+    return LoadedSummaries(
+        grid=grid, summaries=summaries, fingerprint=manifest.get("fingerprint")
+    )
+
+
+def _load_summary(archive, grid: GridSpec, entry: dict) -> LoadedSummary:
+    index = entry["index"]
+    cells_key, counts_key = f"p{index}.cells", f"p{index}.counts"
+    if cells_key not in archive.files or counts_key not in archive.files:
+        raise KeyError(f"missing array member for predicate {entry['name']!r}")
+    cells = archive[cells_key]
+    counts = archive[counts_key]
+    position = PositionHistogram(
+        grid,
+        {
+            (int(i), int(j)): float(count)
+            for (i, j), count in zip(cells.tolist(), counts.tolist())
+        },
+        name=entry["name"],
+    )
+    coverage = None
+    if entry.get("has_coverage"):
+        keys_key, fracs_key = f"p{index}.cvg_keys", f"p{index}.cvg_fracs"
+        if keys_key not in archive.files or fracs_key not in archive.files:
+            raise KeyError(f"missing coverage member for predicate {entry['name']!r}")
+        coverage = CoverageHistogram(
+            grid,
+            {
+                (int(i), int(j), int(m), int(n)): float(fraction)
+                for (i, j, m, n), fraction in zip(
+                    archive[keys_key].tolist(), archive[fracs_key].tolist()
+                )
+            },
+            name=entry["name"],
+        )
+    return LoadedSummary(
+        name=entry["name"],
+        kind=entry.get("kind", "opaque"),
+        tag=entry.get("tag"),
+        no_overlap=bool(entry["no_overlap"]),
+        count=float(entry["count"]),
+        position=position,
+        coverage=coverage,
+    )

@@ -7,6 +7,7 @@ exposes them as an immutable :class:`~repro.labeling.interval.LabeledTree`
 table that the histogram and estimation layers consume.
 """
 
+from repro.labeling.dynamic import GapExhausted, InsertPlan, plan_insert
 from repro.labeling.interval import (
     IntervalLabel,
     LabeledTree,
@@ -16,11 +17,14 @@ from repro.labeling.interval import (
 from repro.labeling.regions import Region, classify_pair, region_of
 
 __all__ = [
+    "GapExhausted",
+    "InsertPlan",
     "IntervalLabel",
     "LabeledTree",
     "Region",
     "classify_pair",
     "label_document",
     "label_forest",
+    "plan_insert",
     "region_of",
 ]

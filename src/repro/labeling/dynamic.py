@@ -1,0 +1,187 @@
+"""Gap-aware dynamic maintenance of interval labels.
+
+The pre-order numbering of :func:`~repro.labeling.interval.label_forest`
+is dense by default, which makes any structural update a full relabel.
+For the online statistics service the forest is labeled with a
+``spacing`` factor instead, leaving unused integer positions between
+consecutive labels; this module allocates labels *inside* those gaps so
+that a subtree can be inserted in place:
+
+* :func:`plan_insert` finds the open label interval at the insertion
+  point (as the new last child of a parent) and assigns start/end labels
+  to every node of the incoming subtree, spreading them evenly over the
+  gap so nested future inserts keep room of their own;
+* :func:`apply_insert` splices the planned nodes into the labeled
+  tree's flat arrays;
+* :func:`apply_delete` removes a subtree's contiguous pre-order slice,
+  returning its labels to the gap pool.
+
+When an insertion point's gap cannot hold the incoming subtree,
+:func:`plan_insert` raises :class:`GapExhausted` -- the signal for the
+service layer that labels must be reassigned (a full rebuild).  All
+splices keep every invariant of the labeling (``start < end``, strict
+nesting, pre-order ``start`` order), so histograms built from the
+mutated tree are exactly what a fresh build over the same tree yields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.labeling.interval import LabeledTree
+from repro.xmltree.tree import Element
+
+
+class GapExhausted(RuntimeError):
+    """The label gap at an insertion point cannot hold the new subtree."""
+
+
+@dataclass
+class InsertPlan:
+    """A fully-labeled pending insertion.
+
+    Attributes
+    ----------
+    position:
+        Pre-order index where the new nodes are spliced in (one past the
+        parent's current last descendant).
+    elements:
+        The subtree's elements in pre-order.
+    start, end, level, parent_index:
+        Label arrays for the new nodes, aligned with ``elements``;
+        ``parent_index`` already uses post-splice global numbering.
+    stride:
+        The gap step the labels were spread with (diagnostic).
+    """
+
+    position: int
+    elements: list[Element]
+    start: np.ndarray
+    end: np.ndarray
+    level: np.ndarray
+    parent_index: np.ndarray
+    stride: int
+
+    @property
+    def size(self) -> int:
+        return len(self.elements)
+
+
+def gap_after_last_child(tree: LabeledTree, parent: int) -> tuple[int, int]:
+    """The open label interval ``(lo, hi)`` for a new last child.
+
+    ``lo`` is the largest label already used inside the parent's subtree
+    (the parent's own start when it is a leaf), ``hi`` the parent's end
+    label; new labels must fall strictly between the two.
+    """
+    sub = tree.subtree_slice(parent)
+    if sub.stop > parent + 1:
+        lo = int(tree.end[parent + 1 : sub.stop].max())
+    else:
+        lo = int(tree.start[parent])
+    return lo, int(tree.end[parent])
+
+
+def plan_insert(tree: LabeledTree, parent: int, subtree: Element) -> InsertPlan:
+    """Label ``subtree`` for insertion as the last child of node ``parent``.
+
+    Walks the detached subtree in the same enter/exit order the offline
+    labeler uses, assigning labels ``lo + stride * k`` so the new nodes
+    spread evenly over the available gap.  Raises :class:`GapExhausted`
+    when the gap has fewer free integer positions than the subtree needs
+    (two labels per element).
+    """
+    if not 0 <= parent < len(tree):
+        raise IndexError(f"parent index {parent} outside the tree")
+    if subtree.parent is not None:
+        raise ValueError("subtree to insert must be detached (parent is None)")
+    elements = list(subtree.iter())
+    need = 2 * len(elements)
+    lo, hi = gap_after_last_child(tree, parent)
+    gap = hi - lo - 1
+    if gap < need:
+        raise GapExhausted(
+            f"insertion under node {parent} needs {need} labels, gap has {gap}"
+        )
+    stride = gap // need
+
+    position = tree.subtree_slice(parent).stop
+    parent_level = int(tree.level[parent])
+    slot_of = {id(e): k for k, e in enumerate(elements)}
+
+    starts = np.empty(len(elements), dtype=np.int64)
+    ends = np.empty(len(elements), dtype=np.int64)
+    levels = np.empty(len(elements), dtype=np.int64)
+    parents = np.empty(len(elements), dtype=np.int64)
+
+    counter = lo
+    # Entry frames are (element, level); exit frames (None, slot).
+    stack: list[tuple[Element | None, int]] = [(subtree, parent_level + 1)]
+    while stack:
+        node, value = stack.pop()
+        counter += stride
+        if node is None:
+            ends[value] = counter
+            continue
+        slot = slot_of[id(node)]
+        starts[slot] = counter
+        levels[slot] = value
+        parents[slot] = (
+            parent if node is subtree else position + slot_of[id(node.parent)]
+        )
+        stack.append((None, slot))
+        for child in reversed(list(node.child_elements())):
+            stack.append((child, value + 1))
+
+    return InsertPlan(
+        position=position,
+        elements=elements,
+        start=starts,
+        end=ends,
+        level=levels,
+        parent_index=parents,
+        stride=stride,
+    )
+
+
+def apply_insert(tree: LabeledTree, plan: InsertPlan) -> None:
+    """Splice a planned insertion into the tree's flat arrays (in place)."""
+    pos, size = plan.position, plan.size
+    shifted_parents = np.where(
+        tree.parent_index >= pos, tree.parent_index + size, tree.parent_index
+    )
+    tree.elements[pos:pos] = plan.elements
+    tree.start = np.concatenate([tree.start[:pos], plan.start, tree.start[pos:]])
+    tree.end = np.concatenate([tree.end[:pos], plan.end, tree.end[pos:]])
+    tree.level = np.concatenate([tree.level[:pos], plan.level, tree.level[pos:]])
+    tree.parent_index = np.concatenate(
+        [shifted_parents[:pos], plan.parent_index, shifted_parents[pos:]]
+    )
+    tree.invalidate_element_index()
+
+
+def apply_delete(tree: LabeledTree, index: int) -> tuple[int, int]:
+    """Remove node ``index`` and its whole subtree from the label table.
+
+    Returns ``(position, count)`` of the removed pre-order slice.  The
+    freed labels rejoin the gap at the parent, available to later
+    inserts.  The caller is responsible for the document-model side
+    (detaching the element from its parent's child list).
+    """
+    if not 0 <= index < len(tree):
+        raise IndexError(f"node index {index} outside the tree")
+    sub = tree.subtree_slice(index)
+    pos, count = sub.start, sub.stop - sub.start
+    keep = np.ones(len(tree), dtype=bool)
+    keep[pos : pos + count] = False
+    parents = tree.parent_index[keep]
+    parents = np.where(parents >= pos + count, parents - count, parents)
+    del tree.elements[pos : pos + count]
+    tree.start = tree.start[keep]
+    tree.end = tree.end[keep]
+    tree.level = tree.level[keep]
+    tree.parent_index = parents
+    tree.invalidate_element_index()
+    return pos, count

@@ -87,6 +87,33 @@ class LabeledTree:
     def __len__(self) -> int:
         return len(self.elements)
 
+    def replace_contents(
+        self,
+        elements: Sequence[Element],
+        start: np.ndarray,
+        end: np.ndarray,
+        level: np.ndarray,
+        parent_index: np.ndarray,
+        max_label: int,
+    ) -> None:
+        """Wholesale in-place replacement of the label table.
+
+        Keeps the :class:`LabeledTree` object identity, so long-lived
+        views of the database (catalogs, executors, estimation services)
+        survive a full relabeling without re-wiring their references.
+        """
+        self.elements = list(elements)
+        self.start = start
+        self.end = end
+        self.level = level
+        self.parent_index = parent_index
+        self.max_label = max_label
+        self._index_of = None
+
+    def invalidate_element_index(self) -> None:
+        """Drop the element-identity index after a structural mutation."""
+        self._index_of = None
+
     def label_of(self, index: int) -> IntervalLabel:
         """The :class:`IntervalLabel` of the node at pre-order ``index``."""
         return IntervalLabel(
@@ -132,25 +159,35 @@ class LabeledTree:
                 assert self.start[p] < self.start[i] < self.end[i] < self.end[p]
 
 
-def label_document(document: Document) -> LabeledTree:
+def label_document(document: Document, spacing: int = 1) -> LabeledTree:
     """Label a single document; see :func:`label_forest`."""
-    return label_forest([document])
+    return label_forest([document], spacing=spacing)
 
 
-def label_forest(documents: Sequence[Document]) -> LabeledTree:
+def label_forest(documents: Sequence[Document], spacing: int = 1) -> LabeledTree:
     """Merge ``documents`` under a dummy root and label every element.
 
     The dummy root itself is not materialised: it would have
     ``start = 0`` and ``end = max_label``, and no predicate ever selects
     it.  Labels of real nodes start at 1.
+
+    ``spacing`` stretches the numbering: consecutive labels are assigned
+    ``spacing`` apart, leaving ``spacing - 1`` unused integer positions
+    between any two used labels.  Those gaps are what
+    :mod:`repro.labeling.dynamic` allocates from when subtrees are
+    inserted in place, so an online service can absorb updates without
+    relabeling the whole database.  ``spacing=1`` (the default) is the
+    paper's dense numbering.
     """
+    if spacing < 1:
+        raise ValueError(f"spacing must be >= 1, got {spacing}")
     elements: list[Element] = []
     starts: list[int] = []
     ends: list[int] = []
     levels: list[int] = []
     parents: list[int] = []
 
-    counter = 1  # 0 is reserved for the dummy root's start position
+    counter = spacing  # 0 is reserved for the dummy root's start position
     # Iterative DFS; entry frames hold (element, parent_index, level),
     # exit frames (None, own_slot, _) -- the slot rides on the frame, so
     # no per-node lookup table is needed to patch end labels.
@@ -164,7 +201,7 @@ def label_forest(documents: Sequence[Document]) -> LabeledTree:
         node, index, level = stack.pop()
         if node is None:  # exit frame: index is this node's slot
             ends[index] = counter
-            counter += 1
+            counter += spacing
             continue
         slot = len(elements)
         elements.append(node)
@@ -172,7 +209,7 @@ def label_forest(documents: Sequence[Document]) -> LabeledTree:
         ends.append(-1)  # patched on exit
         levels.append(level)
         parents.append(index)
-        counter += 1
+        counter += spacing
         stack.append((None, slot, level))
         for child in reversed(list(node.child_elements())):
             stack.append((child, slot, level + 1))

@@ -10,11 +10,12 @@ introduction promises.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.estimation.estimator import AnswerSizeEstimator
 from repro.optimizer.cost import PlanCost, estimate_plan_cost
-from repro.optimizer.plans import enumerate_plans
+from repro.optimizer.plans import JoinPlan, enumerate_plans
 from repro.query.pattern import PatternTree
 
 
@@ -24,18 +25,32 @@ class PlanChoice:
 
     best: PlanCost
     all_plans: list[PlanCost]
+    _ranks: Optional[dict[JoinPlan, int]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def plan_count(self) -> int:
         return len(self.all_plans)
 
     def rank_of(self, plan_cost: PlanCost) -> int:
-        """1-based rank of a plan among all plans by total cost."""
-        ordered = sorted(self.all_plans, key=lambda p: p.total)
-        for rank, candidate in enumerate(ordered, start=1):
-            if candidate.plan == plan_cost.plan:
-                return rank
-        raise ValueError("plan not among the enumerated plans")
+        """1-based rank of a plan among all plans by total cost.
+
+        The ranking is computed once and cached: repeated calls (the
+        optimizer benches rank every plan of every twig) are dictionary
+        lookups, not re-sorts.  Ties keep enumeration order, matching
+        the stable sort the ranking is derived from.
+        """
+        if self._ranks is None:
+            ordered = sorted(self.all_plans, key=lambda p: p.total)
+            ranks: dict[JoinPlan, int] = {}
+            for rank, candidate in enumerate(ordered, start=1):
+                ranks.setdefault(candidate.plan, rank)
+            self._ranks = ranks
+        try:
+            return self._ranks[plan_cost.plan]
+        except KeyError:
+            raise ValueError("plan not among the enumerated plans") from None
 
 
 class Optimizer:

@@ -183,6 +183,148 @@ class PredicateCatalog:
                 )
         return [self.register(p) for p in predicates]
 
+    # -- incremental maintenance -----------------------------------------
+
+    def apply_insert(
+        self, position: int, elements: list[Element]
+    ) -> dict[Predicate, np.ndarray]:
+        """Account for ``elements`` spliced into the tree at pre-order
+        ``position`` (the tree object must already hold the new nodes).
+
+        Every registered predicate's node-index array is shifted past
+        the splice point; predicates matched by some new element gain
+        the corresponding indices, get their cardinality bumped, and
+        have the no-overlap property re-checked (an insert can break it,
+        never restore it).  Returns ``predicate -> inserted indices``
+        (new numbering) for the predicates whose membership grew -- the
+        delta the statistics service feeds to its histograms.
+        """
+        size = len(elements)
+        if size == 0:
+            return {}
+        matched_by_tag: dict[str, list[int]] = {}
+        for offset, element in enumerate(elements):
+            matched_by_tag.setdefault(element.tag, []).append(offset)
+        new_groups = {
+            tag: position + np.asarray(offsets, dtype=np.int64)
+            for tag, offsets in matched_by_tag.items()
+        }
+
+        if self._tag_indices is not None:
+            for tag in set(self._tag_indices) | set(new_groups):
+                group = self._tag_indices.get(tag)
+                updated = self._spliced(
+                    group if group is not None else np.empty(0, dtype=np.int64),
+                    position,
+                    size,
+                    new_groups.get(tag),
+                )
+                updated.setflags(write=False)
+                self._tag_indices[tag] = updated
+
+        changed: dict[Predicate, np.ndarray] = {}
+        for predicate, stats in self._stats.items():
+            inserted = self._matches_of(predicate, elements, new_groups, position)
+            stats.node_indices = self._spliced(
+                stats.node_indices, position, size, inserted
+            )
+            if inserted is not None and inserted.size:
+                changed[predicate] = inserted
+                stats.count = int(len(stats.node_indices))
+                stats.no_overlap = detect_no_overlap(self.tree, stats.node_indices)
+        return changed
+
+    def apply_delete(
+        self, position: int, count: int
+    ) -> dict[Predicate, np.ndarray]:
+        """Account for the pre-order slice ``[position, position + count)``
+        removed from the tree (the tree object must already be spliced).
+
+        Returns ``predicate -> removed indices`` (old numbering) for the
+        predicates whose membership shrank.  Removals can restore the
+        no-overlap property, so it is re-checked for those predicates.
+        """
+        if count == 0:
+            return {}
+        if self._tag_indices is not None:
+            for tag in list(self._tag_indices):
+                group, _ = self._cut(self._tag_indices[tag], position, count)
+                if group.size == 0:
+                    del self._tag_indices[tag]
+                else:
+                    group.setflags(write=False)
+                    self._tag_indices[tag] = group
+        changed: dict[Predicate, np.ndarray] = {}
+        for predicate, stats in self._stats.items():
+            remaining, removed = self._cut(stats.node_indices, position, count)
+            stats.node_indices = remaining
+            if removed.size:
+                changed[predicate] = removed
+                stats.count = int(len(remaining))
+                stats.no_overlap = detect_no_overlap(self.tree, remaining)
+        return changed
+
+    @staticmethod
+    def _spliced(
+        indices: np.ndarray,
+        position: int,
+        size: int,
+        inserted: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Shift a sorted index array for a splice, merging new members.
+
+        The inserted block is contiguous at ``position``, so the merge
+        is a three-way concatenation at one split point.
+        """
+        cut = int(np.searchsorted(indices, position))
+        parts = [indices[:cut]]
+        if inserted is not None and inserted.size:
+            parts.append(inserted)
+        parts.append(indices[cut:] + size)
+        return np.concatenate(parts)
+
+    @staticmethod
+    def _cut(
+        indices: np.ndarray, position: int, count: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Drop members inside the deleted slice, shift the tail down.
+
+        Returns ``(remaining_new_numbering, removed_old_numbering)``.
+        """
+        lo = int(np.searchsorted(indices, position))
+        hi = int(np.searchsorted(indices, position + count))
+        removed = indices[lo:hi].copy()
+        remaining = np.concatenate([indices[:lo], indices[hi:] - count])
+        return remaining, removed
+
+    def _matches_of(
+        self,
+        predicate: Predicate,
+        elements: list[Element],
+        new_groups: dict[str, np.ndarray],
+        position: int,
+    ) -> Optional[np.ndarray]:
+        """New-element indices (new numbering) matching ``predicate``."""
+        tag = getattr(predicate, "tag", None)
+        if isinstance(predicate, TagPredicate):
+            return new_groups.get(tag)
+        if isinstance(tag, str):
+            candidates = new_groups.get(tag)
+            if candidates is None:
+                return None
+            hits = [
+                int(i)
+                for i in candidates.tolist()
+                if predicate.matches(elements[i - position])
+            ]
+            return np.asarray(hits, dtype=np.int64) if hits else None
+        hits = [
+            position + offset
+            for offset, element in enumerate(elements)
+            if predicate.matches(element)
+        ]
+        return np.asarray(hits, dtype=np.int64) if hits else None
+
     # -- lookup ----------------------------------------------------------
 
     def stats(self, predicate: Predicate) -> PredicateStats:

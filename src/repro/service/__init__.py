@@ -1,0 +1,13 @@
+"""Online statistics service: estimation state kept correct under updates.
+
+The offline layers build histograms in one pass over a frozen document;
+this package owns a *live* database -- the labeled tree, its predicate
+catalog, and every histogram -- and keeps all of it consistent while
+documents take inserts and deletes, the way a production optimizer's
+statistics subsystem must.  See
+:class:`~repro.service.service.EstimationService`.
+"""
+
+from repro.service.service import EstimationService, ServiceStats, UpdateResult
+
+__all__ = ["EstimationService", "ServiceStats", "UpdateResult"]

@@ -1,0 +1,680 @@
+"""The online estimation service: statistics kept correct under updates.
+
+:class:`EstimationService` owns a live XML database -- the document
+trees, their interval labels, the predicate catalog, and every histogram
+an :class:`~repro.estimation.estimator.AnswerSizeEstimator` has built --
+and keeps all of it consistent while the documents take subtree inserts
+and deletes.  The offline pipeline treats these as frozen inputs;
+serving traffic means none of them are.
+
+Maintenance strategy (per update):
+
+* **labels** -- the forest is labeled with a ``spacing`` factor, so an
+  inserted subtree takes labels from the gap at its insertion point
+  (:mod:`repro.labeling.dynamic`); nothing else moves.  When a gap is
+  exhausted, labels must be reassigned and the service falls back to a
+  full rebuild.
+* **catalog** -- registered predicates get their node-index arrays
+  spliced and their no-overlap property re-checked only when their
+  membership actually changed.
+* **position histograms** (and the TRUE histogram) -- exact cell count
+  deltas for the touched nodes; integer arithmetic in float64, so the
+  maintained histogram is bit-identical to one rebuilt from scratch
+  over the post-update tree.
+* **coverage histograms** -- maintained as *integer pair counts*
+  (numerators); every update adds or removes the ``(node, ancestor
+  cell)`` pairs of the touched subtree -- for a no-overlap predicate
+  each node has at most one covering ancestor, so the delta is a single
+  stack walk -- and fractions are re-derived through the same division
+  the offline builder uses.
+* **pH-join coefficients / level histograms** -- dropped for exactly the
+  predicates whose operand histograms changed; everything else keeps
+  its cached kernel (the paper's Section 3.3 space-time tradeoff
+  survives updates).
+* **rebuild threshold** -- when the cumulative touched-node fraction
+  since the last (re)build exceeds ``rebuild_threshold``, the service
+  relabels and rebuilds everything eagerly, re-priming previously hot
+  summaries.  Rebuilds re-bucket the label space, so estimates may move;
+  incremental updates never re-bucket.
+
+The invariant the differential test suite pins: **after any sequence of
+updates, every maintained structure is bit-identical to a from-scratch
+build over the current tree** (:meth:`EstimationService.differential_check`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.engine.bindings import BindingTable
+from repro.engine.executor import ExecutionStats, PlanExecutor
+from repro.estimation.estimator import AnswerSizeEstimator, Query
+from repro.estimation.result import EstimationResult
+from repro.histograms.coverage import (
+    CellPair,
+    CoverageHistogram,
+    build_coverage_numerators,
+    coverage_from_numerators,
+)
+from repro.histograms.position import PositionHistogram
+from repro.histograms.store import (
+    SummaryFormatError,
+    load_binary_summaries,
+    save_binary_summaries,
+    tree_fingerprint,
+)
+from repro.labeling.dynamic import (
+    GapExhausted,
+    apply_delete,
+    apply_insert,
+    plan_insert,
+)
+from repro.labeling.interval import LabeledTree, label_forest
+from repro.optimizer.optimizer import Optimizer, PlanChoice
+from repro.predicates.base import Predicate, TagPredicate
+from repro.predicates.catalog import PredicateCatalog
+from repro.query.pattern import PatternTree
+from repro.xmltree.tree import Document, Element
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime counters of one service instance."""
+
+    inserts: int = 0
+    deletes: int = 0
+    nodes_inserted: int = 0
+    nodes_deleted: int = 0
+    rebuilds: int = 0
+    coefficient_invalidations: int = 0
+
+
+@dataclass
+class UpdateResult:
+    """What one :meth:`~EstimationService.insert_subtree` /
+    :meth:`~EstimationService.delete_subtree` call did."""
+
+    kind: str
+    nodes: int
+    rebuilt: bool
+    predicates_changed: int
+    coefficients_invalidated: int
+    dirty_fraction: float
+
+
+@dataclass
+class ExecutionOutcome:
+    """An executed query: the chosen plan and its bindings."""
+
+    choice: PlanChoice
+    bindings: BindingTable
+    stats: ExecutionStats
+
+
+class EstimationService:
+    """Long-lived answer-size estimation over a mutable XML database.
+
+    Parameters
+    ----------
+    documents:
+        One document or a forest; the service takes ownership (updates
+        mutate these trees in place).
+    grid_size, grid:
+        Histogram grid side and kind, as for
+        :class:`~repro.estimation.estimator.AnswerSizeEstimator`.
+    spacing:
+        Label-gap factor for in-place inserts; ``spacing - 1`` free
+        integer positions separate consecutive labels after a (re)build.
+    rebuild_threshold:
+        Fraction of the database that may be touched by updates before
+        the next update triggers a full relabel-and-rebuild.
+    """
+
+    def __init__(
+        self,
+        documents: Union[Document, Sequence[Document]],
+        grid_size: int = 10,
+        grid: str = "uniform",
+        spacing: int = 64,
+        rebuild_threshold: float = 0.25,
+    ) -> None:
+        if spacing < 2:
+            raise ValueError(f"service spacing must be >= 2, got {spacing}")
+        if not 0.0 < rebuild_threshold <= 1.0:
+            raise ValueError(
+                f"rebuild threshold must be in (0, 1], got {rebuild_threshold}"
+            )
+        self.documents = (
+            [documents] if isinstance(documents, Document) else list(documents)
+        )
+        self.grid_size = grid_size
+        self.grid_kind = grid
+        self.spacing = spacing
+        self.rebuild_threshold = rebuild_threshold
+        self.stats = ServiceStats()
+        self.tree: Optional[LabeledTree] = None
+        self._build_state()
+
+    # -- state construction ------------------------------------------------
+
+    def _build_state(self) -> None:
+        """(Re)label the forest and start a fresh catalog + estimator."""
+        labeled = label_forest(self.documents, spacing=self.spacing)
+        if self.tree is None:
+            self.tree = labeled
+        else:
+            # Keep the LabeledTree identity: catalogs and executors from
+            # earlier epochs would otherwise hold a stale table.
+            self.tree.replace_contents(
+                labeled.elements,
+                labeled.start,
+                labeled.end,
+                labeled.level,
+                labeled.parent_index,
+                labeled.max_label,
+            )
+        self.catalog = PredicateCatalog(self.tree)
+        self.estimator = AnswerSizeEstimator(
+            self.tree,
+            grid_size=self.grid_size,
+            catalog=self.catalog,
+            grid=self.grid_kind,
+        )
+        self._numerators: dict[Predicate, dict[CellPair, int]] = {}
+        self._dirty_nodes = 0
+        self._optimizer: Optional[Optimizer] = None
+        self._executor: Optional[PlanExecutor] = None
+
+    def rebuild(self) -> None:
+        """Relabel the whole forest and rebuild every derived structure.
+
+        Summaries that were hot before the rebuild (position histograms,
+        the TRUE histogram, maintained coverages) are re-primed eagerly,
+        so estimate latency does not regress right after a rebuild.
+        Rebuilding re-buckets the label space: the grid's ``max_label``
+        (and equi-depth boundaries) are recomputed.
+        """
+        primed_positions = list(self.estimator._position_cache)
+        primed_coverages = [
+            p for p, c in self.estimator._coverage_cache.items() if c is not None
+        ]
+        primed_true = self.estimator._true_hist is not None
+        registered = list(self.catalog.predicates())
+        self._build_state()
+        self.catalog.register_many(registered)
+        for predicate in primed_positions:
+            self.estimator.position_histogram(predicate)
+        if primed_true:
+            _ = self.estimator.true_histogram
+        for predicate in primed_coverages:
+            self._ensure_coverage(predicate)
+        self.stats.rebuilds += 1
+
+    # -- size / status -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    @property
+    def dirty_fraction(self) -> float:
+        """Touched-node fraction since the last (re)build."""
+        return self._dirty_nodes / max(1, len(self.tree))
+
+    # -- read API (delegation, always against current state) ---------------
+
+    def estimate(self, query: Query) -> EstimationResult:
+        return self.estimator.estimate(query)
+
+    def estimate_many(self, queries: Sequence[Query]) -> list[EstimationResult]:
+        return self.estimator.estimate_many(queries)
+
+    def real_answer(self, query: Query) -> int:
+        return self.estimator.real_answer(query)
+
+    def position_histogram(self, predicate: Predicate) -> PositionHistogram:
+        return self.estimator.position_histogram(predicate)
+
+    def coverage_histogram(self, predicate: Predicate) -> Optional[CoverageHistogram]:
+        """The predicate's coverage histogram, maintained incrementally.
+
+        Builds (and starts maintaining) the integer numerators on first
+        use, so later updates patch pair counts instead of re-walking
+        the tree.
+        """
+        coverage = self._ensure_coverage(predicate)
+        if coverage is None:
+            return self.estimator.coverage_histogram(predicate)
+        return coverage
+
+    def execute(self, query: Union[str, PatternTree]) -> ExecutionOutcome:
+        """Optimize and run a twig query against the current database.
+
+        The optimizer re-estimates with current statistics: its per-query
+        size cache is dropped on every update, so plan choice always
+        reflects the post-update histograms.
+        """
+        pattern = self.estimator._as_pattern(query)
+        if self._optimizer is None:
+            self._optimizer = Optimizer(self.estimator)
+        if self._executor is None:
+            self._executor = PlanExecutor(self.tree, self.catalog)
+        choice = self._optimizer.choose_plan(pattern)
+        bindings, stats = self._executor.execute(pattern, choice.best.plan)
+        return ExecutionOutcome(choice=choice, bindings=bindings, stats=stats)
+
+    # -- update API --------------------------------------------------------
+
+    def insert_subtree(
+        self, parent: Union[Element, int], subtree: Element
+    ) -> UpdateResult:
+        """Insert a detached element subtree as ``parent``'s last child.
+
+        Takes labels from the gap at the insertion point and applies
+        exact deltas to every maintained summary.  Falls back to a full
+        rebuild when the gap cannot hold the subtree or the dirty
+        fraction crosses the threshold.
+        """
+        parent_index = self._resolve(parent)
+        if subtree.parent is not None:
+            raise ValueError("subtree to insert must be detached (parent is None)")
+        self._sync_coverage_numerators()
+        try:
+            plan = plan_insert(self.tree, parent_index, subtree)
+        except GapExhausted:
+            self.tree.elements[parent_index].append(subtree)
+            size = sum(1 for _ in subtree.iter())
+            self.rebuild()
+            self.stats.inserts += 1
+            self.stats.nodes_inserted += size
+            return UpdateResult("insert", size, True, 0, 0, 0.0)
+
+        self.tree.elements[parent_index].append(subtree)
+        apply_insert(self.tree, plan)
+        changed = self.catalog.apply_insert(plan.position, plan.elements)
+        invalidated = self._insert_deltas(plan.position, plan.size, changed, parent_index)
+        self.stats.inserts += 1
+        self.stats.nodes_inserted += plan.size
+        return self._finish_update("insert", plan.size, changed, invalidated)
+
+    def delete_subtree(self, node: Union[Element, int]) -> UpdateResult:
+        """Delete an element and its whole subtree.
+
+        The freed labels rejoin the gap at the parent; all maintained
+        summaries take exact negative deltas.
+        """
+        index = self._resolve(node)
+        self._sync_coverage_numerators()
+        sub = self.tree.subtree_slice(index)
+        pos, count = sub.start, sub.stop - sub.start
+        grid = self.estimator.grid
+        cols = grid.buckets(self.tree.start[pos : pos + count])
+        rows = grid.buckets(self.tree.end[pos : pos + count])
+        pair_deltas = self._delete_pair_deltas(index, pos, count, cols, rows)
+
+        element = self.tree.elements[index]
+        element.parent.children.remove(element)
+        element.parent = None
+        apply_delete(self.tree, index)
+        changed = self.catalog.apply_delete(pos, count)
+        invalidated = self._delete_deltas(pos, cols, rows, changed, pair_deltas)
+        self.stats.deletes += 1
+        self.stats.nodes_deleted += count
+        return self._finish_update("delete", count, changed, invalidated)
+
+    # -- differential self-check -------------------------------------------
+
+    def differential_check(self, queries: Sequence[Query] = ()) -> None:
+        """Assert every maintained structure is bit-identical to a
+        from-scratch build over the current tree.
+
+        This is the correctness contract of incremental maintenance; the
+        differential test suite runs it after hundreds of random update
+        sequences, and the benchmark runs it once before timing.
+        Raises :class:`AssertionError` on the first divergence.
+        """
+        reference = AnswerSizeEstimator(self.tree, grid_size=self.grid_size)
+        reference.grid = self.estimator.grid  # same frozen bucket geometry
+        for predicate, stats in list(self.catalog._stats.items()):
+            ref_stats = reference.catalog.stats(predicate)
+            assert np.array_equal(stats.node_indices, ref_stats.node_indices), (
+                f"catalog drift for {predicate.name!r}"
+            )
+            assert stats.count == ref_stats.count, predicate.name
+            assert stats.no_overlap == ref_stats.no_overlap, (
+                f"no-overlap drift for {predicate.name!r}"
+            )
+        for predicate, histogram in self.estimator._position_cache.items():
+            fresh = reference.position_histogram(predicate)
+            assert dict(histogram.cells()) == dict(fresh.cells()), (
+                f"position histogram drift for {predicate.name!r}"
+            )
+        if self.estimator._true_hist is not None:
+            assert dict(self.estimator._true_hist.cells()) == dict(
+                reference.true_histogram.cells()
+            ), "TRUE histogram drift"
+        for predicate, coverage in self.estimator._coverage_cache.items():
+            fresh_cov = reference.coverage_histogram(predicate)
+            assert (coverage is None) == (fresh_cov is None), (
+                f"coverage presence drift for {predicate.name!r}"
+            )
+            if coverage is not None:
+                assert dict(coverage.entries()) == dict(fresh_cov.entries()), (
+                    f"coverage histogram drift for {predicate.name!r}"
+                )
+        for predicate, level_hist in self.estimator._level_cache.items():
+            fresh_level = reference.level_histogram(predicate)
+            assert dict(level_hist.cells()) == dict(fresh_level.cells()), (
+                f"level histogram drift for {predicate.name!r}"
+            )
+        for query in queries:
+            ours = self.estimate(query).value
+            theirs = reference.estimate(query).value
+            assert ours == theirs, (
+                f"estimate drift for {query!r}: {ours} != {theirs}"
+            )
+
+    # -- persistence --------------------------------------------------------
+
+    def save_statistics(self, path: Union[str, Path]) -> int:
+        """Persist all built histograms as a versioned binary store."""
+        return save_binary_summaries(self.estimator, path)
+
+    @classmethod
+    def warm_start(
+        cls,
+        documents: Union[Document, Sequence[Document]],
+        path: Union[str, Path],
+        spacing: int = 64,
+        rebuild_threshold: float = 0.25,
+    ) -> "EstimationService":
+        """Start a service from persisted statistics, skipping histogram
+        builds for every tag predicate in the store.
+
+        The documents (and ``spacing``) must be the ones the store was
+        saved from: the persisted fingerprint (labels + tag sequence,
+        exactly what the installed histograms depend on) must match the
+        freshly labeled documents, and a mismatch raises
+        :class:`~repro.histograms.store.SummaryFormatError` rather than
+        serving stale estimates.
+        """
+        loaded = load_binary_summaries(path)
+        service = cls(
+            documents,
+            grid_size=loaded.grid.size,
+            spacing=spacing,
+            rebuild_threshold=rebuild_threshold,
+        )
+        if loaded.grid.max_label != service.tree.max_label:
+            raise SummaryFormatError(
+                f"stale statistics: persisted label space "
+                f"[0, {loaded.grid.max_label}] does not match the documents' "
+                f"[0, {service.tree.max_label}] (document or spacing changed)"
+            )
+        if loaded.fingerprint != tree_fingerprint(service.tree):
+            raise SummaryFormatError(
+                "stale statistics: the persisted document fingerprint does "
+                "not match these documents (content changed since the save)"
+            )
+        service.estimator.grid = loaded.grid
+        service.grid_kind = "equi-depth" if loaded.grid.boundaries else "uniform"
+        for row in loaded.summaries:
+            if row.kind != "tag" or row.tag is None:
+                continue
+            predicate = TagPredicate(row.tag)
+            # Register before installing: a predicate with a cached
+            # histogram MUST be catalog-tracked, or later updates would
+            # not know which inserted/deleted nodes it matches and the
+            # installed histogram would silently drift.
+            service.catalog.register(predicate)
+            service.estimator._position_cache[predicate] = row.position
+            if row.coverage is not None:
+                service.estimator._coverage_cache[predicate] = row.coverage
+        return service
+
+    # -- internals -----------------------------------------------------------
+
+    def _resolve(self, node: Union[Element, int]) -> int:
+        if isinstance(node, Element):
+            return self.tree.index_of(node)
+        index = int(node)
+        if not 0 <= index < len(self.tree):
+            raise IndexError(f"node index {index} outside the tree")
+        return index
+
+    def _finish_update(
+        self,
+        kind: str,
+        nodes: int,
+        changed: dict[Predicate, np.ndarray],
+        invalidated: int,
+    ) -> UpdateResult:
+        self._dirty_nodes += nodes
+        self._optimizer = None
+        self._executor = None
+        self.stats.coefficient_invalidations += invalidated
+        rebuilt = False
+        if self._dirty_nodes > self.rebuild_threshold * max(1, len(self.tree)):
+            self.rebuild()
+            rebuilt = True
+        return UpdateResult(
+            kind=kind,
+            nodes=nodes,
+            rebuilt=rebuilt,
+            predicates_changed=len(changed),
+            coefficients_invalidated=invalidated,
+            dirty_fraction=self.dirty_fraction,
+        )
+
+    # -- coverage numerator maintenance --------------------------------------
+
+    def _ensure_coverage(self, predicate: Predicate) -> Optional[CoverageHistogram]:
+        stats = self.catalog.stats(predicate)
+        if not stats.effective_no_overlap:
+            return None
+        if predicate not in self._numerators:
+            self._numerators[predicate] = build_coverage_numerators(
+                self.tree, stats.node_indices, self.estimator.grid
+            )
+            self._install_coverage(predicate)
+        cached = self.estimator._coverage_cache.get(predicate)
+        if cached is None:
+            self._install_coverage(predicate)
+            cached = self.estimator._coverage_cache[predicate]
+        return cached
+
+    def _install_coverage(self, predicate: Predicate) -> None:
+        self.estimator._coverage_cache[predicate] = coverage_from_numerators(
+            self._numerators[predicate],
+            self.estimator.true_histogram,
+            name=predicate.name,
+        )
+
+    def _sync_coverage_numerators(self) -> None:
+        """Adopt coverages the estimator built on its own.
+
+        Estimation through the facade may build a coverage histogram the
+        service has no numerators for; before mutating the tree, count
+        its pairs so the update below can delta-patch them.
+        """
+        for predicate, coverage in list(self.estimator._coverage_cache.items()):
+            if coverage is not None and predicate not in self._numerators:
+                self._numerators[predicate] = build_coverage_numerators(
+                    self.tree,
+                    self.catalog.stats(predicate).node_indices,
+                    self.estimator.grid,
+                )
+
+    def _nearest_member(self, node: int, members: np.ndarray) -> int:
+        """Nearest ancestor-or-self of ``node`` in a sorted index array
+        (``-1`` when the chain reaches a document root without a hit)."""
+        while node != -1:
+            slot = int(np.searchsorted(members, node))
+            if slot < len(members) and int(members[slot]) == node:
+                return node
+            node = int(self.tree.parent_index[node])
+        return -1
+
+    def _cell(self, index: int) -> tuple[int, int]:
+        grid = self.estimator.grid
+        return (
+            grid.bucket(int(self.tree.start[index])),
+            grid.bucket(int(self.tree.end[index])),
+        )
+
+    def _slice_ancestors(
+        self,
+        pos: int,
+        size: int,
+        members: set[int],
+        outside_ancestor: int,
+    ) -> list[int]:
+        """Nearest covering member for each node of a pre-order slice.
+
+        ``members`` holds global indices of predicate nodes inside the
+        slice; nodes whose chain leaves the slice inherit
+        ``outside_ancestor`` (the unique covering node beyond the slice
+        for a no-overlap predicate, or ``-1``).
+        """
+        nearest = [0] * size
+        parent_index = self.tree.parent_index
+        for k in range(size):
+            par = int(parent_index[pos + k])
+            if par < pos:
+                nearest[k] = outside_ancestor
+            elif par in members:
+                nearest[k] = par
+            else:
+                nearest[k] = nearest[par - pos]
+        return nearest
+
+    def _insert_deltas(
+        self,
+        pos: int,
+        size: int,
+        changed: dict[Predicate, np.ndarray],
+        parent_index: int,
+    ) -> int:
+        """Patch every maintained summary for an insert at ``pos``."""
+        estimator = self.estimator
+        grid = estimator.grid
+        cols = grid.buckets(self.tree.start[pos : pos + size])
+        rows = grid.buckets(self.tree.end[pos : pos + size])
+        if estimator._true_hist is not None:
+            estimator._true_hist.apply_delta(cols, rows, 1)
+
+        invalidated = 0
+        for predicate, inserted in changed.items():
+            local = inserted - pos
+            histogram = estimator._position_cache.get(predicate)
+            if histogram is not None:
+                histogram.apply_delta(cols[local], rows[local], 1)
+            invalidated += estimator.invalidate_derived(predicate)
+            if predicate not in self._numerators:
+                # Membership changed under a coverage the service does
+                # not maintain: force a from-scratch rebuild on next use.
+                estimator._coverage_cache.pop(predicate, None)
+
+        for predicate in list(self._numerators):
+            stats = self.catalog.stats(predicate)
+            if not stats.effective_no_overlap:
+                del self._numerators[predicate]
+                self.estimator._coverage_cache.pop(predicate, None)
+                continue
+            inserted = changed.get(predicate)
+            members = set(inserted.tolist()) if inserted is not None else set()
+            outside = self._nearest_member(parent_index, stats.node_indices)
+            nearest = self._slice_ancestors(pos, size, members, outside)
+            numerators = self._numerators[predicate]
+            cell_cache: dict[int, tuple[int, int]] = {}
+            for k in range(size):
+                ancestor = nearest[k]
+                if ancestor == -1:
+                    continue
+                cell = cell_cache.get(ancestor)
+                if cell is None:
+                    cell = self._cell(ancestor)
+                    cell_cache[ancestor] = cell
+                key = (int(cols[k]), int(rows[k]), cell[0], cell[1])
+                numerators[key] = numerators.get(key, 0) + 1
+            self._install_coverage(predicate)
+        return invalidated
+
+    def _delete_pair_deltas(
+        self,
+        index: int,
+        pos: int,
+        count: int,
+        cols: np.ndarray,
+        rows: np.ndarray,
+    ) -> dict[Predicate, dict[CellPair, int]]:
+        """Coverage pairs lost with the subtree at ``index`` (computed
+        against the pre-delete tree, which the walk requires)."""
+        deltas: dict[Predicate, dict[CellPair, int]] = {}
+        root_parent = int(self.tree.parent_index[index])
+        for predicate in self._numerators:
+            members_arr = self.catalog.stats(predicate).node_indices
+            lo = int(np.searchsorted(members_arr, pos))
+            hi = int(np.searchsorted(members_arr, pos + count))
+            members = set(members_arr[lo:hi].tolist())
+            outside = (
+                self._nearest_member(root_parent, members_arr)
+                if root_parent != -1
+                else -1
+            )
+            nearest = self._slice_ancestors(pos, count, members, outside)
+            lost: dict[CellPair, int] = {}
+            cell_cache: dict[int, tuple[int, int]] = {}
+            for k in range(count):
+                ancestor = nearest[k]
+                if ancestor == -1:
+                    continue
+                cell = cell_cache.get(ancestor)
+                if cell is None:
+                    cell = self._cell(ancestor)
+                    cell_cache[ancestor] = cell
+                key = (int(cols[k]), int(rows[k]), cell[0], cell[1])
+                lost[key] = lost.get(key, 0) + 1
+            deltas[predicate] = lost
+        return deltas
+
+    def _delete_deltas(
+        self,
+        pos: int,
+        cols: np.ndarray,
+        rows: np.ndarray,
+        changed: dict[Predicate, np.ndarray],
+        pair_deltas: dict[Predicate, dict[CellPair, int]],
+    ) -> int:
+        """Patch every maintained summary for a completed delete."""
+        estimator = self.estimator
+        if estimator._true_hist is not None:
+            estimator._true_hist.apply_delta(cols, rows, -1)
+
+        invalidated = 0
+        for predicate, removed in changed.items():
+            local = removed - pos
+            histogram = estimator._position_cache.get(predicate)
+            if histogram is not None:
+                histogram.apply_delta(cols[local], rows[local], -1)
+            invalidated += estimator.invalidate_derived(predicate)
+            if predicate not in self._numerators:
+                estimator._coverage_cache.pop(predicate, None)
+
+        for predicate, lost in pair_deltas.items():
+            numerators = self._numerators[predicate]
+            for key, amount in lost.items():
+                remaining = numerators.get(key, 0) - amount
+                if remaining < 0:
+                    raise AssertionError(
+                        f"coverage numerator underflow for {predicate.name!r} at {key}"
+                    )
+                if remaining == 0:
+                    numerators.pop(key, None)
+                else:
+                    numerators[key] = remaining
+            self._install_coverage(predicate)
+        return invalidated

@@ -1,0 +1,229 @@
+"""Round-trip tests for the versioned binary (.npz) summary store, plus
+equi-depth grid persistence and the corrupted/mismatched error paths."""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_orgchart
+from repro.estimation import AnswerSizeEstimator
+from repro.histograms.adaptive import equi_depth_grid
+from repro.histograms.coverage import CoverageHistogram
+from repro.histograms.position import PositionHistogram
+from repro.histograms.storage import load_histogram, save_histogram
+from repro.histograms.store import (
+    BINARY_VERSION,
+    SummaryFormatError,
+    SummaryVersionError,
+    load_binary_summaries,
+    save_binary_summaries,
+)
+from repro.labeling import label_document
+from repro.predicates.base import TagPredicate
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return label_document(generate_orgchart(seed=5))
+
+
+def built_estimator(tree, grid="uniform"):
+    estimator = AnswerSizeEstimator(tree, grid_size=8, grid=grid)
+    for tag in ("manager", "department", "employee", "email"):
+        estimator.position_histogram(TagPredicate(tag))
+        estimator.coverage_histogram(TagPredicate(tag))
+    return estimator
+
+
+class TestRoundTrip:
+    def test_position_and_coverage_round_trip_exactly(self, tree, tmp_path):
+        estimator = built_estimator(tree)
+        path = tmp_path / "summaries.npz"
+        written = save_binary_summaries(estimator, path)
+        assert written == 4
+
+        loaded = load_binary_summaries(path)
+        assert loaded.grid == estimator.grid
+        rows = loaded.by_name()
+        for predicate in estimator._position_cache:
+            row = rows[predicate.name]
+            original = estimator._position_cache[predicate]
+            assert dict(row.position.cells()) == dict(original.cells())
+            assert row.count == original.total()
+            assert row.kind == "tag" and row.tag == predicate.name
+            coverage = estimator._coverage_cache.get(predicate)
+            if coverage is None:
+                assert row.coverage is None
+                assert not row.no_overlap
+            else:
+                assert dict(row.coverage.entries()) == dict(coverage.entries())
+                assert row.no_overlap
+
+    def test_fractional_counts_round_trip_bitwise(self, tmp_path):
+        """Synthesised compound histograms carry fractional counts;
+        float64 must survive the binary format bit-for-bit."""
+        from repro.histograms.grid import GridSpec
+
+        grid = GridSpec(4, 100)
+        histogram = PositionHistogram(
+            grid, {(0, 3): 1 / 3, (1, 2): 2.5000000000000004, (2, 2): 7.0}
+        )
+        coverage = CoverageHistogram(grid, {(1, 1, 0, 3): 1 / 7, (2, 2, 0, 3): 0.25})
+
+        class Fake:
+            pass
+
+        fake = Fake()
+        fake.grid = grid
+        fake._position_cache = {TagPredicate("t"): histogram}
+        fake._coverage_cache = {TagPredicate("t"): coverage}
+        fake.is_no_overlap = lambda p: True
+        path = tmp_path / "frac.npz"
+        save_binary_summaries(fake, path)
+        row = load_binary_summaries(path).by_name()["t"]
+        assert dict(row.position.cells()) == dict(histogram.cells())
+        assert dict(row.coverage.entries()) == dict(coverage.entries())
+
+    def test_equi_depth_grid_round_trips(self, tree, tmp_path):
+        estimator = built_estimator(tree, grid="equi-depth")
+        assert estimator.grid.boundaries is not None
+        path = tmp_path / "equidepth.npz"
+        save_binary_summaries(estimator, path)
+        loaded = load_binary_summaries(path)
+        assert loaded.grid == estimator.grid
+        assert loaded.grid.boundaries == estimator.grid.boundaries
+
+    def test_empty_estimator_round_trips(self, tree, tmp_path):
+        estimator = AnswerSizeEstimator(tree, grid_size=5)
+        path = tmp_path / "empty.npz"
+        assert save_binary_summaries(estimator, path) == 0
+        loaded = load_binary_summaries(path)
+        assert loaded.summaries == []
+        assert loaded.grid == estimator.grid
+
+
+class TestJsonGridPersistence:
+    def test_json_histogram_keeps_equi_depth_boundaries(self, tree, tmp_path):
+        grid = equi_depth_grid(tree, 6)
+        estimator = AnswerSizeEstimator(tree, grid_size=6, grid="equi-depth")
+        histogram = estimator.position_histogram(TagPredicate("employee"))
+        path = tmp_path / "hist.json"
+        save_histogram(histogram, path)
+        back = load_histogram(path)
+        assert back.grid == histogram.grid
+        assert back.grid.boundaries is not None
+        assert dict(back.cells()) == dict(histogram.cells())
+        assert grid.size == back.grid.size
+
+    def test_json_files_without_boundaries_still_load(self, tmp_path):
+        """Files written before boundary support lack the key."""
+        payload = {
+            "kind": "position",
+            "name": "legacy",
+            "grid": {"size": 3, "max_label": 30},
+            "cells": [[0, 2, 4.0]],
+        }
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(payload))
+        histogram = load_histogram(path)
+        assert histogram.grid.boundaries is None
+        assert histogram.count(0, 2) == 4.0
+
+
+class TestErrorPaths:
+    def write_store(self, tree, tmp_path):
+        estimator = built_estimator(tree)
+        path = tmp_path / "store.npz"
+        save_binary_summaries(estimator, path)
+        return path
+
+    def rewrite_manifest(self, path, mutate):
+        """Round-trip the archive with a mutated manifest member."""
+        with np.load(path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        manifest = json.loads(bytes(arrays["manifest"]).decode("utf-8"))
+        payload = mutate(manifest)
+        arrays["manifest"] = np.frombuffer(payload, dtype=np.uint8)
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_binary_summaries(tmp_path / "nothing.npz")
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip file at all")
+        with pytest.raises(SummaryFormatError, match="not a summary archive"):
+            load_binary_summaries(path)
+
+    def test_archive_without_manifest(self, tmp_path):
+        path = tmp_path / "nomanifest.npz"
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, data=np.arange(3))
+        with pytest.raises(SummaryFormatError, match="no manifest"):
+            load_binary_summaries(path)
+
+    def test_corrupted_manifest_json(self, tree, tmp_path):
+        path = self.write_store(tree, tmp_path)
+        self.rewrite_manifest(path, lambda m: b"{not json at all")
+        with pytest.raises(SummaryFormatError, match="corrupted manifest"):
+            load_binary_summaries(path)
+
+    def test_foreign_format_tag(self, tree, tmp_path):
+        path = self.write_store(tree, tmp_path)
+
+        def mutate(manifest):
+            manifest["format"] = "someone-elses-format"
+            return json.dumps(manifest).encode()
+
+        self.rewrite_manifest(path, mutate)
+        with pytest.raises(SummaryFormatError, match="repro-summaries"):
+            load_binary_summaries(path)
+
+    def test_version_mismatch(self, tree, tmp_path):
+        path = self.write_store(tree, tmp_path)
+
+        def mutate(manifest):
+            manifest["version"] = BINARY_VERSION + 1
+            return json.dumps(manifest).encode()
+
+        self.rewrite_manifest(path, mutate)
+        with pytest.raises(SummaryVersionError, match="version"):
+            load_binary_summaries(path)
+        # A version error is also a format error: callers can catch one.
+        with pytest.raises(SummaryFormatError):
+            load_binary_summaries(path)
+
+    def test_manifest_missing_grid(self, tree, tmp_path):
+        path = self.write_store(tree, tmp_path)
+
+        def mutate(manifest):
+            del manifest["grid"]
+            return json.dumps(manifest).encode()
+
+        self.rewrite_manifest(path, mutate)
+        with pytest.raises(SummaryFormatError, match="incomplete"):
+            load_binary_summaries(path)
+
+    def test_missing_array_member(self, tree, tmp_path):
+        path = self.write_store(tree, tmp_path)
+        with np.load(path) as archive:
+            arrays = {
+                name: archive[name]
+                for name in archive.files
+                if name != "p0.cells"
+            }
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        with pytest.raises(SummaryFormatError, match="incomplete"):
+            load_binary_summaries(path)
+
+    def test_truncated_zip(self, tree, tmp_path):
+        path = self.write_store(tree, tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises((SummaryFormatError, zipfile.BadZipFile)):
+            load_binary_summaries(path)

@@ -1,0 +1,162 @@
+"""Tests of gap-aware label allocation and label-table splicing."""
+
+import numpy as np
+import pytest
+
+from repro.labeling.dynamic import (
+    GapExhausted,
+    apply_delete,
+    apply_insert,
+    gap_after_last_child,
+    plan_insert,
+)
+from repro.labeling.interval import label_document, label_forest
+from repro.xmltree.tree import Document, Element
+
+
+def chain_document(tags) -> Document:
+    document = Document()
+    parent = None
+    for tag in tags:
+        element = Element(tag)
+        if parent is None:
+            document.append(element)
+        else:
+            parent.append(element)
+        parent = element
+    return document
+
+
+def wide_document(width: int) -> Document:
+    document = Document()
+    root = Element("root")
+    document.append(root)
+    for _ in range(width):
+        root.append(Element("leaf"))
+    return document
+
+
+def small_subtree() -> Element:
+    root = Element("new")
+    child = Element("inner")
+    root.append(child)
+    child.append(Element("deep"))
+    return root
+
+
+class TestSpacedLabeling:
+    def test_spacing_one_is_the_dense_numbering(self):
+        dense = label_document(wide_document(4))
+        spaced = label_document(wide_document(4), spacing=1)
+        assert np.array_equal(dense.start, spaced.start)
+        assert np.array_equal(dense.end, spaced.end)
+
+    def test_spacing_scales_labels_uniformly(self):
+        dense = label_document(wide_document(4))
+        spaced = label_document(wide_document(4), spacing=8)
+        assert np.array_equal(spaced.start, dense.start * 8)
+        assert np.array_equal(spaced.end, dense.end * 8)
+        assert spaced.max_label == dense.max_label * 8
+        spaced.validate()
+
+    def test_spacing_rejected_below_one(self):
+        with pytest.raises(ValueError):
+            label_forest([wide_document(2)], spacing=0)
+
+    def test_gap_after_last_child(self):
+        tree = label_document(wide_document(2), spacing=4)
+        lo, hi = gap_after_last_child(tree, 0)
+        assert lo == int(tree.end[2])  # last child's end
+        assert hi == int(tree.end[0])
+        leaf_lo, leaf_hi = gap_after_last_child(tree, 1)
+        assert leaf_lo == int(tree.start[1])
+        assert leaf_hi == int(tree.end[1])
+
+
+class TestPlanInsert:
+    def test_plan_labels_fit_the_gap_and_nest(self):
+        tree = label_document(wide_document(3), spacing=16)
+        plan = plan_insert(tree, 0, small_subtree())
+        lo, hi = int(tree.end[3]), int(tree.end[0])
+        assert np.all(plan.start > lo) and np.all(plan.end < hi)
+        assert np.all(plan.start < plan.end)
+        # Root of the subtree contains its descendants.
+        assert plan.start[0] < plan.start[1] < plan.end[1] < plan.end[0]
+        assert plan.position == 4  # after the root's last descendant
+
+    def test_parent_levels_and_indices(self):
+        tree = label_document(chain_document(["a", "b"]), spacing=16)
+        plan = plan_insert(tree, 1, small_subtree())
+        assert plan.level.tolist() == [3, 4, 5]
+        assert plan.parent_index.tolist() == [1, 2, 3]
+
+    def test_gap_exhausted_raises(self):
+        tree = label_document(wide_document(1), spacing=2)
+        with pytest.raises(GapExhausted):
+            plan_insert(tree, 0, small_subtree())
+
+    def test_attached_subtree_rejected(self):
+        tree = label_document(wide_document(1), spacing=16)
+        attached = tree.elements[1]
+        with pytest.raises(ValueError):
+            plan_insert(tree, 0, attached)
+
+    def test_bad_parent_rejected(self):
+        tree = label_document(wide_document(1), spacing=16)
+        with pytest.raises(IndexError):
+            plan_insert(tree, 99, small_subtree())
+
+
+class TestSplices:
+    def test_insert_then_validate(self):
+        document = wide_document(3)
+        tree = label_document(document, spacing=16)
+        subtree = small_subtree()
+        plan = plan_insert(tree, 0, subtree)
+        tree.elements[0].append(subtree)
+        apply_insert(tree, plan)
+        assert len(tree) == 7
+        tree.validate()
+        assert tree.elements[plan.position] is subtree
+
+    def test_insert_updates_element_index(self):
+        tree = label_document(wide_document(2), spacing=16)
+        subtree = Element("new")
+        _ = tree.index_of(tree.elements[1])  # force the identity index
+        plan = plan_insert(tree, 1, subtree)
+        tree.elements[1].append(subtree)
+        apply_insert(tree, plan)
+        assert tree.index_of(subtree) == plan.position
+
+    def test_delete_subtree_slice(self):
+        tree = label_document(chain_document(["a", "b", "c"]), spacing=4)
+        pos, count = apply_delete(tree, 1)
+        assert (pos, count) == (1, 2)
+        assert len(tree) == 1
+        tree.validate()
+
+    def test_delete_middle_keeps_parent_links(self):
+        document = wide_document(3)
+        root = document.root_element
+        first_leaf = list(root.child_elements())[0]
+        first_leaf.append(Element("x"))
+        tree = label_document(document, spacing=8)
+        apply_delete(tree, 1)  # removes first leaf + its x child
+        assert len(tree) == 3
+        assert tree.parent_index.tolist() == [-1, 0, 0]
+        tree.validate()
+
+    def test_roundtrip_insert_delete_restores_shape(self):
+        document = wide_document(2)
+        tree = label_document(document, spacing=32)
+        before = (tree.start.copy(), tree.end.copy())
+        subtree = small_subtree()
+        plan = plan_insert(tree, 0, subtree)
+        tree.elements[0].append(subtree)
+        apply_insert(tree, plan)
+        root = document.root_element
+        root.children.remove(subtree)
+        subtree.parent = None
+        apply_delete(tree, plan.position)
+        assert np.array_equal(tree.start, before[0])
+        assert np.array_equal(tree.end, before[1])

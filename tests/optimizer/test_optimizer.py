@@ -54,6 +54,34 @@ class TestPlanChoice:
         with pytest.raises(ValueError, match="no joins"):
             optimizer.choose_plan(parse_xpath("//article"))
 
+    def test_ranks_are_stable_one_based_and_complete(self, dblp_estimator):
+        """Ranks are a 1..N relabeling of the plans by total cost, and
+        repeated calls (the ranking is computed once, then cached) keep
+        returning exactly the same assignment."""
+        pattern = parse_xpath("//article[.//author][.//cite]//title")
+        optimizer = Optimizer(dblp_estimator)
+        choice = optimizer.choose_plan(pattern)
+        assert choice.plan_count > 2
+        first = [choice.rank_of(plan) for plan in choice.all_plans]
+        assert sorted(first) == list(range(1, choice.plan_count + 1))
+        assert min(first) == 1
+        # Rank order agrees with cost order.
+        by_cost = sorted(choice.all_plans, key=lambda p: p.total)
+        for position, plan in enumerate(by_cost, start=1):
+            assert choice.rank_of(plan) == position
+        # Stability: a second sweep is identical (and served from cache).
+        assert [choice.rank_of(plan) for plan in choice.all_plans] == first
+        assert choice._ranks is not None
+
+    def test_rank_of_unknown_plan_rejected(self, dblp_estimator):
+        pattern = parse_xpath("//article[.//author]//cite")
+        other = parse_xpath("//article//author")  # fewer edges: no plan overlap
+        optimizer = Optimizer(dblp_estimator)
+        choice = optimizer.choose_plan(pattern)
+        foreign = optimizer.choose_plan(other).best
+        with pytest.raises(ValueError, match="not among"):
+            choice.rank_of(foreign)
+
 
 class TestEndToEndValidation:
     @pytest.mark.parametrize(

@@ -1,0 +1,227 @@
+"""Unit tests of :class:`EstimationService` behavior (non-differential):
+update semantics, persistence/warm start, engine integration, guards."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_orgchart, paper_example_document
+from repro.histograms.store import SummaryFormatError
+from repro.predicates.base import TagPredicate
+from repro.service import EstimationService
+from repro.xmltree.tree import Document, Element
+
+
+def small_service(**kwargs) -> EstimationService:
+    kwargs.setdefault("grid_size", 6)
+    kwargs.setdefault("spacing", 32)
+    kwargs.setdefault("rebuild_threshold", 0.9)
+    return EstimationService(paper_example_document(), **kwargs)
+
+
+class TestConstruction:
+    def test_counts_match_document(self):
+        service = small_service()
+        assert len(service) == 31  # the paper's Fig. 1 document
+
+    def test_accepts_a_forest(self):
+        service = EstimationService(
+            [paper_example_document(), paper_example_document()], spacing=16
+        )
+        assert len(service) == 62
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            small_service(spacing=1)
+        with pytest.raises(ValueError):
+            small_service(rebuild_threshold=0.0)
+        with pytest.raises(ValueError):
+            small_service(rebuild_threshold=1.5)
+
+    def test_estimates_match_plain_estimator_semantics(self):
+        """With spacing, buckets differ from the dense labeling, but the
+        service still estimates sensibly and exactly answers reality."""
+        service = small_service()
+        assert service.real_answer("//faculty//name") > 0
+        assert service.estimate("//faculty//name").value > 0
+
+
+class TestInsert:
+    def test_insert_grows_document_and_answers(self):
+        service = small_service()
+        before = service.real_answer("//faculty//RA")
+        faculty = int(service.catalog.stats(TagPredicate("faculty")).node_indices[0])
+        result = service.insert_subtree(faculty, Element("RA"))
+        assert result.kind == "insert" and result.nodes == 1
+        assert service.real_answer("//faculty//RA") == before + 1
+
+    def test_insert_requires_detached_subtree(self):
+        service = small_service()
+        attached = service.tree.elements[3]
+        with pytest.raises(ValueError):
+            service.insert_subtree(0, attached)
+
+    def test_insert_by_element_reference(self):
+        service = small_service()
+        parent = service.tree.elements[0]
+        result = service.insert_subtree(parent, Element("appendix"))
+        assert result.nodes == 1
+        assert service.catalog.stats(TagPredicate("appendix")).count == 1
+
+    def test_labels_keep_invariants_after_inserts(self):
+        service = small_service()
+        for k in range(5):
+            service.insert_subtree(k, Element("note"))
+        service.tree.validate()
+
+    def test_insert_updates_cached_position_histogram_total(self):
+        service = small_service()
+        predicate = TagPredicate("TA")
+        before = service.position_histogram(predicate).total()
+        faculty = int(service.catalog.stats(TagPredicate("faculty")).node_indices[0])
+        service.insert_subtree(faculty, Element("TA"))
+        assert service.position_histogram(predicate).total() == before + 1
+
+
+class TestDelete:
+    def test_delete_removes_subtree_everywhere(self):
+        service = small_service()
+        predicate = TagPredicate("faculty")
+        victim = int(service.catalog.stats(predicate).node_indices[0])
+        size = service.tree.subtree_slice(victim)
+        expected_removed = size.stop - size.start
+        nodes_before = len(service)
+        result = service.delete_subtree(victim)
+        assert result.nodes == expected_removed
+        assert len(service) == nodes_before - expected_removed
+        service.tree.validate()
+
+    def test_delete_by_element_reference(self):
+        service = small_service()
+        element = service.tree.elements[5]
+        count_before = len(service)
+        service.delete_subtree(element)
+        assert len(service) < count_before
+        assert element.parent is None
+
+    def test_delete_can_restore_no_overlap(self):
+        document = Document()
+        root = Element("root")
+        document.append(root)
+        outer = Element("x")
+        inner = Element("x")
+        outer.append(inner)
+        root.append(outer)
+        root.append(Element("x"))
+        service = EstimationService(document, grid_size=4, spacing=16)
+        predicate = TagPredicate("x")
+        assert not service.catalog.stats(predicate).no_overlap
+        service.delete_subtree(inner)
+        assert service.catalog.stats(predicate).no_overlap
+        assert service.coverage_histogram(predicate) is not None
+
+    def test_out_of_range_index_rejected(self):
+        service = small_service()
+        with pytest.raises(IndexError):
+            service.delete_subtree(len(service) + 5)
+
+
+class TestEngineIntegration:
+    def test_execute_returns_exact_bindings_after_updates(self):
+        service = EstimationService(generate_orgchart(seed=2), spacing=32)
+        query = "//manager//employee"
+        outcome = service.execute(query)
+        assert len(outcome.bindings) == service.real_answer(query)
+        manager = int(service.catalog.stats(TagPredicate("manager")).node_indices[0])
+        service.insert_subtree(manager, Element("employee"))
+        outcome_after = service.execute(query)
+        assert len(outcome_after.bindings) == service.real_answer(query)
+        assert len(outcome_after.bindings) == len(outcome.bindings) + 1
+
+    def test_optimizer_is_reset_by_updates(self):
+        service = EstimationService(generate_orgchart(seed=2), spacing=32)
+        service.execute("//manager[.//email]//employee")
+        optimizer_before = service._optimizer
+        assert optimizer_before is not None
+        service.insert_subtree(0, Element("employee"))
+        assert service._optimizer is None  # stale size cache dropped
+
+
+class TestPersistence:
+    def test_save_and_warm_start_round_trip(self, tmp_path):
+        path = tmp_path / "stats.npz"
+        service = EstimationService(generate_orgchart(seed=5), grid_size=8, spacing=32)
+        for tag in ("manager", "employee", "department"):
+            service.position_histogram(TagPredicate(tag))
+        service.coverage_histogram(TagPredicate("department"))
+        written = service.save_statistics(path)
+        assert written == 3
+
+        warm = EstimationService.warm_start(
+            generate_orgchart(seed=5), path, spacing=32
+        )
+        # Histograms were installed, not rebuilt: cache is pre-populated.
+        assert TagPredicate("manager") in warm.estimator._position_cache
+        assert (
+            warm.estimate("//manager//employee").value
+            == service.estimate("//manager//employee").value
+        )
+        warm.differential_check(["//manager//employee"])
+
+    def test_warm_start_rejects_stale_statistics(self, tmp_path):
+        path = tmp_path / "stats.npz"
+        service = EstimationService(generate_orgchart(seed=5), spacing=32)
+        service.position_histogram(TagPredicate("manager"))
+        service.save_statistics(path)
+        with pytest.raises(SummaryFormatError, match="stale"):
+            EstimationService.warm_start(generate_orgchart(seed=6), path, spacing=32)
+        with pytest.raises(SummaryFormatError, match="stale"):
+            EstimationService.warm_start(generate_orgchart(seed=5), path, spacing=16)
+
+    def test_warm_start_rejects_same_size_different_content(self, tmp_path):
+        """Same element count => same label space; the fingerprint
+        (labels + tag sequence) must still catch the content change."""
+
+        def doc(tags):
+            document = Document()
+            root = Element("r")
+            document.append(root)
+            for tag in tags:
+                root.append(Element(tag))
+            return document
+
+        path = tmp_path / "stats.npz"
+        service = EstimationService(doc(["x", "x", "x", "y"]), spacing=16)
+        service.position_histogram(TagPredicate("y"))
+        service.save_statistics(path)
+        with pytest.raises(SummaryFormatError, match="fingerprint"):
+            EstimationService.warm_start(doc(["y", "y", "y", "x"]), path, spacing=16)
+
+    def test_warm_started_service_absorbs_updates(self, tmp_path):
+        path = tmp_path / "stats.npz"
+        service = EstimationService(generate_orgchart(seed=5), spacing=32)
+        service.position_histogram(TagPredicate("employee"))
+        service.save_statistics(path)
+        warm = EstimationService.warm_start(generate_orgchart(seed=5), path, spacing=32)
+        manager = int(warm.catalog.stats(TagPredicate("manager")).node_indices[0])
+        warm.insert_subtree(manager, Element("employee"))
+        warm.differential_check(["//manager//employee"])
+
+
+class TestRebuild:
+    def test_explicit_rebuild_reprimes_hot_summaries(self):
+        service = EstimationService(generate_orgchart(seed=4), spacing=32)
+        predicate = TagPredicate("employee")
+        service.position_histogram(predicate)
+        service.coverage_histogram(TagPredicate("email"))
+        service.rebuild()
+        assert predicate in service.estimator._position_cache
+        assert service.estimator._coverage_cache.get(TagPredicate("email"))
+        assert service.stats.rebuilds == 1
+        service.differential_check(["//department//employee", "//department//email"])
+
+    def test_rebuild_resets_dirty_fraction(self):
+        service = small_service()
+        service.insert_subtree(0, Element("note"))
+        assert service.dirty_fraction > 0
+        service.rebuild()
+        assert service.dirty_fraction == 0.0

@@ -1,8 +1,10 @@
-"""CLI tests: generate / stats / estimate round trips."""
+"""CLI tests: generate / stats / estimate / workload / serve round trips."""
+
+import argparse
 
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
 
 
 @pytest.fixture(scope="module")
@@ -101,6 +103,159 @@ class TestEstimate:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServe:
+    """Smoke tests of the online-service subcommand: every command of
+    the serve language, exit codes, and parseable one-line responses."""
+
+    def run_script(self, dataset_path, tmp_path, commands, extra_args=()):
+        script = tmp_path / "script.txt"
+        script.write_text("\n".join(commands) + "\n")
+        argv = ["serve", str(dataset_path), "--script", str(script), *extra_args]
+        return main(argv)
+
+    def test_estimate_and_exact(self, dataset_path, tmp_path, capsys):
+        code = self.run_script(
+            dataset_path,
+            tmp_path,
+            ["estimate //article//author", "exact //article//author"],
+            extra_args=["--grid", "8"],
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        estimate_line = next(l for l in lines if l.startswith("estimate "))
+        exact_line = next(l for l in lines if l.startswith("exact "))
+        assert float(estimate_line.split()[1]) > 0
+        assert int(exact_line.split()[1]) > 0
+
+    def test_update_commands_change_answers(self, dataset_path, tmp_path, capsys):
+        code = self.run_script(
+            dataset_path,
+            tmp_path,
+            [
+                "# a comment, skipped",
+                "exact //article//author",
+                "insert article <author>Extra Author</author>",
+                "exact //article//author",
+                "delete author 1",
+                "exact //article//author",
+                "stats",
+            ],
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        exacts = [int(l.split()[1]) for l in out.splitlines() if l.startswith("exact ")]
+        assert exacts[1] == exacts[0] + 1
+        assert exacts[2] == exacts[1] - 1
+        assert "ok insert 1 nodes" in out
+        assert "ok delete 1 nodes" in out
+        stats_line = next(
+            l for l in out.splitlines() if l.startswith("stats nodes=")
+        )
+        assert "dirty=" in stats_line and "rebuilds=" in stats_line
+
+    def test_errors_keep_serving_and_session_summary(
+        self, dataset_path, tmp_path, capsys
+    ):
+        code = self.run_script(
+            dataset_path,
+            tmp_path,
+            ["delete nosuchtag", "estimate //article//author", "quit", "stats"],
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "error:" in out  # bad command reported, stream continues
+        assert any(l.startswith("estimate ") for l in out.splitlines())
+        assert "session inserts=0 deletes=0" in out
+        assert "stats nodes=" not in out  # quit stops the stream
+
+    def test_save_and_warm_start_cycle(self, dataset_path, tmp_path, capsys):
+        store = tmp_path / "stats.npz"
+        code = self.run_script(
+            dataset_path,
+            tmp_path,
+            ["estimate //article//author", f"save {store}"],
+            extra_args=["--save-stats", str(store)],
+        )
+        assert code == 0
+        assert store.exists()
+        first = capsys.readouterr().out
+
+        code = self.run_script(
+            dataset_path,
+            tmp_path,
+            ["estimate //article//author"],
+            extra_args=["--warm-start", str(store)],
+        )
+        assert code == 0
+        second = capsys.readouterr().out
+        value_of = lambda out: next(
+            l for l in out.splitlines() if l.startswith("estimate ")
+        )
+        assert value_of(first) == value_of(second)
+
+    def test_warm_start_conflicts_with_grid_flags(
+        self, dataset_path, tmp_path, capsys
+    ):
+        store = tmp_path / "stats.npz"
+        assert (
+            self.run_script(
+                dataset_path, tmp_path, ["stats"], extra_args=["--save-stats", str(store)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = self.run_script(
+            dataset_path,
+            tmp_path,
+            ["stats"],
+            extra_args=["--warm-start", str(store), "--grid", "20"],
+        )
+        assert code == 2
+        assert "conflict" in capsys.readouterr().err
+
+
+class TestAllSubcommandsSmoke:
+    """Every subcommand runs to exit code 0 and prints parseable output
+    (the golden list: any new subcommand must be added here)."""
+
+    def test_subcommand_list_is_complete(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        assert sorted(subparsers.choices) == [
+            "estimate",
+            "generate",
+            "serve",
+            "stats",
+            "workload",
+        ]
+
+    def test_every_subcommand_smokes(self, dataset_path, tmp_path, capsys):
+        script = tmp_path / "s.txt"
+        script.write_text("stats\n")
+        runs = [
+            (["generate", "paper-example", "--out", str(tmp_path / "p.xml")], "elements"),
+            (["stats", str(dataset_path), "--grid", "6"], "Predicate"),
+            (["estimate", str(dataset_path), "//article//author"], ""),
+            (
+                ["workload", str(dataset_path), "--count", "4", "--grid", "5"],
+                "geo-mean q",
+            ),
+            (
+                ["serve", str(dataset_path), "--script", str(script)],
+                "stats nodes=",
+            ),
+        ]
+        for argv, needle in runs:
+            assert main(argv) == 0, argv
+            out = capsys.readouterr().out
+            assert out.strip(), argv
+            if needle:
+                assert needle in out, argv
 
 
 class TestWorkload:

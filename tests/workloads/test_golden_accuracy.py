@@ -1,0 +1,81 @@
+"""Golden accuracy regression tests.
+
+Each case runs a fixed seeded random-twig workload over a fixed dataset
+and pins the resulting q-error percentile summary
+(:class:`~repro.workloads.metrics.ErrorSummary`).  Generation, labeling,
+histogram construction, and every estimator are deterministic, so these
+values are exact (compared after rounding to 4 decimals only to keep the
+pins readable); any change that silently degrades -- or even shifts --
+estimator accuracy fails here and must update the goldens consciously.
+"""
+
+import pytest
+
+from repro.datasets import generate_orgchart, generate_xmark, paper_example_document
+from repro.estimation import AnswerSizeEstimator
+from repro.labeling import label_document
+from repro.workloads import ErrorSummary, RandomTwigGenerator
+
+# (dataset, grid, workload seed, query count, max twig size) -> pinned
+# (geo-mean, median, p90, p99, worst) q-errors, rounded to 4 decimals.
+GOLDEN = {
+    "paper_example": ((6, 11, 24, 3), (1.1209, 1.0, 1.44, 2.0, 2.0)),
+    "orgchart": ((10, 5, 30, 4), (2.9785, 2.381, 8.5625, 94.6231, 94.6231)),
+    "xmark": ((10, 9, 30, 4), (1.3534, 1.2597, 2.0093, 3.0, 3.0)),
+}
+
+
+def make_document(name):
+    if name == "paper_example":
+        return paper_example_document()
+    if name == "orgchart":
+        return generate_orgchart(seed=3)
+    return generate_xmark(seed=2, scale=0.05)
+
+
+def run_workload(name) -> ErrorSummary:
+    grid, seed, count, max_size = GOLDEN[name][0]
+    tree = label_document(make_document(name))
+    estimator = AnswerSizeEstimator(tree, grid_size=grid)
+    generator = RandomTwigGenerator(tree, seed=seed)
+    workload = generator.workload(count, min_size=2, max_size=max_size)
+    pairs = [
+        (estimator.estimate(pattern).value, float(estimator.real_answer(pattern)))
+        for pattern in workload
+    ]
+    return ErrorSummary.from_pairs(pairs)
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_qerror_summary_is_pinned(name):
+    (_, _, count, _), expected = GOLDEN[name]
+    summary = run_workload(name)
+    assert summary.count == count
+    observed = (
+        round(summary.geometric_mean, 4),
+        round(summary.median, 4),
+        round(summary.p90, 4),
+        round(summary.p99, 4),
+        round(summary.worst, 4),
+    )
+    assert observed == expected, (
+        f"{name}: accuracy moved from the golden summary.\n"
+        f"  pinned:   {expected}\n"
+        f"  observed: {observed}\n"
+        "If the shift is intentional (estimator change), update GOLDEN."
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_batched_estimation_matches_golden_path(name):
+    """estimate_many must not change workload accuracy (same numbers)."""
+    grid, seed, count, max_size = GOLDEN[name][0]
+    tree = label_document(make_document(name))
+    estimator = AnswerSizeEstimator(tree, grid_size=grid)
+    generator = RandomTwigGenerator(tree, seed=seed)
+    workload = generator.workload(count, min_size=2, max_size=max_size)
+    sequential = [estimator.estimate(pattern).value for pattern in workload]
+    fresh = AnswerSizeEstimator(label_document(make_document(name)), grid_size=grid)
+    batched = [r.value for r in fresh.estimate_many(workload)]
+    for s, b in zip(sequential, batched):
+        assert abs(s - b) <= 1e-9 * max(1.0, abs(s))
