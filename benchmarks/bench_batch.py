@@ -1,0 +1,311 @@
+"""Batch-tier benchmark: batched updates and sharded statistics builds.
+
+Two measurements over a DBLP-scale tree (>= 1e5 nodes in the full run):
+
+* **batched vs. per-update application** -- the same element-addressed
+  update stream (mixed subtree inserts and deletes) applied through
+  ``insert_subtree``/``delete_subtree`` one call at a time, and through
+  ``apply_batch`` in fixed-size batches.  Both sides finish in exactly
+  the same database state; before timing is trusted, both must pass
+  ``differential_check`` (every maintained summary bit-identical to a
+  from-scratch build).  Target: >= 5x more updates/second batched.
+
+* **sharded parallel build vs. the serial build path** -- the full
+  statistics set (labels, per-tag catalog index, per-tag position
+  histograms, TRUE, coverage for every no-overlap tag) built the way
+  the service's rebuild worked before the batch tier existed (Python
+  DFS relabel + lazy per-predicate builds), against the sharded path
+  (vectorised arithmetic relabel + per-shard builds merged by integer
+  addition) on a 4-worker process pool.  The sharded result is checked
+  cell-for-cell against the serial one before timing.  Target: >= 2x.
+  (On a single-core host the win comes from the vectorised relabel and
+  the nearest-member coverage formulation; extra cores scale the shard
+  phase on top.)
+
+Writes a ``BENCH_batch.json`` artifact; the full run asserts the
+acceptance bars.
+
+Run:  python benchmarks/bench_batch.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.datasets import generate_dblp  # noqa: E402
+from repro.estimation import AnswerSizeEstimator  # noqa: E402
+from repro.histograms.coverage import build_coverage_numerators  # noqa: E402
+from repro.histograms.parallel import build_statistics_parallel, create_pool  # noqa: E402
+from repro.labeling import label_forest, relabel_preorder  # noqa: E402
+from repro.predicates.base import TagPredicate  # noqa: E402
+from repro.service import DeleteOp, EstimationService, InsertOp  # noqa: E402
+from repro.xmltree.tree import Element  # noqa: E402
+
+HOT_TAGS = ["article", "author", "title", "cite"]
+QUERIES = ["//article//author", "//article//cite", "//dblp//title"]
+
+
+def make_subtree(size: int) -> Element:
+    root = Element("note")
+    for k in range(size):
+        author = Element("author")
+        author.append_text(f"Author {k}")
+        root.append(author)
+    return root
+
+
+def prime(service: EstimationService) -> None:
+    for tag in HOT_TAGS:
+        service.position_histogram(TagPredicate(tag))
+    service.coverage_histogram(TagPredicate("article"))
+    _ = service.estimator.true_histogram
+
+
+def update_stream(rng: random.Random, count: int, article_count: int):
+    """``(kind, article_ordinal, subtree_size)`` descriptions.
+
+    Article ordinals are sampled without replacement so no article is
+    updated twice: the stream replays identically element-addressed on
+    any equal document, and neither side hits a gap-exhaustion rebuild
+    (which would re-bucket labels and make the comparison about rebuild
+    timing instead of maintenance cost).
+    """
+    ordinals = rng.sample(range(article_count), count)
+    ops = []
+    for ordinal in ordinals:
+        if rng.random() < 0.6:
+            ops.append(("insert", ordinal, rng.randrange(1, 4)))
+        else:
+            ops.append(("delete", ordinal, 0))
+    return ops
+
+
+def resolve_targets(service: EstimationService, ops):
+    """Element handles for the whole stream, against the initial state.
+
+    Valid because each article is targeted at most once: a handle can
+    only go stale if an earlier op deletes its subtree.
+    """
+    articles = service.catalog.stats(TagPredicate("article")).node_indices
+    resolved = []
+    for kind, ordinal, size in ops:
+        element = service.tree.elements[int(articles[ordinal])]
+        resolved.append((kind, element, size))
+    return resolved
+
+
+def run_sequential(document, ops, batch_size):
+    service = EstimationService(document, grid_size=10, spacing=64)
+    prime(service)
+    stream = resolve_targets(service, ops)
+    elapsed = 0.0
+    for start in range(0, len(stream), batch_size):
+        t0 = time.perf_counter()
+        for kind, element, size in stream[start : start + batch_size]:
+            if kind == "insert":
+                service.insert_subtree(element, make_subtree(size))
+            else:
+                service.delete_subtree(element)
+        elapsed += time.perf_counter() - t0
+    service.differential_check(QUERIES)
+    return service, {
+        "updates": len(ops),
+        "update_seconds": elapsed,
+        "updates_per_sec": len(ops) / elapsed,
+        "rebuilds": service.stats.rebuilds,
+        "final_nodes": len(service),
+    }
+
+
+def run_batched(document, ops, batch_size):
+    service = EstimationService(document, grid_size=10, spacing=64)
+    prime(service)
+    stream = resolve_targets(service, ops)
+    elapsed = 0.0
+    batches = 0
+    for start in range(0, len(stream), batch_size):
+        batch = [
+            InsertOp(element, make_subtree(size))
+            if kind == "insert"
+            else DeleteOp(element)
+            for kind, element, size in stream[start : start + batch_size]
+        ]
+        t0 = time.perf_counter()
+        service.apply_batch(batch)
+        elapsed += time.perf_counter() - t0
+        batches += 1
+    service.differential_check(QUERIES)
+    return service, {
+        "updates": len(ops),
+        "batches": batches,
+        "batch_size": batch_size,
+        "update_seconds": elapsed,
+        "updates_per_sec": len(ops) / elapsed,
+        "rebuilds": service.stats.rebuilds,
+        "final_nodes": len(service),
+    }
+
+
+def serial_full_build(documents, grid_size):
+    """The pre-batch-tier build path: DFS labeling + lazy per-predicate
+    builds of everything the service serves."""
+    tree = label_forest(documents, spacing=64)
+    estimator = AnswerSizeEstimator(tree, grid_size=grid_size)
+    rows = estimator.catalog.register_all_tags()
+    for row in rows:
+        estimator.position_histogram(row.predicate)
+    _ = estimator.true_histogram
+    for row in rows:
+        if row.no_overlap:
+            estimator.coverage_histogram(row.predicate)
+    return tree, estimator
+
+
+def check_build_identity(tree, estimator, built):
+    rows = list(estimator.catalog)
+    assert set(built.tag_indices) == {row.predicate.name for row in rows}
+    for row in rows:
+        tag = row.predicate.name
+        assert np.array_equal(built.tag_indices[tag], row.node_indices), tag
+        assert built.no_overlap[tag] == row.no_overlap, tag
+        assert dict(built.position[tag].cells()) == dict(
+            estimator.position_histogram(row.predicate).cells()
+        ), tag
+        if row.no_overlap:
+            assert built.coverage_numerators[tag] == build_coverage_numerators(
+                tree, row.node_indices, estimator.grid
+            ), tag
+    assert dict(built.true_histogram.cells()) == dict(
+        estimator.true_histogram.cells()
+    )
+
+
+def bench_parallel_build(documents, grid_size, workers, repeats):
+    serial_seconds = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        tree, estimator = serial_full_build(documents, grid_size)
+        serial_seconds.append(time.perf_counter() - t0)
+
+    pool = create_pool(workers)
+    try:
+        built = build_statistics_parallel(
+            tree, estimator.grid, n_workers=workers, pool=pool
+        )
+        check_build_identity(tree, estimator, built)
+        sharded_seconds = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            relabel_preorder(tree, spacing=64)
+            built = build_statistics_parallel(
+                tree, estimator.grid, n_workers=workers, pool=pool
+            )
+            sharded_seconds.append(time.perf_counter() - t0)
+    finally:
+        pool.terminate()
+        pool.join()
+
+    serial_best = min(serial_seconds)
+    sharded_best = min(sharded_seconds)
+    return {
+        "workers": workers,
+        "shards": built.shards,
+        "repeats": repeats,
+        "serial_seconds": serial_best,
+        "sharded_seconds": sharded_best,
+        "speedup": serial_best / sharded_best,
+        "bit_identical": True,
+        "tags": len(built.tag_indices),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small tree / fewer ops (CI smoke)"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_batch.json"),
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+
+    # Quick mode still needs enough tree for the sharded build's win to
+    # clear pool overhead with margin (the CI floor guard wants >= 1x).
+    scale = 0.6 if args.quick else 2.2
+    op_count = 40 if args.quick else 320
+    batch_size = 20 if args.quick else 80
+    repeats = 3 if args.quick else 3
+
+    rng = random.Random(11)
+    document = generate_dblp(seed=7, scale=scale)
+    nodes = document.count_nodes()
+    article_count = sum(1 for e in document.iter_elements() if e.tag == "article")
+    print(f"synthetic dblp tree: {nodes} nodes, {article_count} articles (scale {scale})")
+
+    ops = update_stream(rng, op_count, article_count)
+
+    _, sequential = run_sequential(generate_dblp(seed=7, scale=scale), ops, batch_size)
+    print(
+        f"per-update       {sequential['updates']:4d} updates  "
+        f"{sequential['updates_per_sec']:10.1f} updates/s  "
+        f"(differential check passed, {sequential['rebuilds']} rebuilds)"
+    )
+    batched_service, batched = run_batched(
+        generate_dblp(seed=7, scale=scale), ops, batch_size
+    )
+    print(
+        f"batched x{batched['batch_size']:<4d}    {batched['updates']:4d} updates  "
+        f"{batched['updates_per_sec']:10.1f} updates/s  "
+        f"(differential check passed, {batched['rebuilds']} rebuilds)"
+    )
+    assert batched["final_nodes"] == sequential["final_nodes"]
+    update_speedup = batched["updates_per_sec"] / sequential["updates_per_sec"]
+    print(f"batched update speedup: {update_speedup:.1f}x")
+
+    build = bench_parallel_build([generate_dblp(seed=7, scale=scale)], 10, 4, repeats)
+    print(
+        f"statistics build: serial {build['serial_seconds']:.3f}s, "
+        f"sharded x{build['workers']} {build['sharded_seconds']:.3f}s "
+        f"-> {build['speedup']:.1f}x (bit-identical over {build['tags']} tags)"
+    )
+
+    artifact = {
+        "meta": {
+            "nodes": nodes,
+            "articles": article_count,
+            "quick": args.quick,
+            "grid": 10,
+            "seed": 11,
+        },
+        "per_update": sequential,
+        "batched": batched,
+        "batched_update_speedup": update_speedup,
+        "parallel_build": build,
+    }
+    Path(args.out).write_text(json.dumps(artifact, indent=1) + "\n")
+    print(f"wrote {args.out}")
+
+    if not args.quick:
+        assert nodes >= 100_000, f"full run must cover >= 1e5 nodes, got {nodes}"
+        assert update_speedup >= 5.0, (
+            f"batched speedup {update_speedup:.1f}x below the 5x acceptance bar"
+        )
+        assert build["speedup"] >= 2.0, (
+            f"build speedup {build['speedup']:.1f}x below the 2x acceptance bar"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

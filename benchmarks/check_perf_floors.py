@@ -1,0 +1,76 @@
+"""Perf floor guard for CI: no recorded speedup may fall below 1.0.
+
+Reads one or more benchmark JSON artifacts (``BENCH_hotpaths.json``,
+``BENCH_batch.json``, ...) and collects every numeric value stored
+under a key named ``speedup`` or ending in ``_speedup``, at any
+nesting depth.  A value below the floor means a "fast path" got slower
+than the baseline it exists to beat -- the guard fails the build
+rather than letting the regression ride along silently.
+
+Run:  python benchmarks/check_perf_floors.py BENCH_hotpaths.json BENCH_batch.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+FLOOR = 1.0
+
+
+def collect_speedups(payload, path=""):
+    """Yield ``(json_path, value)`` for every recorded speedup."""
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            where = f"{path}.{key}" if path else key
+            if (key == "speedup" or key.endswith("_speedup")) and isinstance(
+                value, (int, float)
+            ):
+                yield where, float(value)
+            else:
+                yield from collect_speedups(value, where)
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            yield from collect_speedups(value, f"{path}[{index}]")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifacts", nargs="+", help="benchmark JSON files")
+    parser.add_argument(
+        "--floor", type=float, default=FLOOR, help="minimum allowed speedup"
+    )
+    args = parser.parse_args(argv)
+
+    failures = []
+    total = 0
+    for artifact in args.artifacts:
+        path = Path(artifact)
+        if not path.exists():
+            print(f"perf floor: MISSING artifact {artifact}")
+            failures.append((artifact, "missing"))
+            continue
+        payload = json.loads(path.read_text())
+        found = list(collect_speedups(payload))
+        if not found:
+            print(f"perf floor: {artifact} records no speedups")
+            failures.append((artifact, "no speedups recorded"))
+            continue
+        for where, value in found:
+            total += 1
+            status = "ok" if value >= args.floor else "FAIL"
+            print(f"perf floor: {artifact}:{where} = {value:.2f}x {status}")
+            if value < args.floor:
+                failures.append((f"{artifact}:{where}", value))
+
+    if failures:
+        print(f"perf floor: {len(failures)} failure(s) below {args.floor:.1f}x")
+        return 1
+    print(f"perf floor: all {total} recorded speedups >= {args.floor:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,11 @@ Commands cover the practical workflow:
 * ``workload`` -- q-error percentiles over a random twig workload;
 * ``serve`` -- run the online :class:`~repro.service.EstimationService`
   over a file, applying update/estimate commands from a script or
-  stdin, with optional statistics persistence and warm start.
+  stdin, with optional statistics persistence, warm start, and batched
+  update ingestion (``--batch-size``);
+* ``build`` -- build the full statistics set over an XML file (sharded
+  across ``--workers`` processes) and persist it as a binary store for
+  later ``serve --warm-start``.
 
 Examples
 --------
@@ -21,6 +25,8 @@ Examples
     python -m repro stats dblp.xml
     python -m repro estimate dblp.xml "//article//author" --grid 10 --compare
     echo 'estimate //article//author' | python -m repro serve dblp.xml
+    python -m repro build dblp.xml --out dblp.npz --workers 4
+    python -m repro serve dblp.xml --warm-start dblp.npz --batch-size 64
 """
 
 from __future__ import annotations
@@ -144,6 +150,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-stats",
         default=None,
         help="write the final statistics to this .npz path on exit",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="coalesce up to N consecutive insert/delete commands into "
+        "one apply_batch call (1 = apply each update immediately)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard statistics rebuilds over N worker processes",
+    )
+
+    build = commands.add_parser(
+        "build",
+        help="build the full statistics set (sharded across worker "
+        "processes) and persist it as a binary .npz store",
+    )
+    build.add_argument("data", help="XML file path")
+    build.add_argument("--out", required=True, help="output .npz store path")
+    build.add_argument("--grid", type=int, default=10, help="grid side g")
+    build.add_argument(
+        "--grid-kind",
+        choices=["uniform", "equi-depth"],
+        default="uniform",
+        help="bucket boundary placement",
+    )
+    build.add_argument(
+        "--spacing", type=int, default=64, help="label gap factor for inserts"
+    )
+    build.add_argument(
+        "--workers", type=int, default=1, help="shard count / worker processes"
     )
     return parser
 
@@ -286,9 +326,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     Every response is a single parseable line; errors are reported as
     ``error: ...`` and the stream continues.
+
+    With ``--batch-size N > 1``, consecutive insert/delete commands are
+    queued (response ``queued ...``) and applied as one
+    :meth:`~repro.service.EstimationService.apply_batch` call when the
+    queue reaches N commands, a read command arrives, or the stream
+    ends (response ``ok batch ...``).  Update targets resolve when the
+    batch flushes, against the database state the batch started from.
     """
     from repro.service import EstimationService
 
+    if args.batch_size < 1:
+        print("error: --batch-size must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     text = Path(args.data).read_text()
     document = parse_document(text)
     if args.warm_start:
@@ -304,6 +357,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             args.warm_start,
             spacing=args.spacing,
             rebuild_threshold=args.rebuild_threshold,
+            n_workers=args.workers,
         )
     else:
         service = EstimationService(
@@ -312,6 +366,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             grid=args.grid_kind if args.grid_kind is not None else "uniform",
             spacing=args.spacing,
             rebuild_threshold=args.rebuild_threshold,
+            n_workers=args.workers,
         )
     print(f"serving {args.data}: {len(service):,} elements, grid {service.estimator.grid.size}")
 
@@ -319,27 +374,100 @@ def cmd_serve(args: argparse.Namespace) -> int:
         lines = Path(args.script).read_text().splitlines()
     else:
         lines = sys.stdin
+    queue: list[tuple] = []
     for raw in lines:
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
         if line == "quit":
             break
+        command = line.split(None, 1)[0]
+        if args.batch_size > 1 and command in ("insert", "delete"):
+            try:
+                queue.append(_parse_update(line))
+                response = f"queued {command} ({len(queue)}/{args.batch_size})"
+                if len(queue) >= args.batch_size:
+                    response = _flush_updates(service, queue)
+            except Exception as exc:  # drop the poisoned batch, keep serving
+                response = f"error: {exc}"
+            print(response)
+            continue
+        if queue:  # read commands see all queued updates applied
+            try:
+                print(_flush_updates(service, queue))
+            except Exception as exc:
+                print(f"error: {exc}")
         try:
             response = _serve_command(service, line)
         except Exception as exc:  # keep serving; report the failure
             response = f"error: {exc}"
         print(response)
+    if queue:
+        try:
+            print(_flush_updates(service, queue))
+        except Exception as exc:
+            print(f"error: {exc}")
 
     stats = service.stats
     print(
         f"session inserts={stats.inserts} deletes={stats.deletes} "
-        f"rebuilds={stats.rebuilds} nodes={len(service)}"
+        f"rebuilds={stats.rebuilds} batches={stats.batches} nodes={len(service)}"
     )
     if args.save_stats:
         written = service.save_statistics(args.save_stats)
         print(f"saved {written} predicate summaries to {args.save_stats}")
+    service.close()
     return 0
+
+
+def _parse_update(line: str) -> tuple:
+    """Validate and parse one insert/delete command into a description
+    resolvable at flush time."""
+    command, _, rest = line.partition(" ")
+    rest = rest.strip()
+    if command == "insert":
+        tag, _, xml = rest.partition(" ")
+        if not tag or not xml.strip():
+            raise ValueError("usage: insert <parent-tag> <xml-snippet>")
+        snippet = parse_document(xml.strip())
+        subtree = snippet.root_element
+        snippet.children.remove(subtree)
+        subtree.parent = None
+        return ("insert", tag, subtree)
+    parts = rest.split()
+    if not parts:
+        raise ValueError("usage: delete <tag> [ordinal]")
+    ordinal = int(parts[1]) if len(parts) > 1 else 1
+    return ("delete", parts[0], ordinal)
+
+
+def _flush_updates(service, queue: list[tuple]) -> str:
+    """Apply the queued updates as one batch; targets resolve now.
+
+    The queue empties regardless of outcome: a batch that fails to
+    resolve is dropped (and reported) rather than poisoning later
+    flushes.
+    """
+    from repro.service.batch import DeleteOp, InsertOp
+
+    descriptions = list(queue)
+    queue.clear()
+    ops = []
+    for description in descriptions:
+        if description[0] == "insert":
+            parent = service.tree.elements[_nth_element(service, description[1], 1)]
+            ops.append(InsertOp(parent, description[2]))
+        else:
+            victim = service.tree.elements[
+                _nth_element(service, description[1], description[2])
+            ]
+            ops.append(DeleteOp(victim))
+    result = service.apply_batch(ops)
+    mode = "rebuild" if result.rebuilt else "incremental"
+    return (
+        f"ok batch {result.ops} ops +{result.nodes_inserted}"
+        f"/-{result.nodes_deleted} nodes ({mode})"
+    )
 
 
 def _serve_command(service, line: str) -> str:
@@ -355,14 +483,8 @@ def _serve_command(service, line: str) -> str:
             raise ValueError("usage: exact <query>")
         return f"exact {service.real_answer(rest)}"
     if command == "insert":
-        tag, _, xml = rest.partition(" ")
-        if not tag or not xml.strip():
-            raise ValueError("usage: insert <parent-tag> <xml-snippet>")
+        _, tag, subtree = _parse_update(line)
         parent = _nth_element(service, tag, 1)
-        snippet = parse_document(xml.strip())
-        subtree = snippet.root_element
-        snippet.children.remove(subtree)
-        subtree.parent = None
         result = service.insert_subtree(parent, subtree)
         mode = "rebuild" if result.rebuilt else "incremental"
         return f"ok insert {result.nodes} nodes ({mode})"
@@ -402,6 +524,52 @@ def _nth_element(service, tag: str, ordinal: int) -> int:
     return int(indices[ordinal - 1])
 
 
+def cmd_build(args: argparse.Namespace) -> int:
+    """Build the full per-tag statistics set and persist it.
+
+    With ``--workers N > 1`` the build shards over N worker processes
+    (vectorised relabel + per-shard histogram/coverage/catalog builds
+    merged by integer addition); the result is bit-identical to the
+    serial build, so stores are interchangeable.
+    """
+    import time
+
+    from repro.service import EstimationService
+
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    text = Path(args.data).read_text()
+    document = parse_document(text)
+    started = time.perf_counter()
+    service = EstimationService(
+        document,
+        grid_size=args.grid,
+        grid=args.grid_kind,
+        spacing=args.spacing,
+        n_workers=args.workers,
+    )
+    if args.workers <= 1:
+        # The sharded path primes everything at construction; the lazy
+        # serial path needs explicit priming to produce a full store.
+        for stats in service.catalog.register_all_tags():
+            service.position_histogram(stats.predicate)
+            service.coverage_histogram(stats.predicate)
+        _ = service.estimator.true_histogram
+    elapsed = time.perf_counter() - started
+    written = service.save_statistics(args.out)
+    size = Path(args.out).stat().st_size
+    tags = len(service.catalog.tag_indices())
+    print(
+        f"built statistics over {len(service):,} elements "
+        f"({tags} tags, grid {args.grid}, {args.workers} worker(s)) "
+        f"in {elapsed:.3f}s"
+    )
+    print(f"saved {written} predicate summaries ({size:,} bytes) to {args.out}")
+    service.close()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -411,6 +579,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "estimate": cmd_estimate,
         "workload": cmd_workload,
         "serve": cmd_serve,
+        "build": cmd_build,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,404 @@
+"""Sharded (optionally multi-process) construction of the statistics set.
+
+The offline builders construct each summary lazily, one predicate at a
+time, re-walking the label arrays per predicate; the online service's
+rebuild path cannot afford that.  This module builds *everything the
+service serves* -- per-tag catalog index arrays, per-tag position
+histograms, the TRUE histogram, and integer coverage numerators for
+every no-overlap tag -- in one sharded pass:
+
+* the forest is partitioned into **unit subtrees** (document roots,
+  recursively split into their children while shards are scarce), so
+  every ancestor/descendant relationship is contained in one shard and
+  per-shard results merge by plain integer addition;
+* the handful of **spine** nodes above the units (at most the split
+  roots) are accounted for by the parent process directly;
+* each shard is a pure function of numpy slices -- no tree objects
+  cross the process boundary -- so the work distributes over a
+  ``multiprocessing`` pool and degrades gracefully to in-process
+  execution when no pool is available (``n_workers=1``, restricted
+  sandboxes);
+* coverage numerators use the no-overlap nearest-member formulation:
+  a node's unique covering predicate node is the member with the
+  greatest ``start`` at or below its own, found by one ``searchsorted``
+  per tag instead of materialising every (ancestor, descendant) pair.
+
+Every produced structure is **bit-identical** to its lazily built
+serial counterpart (integer counts, same label arithmetic), which the
+parallel-build test suite pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.histograms.coverage import CellPair
+from repro.histograms.grid import GridSpec
+from repro.histograms.position import PositionHistogram
+from repro.labeling.interval import LabeledTree
+from repro.utils.arrays import group_by_code
+
+
+@dataclass
+class BuiltStatistics:
+    """Everything one sharded build pass produces.
+
+    ``coverage_numerators`` only holds tags whose node set has the
+    no-overlap property in the data (the only tags the estimators build
+    coverage for); ``tag_indices`` arrays are sorted ascending and
+    write-protected, ready to hand to a
+    :class:`~repro.predicates.catalog.PredicateCatalog`.
+    """
+
+    grid: GridSpec
+    tag_indices: dict[str, np.ndarray]
+    no_overlap: dict[str, bool]
+    position: dict[str, PositionHistogram]
+    true_histogram: PositionHistogram
+    coverage_numerators: dict[str, dict[CellPair, int]]
+    shards: int
+    workers: int
+
+
+def covering_members(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    members: np.ndarray,
+    nodes: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Each node's unique covering member, for no-overlap member sets.
+
+    ``members`` and ``nodes`` index rows of ``starts``/``ends``;
+    members must be ascending and pairwise non-nested, so a node has at
+    most one covering member: the member with the greatest start at or
+    below the node's own start whose end strictly exceeds the node's
+    end (a node never covers itself -- equal ends fail the strict
+    check).  Returns the covered subset of ``nodes`` and its aligned
+    covering members.  This is the one searchsorted kernel shared by
+    the sharded builder and the batch coverage patches.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    if members.size == 0 or nodes.size == 0:
+        return empty, empty
+    candidate = np.searchsorted(starts[members], starts[nodes], side="right") - 1
+    has = candidate >= 0
+    covered = np.zeros(len(nodes), dtype=bool)
+    covered[has] = ends[members[candidate[has]]] > ends[nodes[has]]
+    slots = np.flatnonzero(covered)
+    return nodes[slots], members[candidate[slots]]
+
+
+def nearest_member_pairs(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    member_slots: np.ndarray,
+    cell_codes: np.ndarray,
+    grid_cells: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Coverage pair counts for a no-overlap member set, vectorised.
+
+    Returns ``(pair_keys, counts)`` over all of ``starts``'s rows, with
+    ``pair_key = covered_cell * grid_cells + covering_cell``.
+    """
+    nodes, covering = covering_members(
+        starts, ends, member_slots, np.arange(len(starts), dtype=np.int64)
+    )
+    if nodes.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    keys = cell_codes[nodes] * grid_cells + cell_codes[covering]
+    return np.unique(keys, return_counts=True)
+
+
+def _build_shard(payload: tuple) -> dict:
+    """Build one shard's statistics from pure arrays (worker side).
+
+    The payload carries concatenated slices of the label table for the
+    shard's unit subtrees: ``starts``/``ends``/``codes`` aligned with
+    ``global_index`` (the nodes' pre-order indices in the full tree).
+    Coverage pairs are computed for every tag; the parent discards the
+    tags that turn out to overlap globally before anything merges.
+    """
+    starts, ends, codes, global_index, grid = payload
+    g = grid.size
+    g2 = g * g
+    cols = grid.buckets(starts)
+    rows = grid.buckets(ends)
+    cell_codes = cols * g + rows
+    true_keys, true_counts = np.unique(cell_codes, return_counts=True)
+
+    tag_members: dict[int, np.ndarray] = {}
+    position_cells: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    coverage_cells: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    for code, slots in group_by_code(codes).items():
+        tag_members[code] = global_index[slots]
+        position_cells[code] = np.unique(cell_codes[slots], return_counts=True)
+        pairs = nearest_member_pairs(starts, ends, slots, cell_codes, g2)
+        if pairs[0].size:
+            coverage_cells[code] = pairs
+    return {
+        "true": (true_keys, true_counts),
+        "tag_members": tag_members,
+        "position": position_cells,
+        "coverage": coverage_cells,
+    }
+
+
+def partition_units(
+    tree: LabeledTree, n_shards: int
+) -> tuple[list[list[tuple[int, int]]], np.ndarray]:
+    """Split the forest into per-shard unit-subtree ranges plus a spine.
+
+    Starts from the root subtrees (the literal "partition the forest by
+    root subtrees"); while there are fewer units than ``2 * n_shards``,
+    the largest unit is replaced by its children and its own node joins
+    the spine, so even a single-rooted document shards evenly.  Units
+    are assigned to shards greedily in pre-order, balancing total node
+    count, and each shard's units are coalesced into ``(lo, hi)``
+    pre-order ranges.  Returns ``(shard_ranges, spine_indices)``.
+    """
+    n = len(tree)
+    if n == 0:
+        return [[] for _ in range(n_shards)], np.empty(0, dtype=np.int64)
+    subtree_hi = np.searchsorted(tree.start, tree.end)
+    units = [int(i) for i in np.flatnonzero(tree.parent_index == -1)]
+    spine: list[int] = []
+    for _ in range(64):  # bounded: each round splits one unit
+        if len(units) >= 2 * n_shards:
+            break
+        sizes = [int(subtree_hi[u]) - u for u in units]
+        biggest = max(range(len(units)), key=sizes.__getitem__)
+        if sizes[biggest] <= 1:
+            break
+        u = units[biggest]
+        block = tree.parent_index[u + 1 : int(subtree_hi[u])]
+        children = (u + 1 + np.flatnonzero(block == u)).tolist()
+        if not children:
+            break
+        spine.append(u)
+        units[biggest : biggest + 1] = children
+    units.sort()
+
+    total = sum(int(subtree_hi[u]) - u for u in units)
+    target = max(1, total // n_shards)
+    shard_ranges: list[list[tuple[int, int]]] = []
+    current: list[tuple[int, int]] = []
+    acc = 0
+    for u in units:
+        lo, hi = u, int(subtree_hi[u])
+        if current and current[-1][1] == lo:
+            current[-1] = (current[-1][0], hi)  # coalesce adjacent units
+        else:
+            current.append((lo, hi))
+        acc += hi - lo
+        if acc >= target and len(shard_ranges) < n_shards - 1:
+            shard_ranges.append(current)
+            current, acc = [], 0
+    shard_ranges.append(current)
+    while len(shard_ranges) < n_shards:
+        shard_ranges.append([])
+    return shard_ranges, np.asarray(sorted(spine), dtype=np.int64)
+
+
+def _tag_codes(
+    tree: LabeledTree, tag_indices: Optional[dict[str, np.ndarray]]
+) -> tuple[np.ndarray, list[str]]:
+    """Per-node tag codes, scattering from maintained per-tag indices
+    when a catalog already has them (the rebuild path skips the Python
+    element scan entirely)."""
+    if tag_indices is not None:
+        names = sorted(tag_indices)
+        codes = np.empty(len(tree), dtype=np.int64)
+        for code, tag in enumerate(names):
+            codes[tag_indices[tag]] = code
+        return codes, names
+    code_of: dict[str, int] = {}
+    codes = np.fromiter(
+        (code_of.setdefault(e.tag, len(code_of)) for e in tree.elements),
+        dtype=np.int64,
+        count=len(tree.elements),
+    )
+    names = [tag for tag, _ in sorted(code_of.items(), key=lambda kv: kv[1])]
+    return codes, names
+
+
+def build_statistics_parallel(
+    tree: LabeledTree,
+    grid: GridSpec,
+    n_workers: int = 1,
+    pool=None,
+    tag_indices: Optional[dict[str, np.ndarray]] = None,
+) -> BuiltStatistics:
+    """Build the full per-tag statistics set over ``tree``, sharded.
+
+    Parameters
+    ----------
+    tree, grid:
+        The labeled forest and the histogram grid to bucket into (any
+        :class:`GridSpec`, including equi-depth boundaries).
+    n_workers:
+        Number of shards; with ``n_workers > 1`` the shards run on a
+        ``multiprocessing`` pool (fork context when available).  Falls
+        back to in-process shard execution when no pool can be created.
+    pool:
+        An existing ``multiprocessing.Pool`` to reuse (the service keeps
+        one warm across rebuilds); ownership stays with the caller.
+    tag_indices:
+        Maintained per-tag index arrays to derive tag codes from,
+        skipping the per-element Python scan (rebuilds pass the
+        catalog's live index, cold starts leave this ``None``).
+    """
+    from repro.predicates.catalog import detect_no_overlap
+
+    n_workers = max(1, int(n_workers))
+    codes, names = _tag_codes(tree, tag_indices)
+    g = grid.size
+    g2 = g * g
+
+    shard_ranges, spine = partition_units(tree, n_workers)
+    payloads = []
+    for ranges in shard_ranges:
+        if not ranges:
+            continue
+        gidx = np.concatenate(
+            [np.arange(lo, hi, dtype=np.int64) for lo, hi in ranges]
+        )
+        payloads.append(
+            (tree.start[gidx], tree.end[gidx], codes[gidx], gidx, grid)
+        )
+
+    workers_used = 1
+    if n_workers > 1 and len(payloads) > 1:
+        results, workers_used = _run_shards(payloads, n_workers, pool)
+    else:
+        results = [_build_shard(p) for p in payloads]
+
+    # -- merge by integer addition ----------------------------------------
+    true_cells: dict[int, int] = {}
+    members: dict[int, list[np.ndarray]] = {}
+    position_cells: dict[int, dict[int, int]] = {}
+    coverage_cells: dict[int, dict[int, int]] = {}
+    for result in results:
+        _accumulate(true_cells, *result["true"])
+        for code, arr in result["tag_members"].items():
+            members.setdefault(code, []).append(arr)
+        for code, (keys, counts) in result["position"].items():
+            _accumulate(position_cells.setdefault(code, {}), keys, counts)
+        for code, (keys, counts) in result["coverage"].items():
+            _accumulate(coverage_cells.setdefault(code, {}), keys, counts)
+
+    # -- spine: the few nodes above the unit subtrees ----------------------
+    spine_cols = grid.buckets(tree.start[spine])
+    spine_rows = grid.buckets(tree.end[spine])
+    spine_cells = spine_cols * g + spine_rows
+    _accumulate(true_cells, *np.unique(spine_cells, return_counts=True))
+    for slot, index in enumerate(spine.tolist()):
+        code = int(codes[index])
+        members.setdefault(code, []).append(
+            np.asarray([index], dtype=np.int64)
+        )
+        cell = int(spine_cells[slot])
+        pos = position_cells.setdefault(code, {})
+        pos[cell] = pos.get(cell, 0) + 1
+
+    tag_arrays: dict[str, np.ndarray] = {}
+    no_overlap: dict[str, bool] = {}
+    code_no_overlap: dict[int, bool] = {}
+    for code, parts in sorted(members.items()):
+        merged = np.sort(np.concatenate(parts)) if len(parts) > 1 else parts[0]
+        merged.setflags(write=False)
+        tag_arrays[names[code]] = merged
+        flag = detect_no_overlap(tree, merged)
+        no_overlap[names[code]] = flag
+        code_no_overlap[code] = flag
+
+    # Spine coverage: a spine member of a (globally) no-overlap tag is
+    # the unique covering member of every node in its subtree.
+    subtree_hi = np.searchsorted(tree.start, tree.end[spine]) if spine.size else []
+    all_cells = None
+    for slot, index in enumerate(spine.tolist()):
+        code = int(codes[index])
+        if not code_no_overlap.get(code, False):
+            continue
+        if all_cells is None:
+            all_cells = grid.buckets(tree.start) * g + grid.buckets(tree.end)
+        lo, hi = index + 1, int(subtree_hi[slot])
+        keys, counts = np.unique(all_cells[lo:hi], return_counts=True)
+        _accumulate(
+            coverage_cells.setdefault(code, {}),
+            keys * g2 + int(spine_cells[slot]),
+            counts,
+        )
+
+    position = {
+        names[code]: PositionHistogram(
+            grid,
+            {divmod(key, g): float(count) for key, count in cells.items()},
+            name=names[code],
+        )
+        for code, cells in sorted(position_cells.items())
+    }
+    true_histogram = PositionHistogram(
+        grid, {divmod(key, g): float(c) for key, c in true_cells.items()}
+    )
+    coverage_numerators: dict[str, dict[CellPair, int]] = {}
+    for code, flag in sorted(code_no_overlap.items()):
+        if not flag:
+            continue  # the estimators never build coverage for overlap tags
+        numerators: dict[CellPair, int] = {}
+        for key, count in coverage_cells.get(code, {}).items():
+            covered, covering = divmod(key, g2)
+            i, j = divmod(covered, g)
+            m, n = divmod(covering, g)
+            numerators[(i, j, m, n)] = count
+        coverage_numerators[names[code]] = numerators
+
+    return BuiltStatistics(
+        grid=grid,
+        tag_indices=tag_arrays,
+        no_overlap=no_overlap,
+        position=position,
+        true_histogram=true_histogram,
+        coverage_numerators=coverage_numerators,
+        shards=len(payloads),
+        workers=workers_used,
+    )
+
+
+def _accumulate(into: dict[int, int], keys: np.ndarray, counts: np.ndarray) -> None:
+    for key, count in zip(keys.tolist(), counts.tolist()):
+        into[key] = into.get(key, 0) + count
+
+
+def _run_shards(payloads: Sequence[tuple], n_workers: int, pool) -> tuple[list, int]:
+    """Map shards over a process pool, in-process on any failure."""
+    if pool is not None:
+        return pool.map(_build_shard, payloads), n_workers
+    try:
+        created = create_pool(n_workers)
+    except (ImportError, OSError, ValueError):
+        return [_build_shard(p) for p in payloads], 1
+    try:
+        return created.map(_build_shard, payloads), n_workers
+    finally:
+        created.terminate()
+        created.join()
+
+
+def create_pool(n_workers: int):
+    """A worker pool for shard builds (fork context when available).
+
+    Callers own the pool: reuse it across rebuilds and ``terminate()``
+    it when the owning service shuts down.  Raises ``OSError`` (or
+    ``ImportError``) in environments where process pools cannot be
+    created; callers fall back to in-process shard execution.
+    """
+    import multiprocessing
+
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork
+        context = multiprocessing.get_context()
+    return context.Pool(processes=max(1, int(n_workers)))

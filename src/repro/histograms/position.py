@@ -131,6 +131,52 @@ class PositionHistogram:
                 )
             self._set(i, j, updated)
 
+    def apply_signed_delta(
+        self, cols: np.ndarray, rows: np.ndarray, signs: np.ndarray
+    ) -> None:
+        """Apply per-node signed deltas in one accumulation pass.
+
+        ``signs[k]`` is ``+1`` to count the node at cell
+        ``(cols[k], rows[k])`` or ``-1`` to remove it.  This is the
+        batch-maintenance hook: a whole update batch flushes into the
+        histogram with a single ``np.add.at``-style accumulation instead
+        of one Python pass per update, and inserts cancel deletes of the
+        same cell before any cell is touched.  Semantics otherwise match
+        :meth:`apply_delta` (exact integer counts, zero cells dropped,
+        underflow raises).
+        """
+        cols = np.asarray(cols, dtype=np.int64)
+        rows = np.asarray(rows, dtype=np.int64)
+        signs = np.asarray(signs, dtype=np.int64)
+        if not (len(cols) == len(rows) == len(signs)):
+            raise ValueError("cols, rows, and signs must be aligned")
+        if len(cols) == 0:
+            return
+        keys = cols * self.grid.size + rows
+        unique, inverse = np.unique(keys, return_inverse=True)
+        sums = np.zeros(len(unique), dtype=np.int64)
+        np.add.at(sums, inverse, signs)
+        for key, delta in zip(unique.tolist(), sums.tolist()):
+            if delta == 0:
+                continue
+            i, j = divmod(key, self.grid.size)
+            updated = self.count(i, j) + delta
+            if updated < 0:
+                raise ValueError(
+                    f"delta would drive cell ({i}, {j}) below zero "
+                    f"({self.count(i, j)} {delta:+d})"
+                )
+            self._set(i, j, updated)
+
+    def copy(self) -> "PositionHistogram":
+        """An independent value copy (same grid object, own cell map).
+
+        Snapshot isolation hinges on this: the maintenance paths mutate
+        histograms in place, so a reader pinning the current state takes
+        an ``O(g)`` cell-map copy instead of sharing the dict.
+        """
+        return PositionHistogram(self.grid, self._cells, name=self.name)
+
     def scaled(self, factor: float, name: str = "") -> "PositionHistogram":
         """A copy with every cell multiplied by ``factor``."""
         return PositionHistogram(

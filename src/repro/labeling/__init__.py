@@ -13,6 +13,7 @@ from repro.labeling.interval import (
     LabeledTree,
     label_document,
     label_forest,
+    relabel_preorder,
 )
 from repro.labeling.regions import Region, classify_pair, region_of
 
@@ -25,6 +26,7 @@ __all__ = [
     "classify_pair",
     "label_document",
     "label_forest",
+    "relabel_preorder",
     "plan_insert",
     "region_of",
 ]

@@ -8,9 +8,9 @@ consecutive labels; this module allocates labels *inside* those gaps so
 that a subtree can be inserted in place:
 
 * :func:`plan_insert` finds the open label interval at the insertion
-  point (as the new last child of a parent) and assigns start/end labels
-  to every node of the incoming subtree, spreading them evenly over the
-  gap so nested future inserts keep room of their own;
+  point (as a new child of a parent, at any child position) and assigns
+  start/end labels to every node of the incoming subtree, spreading them
+  evenly over the gap so nested future inserts keep room of their own;
 * :func:`apply_insert` splices the planned nodes into the labeled
   tree's flat arrays;
 * :func:`apply_delete` removes a subtree's contiguous pre-order slice,
@@ -27,6 +27,7 @@ mutated tree are exactly what a fresh build over the same tree yields.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -84,13 +85,56 @@ def gap_after_last_child(tree: LabeledTree, parent: int) -> tuple[int, int]:
     return lo, int(tree.end[parent])
 
 
-def plan_insert(tree: LabeledTree, parent: int, subtree: Element) -> InsertPlan:
-    """Label ``subtree`` for insertion as the last child of node ``parent``.
+def child_indices(tree: LabeledTree, parent: int) -> np.ndarray:
+    """Pre-order indices of the direct element children of ``parent``."""
+    sub = tree.subtree_slice(parent)
+    offset = parent + 1
+    return offset + np.flatnonzero(tree.parent_index[offset : sub.stop] == parent)
 
-    Walks the detached subtree in the same enter/exit order the offline
-    labeler uses, assigning labels ``lo + stride * k`` so the new nodes
-    spread evenly over the available gap.  Raises :class:`GapExhausted`
-    when the gap has fewer free integer positions than the subtree needs
+
+def gap_for_insert(
+    tree: LabeledTree, parent: int, child_position: Optional[int] = None
+) -> tuple[int, int, int]:
+    """The open label interval and splice point for a planned insertion.
+
+    Returns ``(lo, hi, position)``: labels of the new subtree must fall
+    strictly inside ``(lo, hi)``, and its nodes are spliced into the
+    pre-order arrays at ``position``.  ``child_position`` is the 0-based
+    rank among the parent's element children the new subtree takes
+    (existing children at that rank and later shift right); ``None`` or
+    the current child count appends as the last child.
+    """
+    if child_position is None:
+        lo, hi = gap_after_last_child(tree, parent)
+        return lo, hi, tree.subtree_slice(parent).stop
+    if child_position < 0:
+        raise ValueError(f"child position must be >= 0, got {child_position}")
+    children = child_indices(tree, parent)
+    if child_position >= len(children):
+        lo, hi = gap_after_last_child(tree, parent)
+        return lo, hi, tree.subtree_slice(parent).stop
+    follower = int(children[child_position])
+    if child_position == 0:
+        lo = int(tree.start[parent])
+    else:
+        lo = int(tree.end[children[child_position - 1]])
+    return lo, int(tree.start[follower]), follower
+
+
+def plan_insert(
+    tree: LabeledTree,
+    parent: int,
+    subtree: Element,
+    child_position: Optional[int] = None,
+) -> InsertPlan:
+    """Label ``subtree`` for insertion as a child of node ``parent``.
+
+    ``child_position`` selects the 0-based rank among the parent's
+    element children (default: append as last child).  Walks the
+    detached subtree in the same enter/exit order the offline labeler
+    uses, assigning labels ``lo + stride * k`` so the new nodes spread
+    evenly over the available gap.  Raises :class:`GapExhausted` when
+    the gap has fewer free integer positions than the subtree needs
     (two labels per element).
     """
     if not 0 <= parent < len(tree):
@@ -99,15 +143,13 @@ def plan_insert(tree: LabeledTree, parent: int, subtree: Element) -> InsertPlan:
         raise ValueError("subtree to insert must be detached (parent is None)")
     elements = list(subtree.iter())
     need = 2 * len(elements)
-    lo, hi = gap_after_last_child(tree, parent)
+    lo, hi, position = gap_for_insert(tree, parent, child_position)
     gap = hi - lo - 1
     if gap < need:
         raise GapExhausted(
             f"insertion under node {parent} needs {need} labels, gap has {gap}"
         )
     stride = gap // need
-
-    position = tree.subtree_slice(parent).stop
     parent_level = int(tree.level[parent])
     slot_of = {id(e): k for k, e in enumerate(elements)}
 

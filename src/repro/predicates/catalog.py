@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.labeling.interval import LabeledTree
 from repro.predicates.base import Predicate, TagPredicate
+from repro.utils.arrays import group_by_code
 from repro.xmltree.tree import Element
 
 
@@ -101,20 +102,14 @@ class PredicateCatalog:
                 dtype=np.int64,
                 count=len(self.tree.elements),
             )
-            order = np.argsort(codes, kind="stable")
-            sorted_codes = codes[order]
-            cuts = np.flatnonzero(
-                np.concatenate(([True], sorted_codes[1:] != sorted_codes[:-1]))
-            )
-            groups = np.split(order, cuts[1:])
-            for group in groups:
+            tag_of = {code: tag for tag, code in code_of.items()}
+            grouped = group_by_code(codes)
+            for group in grouped.values():
                 # The groups are shared: handed out as TagPredicate
                 # node_indices and reused by every tag-scoped scan.
                 group.setflags(write=False)
-            tag_of = {code: tag for tag, code in code_of.items()}
             self._tag_indices = {
-                tag_of[int(sorted_codes[cut])]: group
-                for cut, group in zip(cuts, groups)
+                tag_of[code]: group for code, group in grouped.items()
             }
         return self._tag_indices
 
@@ -182,6 +177,33 @@ class PredicateCatalog:
                     no_overlap=detect_no_overlap(self.tree, indices),
                 )
         return [self.register(p) for p in predicates]
+
+    # -- bulk installation (sharded builds) ------------------------------
+
+    def install_built(self, built) -> list[PredicateStats]:
+        """Install the output of a sharded statistics build
+        (:func:`repro.histograms.parallel.build_statistics_parallel`).
+
+        Replaces the per-tag index and registers a
+        :class:`~repro.predicates.base.TagPredicate` row for every tag,
+        skipping the per-predicate scans -- the index arrays were built
+        per shard and merged, and are bit-identical to what
+        :meth:`register_all_tags` would produce.  Returns the installed
+        rows in tag order.
+        """
+        self._tag_indices = dict(built.tag_indices)
+        rows = []
+        for tag in sorted(built.tag_indices):
+            predicate = TagPredicate(tag)
+            stats = PredicateStats(
+                predicate=predicate,
+                node_indices=built.tag_indices[tag],
+                count=int(len(built.tag_indices[tag])),
+                no_overlap=built.no_overlap[tag],
+            )
+            self._stats[predicate] = stats
+            rows.append(stats)
+        return rows
 
     # -- incremental maintenance -----------------------------------------
 
@@ -263,6 +285,105 @@ class PredicateCatalog:
                 stats.count = int(len(remaining))
                 stats.no_overlap = detect_no_overlap(self.tree, remaining)
         return changed
+
+    def apply_batch(
+        self,
+        remap: np.ndarray,
+        inserted: list[tuple[int, Element]],
+    ) -> dict[Predicate, tuple[np.ndarray, np.ndarray]]:
+        """Account for a whole update batch in one pass per predicate.
+
+        ``remap`` maps every pre-batch node index to its post-batch
+        index (``-1`` for nodes the batch deleted); ``inserted`` lists
+        the batch's net-new elements with their post-batch positions.
+        The tree object must already hold the final state.  Each
+        registered predicate's index array is rebuilt by one vectorised
+        gather + merge -- independent of how many updates the batch
+        coalesced -- and its no-overlap property is re-checked only when
+        membership actually changed.  Returns ``predicate -> (added new
+        positions, removed old indices)`` for predicates whose
+        membership changed, both sorted ascending.
+        """
+        by_tag: dict[str, list[tuple[int, Element]]] = {}
+        for position, element in inserted:
+            by_tag.setdefault(element.tag, []).append((position, element))
+        new_groups = {
+            tag: np.sort(np.asarray([p for p, _ in pairs], dtype=np.int64))
+            for tag, pairs in by_tag.items()
+        }
+
+        if self._tag_indices is not None:
+            for tag in set(self._tag_indices) | set(new_groups):
+                group = self._tag_indices.get(tag)
+                if group is None:
+                    survivors = np.empty(0, dtype=np.int64)
+                else:
+                    mapped = remap[group]
+                    survivors = mapped[mapped >= 0]
+                added = new_groups.get(tag)
+                merged = (
+                    survivors
+                    if added is None
+                    else np.sort(np.concatenate([survivors, added]))
+                )
+                if merged.size == 0:
+                    self._tag_indices.pop(tag, None)
+                else:
+                    merged.setflags(write=False)
+                    self._tag_indices[tag] = merged
+
+        changed: dict[Predicate, tuple[np.ndarray, np.ndarray]] = {}
+        empty = np.empty(0, dtype=np.int64)
+        for predicate, stats in self._stats.items():
+            mapped = remap[stats.node_indices]
+            kept = mapped >= 0
+            removed_old = stats.node_indices[~kept]
+            added = self._batch_matches(predicate, by_tag, new_groups, inserted)
+            if removed_old.size == 0 and (added is None or added.size == 0):
+                # Splices preserve relative order, so the gather is
+                # already sorted; membership (and overlap) unchanged.
+                stats.node_indices = mapped
+                continue
+            if isinstance(predicate, TagPredicate) and self._tag_indices is not None:
+                # The per-tag index merge above already produced exactly
+                # this predicate's new array; don't merge it twice.
+                new_indices = self._tag_indices.get(predicate.tag, empty)
+            else:
+                survivors = mapped[kept]
+                new_indices = (
+                    survivors
+                    if added is None or added.size == 0
+                    else np.sort(np.concatenate([survivors, added]))
+                )
+            stats.node_indices = new_indices
+            stats.count = int(len(new_indices))
+            stats.no_overlap = detect_no_overlap(self.tree, new_indices)
+            changed[predicate] = (
+                added if added is not None else empty,
+                removed_old,
+            )
+        return changed
+
+    def _batch_matches(
+        self,
+        predicate: Predicate,
+        by_tag: dict[str, list[tuple[int, Element]]],
+        new_groups: dict[str, np.ndarray],
+        inserted: list[tuple[int, Element]],
+    ) -> Optional[np.ndarray]:
+        """Sorted post-batch positions of net-new elements matching
+        ``predicate`` (None when none can match)."""
+        tag = getattr(predicate, "tag", None)
+        if isinstance(predicate, TagPredicate):
+            return new_groups.get(tag)
+        if isinstance(tag, str):
+            pairs = by_tag.get(tag)
+            if not pairs:
+                return None
+            hits = [p for p, e in pairs if predicate.matches(e)]
+            return np.sort(np.asarray(hits, dtype=np.int64)) if hits else None
+        hits = [p for p, e in inserted if predicate.matches(e)]
+        return np.sort(np.asarray(hits, dtype=np.int64)) if hits else None
 
     @staticmethod
     def _spliced(

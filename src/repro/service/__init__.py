@@ -8,6 +8,17 @@ statistics subsystem must.  See
 :class:`~repro.service.service.EstimationService`.
 """
 
+from repro.service.batch import BatchError, BatchResult, DeleteOp, InsertOp
 from repro.service.service import EstimationService, ServiceStats, UpdateResult
+from repro.service.snapshot import ServiceSnapshot
 
-__all__ = ["EstimationService", "ServiceStats", "UpdateResult"]
+__all__ = [
+    "BatchError",
+    "BatchResult",
+    "DeleteOp",
+    "EstimationService",
+    "InsertOp",
+    "ServiceSnapshot",
+    "ServiceStats",
+    "UpdateResult",
+]

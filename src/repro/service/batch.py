@@ -1,0 +1,553 @@
+"""Batched update application for the estimation service.
+
+:meth:`~repro.service.service.EstimationService.apply_batch` applies a
+whole sequence of subtree inserts and deletes as one unit.  The final
+database state is exactly what applying the operations one at a time
+would produce (operations are interpreted *sequentially*: an index
+refers to the tree as left by the operations before it, and a node
+inserted earlier in the batch can be the parent -- or the victim -- of
+a later operation).  What changes is the maintenance cost model:
+
+* the **label splices** run in one pass over the operations
+  (:func:`repro.labeling.dynamic.plan_insert` /
+  :func:`~repro.labeling.dynamic.apply_insert` /
+  :func:`~repro.labeling.dynamic.apply_delete`), tracking every node's
+  position through the batch with vectorised shift arrays;
+* operations **coalesce**: a node inserted and then deleted inside the
+  same batch contributes to no summary at all, and every summary sees
+  only the batch's *net* node deltas;
+* the **position and TRUE histograms** take one signed accumulation
+  flush each (:meth:`~repro.histograms.position.PositionHistogram.apply_signed_delta`)
+  instead of per-update passes;
+* the **catalog** rebuilds each predicate's index array with one
+  vectorised gather + merge (:meth:`~repro.predicates.catalog.PredicateCatalog.apply_batch`),
+  re-checking no-overlap once per predicate;
+* **coverage numerators** are patched from two vectorised
+  nearest-member passes (net-deleted nodes against the pre-batch label
+  table, net-inserted nodes against the post-batch one), and each
+  coverage histogram's fractions are re-derived once;
+* every touched **pH-join coefficient / level histogram** is
+  invalidated once per batch.
+
+The batch is also the atomicity unit for rebuild decisions: the dirty
+threshold is evaluated once against the batch's total touched nodes,
+and a label-gap exhaustion mid-batch relabels in place and finishes the
+batch under a full statistics rebuild.  If an operation fails after
+earlier ones already mutated the database, the service restores
+consistency with a full rebuild before the error propagates (the
+completed prefix stays applied, exactly as sequential application would
+leave it).
+
+Net-delta correctness rests on two invariants of subtree updates: a
+surviving node's labels and ancestor chain never change within a batch
+(splices never relabel or reparent existing nodes), and a deleted
+node's covering predicate ancestors are deleted with it only if the
+node itself is inside the deleted subtree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.histograms.coverage import CellPair
+from repro.histograms.grid import GridSpec
+from repro.labeling.dynamic import (
+    GapExhausted,
+    apply_delete,
+    apply_insert,
+    plan_insert,
+)
+from repro.labeling.interval import label_forest, relabel_preorder
+from repro.predicates.base import Predicate
+from repro.xmltree.tree import Element
+
+Target = Union[Element, int]
+
+
+@dataclass
+class InsertOp:
+    """Insert ``subtree`` under ``parent`` at element-child rank
+    ``position`` (``None`` appends as the last child)."""
+
+    parent: Target
+    subtree: Element
+    position: Optional[int] = None
+
+
+@dataclass
+class DeleteOp:
+    """Delete ``node`` and its whole subtree."""
+
+    node: Target
+
+
+BatchOp = Union[InsertOp, DeleteOp, tuple]
+
+
+@dataclass
+class BatchResult:
+    """What one :meth:`~repro.service.service.EstimationService.apply_batch`
+    call did."""
+
+    ops: int
+    inserts: int
+    deletes: int
+    nodes_inserted: int
+    nodes_deleted: int
+    rebuilt: bool
+    predicates_changed: int
+    coefficients_invalidated: int
+    dirty_fraction: float
+
+
+class BatchError(RuntimeError):
+    """An operation failed mid-batch; the service was re-synchronised
+    with a full rebuild, the failed operation and everything after it
+    were not applied."""
+
+
+def normalize_ops(ops: Sequence[BatchOp]) -> list[Union[InsertOp, DeleteOp]]:
+    """Accept ``InsertOp``/``DeleteOp`` objects or plain tuples
+    (``("insert", parent, subtree[, position])`` / ``("delete", node)``)."""
+    out: list[Union[InsertOp, DeleteOp]] = []
+    for op in ops:
+        if isinstance(op, (InsertOp, DeleteOp)):
+            out.append(op)
+            continue
+        kind = op[0]
+        if kind == "insert":
+            if len(op) == 3:
+                out.append(InsertOp(op[1], op[2]))
+            elif len(op) == 4:
+                out.append(InsertOp(op[1], op[2], op[3]))
+            else:
+                raise ValueError(f"malformed insert op {op!r}")
+        elif kind == "delete":
+            if len(op) != 2:
+                raise ValueError(f"malformed delete op {op!r}")
+            out.append(DeleteOp(op[1]))
+        else:
+            raise ValueError(f"unknown batch op kind {kind!r}")
+    return out
+
+
+@dataclass
+class _InsertRecord:
+    """One applied insert, with its nodes' positions tracked through
+    every later operation of the batch."""
+
+    elements: list[Element]
+    positions: np.ndarray
+    alive: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.alive is None:
+            self.alive = np.ones(len(self.elements), dtype=bool)
+
+
+class BatchApplier:
+    """Single-use applier for one update batch over one service."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+        self.tree = service.tree
+        self.records: list[_InsertRecord] = []
+        self.inserted_slot: dict[int, tuple[_InsertRecord, int]] = {}
+        self.deleted_old: list[np.ndarray] = []
+        self.touched = 0
+        self.inserts = 0
+        self.deletes = 0
+        self.nodes_inserted = 0
+        self.nodes_deleted = 0
+        self.degraded = False
+        self._initial_index: Optional[dict[int, int]] = None
+
+    # -- public entry ------------------------------------------------------
+
+    def apply(self, ops: Sequence[BatchOp]) -> BatchResult:
+        service = self.service
+        plan = normalize_ops(ops)
+        if not plan:
+            return BatchResult(0, 0, 0, 0, 0, False, 0, 0, service.dirty_fraction)
+        service._sync_coverage_numerators()
+
+        # Element handles resolve through the pre-batch numbering plus
+        # position tracking; the index must be frozen before the first
+        # splice shifts anything.
+        if any(
+            isinstance(op.parent if isinstance(op, InsertOp) else op.node, Element)
+            for op in plan
+        ):
+            self._initial_index = {
+                id(e): i for i, e in enumerate(self.tree.elements)
+            }
+
+        # Pre-batch view: splices replace arrays rather than mutating
+        # them, so plain references are a consistent snapshot.
+        self.start0 = self.tree.start
+        self.end0 = self.tree.end
+        self.parent0 = self.tree.parent_index
+        self.orig_pos = np.arange(len(self.tree), dtype=np.int64)
+
+        applied = 0
+        try:
+            for op in plan:
+                if isinstance(op, InsertOp):
+                    self._apply_insert(op)
+                else:
+                    self._apply_delete(op)
+                applied += 1
+        except Exception as exc:
+            if applied == 0:
+                raise  # nothing mutated; the service is untouched
+            service.rebuild(from_documents=False, catalog_in_sync=False)
+            self._count_into_stats()
+            raise BatchError(
+                f"batch operation {applied} failed after {applied} earlier "
+                f"operation(s) were applied; service rebuilt to stay "
+                f"consistent: {exc}"
+            ) from exc
+
+        predicted = service._dirty_nodes + self.touched
+        threshold = service.rebuild_threshold * max(1, len(self.tree))
+        if self.degraded or predicted > threshold:
+            service._dirty_nodes = predicted
+            service.rebuild(from_documents=False, catalog_in_sync=False)
+            self._count_into_stats()
+            return self._result(rebuilt=True, changed=0, invalidated=0)
+
+        changed, invalidated = self._flush_deltas()
+        service._dirty_nodes = predicted
+        service._optimizer = None
+        service._executor = None
+        self._count_into_stats()
+        service.stats.coefficient_invalidations += invalidated
+        return self._result(rebuilt=False, changed=changed, invalidated=invalidated)
+
+    # -- splice pass -------------------------------------------------------
+
+    def _resolve(self, target: Target) -> int:
+        """Current pre-order index of an operation target.
+
+        Integers are interpreted against the tree as already mutated by
+        the batch's earlier operations (sequential semantics); elements
+        resolve through the position tracking, so handles stay valid no
+        matter how earlier operations shifted the numbering.
+        """
+        if not isinstance(target, Element):
+            index = int(target)
+            if not 0 <= index < len(self.tree):
+                raise IndexError(f"node index {index} outside the tree")
+            return index
+        key = id(target)
+        slot = self.inserted_slot.get(key)
+        if slot is not None:
+            record, local = slot
+            if not record.alive[local]:
+                raise ValueError(
+                    "operation targets a node deleted earlier in the batch"
+                )
+            return int(record.positions[local])
+        if self._initial_index is None:
+            raise ValueError("operation targets an element not in the tree")
+        initial = self._initial_index.get(key)
+        if initial is None:
+            raise ValueError("operation targets an element not in the tree")
+        current = int(self.orig_pos[initial])
+        if current < 0:
+            raise ValueError(
+                "operation targets a node deleted earlier in the batch"
+            )
+        return current
+
+    def _shift_up(self, position: int, size: int) -> None:
+        self.orig_pos[self.orig_pos >= position] += size
+        for record in self.records:
+            record.positions[record.positions >= position] += size
+
+    def _apply_insert(self, op: InsertOp) -> None:
+        parent_index = self._resolve(op.parent)
+        subtree = op.subtree
+        if subtree.parent is not None:
+            raise ValueError("subtree to insert must be detached (parent is None)")
+        try:
+            plan = plan_insert(self.tree, parent_index, subtree, op.position)
+        except GapExhausted:
+            self.degraded = True
+            relabel_preorder(self.tree, self.service.spacing)
+            try:
+                plan = plan_insert(self.tree, parent_index, subtree, op.position)
+            except GapExhausted:
+                self._oversized_insert(parent_index, op)
+                return
+        self.service._attach_child(
+            self.tree.elements[parent_index], subtree, op.position
+        )
+        apply_insert(self.tree, plan)
+        self._shift_up(plan.position, plan.size)
+        self._track_insert(plan.elements, plan.position)
+
+    def _oversized_insert(self, parent_index: int, op: InsertOp) -> None:
+        """A subtree larger than any fresh gap: attach it and relabel
+        the whole forest by walking the documents (rare degraded path)."""
+        parent_element = self.tree.elements[parent_index]
+        self.service._attach_child(parent_element, op.subtree, op.position)
+        labeled = label_forest(self.service.documents, spacing=self.service.spacing)
+        self.tree.replace_contents(
+            labeled.elements,
+            labeled.start,
+            labeled.end,
+            labeled.level,
+            labeled.parent_index,
+            labeled.max_label,
+        )
+        position = self.tree.index_of(op.subtree)
+        elements = list(op.subtree.iter())
+        self._shift_up(position, len(elements))
+        self._track_insert(elements, position)
+
+    def _track_insert(self, elements: list[Element], position: int) -> None:
+        record = _InsertRecord(
+            elements=elements,
+            positions=position + np.arange(len(elements), dtype=np.int64),
+        )
+        self.records.append(record)
+        for local, element in enumerate(elements):
+            self.inserted_slot[id(element)] = (record, local)
+        self.touched += len(elements)
+        self.inserts += 1
+        self.nodes_inserted += len(elements)
+
+    def _apply_delete(self, op: DeleteOp) -> None:
+        index = self._resolve(op.node)
+        sub = self.tree.subtree_slice(index)
+        position, count = sub.start, sub.stop - sub.start
+
+        in_range = np.flatnonzero(
+            (self.orig_pos >= position) & (self.orig_pos < position + count)
+        )
+        if in_range.size:
+            self.deleted_old.append(in_range)
+            self.orig_pos[in_range] = -1
+        self.orig_pos[self.orig_pos >= position + count] -= count
+        for record in self.records:
+            dead = (
+                record.alive
+                & (record.positions >= position)
+                & (record.positions < position + count)
+            )
+            record.alive[dead] = False
+            record.positions = np.where(
+                record.positions >= position + count,
+                record.positions - count,
+                record.positions,
+            )
+
+        element = self.tree.elements[index]
+        element.parent.children.remove(element)
+        element.parent = None
+        apply_delete(self.tree, index)
+        self.touched += count
+        self.deletes += 1
+        self.nodes_deleted += count
+
+    # -- net-delta flush ---------------------------------------------------
+
+    def _net_inserted(self) -> list[tuple[int, Element]]:
+        out: list[tuple[int, Element]] = []
+        for record in self.records:
+            for local in np.flatnonzero(record.alive).tolist():
+                out.append((int(record.positions[local]), record.elements[local]))
+        return out
+
+    def _flush_deltas(self) -> tuple[int, int]:
+        """Apply the batch's net deltas to every maintained summary.
+
+        Returns ``(predicates changed, coefficient kernels dropped)``.
+        """
+        service = self.service
+        estimator = service.estimator
+        grid = estimator.grid
+        tree = self.tree
+
+        inserted = self._net_inserted()
+        ins_pos = np.asarray([p for p, _ in inserted], dtype=np.int64)
+        del_old = (
+            np.sort(np.concatenate(self.deleted_old))
+            if self.deleted_old
+            else np.empty(0, dtype=np.int64)
+        )
+
+        ins_cols = grid.buckets(tree.start[ins_pos])
+        ins_rows = grid.buckets(tree.end[ins_pos])
+        del_cols = grid.buckets(self.start0[del_old])
+        del_rows = grid.buckets(self.end0[del_old])
+        signs = np.concatenate(
+            [
+                np.ones(len(ins_pos), dtype=np.int64),
+                -np.ones(len(del_old), dtype=np.int64),
+            ]
+        )
+
+        if estimator._true_hist is not None:
+            estimator._true_hist.apply_signed_delta(
+                np.concatenate([ins_cols, del_cols]),
+                np.concatenate([ins_rows, del_rows]),
+                signs,
+            )
+
+        # Old membership must be captured before the catalog remaps it:
+        # deleted nodes pair with the members they had when deleted.
+        old_members: dict[Predicate, tuple[np.ndarray, bool]] = {
+            predicate: (
+                service.catalog.stats(predicate).node_indices,
+                service.catalog.stats(predicate).no_overlap,
+            )
+            for predicate in service._numerators
+        }
+
+        changed = service.catalog.apply_batch(self.orig_pos, inserted)
+
+        invalidated = 0
+        for predicate, (added, removed_old) in changed.items():
+            histogram = estimator._position_cache.get(predicate)
+            if histogram is not None:
+                histogram.apply_signed_delta(
+                    np.concatenate(
+                        [grid.buckets(tree.start[added]),
+                         grid.buckets(self.start0[removed_old])]
+                    ),
+                    np.concatenate(
+                        [grid.buckets(tree.end[added]),
+                         grid.buckets(self.end0[removed_old])]
+                    ),
+                    np.concatenate(
+                        [
+                            np.ones(len(added), dtype=np.int64),
+                            -np.ones(len(removed_old), dtype=np.int64),
+                        ]
+                    ),
+                )
+            invalidated += estimator.invalidate_derived(predicate)
+            if predicate not in service._numerators:
+                # Membership changed under a coverage the service does
+                # not maintain: force a from-scratch rebuild on next use.
+                estimator._coverage_cache.pop(predicate, None)
+
+        for predicate in list(service._numerators):
+            stats = service.catalog.stats(predicate)
+            if not stats.effective_no_overlap:
+                del service._numerators[predicate]
+                estimator._coverage_cache.pop(predicate, None)
+                continue
+            members_old, flag_old = old_members[predicate]
+            lost = _covering_pairs(
+                self.start0, self.end0, self.parent0,
+                del_old, members_old, flag_old, grid,
+            )
+            gained = _covering_pairs(
+                tree.start, tree.end, tree.parent_index,
+                ins_pos, stats.node_indices, stats.no_overlap, grid,
+            )
+            numerators = service._numerators[predicate]
+            for key, amount in lost.items():
+                remaining = numerators.get(key, 0) - amount
+                if remaining < 0:
+                    raise AssertionError(
+                        f"coverage numerator underflow for "
+                        f"{predicate.name!r} at {key}"
+                    )
+                if remaining == 0:
+                    numerators.pop(key, None)
+                else:
+                    numerators[key] = remaining
+            for key, amount in gained.items():
+                numerators[key] = numerators.get(key, 0) + amount
+            service._install_coverage(predicate)
+        return len(changed), invalidated
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _count_into_stats(self) -> None:
+        stats = self.service.stats
+        stats.batches += 1
+        stats.inserts += self.inserts
+        stats.deletes += self.deletes
+        stats.nodes_inserted += self.nodes_inserted
+        stats.nodes_deleted += self.nodes_deleted
+
+    def _result(self, rebuilt: bool, changed: int, invalidated: int) -> BatchResult:
+        return BatchResult(
+            ops=self.inserts + self.deletes,
+            inserts=self.inserts,
+            deletes=self.deletes,
+            nodes_inserted=self.nodes_inserted,
+            nodes_deleted=self.nodes_deleted,
+            rebuilt=rebuilt,
+            predicates_changed=changed,
+            coefficients_invalidated=invalidated,
+            dirty_fraction=self.service.dirty_fraction,
+        )
+
+
+def _covering_pairs(
+    starts: np.ndarray,
+    ends: np.ndarray,
+    parents: np.ndarray,
+    nodes: np.ndarray,
+    members: np.ndarray,
+    no_overlap: bool,
+    grid: GridSpec,
+) -> dict[CellPair, int]:
+    """Count ``(cell(node), cell(covering member))`` pairs for a node
+    subset against one consistent label table.
+
+    With the no-overlap property (in the data), each node's unique
+    covering member comes from the shared
+    :func:`~repro.histograms.parallel.covering_members` kernel;
+    otherwise the nearest member ancestor is found by walking parent
+    chains (the semantics the per-update maintenance path uses for
+    schema-asserted no-overlap predicates).
+    """
+    from repro.histograms.parallel import covering_members
+
+    if nodes.size == 0 or members.size == 0:
+        return {}
+    g = grid.size
+    if no_overlap:
+        node_idx, member_idx = covering_members(starts, ends, members, nodes)
+        if node_idx.size == 0:
+            return {}
+    else:
+        member_set = set(members.tolist())
+        node_list: list[int] = []
+        member_list: list[int] = []
+        for node in nodes.tolist():
+            walk = int(parents[node])
+            while walk != -1 and walk not in member_set:
+                walk = int(parents[walk])
+            if walk != -1:
+                node_list.append(node)
+                member_list.append(walk)
+        if not node_list:
+            return {}
+        node_idx = np.asarray(node_list, dtype=np.int64)
+        member_idx = np.asarray(member_list, dtype=np.int64)
+
+    keys = (
+        (grid.buckets(starts[node_idx]) * g + grid.buckets(ends[node_idx]))
+        * (g * g)
+        + grid.buckets(starts[member_idx]) * g
+        + grid.buckets(ends[member_idx])
+    )
+    unique, counts = np.unique(keys, return_counts=True)
+    out: dict[CellPair, int] = {}
+    for key, count in zip(unique.tolist(), counts.tolist()):
+        covered_code, covering_code = divmod(key, g * g)
+        i, j = divmod(covered_code, g)
+        m, n = divmod(covering_code, g)
+        out[(i, j, m, n)] = count
+    return out

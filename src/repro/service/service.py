@@ -67,13 +67,14 @@ from repro.histograms.store import (
     save_binary_summaries,
     tree_fingerprint,
 )
+from repro.histograms.parallel import build_statistics_parallel, create_pool
 from repro.labeling.dynamic import (
     GapExhausted,
     apply_delete,
     apply_insert,
     plan_insert,
 )
-from repro.labeling.interval import LabeledTree, label_forest
+from repro.labeling.interval import LabeledTree, label_forest, relabel_preorder
 from repro.optimizer.optimizer import Optimizer, PlanChoice
 from repro.predicates.base import Predicate, TagPredicate
 from repro.predicates.catalog import PredicateCatalog
@@ -91,6 +92,7 @@ class ServiceStats:
     nodes_deleted: int = 0
     rebuilds: int = 0
     coefficient_invalidations: int = 0
+    batches: int = 0
 
 
 @dataclass
@@ -132,6 +134,13 @@ class EstimationService:
     rebuild_threshold:
         Fraction of the database that may be touched by updates before
         the next update triggers a full relabel-and-rebuild.
+    n_workers:
+        Shard count for statistics (re)builds.  ``1`` (default) keeps
+        the lazy serial paths; ``> 1`` builds the full per-tag
+        statistics set through the sharded parallel builder
+        (:func:`repro.histograms.parallel.build_statistics_parallel`)
+        on cold start and on every rebuild, keeping a worker pool warm
+        across rebuilds.
     """
 
     def __init__(
@@ -141,6 +150,7 @@ class EstimationService:
         grid: str = "uniform",
         spacing: int = 64,
         rebuild_threshold: float = 0.25,
+        n_workers: int = 1,
     ) -> None:
         if spacing < 2:
             raise ValueError(f"service spacing must be >= 2, got {spacing}")
@@ -148,6 +158,8 @@ class EstimationService:
             raise ValueError(
                 f"rebuild threshold must be in (0, 1], got {rebuild_threshold}"
             )
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.documents = (
             [documents] if isinstance(documents, Document) else list(documents)
         )
@@ -155,28 +167,51 @@ class EstimationService:
         self.grid_kind = grid
         self.spacing = spacing
         self.rebuild_threshold = rebuild_threshold
+        self.n_workers = n_workers
         self.stats = ServiceStats()
         self.tree: Optional[LabeledTree] = None
+        self._pool = None
         self._build_state()
 
     # -- state construction ------------------------------------------------
 
-    def _build_state(self) -> None:
-        """(Re)label the forest and start a fresh catalog + estimator."""
-        labeled = label_forest(self.documents, spacing=self.spacing)
-        if self.tree is None:
-            self.tree = labeled
+    def _build_state(
+        self, from_documents: bool = True, catalog_in_sync: bool = True
+    ) -> None:
+        """(Re)label the forest and start a fresh catalog + estimator.
+
+        ``from_documents=False`` relabels the existing label table
+        arithmetically (:func:`~repro.labeling.interval.relabel_preorder`,
+        bit-identical to the document walk) -- valid whenever the table
+        is in sync with the documents, i.e. on every threshold-triggered
+        rebuild.  ``catalog_in_sync=False`` says the catalog's per-tag
+        index may lag the label table (a batch that fell back to a
+        rebuild before its catalog flush), so the sharded builder must
+        re-scan the elements instead of reusing it.
+        """
+        previous_tag_indices = None
+        if self.tree is None or from_documents:
+            labeled = label_forest(self.documents, spacing=self.spacing)
+            if self.tree is None:
+                self.tree = labeled
+            else:
+                # Keep the LabeledTree identity: catalogs and executors
+                # from earlier epochs would otherwise hold a stale table.
+                self.tree.replace_contents(
+                    labeled.elements,
+                    labeled.start,
+                    labeled.end,
+                    labeled.level,
+                    labeled.parent_index,
+                    labeled.max_label,
+                )
         else:
-            # Keep the LabeledTree identity: catalogs and executors from
-            # earlier epochs would otherwise hold a stale table.
-            self.tree.replace_contents(
-                labeled.elements,
-                labeled.start,
-                labeled.end,
-                labeled.level,
-                labeled.parent_index,
-                labeled.max_label,
-            )
+            relabel_preorder(self.tree, self.spacing)
+            # The maintained per-tag index stays valid across a pure
+            # relabel; the sharded builder derives tag codes from it
+            # instead of re-scanning every element.
+            if catalog_in_sync:
+                previous_tag_indices = self.catalog._tag_indices
         self.catalog = PredicateCatalog(self.tree)
         self.estimator = AnswerSizeEstimator(
             self.tree,
@@ -188,8 +223,53 @@ class EstimationService:
         self._dirty_nodes = 0
         self._optimizer: Optional[Optimizer] = None
         self._executor: Optional[PlanExecutor] = None
+        if self.n_workers > 1:
+            self._install_built_statistics(previous_tag_indices)
 
-    def rebuild(self) -> None:
+    def _install_built_statistics(self, tag_indices) -> None:
+        """Run one sharded build pass and prime catalog + estimator."""
+        built = build_statistics_parallel(
+            self.tree,
+            self.estimator.grid,
+            n_workers=self.n_workers,
+            pool=self._ensure_pool(),
+            tag_indices=tag_indices,
+        )
+        self.catalog.install_built(built)
+        for tag, histogram in built.position.items():
+            self.estimator._position_cache[TagPredicate(tag)] = histogram
+        self.estimator._true_hist = built.true_histogram
+        for tag, numerators in built.coverage_numerators.items():
+            predicate = TagPredicate(tag)
+            self._numerators[predicate] = numerators
+            self._install_coverage(predicate)
+
+    def _ensure_pool(self):
+        """The warm worker pool (``None`` when pools are unavailable --
+        the sharded builder then runs its shards in process)."""
+        if self.n_workers > 1 and self._pool is None:
+            try:
+                self._pool = create_pool(self.n_workers)
+            except (ImportError, OSError, ValueError):
+                self._pool = None
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def rebuild(
+        self, from_documents: bool = True, catalog_in_sync: bool = True
+    ) -> None:
         """Relabel the whole forest and rebuild every derived structure.
 
         Summaries that were hot before the rebuild (position histograms,
@@ -197,6 +277,12 @@ class EstimationService:
         so estimate latency does not regress right after a rebuild.
         Rebuilding re-buckets the label space: the grid's ``max_label``
         (and equi-depth boundaries) are recomputed.
+
+        ``from_documents=False`` is the fast path for internal callers
+        whose label table already covers the documents (threshold and
+        batch rebuilds): it relabels arithmetically instead of walking
+        the documents.  The default stays safe for external callers who
+        may have attached document content behind the service's back.
         """
         primed_positions = list(self.estimator._position_cache)
         primed_coverages = [
@@ -204,7 +290,9 @@ class EstimationService:
         ]
         primed_true = self.estimator._true_hist is not None
         registered = list(self.catalog.predicates())
-        self._build_state()
+        self._build_state(
+            from_documents=from_documents, catalog_in_sync=catalog_in_sync
+        )
         self.catalog.register_many(registered)
         for predicate in primed_positions:
             self.estimator.position_histogram(predicate)
@@ -269,12 +357,18 @@ class EstimationService:
     # -- update API --------------------------------------------------------
 
     def insert_subtree(
-        self, parent: Union[Element, int], subtree: Element
+        self,
+        parent: Union[Element, int],
+        subtree: Element,
+        position: Optional[int] = None,
     ) -> UpdateResult:
-        """Insert a detached element subtree as ``parent``'s last child.
+        """Insert a detached element subtree as a child of ``parent``.
 
-        Takes labels from the gap at the insertion point and applies
-        exact deltas to every maintained summary.  Falls back to a full
+        ``position`` is the 0-based rank the subtree takes among the
+        parent's element children (``None`` appends as the last child;
+        existing children at that rank and later shift right).  Takes
+        labels from the gap at the insertion point and applies exact
+        deltas to every maintained summary.  Falls back to a full
         rebuild when the gap cannot hold the subtree or the dirty
         fraction crosses the threshold.
         """
@@ -283,16 +377,16 @@ class EstimationService:
             raise ValueError("subtree to insert must be detached (parent is None)")
         self._sync_coverage_numerators()
         try:
-            plan = plan_insert(self.tree, parent_index, subtree)
+            plan = plan_insert(self.tree, parent_index, subtree, position)
         except GapExhausted:
-            self.tree.elements[parent_index].append(subtree)
+            self._attach_child(self.tree.elements[parent_index], subtree, position)
             size = sum(1 for _ in subtree.iter())
             self.rebuild()
             self.stats.inserts += 1
             self.stats.nodes_inserted += size
             return UpdateResult("insert", size, True, 0, 0, 0.0)
 
-        self.tree.elements[parent_index].append(subtree)
+        self._attach_child(self.tree.elements[parent_index], subtree, position)
         apply_insert(self.tree, plan)
         changed = self.catalog.apply_insert(plan.position, plan.elements)
         invalidated = self._insert_deltas(plan.position, plan.size, changed, parent_index)
@@ -324,6 +418,57 @@ class EstimationService:
         self.stats.deletes += 1
         self.stats.nodes_deleted += count
         return self._finish_update("delete", count, changed, invalidated)
+
+    def apply_batch(self, ops) -> "BatchResult":
+        """Apply a sequence of insert/delete operations as one batch.
+
+        Operations are ``("insert", parent, subtree[, position])`` /
+        ``("delete", node)`` tuples or
+        :class:`~repro.service.batch.InsertOp` /
+        :class:`~repro.service.batch.DeleteOp` objects, interpreted
+        sequentially (the final database state is exactly what one-at-a-
+        time application would produce), but all summary maintenance is
+        coalesced into one vectorised flush per structure -- see
+        :mod:`repro.service.batch`.  The batch is the atomicity unit for
+        rebuild decisions; readers holding a :meth:`snapshot` never
+        observe a half-applied batch.
+        """
+        from repro.service.batch import BatchApplier
+
+        return BatchApplier(self).apply(ops)
+
+    def snapshot(self) -> "ServiceSnapshot":
+        """An immutable read view of the current state.
+
+        The snapshot keeps answering from the statistics as they are
+        *now*, regardless of updates, batches, or rebuilds applied to
+        the service afterwards -- see :mod:`repro.service.snapshot`.
+        """
+        from repro.service.snapshot import ServiceSnapshot
+
+        return ServiceSnapshot(self)
+
+    @staticmethod
+    def _attach_child(
+        parent: Element, subtree: Element, position: Optional[int]
+    ) -> None:
+        """Attach ``subtree`` under ``parent`` at element-child rank
+        ``position`` (``None`` / past-the-end appends), preserving the
+        relative order of any interleaved text nodes."""
+        if position is None:
+            parent.append(subtree)
+            return
+        if position < 0:
+            raise ValueError(f"child position must be >= 0, got {position}")
+        element_rank = 0
+        for slot, child in enumerate(parent.children):
+            if isinstance(child, Element):
+                if element_rank == position:
+                    subtree.parent = parent
+                    parent.children.insert(slot, subtree)
+                    return
+                element_rank += 1
+        parent.append(subtree)
 
     # -- differential self-check -------------------------------------------
 
@@ -390,6 +535,7 @@ class EstimationService:
         path: Union[str, Path],
         spacing: int = 64,
         rebuild_threshold: float = 0.25,
+        n_workers: int = 1,
     ) -> "EstimationService":
         """Start a service from persisted statistics, skipping histogram
         builds for every tag predicate in the store.
@@ -402,12 +548,16 @@ class EstimationService:
         serving stale estimates.
         """
         loaded = load_binary_summaries(path)
+        # Cold-start serially -- the store replaces the build the
+        # sharded path would do (and fixes the grid only after the
+        # constructor) -- then adopt ``n_workers`` for later rebuilds.
         service = cls(
             documents,
             grid_size=loaded.grid.size,
             spacing=spacing,
             rebuild_threshold=rebuild_threshold,
         )
+        service.n_workers = n_workers
         if loaded.grid.max_label != service.tree.max_label:
             raise SummaryFormatError(
                 f"stale statistics: persisted label space "
@@ -458,7 +608,7 @@ class EstimationService:
         self.stats.coefficient_invalidations += invalidated
         rebuilt = False
         if self._dirty_nodes > self.rebuild_threshold * max(1, len(self.tree)):
-            self.rebuild()
+            self.rebuild(from_documents=False)
             rebuilt = True
         return UpdateResult(
             kind=kind,

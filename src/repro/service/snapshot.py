@@ -1,0 +1,142 @@
+"""Snapshot-isolated readers over a live estimation service.
+
+:meth:`~repro.service.service.EstimationService.snapshot` returns a
+:class:`ServiceSnapshot`: an immutable view of the label table, the
+predicate catalog, and every built histogram, against which readers can
+estimate (and execute) without ever observing a half-applied update or
+batch.  The design is copy-on-write in the cheap direction:
+
+* the **label arrays** are shared by reference -- every maintenance
+  path (splices, vectorised relabels, full rebuilds) *replaces* the
+  arrays on the live tree rather than mutating them, so a snapshot's
+  references stay internally consistent forever;
+* the **element list** and the catalog's per-predicate index arrays are
+  shared the same way (index arrays are rebuilt, never written in
+  place); the list and the per-predicate stats rows are shallow-copied
+  because the live side mutates those containers;
+* **histograms maintained by in-place cell deltas** (position
+  histograms, the TRUE histogram) are value-copied -- ``O(g)`` cells
+  each -- while coverage/level histograms and coefficient kernels,
+  which the live side replaces wholesale on invalidation, are shared.
+
+A snapshot taken *before* an update therefore keeps answering from the
+pre-update statistics, and a snapshot taken *after*
+:meth:`~repro.service.service.EstimationService.apply_batch` returns is
+indistinguishable from a service freshly built over the post-batch
+documents (the snapshot test suite pins both directions).  Snapshots
+answer lazily like the live estimator: a predicate first touched
+through the snapshot builds its histogram against the snapshot's frozen
+label table and caches it snapshot-locally.
+
+Known boundary: snapshots freeze the *label table*, not the element
+objects -- document-side children lists are shared with the live tree.
+Estimates and executions over structural (tag) predicates are fully
+isolated; a content predicate first scanned through an old snapshot
+reads element text as it is *now*, not as it was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence, Union
+
+from repro.engine.executor import PlanExecutor
+from repro.estimation.estimator import AnswerSizeEstimator, Query
+from repro.estimation.result import EstimationResult
+from repro.histograms.coverage import CoverageHistogram
+from repro.histograms.position import PositionHistogram
+from repro.labeling.interval import LabeledTree
+from repro.optimizer.optimizer import Optimizer
+from repro.predicates.base import Predicate
+from repro.predicates.catalog import PredicateCatalog
+from repro.query.pattern import PatternTree
+
+
+class ServiceSnapshot:
+    """A frozen, read-only view of one service state.
+
+    Exposes the read API of the service (:meth:`estimate`,
+    :meth:`estimate_many`, :meth:`execute`, :meth:`real_answer`,
+    histogram accessors); construction cost is independent of the tree
+    size except for one shallow copy of the element list.
+    """
+
+    def __init__(self, service) -> None:
+        live = service.tree
+        tree = LabeledTree(
+            live.elements,  # LabeledTree copies the sequence into a new list
+            live.start,
+            live.end,
+            live.level,
+            live.parent_index,
+            live.max_label,
+        )
+        catalog = PredicateCatalog(tree)
+        catalog._stats = {
+            predicate: replace(stats)
+            for predicate, stats in service.catalog._stats.items()
+        }
+        if service.catalog._tag_indices is not None:
+            catalog._tag_indices = dict(service.catalog._tag_indices)
+
+        source = service.estimator
+        estimator = AnswerSizeEstimator(
+            tree, grid_size=source.grid.size, catalog=catalog
+        )
+        estimator.grid = source.grid  # same frozen bucket geometry object
+        estimator.schema = source.schema
+        estimator._true_hist = (
+            source._true_hist.copy() if source._true_hist is not None else None
+        )
+        estimator._position_cache = {
+            predicate: histogram.copy()
+            for predicate, histogram in source._position_cache.items()
+        }
+        estimator._coverage_cache = dict(source._coverage_cache)
+        estimator._level_cache = dict(source._level_cache)
+        estimator._coefficient_cache = dict(source._coefficient_cache)
+
+        self.tree = tree
+        self.catalog = catalog
+        self.estimator = estimator
+        self._optimizer: Optional[Optimizer] = None
+        self._executor: Optional[PlanExecutor] = None
+
+    # -- read API ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def estimate(self, query: Query) -> EstimationResult:
+        return self.estimator.estimate(query)
+
+    def estimate_many(self, queries: Sequence[Query]) -> list[EstimationResult]:
+        """Batched estimation with the PR 1 dedup/coefficient-cache
+        path, against the frozen state."""
+        return self.estimator.estimate_many(queries)
+
+    def real_answer(self, query: Query) -> int:
+        return self.estimator.real_answer(query)
+
+    def position_histogram(self, predicate: Predicate) -> PositionHistogram:
+        return self.estimator.position_histogram(predicate)
+
+    def coverage_histogram(self, predicate: Predicate) -> Optional[CoverageHistogram]:
+        return self.estimator.coverage_histogram(predicate)
+
+    def execute(self, query: Union[str, PatternTree]):
+        """Optimize and run a twig query against the frozen state.
+
+        Returns the same :class:`~repro.service.service.ExecutionOutcome`
+        shape as the live service.
+        """
+        from repro.service.service import ExecutionOutcome
+
+        pattern = self.estimator._as_pattern(query)
+        if self._optimizer is None:
+            self._optimizer = Optimizer(self.estimator)
+        if self._executor is None:
+            self._executor = PlanExecutor(self.tree, self.catalog)
+        choice = self._optimizer.choose_plan(pattern)
+        bindings, stats = self._executor.execute(pattern, choice.best.plan)
+        return ExecutionOutcome(choice=choice, bindings=bindings, stats=stats)

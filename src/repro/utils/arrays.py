@@ -22,3 +22,22 @@ def expand_ranges(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
         - np.repeat(offsets, counts)
         + np.repeat(lo, counts)
     )
+
+
+def group_by_code(codes: np.ndarray) -> dict[int, np.ndarray]:
+    """Slots grouped by integer code (stable: ascending within a group).
+
+    One stable argsort + boundary scan, shared by the catalog's per-tag
+    index and the sharded statistics builder so both produce the same
+    group ordering -- the bit-identity contract between catalog-built
+    and shard-built tag indices rests on it.
+    """
+    if codes.size == 0:
+        return {}
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    cuts = np.flatnonzero(
+        np.concatenate(([True], sorted_codes[1:] != sorted_codes[:-1]))
+    )
+    groups = np.split(order, cuts[1:])
+    return {int(sorted_codes[cut]): group for cut, group in zip(cuts, groups)}

@@ -1,0 +1,89 @@
+"""The one-flush signed delta hook on position histograms."""
+
+import numpy as np
+import pytest
+
+from repro.histograms.grid import GridSpec
+from repro.histograms.position import PositionHistogram, build_position_histogram
+from repro.labeling.interval import label_forest
+from repro.xmltree.tree import Document, Element
+
+
+def small_histogram() -> PositionHistogram:
+    return PositionHistogram(
+        GridSpec(4, 39), {(0, 1): 3.0, (1, 1): 2.0, (2, 3): 1.0}
+    )
+
+
+def test_signed_delta_equals_paired_apply_delta():
+    ours = small_histogram()
+    reference = small_histogram()
+    ins_cols = np.asarray([0, 1, 3])
+    ins_rows = np.asarray([1, 2, 3])
+    del_cols = np.asarray([0, 2])
+    del_rows = np.asarray([1, 3])
+    ours.apply_signed_delta(
+        np.concatenate([ins_cols, del_cols]),
+        np.concatenate([ins_rows, del_rows]),
+        np.asarray([1, 1, 1, -1, -1]),
+    )
+    reference.apply_delta(ins_cols, ins_rows, 1)
+    reference.apply_delta(del_cols, del_rows, -1)
+    assert dict(ours.cells()) == dict(reference.cells())
+
+
+def test_signed_delta_cancels_before_touching_cells():
+    """+1 and -1 on the same cell cancel even if the cell is empty --
+    an insert-then-delete batch touches nothing."""
+    histogram = small_histogram()
+    before = dict(histogram.cells())
+    histogram.apply_signed_delta(
+        np.asarray([3, 3]), np.asarray([3, 3]), np.asarray([1, -1])
+    )
+    assert dict(histogram.cells()) == before
+
+
+def test_signed_delta_underflow_raises():
+    histogram = small_histogram()
+    with pytest.raises(ValueError, match="below zero"):
+        histogram.apply_signed_delta(
+            np.asarray([1]), np.asarray([1]), np.asarray([-3])
+        )
+
+
+def test_signed_delta_empty_is_noop():
+    histogram = small_histogram()
+    before = dict(histogram.cells())
+    histogram.apply_signed_delta(
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+    )
+    assert dict(histogram.cells()) == before
+
+
+def test_signed_delta_misaligned_inputs_rejected():
+    histogram = small_histogram()
+    with pytest.raises(ValueError, match="aligned"):
+        histogram.apply_signed_delta(
+            np.asarray([1, 2]), np.asarray([1]), np.asarray([1, 1])
+        )
+
+
+def test_signed_delta_matches_rebuild_over_mutated_nodes():
+    document = Document()
+    root = Element("r")
+    document.append(root)
+    for _ in range(10):
+        root.append(Element("x"))
+    tree = label_forest([document], spacing=4)
+    grid = GridSpec(5, tree.max_label)
+    indices = np.arange(len(tree))
+    histogram = build_position_histogram(tree, indices, grid)
+    # Remove three nodes and re-add two of them in one flush.
+    cols = grid.buckets(tree.start[np.asarray([2, 3, 4, 2, 3])])
+    rows = grid.buckets(tree.end[np.asarray([2, 3, 4, 2, 3])])
+    histogram.apply_signed_delta(cols, rows, np.asarray([-1, -1, -1, 1, 1]))
+    survivors = np.asarray([i for i in range(len(tree)) if i != 4])
+    rebuilt = build_position_histogram(tree, survivors, grid)
+    assert dict(histogram.cells()) == dict(rebuilt.cells())

@@ -1,0 +1,145 @@
+"""Arbitrary-child-position insert planning and the vectorised relabel."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.labeling.dynamic import (
+    GapExhausted,
+    apply_insert,
+    child_indices,
+    gap_for_insert,
+    plan_insert,
+)
+from repro.labeling.interval import label_forest, relabel_preorder
+from repro.xmltree.tree import Document, Element
+
+
+def flat_document(children: int = 5) -> tuple[Document, Element]:
+    document = Document()
+    root = Element("root")
+    document.append(root)
+    for k in range(children):
+        root.append(Element(f"c{k}"))
+    return document, root
+
+
+def random_forest(rng: random.Random):
+    documents = []
+    for _ in range(rng.randrange(1, 4)):
+        document = Document()
+        root = Element("root")
+        document.append(root)
+        spine = [root]
+        for _ in range(rng.randrange(0, 40)):
+            child = Element(rng.choice("abc"))
+            rng.choice(spine).append(child)
+            spine.append(child)
+        documents.append(document)
+    return documents
+
+
+def attach_at(root: Element, subtree: Element, position) -> None:
+    kids = list(root.child_elements())
+    if position is None or position >= len(kids):
+        root.append(subtree)
+        return
+    slot = root.children.index(kids[position])
+    subtree.parent = root
+    root.children.insert(slot, subtree)
+
+
+@pytest.mark.parametrize("position", [0, 1, 3, 4, 5, 99, None])
+def test_positional_insert_lands_at_child_rank(position):
+    document, root = flat_document()
+    tree = label_forest([document], spacing=64)
+    subtree = Element("new")
+    subtree.append(Element("leaf"))
+    plan = plan_insert(tree, 0, subtree, position)
+    attach_at(root, subtree, position)
+    apply_insert(tree, plan)
+    tree.validate()
+    kid_tags = [tree.elements[i].tag for i in child_indices(tree, 0)]
+    expected_rank = min(position, 5) if position is not None else 5
+    assert kid_tags.index("new") == expected_rank
+    # The splice keeps the flat arrays equal to a fresh labeling pass.
+    reference = label_forest([document], spacing=64)
+    assert [e.tag for e in tree.elements] == [e.tag for e in reference.elements]
+    assert np.array_equal(tree.parent_index, reference.parent_index)
+
+
+def test_gap_for_insert_bounds_are_the_sibling_labels():
+    document, _ = flat_document(3)
+    tree = label_forest([document], spacing=16)
+    kids = child_indices(tree, 0)
+    lo, hi, position = gap_for_insert(tree, 0, 0)
+    assert lo == int(tree.start[0]) and hi == int(tree.start[kids[0]])
+    assert position == int(kids[0])
+    lo, hi, position = gap_for_insert(tree, 0, 2)
+    assert lo == int(tree.end[kids[1]]) and hi == int(tree.start[kids[2]])
+    assert position == int(kids[2])
+    # Past-the-end falls back to the last-child gap.
+    last = gap_for_insert(tree, 0, 3)
+    assert last == gap_for_insert(tree, 0, None)
+
+
+def test_positional_insert_negative_position_rejected():
+    document, _ = flat_document(2)
+    tree = label_forest([document], spacing=16)
+    with pytest.raises(ValueError):
+        plan_insert(tree, 0, Element("x"), -1)
+
+
+def test_positional_insert_gap_exhaustion():
+    document, _ = flat_document(3)
+    tree = label_forest([document], spacing=2)  # 1-label gaps everywhere
+    big = Element("x")
+    big.append(Element("y"))
+    with pytest.raises(GapExhausted):
+        plan_insert(tree, 0, big, 1)
+
+
+def test_repeated_inserts_at_same_position_stack_in_front():
+    document, root = flat_document(2)
+    tree = label_forest([document], spacing=512)
+    for tag in ("first", "second", "third"):
+        subtree = Element(tag)
+        plan = plan_insert(tree, 0, subtree, 1)
+        attach_at(root, subtree, 1)
+        apply_insert(tree, plan)
+        tree.validate()
+    kid_tags = [tree.elements[i].tag for i in child_indices(tree, 0)]
+    # Each insert lands *at* rank 1, pushing the previous one right.
+    assert kid_tags == ["c0", "third", "second", "first", "c1"]
+
+
+@pytest.mark.parametrize("spacing", [1, 3, 64])
+def test_relabel_preorder_bit_identical_to_label_forest(spacing):
+    for seed in range(10):
+        rng = random.Random(seed)
+        documents = random_forest(rng)
+        tree = label_forest(documents, spacing=7)
+        relabel_preorder(tree, spacing=spacing)
+        reference = label_forest(documents, spacing=spacing)
+        assert np.array_equal(tree.start, reference.start)
+        assert np.array_equal(tree.end, reference.end)
+        assert tree.max_label == reference.max_label
+        tree.validate()
+
+
+def test_relabel_preorder_replaces_arrays_without_mutation():
+    documents = random_forest(random.Random(3))
+    tree = label_forest(documents, spacing=4)
+    old_start, old_end = tree.start, tree.end
+    snapshot_start = old_start.copy()
+    relabel_preorder(tree, spacing=32)
+    assert tree.start is not old_start  # snapshots keep the old arrays
+    assert np.array_equal(old_start, snapshot_start)
+    assert np.array_equal(old_end, old_end)
+
+
+def test_relabel_preorder_empty_tree():
+    tree = label_forest([], spacing=8)
+    relabel_preorder(tree, spacing=8)
+    assert len(tree) == 0 and tree.max_label == 8

@@ -1,0 +1,284 @@
+"""Batch update application: batched == sequential, pinned differentially.
+
+The contract: ``apply_batch(ops)`` leaves the database in exactly the
+state sequential application of ``ops`` produces -- same element
+structure always, bit-identical labels / statistics / estimates
+whenever neither side performed a full rebuild (rebuild *timing* is the
+one documented divergence: the batch evaluates the dirty threshold once
+per batch, sequential application once per update, and rebuilds
+re-bucket the label space).  On top of the equivalence property, both
+sides must independently pass ``differential_check`` -- every
+maintained structure bit-identical to a from-scratch build -- after
+every sequence.
+
+120 random sequences (3 configurations x 40 seeds) exercise mixed
+inserts (at random child positions) and deletes, including inserts
+under nodes inserted earlier in the same batch and deletes of nodes
+inserted earlier in the same batch.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.predicates.base import TagPredicate
+from repro.service import BatchError, DeleteOp, EstimationService, InsertOp
+from repro.xmltree.tree import Document, Element
+
+TAGS = ["a", "b", "c", "d", "e"]
+QUERIES = ["//a//b", "//b//c", "//root//d", "//a//a", "//c//e", "//e//b"]
+
+
+def random_document(rng: random.Random, nodes: int) -> Document:
+    document = Document()
+    root = Element("root")
+    document.append(root)
+    spine = [root]
+    for _ in range(nodes - 1):
+        parent = rng.choice(spine[-8:])
+        child = Element(rng.choice(TAGS))
+        parent.append(child)
+        spine.append(child)
+    return document
+
+
+def random_subtree(rng: random.Random) -> Element:
+    size = rng.randrange(1, 6)
+    root = Element(rng.choice(TAGS))
+    spine = [root]
+    for _ in range(size - 1):
+        child = Element(rng.choice(TAGS))
+        rng.choice(spine).append(child)
+        spine.append(child)
+    return root
+
+
+def clone_subtree(element: Element) -> Element:
+    clone = Element(element.tag, element.attributes)
+    for child in element.children:
+        if isinstance(child, Element):
+            clone.append(clone_subtree(child))
+    return clone
+
+
+def prime(service: EstimationService) -> None:
+    service.estimate_many(QUERIES)
+    for tag in TAGS:
+        predicate = TagPredicate(tag)
+        service.position_histogram(predicate)
+        service.coverage_histogram(predicate)
+        service.estimator.level_histogram(predicate)
+    _ = service.estimator.true_histogram
+
+
+def make_pair(seed: int, grid_size: int, spacing: int, threshold: float):
+    """Two identical primed services over independently built but equal
+    documents."""
+    services = []
+    for _ in range(2):
+        document = random_document(random.Random(seed), 50)
+        service = EstimationService(
+            document,
+            grid_size=grid_size,
+            spacing=spacing,
+            rebuild_threshold=threshold,
+        )
+        prime(service)
+        services.append(service)
+    return services
+
+
+def record_sequence(service: EstimationService, rng: random.Random, ops: int):
+    """Apply a random valid sequence to ``service`` one op at a time,
+    returning the recorded (replayable) operation descriptions."""
+    recorded = []
+    for _ in range(ops):
+        if rng.random() < 0.7 or len(service) < 12:
+            target = rng.randrange(len(service))
+            subtree = random_subtree(rng)
+            position = rng.choice([None, 0, 1, 2])
+            recorded.append(("insert", target, subtree, position))
+            service.insert_subtree(target, clone_subtree(subtree), position=position)
+        else:
+            target = rng.randrange(1, len(service))
+            recorded.append(("delete", target))
+            service.delete_subtree(target)
+    return recorded
+
+
+CONFIGS = [
+    # (grid_size, spacing, rebuild_threshold, ops)
+    (5, 64, 0.95, 8),
+    (6, 256, 0.9, 12),
+    (4, 16, 0.5, 8),  # small gaps + low threshold: mid-batch rebuilds
+]
+
+
+@pytest.mark.parametrize("config_index", range(len(CONFIGS)))
+@pytest.mark.parametrize("seed", range(40))
+def test_batched_matches_sequential(config_index, seed):
+    grid_size, spacing, threshold, ops = CONFIGS[config_index]
+    sequential, batched = make_pair(seed, grid_size, spacing, threshold)
+    recorded = record_sequence(
+        sequential, random.Random(5000 * config_index + seed), ops
+    )
+    result = batched.apply_batch(
+        [
+            InsertOp(op[1], clone_subtree(op[2]), op[3])
+            if op[0] == "insert"
+            else DeleteOp(op[1])
+            for op in recorded
+        ]
+    )
+    # Structure is always identical, rebuilds or not.
+    assert [e.tag for e in sequential.tree.elements] == [
+        e.tag for e in batched.tree.elements
+    ]
+    assert np.array_equal(
+        sequential.tree.parent_index, batched.tree.parent_index
+    )
+    # Both sides uphold the maintenance contract independently.
+    sequential.differential_check(QUERIES)
+    batched.differential_check(QUERIES)
+    if sequential.stats.rebuilds == 0 and not result.rebuilt:
+        # No re-bucketing anywhere: labels and estimates are bit-equal.
+        assert np.array_equal(sequential.tree.start, batched.tree.start)
+        assert np.array_equal(sequential.tree.end, batched.tree.end)
+        for query in QUERIES:
+            assert (
+                sequential.estimate(query).value == batched.estimate(query).value
+            )
+
+
+def test_insert_under_node_inserted_in_same_batch():
+    service, reference = make_pair(1, 5, 64, 0.95)
+    parent = Element("a")
+    child = Element("b")
+    grandchild = Element("c")
+    service.apply_batch(
+        [
+            InsertOp(0, parent),
+            InsertOp(parent, child),
+            InsertOp(child, grandchild, 0),
+        ]
+    )
+    reference.insert_subtree(0, clone_subtree(parent))
+    assert [e.tag for e in service.tree.elements] == [
+        e.tag for e in reference.tree.elements
+    ]
+    service.differential_check(QUERIES)
+
+
+def test_delete_of_node_inserted_in_same_batch_coalesces():
+    service, _ = make_pair(2, 5, 64, 0.95)
+    baseline = {q: service.estimate(q).value for q in QUERIES}
+    doomed = random_subtree(random.Random(3))
+    result = service.apply_batch([InsertOp(0, doomed), DeleteOp(doomed)])
+    assert not result.rebuilt
+    service.differential_check(QUERIES)
+    for query, value in baseline.items():
+        assert service.estimate(query).value == value
+
+
+def test_delete_by_element_handle_after_shifting_inserts():
+    """Element handles stay valid however earlier batch ops shift the
+    numbering."""
+    service, reference = make_pair(3, 5, 64, 0.95)
+    victim = service.tree.elements[len(service) // 2]
+    ref_victim = reference.tree.elements[len(reference) // 2]
+    filler = [InsertOp(0, Element("e"), 0) for _ in range(3)]
+    service.apply_batch(filler + [DeleteOp(victim)])
+    for op in [InsertOp(0, Element("e"), 0) for _ in range(3)]:
+        reference.insert_subtree(op.parent, op.subtree, position=op.position)
+    reference.delete_subtree(ref_victim)
+    assert [e.tag for e in service.tree.elements] == [
+        e.tag for e in reference.tree.elements
+    ]
+    service.differential_check(QUERIES)
+
+
+def test_batch_gap_exhaustion_relabels_and_stays_consistent():
+    document = Document()
+    root = Element("root")
+    document.append(root)
+    root.append(Element("a"))
+    service = EstimationService(document, grid_size=4, spacing=2, rebuild_threshold=0.9)
+    prime(service)
+    # spacing 2 leaves 1-label gaps: the batch must relabel mid-flight.
+    result = service.apply_batch(
+        [InsertOp(0, Element("b")), InsertOp(0, Element("c"))]
+    )
+    assert result.rebuilt
+    assert service.stats.rebuilds >= 1
+    service.differential_check(["//root//a", "//root//b", "//root//c"])
+
+
+def test_batch_dirty_threshold_triggers_one_rebuild_at_end():
+    service, _ = make_pair(4, 5, 512, 0.05)
+    rng = random.Random(11)
+    result = service.apply_batch(
+        [InsertOp(rng.randrange(len(service)), random_subtree(rng)) for _ in range(8)]
+    )
+    assert result.rebuilt
+    assert service.stats.rebuilds == 1  # once per batch, not per op
+    service.differential_check(QUERIES)
+
+
+def test_batch_error_mid_batch_rebuilds_and_raises():
+    service, _ = make_pair(5, 5, 64, 0.95)
+    attached = Element("a")
+    service.tree.elements[0].append(attached)  # not via the service
+    service.rebuild()  # resync after the out-of-band edit
+    with pytest.raises(BatchError):
+        service.apply_batch(
+            [InsertOp(0, Element("b")), InsertOp(0, attached)]  # not detached
+        )
+    # The completed prefix stays applied and the service is consistent.
+    service.differential_check(QUERIES)
+    assert service.catalog.stats(TagPredicate("b")).count >= 1
+
+
+def test_batch_first_op_error_leaves_service_untouched():
+    service, _ = make_pair(6, 5, 64, 0.95)
+    before = {q: service.estimate(q).value for q in QUERIES}
+    with pytest.raises(IndexError):
+        service.apply_batch([DeleteOp(10**9)])
+    for query, value in before.items():
+        assert service.estimate(query).value == value
+    service.differential_check(QUERIES)
+
+
+def test_empty_batch_is_a_noop():
+    service, _ = make_pair(7, 5, 64, 0.95)
+    result = service.apply_batch([])
+    assert result.ops == 0 and not result.rebuilt
+    assert service.stats.batches == 0
+    service.differential_check(QUERIES)
+
+
+def test_batch_accepts_plain_tuples():
+    service, reference = make_pair(8, 5, 64, 0.95)
+    sub = random_subtree(random.Random(2))
+    service.apply_batch(
+        [("insert", 0, clone_subtree(sub), 1), ("delete", len(service) // 2)]
+    )
+    reference.insert_subtree(0, clone_subtree(sub), position=1)
+    reference.delete_subtree(len(reference) // 2)
+    assert [e.tag for e in service.tree.elements] == [
+        e.tag for e in reference.tree.elements
+    ]
+    service.differential_check(QUERIES)
+
+
+def test_batch_reports_net_and_gross_counts():
+    service, _ = make_pair(9, 5, 64, 0.95)
+    doomed = Element("a")
+    result = service.apply_batch(
+        [InsertOp(0, doomed), InsertOp(0, Element("b")), DeleteOp(doomed)]
+    )
+    assert result.ops == 3
+    assert result.inserts == 2 and result.deletes == 1
+    assert result.nodes_inserted == 2 and result.nodes_deleted == 1
+    assert service.stats.batches == 1
+    service.differential_check(QUERIES)

@@ -64,7 +64,10 @@ def prime(service: EstimationService, queries) -> None:
 def apply_random_op(service: EstimationService, rng: random.Random) -> None:
     if rng.random() < 0.6 or len(service) < 20:
         parent = rng.randrange(len(service))
-        service.insert_subtree(parent, random_subtree(rng))
+        # Cover the whole child-position surface: append (None), front,
+        # and arbitrary mid-list ranks (clamped past-the-end included).
+        position = rng.choice([None, None, 0, 1, 2, 5])
+        service.insert_subtree(parent, random_subtree(rng), position=position)
     else:
         victim = rng.randrange(1, len(service))  # keep the root
         service.delete_subtree(victim)
@@ -210,6 +213,43 @@ def test_dirty_threshold_triggers_rebuild():
     assert service.stats.rebuilds >= 1
     assert service.dirty_fraction <= 0.05 + 1e-9 or service.stats.rebuilds > 0
     service.differential_check(QUERIES)
+
+
+def test_positional_inserts_match_full_rebuild():
+    """Dedicated positional-insert differential: every child rank of a
+    wide node, interleaved with deletes, stays bit-identical."""
+    rng = random.Random(77)
+    document = Document()
+    root = Element("root")
+    document.append(root)
+    for _ in range(6):
+        root.append(Element(rng.choice(TAGS)))
+    service = EstimationService(document, grid_size=5, spacing=64, rebuild_threshold=0.9)
+    prime(service, QUERIES)
+    for step in range(12):
+        kids = sum(1 for _ in service.tree.elements[0].child_elements())
+        position = rng.randrange(0, kids + 2)
+        service.insert_subtree(0, random_subtree(rng), position=position)
+        if step % 3 == 2 and kids > 2:
+            service.delete_subtree(rng.randrange(1, len(service)))
+        service.differential_check()
+    service.differential_check(QUERIES)
+
+
+def test_estimate_many_routes_through_batched_estimator_path():
+    """The service facade must hand workloads to the estimator's batch
+    API (dedup + shared coefficient kernels), not loop over estimate."""
+    rng = random.Random(55)
+    document = random_document(rng, 50)
+    service = EstimationService(document, grid_size=5, spacing=32, rebuild_threshold=0.9)
+    results = service.estimate_many(["//a//b", "//a//b", "//b//c"])
+    assert results[0] is results[1]  # dedup only happens on the batch path
+    for query, result in zip(["//a//b", "//a//b", "//b//c"], results):
+        assert result.value == service.estimate(query).value
+    # And the snapshot read path shares the same batched machinery.
+    snapshot = service.snapshot()
+    snap_results = snapshot.estimate_many(["//a//b", "//a//b"])
+    assert snap_results[0] is snap_results[1]
 
 
 def test_updates_only_invalidate_changed_coefficients():

