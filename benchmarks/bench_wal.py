@@ -1,0 +1,273 @@
+"""Durability-tier benchmark: logged-batch overhead and recovery speed.
+
+Two measurements over a DBLP-scale tree:
+
+* **logged vs. in-memory ``apply_batch``** -- the same element-addressed
+  update stream applied through a plain service and through a durable
+  one (``open_durable``: every batch is serialised, appended to the
+  write-ahead log, and fsync'd before it applies).  Both sides finish in
+  the same database state (checked estimate-for-estimate before timing
+  is trusted).  Acceptance bar: logged overhead <= 1.5x.
+
+* **replay-from-checkpoint vs. rebuild-from-documents** -- recovering
+  the durable service (load the newest checkpoint's summaries + label
+  arrays, replay the log suffix) against the no-WAL alternative of
+  re-parsing the exported documents and rebuilding every statistic from
+  scratch.  Acceptance bar: replay beats the rebuild.
+
+Writes a ``BENCH_wal.json`` artifact; ``check_perf_floors.py`` guards
+``replay_vs_rebuild_speedup`` (floor 1.0x) and ``logged_overhead``
+(ceiling 1.5x) in CI.
+
+Run:  python benchmarks/bench_wal.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets import generate_dblp  # noqa: E402
+from repro.predicates.base import TagPredicate  # noqa: E402
+from repro.service import DeleteOp, EstimationService, InsertOp  # noqa: E402
+from repro.xmltree.parser import parse_document  # noqa: E402
+from repro.xmltree.tree import Element  # noqa: E402
+from repro.xmltree.writer import write_document  # noqa: E402
+
+HOT_TAGS = ["article", "author", "title", "cite"]
+QUERIES = ["//article//author", "//article//cite", "//dblp//title"]
+
+
+def make_subtree(size: int) -> Element:
+    root = Element("note")
+    for k in range(size):
+        author = Element("author")
+        author.append_text(f"Author {k}")
+        root.append(author)
+    return root
+
+
+def prime(service) -> None:
+    """Build the full statistics set, as ``build``/warm-start serving
+    does: every tag's position histogram + coverage, plus TRUE."""
+    for stats in service.catalog.register_all_tags():
+        service.position_histogram(stats.predicate)
+        service.coverage_histogram(stats.predicate)
+    _ = service.estimator.true_histogram
+
+
+def update_stream(rng: random.Random, count: int, article_count: int):
+    """``(kind, article_ordinal, subtree_size)``; each article targeted
+    at most once so the stream replays identically element-addressed."""
+    ordinals = rng.sample(range(article_count), count)
+    ops = []
+    for ordinal in ordinals:
+        if rng.random() < 0.6:
+            ops.append(("insert", ordinal, rng.randrange(1, 4)))
+        else:
+            ops.append(("delete", ordinal, 0))
+    return ops
+
+
+def resolve_targets(service, ops):
+    articles = service.catalog.stats(TagPredicate("article")).node_indices
+    return [
+        (kind, service.tree.elements[int(articles[ordinal])], size)
+        for kind, ordinal, size in ops
+    ]
+
+
+def as_batches(stream, batch_size):
+    return [
+        [
+            InsertOp(element, make_subtree(size))
+            if kind == "insert"
+            else DeleteOp(element)
+            for kind, element, size in stream[start : start + batch_size]
+        ]
+        for start in range(0, len(stream), batch_size)
+    ]
+
+
+def run_memory(document, ops, batch_size):
+    service = EstimationService(document, grid_size=10, spacing=64)
+    prime(service)
+    batches = as_batches(resolve_targets(service, ops), batch_size)
+    started = time.perf_counter()
+    for batch in batches:
+        service.apply_batch(batch)
+    elapsed = time.perf_counter() - started
+    return service, {
+        "updates": len(ops),
+        "batches": len(batches),
+        "batch_size": batch_size,
+        "update_seconds": elapsed,
+        "updates_per_sec": len(ops) / elapsed,
+        "final_nodes": len(service),
+    }
+
+
+def run_logged(document, ops, batch_size, wal_dir, replay_batches):
+    service = EstimationService.open_durable(
+        wal_dir, document, grid_size=10, spacing=64, checkpoint_every=10**9
+    )
+    prime(service)
+    stream = resolve_targets(service, ops)
+    timed, suffix = stream[: len(ops) - replay_batches * batch_size], None
+    batches = as_batches(timed, batch_size)
+    started = time.perf_counter()
+    for batch in batches:
+        service.apply_batch(batch)
+    elapsed = time.perf_counter() - started
+    prefix_nodes = len(service)
+    # Cut a checkpoint, then log a replay suffix past it: that suffix is
+    # what the recovery measurement replays.
+    service.checkpoint()
+    suffix = as_batches(stream[len(timed) :], batch_size)
+    for batch in suffix:
+        service.apply_batch(batch)
+    stats = {
+        "updates": len(timed),
+        "batches": len(batches),
+        "batch_size": batch_size,
+        "update_seconds": elapsed,
+        "updates_per_sec": len(timed) / elapsed,
+        "prefix_nodes": prefix_nodes,
+        "final_nodes": len(service),
+        "suffix_batches": len(suffix),
+    }
+    return service, stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small tree / fewer ops (CI smoke)"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_wal.json"),
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.5 if args.quick else 2.2
+    op_count = 100 if args.quick else 320
+    batch_size = 20 if args.quick else 40
+    replay_batches = 2  # batches logged past the last checkpoint
+
+    rng = random.Random(11)
+    document = generate_dblp(seed=7, scale=scale)
+    nodes = document.count_nodes()
+    article_count = sum(1 for e in document.iter_elements() if e.tag == "article")
+    print(f"synthetic dblp tree: {nodes} nodes, {article_count} articles (scale {scale})")
+    ops = update_stream(rng, op_count, article_count)
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_wal_"))
+    try:
+        # Both sides time the same prefix of the stream; the suffix past
+        # the durable run's last checkpoint only feeds the recovery
+        # measurement.
+        timed_ops = ops[: len(ops) - replay_batches * batch_size]
+        memory_service, memory = run_memory(
+            generate_dblp(seed=7, scale=scale), timed_ops, batch_size
+        )
+        print(
+            f"in-memory        {memory['updates']:4d} updates  "
+            f"{memory['updates_per_sec']:10.1f} updates/s"
+        )
+        wal_dir = workdir / "wal"
+        logged_service, logged = run_logged(
+            generate_dblp(seed=7, scale=scale), ops, batch_size, wal_dir,
+            replay_batches,
+        )
+        print(
+            f"logged (fsync)   {logged['updates']:4d} updates  "
+            f"{logged['updates_per_sec']:10.1f} updates/s"
+        )
+        # Same stream, same semantics: the timed sections must end in
+        # the same database state for the comparison to mean anything.
+        assert logged["prefix_nodes"] == memory["final_nodes"]
+        overhead = memory["updates_per_sec"] / logged["updates_per_sec"]
+        print(f"logged-batch overhead: {overhead:.2f}x (bar: <= 1.5x)")
+
+        final_state = {q: logged_service.estimate(q).value for q in QUERIES}
+        export = workdir / "final.xml"
+        export.write_text(write_document(logged_service.documents[0]))
+        logged_service.close()
+
+        # Recovery: newest checkpoint + replay of the logged suffix.
+        started = time.perf_counter()
+        recovered = EstimationService.open_durable(wal_dir)
+        recovery_seconds = time.perf_counter() - started
+        info = recovered.recovery_info
+        for query in QUERIES:
+            assert recovered.estimate(query).value == final_state[query], query
+        recovered.differential_check(QUERIES)
+        recovered.close()
+
+        # The no-WAL alternative: re-parse the exported documents and
+        # rebuild + re-prime every statistic from scratch.
+        started = time.perf_counter()
+        rebuilt = EstimationService(
+            parse_document(export.read_text()), grid_size=10, spacing=64
+        )
+        prime(rebuilt)
+        rebuild_seconds = time.perf_counter() - started
+        rebuilt.close()
+
+        replay_speedup = rebuild_seconds / recovery_seconds
+        print(
+            f"recovery: checkpoint lsn {info.checkpoint_lsn}, "
+            f"{info.batches_replayed} batch(es) replayed in "
+            f"{recovery_seconds:.3f}s; rebuild-from-documents "
+            f"{rebuild_seconds:.3f}s -> {replay_speedup:.1f}x"
+        )
+
+        memory_service.close()
+        artifact = {
+            "meta": {
+                "nodes": nodes,
+                "articles": article_count,
+                "quick": args.quick,
+                "grid": 10,
+                "seed": 11,
+                "wal_bytes": (wal_dir / "wal.log").stat().st_size,
+            },
+            "memory": memory,
+            "logged": logged,
+            "logged_overhead": overhead,
+            "recovery": {
+                "checkpoint_lsn": info.checkpoint_lsn,
+                "batches_replayed": info.batches_replayed,
+                "recovery_seconds": recovery_seconds,
+                "rebuild_seconds": rebuild_seconds,
+            },
+            "replay_vs_rebuild_speedup": replay_speedup,
+        }
+        Path(args.out).write_text(json.dumps(artifact, indent=1) + "\n")
+        print(f"wrote {args.out}")
+
+        if not args.quick:
+            assert nodes >= 100_000, f"full run must cover >= 1e5 nodes, got {nodes}"
+            assert overhead <= 1.5, (
+                f"logged-batch overhead {overhead:.2f}x above the 1.5x bar"
+            )
+            assert replay_speedup >= 1.0, (
+                f"replay {replay_speedup:.2f}x does not beat rebuild-from-documents"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,13 +1,18 @@
-"""Perf floor guard for CI: no recorded speedup may fall below 1.0.
+"""Perf floor guard for CI: recorded speedups and overheads must hold.
 
 Reads one or more benchmark JSON artifacts (``BENCH_hotpaths.json``,
-``BENCH_batch.json``, ...) and collects every numeric value stored
-under a key named ``speedup`` or ending in ``_speedup``, at any
-nesting depth.  A value below the floor means a "fast path" got slower
-than the baseline it exists to beat -- the guard fails the build
-rather than letting the regression ride along silently.
+``BENCH_batch.json``, ``BENCH_wal.json``, ...) and checks, at any
+nesting depth:
 
-Run:  python benchmarks/check_perf_floors.py BENCH_hotpaths.json BENCH_batch.json
+* every numeric value stored under a key named ``speedup`` or ending in
+  ``_speedup`` must be >= the floor (default 1.0) -- a "fast path"
+  below it got slower than the baseline it exists to beat;
+* every numeric value stored under a key named ``overhead`` or ending
+  in ``_overhead`` must be <= the ceiling (default 1.5) -- a safety
+  layer (e.g. the write-ahead log's fsync-before-apply) whose tax grew
+  past its budget fails the build instead of riding along silently.
+
+Run:  python benchmarks/check_perf_floors.py BENCH_hotpaths.json BENCH_wal.json
 """
 
 from __future__ import annotations
@@ -18,22 +23,27 @@ import sys
 from pathlib import Path
 
 FLOOR = 1.0
+OVERHEAD_CEILING = 1.5
 
 
-def collect_speedups(payload, path=""):
-    """Yield ``(json_path, value)`` for every recorded speedup."""
+def collect_metrics(payload, path=""):
+    """Yield ``(kind, json_path, value)`` for every recorded speedup
+    (``kind == "speedup"``) and overhead (``kind == "overhead"``)."""
     if isinstance(payload, dict):
         for key, value in payload.items():
             where = f"{path}.{key}" if path else key
-            if (key == "speedup" or key.endswith("_speedup")) and isinstance(
-                value, (int, float)
-            ):
-                yield where, float(value)
+            is_number = isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            )
+            if (key == "speedup" or key.endswith("_speedup")) and is_number:
+                yield "speedup", where, float(value)
+            elif (key == "overhead" or key.endswith("_overhead")) and is_number:
+                yield "overhead", where, float(value)
             else:
-                yield from collect_speedups(value, where)
+                yield from collect_metrics(value, where)
     elif isinstance(payload, list):
         for index, value in enumerate(payload):
-            yield from collect_speedups(value, f"{path}[{index}]")
+            yield from collect_metrics(value, f"{path}[{index}]")
 
 
 def main(argv=None) -> int:
@@ -41,6 +51,12 @@ def main(argv=None) -> int:
     parser.add_argument("artifacts", nargs="+", help="benchmark JSON files")
     parser.add_argument(
         "--floor", type=float, default=FLOOR, help="minimum allowed speedup"
+    )
+    parser.add_argument(
+        "--overhead-ceiling",
+        type=float,
+        default=OVERHEAD_CEILING,
+        help="maximum allowed overhead ratio",
     )
     args = parser.parse_args(argv)
 
@@ -53,22 +69,31 @@ def main(argv=None) -> int:
             failures.append((artifact, "missing"))
             continue
         payload = json.loads(path.read_text())
-        found = list(collect_speedups(payload))
+        found = list(collect_metrics(payload))
         if not found:
-            print(f"perf floor: {artifact} records no speedups")
-            failures.append((artifact, "no speedups recorded"))
+            print(f"perf floor: {artifact} records no speedups or overheads")
+            failures.append((artifact, "no metrics recorded"))
             continue
-        for where, value in found:
+        for kind, where, value in found:
             total += 1
-            status = "ok" if value >= args.floor else "FAIL"
-            print(f"perf floor: {artifact}:{where} = {value:.2f}x {status}")
-            if value < args.floor:
+            if kind == "speedup":
+                ok = value >= args.floor
+                bound = f">= {args.floor:.1f}x"
+            else:
+                ok = value <= args.overhead_ceiling
+                bound = f"<= {args.overhead_ceiling:.1f}x"
+            status = "ok" if ok else "FAIL"
+            print(
+                f"perf floor: {artifact}:{where} = {value:.2f}x "
+                f"({kind} {bound}) {status}"
+            )
+            if not ok:
                 failures.append((f"{artifact}:{where}", value))
 
     if failures:
-        print(f"perf floor: {len(failures)} failure(s) below {args.floor:.1f}x")
+        print(f"perf floor: {len(failures)} failure(s)")
         return 1
-    print(f"perf floor: all {total} recorded speedups >= {args.floor:.1f}x")
+    print(f"perf floor: all {total} recorded metrics within bounds")
     return 0
 
 

@@ -15,7 +15,10 @@ Commands cover the practical workflow:
   update ingestion (``--batch-size``);
 * ``build`` -- build the full statistics set over an XML file (sharded
   across ``--workers`` processes) and persist it as a binary store for
-  later ``serve --warm-start``.
+  later ``serve --warm-start``;
+* ``recover`` -- crash-recover a durable service (``serve --wal-dir``)
+  from its write-ahead log + checkpoints and report the recovered
+  state.
 
 Examples
 --------
@@ -27,6 +30,8 @@ Examples
     echo 'estimate //article//author' | python -m repro serve dblp.xml
     python -m repro build dblp.xml --out dblp.npz --workers 4
     python -m repro serve dblp.xml --warm-start dblp.npz --batch-size 64
+    python -m repro serve dblp.xml --wal-dir state/ --batch-size 64
+    python -m repro recover state/ --verify
 """
 
 from __future__ import annotations
@@ -127,14 +132,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="bucket boundary placement (default uniform)",
     )
+    # Defaults resolve in cmd_serve (64 / 0.25): an existing --wal-dir
+    # fixes both from its checkpoint, so an explicit flag is an error.
     serve.add_argument(
-        "--spacing", type=int, default=64, help="label gap factor for inserts"
+        "--spacing",
+        type=int,
+        default=None,
+        help="label gap factor for inserts (default 64)",
     )
     serve.add_argument(
         "--rebuild-threshold",
         type=float,
-        default=0.25,
-        help="dirty fraction that triggers a full rebuild",
+        default=None,
+        help="dirty fraction that triggers a full rebuild (default 0.25)",
     )
     serve.add_argument(
         "--script",
@@ -163,6 +173,37 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="shard statistics rebuilds over N worker processes",
+    )
+    serve.add_argument(
+        "--wal-dir",
+        default=None,
+        help="durable mode: write-ahead-log every update into this "
+        "directory (created and checkpointed on first use; an existing "
+        "directory is crash-recovered and supersedes the data file)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=16,
+        help="with --wal-dir: cut a checkpoint every N logged updates",
+    )
+
+    recover = commands.add_parser(
+        "recover",
+        help="recover a durable estimation service from its WAL directory "
+        "(load newest valid checkpoint, replay the committed log suffix, "
+        "truncate any torn tail) and report the recovered state",
+    )
+    recover.add_argument("wal_dir", help="write-ahead-log directory")
+    recover.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the differential self-check over the recovered state",
+    )
+    recover.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="cut a fresh checkpoint after replay (shortens the next recovery)",
     )
 
     build = commands.add_parser(
@@ -342,9 +383,58 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
-    text = Path(args.data).read_text()
-    document = parse_document(text)
-    if args.warm_start:
+    if args.wal_dir and args.warm_start:
+        print(
+            "error: --warm-start conflicts with --wal-dir (a durable "
+            "directory carries its own checkpointed statistics)",
+            file=sys.stderr,
+        )
+        return 2
+    spacing = args.spacing if args.spacing is not None else 64
+    rebuild_threshold = (
+        args.rebuild_threshold if args.rebuild_threshold is not None else 0.25
+    )
+    if args.wal_dir:
+        if args.checkpoint_every < 1:
+            print("error: --checkpoint-every must be >= 1", file=sys.stderr)
+            return 2
+        from repro.service.wal import LOG_NAME, list_checkpoints
+
+        wal_dir = Path(args.wal_dir)
+        has_state = (wal_dir / LOG_NAME).exists() or bool(list_checkpoints(wal_dir))
+        if has_state and (
+            args.grid is not None
+            or args.grid_kind is not None
+            or args.spacing is not None
+            or args.rebuild_threshold is not None
+        ):
+            print(
+                "error: --grid/--grid-kind/--spacing/--rebuild-threshold "
+                "conflict with an existing --wal-dir (the durable state "
+                "fixes them)",
+                file=sys.stderr,
+            )
+            return 2
+        document = None if has_state else parse_document(Path(args.data).read_text())
+        service = EstimationService.open_durable(
+            wal_dir,
+            document,
+            grid_size=args.grid if args.grid is not None else 10,
+            grid=args.grid_kind if args.grid_kind is not None else "uniform",
+            spacing=spacing,
+            rebuild_threshold=rebuild_threshold,
+            n_workers=args.workers,
+            checkpoint_every=args.checkpoint_every,
+        )
+        if service.recovery_info is not None:
+            info = service.recovery_info
+            print(
+                f"recovered {args.wal_dir}: checkpoint lsn {info.checkpoint_lsn}, "
+                f"{info.batches_replayed} replayed, {info.batches_skipped} "
+                f"skipped, {info.truncated_bytes} torn bytes truncated "
+                f"(data file superseded by durable state)"
+            )
+    elif args.warm_start:
         if args.grid is not None or args.grid_kind is not None:
             print(
                 "error: --grid/--grid-kind conflict with --warm-start "
@@ -352,71 +442,124 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+        document = parse_document(Path(args.data).read_text())
         service = EstimationService.warm_start(
             document,
             args.warm_start,
-            spacing=args.spacing,
-            rebuild_threshold=args.rebuild_threshold,
+            spacing=spacing,
+            rebuild_threshold=rebuild_threshold,
             n_workers=args.workers,
         )
     else:
+        document = parse_document(Path(args.data).read_text())
         service = EstimationService(
             document,
             grid_size=args.grid if args.grid is not None else 10,
             grid=args.grid_kind if args.grid_kind is not None else "uniform",
-            spacing=args.spacing,
-            rebuild_threshold=args.rebuild_threshold,
+            spacing=spacing,
+            rebuild_threshold=rebuild_threshold,
             n_workers=args.workers,
         )
     print(f"serving {args.data}: {len(service):,} elements, grid {service.estimator.grid.size}")
 
-    if args.script:
-        lines = Path(args.script).read_text().splitlines()
-    else:
-        lines = sys.stdin
-    queue: list[tuple] = []
-    for raw in lines:
-        line = raw.strip()
-        if not line or line.startswith("#"):
-            continue
-        if line == "quit":
-            break
-        command = line.split(None, 1)[0]
-        if args.batch_size > 1 and command in ("insert", "delete"):
-            try:
-                queue.append(_parse_update(line))
-                response = f"queued {command} ({len(queue)}/{args.batch_size})"
-                if len(queue) >= args.batch_size:
-                    response = _flush_updates(service, queue)
-            except Exception as exc:  # drop the poisoned batch, keep serving
-                response = f"error: {exc}"
-            print(response)
-            continue
-        if queue:  # read commands see all queued updates applied
-            try:
-                print(_flush_updates(service, queue))
-            except Exception as exc:
-                print(f"error: {exc}")
+    # Everything past this point runs under try/finally: however the
+    # command loop ends (EOF, quit, a bug in a handler, Ctrl-C), the
+    # trailing partial batch is flushed before the session summary and
+    # the service's worker pool + WAL are released.
+    try:
+        if args.script:
+            lines = Path(args.script).read_text().splitlines()
+        else:
+            lines = sys.stdin
+        queue: list[tuple] = []
         try:
-            response = _serve_command(service, line)
-        except Exception as exc:  # keep serving; report the failure
-            response = f"error: {exc}"
-        print(response)
-    if queue:
-        try:
-            print(_flush_updates(service, queue))
-        except Exception as exc:
-            print(f"error: {exc}")
+            for raw in lines:
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                if line == "quit":
+                    break
+                command = line.split(None, 1)[0]
+                if args.batch_size > 1 and command in ("insert", "delete"):
+                    try:
+                        queue.append(_parse_update(line))
+                        response = f"queued {command} ({len(queue)}/{args.batch_size})"
+                        if len(queue) >= args.batch_size:
+                            response = _flush_updates(service, queue)
+                    except Exception as exc:  # drop the poisoned batch
+                        response = f"error: {exc}"
+                    print(response)
+                    continue
+                if queue:  # read commands see all queued updates applied
+                    try:
+                        print(_flush_updates(service, queue))
+                    except Exception as exc:
+                        print(f"error: {exc}")
+                try:
+                    response = _serve_command(service, line)
+                except Exception as exc:  # keep serving; report the failure
+                    response = f"error: {exc}"
+                print(response)
+        finally:
+            # EOF / quit / handler escape with updates still queued: the
+            # partial trailing batch must apply before the final stats.
+            if queue:
+                try:
+                    print(_flush_updates(service, queue))
+                except Exception as exc:
+                    print(f"error: {exc}")
 
-    stats = service.stats
-    print(
-        f"session inserts={stats.inserts} deletes={stats.deletes} "
-        f"rebuilds={stats.rebuilds} batches={stats.batches} nodes={len(service)}"
-    )
-    if args.save_stats:
-        written = service.save_statistics(args.save_stats)
-        print(f"saved {written} predicate summaries to {args.save_stats}")
-    service.close()
+        stats = service.stats
+        print(
+            f"session inserts={stats.inserts} deletes={stats.deletes} "
+            f"rebuilds={stats.rebuilds} batches={stats.batches} nodes={len(service)}"
+        )
+        if args.save_stats:
+            written = service.save_statistics(args.save_stats)
+            print(f"saved {written} predicate summaries to {args.save_stats}")
+        if service.wal_attached:
+            lsn = service.checkpoint()
+            print(f"checkpointed {args.wal_dir} at lsn {lsn}")
+    finally:
+        service.close()
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Recover a durable service from its WAL directory and report."""
+    from repro.service import EstimationService, WalError
+
+    try:
+        service = EstimationService.open_durable(args.wal_dir)
+    except WalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        info = service.recovery_info
+        if info is None:
+            print(f"{args.wal_dir}: fresh durable directory, nothing to replay")
+        else:
+            print(
+                f"recovered {args.wal_dir}: checkpoint lsn {info.checkpoint_lsn}, "
+                f"{info.batches_replayed} batch(es) replayed, "
+                f"{info.batches_skipped} skipped, "
+                f"{info.truncated_bytes} torn bytes truncated, "
+                f"next lsn {info.next_lsn}"
+            )
+        print(
+            f"state: {len(service):,} elements, "
+            f"{len(service.catalog)} predicates, grid "
+            f"{service.estimator.grid.size}, dirty {service.dirty_fraction:.4f}"
+        )
+        if args.verify:
+            service.differential_check()
+            print("differential check passed: recovered statistics are "
+                  "bit-identical to a from-scratch build")
+        if args.checkpoint:
+            lsn = service.checkpoint()
+            print(f"checkpointed at lsn {lsn}")
+    finally:
+        service.close()
     return 0
 
 
@@ -580,6 +723,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "workload": cmd_workload,
         "serve": cmd_serve,
         "build": cmd_build,
+        "recover": cmd_recover,
     }
     return handlers[args.command](args)
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import json
 import zipfile
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
@@ -293,14 +294,14 @@ def load_binary_summaries(path: Union[str, Path]) -> LoadedSummaries:
         raise FileNotFoundError(f"no binary summary store at {path}")
     try:
         archive = np.load(path)
-    except (zipfile.BadZipFile, ValueError, OSError) as exc:
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as exc:
         raise SummaryFormatError(f"{path} is not a summary archive: {exc}") from exc
     with archive:
         if "manifest" not in archive.files:
             raise SummaryFormatError(f"{path} has no manifest member")
         try:
             manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        except _MALFORMED_MEMBER_ERRORS as exc:
             raise SummaryFormatError(f"{path} has a corrupted manifest: {exc}") from exc
         if not isinstance(manifest, dict) or manifest.get("format") != BINARY_FORMAT:
             raise SummaryFormatError(
@@ -318,11 +319,36 @@ def load_binary_summaries(path: Union[str, Path]) -> LoadedSummaries:
                 _load_summary(archive, grid, entry)
                 for entry in manifest["predicates"]
             ]
-        except (KeyError, TypeError, IndexError) as exc:
-            raise SummaryFormatError(f"{path} manifest is incomplete: {exc}") from exc
+        except _MALFORMED_MEMBER_ERRORS as exc:
+            # Covers both an incomplete manifest (missing/mistyped
+            # fields) and array members that fail to decompress -- a
+            # truncated or bit-flipped .npz raises BadZipFile / CRC /
+            # zlib errors only when the member is actually read.
+            raise SummaryFormatError(
+                f"{path} is corrupt or incomplete: {exc}"
+            ) from exc
     return LoadedSummaries(
         grid=grid, summaries=summaries, fingerprint=manifest.get("fingerprint")
     )
+
+
+#: Everything a malformed store can raise while its members are read:
+#: manifest/JSON decoding issues, missing or mistyped manifest fields,
+#: and the zip/zlib/numpy errors a truncated or bit-flipped archive
+#: produces lazily at member-access time.
+_MALFORMED_MEMBER_ERRORS = (
+    KeyError,
+    TypeError,
+    IndexError,
+    ValueError,
+    AttributeError,
+    OSError,
+    EOFError,
+    UnicodeDecodeError,
+    json.JSONDecodeError,
+    zipfile.BadZipFile,
+    zlib.error,
+)
 
 
 def _load_summary(archive, grid: GridSpec, entry: dict) -> LoadedSummary:

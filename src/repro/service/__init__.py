@@ -11,6 +11,7 @@ statistics subsystem must.  See
 from repro.service.batch import BatchError, BatchResult, DeleteOp, InsertOp
 from repro.service.service import EstimationService, ServiceStats, UpdateResult
 from repro.service.snapshot import ServiceSnapshot
+from repro.service.wal import RecoveryInfo, WalError, WriteAheadLog
 
 __all__ = [
     "BatchError",
@@ -18,7 +19,10 @@ __all__ = [
     "DeleteOp",
     "EstimationService",
     "InsertOp",
+    "RecoveryInfo",
     "ServiceSnapshot",
     "ServiceStats",
     "UpdateResult",
+    "WalError",
+    "WriteAheadLog",
 ]

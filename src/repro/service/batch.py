@@ -32,11 +32,18 @@ a later operation).  What changes is the maintenance cost model:
 The batch is also the atomicity unit for rebuild decisions: the dirty
 threshold is evaluated once against the batch's total touched nodes,
 and a label-gap exhaustion mid-batch relabels in place and finishes the
-batch under a full statistics rebuild.  If an operation fails after
-earlier ones already mutated the database, the service restores
-consistency with a full rebuild before the error propagates (the
-completed prefix stays applied, exactly as sequential application would
-leave it).
+batch under a full statistics rebuild.  Batches are atomic with respect
+to failures: every operation's document-model mutation is journalled as
+it is applied, and if a later operation fails -- even half-way through
+its own splice -- the journal is unwound and the pre-batch label arrays
+are restored, so the service is left bit-identical to its pre-batch
+state before :class:`BatchError` propagates.  (Summary maintenance has
+not started at that point: histograms, catalog, and coverage numerators
+are only touched by the flush, which runs after every operation
+succeeded.)  A failure *inside* the flush is repaired with a full
+rebuild instead -- the batch's operations stay applied
+(``BatchError.applied`` distinguishes the two outcomes for durability
+layers that must decide between replaying and skipping the batch).
 
 Net-delta correctness rests on two invariants of subtree updates: a
 surviving node's labels and ancestor chain never change within a batch
@@ -104,9 +111,24 @@ class BatchResult:
 
 
 class BatchError(RuntimeError):
-    """An operation failed mid-batch; the service was re-synchronised
-    with a full rebuild, the failed operation and everything after it
-    were not applied."""
+    """A batch failed part-way through.
+
+    ``applied`` tells what state the service was left in:
+
+    * ``False`` -- an *operation* failed: the batch was rolled back and
+      the service is bit-identical to its pre-batch state (labels,
+      structure, and every maintained summary untouched);
+    * ``True`` -- every operation applied but the summary *flush*
+      failed: the post-batch document state stays, and the service was
+      re-synchronised with a full statistics rebuild.
+
+    Durability layers use the flag to mark the batch's write-ahead-log
+    record committed (``True``) or aborted (``False``).
+    """
+
+    def __init__(self, message: str, applied: bool = False) -> None:
+        super().__init__(message)
+        self.applied = applied
 
 
 def normalize_ops(ops: Sequence[BatchOp]) -> list[Union[InsertOp, DeleteOp]]:
@@ -164,6 +186,11 @@ class BatchApplier:
         self.nodes_deleted = 0
         self.degraded = False
         self._initial_index: Optional[dict[int, int]] = None
+        # Document-model journal for rollback: ("insert", subtree_root)
+        # and ("delete", element, parent, child_slot) entries in apply
+        # order, recorded *before* each mutation so a failure half-way
+        # through an operation is still unwound.
+        self._undo: list[tuple] = []
 
     # -- public entry ------------------------------------------------------
 
@@ -186,10 +213,15 @@ class BatchApplier:
             }
 
         # Pre-batch view: splices replace arrays rather than mutating
-        # them, so plain references are a consistent snapshot.
+        # them, so plain references are a consistent snapshot -- and
+        # double as the rollback image (only the element list needs a
+        # copy, because splices mutate it in place).
         self.start0 = self.tree.start
         self.end0 = self.tree.end
         self.parent0 = self.tree.parent_index
+        self.level0 = self.tree.level
+        self.max_label0 = self.tree.max_label
+        self.elements0 = list(self.tree.elements)
         self.orig_pos = np.arange(len(self.tree), dtype=np.int64)
 
         applied = 0
@@ -201,31 +233,87 @@ class BatchApplier:
                     self._apply_delete(op)
                 applied += 1
         except Exception as exc:
+            self._rollback()
             if applied == 0:
-                raise  # nothing mutated; the service is untouched
-            service.rebuild(from_documents=False, catalog_in_sync=False)
-            self._count_into_stats()
+                raise  # first operation failed; pre-batch state restored
             raise BatchError(
                 f"batch operation {applied} failed after {applied} earlier "
-                f"operation(s) were applied; service rebuilt to stay "
-                f"consistent: {exc}"
+                f"operation(s) were applied; the batch was rolled back and "
+                f"the service is in its pre-batch state: {exc}",
+                applied=False,
             ) from exc
 
         predicted = service._dirty_nodes + self.touched
         threshold = service.rebuild_threshold * max(1, len(self.tree))
         if self.degraded or predicted > threshold:
             service._dirty_nodes = predicted
-            service.rebuild(from_documents=False, catalog_in_sync=False)
+            try:
+                service.rebuild(from_documents=False, catalog_in_sync=False)
+            except Exception as exc:
+                # The operations are all applied; only the eager
+                # rebuild died.  Flag that for durability layers (the
+                # record must replay, not be skipped).
+                raise BatchError(
+                    f"rebuild failed after all {applied} operation(s) were "
+                    f"applied: {exc}",
+                    applied=True,
+                ) from exc
             self._count_into_stats()
             return self._result(rebuilt=True, changed=0, invalidated=0)
 
-        changed, invalidated = self._flush_deltas()
+        try:
+            changed, invalidated = self._flush_deltas()
+        except Exception as exc:
+            # Operations are all applied; only summary maintenance is
+            # suspect.  Re-derive everything from the (consistent)
+            # post-batch label table.
+            service._dirty_nodes = predicted
+            service.rebuild(from_documents=False, catalog_in_sync=False)
+            self._count_into_stats()
+            raise BatchError(
+                f"summary flush failed after all {applied} operation(s) were "
+                f"applied; service rebuilt to stay consistent: {exc}",
+                applied=True,
+            ) from exc
         service._dirty_nodes = predicted
         service._optimizer = None
         service._executor = None
         self._count_into_stats()
         service.stats.coefficient_invalidations += invalidated
         return self._result(rebuilt=False, changed=changed, invalidated=invalidated)
+
+    def _rollback(self) -> None:
+        """Unwind every document-model mutation and restore the
+        pre-batch label table, leaving the service bit-identical to its
+        state when :meth:`apply` was entered.
+
+        Safe against half-applied operations: journal entries are
+        recorded before the mutations they describe, and the label
+        arrays are restored wholesale from the pre-batch references
+        (splices and relabels replace arrays rather than writing into
+        them, so those references are still the pre-batch values).
+        Catalog, histograms, and coverage numerators need no undo --
+        the flush that touches them only runs after every operation
+        succeeded.
+        """
+        for entry in reversed(self._undo):
+            if entry[0] == "insert":
+                subtree = entry[1]
+                if subtree.parent is not None:
+                    subtree.parent.children.remove(subtree)
+                    subtree.parent = None
+            else:
+                _, element, parent, slot = entry
+                element.parent = parent
+                parent.children.insert(slot, element)
+        self.tree.replace_contents(
+            self.elements0,
+            self.start0,
+            self.end0,
+            self.level0,
+            self.parent0,
+            self.max_label0,
+        )
 
     # -- splice pass -------------------------------------------------------
 
@@ -283,6 +371,7 @@ class BatchApplier:
             except GapExhausted:
                 self._oversized_insert(parent_index, op)
                 return
+        self._undo.append(("insert", subtree))
         self.service._attach_child(
             self.tree.elements[parent_index], subtree, op.position
         )
@@ -294,6 +383,7 @@ class BatchApplier:
         """A subtree larger than any fresh gap: attach it and relabel
         the whole forest by walking the documents (rare degraded path)."""
         parent_element = self.tree.elements[parent_index]
+        self._undo.append(("insert", op.subtree))
         self.service._attach_child(parent_element, op.subtree, op.position)
         labeled = label_forest(self.service.documents, spacing=self.service.spacing)
         self.tree.replace_contents(
@@ -347,7 +437,11 @@ class BatchApplier:
             )
 
         element = self.tree.elements[index]
-        element.parent.children.remove(element)
+        parent_element = element.parent
+        self._undo.append(
+            ("delete", element, parent_element, parent_element.children.index(element))
+        )
+        parent_element.children.remove(element)
         element.parent = None
         apply_delete(self.tree, index)
         self.touched += count

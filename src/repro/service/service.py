@@ -171,7 +171,19 @@ class EstimationService:
         self.stats = ServiceStats()
         self.tree: Optional[LabeledTree] = None
         self._pool = None
+        self._init_wal_state()
         self._build_state()
+
+    def _init_wal_state(self) -> None:
+        """Durability bookkeeping; a plain service keeps it all inert."""
+        self._wal = None
+        self._wal_dir: Optional[Path] = None
+        self._replaying = False
+        self._checkpoint_every = 16
+        self._last_lsn = 0
+        self._last_checkpoint_lsn = 0
+        self._checkpoint_requested = False
+        self.recovery_info = None
 
     # -- state construction ------------------------------------------------
 
@@ -255,11 +267,14 @@ class EstimationService:
         return self._pool
 
     def close(self) -> None:
-        """Release the worker pool (idempotent)."""
+        """Release the worker pool and the write-ahead log (idempotent)."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        if self._wal is not None:
+            self._wal.close()
+            self._wal = None
 
     def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
         try:
@@ -301,6 +316,12 @@ class EstimationService:
         for predicate in primed_coverages:
             self._ensure_coverage(predicate)
         self.stats.rebuilds += 1
+        if self._wal is not None:
+            # Rebuilds re-bucket the label space -- every record before
+            # this point replays against dead geometry, so bound the
+            # replay cost by checkpointing as soon as the in-flight
+            # update commits.
+            self._checkpoint_requested = True
 
     # -- size / status -----------------------------------------------------
 
@@ -356,6 +377,30 @@ class EstimationService:
 
     # -- update API --------------------------------------------------------
 
+    def _log_update(self, op) -> Optional[int]:
+        """Durably log one normalized op as a single-update record.
+
+        Returns its LSN, or ``None`` when no WAL is attached (or the
+        service is replaying its own log).  Runs strictly before any
+        mutation -- this is the write-ahead discipline.
+        """
+        if self._wal is None or self._replaying:
+            return None
+        from repro.service.wal import encode_ops
+
+        return self._wal.log_batch(encode_ops(self, [op]), single=True)
+
+    def _commit_update(self, lsn: Optional[int]) -> None:
+        if lsn is None:
+            return
+        self._wal.mark_committed(lsn)
+        self._last_lsn = lsn
+        self._maybe_checkpoint()
+
+    def _abort_update(self, lsn: Optional[int]) -> None:
+        if lsn is not None:
+            self._wal.mark_aborted(lsn)
+
     def insert_subtree(
         self,
         parent: Union[Element, int],
@@ -370,8 +415,27 @@ class EstimationService:
         labels from the gap at the insertion point and applies exact
         deltas to every maintained summary.  Falls back to a full
         rebuild when the gap cannot hold the subtree or the dirty
-        fraction crosses the threshold.
+        fraction crosses the threshold.  With a write-ahead log
+        attached, the update is durably logged before any state
+        changes.
         """
+        from repro.service.batch import InsertOp
+
+        lsn = self._log_update(InsertOp(parent, subtree, position))
+        try:
+            result = self._insert_subtree(parent, subtree, position)
+        except BaseException:
+            self._abort_update(lsn)
+            raise
+        self._commit_update(lsn)
+        return result
+
+    def _insert_subtree(
+        self,
+        parent: Union[Element, int],
+        subtree: Element,
+        position: Optional[int] = None,
+    ) -> UpdateResult:
         parent_index = self._resolve(parent)
         if subtree.parent is not None:
             raise ValueError("subtree to insert must be detached (parent is None)")
@@ -398,8 +462,22 @@ class EstimationService:
         """Delete an element and its whole subtree.
 
         The freed labels rejoin the gap at the parent; all maintained
-        summaries take exact negative deltas.
+        summaries take exact negative deltas.  With a write-ahead log
+        attached, the update is durably logged before any state
+        changes.
         """
+        from repro.service.batch import DeleteOp
+
+        lsn = self._log_update(DeleteOp(node))
+        try:
+            result = self._delete_subtree(node)
+        except BaseException:
+            self._abort_update(lsn)
+            raise
+        self._commit_update(lsn)
+        return result
+
+    def _delete_subtree(self, node: Union[Element, int]) -> UpdateResult:
         index = self._resolve(node)
         self._sync_coverage_numerators()
         sub = self.tree.subtree_slice(index)
@@ -432,10 +510,40 @@ class EstimationService:
         :mod:`repro.service.batch`.  The batch is the atomicity unit for
         rebuild decisions; readers holding a :meth:`snapshot` never
         observe a half-applied batch.
-        """
-        from repro.service.batch import BatchApplier
 
-        return BatchApplier(self).apply(ops)
+        With a write-ahead log attached, the normalized batch is
+        serialised, appended, and fsync'd before the first operation
+        mutates anything; the record is marked committed once the batch
+        applied (or aborted if it rolled back), and a checkpoint is cut
+        when the log has grown past the checkpoint interval or a
+        rebuild re-bucketed the label space.
+        """
+        from repro.service.batch import BatchApplier, normalize_ops
+
+        plan = normalize_ops(ops)
+        lsn = None
+        if self._wal is not None and not self._replaying and plan:
+            from repro.service.wal import encode_ops
+
+            lsn = self._wal.log_batch(encode_ops(self, plan))
+        try:
+            result = BatchApplier(self).apply(plan)
+        except BaseException as exc:
+            if lsn is not None:
+                if getattr(exc, "applied", False):
+                    # The batch's operations stayed applied (the flush
+                    # failed and a rebuild repaired the summaries):
+                    # replaying it at recovery is correct and required.
+                    self._wal.mark_committed(lsn)
+                    self._last_lsn = lsn
+                else:
+                    self._wal.mark_aborted(lsn)
+            raise
+        if lsn is not None:
+            self._wal.mark_committed(lsn)
+            self._last_lsn = lsn
+            self._maybe_checkpoint()
+        return result
 
     def snapshot(self) -> "ServiceSnapshot":
         """An immutable read view of the current state.
@@ -521,6 +629,93 @@ class EstimationService:
             assert ours == theirs, (
                 f"estimate drift for {query!r}: {ours} != {theirs}"
             )
+
+    # -- durability ---------------------------------------------------------
+
+    def _attach_wal(
+        self, wal, directory: Path, checkpoint_every: int, last_lsn: int
+    ) -> None:
+        """Adopt an open write-ahead log: every later update is logged
+        before it applies (see :mod:`repro.service.wal`)."""
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint interval must be >= 1, got {checkpoint_every}"
+            )
+        self._wal = wal
+        self._wal_dir = Path(directory)
+        self._checkpoint_every = checkpoint_every
+        self._last_lsn = last_lsn
+        self._last_checkpoint_lsn = last_lsn
+        self._checkpoint_requested = False
+
+    @property
+    def wal_attached(self) -> bool:
+        return self._wal is not None
+
+    def _maybe_checkpoint(self) -> None:
+        if self._wal is None or self._replaying:
+            return
+        due = self._last_lsn - self._last_checkpoint_lsn >= self._checkpoint_every
+        if due or self._checkpoint_requested:
+            self.checkpoint()
+
+    def checkpoint(self) -> int:
+        """Cut a checkpoint at the last committed LSN.
+
+        Forces buffered commit markers to disk first, then persists the
+        summary store plus the document forest, label arrays, and LSN;
+        recovery replays only the log suffix past the newest valid
+        checkpoint.  Returns the checkpoint's LSN.
+        """
+        from repro.service.wal import write_checkpoint
+
+        if self._wal is None:
+            raise ValueError("no write-ahead log attached to checkpoint")
+        self._wal.sync()
+        write_checkpoint(self, self._wal_dir, self._last_lsn)
+        self._last_checkpoint_lsn = self._last_lsn
+        self._checkpoint_requested = False
+        return self._last_lsn
+
+    @classmethod
+    def open_durable(
+        cls,
+        directory: Union[str, Path],
+        documents: Union[Document, Sequence[Document], None] = None,
+        *,
+        grid_size: int = 10,
+        grid: str = "uniform",
+        spacing: int = 64,
+        rebuild_threshold: float = 0.25,
+        n_workers: int = 1,
+        checkpoint_every: int = 16,
+    ) -> "EstimationService":
+        """Open (or initialise) a crash-recoverable service.
+
+        ``directory`` holds the write-ahead log and its checkpoints.  If
+        it already contains durable state, the service is *recovered*:
+        the newest valid checkpoint is loaded and the committed log
+        suffix is replayed through the normal update paths, yielding
+        state bit-identical to an uninterrupted run over the committed
+        prefix (a torn log tail is checksum-detected and truncated,
+        never partially replayed); ``documents`` and the configuration
+        keywords are then ignored, and ``service.recovery_info`` reports
+        what recovery did.  A fresh directory requires ``documents`` and
+        writes an initial checkpoint before the first update is
+        accepted.
+        """
+        from repro.service.wal import open_durable as _open_durable
+
+        return _open_durable(
+            directory,
+            documents,
+            grid_size=grid_size,
+            grid=grid,
+            spacing=spacing,
+            rebuild_threshold=rebuild_threshold,
+            n_workers=n_workers,
+            checkpoint_every=checkpoint_every,
+        )
 
     # -- persistence --------------------------------------------------------
 

@@ -225,28 +225,190 @@ def test_batch_dirty_threshold_triggers_one_rebuild_at_end():
     service.differential_check(QUERIES)
 
 
-def test_batch_error_mid_batch_rebuilds_and_raises():
+def capture_state(service):
+    return (
+        [e.tag for e in service.tree.elements],
+        service.tree.start.copy(),
+        service.tree.end.copy(),
+        service.tree.parent_index.copy(),
+        {q: service.estimate(q).value for q in QUERIES},
+        {q: service.real_answer(q) for q in QUERIES},
+    )
+
+
+def assert_pre_batch_state(service, state):
+    """The service is bit-identical to its pre-batch capture."""
+    tags, start, end, parents, estimates, real = state
+    assert [e.tag for e in service.tree.elements] == tags
+    assert np.array_equal(service.tree.start, start)
+    assert np.array_equal(service.tree.end, end)
+    assert np.array_equal(service.tree.parent_index, parents)
+    for query in QUERIES:
+        assert service.estimate(query).value == estimates[query], query
+        assert service.real_answer(query) == real[query], query
+    service.differential_check(QUERIES)
+
+
+def test_batch_error_mid_batch_rolls_back_whole_batch():
     service, _ = make_pair(5, 5, 64, 0.95)
-    attached = Element("a")
+    attached = Element("zz")
     service.tree.elements[0].append(attached)  # not via the service
     service.rebuild()  # resync after the out-of-band edit
-    with pytest.raises(BatchError):
+    before = capture_state(service)
+    with pytest.raises(BatchError) as excinfo:
         service.apply_batch(
             [InsertOp(0, Element("b")), InsertOp(0, attached)]  # not detached
         )
-    # The completed prefix stays applied and the service is consistent.
-    service.differential_check(QUERIES)
-    assert service.catalog.stats(TagPredicate("b")).count >= 1
+    assert excinfo.value.applied is False
+    # The whole batch -- including the completed prefix -- was undone.
+    assert service.catalog.stats(TagPredicate("zz")).count == 1  # pre-batch
+    assert_pre_batch_state(service, before)
 
 
 def test_batch_first_op_error_leaves_service_untouched():
     service, _ = make_pair(6, 5, 64, 0.95)
-    before = {q: service.estimate(q).value for q in QUERIES}
+    before = capture_state(service)
     with pytest.raises(IndexError):
         service.apply_batch([DeleteOp(10**9)])
-    for query, value in before.items():
-        assert service.estimate(query).value == value
-    service.differential_check(QUERIES)
+    assert_pre_batch_state(service, before)
+
+
+class TestMidBatchFaultInjection:
+    """Force a failure in every phase of ``BatchApplier.apply`` and pin
+    the rollback contract: the service ends bit-identical to its
+    pre-batch state, with every maintained summary untouched."""
+
+    def make(self, seed=21):
+        service, _ = make_pair(seed, 5, 64, 0.95)
+        return service, capture_state(service)
+
+    def prefix(self):
+        """Two valid leading ops so the failure hits mid-batch."""
+        return [
+            InsertOp(0, Element("b")),
+            InsertOp(0, Element("c"), 0),
+        ]
+
+    def test_resolve_phase_bad_index(self):
+        service, before = self.make(21)
+        with pytest.raises(BatchError) as excinfo:
+            service.apply_batch(self.prefix() + [DeleteOp(10**9)])
+        assert excinfo.value.applied is False
+        assert_pre_batch_state(service, before)
+
+    def test_resolve_phase_foreign_element(self):
+        service, before = self.make(22)
+        with pytest.raises(BatchError):
+            service.apply_batch(self.prefix() + [DeleteOp(Element("nowhere"))])
+        assert_pre_batch_state(service, before)
+
+    def test_resolve_phase_target_deleted_earlier_in_batch(self):
+        service, before = self.make(23)
+        doomed = random_subtree(random.Random(9))
+        with pytest.raises(BatchError, match="deleted earlier"):
+            service.apply_batch(
+                [InsertOp(0, doomed), DeleteOp(doomed), InsertOp(doomed, Element("e"))]
+            )
+        assert_pre_batch_state(service, before)
+
+    def test_validation_phase_attached_subtree(self):
+        service, before = self.make(24)
+        attached = service.tree.elements[3]
+        with pytest.raises(BatchError):
+            service.apply_batch(self.prefix() + [InsertOp(0, attached)])
+        assert_pre_batch_state(service, before)
+
+    def test_plan_phase_negative_position(self):
+        service, before = self.make(25)
+        with pytest.raises(BatchError):
+            service.apply_batch(
+                self.prefix() + [InsertOp(0, Element("d"), -3)]
+            )
+        assert_pre_batch_state(service, before)
+
+    def test_insert_splice_phase(self, monkeypatch):
+        """A crash half-way through an insert op -- after the subtree is
+        attached to the document but before the label splice -- still
+        rolls back cleanly."""
+        import repro.service.batch as batch_module
+
+        service, before = self.make(26)
+        calls = {"n": 0}
+        real_apply_insert = batch_module.apply_insert
+
+        def flaky(tree, plan):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise RuntimeError("injected splice failure")
+            return real_apply_insert(tree, plan)
+
+        monkeypatch.setattr(batch_module, "apply_insert", flaky)
+        with pytest.raises(BatchError, match="injected splice failure"):
+            service.apply_batch(
+                self.prefix() + [InsertOp(0, random_subtree(random.Random(3)))]
+            )
+        assert_pre_batch_state(service, before)
+
+    def test_delete_splice_phase(self, monkeypatch):
+        """A crash half-way through a delete op -- after the element is
+        detached from its parent -- restores it at its original slot."""
+        import repro.service.batch as batch_module
+
+        service, before = self.make(27)
+
+        def exploding(tree, index):
+            raise RuntimeError("injected delete failure")
+
+        monkeypatch.setattr(batch_module, "apply_delete", exploding)
+        with pytest.raises(BatchError, match="injected delete failure"):
+            service.apply_batch(self.prefix() + [DeleteOp(5)])
+        assert_pre_batch_state(service, before)
+
+    def test_failure_after_mid_batch_relabel_restores_original_labels(self):
+        """Gap exhaustion relabels the whole forest mid-batch; a later
+        failure must still roll back to the *pre-relabel* labels."""
+        document = Document()
+        root = Element("root")
+        document.append(root)
+        root.append(Element("a"))
+        service = EstimationService(
+            document, grid_size=4, spacing=2, rebuild_threshold=0.9
+        )
+        prime(service)
+        before = capture_state(service)
+        # spacing 2 leaves 1-label gaps: the second insert forces the
+        # mid-batch relabel, the third op then fails.
+        with pytest.raises(BatchError):
+            service.apply_batch(
+                [
+                    InsertOp(0, Element("b")),
+                    InsertOp(0, Element("c")),
+                    DeleteOp(10**9),
+                ]
+            )
+        assert_pre_batch_state(service, before)
+
+    def test_flush_phase_failure_keeps_batch_and_rebuilds(self, monkeypatch):
+        """A failure in summary maintenance (after every op applied)
+        keeps the post-batch documents and repairs with a rebuild;
+        ``BatchError.applied`` reports the difference."""
+        from repro.service.batch import BatchApplier
+
+        service, _ = self.make(28)
+        rebuilds_before = service.stats.rebuilds
+
+        def exploding_flush(self):
+            raise AssertionError("injected flush failure")
+
+        monkeypatch.setattr(BatchApplier, "_flush_deltas", exploding_flush)
+        with pytest.raises(BatchError, match="injected flush failure") as excinfo:
+            service.apply_batch(self.prefix())
+        assert excinfo.value.applied is True
+        assert service.stats.rebuilds == rebuilds_before + 1
+        # The batch's ops stayed applied and the rebuild restored
+        # consistency.
+        assert service.catalog.stats(TagPredicate("b")).count >= 1
+        service.differential_check(QUERIES)
 
 
 def test_empty_batch_is_a_noop():

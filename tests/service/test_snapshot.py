@@ -21,7 +21,7 @@ import pytest
 from repro.estimation import AnswerSizeEstimator
 from repro.predicates.base import TagPredicate
 from repro.service import DeleteOp, EstimationService, InsertOp
-from repro.xmltree.tree import Element
+from repro.xmltree.tree import Document, Element
 from tests.service.test_batch import (
     QUERIES,
     TAGS,
@@ -161,6 +161,73 @@ def test_interleaved_readers_and_writer():
             assert snapshot.estimate(probe).value == expected[probe]
     service.differential_check(QUERIES)
     for snapshot, expected in pinned:
+        for query, value in expected.items():
+            assert snapshot.estimate(query).value == value
+
+
+def test_snapshot_pinned_across_gap_exhaustion_relabel():
+    """A reader pinned while the writer exhausts a label gap -- forcing
+    the full relabel+rebuild path, not a dirty-threshold rebuild --
+    keeps answering from the pre-exhaustion statistics.
+
+    spacing=2 leaves 1-label gaps, so the very first insert under a
+    leaf plans fine but the next insert at the same point cannot fit:
+    the sequence is engineered to hit ``GapExhausted`` both through the
+    single-update path (insert_subtree -> rebuild) and the batched path
+    (mid-batch relabel + degraded rebuild), with a reader pinned before
+    each.
+    """
+    import numpy as np
+
+    document = Document()
+    root = Element("root")
+    document.append(root)
+    for tag in ("a", "b", "c"):
+        root.append(Element(tag))
+    service = EstimationService(
+        document, grid_size=4, spacing=2, rebuild_threshold=0.99
+    )
+    prime(service)
+
+    queries = ["//root//a", "//root//b", "//a//b", "//root//c"]
+    pinned = []  # (snapshot, expected values, expected label arrays)
+
+    def pin():
+        snapshot = service.snapshot()
+        pinned.append(
+            (
+                snapshot,
+                {q: service.estimate(q).value for q in queries},
+                (snapshot.tree.start.copy(), snapshot.tree.end.copy()),
+            )
+        )
+
+    pin()
+    rebuilds0 = service.stats.rebuilds
+    # Single-update path: the 1-label gaps cannot hold a 2-node subtree.
+    wide = Element("a")
+    wide.append(Element("b"))
+    service.insert_subtree(0, wide)
+    assert service.stats.rebuilds == rebuilds0 + 1
+
+    pin()
+    # Batched path: consecutive single-node inserts under the same leaf
+    # exhaust the fresh gap mid-batch and relabel in flight.
+    target = service.tree.elements[len(service) - 1]
+    result = service.apply_batch(
+        [InsertOp(target, Element("b")), InsertOp(target, Element("c"))]
+    )
+    assert result.rebuilt
+
+    pin()
+    service.insert_subtree(0, Element("e"))
+
+    service.differential_check(queries)
+    for snapshot, expected, (start, end) in pinned:
+        # The frozen label table never moved under the reader...
+        assert np.array_equal(snapshot.tree.start, start)
+        assert np.array_equal(snapshot.tree.end, end)
+        # ...and neither did any answer.
         for query, value in expected.items():
             assert snapshot.estimate(query).value == value
 

@@ -1,0 +1,595 @@
+"""Durability: write-ahead logging, checkpoints, and crash recovery.
+
+The contract under test (the acceptance bar of the durability tier):
+for a seeded batched workload, truncating the write-ahead log at *any*
+byte boundary and recovering with ``open_durable`` yields a service
+whose ``estimate`` / ``real_answer`` results -- and label arrays -- are
+bit-identical to the uninterrupted run observed right after its last
+durably-logged batch (the committed prefix).  A torn or bit-flipped
+tail is checksum-detected and cleanly truncated; a record is never
+partially replayed.
+
+The kill-offset harness simulates a crash at byte offset ``t`` by
+rewriting the log truncated to ``t`` and deleting every checkpoint the
+live run had not yet written by the time offset ``t`` was durable
+(checkpoints are cut right after their batch's commit marker, so a
+checkpoint at LSN ``c`` exists on disk iff the commit record of ``c``
+is within the first ``t`` bytes).
+"""
+
+import random
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.histograms.store import SummaryFormatError
+from repro.service import (
+    BatchError,
+    DeleteOp,
+    EstimationService,
+    InsertOp,
+    WalError,
+)
+from repro.service.wal import (
+    LOG_NAME,
+    WAL_MAGIC,
+    checkpoint_paths,
+    list_checkpoints,
+    read_records,
+)
+from repro.xmltree.tree import Element
+from tests.service.test_batch import (
+    QUERIES,
+    prime,
+    random_document,
+    random_subtree,
+)
+
+
+def make_durable(
+    directory,
+    seed=7,
+    nodes=50,
+    grid_size=5,
+    spacing=64,
+    threshold=0.95,
+    checkpoint_every=10**9,
+):
+    document = random_document(random.Random(seed), nodes)
+    service = EstimationService.open_durable(
+        directory,
+        document,
+        grid_size=grid_size,
+        spacing=spacing,
+        rebuild_threshold=threshold,
+        checkpoint_every=checkpoint_every,
+    )
+    prime(service)
+    # Re-cut the initial checkpoint with the primed summaries so a
+    # recovered service maintains the same structures the live one does
+    # (differential_check then actually checks something).
+    service.checkpoint()
+    return service
+
+
+def state_of(service):
+    return {
+        "tags": [e.tag for e in service.tree.elements],
+        "start": service.tree.start.copy(),
+        "end": service.tree.end.copy(),
+        "estimates": {q: service.estimate(q).value for q in QUERIES},
+        "real": {q: service.real_answer(q) for q in QUERIES},
+    }
+
+
+def assert_state(service, expected):
+    assert [e.tag for e in service.tree.elements] == expected["tags"]
+    assert np.array_equal(service.tree.start, expected["start"])
+    assert np.array_equal(service.tree.end, expected["end"])
+    for query in QUERIES:
+        assert service.estimate(query).value == expected["estimates"][query], query
+        assert service.real_answer(query) == expected["real"][query], query
+
+
+def run_batches(service, rng, batches, ops_per_batch):
+    """Drive a mixed workload; returns the state after every batch
+    (``states[k]`` = state once ``k`` batches committed)."""
+    states = [state_of(service)]
+    for _ in range(batches):
+        ops = []
+        for k in range(ops_per_batch):
+            roll = rng.random()
+            if roll < 0.55 or len(service) < 15:
+                ops.append(
+                    InsertOp(rng.randrange(len(service)), random_subtree(rng))
+                )
+            elif roll < 0.7 and ops and isinstance(ops[-1], InsertOp):
+                # Chain under a node inserted earlier in the same batch:
+                # exercises the ["op", j, k] target encoding.
+                ops.append(InsertOp(ops[-1].subtree, random_subtree(rng)))
+            elif roll < 0.8:
+                # Element-handle target: exercises ["node", i] encoding.
+                ops.append(
+                    DeleteOp(service.tree.elements[rng.randrange(1, len(service))])
+                )
+            else:
+                ops.append(DeleteOp(rng.randrange(1, len(service))))
+        try:
+            service.apply_batch(ops)
+        except Exception:
+            # A randomly-built batch may turn out invalid (e.g. an index
+            # outrun by earlier deletes): it is logged, rolled back, and
+            # marked aborted -- the state after the attempt equals the
+            # state before it, which is exactly what recovery must
+            # reproduce whether or not the abort marker survived.
+            pass
+        states.append(state_of(service))
+    return states
+
+
+def commit_end_offsets(log_path):
+    """lsn -> end offset of its commit/abort marker, from a clean log."""
+    records, _ = read_records(log_path)
+    return {
+        r.lsn: r.end_offset for r in records if r.type in ("commit", "abort")
+    }
+
+
+def simulate_crash(directory, sim, log_bytes, marker_ends):
+    """Materialise the on-disk state a crash at ``len(log_bytes)``
+    leaves behind: the truncated log plus exactly the checkpoints that
+    had been written by then."""
+    if sim.exists():
+        shutil.rmtree(sim)
+    sim.mkdir()
+    t = len(log_bytes)
+    for lsn in list_checkpoints(directory):
+        written_at = marker_ends.get(lsn, 0)  # lsn 0: the initial checkpoint
+        if written_at <= t:
+            for path in checkpoint_paths(directory, lsn):
+                shutil.copy(path, sim / path.name)
+    (sim / LOG_NAME).write_bytes(log_bytes)
+    return sim
+
+
+def expected_batches(log_bytes_len, batch_ends):
+    return sum(1 for end in batch_ends if end <= log_bytes_len)
+
+
+class TestLogFormat:
+    def test_missing_and_empty_and_foreign_files(self, tmp_path):
+        assert read_records(tmp_path / "absent.log") == ([], 0)
+        empty = tmp_path / "empty.log"
+        empty.write_bytes(b"")
+        assert read_records(empty) == ([], 0)
+        foreign = tmp_path / "foreign.log"
+        foreign.write_bytes(b"this is not a WAL at all, sorry")
+        assert read_records(foreign) == ([], 0)
+
+    def test_round_trip_and_torn_tail(self, tmp_path):
+        from repro.service.wal import WriteAheadLog
+
+        wal = WriteAheadLog(tmp_path / "t.log")
+        first = wal.log_batch([{"kind": "delete", "node": ["index", 3]}])
+        wal.mark_committed(first)
+        second = wal.log_batch([{"kind": "delete", "node": ["index", 4]}])
+        wal.close()
+        records, valid_end = read_records(tmp_path / "t.log")
+        assert [r.type for r in records] == ["batch", "commit", "batch"]
+        assert [r.lsn for r in records] == [first, first, second]
+        data = (tmp_path / "t.log").read_bytes()
+        assert valid_end == len(data)
+        # Chop the last record anywhere inside it: it must vanish whole.
+        for cut in (records[-1].offset + 1, len(data) - 1):
+            (tmp_path / "t.log").write_bytes(data[:cut])
+            survivors, end = read_records(tmp_path / "t.log")
+            assert [r.lsn for r in survivors] == [first, first]
+            assert end == records[-1].offset
+
+    def test_reopen_truncates_torn_tail_and_continues(self, tmp_path):
+        from repro.service.wal import WriteAheadLog
+
+        wal = WriteAheadLog(tmp_path / "t.log")
+        lsn = wal.log_batch([{"kind": "delete", "node": ["index", 1]}])
+        wal.close()
+        with open(tmp_path / "t.log", "ab") as handle:
+            handle.write(b"\x99\x99partial garbage record")
+        reopened = WriteAheadLog(tmp_path / "t.log")
+        assert reopened.next_lsn == lsn + 1
+        follow_up = reopened.log_batch([{"kind": "delete", "node": ["index", 2]}])
+        reopened.close()
+        records, _ = read_records(tmp_path / "t.log")
+        assert [r.lsn for r in records if r.type == "batch"] == [lsn, follow_up]
+
+    def test_bit_flip_invalidates_record(self, tmp_path):
+        from repro.service.wal import WriteAheadLog
+
+        wal = WriteAheadLog(tmp_path / "t.log")
+        wal.log_batch([{"kind": "delete", "node": ["index", 1]}])
+        wal.close()
+        data = bytearray((tmp_path / "t.log").read_bytes())
+        data[len(WAL_MAGIC) + 12] ^= 0xFF  # inside the payload
+        (tmp_path / "t.log").write_bytes(bytes(data))
+        assert read_records(tmp_path / "t.log")[0] == []
+
+
+class TestDurableLifecycle:
+    def test_fresh_directory_requires_documents(self, tmp_path):
+        with pytest.raises(WalError, match="no documents"):
+            EstimationService.open_durable(tmp_path / "wal")
+
+    def test_clean_reopen_is_bit_identical(self, tmp_path):
+        service = make_durable(tmp_path / "wal", seed=11)
+        rng = random.Random(2)
+        run_batches(service, rng, batches=4, ops_per_batch=5)
+        service.insert_subtree(0, random_subtree(rng))
+        service.delete_subtree(3)
+        expected = state_of(service)
+        service.close()
+
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        assert recovered.recovery_info is not None
+        assert_state(recovered, expected)
+        recovered.differential_check(QUERIES)
+        recovered.close()
+
+    def test_recover_without_close_like_a_crash(self, tmp_path):
+        service = make_durable(tmp_path / "wal", seed=13)
+        states = run_batches(service, random.Random(3), 3, 4)
+        # No close(): the open handle still has every batch record
+        # fsync'd; copy the directory as a crash image.
+        sim = tmp_path / "sim"
+        shutil.copytree(tmp_path / "wal", sim)
+        recovered = EstimationService.open_durable(sim)
+        assert_state(recovered, states[-1])
+        recovered.differential_check(QUERIES)
+        recovered.close()
+        service.close()
+
+    def test_recovered_service_keeps_accepting_updates(self, tmp_path):
+        service = make_durable(tmp_path / "wal", seed=17)
+        run_batches(service, random.Random(4), 2, 4)
+        service.close()
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        states = run_batches(recovered, random.Random(5), 2, 4)
+        recovered.close()
+        second = EstimationService.open_durable(tmp_path / "wal")
+        assert_state(second, states[-1])
+        second.differential_check(QUERIES)
+        second.close()
+
+    def test_aborted_batch_is_not_replayed(self, tmp_path):
+        service = make_durable(tmp_path / "wal", seed=19)
+        states = run_batches(service, random.Random(6), 2, 4)
+        with pytest.raises(BatchError):
+            service.apply_batch(
+                [InsertOp(0, Element("zz")), DeleteOp(10**9)]
+            )
+        assert_state(service, states[-1])  # rolled back live
+        service.close()
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        assert recovered.recovery_info.batches_skipped >= 1
+        assert_state(recovered, states[-1])
+        recovered.differential_check(QUERIES)
+        recovered.close()
+
+    def test_periodic_checkpoints_shorten_replay(self, tmp_path):
+        service = make_durable(tmp_path / "wal", seed=23, checkpoint_every=2)
+        states = run_batches(service, random.Random(7), 7, 3)
+        service.close()
+        assert len(list_checkpoints(tmp_path / "wal")) > 1
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        info = recovered.recovery_info
+        assert info.checkpoint_lsn > 0
+        assert info.batches_replayed <= 2
+        assert_state(recovered, states[-1])
+        recovered.differential_check(QUERIES)
+        recovered.close()
+
+    def test_corrupt_newest_checkpoint_falls_back_to_older(self, tmp_path):
+        service = make_durable(tmp_path / "wal", seed=29, checkpoint_every=3)
+        states = run_batches(service, random.Random(8), 6, 3)
+        service.close()
+        lsns = list_checkpoints(tmp_path / "wal")
+        assert len(lsns) >= 2
+        newest_state, newest_summaries = checkpoint_paths(tmp_path / "wal", lsns[0])
+        data = bytearray(newest_summaries.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        newest_summaries.write_bytes(bytes(data))
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        assert recovered.recovery_info.checkpoint_lsn == lsns[1]
+        assert_state(recovered, states[-1])
+        recovered.differential_check(QUERIES)
+        recovered.close()
+
+    def test_mismatched_checkpoint_pair_falls_back_to_older(self, tmp_path):
+        """A newest checkpoint whose two files each load but disagree
+        (summaries from a different state than the label arrays) must
+        fall back like a corrupt one, not abort recovery."""
+        service = make_durable(tmp_path / "wal", seed=61, checkpoint_every=3)
+        states = run_batches(service, random.Random(12), 6, 3)
+        service.close()
+        lsns = list_checkpoints(tmp_path / "wal")
+        assert len(lsns) >= 2
+        _, newest_summaries = checkpoint_paths(tmp_path / "wal", lsns[0])
+        _, older_summaries = checkpoint_paths(tmp_path / "wal", lsns[1])
+        shutil.copy(older_summaries, newest_summaries)  # fingerprint mismatch
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        assert recovered.recovery_info.checkpoint_lsn == lsns[1]
+        assert_state(recovered, states[-1])
+        recovered.differential_check(QUERIES)
+        recovered.close()
+
+    def test_all_checkpoints_corrupt_raises_wal_error(self, tmp_path):
+        service = make_durable(tmp_path / "wal", seed=31)
+        run_batches(service, random.Random(9), 1, 3)
+        service.close()
+        for lsn in list_checkpoints(tmp_path / "wal"):
+            for path in checkpoint_paths(tmp_path / "wal", lsn):
+                path.write_bytes(b"gone")
+        with pytest.raises(WalError, match="no loadable checkpoint"):
+            EstimationService.open_durable(tmp_path / "wal")
+
+    def test_single_op_updates_are_durable(self, tmp_path):
+        service = make_durable(tmp_path / "wal", seed=37)
+        rng = random.Random(10)
+        for _ in range(5):
+            service.insert_subtree(rng.randrange(len(service)), random_subtree(rng))
+        service.delete_subtree(rng.randrange(1, len(service)))
+        parent = Element("a")
+        service.insert_subtree(0, parent, position=0)
+        service.insert_subtree(parent, Element("b"))
+        expected = state_of(service)
+        service.close()
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        assert_state(recovered, expected)
+        recovered.differential_check(QUERIES)
+        recovered.close()
+
+
+class TestCheckpointForestFidelity:
+    def test_text_and_attributes_survive_checkpoint_recovery(self, tmp_path):
+        """The numpy-native forest encoding must round-trip text nodes
+        (at their exact child slots) and attributes, not just tags."""
+        from repro.xmltree.tree import Document, Text
+        from repro.xmltree.writer import write_document
+
+        document = Document()
+        root = Element("root", {"version": "1", "b": "two words"})
+        document.append(root)
+        root.append_text("  leading ")
+        child = Element("a", {"x": "<&>\""})
+        root.append(child)
+        child.append_text("inner")
+        root.append_text("between")
+        tail = Element("b")
+        tail.append_text("t1")
+        tail.append(Element("c"))
+        tail.append_text("t2")
+        root.append(tail)
+        before_xml = write_document(document)
+
+        service = EstimationService.open_durable(
+            tmp_path / "wal", document, grid_size=4, spacing=64
+        )
+        service.insert_subtree(0, Element("d"))
+        service.checkpoint()
+        service.close()
+
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        after = recovered.documents[0]
+        # Structure, attributes, and every text node at its exact slot.
+        root2 = after.root_element
+        assert root2.attributes == {"version": "1", "b": "two words"}
+        texts = [
+            c.value for c in root2.children if isinstance(c, Text)
+        ]
+        assert texts == ["  leading ", "between"]
+        a2 = next(root2.find_all("a"))
+        assert a2.attributes == {"x": "<&>\""}
+        assert a2.text_content() == "inner"
+        b2 = next(root2.find_all("b"))
+        assert [
+            c.value if isinstance(c, Text) else c.tag for c in b2.children
+        ] == ["t1", "c", "t2"]
+        # Another checkpoint from the recovered forest serialises the
+        # original content plus the replayed insert.
+        recovered.delete_subtree(recovered.tree.index_of(next(root2.find_all("d"))))
+        assert write_document(recovered.documents[0]) == before_xml
+        recovered.close()
+
+    def test_document_level_text_round_trips_through_fast_encoding(
+        self, tmp_path
+    ):
+        """Document-level text (XML cannot even round-trip it) survives
+        via the negative-owner encoding."""
+        from repro.service.wal import load_checkpoint
+        from repro.xmltree.tree import Document, Text
+
+        document = Document()
+        comment = Text("top-level note")
+        comment.parent = document
+        document.children.append(comment)
+        root = Element("root")
+        document.append(root)
+        root.append(Element("a"))
+
+        service = EstimationService.open_durable(
+            tmp_path / "wal", document, grid_size=4, spacing=64
+        )
+        service.insert_subtree(0, Element("b"))
+        expected = state_of(service)
+        service.checkpoint()
+        service.close()
+
+        lsn = max(list_checkpoints(tmp_path / "wal"))
+        checkpoint = load_checkpoint(tmp_path / "wal", lsn)
+        assert checkpoint.elements is not None  # fast path covers it
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        assert_state(recovered, expected)
+        children = recovered.documents[0].children
+        assert isinstance(children[0], Text)
+        assert children[0].value == "top-level note"
+        recovered.close()
+
+
+    def test_checkpoint_without_fast_encoding_parses_xml_members(
+        self, tmp_path
+    ):
+        """Forward compatibility with state archives that predate the
+        numpy-native forest: the XML members still recover the service."""
+        import numpy as np
+
+        from repro.service.wal import checkpoint_paths, load_checkpoint
+
+        service = make_durable(tmp_path / "wal", seed=53, nodes=30)
+        states = run_batches(service, random.Random(11), 2, 3)
+        service.checkpoint()
+        service.close()
+        lsn = max(list_checkpoints(tmp_path / "wal"))
+        state_path, _ = checkpoint_paths(tmp_path / "wal", lsn)
+        with np.load(state_path) as archive:
+            arrays = {
+                name: archive[name]
+                for name in archive.files
+                if not name.startswith("fast.")
+            }
+        import json as json_module
+
+        meta = json_module.loads(bytes(arrays["meta"]).decode("utf-8"))
+        meta.pop("fast")
+        arrays["meta"] = np.frombuffer(
+            json_module.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        with open(state_path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        assert load_checkpoint(tmp_path / "wal", lsn).elements is None
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        assert_state(recovered, states[-1])
+        recovered.differential_check(QUERIES)
+        recovered.close()
+
+    def test_multi_document_forest_round_trips(self, tmp_path):
+        rng = random.Random(59)
+        forest = [random_document(rng, 20), random_document(rng, 15)]
+        service = EstimationService.open_durable(
+            tmp_path / "wal", forest, grid_size=4, spacing=64
+        )
+        prime(service)
+        service.apply_batch(
+            [InsertOp(0, random_subtree(rng)), DeleteOp(len(service) - 3)]
+        )
+        expected = state_of(service)
+        document_count = len(service.documents)
+        service.checkpoint()
+        service.close()
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        assert len(recovered.documents) == document_count
+        assert_state(recovered, expected)
+        recovered.differential_check(QUERIES)
+        recovered.close()
+
+    def test_checkpoint_requires_attached_wal(self, tmp_path):
+        service = EstimationService(
+            random_document(random.Random(3), 20), grid_size=4
+        )
+        with pytest.raises(ValueError, match="no write-ahead log"):
+            service.checkpoint()
+        service.close()
+
+
+class TestKillAtEveryOffset:
+    """The tentpole pin: recovery from any crash point replays exactly
+    the committed prefix, bit-identically, never a partial record."""
+
+    def _workload(self, tmp_path, seed, nodes, batches, ops_per_batch):
+        directory = tmp_path / "wal"
+        service = make_durable(directory, seed=seed, nodes=nodes)
+        states = run_batches(service, random.Random(seed + 1), batches, ops_per_batch)
+        service.close()
+        log_path = directory / LOG_NAME
+        data = log_path.read_bytes()
+        records, valid_end = read_records(log_path)
+        assert valid_end == len(data)
+        batch_ends = [r.end_offset for r in records if r.type == "batch"]
+        assert len(batch_ends) == batches
+        return directory, data, states, batch_ends, commit_end_offsets(log_path)
+
+    def _check_offsets(self, tmp_path, directory, data, states, batch_ends,
+                       marker_ends, offsets):
+        sim = tmp_path / "sim"
+        for offset in offsets:
+            simulate_crash(directory, sim, data[:offset], marker_ends)
+            recovered = EstimationService.open_durable(sim)
+            k = expected_batches(offset, batch_ends)
+            try:
+                assert_state(recovered, states[k])
+            except AssertionError as exc:  # pragma: no cover - diagnostics
+                raise AssertionError(
+                    f"recovery at offset {offset} (expected {k} batches) "
+                    f"diverged: {exc}"
+                ) from exc
+            finally:
+                recovered.close()
+
+    def test_every_byte_offset_small_workload(self, tmp_path):
+        directory, data, states, batch_ends, marker_ends = self._workload(
+            tmp_path, seed=41, nodes=30, batches=2, ops_per_batch=3
+        )
+        self._check_offsets(
+            tmp_path, directory, data, states, batch_ends, marker_ends,
+            offsets=range(len(data) + 1),
+        )
+
+    def test_200_op_workload_at_boundaries_and_sampled_offsets(self, tmp_path):
+        directory, data, states, batch_ends, marker_ends = self._workload(
+            tmp_path, seed=43, nodes=90, batches=10, ops_per_batch=20
+        )
+        records, _ = read_records(directory / LOG_NAME)
+        offsets = {0, len(data)}
+        for record in records:
+            for delta in (-2, -1, 0, 1, 2, 3):
+                offsets.add(min(len(data), max(0, record.end_offset + delta)))
+        rng = random.Random(97)
+        offsets.update(rng.randrange(len(data) + 1) for _ in range(120))
+        self._check_offsets(
+            tmp_path, directory, data, states, batch_ends, marker_ends,
+            offsets=sorted(offsets),
+        )
+
+    def test_random_bit_flips_never_partially_replay(self, tmp_path):
+        directory, data, states, batch_ends, marker_ends = self._workload(
+            tmp_path, seed=47, nodes=40, batches=4, ops_per_batch=4
+        )
+        records, _ = read_records(directory / LOG_NAME)
+        rng = random.Random(101)
+        sim = tmp_path / "sim"
+        for _ in range(40):
+            flips = sorted(
+                rng.randrange(len(data)) for _ in range(rng.randrange(1, 4))
+            )
+            corrupt = bytearray(data)
+            for position in flips:
+                corrupt[position] ^= 1 << rng.randrange(8)
+            # Everything from the first record touched by a flip on is
+            # discarded; the intact prefix replays whole.  Checkpoints
+            # are untouched here, so recovery starts from the newest one
+            # even when the corruption lands before it in the log.
+            if flips[0] < len(WAL_MAGIC):
+                k = 0
+            else:
+                k = 0
+                for record in records:
+                    if any(record.offset <= p < record.end_offset for p in flips):
+                        break
+                    if record.type == "batch":
+                        k += 1
+            newest_checkpoint = max(list_checkpoints(directory))
+            expected = states[max(k, newest_checkpoint)]
+            simulate_crash(directory, sim, bytes(corrupt), marker_ends)
+            recovered = EstimationService.open_durable(sim)
+            try:
+                assert_state(recovered, expected)
+            finally:
+                recovered.close()

@@ -230,6 +230,7 @@ class TestAllSubcommandsSmoke:
             "build",
             "estimate",
             "generate",
+            "recover",
             "serve",
             "stats",
             "workload",
@@ -254,6 +255,18 @@ class TestAllSubcommandsSmoke:
                 ["build", str(dataset_path), "--out", str(tmp_path / "b.npz")],
                 "predicate summaries",
             ),
+            (
+                [
+                    "serve",
+                    str(dataset_path),
+                    "--script",
+                    str(script),
+                    "--wal-dir",
+                    str(tmp_path / "wal"),
+                ],
+                "checkpointed",
+            ),
+            (["recover", str(tmp_path / "wal"), "--verify"], "recovered"),
         ]
         for argv, needle in runs:
             assert main(argv) == 0, argv
@@ -261,6 +274,117 @@ class TestAllSubcommandsSmoke:
             assert out.strip(), argv
             if needle:
                 assert needle in out, argv
+
+
+class TestServeDurable:
+    def test_wal_dir_persists_updates_across_sessions(
+        self, dataset_path, tmp_path, capsys
+    ):
+        wal_dir = tmp_path / "durable"
+        first = tmp_path / "first.txt"
+        first.write_text(
+            "insert article <note><author>WAL</author></note>\n"
+            "insert article <note><author>LOG</author></note>\n"
+            "exact //note//author\n"
+        )
+        assert (
+            main(
+                [
+                    "serve",
+                    str(dataset_path),
+                    "--script",
+                    str(first),
+                    "--wal-dir",
+                    str(wal_dir),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "exact 2" in out
+        assert "checkpointed" in out
+
+        # Second session recovers from the durable state: the inserted
+        # notes are still there even though the data file never changed.
+        second = tmp_path / "second.txt"
+        second.write_text("exact //note//author\n")
+        assert (
+            main(
+                [
+                    "serve",
+                    str(dataset_path),
+                    "--script",
+                    str(second),
+                    "--wal-dir",
+                    str(wal_dir),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "exact 2" in out
+
+        assert main(["recover", str(wal_dir), "--verify", "--checkpoint"]) == 0
+        out = capsys.readouterr().out
+        assert "differential check passed" in out
+        assert "checkpointed at lsn" in out
+
+    def test_wal_dir_conflicts_with_warm_start(self, dataset_path, tmp_path):
+        assert (
+            main(
+                [
+                    "serve",
+                    str(dataset_path),
+                    "--wal-dir",
+                    str(tmp_path / "w"),
+                    "--warm-start",
+                    str(tmp_path / "s.npz"),
+                ]
+            )
+            == 2
+        )
+
+    def test_grid_flags_conflict_with_existing_wal_dir(
+        self, dataset_path, tmp_path, capsys
+    ):
+        wal_dir = tmp_path / "durable"
+        script = tmp_path / "noop.txt"
+        script.write_text("stats\n")
+        assert (
+            main(
+                [
+                    "serve",
+                    str(dataset_path),
+                    "--script",
+                    str(script),
+                    "--wal-dir",
+                    str(wal_dir),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "serve",
+                    str(dataset_path),
+                    "--script",
+                    str(script),
+                    "--wal-dir",
+                    str(wal_dir),
+                    "--grid",
+                    "12",
+                ]
+            )
+            == 2
+        )
+
+    def test_recover_on_empty_directory_fails_cleanly(self, tmp_path, capsys):
+        assert main(["recover", str(tmp_path / "nothing")]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
 
 
 class TestWorkload:
@@ -397,6 +521,70 @@ class TestServeBatched:
 
     def test_bad_batch_size_rejected(self, dataset_path, capsys):
         assert main(["serve", str(dataset_path), "--batch-size", "0"]) == 2
+
+    @pytest.mark.parametrize("trailing", [1, 2])
+    def test_partial_trailing_batch_flushes_before_final_stats(
+        self, dataset_path, tmp_path, capsys, trailing
+    ):
+        """N updates with N % batch-size != 0: the partial trailing
+        batch must apply on EOF, before the session summary line."""
+        batch_size = 3
+        updates = batch_size + trailing  # never a multiple of batch_size
+        script = tmp_path / f"trailing{trailing}.txt"
+        script.write_text(
+            "".join(
+                f"insert article <note><author>T{k}</author></note>\n"
+                for k in range(updates)
+            )
+        )
+        assert (
+            main(
+                [
+                    "serve",
+                    str(dataset_path),
+                    "--script",
+                    str(script),
+                    "--batch-size",
+                    str(batch_size),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"ok batch {batch_size} ops" in out
+        assert f"ok batch {trailing} ops" in out
+        # Every update made it into the session totals, and the flush
+        # happened before the summary was printed.
+        assert f"session inserts={updates}" in out
+        assert "batches=2" in out
+        flush_line = out.rindex(f"ok batch {trailing} ops")
+        assert flush_line < out.index("session inserts=")
+
+    def test_trailing_batch_flushes_on_quit_too(
+        self, dataset_path, tmp_path, capsys
+    ):
+        script = tmp_path / "quit.txt"
+        script.write_text(
+            "insert article <note><author>Q</author></note>\n"
+            "quit\n"
+            "insert article <note><author>NEVER</author></note>\n"
+        )
+        assert (
+            main(
+                [
+                    "serve",
+                    str(dataset_path),
+                    "--script",
+                    str(script),
+                    "--batch-size",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ok batch 1 ops" in out  # the pre-quit insert applied
+        assert "session inserts=1" in out  # the post-quit line never ran
 
     def test_queued_update_error_reports_and_keeps_serving(
         self, dataset_path, tmp_path, capsys
