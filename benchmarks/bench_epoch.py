@@ -1,0 +1,295 @@
+"""Epoch-engine benchmark: O(1) snapshots, incremental checkpoints,
+and WAL compaction.
+
+Three measurements over a DBLP-scale tree (full run >= 1e5 nodes):
+
+* **snapshot construction** -- the epoch-pinning
+  :meth:`~repro.service.service.EstimationService.snapshot` (O(#predicates)
+  reference grabs) against the legacy deep-pin construction it replaced
+  (element-list copy + an ``O(g)`` value copy of every maintained
+  histogram).  Estimates through the snapshot must be bit-identical to
+  the live service.  Acceptance bar: >= 10x faster.
+
+* **incremental vs full checkpoint bytes** -- a checkpoint cut after a
+  small batch archives only the splice delta + changed histogram pages
+  (epoch-addressed; unchanged pages are manifest references into the
+  base checkpoint).  Acceptance bar: < 25% of the bytes of a full
+  checkpoint, with recovery bit-identical.
+
+* **compacted replay** -- after a logged workload with periodic
+  checkpoints, ``compact()`` drops the dead log prefix and superseded
+  checkpoints; recovery from the compacted directory must stay
+  bit-identical and beat rebuilding from exported documents.
+
+Writes a ``BENCH_epoch.json`` artifact; ``check_perf_floors.py`` guards
+``snapshot_speedup``, ``checkpoint_bytes_speedup``, and
+``compacted_replay_speedup`` (floor 1.0x) in CI.
+
+Run:  python benchmarks/bench_epoch.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import shutil
+import sys
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.datasets import generate_dblp  # noqa: E402
+from repro.estimation.estimator import AnswerSizeEstimator  # noqa: E402
+from repro.histograms.position import PositionHistogram  # noqa: E402
+from repro.labeling.interval import LabeledTree  # noqa: E402
+from repro.predicates.base import TagPredicate  # noqa: E402
+from repro.predicates.catalog import PredicateCatalog  # noqa: E402
+from repro.service import DeleteOp, EstimationService, InsertOp, compact  # noqa: E402
+from repro.service.wal import (  # noqa: E402
+    LOG_NAME,
+    checkpoint_paths,
+    list_checkpoints,
+    load_checkpoint,
+)
+from repro.xmltree.parser import parse_document  # noqa: E402
+from repro.xmltree.tree import Element  # noqa: E402
+from repro.xmltree.writer import write_document  # noqa: E402
+
+QUERIES = ["//article//author", "//article//cite", "//dblp//title"]
+
+
+def prime(service) -> None:
+    for stats in service.catalog.register_all_tags():
+        service.position_histogram(stats.predicate)
+        service.coverage_histogram(stats.predicate)
+    _ = service.estimator.true_histogram
+
+
+def legacy_snapshot(service):
+    """The pre-epoch ServiceSnapshot construction: one element-list
+    copy plus an O(g) value copy of every delta-maintained histogram
+    (kept here as the measured baseline)."""
+    live = service.tree
+    tree = LabeledTree(
+        live.elements,  # LabeledTree copies the sequence into a new list
+        live.start,
+        live.end,
+        live.level,
+        live.parent_index,
+        live.max_label,
+    )
+    catalog = PredicateCatalog(tree)
+    catalog._stats = {
+        predicate: replace(stats)
+        for predicate, stats in service.catalog._stats.items()
+    }
+    if service.catalog._tag_indices is not None:
+        catalog._tag_indices = dict(service.catalog._tag_indices)
+    source = service.estimator
+    estimator = AnswerSizeEstimator(tree, grid_size=source.grid.size, catalog=catalog)
+    estimator.grid = source.grid
+    estimator.schema = source.schema
+
+    def value_copy(histogram):
+        return PositionHistogram(
+            histogram.grid, dict(histogram.cells()), name=histogram.name
+        )
+
+    estimator._true_hist = (
+        value_copy(source._true_hist) if source._true_hist is not None else None
+    )
+    estimator._position_cache = {
+        predicate: value_copy(histogram)
+        for predicate, histogram in source._position_cache.items()
+    }
+    estimator._coverage_cache = dict(source._coverage_cache)
+    estimator._level_cache = dict(source._level_cache)
+    estimator._coefficient_cache = dict(source._coefficient_cache)
+    return estimator
+
+
+def small_batch_ops(service, rng, count):
+    articles = service.catalog.stats(TagPredicate("article")).node_indices
+    ordinals = rng.sample(range(len(articles)), count)
+    ops = []
+    for k, ordinal in enumerate(ordinals):
+        target = service.tree.elements[int(articles[ordinal])]
+        if k % 3 == 2:
+            ops.append(DeleteOp(target))
+        else:
+            note = Element("note")
+            author = Element("author")
+            author.append_text(f"Epoch {ordinal}")
+            note.append(author)
+            ops.append(InsertOp(target, note))
+    return ops
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small tree / fewer ops (CI smoke)"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_epoch.json"),
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.5 if args.quick else 2.2
+    snapshot_iters = 10 if args.quick else 40
+    batch_ops = 8 if args.quick else 20
+    workload_batches = 4 if args.quick else 10
+
+    document = generate_dblp(seed=7, scale=scale)
+    nodes = document.count_nodes()
+    print(f"synthetic dblp tree: {nodes} nodes (scale {scale})")
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_epoch_"))
+    try:
+        # -- 1. snapshot construction ---------------------------------------
+        service = EstimationService(document, grid_size=10, spacing=64)
+        prime(service)
+        live_values = {q: service.estimate(q).value for q in QUERIES}
+
+        started = time.perf_counter()
+        snapshots = [service.snapshot() for _ in range(snapshot_iters)]
+        new_seconds = (time.perf_counter() - started) / snapshot_iters
+        for q in QUERIES:  # bit-identical live vs snapshot
+            assert snapshots[0].estimate(q).value == live_values[q], q
+        for snapshot in snapshots:
+            snapshot.close()
+
+        started = time.perf_counter()
+        for _ in range(max(2, snapshot_iters // 4)):
+            legacy = legacy_snapshot(service)
+        legacy_seconds = (time.perf_counter() - started) / max(2, snapshot_iters // 4)
+        for q in QUERIES:
+            assert legacy.estimate(q).value == live_values[q], q
+        snapshot_speedup = legacy_seconds / new_seconds
+        print(
+            f"snapshot construction: epoch pin {new_seconds * 1e6:8.1f} us, "
+            f"legacy deep pin {legacy_seconds * 1e6:8.1f} us "
+            f"-> {snapshot_speedup:.1f}x"
+        )
+        service.close()
+
+        # -- 2. incremental vs full checkpoint bytes ------------------------
+        wal_dir = workdir / "wal"
+        service = EstimationService.open_durable(
+            wal_dir,
+            generate_dblp(seed=7, scale=scale),
+            grid_size=10,
+            spacing=64,
+            checkpoint_every=10**9,
+        )
+        prime(service)
+        service.checkpoint()  # full base with primed summaries
+        full_bytes = sum(
+            p.stat().st_size for p in checkpoint_paths(wal_dir, 0)
+        )
+        rng = random.Random(11)
+        service.apply_batch(small_batch_ops(service, rng, batch_ops))
+        incr_lsn = service.checkpoint()
+        incr_bytes = sum(
+            p.stat().st_size for p in checkpoint_paths(wal_dir, incr_lsn)
+        )
+        assert "incremental" in load_checkpoint(wal_dir, incr_lsn).meta
+        fraction = incr_bytes / full_bytes
+        print(
+            f"checkpoint bytes: full {full_bytes:,}, incremental {incr_bytes:,} "
+            f"({fraction:.1%} of full) after a {batch_ops}-op batch"
+        )
+
+        # -- 3. compaction + recovery ---------------------------------------
+        for _ in range(workload_batches):
+            service.apply_batch(small_batch_ops(service, rng, batch_ops))
+            service.checkpoint()
+        final_values = {q: service.estimate(q).value for q in QUERIES}
+        export = workdir / "final.xml"
+        export.write_text(write_document(service.documents[0]))
+        service.close()
+
+        wal_bytes_before = (wal_dir / LOG_NAME).stat().st_size
+        checkpoints_before = len(list_checkpoints(wal_dir))
+        stats = compact(wal_dir, keep_checkpoints=2)
+        wal_bytes_after = (wal_dir / LOG_NAME).stat().st_size
+
+        started = time.perf_counter()
+        recovered = EstimationService.open_durable(wal_dir)
+        recovery_seconds = time.perf_counter() - started
+        for q in QUERIES:  # bit-identical live vs recovered
+            assert recovered.estimate(q).value == final_values[q], q
+        recovered.differential_check(QUERIES)
+        recovered.close()
+
+        started = time.perf_counter()
+        rebuilt = EstimationService(
+            parse_document(export.read_text()), grid_size=10, spacing=64
+        )
+        prime(rebuilt)
+        rebuild_seconds = time.perf_counter() - started
+        rebuilt.close()
+        replay_speedup = rebuild_seconds / recovery_seconds
+        print(
+            f"compaction: log {wal_bytes_before:,} -> {wal_bytes_after:,} bytes, "
+            f"checkpoints {checkpoints_before} -> "
+            f"{len(list_checkpoints(wal_dir))}; compacted recovery "
+            f"{recovery_seconds:.3f}s vs rebuild {rebuild_seconds:.3f}s "
+            f"-> {replay_speedup:.1f}x"
+        )
+
+        artifact = {
+            "meta": {"nodes": nodes, "quick": args.quick, "grid": 10, "seed": 11},
+            "snapshot": {
+                "iterations": snapshot_iters,
+                "epoch_seconds_per": new_seconds,
+                "legacy_seconds_per": legacy_seconds,
+            },
+            "snapshot_speedup": snapshot_speedup,
+            "checkpoint": {
+                "full_bytes": full_bytes,
+                "incremental_bytes": incr_bytes,
+                "incremental_fraction": fraction,
+                "batch_ops": batch_ops,
+            },
+            "checkpoint_bytes_speedup": full_bytes / incr_bytes,
+            "compaction": {
+                "wal_bytes_before": wal_bytes_before,
+                "wal_bytes_after": wal_bytes_after,
+                "records_dropped": stats.records_dropped,
+                "checkpoints_pruned": len(stats.checkpoints_pruned),
+                "recovery_seconds": recovery_seconds,
+                "rebuild_seconds": rebuild_seconds,
+            },
+            "compacted_replay_speedup": replay_speedup,
+        }
+        Path(args.out).write_text(json.dumps(artifact, indent=1) + "\n")
+        print(f"wrote {args.out}")
+
+        if not args.quick:
+            assert nodes >= 100_000, f"full run must cover >= 1e5 nodes, got {nodes}"
+            assert snapshot_speedup >= 10.0, (
+                f"snapshot construction {snapshot_speedup:.1f}x below the 10x bar"
+            )
+            assert fraction < 0.25, (
+                f"incremental checkpoint is {fraction:.1%} of a full one "
+                f"(bar: < 25%)"
+            )
+            assert replay_speedup >= 1.0, (
+                f"compacted recovery {replay_speedup:.2f}x does not beat rebuild"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -187,6 +187,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=16,
         help="with --wal-dir: cut a checkpoint every N logged updates",
     )
+    serve.add_argument(
+        "--keep-checkpoints",
+        type=int,
+        default=2,
+        help="with --wal-dir: retain at most N checkpoints (plus any "
+        "older ones they still reference); superseded checkpoints are "
+        "pruned and the log compacted after every new checkpoint",
+    )
+    serve.add_argument(
+        "--no-compact",
+        action="store_true",
+        help="with --wal-dir: keep every checkpoint and never compact "
+        "the log (disables --keep-checkpoints)",
+    )
 
     recover = commands.add_parser(
         "recover",
@@ -204,6 +218,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--checkpoint",
         action="store_true",
         help="cut a fresh checkpoint after replay (shortens the next recovery)",
+    )
+    recover.add_argument(
+        "--compact",
+        action="store_true",
+        help="after replay, drop log records below the oldest retained "
+        "checkpoint and prune superseded checkpoints/orphaned files",
+    )
+    recover.add_argument(
+        "--keep-checkpoints",
+        type=int,
+        default=2,
+        help="with --compact: retain at most N checkpoints (plus any "
+        "they reference)",
     )
 
     build = commands.add_parser(
@@ -398,6 +425,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         if args.checkpoint_every < 1:
             print("error: --checkpoint-every must be >= 1", file=sys.stderr)
             return 2
+        if args.keep_checkpoints < 1:
+            print("error: --keep-checkpoints must be >= 1", file=sys.stderr)
+            return 2
         from repro.service.wal import LOG_NAME, list_checkpoints
 
         wal_dir = Path(args.wal_dir)
@@ -425,6 +455,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             rebuild_threshold=rebuild_threshold,
             n_workers=args.workers,
             checkpoint_every=args.checkpoint_every,
+            keep_checkpoints=None if args.no_compact else args.keep_checkpoints,
+            auto_compact=not args.no_compact,
         )
         if service.recovery_info is not None:
             info = service.recovery_info
@@ -529,8 +561,14 @@ def cmd_recover(args: argparse.Namespace) -> int:
     """Recover a durable service from its WAL directory and report."""
     from repro.service import EstimationService, WalError
 
+    if args.keep_checkpoints < 1:
+        print("error: --keep-checkpoints must be >= 1", file=sys.stderr)
+        return 2
     try:
-        service = EstimationService.open_durable(args.wal_dir)
+        service = EstimationService.open_durable(
+            args.wal_dir,
+            keep_checkpoints=args.keep_checkpoints if args.compact else None,
+        )
     except WalError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -558,6 +596,15 @@ def cmd_recover(args: argparse.Namespace) -> int:
         if args.checkpoint:
             lsn = service.checkpoint()
             print(f"checkpointed at lsn {lsn}")
+        if args.compact:
+            stats = service.compact()
+            print(
+                f"compacted: log {stats.log_bytes_before} -> "
+                f"{stats.log_bytes_after} bytes "
+                f"({stats.records_dropped} records dropped, base lsn "
+                f"{stats.base_lsn}), pruned checkpoints "
+                f"{stats.checkpoints_pruned or 'none'}"
+            )
     finally:
         service.close()
     return 0

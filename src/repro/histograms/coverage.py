@@ -56,6 +56,12 @@ class CoverageHistogram:
         self.name = name
         self._entries: dict[CellPair, float] = {}
         self._arrays: Optional[tuple[np.ndarray, ...]] = None
+        # Coverage histograms are replaced wholesale (never delta-
+        # patched), so a construction-time epoch stamp identifies the
+        # content for the incremental checkpointer.
+        from repro.histograms.epoch import next_epoch
+
+        self.version = next_epoch()
         if entries:
             for key, fraction in entries.items():
                 self._set(key, float(fraction))

@@ -1,0 +1,174 @@
+"""Immutable histogram pages and epoch bookkeeping.
+
+The statistics engine versions every maintained histogram as an
+**epoch**: a frozen :class:`HistogramPage` (dense-coded sparse numpy
+arrays, never written after construction) plus a stack of small sealed
+*delta overlays* (plain dicts that become immutable the moment they are
+sealed).  Maintenance paths write only the live overlay; sealing is an
+O(1) ownership handoff (the dict joins the stack and a fresh one starts)
+and happens when a reader pins the current state.  When the stacked
+overlays grow past a threshold they are merged into a *new* page -- the
+old page is untouched, so every previously pinned epoch keeps reading
+exactly the bytes it pinned.
+
+Three pieces live here:
+
+* :class:`HistogramPage` -- the frozen representation: sorted int64
+  cell codes (``i * g + j``) with aligned float64 counts, stamped with
+  a process-unique epoch id;
+* :func:`next_epoch` -- the process-global epoch counter.  Every
+  content change of a maintained histogram takes a fresh id, which is
+  what the incremental checkpointer content-addresses archive members
+  by (equal id => identical content, so the member can be referenced
+  from the previous checkpoint instead of re-written);
+* :class:`EpochRegistry` / :class:`EpochPin` -- explicit refcounts for
+  pinned epochs.  A snapshot pins the epoch it reads; the registry
+  keeps the pinned objects strongly referenced until the last pin
+  drops, at which point sealed pages the live side has already merged
+  past become unreachable and are freed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping, Optional
+
+import numpy as np
+
+_EPOCH_COUNTER = itertools.count(1)
+
+#: Merge the sealed overlay stack into a fresh page once it holds more
+#: layers than this...
+LAYER_LIMIT = 4
+#: ... or more total entries than ``max(MERGE_FLOOR, 2 * page cells)``.
+MERGE_FLOOR = 64
+
+
+def next_epoch() -> int:
+    """A fresh process-unique epoch id (monotonically increasing)."""
+    return next(_EPOCH_COUNTER)
+
+
+class HistogramPage:
+    """Frozen sparse cell storage: sorted codes + aligned counts.
+
+    ``codes[k] = i * g + j`` for cell ``(i, j)``; both arrays are marked
+    read-only, so any accidental write raises instead of corrupting
+    every epoch that shares the page.
+    """
+
+    __slots__ = ("codes", "counts", "epoch", "__weakref__")
+
+    def __init__(
+        self, codes: np.ndarray, counts: np.ndarray, epoch: Optional[int] = None
+    ) -> None:
+        codes = np.ascontiguousarray(codes, dtype=np.int64)
+        counts = np.ascontiguousarray(counts, dtype=np.float64)
+        if codes.shape != counts.shape:
+            raise ValueError("page codes and counts must be aligned")
+        codes.setflags(write=False)
+        counts.setflags(write=False)
+        self.codes = codes
+        self.counts = counts
+        self.epoch = next_epoch() if epoch is None else epoch
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def get(self, code: int) -> float:
+        """Count stored for ``code`` (0.0 when absent)."""
+        slot = int(np.searchsorted(self.codes, code))
+        if slot < len(self.codes) and int(self.codes[slot]) == code:
+            return float(self.counts[slot])
+        return 0.0
+
+    @classmethod
+    def empty(cls) -> "HistogramPage":
+        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+
+    @classmethod
+    def from_mapping(cls, cells: Mapping[int, float]) -> "HistogramPage":
+        """Page from a ``{code: count}`` mapping (zero counts dropped)."""
+        codes = sorted(code for code, count in cells.items() if count != 0.0)
+        return cls(
+            np.asarray(codes, dtype=np.int64),
+            np.asarray([cells[c] for c in codes], dtype=np.float64),
+        )
+
+
+def merge_page(
+    page: HistogramPage, layers: Iterable[Mapping[int, float]]
+) -> HistogramPage:
+    """Seal ``layers`` of deltas into a fresh page (the old one is
+    never touched -- pinned epochs keep reading it).
+
+    The merged count of a cell is the page count plus the layer deltas
+    in stack order -- the same additions a reader performs, so merging
+    never changes an observable value.  Cells whose merged count is
+    exactly zero are dropped, as the from-scratch builders never create
+    them.
+    """
+    merged: dict[int, float] = dict(
+        zip(page.codes.tolist(), page.counts.tolist())
+    )
+    for layer in layers:
+        for code, delta in layer.items():
+            merged[code] = merged.get(code, 0.0) + delta
+    return HistogramPage.from_mapping(merged)
+
+
+class EpochPin:
+    """One reader's hold on an epoch; release is idempotent."""
+
+    __slots__ = ("_registry", "epoch", "_released")
+
+    def __init__(self, registry: "EpochRegistry", epoch: int) -> None:
+        self._registry = registry
+        self.epoch = epoch
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._registry._release(self.epoch)
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.release()
+        except Exception:
+            pass
+
+
+class EpochRegistry:
+    """Refcounts for pinned epochs.
+
+    ``pin(epoch, objects)`` registers a reader: the registry keeps
+    ``objects`` (typically the epoch's histogram views, which hold the
+    sealed pages) strongly referenced until every pin of that epoch is
+    released.  The owning service stays lean: a page the live side has
+    merged past is freed the moment its last pinning snapshot drops.
+    """
+
+    def __init__(self) -> None:
+        self._refs: dict[int, int] = {}
+        self._held: dict[int, list] = {}
+
+    def pin(self, epoch: int, objects: Iterable[object] = ()) -> EpochPin:
+        self._refs[epoch] = self._refs.get(epoch, 0) + 1
+        self._held.setdefault(epoch, []).extend(objects)
+        return EpochPin(self, epoch)
+
+    def _release(self, epoch: int) -> None:
+        count = self._refs.get(epoch, 0) - 1
+        if count > 0:
+            self._refs[epoch] = count
+        else:
+            self._refs.pop(epoch, None)
+            self._held.pop(epoch, None)
+
+    def refcount(self, epoch: int) -> int:
+        return self._refs.get(epoch, 0)
+
+    def live_epochs(self) -> list[int]:
+        """Epochs still pinned by at least one reader, ascending."""
+        return sorted(self._refs)

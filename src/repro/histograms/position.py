@@ -7,10 +7,32 @@ structure: all mass lies on or above the diagonal, and a populated cell
 forbids population in two rectangular regions, which is why only
 ``O(g)`` cells are non-zero (Theorem 1).
 
-The class stores counts sparsely (a dict keyed by cell) and materialises
-a dense ``g x g`` float matrix on demand for the vectorised estimators.
-Counts are floats because synthesised histograms for compound predicates
-(Section 3.4) are generally fractional.
+Storage is **epoch-structured** (see :mod:`repro.histograms.epoch`):
+
+* a frozen :class:`~repro.histograms.epoch.HistogramPage` holds the
+  bulk of the cells as read-only sorted numpy arrays;
+* a stack of **sealed overlay layers** (immutable small dicts of cell
+  deltas) sits on top of the page;
+* a single **live overlay** absorbs all mutations
+  (:meth:`apply_delta` / :meth:`apply_signed_delta`).
+
+:meth:`seal` moves the live overlay onto the stack in O(1) (an
+ownership handoff, no copying); :meth:`snapshot_view` seals and returns
+a reader that shares the page and the sealed stack by reference --
+construction cost independent of the cell count, which is what makes
+service snapshots O(1) per histogram.  When the sealed stack grows past
+a threshold the *writer* merges it into a fresh page; pinned readers
+keep the old page, which the epoch registry frees once the last reader
+drops.  All counts are integer-valued floats on the maintained paths,
+so page + delta arithmetic is exact and a maintained histogram stays
+bit-identical to one rebuilt from scratch.  ``version`` is a
+process-unique epoch id stamped on every content change -- the
+incremental checkpointer uses it to detect (and skip re-archiving)
+histograms that did not change between checkpoints.
+
+Counts are floats because synthesised histograms for compound
+predicates (Section 3.4) are generally fractional; those are built
+whole into a page and never delta-mutated.
 """
 
 from __future__ import annotations
@@ -19,6 +41,13 @@ from typing import Iterable, Iterator, Mapping, Optional
 
 import numpy as np
 
+from repro.histograms.epoch import (
+    LAYER_LIMIT,
+    MERGE_FLOOR,
+    HistogramPage,
+    merge_page,
+    next_epoch,
+)
 from repro.histograms.grid import GridSpec
 from repro.labeling.interval import LabeledTree
 
@@ -35,11 +64,20 @@ class PositionHistogram:
                  name: str = "") -> None:
         self.grid = grid
         self.name = name
-        self._cells: dict[tuple[int, int], float] = {}
+        self._layers: tuple[dict[int, float], ...] = ()
+        self._overlay: dict[int, float] = {}
         self._dense: Optional[np.ndarray] = None
+        self._merged: Optional[dict[int, float]] = None
         if cells:
+            mapping: dict[int, float] = {}
             for (i, j), count in cells.items():
-                self._set(i, j, float(count))
+                self._validate_cell(i, j, float(count))
+                if count != 0.0:
+                    mapping[i * grid.size + j] = float(count)
+            self._page = HistogramPage.from_mapping(mapping)
+        else:
+            self._page = HistogramPage.empty()
+        self.version = self._page.epoch
 
     # -- construction ------------------------------------------------------
 
@@ -53,37 +91,132 @@ class PositionHistogram:
         """Build from an explicit ``{(i, j): count}`` mapping."""
         return cls(grid, cells, name=name)
 
-    def _set(self, i: int, j: int, count: float) -> None:
+    def _validate_cell(self, i: int, j: int, count: float) -> None:
         if not (0 <= i < self.grid.size and 0 <= j < self.grid.size):
             raise ValueError(f"cell ({i}, {j}) outside {self.grid.size}x{self.grid.size} grid")
         if j < i:
             raise ValueError(f"cell ({i}, {j}) below the diagonal cannot be populated")
         if count < 0:
             raise ValueError(f"negative count {count} for cell ({i}, {j})")
-        if count == 0:
-            self._cells.pop((i, j), None)
-        else:
-            self._cells[(i, j)] = count
+
+    def _install_page(self, codes: np.ndarray, counts: np.ndarray) -> None:
+        """Adopt data-built cell arrays as this histogram's page."""
+        self._page = HistogramPage(codes, counts)
+        self._layers = ()
+        self._overlay = {}
         self._dense = None
+        self._merged = None
+        self.version = self._page.epoch
+
+    # -- epoch lifecycle ---------------------------------------------------
+
+    @property
+    def page(self) -> HistogramPage:
+        """The current frozen page (excludes overlay deltas)."""
+        return self._page
+
+    def seal(self) -> None:
+        """Freeze the live overlay onto the sealed stack (O(1)).
+
+        The dict itself joins the stack -- by convention it is never
+        written again -- and a fresh empty overlay starts.  Content is
+        unchanged, so caches and ``version`` survive.
+        """
+        if self._overlay:
+            self._layers = self._layers + (self._overlay,)
+            self._overlay = {}
+
+    def snapshot_view(self) -> "PositionHistogram":
+        """An immutable reader sharing this histogram's current epoch.
+
+        Seals the live overlay, then hands out a view referencing the
+        same page and sealed layers -- zero per-cell work.  Later
+        mutations of the live histogram go to a fresh overlay (and
+        eventually a fresh page), so the view's counts never move.
+        """
+        self.seal()
+        view = object.__new__(PositionHistogram)
+        view.grid = self.grid
+        view.name = self.name
+        view._page = self._page
+        view._layers = self._layers
+        view._overlay = {}
+        view._dense = self._dense
+        view._merged = self._merged
+        view.version = self.version
+        return view
+
+    def _maybe_merge(self) -> None:
+        """Writer-side compaction of the sealed stack into a new page.
+
+        Never touches the old page -- pinned readers keep it -- and
+        never changes an observable count.
+        """
+        if not self._layers:
+            return
+        entries = sum(len(layer) for layer in self._layers)
+        if len(self._layers) > LAYER_LIMIT or entries > max(
+            MERGE_FLOOR, 2 * len(self._page)
+        ):
+            self._page = merge_page(self._page, self._layers)
+            self._layers = ()
+
+    def _bump(self) -> None:
+        self.version = next_epoch()
+        self._dense = None
+        self._merged = None
 
     # -- access ------------------------------------------------------------
 
+    def _merged_cells(self) -> dict[int, float]:
+        """Cached ``{code: count}`` view across page + layers + overlay.
+
+        Built fresh and never mutated afterwards, so snapshot views may
+        share the cached dict safely.
+        """
+        if self._merged is None:
+            merged = dict(zip(self._page.codes.tolist(), self._page.counts.tolist()))
+            for layer in (*self._layers, self._overlay):
+                for code, delta in layer.items():
+                    merged[code] = merged.get(code, 0.0) + delta
+            self._merged = {
+                code: count for code, count in merged.items() if count != 0.0
+            }
+        return self._merged
+
     def count(self, i: int, j: int) -> float:
         """Count in cell ``(i, j)`` (0.0 if empty)."""
-        return self._cells.get((i, j), 0.0)
+        code = i * self.grid.size + j
+        if self._merged is not None:
+            return self._merged.get(code, 0.0)
+        value = self._page.get(code)
+        for layer in (*self._layers, self._overlay):
+            value += layer.get(code, 0.0)
+        return value
 
     def cells(self) -> Iterator[tuple[tuple[int, int], float]]:
         """Yield ``((i, j), count)`` for non-zero cells, sorted."""
-        for key in sorted(self._cells):
-            yield key, self._cells[key]
+        merged = self._merged_cells()
+        size = self.grid.size
+        for code in sorted(merged):
+            yield divmod(code, size), merged[code]
+
+    def cell_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The non-zero cells as ``(codes, counts)`` sorted arrays."""
+        if not self._layers and not self._overlay:
+            return self._page.codes, self._page.counts
+        merged = self._merged_cells()
+        codes = np.asarray(sorted(merged), dtype=np.int64)
+        return codes, np.asarray([merged[c] for c in codes.tolist()], dtype=np.float64)
 
     def nonzero_cell_count(self) -> int:
         """Number of non-zero cells (the Theorem 1 quantity)."""
-        return len(self._cells)
+        return len(self._merged_cells())
 
     def total(self) -> float:
         """Total mass -- for data-built histograms, the node count."""
-        return float(sum(self._cells.values()))
+        merged = self._merged_cells()
+        return float(sum(merged[code] for code in sorted(merged)))
 
     def dense(self) -> np.ndarray:
         """Dense ``g x g`` float64 matrix (cached, read-only).
@@ -95,8 +228,11 @@ class PositionHistogram:
         """
         if self._dense is None:
             matrix = np.zeros((self.grid.size, self.grid.size), dtype=np.float64)
-            for (i, j), count in self._cells.items():
-                matrix[i, j] = count
+            flat = matrix.reshape(-1)
+            flat[self._page.codes] = self._page.counts
+            for layer in (*self._layers, self._overlay):
+                for code, delta in layer.items():
+                    flat[code] += delta
             matrix.setflags(write=False)
             self._dense = matrix
         return self._dense
@@ -111,25 +247,30 @@ class PositionHistogram:
         are dropped, exactly as the from-scratch builder never creates
         them; a removal that would drive a cell negative raises, because
         it means the delta does not describe nodes actually counted.
+        Deltas land in the live overlay only -- sealed layers and the
+        page (and therefore every pinned snapshot) are untouched.
         """
         if sign not in (1, -1):
             raise ValueError(f"sign must be +1 or -1, got {sign}")
         if len(cols) == 0:
             return
+        self._maybe_merge()
         keys, counts = np.unique(
             np.asarray(cols, dtype=np.int64) * self.grid.size
             + np.asarray(rows, dtype=np.int64),
             return_counts=True,
         )
+        overlay = self._overlay
         for key, count in zip(keys.tolist(), counts.tolist()):
             i, j = divmod(key, self.grid.size)
-            updated = self.count(i, j) + sign * count
-            if updated < 0:
+            current = self.count(i, j)
+            if current + sign * count < 0:
                 raise ValueError(
                     f"delta would drive cell ({i}, {j}) below zero "
-                    f"({self.count(i, j)} - {count})"
+                    f"({current} - {count})"
                 )
-            self._set(i, j, updated)
+            overlay[key] = overlay.get(key, 0.0) + float(sign * count)
+        self._bump()
 
     def apply_signed_delta(
         self, cols: np.ndarray, rows: np.ndarray, signs: np.ndarray
@@ -152,48 +293,58 @@ class PositionHistogram:
             raise ValueError("cols, rows, and signs must be aligned")
         if len(cols) == 0:
             return
+        self._maybe_merge()
         keys = cols * self.grid.size + rows
         unique, inverse = np.unique(keys, return_inverse=True)
         sums = np.zeros(len(unique), dtype=np.int64)
         np.add.at(sums, inverse, signs)
+        overlay = self._overlay
+        touched = False
         for key, delta in zip(unique.tolist(), sums.tolist()):
             if delta == 0:
                 continue
             i, j = divmod(key, self.grid.size)
-            updated = self.count(i, j) + delta
-            if updated < 0:
+            current = self.count(i, j)
+            if current + delta < 0:
                 raise ValueError(
                     f"delta would drive cell ({i}, {j}) below zero "
-                    f"({self.count(i, j)} {delta:+d})"
+                    f"({current} {delta:+d})"
                 )
-            self._set(i, j, updated)
+            overlay[key] = overlay.get(key, 0.0) + float(delta)
+            touched = True
+        if touched:
+            self._bump()
 
     def copy(self) -> "PositionHistogram":
-        """An independent value copy (same grid object, own cell map).
+        """An independent value copy sharing the frozen epoch state.
 
-        Snapshot isolation hinges on this: the maintenance paths mutate
-        histograms in place, so a reader pinning the current state takes
-        an ``O(g)`` cell-map copy instead of sharing the dict.
+        O(1): the page and sealed layers are immutable and shared; only
+        future mutations of either side diverge (each writes its own
+        live overlay).  This is what snapshot isolation rides on.
         """
-        return PositionHistogram(self.grid, self._cells, name=self.name)
+        return self.snapshot_view()
 
     def scaled(self, factor: float, name: str = "") -> "PositionHistogram":
         """A copy with every cell multiplied by ``factor``."""
+        size = self.grid.size
         return PositionHistogram(
             self.grid,
-            {cell: count * factor for cell, count in self._cells.items()},
+            {
+                divmod(code, size): count * factor
+                for code, count in self._merged_cells().items()
+            },
             name=name or self.name,
         )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PositionHistogram):
             return NotImplemented
-        return self.grid == other.grid and self._cells == other._cells
+        return self.grid == other.grid and self._merged_cells() == other._merged_cells()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"PositionHistogram({self.name or '?'}, g={self.grid.size}, "
-            f"cells={len(self._cells)}, total={self.total():g})"
+            f"cells={self.nonzero_cell_count()}, total={self.total():g})"
         )
 
     # -- invariants ----------------------------------------------------------
@@ -206,7 +357,8 @@ class PositionHistogram:
         hand-constructed ones may not.  Returns True when the invariant
         holds.
         """
-        populated = sorted(self._cells)
+        size = self.grid.size
+        populated = sorted(divmod(code, size) for code in self._merged_cells())
         for (i, j) in populated:
             if i == j:
                 # A diagonal cell only constrains pairs via its interior
@@ -228,8 +380,9 @@ def build_position_histogram(
 ) -> PositionHistogram:
     """Build the position histogram of the nodes at ``node_indices``.
 
-    Vectorised: bucketises all starts and ends with numpy and counts
-    distinct cells in one pass.
+    Vectorised: bucketises all starts and ends with numpy, counts
+    distinct cells in one pass, and installs the result directly as a
+    frozen page.
     """
     idx = np.asarray(list(node_indices), dtype=np.int64)
     histogram = PositionHistogram(grid, name=name)
@@ -237,8 +390,9 @@ def build_position_histogram(
         return histogram
     cols = grid.buckets(tree.start[idx])
     rows = grid.buckets(tree.end[idx])
+    if np.any(rows < cols):
+        raise ValueError("node below the diagonal cannot be populated")
     keys = cols * grid.size + rows
     unique, counts = np.unique(keys, return_counts=True)
-    for key, count in zip(unique.tolist(), counts.tolist()):
-        histogram._set(key // grid.size, key % grid.size, float(count))
+    histogram._install_page(unique, counts.astype(np.float64))
     return histogram

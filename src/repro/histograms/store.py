@@ -51,6 +51,9 @@ from repro.histograms.storage import (
 
 BINARY_FORMAT = "repro-summaries"
 BINARY_VERSION = 1
+#: Checkpoint summary archives: epoch-addressed members that later
+#: incremental checkpoints can reference instead of re-writing.
+PAGED_VERSION = 2
 
 
 class SummaryFormatError(ValueError):
@@ -274,6 +277,232 @@ def save_binary_summaries(estimator, path: Union[str, Path]) -> int:
     with open(path, "wb") as handle:
         np.savez_compressed(handle, **arrays)
     return written
+
+
+def save_summary_pages(
+    estimator,
+    path: Union[str, Path],
+    lsn: int,
+    prior: Optional[dict] = None,
+) -> dict:
+    """Write a checkpoint summary archive with epoch-addressed members.
+
+    Every built histogram is stamped with a process-unique epoch id
+    (``PositionHistogram.version`` / ``CoverageHistogram.version``) that
+    changes whenever its content changes.  ``prior`` is the index
+    returned by the previous checkpoint's call (``{name: {"epoch",
+    "at", "cvg_epoch", "cvg_at"}}``): a histogram whose epoch is
+    unchanged is **not** re-written -- its manifest entry references the
+    checkpoint file that last archived it (``"ref"``/``"cvg_ref"``),
+    which may itself be an older incremental checkpoint (reference
+    chains are resolved at load time).  With ``prior=None`` every
+    member is archived here (a *full* summary archive).
+
+    Array members are named by epoch (``e<epoch>.cells`` /
+    ``e<epoch>.counts``; coverage ``c<epoch>.keys`` / ``c<epoch>.fracs``)
+    so a referencing manifest can locate them without knowing the
+    writer's predicate ordering.  Returns the new index to thread into
+    the next checkpoint.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    manifest: dict = {
+        "format": BINARY_FORMAT,
+        "version": PAGED_VERSION,
+        "lsn": int(lsn),
+        "grid": grid_payload(estimator.grid),
+        "predicates": [],
+    }
+    tree = getattr(estimator, "tree", None)
+    if tree is not None:
+        manifest["fingerprint"] = tree_fingerprint(tree)
+    prior = prior or {}
+    index: dict[str, dict] = {}
+    for predicate, histogram in estimator._position_cache.items():
+        name = predicate.name
+        epoch = int(histogram.version)
+        previous = prior.get(name, {})
+        entry = {
+            "name": name,
+            "no_overlap": estimator.is_no_overlap(predicate),
+            "count": histogram.total(),
+            "has_coverage": False,
+            "epoch": epoch,
+            "ref": None,
+        }
+        entry.update(_predicate_identity(predicate))
+        at = lsn
+        if previous.get("epoch") == epoch:
+            entry["ref"] = at = previous["at"]
+        else:
+            cells = list(histogram.cells())
+            arrays[f"e{epoch}.cells"] = np.asarray(
+                [key for key, _ in cells], dtype=np.int64
+            ).reshape(len(cells), 2)
+            arrays[f"e{epoch}.counts"] = np.asarray(
+                [count for _, count in cells], dtype=np.float64
+            )
+        row = {"epoch": epoch, "at": at}
+        coverage = estimator._coverage_cache.get(predicate)
+        if coverage is not None:
+            cvg_epoch = int(coverage.version)
+            entry["has_coverage"] = True
+            entry["cvg_epoch"] = cvg_epoch
+            entry["cvg_ref"] = None
+            cvg_at = lsn
+            if previous.get("cvg_epoch") == cvg_epoch:
+                entry["cvg_ref"] = cvg_at = previous["cvg_at"]
+            else:
+                entries = list(coverage.entries())
+                arrays[f"c{cvg_epoch}.keys"] = np.asarray(
+                    [key for key, _ in entries], dtype=np.int64
+                ).reshape(len(entries), 4)
+                arrays[f"c{cvg_epoch}.fracs"] = np.asarray(
+                    [fraction for _, fraction in entries], dtype=np.float64
+                )
+            row["cvg_epoch"] = cvg_epoch
+            row["cvg_at"] = cvg_at
+        manifest["predicates"].append(entry)
+        index[name] = row
+    arrays["manifest"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        np.savez_compressed(handle, **arrays)
+    return index
+
+
+def summary_page_refs(manifest: dict) -> set[int]:
+    """LSNs of other checkpoints a paged manifest references."""
+    refs: set[int] = set()
+    for entry in manifest.get("predicates", []):
+        for key in ("ref", "cvg_ref"):
+            if entry.get(key) is not None:
+                refs.add(int(entry[key]))
+    return refs
+
+
+def load_summary_pages(path: Union[str, Path], resolve=None) -> LoadedSummaries:
+    """Load a checkpoint summary archive (paged v2 or legacy v1).
+
+    ``resolve(lsn)`` must return an open npz archive holding the
+    referenced members (the checkpoint loader hands out the summary
+    archives of older checkpoints); a missing resolver with a
+    referencing manifest -- or any unresolvable / malformed member --
+    raises :class:`SummaryFormatError`, which the recovery path treats
+    like a corrupt checkpoint (fall back to an older one).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no binary summary store at {path}")
+    try:
+        archive = np.load(path)
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as exc:
+        raise SummaryFormatError(f"{path} is not a summary archive: {exc}") from exc
+    with archive:
+        if "manifest" not in archive.files:
+            raise SummaryFormatError(f"{path} has no manifest member")
+        try:
+            manifest = json.loads(bytes(archive["manifest"]).decode("utf-8"))
+        except _MALFORMED_MEMBER_ERRORS as exc:
+            raise SummaryFormatError(f"{path} has a corrupted manifest: {exc}") from exc
+        if not isinstance(manifest, dict) or manifest.get("format") != BINARY_FORMAT:
+            raise SummaryFormatError(f"{path} is not a {BINARY_FORMAT!r} archive")
+        version = manifest.get("version")
+        if version == BINARY_VERSION:
+            try:
+                grid = grid_from_payload(manifest["grid"])
+                summaries = [
+                    _load_summary(archive, grid, entry)
+                    for entry in manifest["predicates"]
+                ]
+            except _MALFORMED_MEMBER_ERRORS as exc:
+                raise SummaryFormatError(
+                    f"{path} is corrupt or incomplete: {exc}"
+                ) from exc
+            return LoadedSummaries(
+                grid=grid,
+                summaries=summaries,
+                fingerprint=manifest.get("fingerprint"),
+            )
+        if version != PAGED_VERSION:
+            raise SummaryVersionError(
+                f"{path} is summary-format version {version}; "
+                f"this build reads versions {BINARY_VERSION} and {PAGED_VERSION}"
+            )
+
+        def member(entry_ref, name):
+            if entry_ref is None:
+                source = archive
+            else:
+                if resolve is None:
+                    raise SummaryFormatError(
+                        f"{path} references checkpoint {entry_ref} but no "
+                        f"resolver was provided"
+                    )
+                source = resolve(int(entry_ref))
+            if name not in source.files:
+                raise KeyError(f"missing member {name!r}")
+            return source[name]
+
+        try:
+            grid = grid_from_payload(manifest["grid"])
+            summaries = []
+            for entry in manifest["predicates"]:
+                epoch = int(entry["epoch"])
+                cells = member(entry.get("ref"), f"e{epoch}.cells")
+                counts = member(entry.get("ref"), f"e{epoch}.counts")
+                position = PositionHistogram(
+                    grid,
+                    {
+                        (int(i), int(j)): float(count)
+                        for (i, j), count in zip(cells.tolist(), counts.tolist())
+                    },
+                    name=entry["name"],
+                )
+                coverage = None
+                if entry.get("has_coverage"):
+                    cvg_epoch = int(entry["cvg_epoch"])
+                    keys = member(entry.get("cvg_ref"), f"c{cvg_epoch}.keys")
+                    fracs = member(entry.get("cvg_ref"), f"c{cvg_epoch}.fracs")
+                    coverage = CoverageHistogram(
+                        grid,
+                        {
+                            (int(i), int(j), int(m), int(n)): float(fraction)
+                            for (i, j, m, n), fraction in zip(
+                                keys.tolist(), fracs.tolist()
+                            )
+                        },
+                        name=entry["name"],
+                    )
+                summaries.append(
+                    LoadedSummary(
+                        name=entry["name"],
+                        kind=entry.get("kind", "opaque"),
+                        tag=entry.get("tag"),
+                        no_overlap=bool(entry["no_overlap"]),
+                        count=float(entry["count"]),
+                        position=position,
+                        coverage=coverage,
+                    )
+                )
+        except _MALFORMED_MEMBER_ERRORS as exc:
+            raise SummaryFormatError(
+                f"{path} is corrupt or incomplete: {exc}"
+            ) from exc
+    return LoadedSummaries(
+        grid=grid, summaries=summaries, fingerprint=manifest.get("fingerprint")
+    )
+
+
+def read_summary_manifest(path: Union[str, Path]) -> dict:
+    """The JSON manifest of a summary archive (any version)."""
+    try:
+        with np.load(Path(path)) as archive:
+            return json.loads(bytes(archive["manifest"]).decode("utf-8"))
+    except _MALFORMED_MEMBER_ERRORS as exc:
+        raise SummaryFormatError(f"{path} has no readable manifest: {exc}") from exc
 
 
 def load_binary_summaries(path: Union[str, Path]) -> LoadedSummaries:

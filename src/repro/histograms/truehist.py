@@ -14,11 +14,20 @@ predicate satisfied by every node), combined, and converted back:
 Disjoint OR (e.g. the paper's decade predicates, unions of distinct
 years) reduces to plain cell-wise addition; :func:`or_histograms` takes
 a ``disjoint`` flag for that case.
+
+The algebra runs columnar over the histograms' frozen page arrays
+(:meth:`~repro.histograms.position.PositionHistogram.cell_arrays`):
+each operation is a vectorised expression over aligned cell-code
+arrays, producing the same per-cell floats the scalar formulas yield
+(every cell is independent, so vectorisation cannot reorder any
+addition that matters).
 """
 
 from __future__ import annotations
 
 from typing import Iterable
+
+import numpy as np
 
 from repro.histograms.grid import GridSpec
 from repro.histograms.position import PositionHistogram, build_position_histogram
@@ -42,6 +51,35 @@ def _require_same_grid(*histograms: PositionHistogram) -> GridSpec:
     return grid
 
 
+def _from_code_arrays(
+    grid: GridSpec, codes: np.ndarray, counts: np.ndarray, name: str
+) -> PositionHistogram:
+    """Histogram from sorted code/count arrays (zero cells dropped)."""
+    keep = counts != 0.0
+    histogram = PositionHistogram(grid, name=name)
+    histogram._install_page(codes[keep], counts[keep])
+    return histogram
+
+
+def _lookup(histogram: PositionHistogram, codes: np.ndarray) -> np.ndarray:
+    """Counts of ``histogram`` at the given cell codes (0.0 elsewhere)."""
+    return histogram.dense().reshape(-1)[codes]
+
+
+def _union_add(
+    codes_a: np.ndarray,
+    counts_a: np.ndarray,
+    codes_b: np.ndarray,
+    counts_b: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cell-wise ``a + b`` over two sorted sparse cell arrays."""
+    codes = np.union1d(codes_a, codes_b)
+    counts = np.zeros(len(codes), dtype=np.float64)
+    counts[np.searchsorted(codes, codes_a)] += counts_a
+    counts[np.searchsorted(codes, codes_b)] += counts_b
+    return codes, counts
+
+
 def and_histograms(
     a: PositionHistogram,
     b: PositionHistogram,
@@ -50,13 +88,13 @@ def and_histograms(
 ) -> PositionHistogram:
     """Synthesise the histogram of ``A AND B`` under in-cell independence."""
     grid = _require_same_grid(a, b, true_hist)
-    cells: dict[tuple[int, int], float] = {}
-    for cell, count_a in a.cells():
-        count_b = b.count(*cell)
-        total = true_hist.count(*cell)
-        if count_b > 0 and total > 0:
-            cells[cell] = count_a * count_b / total
-    return PositionHistogram(grid, cells, name=name)
+    codes_a, counts_a = a.cell_arrays()
+    counts_b = _lookup(b, codes_a)
+    totals = _lookup(true_hist, codes_a)
+    mask = (counts_b > 0) & (totals > 0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        values = np.where(mask, counts_a * counts_b / np.where(mask, totals, 1.0), 0.0)
+    return _from_code_arrays(grid, codes_a[mask], values[mask], name)
 
 
 def or_histograms(
@@ -74,20 +112,15 @@ def or_histograms(
     corresponding primitive histograms".
     """
     grid = _require_same_grid(a, b, true_hist)
-    cells: dict[tuple[int, int], float] = {}
-    for cell, count in a.cells():
-        cells[cell] = cells.get(cell, 0.0) + count
-    for cell, count in b.cells():
-        cells[cell] = cells.get(cell, 0.0) + count
+    codes, counts = _union_add(*a.cell_arrays(), *b.cell_arrays())
     if not disjoint:
         overlap = and_histograms(a, b, true_hist)
-        for cell, count in overlap.cells():
-            remaining = cells.get(cell, 0.0) - count
-            if remaining <= 0:
-                cells.pop(cell, None)
-            else:
-                cells[cell] = remaining
-    return PositionHistogram(grid, cells, name=name)
+        codes_o, counts_o = overlap.cell_arrays()
+        # Overlap cells are a subset of a's cells, hence of the union.
+        counts[np.searchsorted(codes, codes_o)] -= counts_o
+        keep = counts > 0
+        codes, counts = codes[keep], counts[keep]
+    return _from_code_arrays(grid, codes, counts, name)
 
 
 def sum_histograms(
@@ -98,11 +131,10 @@ def sum_histograms(
     if not histograms:
         raise ValueError("need at least one histogram")
     grid = _require_same_grid(*histograms)
-    cells: dict[tuple[int, int], float] = {}
-    for histogram in histograms:
-        for cell, count in histogram.cells():
-            cells[cell] = cells.get(cell, 0.0) + count
-    return PositionHistogram(grid, cells, name=name)
+    codes, counts = histograms[0].cell_arrays()
+    for histogram in histograms[1:]:
+        codes, counts = _union_add(codes, counts, *histogram.cell_arrays())
+    return _from_code_arrays(grid, codes, counts, name)
 
 
 def not_histogram(
@@ -110,12 +142,10 @@ def not_histogram(
 ) -> PositionHistogram:
     """Synthesise the histogram of ``NOT A`` as ``TRUE - A`` cell-wise."""
     grid = _require_same_grid(a, true_hist)
-    cells: dict[tuple[int, int], float] = {}
-    for cell, total in true_hist.cells():
-        remaining = total - a.count(*cell)
-        if remaining > 0:
-            cells[cell] = remaining
-    return PositionHistogram(grid, cells, name=name)
+    codes_t, counts_t = true_hist.cell_arrays()
+    remaining = counts_t - _lookup(a, codes_t)
+    keep = remaining > 0
+    return _from_code_arrays(grid, codes_t[keep], remaining[keep], name)
 
 
 def synthesize_histogram(

@@ -189,12 +189,18 @@ def plan_insert(
 
 
 def apply_insert(tree: LabeledTree, plan: InsertPlan) -> None:
-    """Splice a planned insertion into the tree's flat arrays (in place)."""
+    """Splice a planned insertion into the tree's flat arrays.
+
+    Every container is *replaced*, never written in place -- including
+    the element list -- so a reader that grabbed references before the
+    splice keeps a complete, internally consistent pre-splice view (the
+    contract O(1) service snapshots rely on).
+    """
     pos, size = plan.position, plan.size
     shifted_parents = np.where(
         tree.parent_index >= pos, tree.parent_index + size, tree.parent_index
     )
-    tree.elements[pos:pos] = plan.elements
+    tree.elements = [*tree.elements[:pos], *plan.elements, *tree.elements[pos:]]
     tree.start = np.concatenate([tree.start[:pos], plan.start, tree.start[pos:]])
     tree.end = np.concatenate([tree.end[:pos], plan.end, tree.end[pos:]])
     tree.level = np.concatenate([tree.level[:pos], plan.level, tree.level[pos:]])
@@ -210,7 +216,9 @@ def apply_delete(tree: LabeledTree, index: int) -> tuple[int, int]:
     Returns ``(position, count)`` of the removed pre-order slice.  The
     freed labels rejoin the gap at the parent, available to later
     inserts.  The caller is responsible for the document-model side
-    (detaching the element from its parent's child list).
+    (detaching the element from its parent's child list).  As with
+    :func:`apply_insert`, every container -- element list included --
+    is replaced rather than mutated, preserving pre-splice views.
     """
     if not 0 <= index < len(tree):
         raise IndexError(f"node index {index} outside the tree")
@@ -220,7 +228,7 @@ def apply_delete(tree: LabeledTree, index: int) -> tuple[int, int]:
     keep[pos : pos + count] = False
     parents = tree.parent_index[keep]
     parents = np.where(parents >= pos + count, parents - count, parents)
-    del tree.elements[pos : pos + count]
+    tree.elements = [*tree.elements[:pos], *tree.elements[pos + count :]]
     tree.start = tree.start[keep]
     tree.end = tree.end[keep]
     tree.level = tree.level[keep]

@@ -87,6 +87,28 @@ class LabeledTree:
     def __len__(self) -> int:
         return len(self.elements)
 
+    @classmethod
+    def shared_view(cls, source: "LabeledTree") -> "LabeledTree":
+        """A frozen view sharing ``source``'s containers by reference.
+
+        O(1): no array or list is copied.  Sound because every
+        maintenance path *replaces* the label arrays and the element
+        list rather than writing into them (see
+        :func:`repro.labeling.dynamic.apply_insert` /
+        :func:`~repro.labeling.dynamic.apply_delete` and
+        :meth:`replace_contents`), so the view stays a complete
+        pre-mutation state forever.  This is what service snapshots pin.
+        """
+        view = cls.__new__(cls)
+        view.elements = source.elements
+        view.start = source.start
+        view.end = source.end
+        view.level = source.level
+        view.parent_index = source.parent_index
+        view.max_label = source.max_label
+        view._index_of = None
+        return view
+
     def replace_contents(
         self,
         elements: Sequence[Element],

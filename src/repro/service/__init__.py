@@ -11,11 +11,18 @@ statistics subsystem must.  See
 from repro.service.batch import BatchError, BatchResult, DeleteOp, InsertOp
 from repro.service.service import EstimationService, ServiceStats, UpdateResult
 from repro.service.snapshot import ServiceSnapshot
-from repro.service.wal import RecoveryInfo, WalError, WriteAheadLog
+from repro.service.wal import (
+    CompactStats,
+    RecoveryInfo,
+    WalError,
+    WriteAheadLog,
+    compact,
+)
 
 __all__ = [
     "BatchError",
     "BatchResult",
+    "CompactStats",
     "DeleteOp",
     "EstimationService",
     "InsertOp",
@@ -25,4 +32,5 @@ __all__ = [
     "UpdateResult",
     "WalError",
     "WriteAheadLog",
+    "compact",
 ]

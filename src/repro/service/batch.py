@@ -212,16 +212,16 @@ class BatchApplier:
                 id(e): i for i, e in enumerate(self.tree.elements)
             }
 
-        # Pre-batch view: splices replace arrays rather than mutating
-        # them, so plain references are a consistent snapshot -- and
-        # double as the rollback image (only the element list needs a
-        # copy, because splices mutate it in place).
+        # Pre-batch view: splices replace every container (the element
+        # list included) rather than mutating them, so plain references
+        # are a consistent snapshot -- and double as the rollback image.
         self.start0 = self.tree.start
         self.end0 = self.tree.end
         self.parent0 = self.tree.parent_index
         self.level0 = self.tree.level
         self.max_label0 = self.tree.max_label
-        self.elements0 = list(self.tree.elements)
+        self.elements0 = self.tree.elements
+        self.tracker0 = service._ckpt_tracker  # replaced, never mutated
         self.orig_pos = np.arange(len(self.tree), dtype=np.int64)
 
         applied = 0
@@ -278,6 +278,7 @@ class BatchApplier:
         service._dirty_nodes = predicted
         service._optimizer = None
         service._executor = None
+        service._publish_epoch()
         self._count_into_stats()
         service.stats.coefficient_invalidations += invalidated
         return self._result(rebuilt=False, changed=changed, invalidated=invalidated)
@@ -314,6 +315,7 @@ class BatchApplier:
             self.parent0,
             self.max_label0,
         )
+        self.service._ckpt_tracker = self.tracker0
 
     # -- splice pass -------------------------------------------------------
 
@@ -365,6 +367,12 @@ class BatchApplier:
             plan = plan_insert(self.tree, parent_index, subtree, op.position)
         except GapExhausted:
             self.degraded = True
+            # The relabel moves every surviving node's labels, so the
+            # incremental-state delta against the last full checkpoint
+            # no longer describes this tree.  (Rollback restores the
+            # pre-batch tracker; the degraded batch otherwise ends in a
+            # rebuild, which keeps it invalidated.)
+            self.service._ckpt_tracker = None
             relabel_preorder(self.tree, self.service.spacing)
             try:
                 plan = plan_insert(self.tree, parent_index, subtree, op.position)
@@ -376,6 +384,7 @@ class BatchApplier:
             self.tree.elements[parent_index], subtree, op.position
         )
         apply_insert(self.tree, plan)
+        self.service._track_insert(plan.position, plan.size)
         self._shift_up(plan.position, plan.size)
         self._track_insert(plan.elements, plan.position)
 
@@ -385,6 +394,7 @@ class BatchApplier:
         parent_element = self.tree.elements[parent_index]
         self._undo.append(("insert", op.subtree))
         self.service._attach_child(parent_element, op.subtree, op.position)
+        self.service._ckpt_tracker = None  # whole-forest relabel
         labeled = label_forest(self.service.documents, spacing=self.service.spacing)
         self.tree.replace_contents(
             labeled.elements,
@@ -444,6 +454,7 @@ class BatchApplier:
         parent_element.children.remove(element)
         element.parent = None
         apply_delete(self.tree, index)
+        self.service._track_delete(position, count)
         self.touched += count
         self.deletes += 1
         self.nodes_deleted += count

@@ -67,6 +67,7 @@ from repro.histograms.store import (
     save_binary_summaries,
     tree_fingerprint,
 )
+from repro.histograms.epoch import EpochRegistry, next_epoch
 from repro.histograms.parallel import build_statistics_parallel, create_pool
 from repro.labeling.dynamic import (
     GapExhausted,
@@ -175,7 +176,9 @@ class EstimationService:
         self._build_state()
 
     def _init_wal_state(self) -> None:
-        """Durability bookkeeping; a plain service keeps it all inert."""
+        """Durability + epoch bookkeeping; a plain service keeps the
+        durability half inert.  (Shared init hook of the constructor
+        and the checkpoint-recovery path.)"""
         self._wal = None
         self._wal_dir: Optional[Path] = None
         self._replaying = False
@@ -183,7 +186,24 @@ class EstimationService:
         self._last_lsn = 0
         self._last_checkpoint_lsn = 0
         self._checkpoint_requested = False
+        self._keep_checkpoints: Optional[int] = None
+        self._auto_compact = False
+        self._ckpt_tracker: Optional[np.ndarray] = None
+        self._ckpt_prior: Optional[dict] = None
         self.recovery_info = None
+        # Epoch state: the published-epoch id readers pin, and the
+        # refcount registry that frees superseded pages when the last
+        # pinning snapshot drops.
+        self.epoch = next_epoch()
+        self.epoch_registry = EpochRegistry()
+
+    def _publish_epoch(self) -> None:
+        """Publish a new epoch: later snapshots pin the new id.
+
+        Called once per completed update, batch, or rebuild.  Sealing
+        of histogram overlays is lazy (it happens when a snapshot pins
+        the state), so publishing is O(1)."""
+        self.epoch = next_epoch()
 
     # -- state construction ------------------------------------------------
 
@@ -316,6 +336,10 @@ class EstimationService:
         for predicate in primed_coverages:
             self._ensure_coverage(predicate)
         self.stats.rebuilds += 1
+        self._publish_epoch()
+        # Rebuilds relabel the whole forest, so an incremental-state
+        # delta against the last full checkpoint is no longer valid.
+        self._ckpt_tracker = None
         if self._wal is not None:
             # Rebuilds re-bucket the label space -- every record before
             # this point replays against dead geometry, so bound the
@@ -452,6 +476,7 @@ class EstimationService:
 
         self._attach_child(self.tree.elements[parent_index], subtree, position)
         apply_insert(self.tree, plan)
+        self._track_insert(plan.position, plan.size)
         changed = self.catalog.apply_insert(plan.position, plan.elements)
         invalidated = self._insert_deltas(plan.position, plan.size, changed, parent_index)
         self.stats.inserts += 1
@@ -491,6 +516,7 @@ class EstimationService:
         element.parent.children.remove(element)
         element.parent = None
         apply_delete(self.tree, index)
+        self._track_delete(pos, count)
         changed = self.catalog.apply_delete(pos, count)
         invalidated = self._delete_deltas(pos, cols, rows, changed, pair_deltas)
         self.stats.deletes += 1
@@ -633,7 +659,13 @@ class EstimationService:
     # -- durability ---------------------------------------------------------
 
     def _attach_wal(
-        self, wal, directory: Path, checkpoint_every: int, last_lsn: int
+        self,
+        wal,
+        directory: Path,
+        checkpoint_every: int,
+        last_lsn: int,
+        keep_checkpoints: Optional[int] = None,
+        auto_compact: bool = False,
     ) -> None:
         """Adopt an open write-ahead log: every later update is logged
         before it applies (see :mod:`repro.service.wal`)."""
@@ -641,16 +673,50 @@ class EstimationService:
             raise ValueError(
                 f"checkpoint interval must be >= 1, got {checkpoint_every}"
             )
+        if keep_checkpoints is not None and keep_checkpoints < 1:
+            raise ValueError(
+                f"checkpoint retention must keep >= 1, got {keep_checkpoints}"
+            )
         self._wal = wal
         self._wal_dir = Path(directory)
         self._checkpoint_every = checkpoint_every
         self._last_lsn = last_lsn
         self._last_checkpoint_lsn = last_lsn
         self._checkpoint_requested = False
+        self._keep_checkpoints = keep_checkpoints
+        self._auto_compact = auto_compact
 
     @property
     def wal_attached(self) -> bool:
         return self._wal is not None
+
+    # -- incremental-checkpoint splice tracker ------------------------------
+
+    def _reset_tracker(self) -> None:
+        """Re-base the tracker on the current tree (after a full
+        checkpoint archived exactly this state)."""
+        self._ckpt_tracker = np.arange(len(self.tree), dtype=np.int64)
+
+    def _track_insert(self, position: int, size: int) -> None:
+        """Compose an insert splice into the checkpoint tracker.
+
+        The tracker maps each current pre-order index to its index in
+        the last *full* checkpoint (``-1`` for nodes inserted since);
+        like the label arrays, it is replaced rather than mutated, so a
+        pre-batch reference doubles as the rollback image.
+        """
+        if self._ckpt_tracker is not None:
+            self._ckpt_tracker = np.insert(
+                self._ckpt_tracker,
+                position,
+                np.full(size, -1, dtype=np.int64),
+            )
+
+    def _track_delete(self, position: int, count: int) -> None:
+        if self._ckpt_tracker is not None:
+            self._ckpt_tracker = np.delete(
+                self._ckpt_tracker, np.s_[position : position + count]
+            )
 
     def _maybe_checkpoint(self) -> None:
         if self._wal is None or self._replaying:
@@ -659,23 +725,55 @@ class EstimationService:
         if due or self._checkpoint_requested:
             self.checkpoint()
 
-    def checkpoint(self) -> int:
+    def checkpoint(self, full: bool = False) -> int:
         """Cut a checkpoint at the last committed LSN.
 
         Forces buffered commit markers to disk first, then persists the
-        summary store plus the document forest, label arrays, and LSN;
-        recovery replays only the log suffix past the newest valid
-        checkpoint.  Returns the checkpoint's LSN.
+        summary store plus the recoverable state; recovery replays only
+        the log suffix past the newest valid checkpoint.  Checkpoints
+        are *incremental* when a valid delta base exists (see
+        :func:`repro.service.wal.write_checkpoint`); ``full=True``
+        forces a self-contained checkpoint.  With a retention bound
+        configured (``keep_checkpoints``), superseded checkpoints are
+        pruned afterwards -- never a checkpoint the kept ones still
+        reference -- and with ``auto_compact`` the log is compacted
+        below the oldest live checkpoint.  Returns the checkpoint's
+        LSN.
         """
-        from repro.service.wal import write_checkpoint
+        from repro.service.wal import compact, prune_checkpoints, write_checkpoint
 
         if self._wal is None:
             raise ValueError("no write-ahead log attached to checkpoint")
         self._wal.sync()
-        write_checkpoint(self, self._wal_dir, self._last_lsn)
+        write_checkpoint(self, self._wal_dir, self._last_lsn, force_full=full)
         self._last_checkpoint_lsn = self._last_lsn
         self._checkpoint_requested = False
+        if self._auto_compact:
+            compact(
+                self._wal_dir,
+                keep_checkpoints=self._keep_checkpoints,
+                wal=self._wal,
+            )
+        elif self._keep_checkpoints is not None:
+            prune_checkpoints(self._wal_dir, self._keep_checkpoints)
         return self._last_lsn
+
+    def compact(self) -> "object":
+        """Compact the attached write-ahead log directory now.
+
+        Drops log records at or below the oldest checkpoint worth
+        keeping, prunes superseded checkpoints and orphaned files; see
+        :func:`repro.service.wal.compact`.  Returns its stats.
+        """
+        from repro.service.wal import compact
+
+        if self._wal is None:
+            raise ValueError("no write-ahead log attached to compact")
+        return compact(
+            self._wal_dir,
+            keep_checkpoints=self._keep_checkpoints,
+            wal=self._wal,
+        )
 
     @classmethod
     def open_durable(
@@ -689,6 +787,8 @@ class EstimationService:
         rebuild_threshold: float = 0.25,
         n_workers: int = 1,
         checkpoint_every: int = 16,
+        keep_checkpoints: Optional[int] = None,
+        auto_compact: bool = False,
     ) -> "EstimationService":
         """Open (or initialise) a crash-recoverable service.
 
@@ -715,6 +815,8 @@ class EstimationService:
             rebuild_threshold=rebuild_threshold,
             n_workers=n_workers,
             checkpoint_every=checkpoint_every,
+            keep_checkpoints=keep_checkpoints,
+            auto_compact=auto_compact,
         )
 
     # -- persistence --------------------------------------------------------
@@ -800,6 +902,7 @@ class EstimationService:
         self._dirty_nodes += nodes
         self._optimizer = None
         self._executor = None
+        self._publish_epoch()
         self.stats.coefficient_invalidations += invalidated
         rebuilt = False
         if self._dirty_nodes > self.rebuild_threshold * max(1, len(self.tree)):

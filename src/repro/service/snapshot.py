@@ -4,23 +4,34 @@
 :class:`ServiceSnapshot`: an immutable view of the label table, the
 predicate catalog, and every built histogram, against which readers can
 estimate (and execute) without ever observing a half-applied update or
-batch.  The design is copy-on-write in the cheap direction:
+batch.  Snapshots **pin an epoch** (see :mod:`repro.histograms.epoch`):
 
-* the **label arrays** are shared by reference -- every maintenance
-  path (splices, vectorised relabels, full rebuilds) *replaces* the
-  arrays on the live tree rather than mutating them, so a snapshot's
-  references stay internally consistent forever;
-* the **element list** and the catalog's per-predicate index arrays are
-  shared the same way (index arrays are rebuilt, never written in
-  place); the list and the per-predicate stats rows are shallow-copied
-  because the live side mutates those containers;
+* the **label arrays and the element list** are shared by reference --
+  every maintenance path (splices, vectorised relabels, full rebuilds)
+  *replaces* the containers on the live tree rather than mutating
+  them, so a snapshot's references stay internally consistent forever;
+* the catalog's per-predicate index arrays are shared the same way
+  (index arrays are rebuilt, never written in place); the per-predicate
+  stats rows are shallow-copied because the live side mutates those
+  records -- O(#predicates), no per-node work;
 * **histograms maintained by in-place cell deltas** (position
-  histograms, the TRUE histogram) are value-copied -- ``O(g)`` cells
-  each -- while coverage/level histograms and coefficient kernels,
-  which the live side replaces wholesale on invalidation, are shared.
+  histograms, the TRUE histogram) are pinned as epoch views
+  (:meth:`~repro.histograms.position.PositionHistogram.snapshot_view`):
+  the live overlay is sealed in O(1) and the view shares the frozen
+  page and sealed layers by reference -- **zero per-cell copies**.
+  Later maintenance writes a fresh overlay (and eventually a fresh
+  page), never the pinned state.  Coverage/level histograms and
+  coefficient kernels, which the live side replaces wholesale on
+  invalidation, are shared;
+* the pinned epoch is **refcounted** through the service's
+  :class:`~repro.histograms.epoch.EpochRegistry`: sealed pages the
+  live side has merged past are freed when the last snapshot of their
+  epoch is released (:meth:`close`, the context-manager exit, or GC).
 
-A snapshot taken *before* an update therefore keeps answering from the
-pre-update statistics, and a snapshot taken *after*
+Construction cost is therefore O(#predicates) -- independent of the
+tree size and of the histogram cell counts.  A snapshot taken *before*
+an update keeps answering from the pre-update statistics, and a
+snapshot taken *after*
 :meth:`~repro.service.service.EstimationService.apply_batch` returns is
 indistinguishable from a service freshly built over the post-batch
 documents (the snapshot test suite pins both directions).  Snapshots
@@ -28,11 +39,13 @@ answer lazily like the live estimator: a predicate first touched
 through the snapshot builds its histogram against the snapshot's frozen
 label table and caches it snapshot-locally.
 
-Known boundary: snapshots freeze the *label table*, not the element
-objects -- document-side children lists are shared with the live tree.
-Estimates and executions over structural (tag) predicates are fully
-isolated; a content predicate first scanned through an old snapshot
-reads element text as it is *now*, not as it was.
+Known boundary (deliberately preserved across the epoch refactor, and
+pinned by a test): snapshots freeze the *label table*, not the element
+objects -- document-side children lists and text nodes are shared with
+the live tree.  Estimates and executions over structural (tag)
+predicates are fully isolated; a content predicate first scanned
+through an old snapshot reads element text as it is *now*, not as it
+was.
 """
 
 from __future__ import annotations
@@ -57,20 +70,13 @@ class ServiceSnapshot:
 
     Exposes the read API of the service (:meth:`estimate`,
     :meth:`estimate_many`, :meth:`execute`, :meth:`real_answer`,
-    histogram accessors); construction cost is independent of the tree
-    size except for one shallow copy of the element list.
+    histogram accessors); construction performs no per-cell and no
+    per-node copying.  Usable as a context manager; :meth:`close`
+    releases the epoch pin (idempotent -- GC releases it too).
     """
 
     def __init__(self, service) -> None:
-        live = service.tree
-        tree = LabeledTree(
-            live.elements,  # LabeledTree copies the sequence into a new list
-            live.start,
-            live.end,
-            live.level,
-            live.parent_index,
-            live.max_label,
-        )
+        tree = LabeledTree.shared_view(service.tree)
         catalog = PredicateCatalog(tree)
         catalog._stats = {
             predicate: replace(stats)
@@ -86,10 +92,12 @@ class ServiceSnapshot:
         estimator.grid = source.grid  # same frozen bucket geometry object
         estimator.schema = source.schema
         estimator._true_hist = (
-            source._true_hist.copy() if source._true_hist is not None else None
+            source._true_hist.snapshot_view()
+            if source._true_hist is not None
+            else None
         )
         estimator._position_cache = {
-            predicate: histogram.copy()
+            predicate: histogram.snapshot_view()
             for predicate, histogram in source._position_cache.items()
         }
         estimator._coverage_cache = dict(source._coverage_cache)
@@ -99,8 +107,32 @@ class ServiceSnapshot:
         self.tree = tree
         self.catalog = catalog
         self.estimator = estimator
+        self.epoch = service.epoch
+        pinned = list(estimator._position_cache.values())
+        if estimator._true_hist is not None:
+            pinned.append(estimator._true_hist)
+        self._pin = service.epoch_registry.pin(service.epoch, pinned)
         self._optimizer: Optional[Optimizer] = None
         self._executor: Optional[PlanExecutor] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the epoch pin (idempotent).
+
+        Once every snapshot of an epoch is closed, sealed pages the
+        live service no longer references become unreachable and are
+        freed.  The snapshot itself keeps answering (it still holds its
+        own references); closing only ends its participation in the
+        epoch refcount.
+        """
+        self._pin.release()
+
+    def __enter__(self) -> "ServiceSnapshot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- read API ----------------------------------------------------------
 

@@ -71,12 +71,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.histograms.store import (
-    SummaryFormatError,
-    load_binary_summaries,
-    save_binary_summaries,
-    tree_fingerprint,
-)
+from repro.histograms.store import SummaryFormatError, tree_fingerprint
 from repro.service.batch import BatchError, DeleteOp, InsertOp
 from repro.xmltree.parser import parse_document
 from repro.xmltree.tree import Document, Element, Text
@@ -87,8 +82,15 @@ LOG_NAME = "wal.log"
 CHECKPOINT_PREFIX = "ckpt-"
 STATE_SUFFIX = ".state.npz"
 SUMMARY_SUFFIX = ".summaries.npz"
+#: After this many consecutive delta checkpoints, the next one re-bases
+#: (writes a full checkpoint) so old bases -- and the log records they
+#: pin -- can be reclaimed by retention and compaction.
+MAX_DELTA_CHAIN = 8
 _HEADER = struct.Struct("<II")  # payload length, crc32(payload)
-_RECORD_TYPES = ("batch", "commit", "abort")
+# "base" is the compaction watermark: records at or below its lsn were
+# dropped by compact(), so recovery must not fall back to a checkpoint
+# older than it (the replay suffix those checkpoints need is gone).
+_RECORD_TYPES = ("batch", "commit", "abort", "base")
 
 
 class WalError(RuntimeError):
@@ -351,16 +353,25 @@ def checkpoint_paths(directory: Union[str, Path], lsn: int) -> tuple[Path, Path]
 
 
 def list_checkpoints(directory: Union[str, Path]) -> list[int]:
-    """LSNs of the directory's complete checkpoints, newest first."""
+    """LSNs of the directory's complete checkpoints, newest first.
+
+    A checkpoint is complete only when **both canonical paired files**
+    (state + summaries) exist.  The glob may surface stray files whose
+    name parses to an LSN but is not the canonical ``%016d`` spelling;
+    requiring both canonical paths (rather than trusting the globbed
+    path for one half) keeps such strays -- and a crash that renamed
+    only one half -- from ever being offered to recovery.
+    """
     directory = Path(directory)
-    lsns = []
+    lsns: set[int] = set()
     for path in directory.glob(f"{CHECKPOINT_PREFIX}*{STATE_SUFFIX}"):
         raw = path.name[len(CHECKPOINT_PREFIX) : -len(STATE_SUFFIX)]
         if not raw.isdigit():
             continue
         lsn = int(raw)
-        if checkpoint_paths(directory, lsn)[1].exists():
-            lsns.append(lsn)
+        state_path, summary_path = checkpoint_paths(directory, lsn)
+        if state_path.exists() and summary_path.exists():
+            lsns.add(lsn)
     return sorted(lsns, reverse=True)
 
 
@@ -493,34 +504,16 @@ def _fsync_directory(directory: Path) -> None:
         os.close(fd)
 
 
-def write_checkpoint(service, directory: Union[str, Path], lsn: int) -> None:
-    """Persist the service's full recoverable state as checkpoint ``lsn``.
-
-    Two files, each written to a temporary name, fsync'd, and atomically
-    renamed (summaries first, then the directory entry itself synced):
-    a checkpoint only becomes *visible* (both files present) once both
-    writes are durable, so neither a crash mid-checkpoint nor a power
-    failure right after it can leave a half-readable "newest"
-    checkpoint.
-    """
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    state_path, summary_path = checkpoint_paths(directory, lsn)
-
-    summary_tmp = summary_path.with_suffix(".tmp")
-    save_binary_summaries(service.estimator, summary_tmp)
-    _fsync_path(summary_tmp)
-    os.replace(summary_tmp, summary_path)
-
-    tree = service.tree
-    # Maintained coverage numerators (integer pair counts) are part of
-    # the recoverable state: without them the first replayed batch would
-    # re-walk the tree once per maintained coverage.  Only tag
-    # predicates round-trip (matching the summary store's policy).
+def _numerator_arrays(service) -> tuple[list[str], dict[str, np.ndarray]]:
+    """Maintained coverage numerators (integer pair counts) as archive
+    members.  They are part of the recoverable state: without them the
+    first replayed batch would re-walk the tree once per maintained
+    coverage.  Only tag predicates round-trip (matching the summary
+    store's policy)."""
     from repro.predicates.base import TagPredicate
 
-    numerator_tags = []
-    numerator_arrays = {}
+    numerator_tags: list[str] = []
+    numerator_arrays: dict[str, np.ndarray] = {}
     for predicate, numerators in service._numerators.items():
         if not isinstance(predicate, TagPredicate):
             continue
@@ -533,41 +526,234 @@ def write_checkpoint(service, directory: Union[str, Path], lsn: int) -> None:
         numerator_arrays[f"cvgnum{slot}.counts"] = np.asarray(
             [count for _, count in entries], dtype=np.int64
         )
-    meta = {
+    return numerator_tags, numerator_arrays
+
+
+def _base_meta(service, lsn: int, numerator_tags: list[str]) -> dict:
+    return {
         "lsn": lsn,
         "spacing": service.spacing,
         "grid_size": service.grid_size,
         "grid_kind": service.grid_kind,
         "rebuild_threshold": service.rebuild_threshold,
-        "max_label": int(tree.max_label),
+        "max_label": int(service.tree.max_label),
         "dirty_nodes": int(service._dirty_nodes),
         "documents": len(service.documents),
         "coverage_numerators": numerator_tags,
     }
-    arrays = {
-        "start": np.ascontiguousarray(tree.start, dtype=np.int64),
-        "end": np.ascontiguousarray(tree.end, dtype=np.int64),
-        "level": np.ascontiguousarray(tree.level, dtype=np.int64),
-        "parent_index": np.ascontiguousarray(tree.parent_index, dtype=np.int64),
-        **numerator_arrays,
-    }
-    fast_arrays, fast_meta = _encode_forest(service.documents, tree)
-    meta["fast"] = fast_meta
-    arrays.update(fast_arrays)
-    arrays["meta"] = np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8
-    )
-    for doc_index, document in enumerate(service.documents):
-        arrays[f"doc{doc_index}"] = np.frombuffer(
-            write_document(document).encode("utf-8"), dtype=np.uint8
+
+
+def _encode_state_delta(service, base_lsn: int, base_nodes: int) -> tuple[dict, dict]:
+    """Delta encoding of the current state against the last *full*
+    checkpoint, driven by the service's splice tracker.
+
+    Gap labeling guarantees that between full relabels a surviving
+    node's start/end/level never change and its text/attributes are
+    never touched by the service's update API, so the delta is:
+
+    * ``incr.runs`` -- ``(current_start, base_start, length)`` triples
+      mapping maximal contiguous surviving ranges back to the base
+      checkpoint (label values, tags, text, and attributes of those
+      nodes are *not* re-archived);
+    * per net-inserted node: its labels, its parent's current index,
+      its exact child slot in the parent's children list (text nodes
+      included, so reconstruction reproduces the live layout
+      bit-exactly), tag/attributes, and owned text.
+
+    Net-deleted base nodes need no encoding: reconstruction derives
+    them as the base indices not covered by any run and detaches each
+    deleted root from its surviving parent (or document).
+    """
+    tree = service.tree
+    tracker = service._ckpt_tracker
+    survivors = np.flatnonzero(tracker >= 0)
+    base_idx = tracker[survivors]
+    if survivors.size:
+        breaks = (
+            np.flatnonzero((np.diff(survivors) != 1) | (np.diff(base_idx) != 1)) + 1
         )
-    state_tmp = state_path.with_suffix(".tmp")
-    with open(state_tmp, "wb") as handle:
+        starts = np.concatenate([np.zeros(1, dtype=np.int64), breaks])
+        ends = np.concatenate([breaks, np.asarray([survivors.size], dtype=np.int64)])
+        runs = np.stack(
+            [survivors[starts], base_idx[starts], ends - starts], axis=1
+        ).astype(np.int64)
+    else:
+        runs = np.empty((0, 3), dtype=np.int64)
+
+    new_positions = np.flatnonzero(tracker < 0)
+    vocab: dict[str, int] = {}
+    codes = np.empty(len(new_positions), dtype=np.int64)
+    slots = np.empty(len(new_positions), dtype=np.int64)
+    attributes: dict[str, dict] = {}
+    text_owner: list[int] = []
+    text_slot: list[int] = []
+    text_chunks: list[bytes] = []
+    for local, current in enumerate(new_positions.tolist()):
+        element = tree.elements[current]
+        codes[local] = vocab.setdefault(element.tag, len(vocab))
+        if element.attributes:
+            attributes[str(local)] = dict(element.attributes)
+        parent_element = tree.elements[int(tree.parent_index[current])]
+        slots[local] = parent_element.children.index(element)
+        for slot, child in enumerate(element.children):
+            if isinstance(child, Text):
+                text_owner.append(local)
+                text_slot.append(slot)
+                text_chunks.append(child.value.encode("utf-8"))
+    offsets = np.zeros(len(text_chunks) + 1, dtype=np.int64)
+    if text_chunks:
+        offsets[1:] = np.cumsum([len(chunk) for chunk in text_chunks])
+    arrays = {
+        "incr.runs": runs,
+        "incr.new_start": np.ascontiguousarray(tree.start[new_positions]),
+        "incr.new_end": np.ascontiguousarray(tree.end[new_positions]),
+        "incr.new_level": np.ascontiguousarray(tree.level[new_positions]),
+        "incr.new_parent": np.ascontiguousarray(tree.parent_index[new_positions]),
+        "incr.new_slot": slots,
+        "incr.new_tags": codes,
+        "incr.text_owner": np.asarray(text_owner, dtype=np.int64),
+        "incr.text_slot": np.asarray(text_slot, dtype=np.int64),
+        "incr.text_offsets": offsets,
+        "incr.text_data": np.frombuffer(b"".join(text_chunks), dtype=np.uint8)
+        if text_chunks
+        else np.empty(0, dtype=np.uint8),
+    }
+    meta = {
+        "base_lsn": int(base_lsn),
+        "base_nodes": int(base_nodes),
+        "nodes": len(tree),
+        "tag_vocab": [tag for tag, _ in sorted(vocab.items(), key=lambda kv: kv[1])],
+        "attributes": attributes,
+    }
+    return arrays, meta
+
+
+def _write_state_archive(path: Path, arrays: dict, directory: Path) -> int:
+    tmp = path.with_suffix(".tmp")
+    with open(tmp, "wb") as handle:
         np.savez_compressed(handle, **arrays)
         handle.flush()
         os.fsync(handle.fileno())
-    os.replace(state_tmp, state_path)
+    os.replace(tmp, path)
     _fsync_directory(directory)
+    return path.stat().st_size
+
+
+def write_checkpoint(
+    service, directory: Union[str, Path], lsn: int, force_full: bool = False
+) -> None:
+    """Persist the service's recoverable state as checkpoint ``lsn``.
+
+    Two files, each written to a temporary name, fsync'd, and atomically
+    renamed (summaries first, then the directory entry itself synced):
+    a checkpoint only becomes *visible* (both files present) once both
+    writes are durable, so neither a crash mid-checkpoint nor a power
+    failure right after it can leave a half-readable "newest"
+    checkpoint.
+
+    Checkpoints are **incremental** whenever they can be: the summary
+    archive re-writes only histogram pages whose epoch changed since
+    the previous checkpoint (everything else is a manifest reference to
+    the checkpoint file that last archived the page), and the state
+    archive stores a splice delta against the last *full* checkpoint
+    instead of the whole forest.  A checkpoint falls back to full when
+    no valid delta base exists (first checkpoint, recovery, a relabel /
+    rebuild invalidated the tracker), when ``force_full`` is set, or
+    when the delta has grown past a quarter of the tree (at which point
+    re-basing is cheaper for every later checkpoint).  The state meta's
+    ``refs`` list names every older checkpoint this one depends on, so
+    retention and compaction never prune a referenced base.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    state_path, summary_path = checkpoint_paths(directory, lsn)
+    tree = service.tree
+
+    tracker = service._ckpt_tracker
+    prior = service._ckpt_prior
+    incremental = (
+        not force_full
+        and tracker is not None
+        and len(tracker) == len(tree)
+        and prior is not None
+        and lsn > prior["base_lsn"]
+        # Bound the reference chain: a delta base stays live (and keeps
+        # its log suffix alive) for as long as deltas point at it, so
+        # re-base periodically to let retention + compaction advance.
+        and prior.get("deltas_since_base", 0) < MAX_DELTA_CHAIN
+    )
+    if incremental:
+        inserted = int(np.count_nonzero(tracker < 0))
+        deleted = int(prior["base_nodes"]) - (len(tracker) - inserted)
+        if (inserted + deleted) * 4 >= max(1, len(tree)):
+            incremental = False
+
+    from repro.histograms.store import save_summary_pages, summary_page_refs
+
+    summary_tmp = summary_path.with_suffix(".tmp")
+    index = save_summary_pages(
+        service.estimator,
+        summary_tmp,
+        lsn,
+        prior=prior["summaries"] if incremental and prior else None,
+    )
+    _fsync_path(summary_tmp)
+    os.replace(summary_tmp, summary_path)
+
+    numerator_tags, numerator_arrays = _numerator_arrays(service)
+    meta = _base_meta(service, lsn, numerator_tags)
+    summary_refs = {
+        int(row[key])
+        for row in index.values()
+        for key in ("at", "cvg_at")
+        if key in row and int(row[key]) != lsn
+    }
+    if incremental:
+        delta_arrays, delta_meta = _encode_state_delta(
+            service, prior["base_lsn"], prior["base_nodes"]
+        )
+        meta["incremental"] = delta_meta
+        meta["refs"] = sorted(summary_refs | {int(prior["base_lsn"])})
+        arrays = {**delta_arrays, **numerator_arrays}
+    else:
+        meta["refs"] = sorted(summary_refs)
+        arrays = {
+            "start": np.ascontiguousarray(tree.start, dtype=np.int64),
+            "end": np.ascontiguousarray(tree.end, dtype=np.int64),
+            "level": np.ascontiguousarray(tree.level, dtype=np.int64),
+            "parent_index": np.ascontiguousarray(tree.parent_index, dtype=np.int64),
+            **numerator_arrays,
+        }
+        fast_arrays, fast_meta = _encode_forest(service.documents, tree)
+        meta["fast"] = fast_meta
+        arrays.update(fast_arrays)
+        for doc_index, document in enumerate(service.documents):
+            arrays[f"doc{doc_index}"] = np.frombuffer(
+                write_document(document).encode("utf-8"), dtype=np.uint8
+            )
+    arrays["meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    _write_state_archive(state_path, arrays, directory)
+
+    # Both files are durable: adopt the new checkpoint as the delta
+    # baseline for the next one.
+    if incremental:
+        service._ckpt_prior = {
+            **prior,
+            "lsn": lsn,
+            "summaries": index,
+            "deltas_since_base": prior.get("deltas_since_base", 0) + 1,
+        }
+    else:
+        service._ckpt_prior = {
+            "lsn": lsn,
+            "base_lsn": lsn,
+            "base_nodes": len(tree),
+            "summaries": index,
+            "deltas_since_base": 0,
+        }
+        service._reset_tracker()
 
 
 @dataclass
@@ -584,12 +770,152 @@ class _LoadedCheckpoint:
     elements: Optional[list] = None  # pre-order, aligned with the arrays
 
 
-def load_checkpoint(directory: Union[str, Path], lsn: int) -> _LoadedCheckpoint:
-    """Load and validate one checkpoint; raises
-    :class:`~repro.histograms.store.SummaryFormatError` on any
-    malformed, truncated, or mismatched file."""
-    state_path, summary_path = checkpoint_paths(directory, lsn)
-    summaries = load_binary_summaries(summary_path)
+def _decode_numerators(archive, meta) -> dict:
+    numerators = {}
+    for slot, tag in enumerate(meta.get("coverage_numerators", [])):
+        keys = archive[f"cvgnum{slot}.keys"]
+        counts = archive[f"cvgnum{slot}.counts"]
+        numerators[tag] = {
+            (int(i), int(j), int(m), int(n)): int(count)
+            for (i, j, m, n), count in zip(keys.tolist(), counts.tolist())
+        }
+    return numerators
+
+
+def _derived_elements(documents) -> list[Element]:
+    elements: list[Element] = []
+    for document in documents:
+        for child in document.children:
+            if isinstance(child, Element):
+                elements.extend(child.iter())
+    return elements
+
+
+def _apply_state_delta(base: "_LoadedCheckpoint", archive, meta, state_path):
+    """Reconstruct a delta checkpoint's exact state over its base.
+
+    Mutates the freshly decoded base forest (nothing else references
+    it): detaches every net-deleted subtree root, builds the inserted
+    elements, and splices each inserted node into its parent's children
+    at the archived slot -- reproducing the live children layout (text
+    interleaving included) bit-exactly.  Any inconsistency between the
+    delta and its base raises
+    :class:`~repro.histograms.store.SummaryFormatError`, which recovery
+    treats like any other corrupt checkpoint.
+    """
+    incr = meta["incremental"]
+    n_cur = int(incr["nodes"])
+    base_n = len(base.start)
+    runs = archive["incr.runs"].astype(np.int64).reshape(-1, 3)
+    new_start = archive["incr.new_start"].astype(np.int64)
+    new_end = archive["incr.new_end"].astype(np.int64)
+    new_level = archive["incr.new_level"].astype(np.int64)
+    new_parent = archive["incr.new_parent"].astype(np.int64)
+    new_slot = archive["incr.new_slot"].astype(np.int64)
+    new_tags = archive["incr.new_tags"].astype(np.int64)
+
+    start = np.empty(n_cur, dtype=np.int64)
+    end = np.empty(n_cur, dtype=np.int64)
+    level = np.empty(n_cur, dtype=np.int64)
+    parent_index = np.empty(n_cur, dtype=np.int64)
+    survivor_mask = np.zeros(n_cur, dtype=bool)
+    cur_of_base = np.full(base_n, -1, dtype=np.int64)
+    for c0, b0, length in runs.tolist():
+        if length <= 0 or c0 < 0 or b0 < 0 or c0 + length > n_cur or b0 + length > base_n:
+            raise SummaryFormatError(f"{state_path} delta run {(c0, b0, length)} out of bounds")
+        if survivor_mask[c0 : c0 + length].any():
+            raise SummaryFormatError(f"{state_path} delta runs overlap")
+        start[c0 : c0 + length] = base.start[b0 : b0 + length]
+        end[c0 : c0 + length] = base.end[b0 : b0 + length]
+        level[c0 : c0 + length] = base.level[b0 : b0 + length]
+        survivor_mask[c0 : c0 + length] = True
+        cur_of_base[b0 : b0 + length] = np.arange(c0, c0 + length, dtype=np.int64)
+    new_positions = np.flatnonzero(~survivor_mask)
+    if len(new_positions) != len(new_start):
+        raise SummaryFormatError(
+            f"{state_path} delta covers {len(new_positions)} inserted slots "
+            f"but archives {len(new_start)}"
+        )
+    start[new_positions] = new_start
+    end[new_positions] = new_end
+    level[new_positions] = new_level
+
+    # Survivor parents: a surviving node's parent always survives, so
+    # the base parent maps through; a miss means the delta is corrupt.
+    for c0, b0, length in runs.tolist():
+        base_parents = base.parent_index[b0 : b0 + length]
+        mapped = np.where(base_parents < 0, -1, cur_of_base[np.clip(base_parents, 0, None)])
+        if np.any((base_parents >= 0) & (mapped < 0)):
+            raise SummaryFormatError(
+                f"{state_path} delta deletes the parent of a surviving node"
+            )
+        parent_index[c0 : c0 + length] = mapped
+    if np.any((new_parent < 0) | (new_parent >= n_cur)):
+        raise SummaryFormatError(f"{state_path} delta has an inserted node without a parent")
+    parent_index[new_positions] = new_parent
+
+    # Elements: survivors from the base forest, inserted ones fresh.
+    base_elements = (
+        base.elements if base.elements is not None else _derived_elements(base.documents)
+    )
+    if len(base_elements) != base_n:
+        raise SummaryFormatError(f"{state_path} base checkpoint elements misaligned")
+    elements: list = [None] * n_cur
+    for c0, b0, length in runs.tolist():
+        elements[c0 : c0 + length] = base_elements[b0 : b0 + length]
+
+    # Detach net-deleted subtree roots (a deleted node whose base
+    # parent survives or was a document root).
+    for d in np.flatnonzero(cur_of_base < 0).tolist():
+        p = int(base.parent_index[d])
+        if p == -1 or cur_of_base[p] >= 0:
+            victim = base_elements[d]
+            victim.parent.children.remove(victim)
+            victim.parent = None
+
+    vocab = incr["tag_vocab"]
+    inserted = [Element(vocab[int(code)]) for code in new_tags.tolist()]
+    for raw_local, attrs in incr.get("attributes", {}).items():
+        inserted[int(raw_local)].attributes = dict(attrs)
+    for position, element in zip(new_positions.tolist(), inserted):
+        elements[position] = element
+
+    # Children placement: every inserted element (and every text node
+    # owned by one) carries its exact slot in its parent's children
+    # list; inserting in ascending slot order reproduces the layout.
+    placements: dict[int, list[tuple[int, object]]] = {}
+    for local, element in enumerate(inserted):
+        placements.setdefault(int(new_parent[local]), []).append(
+            (int(new_slot[local]), element)
+        )
+    text_owner = archive["incr.text_owner"].tolist()
+    text_slot = archive["incr.text_slot"].tolist()
+    offsets = archive["incr.text_offsets"].tolist()
+    blob = bytes(archive["incr.text_data"])
+    for k, (owner_local, slot) in enumerate(zip(text_owner, text_slot)):
+        owner_position = int(new_positions[int(owner_local)])
+        node = Text(blob[offsets[k] : offsets[k + 1]].decode("utf-8"))
+        placements.setdefault(owner_position, []).append((int(slot), node))
+    for parent_position, entries in placements.items():
+        parent_element = elements[parent_position]
+        for slot, node in sorted(entries, key=lambda item: item[0]):
+            if slot > len(parent_element.children):
+                raise SummaryFormatError(
+                    f"{state_path} delta child slot {slot} beyond the "
+                    f"parent's children"
+                )
+            node.parent = parent_element
+            parent_element.children.insert(slot, node)
+
+    return base.documents, elements, start, end, level, parent_index
+
+
+def _load_state(
+    directory: Union[str, Path], lsn: int, allow_delta: bool = True
+) -> _LoadedCheckpoint:
+    """Load (and for delta checkpoints, reconstruct) one checkpoint's
+    state archive; ``summaries`` is left unset."""
+    state_path = checkpoint_paths(directory, lsn)[0]
     try:
         archive = np.load(state_path)
     except Exception as exc:
@@ -599,30 +925,40 @@ def load_checkpoint(directory: Union[str, Path], lsn: int) -> _LoadedCheckpoint:
     try:
         with archive:
             meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
-            start = archive["start"].astype(np.int64)
-            end = archive["end"].astype(np.int64)
-            level = archive["level"].astype(np.int64)
-            parent_index = archive["parent_index"].astype(np.int64)
             elements = None
-            if "fast" in meta:
-                # Numpy-native forest: rebuild the elements without
-                # tokenizing the XML members (kept for fidelity/export).
-                documents, elements = _decode_forest(
-                    archive, meta["fast"], parent_index
+            if "incremental" in meta:
+                if not allow_delta:
+                    raise SummaryFormatError(
+                        f"{state_path} chains a delta onto another delta"
+                    )
+                base = _load_state(
+                    directory, int(meta["incremental"]["base_lsn"]), allow_delta=False
                 )
+                (
+                    documents,
+                    elements,
+                    start,
+                    end,
+                    level,
+                    parent_index,
+                ) = _apply_state_delta(base, archive, meta, state_path)
             else:
-                documents = [
-                    parse_document(bytes(archive[f"doc{k}"]).decode("utf-8"))
-                    for k in range(int(meta["documents"]))
-                ]
-            numerators = {}
-            for slot, tag in enumerate(meta.get("coverage_numerators", [])):
-                keys = archive[f"cvgnum{slot}.keys"]
-                counts = archive[f"cvgnum{slot}.counts"]
-                numerators[tag] = {
-                    (int(i), int(j), int(m), int(n)): int(count)
-                    for (i, j, m, n), count in zip(keys.tolist(), counts.tolist())
-                }
+                start = archive["start"].astype(np.int64)
+                end = archive["end"].astype(np.int64)
+                level = archive["level"].astype(np.int64)
+                parent_index = archive["parent_index"].astype(np.int64)
+                if "fast" in meta:
+                    # Numpy-native forest: rebuild the elements without
+                    # tokenizing the XML members (kept for fidelity).
+                    documents, elements = _decode_forest(
+                        archive, meta["fast"], parent_index
+                    )
+                else:
+                    documents = [
+                        parse_document(bytes(archive[f"doc{k}"]).decode("utf-8"))
+                        for k in range(int(meta["documents"]))
+                    ]
+            numerators = _decode_numerators(archive, meta)
     except SummaryFormatError:
         raise
     except Exception as exc:
@@ -639,9 +975,203 @@ def load_checkpoint(directory: Union[str, Path], lsn: int) -> _LoadedCheckpoint:
         end=end,
         level=level,
         parent_index=parent_index,
-        summaries=summaries,
+        summaries=None,
         numerators=numerators,
         elements=elements,
+    )
+
+
+def checkpoint_refs(directory: Union[str, Path], lsn: int) -> set[int]:
+    """Older checkpoints that ``lsn`` depends on (delta base + summary
+    page references), from its state meta.  Unreadable metas yield the
+    empty set -- such a checkpoint cannot recover anyway."""
+    state_path = checkpoint_paths(directory, lsn)[0]
+    try:
+        with np.load(state_path) as archive:
+            meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        return {int(ref) for ref in meta.get("refs", [])}
+    except Exception:
+        return set()
+
+
+def load_checkpoint(directory: Union[str, Path], lsn: int) -> _LoadedCheckpoint:
+    """Load and validate one checkpoint; raises
+    :class:`~repro.histograms.store.SummaryFormatError` on any
+    malformed, truncated, mismatched, or unresolvable file (including a
+    referenced older checkpoint that is itself missing or corrupt)."""
+    from repro.histograms.store import load_summary_pages
+
+    directory = Path(directory)
+    summary_path = checkpoint_paths(directory, lsn)[1]
+    opened: dict[int, object] = {}
+    try:
+
+        def resolve(ref_lsn: int):
+            if ref_lsn not in opened:
+                ref_path = checkpoint_paths(directory, ref_lsn)[1]
+                try:
+                    opened[ref_lsn] = np.load(ref_path)
+                except Exception as exc:
+                    raise SummaryFormatError(
+                        f"{summary_path} references checkpoint {ref_lsn} "
+                        f"whose summary archive is unreadable: {exc}"
+                    ) from exc
+            return opened[ref_lsn]
+
+        summaries = load_summary_pages(summary_path, resolve=resolve)
+    finally:
+        for archive in opened.values():
+            archive.close()
+    checkpoint = _load_state(directory, lsn)
+    checkpoint.summaries = summaries
+    return checkpoint
+
+
+# -- retention + log compaction -----------------------------------------------
+
+
+@dataclass
+class CompactStats:
+    """What one :func:`compact` pass did."""
+
+    base_lsn: int
+    records_dropped: int
+    log_bytes_before: int
+    log_bytes_after: int
+    checkpoints_pruned: list[int]
+
+
+def live_checkpoint_lsns(
+    directory: Union[str, Path], keep_checkpoints: Optional[int] = None
+) -> set[int]:
+    """The checkpoints that must survive retention: the newest
+    ``keep_checkpoints`` complete ones plus everything they reference
+    transitively (delta bases, summary-page archives).  ``None`` keeps
+    all of them."""
+    directory = Path(directory)
+    lsns = list_checkpoints(directory)
+    if keep_checkpoints is None:
+        kept = set(lsns)
+    else:
+        kept = set(lsns[: max(1, int(keep_checkpoints))])
+    live: set[int] = set()
+    queue = sorted(kept, reverse=True)
+    while queue:
+        lsn = queue.pop()
+        if lsn in live:
+            continue
+        live.add(lsn)
+        queue.extend(checkpoint_refs(directory, lsn) - live)
+    return live
+
+
+def prune_checkpoints(
+    directory: Union[str, Path], keep_checkpoints: Optional[int]
+) -> list[int]:
+    """Delete checkpoints outside the retention set, plus stray
+    temporary files; the directory entry is fsync'd afterwards so a
+    crash mid-prune can strand at worst a *dead* checkpoint (whose load
+    fails cleanly and falls back), never a live manifest referencing a
+    deleted file -- referenced bases are always in the retention set.
+
+    Returns the pruned LSNs (newest first -- also the deletion order,
+    so a referencing delta dies before its base).
+    """
+    directory = Path(directory)
+    live = live_checkpoint_lsns(directory, keep_checkpoints)
+    pruned: list[int] = []
+    for lsn in list_checkpoints(directory):  # newest first
+        if lsn in live:
+            continue
+        for path in checkpoint_paths(directory, lsn):
+            try:
+                path.unlink()
+            except FileNotFoundError:  # pragma: no cover - racing cleanup
+                pass
+        pruned.append(lsn)
+    for stray in directory.glob("*.tmp"):
+        stray.unlink()
+    _fsync_directory(directory)
+    return pruned
+
+
+def compact(
+    directory: Union[str, Path],
+    keep_checkpoints: Optional[int] = None,
+    wal: Optional[WriteAheadLog] = None,
+) -> CompactStats:
+    """Compact a durable directory: truncate the log's dead prefix and
+    prune superseded checkpoints.
+
+    Log records at or below the oldest *live* checkpoint (see
+    :func:`live_checkpoint_lsns`) can never be replayed again -- every
+    recoverable checkpoint starts at or after them -- so the log is
+    rewritten without them.  The new log leads with a ``base``
+    watermark record carrying that LSN: recovery refuses to use a
+    checkpoint older than the watermark (its replay suffix is gone), so
+    even a crash that strands a superseded checkpoint on disk can never
+    cause a silently divergent recovery.  Retained records are copied
+    byte-for-byte (checksums included), the new log is written to a
+    temporary file, fsync'd, and atomically renamed -- a crash at any
+    point leaves either the old or the new log, both fully recoverable.
+
+    ``wal`` is the directory's open log handle when compacting a live
+    service; it is flushed, closed around the rename, and reopened for
+    appends.  A directory with no complete checkpoint is left alone.
+    """
+    directory = Path(directory)
+    log_path = directory / LOG_NAME
+    records, valid_end = read_records(log_path)
+    raw = log_path.read_bytes() if log_path.exists() else b""
+    live = live_checkpoint_lsns(directory, keep_checkpoints)
+    old_base = max((r.lsn for r in records if r.type == "base"), default=0)
+    if not live:
+        return CompactStats(old_base, 0, len(raw), len(raw), [])
+    base = max(min(live), old_base)
+
+    dropped = sum(1 for r in records if r.type != "base" and r.lsn <= base)
+    if dropped == 0:
+        # Nothing to truncate (common while a delta chain pins its full
+        # base): skip the O(log) rewrite entirely -- leaving the
+        # watermark where it is stays safe, because every checkpoint
+        # still has its full replay suffix -- and only prune.
+        pruned = prune_checkpoints(directory, keep_checkpoints)
+        return CompactStats(old_base, 0, len(raw), len(raw), pruned)
+
+    keep_records = [r for r in records if r.type != "base" and r.lsn > base]
+    payload = json.dumps(
+        {"lsn": base, "type": "base"}, separators=(",", ":")
+    ).encode("utf-8")
+    chunks = [WAL_MAGIC, _HEADER.pack(len(payload), zlib.crc32(payload)), payload]
+    chunks.extend(raw[r.offset : r.end_offset] for r in keep_records)
+    new_bytes = b"".join(chunks)
+
+    if wal is not None:
+        wal.sync()
+        wal._fh.close()
+    try:
+        tmp = directory / (LOG_NAME + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(new_bytes)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, log_path)
+        _fsync_directory(directory)
+    finally:
+        # Reopen the append handle no matter what: a failed rewrite
+        # (say ENOSPC) leaves the old log intact on disk, and the live
+        # service must keep appending to it rather than dying on a
+        # closed file for every later update.
+        if wal is not None:
+            wal._fh = open(log_path, "ab")
+
+    pruned = prune_checkpoints(directory, keep_checkpoints)
+    return CompactStats(
+        base_lsn=base,
+        records_dropped=dropped,
+        log_bytes_before=len(raw),
+        log_bytes_after=len(new_bytes),
+        checkpoints_pruned=pruned,
     )
 
 
@@ -658,6 +1188,8 @@ def create_durable(
     rebuild_threshold: float = 0.25,
     n_workers: int = 1,
     checkpoint_every: int = 16,
+    keep_checkpoints: Optional[int] = None,
+    auto_compact: bool = False,
 ):
     """Initialise a fresh durable directory around a new service."""
     from repro.service.service import EstimationService
@@ -673,7 +1205,14 @@ def create_durable(
     )
     write_checkpoint(service, directory, 0)
     wal = WriteAheadLog(directory / LOG_NAME)
-    service._attach_wal(wal, directory, checkpoint_every, last_lsn=0)
+    service._attach_wal(
+        wal,
+        directory,
+        checkpoint_every,
+        last_lsn=0,
+        keep_checkpoints=keep_checkpoints,
+        auto_compact=auto_compact,
+    )
     service.recovery_info = None
     return service
 
@@ -688,6 +1227,8 @@ def open_durable(
     rebuild_threshold: float = 0.25,
     n_workers: int = 1,
     checkpoint_every: int = 16,
+    keep_checkpoints: Optional[int] = None,
+    auto_compact: bool = False,
 ):
     """Open a durable estimation service rooted at ``directory``.
 
@@ -696,7 +1237,10 @@ def open_durable(
     replayed, and the torn tail (if any) truncated -- ``documents`` and
     the grid/spacing keyword arguments are ignored, because the durable
     state fixes them.  A fresh directory requires ``documents`` and is
-    initialised with a checkpoint at LSN 0.
+    initialised with a checkpoint at LSN 0.  ``keep_checkpoints``
+    bounds checkpoint retention (older ones are pruned after each new
+    checkpoint, minus anything still referenced); ``auto_compact``
+    additionally compacts the log after every checkpoint.
     """
     directory = Path(directory)
     has_state = (directory / LOG_NAME).exists() or bool(list_checkpoints(directory))
@@ -715,11 +1259,25 @@ def open_durable(
             rebuild_threshold=rebuild_threshold,
             n_workers=n_workers,
             checkpoint_every=checkpoint_every,
+            keep_checkpoints=keep_checkpoints,
+            auto_compact=auto_compact,
         )
-    return _recover(directory, n_workers=n_workers, checkpoint_every=checkpoint_every)
+    return _recover(
+        directory,
+        n_workers=n_workers,
+        checkpoint_every=checkpoint_every,
+        keep_checkpoints=keep_checkpoints,
+        auto_compact=auto_compact,
+    )
 
 
-def _recover(directory: Path, n_workers: int, checkpoint_every: int):
+def _recover(
+    directory: Path,
+    n_workers: int,
+    checkpoint_every: int,
+    keep_checkpoints: Optional[int] = None,
+    auto_compact: bool = False,
+):
     records, valid_end = read_records(directory / LOG_NAME)
     raw_size = (
         (directory / LOG_NAME).stat().st_size
@@ -729,7 +1287,13 @@ def _recover(directory: Path, n_workers: int, checkpoint_every: int):
 
     checkpoint = service = None
     last_error: Optional[Exception] = None
+    # Compaction watermark: records at or below it were dropped, so a
+    # checkpoint older than it is missing its replay suffix and must
+    # never be used -- even if a crash mid-prune left it on disk.
+    base_watermark = max((r.lsn for r in records if r.type == "base"), default=0)
     for lsn in list_checkpoints(directory):
+        if lsn < base_watermark:
+            continue
         try:
             # Both the file loads and the cross-file validation
             # (fingerprint, element-count alignment) must pass for a
@@ -795,7 +1359,14 @@ def _recover(directory: Path, n_workers: int, checkpoint_every: int):
     last_lsn = max(
         (r.lsn for r in records if r.type == "batch"), default=checkpoint.lsn
     )
-    service._attach_wal(wal, directory, checkpoint_every, last_lsn=last_lsn)
+    service._attach_wal(
+        wal,
+        directory,
+        checkpoint_every,
+        last_lsn=last_lsn,
+        keep_checkpoints=keep_checkpoints,
+        auto_compact=auto_compact,
+    )
     service._last_checkpoint_lsn = checkpoint.lsn
     service.recovery_info = RecoveryInfo(
         checkpoint_lsn=checkpoint.lsn,

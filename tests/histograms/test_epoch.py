@@ -1,0 +1,181 @@
+"""Epoch engine: immutable pages, overlay sealing, merges, refcounts.
+
+Pins the contracts the O(1) snapshot tier rides on:
+
+* a page is frozen the moment it is built -- writes raise;
+* sealing the live overlay is an ownership handoff, not a copy;
+* a snapshot view shares the page + sealed layers and never observes
+  later writer deltas;
+* merging the sealed stack into a fresh page changes no observable
+  count and leaves the old page to its pinned readers;
+* the epoch registry frees superseded pages when the last pin drops.
+"""
+
+import gc
+import weakref
+
+import numpy as np
+import pytest
+
+from repro.histograms.epoch import (
+    EpochRegistry,
+    HistogramPage,
+    merge_page,
+    next_epoch,
+)
+from repro.histograms.grid import GridSpec
+from repro.histograms.position import PositionHistogram
+
+
+GRID = GridSpec(6, 120)
+
+
+def brute_force(histogram):
+    return {cell: count for cell, count in histogram.cells()}
+
+
+class TestHistogramPage:
+    def test_arrays_are_frozen(self):
+        page = HistogramPage.from_mapping({3: 2.0, 1: 1.0})
+        assert page.codes.tolist() == [1, 3]
+        with pytest.raises(ValueError):
+            page.codes[0] = 9
+        with pytest.raises(ValueError):
+            page.counts[0] = 9.0
+
+    def test_from_mapping_drops_zeros_and_sorts(self):
+        page = HistogramPage.from_mapping({5: 0.0, 2: 4.0, 9: 1.0})
+        assert page.codes.tolist() == [2, 9]
+        assert page.counts.tolist() == [4.0, 1.0]
+        assert page.get(5) == 0.0
+        assert page.get(2) == 4.0
+
+    def test_epoch_ids_are_unique_and_increasing(self):
+        a = HistogramPage.empty()
+        b = HistogramPage.empty()
+        assert b.epoch > a.epoch
+        assert next_epoch() > b.epoch
+
+    def test_merge_matches_dict_reference(self):
+        page = HistogramPage.from_mapping({1: 2.0, 4: 3.0, 7: 1.0})
+        layers = [{1: 1.0, 2: 5.0}, {4: -3.0, 2: -1.0}]
+        merged = merge_page(page, layers)
+        reference = {1: 2.0, 4: 3.0, 7: 1.0}
+        for layer in layers:
+            for code, delta in layer.items():
+                reference[code] = reference.get(code, 0.0) + delta
+        reference = {c: v for c, v in reference.items() if v != 0.0}
+        assert dict(zip(merged.codes.tolist(), merged.counts.tolist())) == reference
+        # The source page is untouched.
+        assert page.get(4) == 3.0
+
+
+class TestSealAndViews:
+    def test_seal_is_an_ownership_handoff(self):
+        histogram = PositionHistogram(GRID, {(0, 1): 2.0})
+        histogram.apply_delta(np.array([0]), np.array([2]))
+        overlay = histogram._overlay
+        assert overlay  # live deltas pending
+        histogram.seal()
+        assert histogram._layers[-1] is overlay  # same dict, not a copy
+        assert histogram._overlay == {}
+
+    def test_snapshot_view_is_isolated_from_later_writes(self):
+        histogram = PositionHistogram(GRID, {(0, 1): 2.0, (2, 3): 1.0})
+        view = histogram.snapshot_view()
+        before = brute_force(view)
+        histogram.apply_delta(np.array([0, 2]), np.array([1, 3]))
+        histogram.apply_delta(np.array([2]), np.array([3]), sign=-1)
+        assert brute_force(view) == before
+        assert view.page is histogram.page  # shared until a merge
+        assert histogram.count(0, 1) == 3.0
+
+    def test_view_survives_writer_page_merge(self):
+        histogram = PositionHistogram(GRID, {(0, 5): 10.0})
+        views = []
+        for _ in range(8):  # force the layer limit, hence a merge
+            views.append(histogram.snapshot_view())
+            histogram.apply_delta(np.array([0]), np.array([5]))
+        assert histogram.page is not views[0].page
+        assert brute_force(views[0]) == {(0, 5): 10.0}
+        for offset, view in enumerate(views):
+            assert view.count(0, 5) == 10.0 + offset
+        assert histogram.count(0, 5) == 18.0
+
+    def test_maintained_equivalence_with_reference_dict(self):
+        import random
+
+        rng = random.Random(5)
+        histogram = PositionHistogram(GRID)
+        reference: dict[tuple[int, int], float] = {}
+        for round_ in range(30):
+            i = rng.randrange(GRID.size)
+            j = rng.randrange(i, GRID.size)
+            sign = 1 if rng.random() < 0.7 or reference.get((i, j), 0) < 1 else -1
+            if sign < 0 and reference.get((i, j), 0.0) < 1:
+                continue
+            histogram.apply_delta(np.array([i]), np.array([j]), sign)
+            reference[(i, j)] = reference.get((i, j), 0.0) + sign
+            reference = {k: v for k, v in reference.items() if v != 0.0}
+            if round_ % 5 == 0:
+                histogram.seal()
+            assert brute_force(histogram) == reference
+            assert histogram.total() == sum(reference.values())
+            dense = histogram.dense()
+            for (i2, j2), value in reference.items():
+                assert dense[i2, j2] == value
+
+    def test_version_bumps_on_writes_only(self):
+        histogram = PositionHistogram(GRID, {(1, 2): 1.0})
+        v0 = histogram.version
+        histogram.seal()
+        histogram.snapshot_view()
+        assert histogram.version == v0  # content unchanged
+        histogram.apply_delta(np.array([1]), np.array([2]))
+        assert histogram.version > v0
+        v1 = histogram.version
+        histogram.apply_signed_delta(
+            np.array([1]), np.array([2]), np.array([1])
+        )
+        assert histogram.version > v1
+
+    def test_underflow_still_raises_through_overlay(self):
+        histogram = PositionHistogram(GRID, {(0, 1): 1.0})
+        histogram.apply_delta(np.array([0]), np.array([1]), sign=-1)
+        with pytest.raises(ValueError, match="below zero"):
+            histogram.apply_delta(np.array([0]), np.array([1]), sign=-1)
+
+
+class TestRegistry:
+    def test_refcounts(self):
+        registry = EpochRegistry()
+        pin_a = registry.pin(7, ["x"])
+        pin_b = registry.pin(7)
+        assert registry.refcount(7) == 2
+        pin_a.release()
+        pin_a.release()  # idempotent
+        assert registry.refcount(7) == 1
+        assert registry.live_epochs() == [7]
+        pin_b.release()
+        assert registry.refcount(7) == 0
+        assert registry.live_epochs() == []
+
+    def test_superseded_page_freed_when_last_pin_drops(self):
+        registry = EpochRegistry()
+        histogram = PositionHistogram(GRID, {(0, 4): 50.0})
+        view = histogram.snapshot_view()
+        pinned_page = weakref.ref(view.page)
+        pin = registry.pin(1, [view])
+        del view
+        gc.collect()
+        assert pinned_page() is not None  # the registry holds the epoch
+        # Writer merges past the pinned page.
+        for _ in range(8):
+            histogram.apply_delta(np.array([0]), np.array([4]))
+            histogram.seal()
+        histogram.apply_delta(np.array([0]), np.array([4]))
+        assert pinned_page() is not None
+        pin.release()
+        gc.collect()
+        assert pinned_page() is None  # last pin dropped -> page freed
+        assert histogram.count(0, 4) == 59.0

@@ -1,0 +1,318 @@
+"""Incremental checkpoints: epoch-addressed pages + state deltas.
+
+Pins the durability half of the epoch tentpole:
+
+* a checkpoint cut after a small batch is *incremental* -- its state
+  archive is a splice delta against the last full checkpoint and its
+  summary archive re-writes only histogram pages whose epoch changed --
+  and it is dramatically smaller than a full one;
+* recovery through delta checkpoints (including chains of them over one
+  base) is bit-identical: labels, tags, estimates, text slots, and the
+  exported XML all match the live run;
+* corruption anywhere in the reference chain falls back exactly like a
+  corrupt self-contained checkpoint;
+* retention (``keep_checkpoints``) never prunes a base that a kept
+  delta still references, and fsyncs the directory after pruning;
+* ``list_checkpoints`` requires both canonical paired files, so stray
+  or partial files are never offered to recovery.
+"""
+
+import random
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.service import DeleteOp, EstimationService, InsertOp, WalError
+from repro.service.wal import (
+    checkpoint_paths,
+    checkpoint_refs,
+    list_checkpoints,
+    load_checkpoint,
+    prune_checkpoints,
+)
+from repro.xmltree.tree import Element
+from repro.xmltree.writer import write_document
+from tests.service.test_batch import (
+    QUERIES,
+    prime,
+    random_document,
+    random_subtree,
+)
+from tests.service.test_wal import assert_state, state_of
+
+
+def make_large_durable(directory, seed=7, nodes=400, checkpoint_every=10**9):
+    """A durable service big enough that small batches stay far below
+    the incremental-checkpoint size heuristic."""
+    document = random_document(random.Random(seed), nodes)
+    service = EstimationService.open_durable(
+        directory,
+        document,
+        grid_size=6,
+        spacing=64,
+        rebuild_threshold=0.95,
+        checkpoint_every=checkpoint_every,
+    )
+    prime(service)
+    service.checkpoint()  # re-cut the full base with primed summaries
+    return service
+
+
+def small_batch(service, rng, ops=3):
+    batch = [
+        InsertOp(rng.randrange(len(service)), random_subtree(rng))
+        for _ in range(ops)
+    ]
+    leaf = len(service) - 1  # a late node roots a small subtree
+    batch.append(DeleteOp(leaf))
+    service.apply_batch(batch)
+
+
+def checkpoint_bytes(directory, lsn):
+    return sum(path.stat().st_size for path in checkpoint_paths(directory, lsn))
+
+
+class TestIncrementalCheckpoints:
+    def test_small_batch_checkpoint_is_incremental_and_smaller(self, tmp_path):
+        service = make_large_durable(tmp_path / "wal")
+        full_bytes = checkpoint_bytes(tmp_path / "wal", 0)
+        rng = random.Random(2)
+        small_batch(service, rng)
+        lsn = service.checkpoint()
+        loaded = load_checkpoint(tmp_path / "wal", lsn)
+        assert "incremental" in loaded.meta
+        assert loaded.meta["incremental"]["base_lsn"] == 0
+        assert 0 in loaded.meta["refs"]
+        assert checkpoint_bytes(tmp_path / "wal", lsn) < full_bytes
+        service.close()
+
+    def test_recovery_through_delta_is_bit_identical(self, tmp_path):
+        service = make_large_durable(tmp_path / "wal", seed=11)
+        rng = random.Random(3)
+        small_batch(service, rng)
+        service.insert_subtree(10, random_subtree(rng))
+        service.checkpoint()
+        expected = state_of(service)
+        xml = write_document(service.documents[0])
+        service.close()
+
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        assert recovered.recovery_info.batches_replayed == 0  # delta covers all
+        assert_state(recovered, expected)
+        # Text slots and attributes reconstruct exactly: the re-exported
+        # XML matches the live run byte for byte.
+        assert write_document(recovered.documents[0]) == xml
+        recovered.differential_check(QUERIES)
+        recovered.close()
+
+    def test_chained_deltas_share_one_base(self, tmp_path):
+        service = make_large_durable(tmp_path / "wal", seed=13)
+        rng = random.Random(5)
+        lsns = []
+        for _ in range(3):
+            small_batch(service, rng, ops=2)
+            lsns.append(service.checkpoint())
+        for lsn in lsns:
+            meta = load_checkpoint(tmp_path / "wal", lsn).meta
+            assert meta["incremental"]["base_lsn"] == 0
+        # Later deltas reference unchanged summary pages archived by
+        # earlier checkpoints, not only the base.
+        assert any(
+            max(checkpoint_refs(tmp_path / "wal", lsn), default=0) > 0
+            for lsn in lsns[1:]
+        )
+        expected = state_of(service)
+        service.close()
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        assert_state(recovered, expected)
+        recovered.differential_check(QUERIES)
+        recovered.close()
+
+    def test_unchanged_summary_pages_are_referenced_not_rewritten(self, tmp_path):
+        from repro.histograms.store import read_summary_manifest
+
+        service = make_large_durable(tmp_path / "wal", seed=17)
+        rng = random.Random(7)
+        # Touch one tag only: insert a bare leaf under the root.
+        service.insert_subtree(0, Element("zz"))
+        lsn = service.checkpoint()
+        manifest = read_summary_manifest(checkpoint_paths(tmp_path / "wal", lsn)[1])
+        refs = [e for e in manifest["predicates"] if e.get("ref") is not None]
+        rewritten = [e for e in manifest["predicates"] if e.get("ref") is None]
+        # Most pages are untouched references; only the TRUE-dependent /
+        # touched ones are re-archived.
+        assert refs, "expected unchanged pages to be referenced"
+        assert all(e["ref"] == 0 for e in refs)
+        assert len(rewritten) < len(manifest["predicates"])
+        service.close()
+
+    def test_rebuild_forces_next_checkpoint_full(self, tmp_path):
+        service = make_large_durable(tmp_path / "wal", seed=19)
+        rng = random.Random(8)
+        small_batch(service, rng)
+        service.rebuild()
+        service.insert_subtree(0, Element("qq"))
+        lsn = service.checkpoint()
+        assert "incremental" not in load_checkpoint(tmp_path / "wal", lsn).meta
+        expected = state_of(service)
+        service.close()
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        assert_state(recovered, expected)
+        recovered.close()
+
+    def test_force_full_flag(self, tmp_path):
+        service = make_large_durable(tmp_path / "wal", seed=23)
+        small_batch(service, random.Random(9))
+        lsn = service.checkpoint(full=True)
+        assert "incremental" not in load_checkpoint(tmp_path / "wal", lsn).meta
+        service.close()
+
+    def test_corrupt_base_disables_its_deltas(self, tmp_path):
+        service = make_large_durable(tmp_path / "wal", seed=29)
+        small_batch(service, random.Random(10))
+        service.checkpoint()
+        service.close()
+        base_state = checkpoint_paths(tmp_path / "wal", 0)[0]
+        data = bytearray(base_state.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        base_state.write_bytes(bytes(data))
+        # The delta cannot reconstruct without its base, and the base
+        # itself is corrupt: nothing recoverable remains.
+        with pytest.raises(WalError, match="no loadable checkpoint"):
+            EstimationService.open_durable(tmp_path / "wal")
+
+    def test_corrupt_delta_falls_back_to_base_plus_replay(self, tmp_path):
+        service = make_large_durable(tmp_path / "wal", seed=31)
+        states = [state_of(service)]
+        rng = random.Random(11)
+        small_batch(service, rng)
+        lsn = service.checkpoint()
+        expected = state_of(service)
+        service.close()
+        delta_state = checkpoint_paths(tmp_path / "wal", lsn)[0]
+        data = bytearray(delta_state.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        delta_state.write_bytes(bytes(data))
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        assert recovered.recovery_info.checkpoint_lsn == 0
+        assert recovered.recovery_info.batches_replayed == 1
+        assert_state(recovered, expected)
+        recovered.differential_check(QUERIES)
+        recovered.close()
+        del states
+
+    def test_delta_checkpoint_of_multi_document_forest(self, tmp_path):
+        rng = random.Random(59)
+        forest = [random_document(rng, 200), random_document(rng, 150)]
+        service = EstimationService.open_durable(
+            tmp_path / "wal", forest, grid_size=4, spacing=64,
+            rebuild_threshold=0.95, checkpoint_every=10**9,
+        )
+        prime(service)
+        service.checkpoint()
+        service.apply_batch(
+            [InsertOp(0, random_subtree(rng)), DeleteOp(len(service) - 2)]
+        )
+        lsn = service.checkpoint()
+        assert "incremental" in load_checkpoint(tmp_path / "wal", lsn).meta
+        expected = state_of(service)
+        document_count = len(service.documents)
+        service.close()
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        assert len(recovered.documents) == document_count
+        assert_state(recovered, expected)
+        recovered.differential_check(QUERIES)
+        recovered.close()
+
+
+class TestCheckpointListing:
+    def test_partial_checkpoint_needs_both_paired_files(self, tmp_path):
+        service = make_large_durable(tmp_path / "wal", seed=37, nodes=60)
+        service.insert_subtree(0, Element("x"))
+        lsn = service.checkpoint()
+        assert sorted(list_checkpoints(tmp_path / "wal")) == [0, lsn]
+        # Drop one half: the checkpoint must disappear from the listing.
+        checkpoint_paths(tmp_path / "wal", lsn)[1].unlink()
+        assert list_checkpoints(tmp_path / "wal") == [0]
+        service.close()
+
+    def test_stray_noncanonical_state_file_is_ignored(self, tmp_path):
+        service = make_large_durable(tmp_path / "wal", seed=41, nodes=60)
+        service.close()
+        # A stray state file whose name parses to an LSN that has a
+        # canonical summaries twin but no canonical state file.
+        lsn = 5
+        stray = tmp_path / "wal" / "ckpt-5.state.npz"
+        stray.write_bytes(b"junk")
+        shutil.copy(
+            checkpoint_paths(tmp_path / "wal", 0)[1],
+            checkpoint_paths(tmp_path / "wal", lsn)[1],
+        )
+        assert list_checkpoints(tmp_path / "wal") == [0]
+
+    def test_tmp_and_foreign_files_never_listed(self, tmp_path):
+        service = make_large_durable(tmp_path / "wal", seed=43, nodes=60)
+        service.close()
+        (tmp_path / "wal" / "ckpt-0000000000000009.state.npz.tmp").write_bytes(b"x")
+        (tmp_path / "wal" / "ckpt-abc.state.npz").write_bytes(b"x")
+        assert list_checkpoints(tmp_path / "wal") == [0]
+
+
+class TestRetention:
+    def test_prune_keeps_referenced_base(self, tmp_path):
+        service = make_large_durable(tmp_path / "wal", seed=47)
+        rng = random.Random(13)
+        for _ in range(4):
+            small_batch(service, rng, ops=2)
+            service.checkpoint()
+        lsns = list_checkpoints(tmp_path / "wal")
+        assert len(lsns) == 5  # base + 4 deltas
+        pruned = prune_checkpoints(tmp_path / "wal", 2)
+        remaining = list_checkpoints(tmp_path / "wal")
+        # The two newest survive, plus the full base they reference.
+        assert lsns[0] in remaining and lsns[1] in remaining
+        assert 0 in remaining
+        assert set(pruned) == set(lsns) - set(remaining)
+        expected = state_of(service)
+        service.close()
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        assert_state(recovered, expected)
+        recovered.close()
+
+    def test_service_retention_prunes_after_each_checkpoint(self, tmp_path):
+        document = random_document(random.Random(51), 300)
+        service = EstimationService.open_durable(
+            tmp_path / "wal", document, grid_size=5, spacing=64,
+            rebuild_threshold=0.95, checkpoint_every=1, keep_checkpoints=2,
+        )
+        prime(service)
+        rng = random.Random(14)
+        for _ in range(5):
+            service.insert_subtree(rng.randrange(len(service)), Element("k"))
+        listed = list_checkpoints(tmp_path / "wal")
+        # Retention pruned at least one checkpoint (6 were cut), kept
+        # the newest pair, and every survivor outside the pair is still
+        # referenced (transitively) by a kept one -- never garbage.
+        assert len(listed) < 6
+        closure = set(listed[:2])
+        queue = list(closure)
+        while queue:
+            for ref in checkpoint_refs(tmp_path / "wal", queue.pop()):
+                if ref not in closure:
+                    closure.add(ref)
+                    queue.append(ref)
+        assert set(listed) <= closure
+        expected = state_of(service)
+        service.close()
+        recovered = EstimationService.open_durable(tmp_path / "wal")
+        assert_state(recovered, expected)
+        recovered.differential_check(QUERIES)
+        recovered.close()
+
+    def test_retention_validates_bound(self, tmp_path):
+        document = random_document(random.Random(53), 40)
+        with pytest.raises(ValueError, match="retention"):
+            EstimationService.open_durable(
+                tmp_path / "wal", document, keep_checkpoints=0
+            )

@@ -232,6 +232,130 @@ def test_snapshot_pinned_across_gap_exhaustion_relabel():
             assert snapshot.estimate(query).value == value
 
 
+def test_snapshot_construction_is_zero_copy(monkeypatch):
+    """The tentpole pin: building a snapshot performs zero per-cell
+    histogram work and zero per-node copying -- it pins the epoch by
+    reference."""
+    import repro.histograms.position as position_module
+
+    service = make_service(seed=37)
+    service.estimate_many(QUERIES)  # prime histograms + kernels
+    counters = {"cells": 0, "dense": 0, "merge": 0, "set": 0}
+
+    real_cells = position_module.PositionHistogram.cells
+    real_dense = position_module.PositionHistogram.dense
+    real_merged = position_module.PositionHistogram._merged_cells
+
+    def counting(name, real):
+        def wrapper(self, *args, **kwargs):
+            counters[name] += 1
+            return real(self, *args, **kwargs)
+
+        return wrapper
+
+    monkeypatch.setattr(
+        position_module.PositionHistogram, "cells", counting("cells", real_cells)
+    )
+    monkeypatch.setattr(
+        position_module.PositionHistogram, "dense", counting("dense", real_dense)
+    )
+    monkeypatch.setattr(
+        position_module.PositionHistogram,
+        "_merged_cells",
+        counting("set", real_merged),
+    )
+    monkeypatch.setattr(
+        position_module,
+        "merge_page",
+        counting("merge", lambda self, *a, **k: (_ for _ in ()).throw(AssertionError)),
+    )
+    snapshot = service.snapshot()
+    assert counters == {"cells": 0, "dense": 0, "merge": 0, "set": 0}
+    # No element-list copy and no label-array copies either.
+    assert snapshot.tree.elements is service.tree.elements
+    assert snapshot.tree.start is service.tree.start
+    assert snapshot.tree.end is service.tree.end
+    # Every pinned histogram shares its page with the live one.
+    for predicate, view in snapshot.estimator._position_cache.items():
+        assert view.page is service.estimator._position_cache[predicate].page
+    snapshot.close()
+
+
+def test_snapshot_pins_epoch_refcounts():
+    service = make_service(seed=41)
+    assert service.epoch_registry.live_epochs() == []
+    first = service.snapshot()
+    second = service.snapshot()
+    assert first.epoch == second.epoch  # no update in between
+    assert service.epoch_registry.refcount(first.epoch) == 2
+    service.insert_subtree(0, random_subtree(random.Random(9)))
+    third = service.snapshot()
+    assert third.epoch > first.epoch  # the update published a new epoch
+    first.close()
+    second.close()
+    assert service.epoch_registry.live_epochs() == [third.epoch]
+    with third:
+        pass  # context manager releases too
+    assert service.epoch_registry.live_epochs() == []
+
+
+def test_superseded_pages_freed_after_last_snapshot_drops():
+    import gc
+    import weakref
+
+    service = make_service(seed=43)
+    service.estimate("//a//b")
+    snapshot = service.snapshot()
+    predicate = next(iter(snapshot.estimator._position_cache))
+    pinned = weakref.ref(snapshot.estimator._position_cache[predicate].page)
+    rng = random.Random(11)
+    # Enough snapshot/update rounds to push the live histograms past the
+    # layer limit and onto fresh pages.
+    for _ in range(8):
+        service.snapshot().close()
+        service.insert_subtree(rng.randrange(len(service)), random_subtree(rng))
+    assert pinned() is not None  # the open snapshot still pins its epoch
+    snapshot.close()
+    del snapshot
+    gc.collect()
+    assert pinned() is None
+
+
+def test_content_predicate_scanned_through_old_snapshot_reads_current_text():
+    """The documented snapshot boundary (snapshot.py): label tables are
+    frozen, element objects are shared -- so a content predicate first
+    scanned *through the snapshot* sees text as it is now.  The epoch
+    refactor deliberately preserves this contract; this test pins it so
+    any future change to it is a conscious one."""
+    from repro.predicates.base import ContentEqualsPredicate
+
+    document = Document()
+    root = Element("root")
+    document.append(root)
+    for value in ("alpha", "beta", "alpha"):
+        node = Element("n")
+        node.append_text(value)
+        root.append(node)
+    service = EstimationService(document, grid_size=4, spacing=64)
+    prime(service)
+    snapshot = service.snapshot()
+
+    # Mutate one element's text directly (document-side state is shared;
+    # the service's update API never rewrites text in place).
+    from repro.xmltree.tree import Text
+
+    first_n = next(root.find_all("n"))
+    first_n.children = [Text("gamma")]
+
+    alpha = ContentEqualsPredicate("alpha", tag="n")
+    # First scan happens through the snapshot: it must read the text as
+    # it is NOW (one remaining "alpha"), not as it was when pinned.
+    assert snapshot.position_histogram(alpha).total() == 1.0
+    # Structural predicates stay fully isolated regardless.
+    assert snapshot.catalog.stats(TagPredicate("n")).count == 3
+    snapshot.close()
+
+
 def test_snapshot_isolated_from_service_cache_churn():
     """Estimating through the live service (building new histograms,
     invalidating kernels) never disturbs an existing snapshot."""

@@ -330,6 +330,72 @@ class TestServeDurable:
         assert "differential check passed" in out
         assert "checkpointed at lsn" in out
 
+    def test_serve_retention_and_recover_compact(
+        self, dataset_path, tmp_path, capsys
+    ):
+        """Serving with the default retention prunes + compacts after
+        checkpoints; ``recover --compact`` reports and shrinks the log."""
+        from repro.service.wal import LOG_NAME, list_checkpoints
+
+        wal_dir = tmp_path / "compacted"
+        script = tmp_path / "updates.txt"
+        script.write_text(
+            "\n".join(
+                f"insert article <note><author>A{k}</author></note>"
+                for k in range(6)
+            )
+            + "\n"
+        )
+        assert (
+            main(
+                [
+                    "serve",
+                    str(dataset_path),
+                    "--script",
+                    str(script),
+                    "--wal-dir",
+                    str(wal_dir),
+                    "--checkpoint-every",
+                    "2",
+                    "--keep-checkpoints",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        # Retention bounded the directory; the exit checkpoint compacted.
+        lsns = list_checkpoints(wal_dir)
+        assert lsns
+        assert (wal_dir / LOG_NAME).exists()
+        assert main(["recover", str(wal_dir), "--verify", "--compact"]) == 0
+        out = capsys.readouterr().out
+        assert "differential check passed" in out
+        assert "compacted: log" in out
+        # Still recoverable afterwards.
+        assert main(["recover", str(wal_dir), "--verify"]) == 0
+
+    def test_keep_checkpoints_validation(self, dataset_path, tmp_path):
+        assert (
+            main(
+                [
+                    "serve",
+                    str(dataset_path),
+                    "--wal-dir",
+                    str(tmp_path / "w"),
+                    "--keep-checkpoints",
+                    "0",
+                ]
+            )
+            == 2
+        )
+        assert (
+            main(
+                ["recover", str(tmp_path / "w"), "--keep-checkpoints", "0"]
+            )
+            == 2
+        )
+
     def test_wal_dir_conflicts_with_warm_start(self, dataset_path, tmp_path):
         assert (
             main(
