@@ -1,0 +1,480 @@
+"""Million-node scale benchmark: flat-array kernels and the end-to-end
+service story.
+
+Two tiers of measurement:
+
+* **Kernel micro-benches** -- each vectorized hot path against the
+  sequential Python implementation it replaced (retained in the source
+  purely as the bit-identity reference).  Outputs are asserted equal
+  (bitwise for floats) before any timing is trusted, and the inputs are
+  deliberately large *even in ``--quick`` mode* so the recorded ratios
+  mean something:
+
+  - ``splice_respread_speedup``: :func:`spread_labels` (the label
+    respread behind insert planning and local rebalance) vs. the
+    enter/exit stack walk, over a ~50k-node region.
+  - ``page_merge_speedup``: :func:`merge_page` vs. the dict-based merge
+    over a 120k-cell page with four delta layers.
+  - ``coverage_rederive_speedup``: :func:`coverage_from_numerators` vs.
+    the per-entry loop on a 64x64 grid.
+  - ``wal_encode_speedup``: the v2 binary WAL codec's encode (the
+    latency-critical, fsync'd append path) vs. the v1 JSON encode of
+    the same 3000-op batch record.  The full round-trip and payload
+    size are reported as unguarded ratios (decode builds the same
+    Python op dicts either way, so it tracks ``json.loads``).
+
+* **Scale story** -- an XMark-like tree of >= 1e6 nodes (``--quick``
+  drops to ~1e4 for CI): durable build with every per-tag statistic
+  primed, batched updates, O(1) snapshots, checkpoint, crash recovery,
+  and the sharded statistics build on a 4-worker pool
+  (``build_ratio_w4`` = serial seconds / sharded seconds).  Peak RSS
+  lands in ``meta``.
+
+Writes a ``BENCH_scale.json`` artifact; ``check_perf_floors.py`` guards
+every ``*_speedup`` key, and the full run asserts each kernel >= 2x and
+the tree >= 1e6 nodes.
+
+Run:  python benchmarks/bench_scale.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import resource
+import shutil
+import sys
+import tempfile
+import time
+import zlib
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.datasets import generate_xmark  # noqa: E402
+from repro.histograms.coverage import (  # noqa: E402
+    CoverageNumerators,
+    _coverage_from_numerators_items,
+    coverage_from_numerators,
+)
+from repro.histograms.epoch import (  # noqa: E402
+    HistogramPage,
+    _merge_page_dict,
+    merge_page,
+)
+from repro.histograms.grid import GridSpec  # noqa: E402
+from repro.histograms.parallel import (  # noqa: E402
+    build_statistics_parallel,
+    create_pool,
+)
+from repro.histograms.truehist import build_true_histogram  # noqa: E402
+from repro.labeling.dynamic import (  # noqa: E402
+    _spread_labels_python,
+    spread_labels,
+)
+from repro.labeling.interval import label_document  # noqa: E402
+from repro.predicates.base import TagPredicate  # noqa: E402
+from repro.service import DeleteOp, EstimationService, InsertOp  # noqa: E402
+from repro.service.wal import (  # noqa: E402
+    _decode_payload_v2,
+    _encode_payload_v2,
+)
+from repro.xmltree.tree import Element  # noqa: E402
+
+QUERIES = [
+    "//item//parlist",
+    "//people//person",
+    "//open_auction//increase",
+    "//site//name",
+]
+KERNEL_TREE_SCALE = 30  # ~50k nodes: kernel inputs stay large in --quick
+
+
+def timed(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def prime(service) -> None:
+    """Every per-tag statistic the serving tier maintains."""
+    for stats in service.catalog.register_all_tags():
+        service.position_histogram(stats.predicate)
+        service.coverage_histogram(stats.predicate)
+    _ = service.estimator.true_histogram
+
+
+# -- kernel micro-benches ---------------------------------------------------
+
+
+def bench_respread(tree) -> dict:
+    # The region a root-level rebalance would respread: everything
+    # under the document root, hole reserved mid-slice.
+    lo, hi = 1, len(tree)
+    depth = tree.level[lo:hi] - int(tree.level[0])
+    region_parents = tree.parent_index[lo:hi]
+    pslot = np.where(region_parents == 0, -1, region_parents - lo)
+    base, stride = int(tree.start[0]), 3
+    hole_event, hole_width = len(depth), 10
+
+    kernel = spread_labels(depth, pslot, base, stride, hole_event, hole_width)
+    reference = _spread_labels_python(
+        depth, pslot, base, stride, hole_event, hole_width
+    )
+    assert np.array_equal(kernel[0], reference[0])
+    assert np.array_equal(kernel[1], reference[1])
+
+    kernel_seconds = timed(
+        lambda: spread_labels(depth, pslot, base, stride, hole_event, hole_width),
+        5,
+    )
+    reference_seconds = timed(
+        lambda: _spread_labels_python(
+            depth, pslot, base, stride, hole_event, hole_width
+        ),
+        3,
+    )
+    return {
+        "nodes": int(len(depth)),
+        "kernel_seconds": kernel_seconds,
+        "reference_seconds": reference_seconds,
+        "speedup": reference_seconds / kernel_seconds,
+    }
+
+
+def bench_merge() -> dict:
+    rng = random.Random(9)
+    page = HistogramPage.from_mapping(
+        {c: rng.uniform(0.5, 9.0) for c in rng.sample(range(10**6), 120_000)}
+    )
+    layers = [
+        {rng.randrange(10**6): rng.uniform(-2.0, 2.0) for _ in range(25_000)}
+        for _ in range(4)
+    ]
+    kernel = merge_page(page, layers)
+    reference = _merge_page_dict(page, layers)
+    assert np.array_equal(kernel.codes, reference.codes)
+    assert np.array_equal(
+        kernel.counts.view(np.int64), reference.counts.view(np.int64)
+    )
+    kernel_seconds = timed(lambda: merge_page(page, layers), 5)
+    reference_seconds = timed(lambda: _merge_page_dict(page, layers), 3)
+    return {
+        "page_cells": len(page),
+        "layers": len(layers),
+        "kernel_seconds": kernel_seconds,
+        "reference_seconds": reference_seconds,
+        "speedup": reference_seconds / kernel_seconds,
+    }
+
+
+def bench_coverage(tree) -> dict:
+    rng = random.Random(17)
+    g = 64
+    grid = GridSpec(g, tree.max_label)
+    true_hist = build_true_histogram(tree, grid)
+    mapping = {}
+    for _ in range(40_000):
+        i, m = rng.randrange(g), rng.randrange(g)
+        key = (i, rng.randrange(i, g), m, rng.randrange(m, g))
+        ceiling = int(true_hist.count(key[0], key[1]))
+        if ceiling > 0:
+            mapping[key] = rng.randrange(1, ceiling + 1)
+    numerators = CoverageNumerators.from_mapping(g, mapping)
+    fast = coverage_from_numerators(numerators, true_hist)
+    reference = _coverage_from_numerators_items(mapping, true_hist)
+    assert dict(fast.entries()) == dict(reference.entries())
+    kernel_seconds = timed(
+        lambda: coverage_from_numerators(numerators, true_hist), 5
+    )
+    reference_seconds = timed(
+        lambda: _coverage_from_numerators_items(mapping, true_hist), 3
+    )
+    return {
+        "grid": g,
+        "entries": len(mapping),
+        "kernel_seconds": kernel_seconds,
+        "reference_seconds": reference_seconds,
+        "speedup": reference_seconds / kernel_seconds,
+    }
+
+
+def bench_wal_codec() -> dict:
+    rng = random.Random(3)
+    ops = []
+    for k in range(3000):
+        if rng.random() < 0.6:
+            ops.append(
+                {
+                    "kind": "insert",
+                    "parent": ["index", rng.randrange(10**6)],
+                    "xml": f"<note><author>Author {k}</author></note>",
+                    "position": rng.choice([None, 0, 3]),
+                }
+            )
+        else:
+            ops.append({"kind": "delete", "node": ["op", k, 2]})
+    record = {"lsn": 5, "type": "batch", "single": False, "ops": ops}
+
+    binary = _encode_payload_v2(record)
+    as_json = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    assert _decode_payload_v2(binary) == json.loads(as_json) == record
+
+    def encode_v2():
+        zlib.crc32(_encode_payload_v2(record))
+
+    def encode_json():
+        zlib.crc32(json.dumps(record, separators=(",", ":")).encode("utf-8"))
+
+    encode_seconds = timed(encode_v2, 20)
+    json_encode_seconds = timed(encode_json, 20)
+    roundtrip_seconds = timed(
+        lambda: _decode_payload_v2(_encode_payload_v2(record)), 20
+    )
+    json_roundtrip_seconds = timed(
+        lambda: json.loads(json.dumps(record, separators=(",", ":"))), 20
+    )
+    return {
+        "ops": len(ops),
+        "binary_bytes": len(binary),
+        "json_bytes": len(as_json),
+        "bytes_ratio": len(as_json) / len(binary),
+        "encode_seconds": encode_seconds,
+        "json_encode_seconds": json_encode_seconds,
+        "wal_encode_speedup": json_encode_seconds / encode_seconds,
+        "roundtrip_seconds": roundtrip_seconds,
+        "json_roundtrip_seconds": json_roundtrip_seconds,
+        "roundtrip_ratio": json_roundtrip_seconds / roundtrip_seconds,
+    }
+
+
+# -- the scale story --------------------------------------------------------
+
+
+def make_note() -> Element:
+    note = Element("note")
+    author = Element("author")
+    author.append_text("scale bench")
+    note.append(author)
+    return note
+
+
+def scale_story(scale: float, workers: int, quick: bool, workdir: Path) -> dict:
+    started = time.perf_counter()
+    document = generate_xmark(seed=23, scale=scale)
+    generate_seconds = time.perf_counter() - started
+    nodes = document.count_nodes()
+    print(f"xmark tree: {nodes} nodes (scale {scale}, {generate_seconds:.1f}s)")
+
+    wal_dir = workdir / "wal"
+    started = time.perf_counter()
+    service = EstimationService.open_durable(
+        wal_dir, document, grid_size=10, spacing=64, checkpoint_every=10**9
+    )
+    prime(service)
+    build_seconds = time.perf_counter() - started
+    tags = sum(1 for _ in service.catalog.register_all_tags())
+    print(f"durable build + prime: {build_seconds:.2f}s ({tags} tags)")
+
+    # Batched updates addressed at person elements: two insert waves,
+    # then a wave deleting half the inserted notes.
+    rng = random.Random(41)
+    people = service.catalog.stats(TagPredicate("person")).node_indices
+    batch_size = 25
+    parent_count = 2 * batch_size if quick else 4 * batch_size
+    parents = [
+        service.tree.elements[int(people[ordinal])]
+        for ordinal in rng.sample(range(len(people)), parent_count)
+    ]
+    inserted: list[Element] = []
+    batches = []
+    for start in range(0, parent_count, batch_size):
+        batch = []
+        for parent in parents[start : start + batch_size]:
+            note = make_note()
+            inserted.append(note)
+            batch.append(InsertOp(parent, note))
+        batches.append(batch)
+    doomed = inserted[::2]
+    batches += [
+        [DeleteOp(note) for note in doomed[start : start + batch_size]]
+        for start in range(0, len(doomed), batch_size)
+    ]
+    updates = sum(len(batch) for batch in batches)
+    started = time.perf_counter()
+    for batch in batches:
+        service.apply_batch(batch)
+    update_seconds = time.perf_counter() - started
+    print(
+        f"apply_batch: {updates} updates in {len(batches)} batches, "
+        f"{updates / update_seconds:.1f} updates/s"
+    )
+
+    live = {q: service.estimate(q).value for q in QUERIES}
+
+    snapshot_iters = 20
+    started = time.perf_counter()
+    snapshots = [service.snapshot() for _ in range(snapshot_iters)]
+    snapshot_seconds = (time.perf_counter() - started) / snapshot_iters
+    for query in QUERIES:
+        assert snapshots[0].estimate(query).value == live[query], query
+    for snapshot in snapshots:
+        snapshot.close()
+    print(f"snapshot: {snapshot_seconds * 1e6:.1f} us")
+
+    started = time.perf_counter()
+    checkpoint_lsn = service.checkpoint()
+    checkpoint_seconds = time.perf_counter() - started
+    print(f"checkpoint (lsn {checkpoint_lsn}): {checkpoint_seconds:.2f}s")
+
+    # One more logged batch past the checkpoint so recovery replays.
+    survivors = inserted[1::2]
+    service.apply_batch([DeleteOp(note) for note in survivors[:batch_size]])
+    final = {q: service.estimate(q).value for q in QUERIES}
+    final_nodes = len(service)
+    service.close()
+
+    started = time.perf_counter()
+    recovered = EstimationService.open_durable(wal_dir)
+    recovery_seconds = time.perf_counter() - started
+    info = recovered.recovery_info
+    assert len(recovered) == final_nodes
+    for query in QUERIES:
+        assert recovered.estimate(query).value == final[query], query
+    if quick:
+        recovered.differential_check(QUERIES)
+    print(
+        f"recovery: checkpoint lsn {info.checkpoint_lsn}, "
+        f"{info.batches_replayed} batch(es) replayed, {recovery_seconds:.2f}s"
+    )
+
+    # Sharded statistics build on the recovered tree, checked against
+    # the maintained TRUE histogram before timing.
+    tree, grid = recovered.tree, recovered.estimator.grid
+    true_cells = dict(recovered.estimator.true_histogram.cells())
+    pool = create_pool(workers)
+    try:
+        built = build_statistics_parallel(
+            tree, grid, n_workers=workers, pool=pool
+        )
+        assert dict(built.true_histogram.cells()) == true_cells
+        serial_seconds = timed(
+            lambda: build_statistics_parallel(tree, grid, n_workers=1), 2
+        )
+        sharded_seconds = timed(
+            lambda: build_statistics_parallel(
+                tree, grid, n_workers=workers, pool=pool
+            ),
+            2,
+        )
+    finally:
+        pool.terminate()
+        pool.join()
+    recovered.close()
+    print(
+        f"statistics build: serial {serial_seconds:.2f}s, "
+        f"sharded x{workers} {sharded_seconds:.2f}s "
+        f"-> {serial_seconds / sharded_seconds:.2f}x"
+    )
+
+    return {
+        "nodes": nodes,
+        "final_nodes": final_nodes,
+        "tags": tags,
+        "generate_seconds": generate_seconds,
+        "build_seconds": build_seconds,
+        "updates": updates,
+        "batches": len(batches),
+        "update_seconds": update_seconds,
+        "updates_per_sec": updates / update_seconds,
+        "snapshot_us": snapshot_seconds * 1e6,
+        "checkpoint_seconds": checkpoint_seconds,
+        "recovery_seconds": recovery_seconds,
+        "batches_replayed": info.batches_replayed,
+        "serial_build_seconds": serial_seconds,
+        "sharded_build_seconds": sharded_seconds,
+        "build_ratio_w4": serial_seconds / sharded_seconds,
+        "workers": workers,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="~1e4-node story for CI (kernel inputs stay full-size)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_scale.json"),
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+
+    kernel_tree = label_document(
+        generate_xmark(seed=23, scale=KERNEL_TREE_SCALE), spacing=64
+    )
+    kernels = {
+        "splice_respread": bench_respread(kernel_tree),
+        "page_merge": bench_merge(),
+        "coverage_rederive": bench_coverage(kernel_tree),
+        "wal_codec": bench_wal_codec(),
+    }
+    for name in ("splice_respread", "page_merge", "coverage_rederive"):
+        print(f"{name}: {kernels[name]['speedup']:.1f}x")
+    print(
+        f"wal_codec: encode {kernels['wal_codec']['wal_encode_speedup']:.2f}x, "
+        f"round-trip {kernels['wal_codec']['roundtrip_ratio']:.2f}x, "
+        f"bytes {kernels['wal_codec']['bytes_ratio']:.2f}x"
+    )
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_scale_"))
+    try:
+        story = scale_story(
+            scale=6 if args.quick else 640,
+            workers=4,
+            quick=args.quick,
+            workdir=workdir,
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    artifact = {
+        "meta": {
+            "nodes": story["nodes"],
+            "quick": args.quick,
+            "grid": 10,
+            "kernel_tree_nodes": len(kernel_tree),
+            "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            / 1024.0,
+        },
+        "kernels": kernels,
+        "scale": story,
+    }
+    Path(args.out).write_text(json.dumps(artifact, indent=1) + "\n")
+    print(
+        f"wrote {args.out} (peak RSS "
+        f"{artifact['meta']['peak_rss_mb']:.0f} MB)"
+    )
+
+    if not args.quick:
+        assert story["nodes"] >= 1_000_000, (
+            f"full run must cover >= 1e6 nodes, got {story['nodes']}"
+        )
+        for name in ("splice_respread", "page_merge", "coverage_rederive"):
+            speedup = kernels[name]["speedup"]
+            assert speedup >= 2.0, f"{name} kernel {speedup:.2f}x below 2x"
+        encode = kernels["wal_codec"]["wal_encode_speedup"]
+        assert encode >= 2.0, f"wal encode {encode:.2f}x below 2x"
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,131 @@ from repro.labeling.interval import LabeledTree
 CellPair = tuple[int, int, int, int]  # (i, j, m, n): covered cell, covering cell
 
 
+class CoverageNumerators:
+    """Integer coverage pair counts as flat sorted arrays.
+
+    ``codes[k] = ((i * g + j) * g + m) * g + n`` encodes the cell pair
+    ``(i, j, m, n)`` (covered cell high, covering cell low -- the same
+    packing the pair-counting kernels emit), with ``counts[k] > 0`` the
+    number of covered nodes for that pair.  Arrays are sorted by code
+    and marked read-only; :meth:`patch` returns a *new* instance, so
+    maintenance replaces rather than mutates (matching the snapshot
+    contract everywhere else in the service).
+    """
+
+    __slots__ = ("grid_size", "codes", "counts")
+
+    def __init__(self, grid_size: int, codes: np.ndarray, counts: np.ndarray) -> None:
+        codes = np.ascontiguousarray(codes, dtype=np.int64)
+        counts = np.ascontiguousarray(counts, dtype=np.int64)
+        if codes.shape != counts.shape:
+            raise ValueError("numerator codes and counts must be aligned")
+        codes.setflags(write=False)
+        counts.setflags(write=False)
+        self.grid_size = int(grid_size)
+        self.codes = codes
+        self.counts = counts
+
+    @classmethod
+    def empty(cls, grid_size: int) -> "CoverageNumerators":
+        return cls(grid_size, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+    @classmethod
+    def from_code_counts(
+        cls, grid_size: int, codes: np.ndarray, counts: np.ndarray
+    ) -> "CoverageNumerators":
+        """From unordered (but distinct) pair codes with their counts."""
+        codes = np.asarray(codes, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        order = np.argsort(codes, kind="stable")
+        return cls(grid_size, codes[order], counts[order])
+
+    @classmethod
+    def from_mapping(
+        cls, grid_size: int, mapping: Mapping[CellPair, int]
+    ) -> "CoverageNumerators":
+        g = grid_size
+        codes = np.asarray(
+            [((i * g + j) * g + m) * g + n for (i, j, m, n) in mapping],
+            dtype=np.int64,
+        )
+        counts = np.asarray(list(mapping.values()), dtype=np.int64)
+        return cls.from_code_counts(grid_size, codes, counts)
+
+    def quad_array(self) -> np.ndarray:
+        """The pair keys as an ``(entries, 4)`` int64 array, sorted."""
+        g = self.grid_size
+        quads = np.empty((len(self.codes), 4), dtype=np.int64)
+        quads[:, 3] = self.codes % g
+        quads[:, 2] = (self.codes // g) % g
+        quads[:, 1] = (self.codes // (g * g)) % g
+        quads[:, 0] = self.codes // (g * g * g)
+        return quads
+
+    def to_mapping(self) -> dict[CellPair, int]:
+        return {
+            (int(i), int(j), int(m), int(n)): int(count)
+            for (i, j, m, n), count in zip(
+                self.quad_array().tolist(), self.counts.tolist()
+            )
+        }
+
+    def items(self) -> Iterator[tuple[CellPair, int]]:
+        """Yield ``((i, j, m, n), count)`` in sorted key order."""
+        yield from self.to_mapping().items()
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def __bool__(self) -> bool:
+        return len(self.codes) > 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CoverageNumerators):
+            return (
+                self.grid_size == other.grid_size
+                and np.array_equal(self.codes, other.codes)
+                and np.array_equal(self.counts, other.counts)
+            )
+        if isinstance(other, Mapping):
+            return self.to_mapping() == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CoverageNumerators(g={self.grid_size}, entries={len(self.codes)})"
+
+    def patch(
+        self,
+        gained_codes: np.ndarray,
+        gained_counts: np.ndarray,
+        lost_codes: np.ndarray,
+        lost_counts: np.ndarray,
+        owner: str = "",
+    ) -> "CoverageNumerators":
+        """A new instance with pair counts adjusted, in one vectorized
+        pass; raises ``AssertionError`` when a loss would drive a pair
+        negative (the delta does not describe counted pairs)."""
+        codes = np.concatenate([self.codes, gained_codes, lost_codes])
+        deltas = np.concatenate([self.counts, gained_counts, -np.asarray(lost_counts)])
+        unique, inverse = np.unique(codes, return_inverse=True)
+        sums = np.zeros(len(unique), dtype=np.int64)
+        np.add.at(sums, inverse, deltas)
+        if (sums < 0).any():
+            bad = int(unique[int(np.argmax(sums < 0))])
+            g = self.grid_size
+            key = (
+                bad // (g * g * g),
+                (bad // (g * g)) % g,
+                (bad // g) % g,
+                bad % g,
+            )
+            raise AssertionError(
+                f"coverage numerator underflow for {owner!r} at {key}"
+            )
+        keep = sums > 0
+        return CoverageNumerators(self.grid_size, unique[keep], sums[keep])
+
+
 class CoverageHistogram:
     """Sparse coverage fractions ``Cvg[i][j][m][n]``.
 
@@ -54,7 +179,7 @@ class CoverageHistogram:
     ) -> None:
         self.grid = grid
         self.name = name
-        self._entries: dict[CellPair, float] = {}
+        self._entry_map: Optional[dict[CellPair, float]] = {}
         self._arrays: Optional[tuple[np.ndarray, ...]] = None
         # Coverage histograms are replaced wholesale (never delta-
         # patched), so a construction-time epoch stamp identifies the
@@ -65,6 +190,52 @@ class CoverageHistogram:
         if entries:
             for key, fraction in entries.items():
                 self._set(key, float(fraction))
+
+    @classmethod
+    def _from_columns(
+        cls,
+        grid: GridSpec,
+        columns: tuple[np.ndarray, ...],
+        fractions: np.ndarray,
+        name: str = "",
+    ) -> "CoverageHistogram":
+        """Columnar constructor: four aligned cell columns (sorted key
+        order, validated) plus fractions in ``(0, 1 + 1e-9]``.  The
+        entry dict is materialized lazily; estimator hot paths that only
+        touch :meth:`entry_arrays` never pay for it."""
+        size = grid.size
+        i, j, m, n = columns
+        for column in columns:
+            if column.size and (
+                int(column.min()) < 0 or int(column.max()) >= size
+            ):
+                raise ValueError(f"cell pair outside {size}x{size} grid")
+        if ((j < i) | (n < m)).any():
+            raise ValueError("cell pair has a below-diagonal cell")
+        if fractions.size and (
+            float(fractions.min()) <= 0.0 or float(fractions.max()) > 1.0 + 1e-9
+        ):
+            raise ValueError("coverage fraction outside (0, 1]")
+        histogram = cls(grid, name=name)
+        arrays = tuple(
+            np.ascontiguousarray(c, dtype=np.int64) for c in columns
+        ) + (np.minimum(np.ascontiguousarray(fractions, dtype=np.float64), 1.0),)
+        for array in arrays:
+            array.setflags(write=False)
+        histogram._arrays = arrays
+        histogram._entry_map = None
+        return histogram
+
+    @property
+    def _entries(self) -> dict[CellPair, float]:
+        if self._entry_map is None:
+            i, j, m, n, fractions = self._arrays
+            keys = np.stack([i, j, m, n], axis=1)
+            self._entry_map = {
+                tuple(key): fraction
+                for key, fraction in zip(keys.tolist(), fractions.tolist())
+            }
+        return self._entry_map
 
     def _set(self, key: CellPair, fraction: float) -> None:
         i, j, m, n = key
@@ -115,12 +286,19 @@ class CoverageHistogram:
 
     def entry_count(self) -> int:
         """Number of stored (non-zero) entries."""
-        return len(self._entries)
+        if self._entry_map is None:
+            return len(self._arrays[4])
+        return len(self._entry_map)
 
     def partial_entry_count(self, tolerance: float = 1e-12) -> int:
         """Entries strictly between 0 and 1 -- the Theorem 2 quantity."""
+        if self._entry_map is None:
+            fractions = self._arrays[4]
+            return int(
+                ((fractions > tolerance) & (fractions < 1.0 - tolerance)).sum()
+            )
         return sum(
-            1 for f in self._entries.values() if tolerance < f < 1.0 - tolerance
+            1 for f in self._entry_map.values() if tolerance < f < 1.0 - tolerance
         )
 
     def covering_cells(self, i: int, j: int) -> Iterator[tuple[tuple[int, int], float]]:
@@ -148,7 +326,7 @@ class CoverageHistogram:
 
 
 def coverage_from_numerators(
-    numerators: Mapping[CellPair, int],
+    numerators: "CoverageNumerators | Mapping[CellPair, int]",
     true_hist: PositionHistogram,
     name: str = "",
 ) -> CoverageHistogram:
@@ -160,7 +338,39 @@ def coverage_from_numerators(
     step, shared by the offline builder and the incremental maintenance
     path of the statistics service, so both produce bit-identical
     fractions from equal counts.
+
+    For columnar :class:`CoverageNumerators` the whole derivation is
+    one array pass (denominators gathered from the TRUE histogram's
+    dense matrix, which holds the same float sums ``count(i, j)``
+    returns); mappings take the per-entry reference path.
     """
+    if isinstance(numerators, CoverageNumerators):
+        g = true_hist.grid.size
+        codes, counts = numerators.codes, numerators.counts
+        covered = codes // (g * g)
+        denominators = true_hist.dense().reshape(-1)[covered]
+        keep = (denominators > 0) & (counts > 0)
+        codes, counts, denominators = codes[keep], counts[keep], denominators[keep]
+        fractions = counts / denominators
+        columns = (
+            codes // (g * g * g),
+            (codes // (g * g)) % g,
+            (codes // g) % g,
+            codes % g,
+        )
+        return CoverageHistogram._from_columns(
+            true_hist.grid, columns, fractions, name=name
+        )
+    return _coverage_from_numerators_items(numerators, true_hist, name=name)
+
+
+def _coverage_from_numerators_items(
+    numerators: "CoverageNumerators | Mapping[CellPair, int]",
+    true_hist: PositionHistogram,
+    name: str = "",
+) -> CoverageHistogram:
+    """Pre-vectorization per-entry derivation, kept as the bit-identity
+    reference for the differential tests and the scale benchmark."""
     entries: dict[CellPair, float] = {}
     for (i, j, m, n), numerator in numerators.items():
         denominator = true_hist.count(i, j)
@@ -174,7 +384,7 @@ def build_coverage_numerators(
     node_indices: Iterable[int],
     grid: GridSpec,
     chunk_pairs: Optional[int] = None,
-) -> dict[CellPair, int]:
+) -> CoverageNumerators:
     """Count, per ``(covered cell, covering cell)`` pair, the nodes
     covered by some predicate node -- the integer core of
     :func:`build_coverage_histogram`.
@@ -214,7 +424,7 @@ def build_coverage_numerators(
         dtype=np.int64,
     )
     if pnodes.size == 0:
-        return {}
+        return CoverageNumerators.empty(grid.size)
     # The chunk-flush bound below relies on ascending pre-order indices;
     # the catalog always supplies them sorted, but the function is
     # public API and must stay order-insensitive.
@@ -230,7 +440,7 @@ def build_coverage_numerators(
     cum = np.cumsum(counts)
     total_pairs = int(cum[-1])
     if total_pairs == 0:
-        return {}
+        return CoverageNumerators.empty(grid.size)
 
     # Chunk boundaries keep each expansion near the budget (a single
     # giant subtree may exceed it by itself, which is the floor anyway).
@@ -274,13 +484,11 @@ def build_coverage_numerators(
             pending = flush(pending, int(pnodes[e]) + 1)
     flush(pending, len(tree))
 
-    out: dict[CellPair, int] = {}
-    for code, numerator in numerators.items():
-        covered_code, covering_code = divmod(code, g2)
-        i, j = divmod(covered_code, g)
-        m, n = divmod(covering_code, g)
-        out[(i, j, m, n)] = numerator
-    return out
+    return CoverageNumerators.from_code_counts(
+        g,
+        np.fromiter(numerators.keys(), dtype=np.int64, count=len(numerators)),
+        np.fromiter(numerators.values(), dtype=np.int64, count=len(numerators)),
+    )
 
 
 def build_coverage_histogram(

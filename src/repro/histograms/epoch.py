@@ -107,7 +107,38 @@ def merge_page(
     never changes an observable value.  Cells whose merged count is
     exactly zero are dropped, as the from-scratch builders never create
     them.
+
+    One vectorized pass: the page arrays and each layer's entries are
+    concatenated in stack order and accumulated with ``np.add.at``,
+    which adds strictly in input order -- per cell that is the page
+    count first, then the layer deltas oldest-to-newest, the exact
+    float addition sequence of the dict walk (pinned by the
+    differential test against :func:`_merge_page_dict`).
     """
+    code_parts = [page.codes]
+    count_parts = [page.counts]
+    for layer in layers:
+        if layer:
+            code_parts.append(np.fromiter(layer.keys(), dtype=np.int64, count=len(layer)))
+            count_parts.append(
+                np.fromiter(layer.values(), dtype=np.float64, count=len(layer))
+            )
+    codes = np.concatenate(code_parts)
+    if codes.size == 0:
+        return HistogramPage.empty()
+    counts = np.concatenate(count_parts)
+    unique, inverse = np.unique(codes, return_inverse=True)
+    merged = np.zeros(len(unique), dtype=np.float64)
+    np.add.at(merged, inverse, counts)
+    keep = merged != 0.0
+    return HistogramPage(unique[keep], merged[keep])
+
+
+def _merge_page_dict(
+    page: HistogramPage, layers: Iterable[Mapping[int, float]]
+) -> HistogramPage:
+    """Pre-vectorization dict-walk merge, kept as the bit-identity
+    reference for the differential tests and the scale benchmark."""
     merged: dict[int, float] = dict(
         zip(page.codes.tolist(), page.counts.tolist())
     )

@@ -35,7 +35,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.histograms.coverage import CellPair
+from repro.histograms.coverage import CellPair, CoverageNumerators
 from repro.histograms.grid import GridSpec
 from repro.histograms.position import PositionHistogram
 from repro.labeling.interval import LabeledTree
@@ -58,7 +58,7 @@ class BuiltStatistics:
     no_overlap: dict[str, bool]
     position: dict[str, PositionHistogram]
     true_histogram: PositionHistogram
-    coverage_numerators: dict[str, dict[CellPair, int]]
+    coverage_numerators: dict[str, "CoverageNumerators"]
     shards: int
     workers: int
 
@@ -89,6 +89,37 @@ def covering_members(
     covered[has] = ends[members[candidate[has]]] > ends[nodes[has]]
     slots = np.flatnonzero(covered)
     return nodes[slots], members[candidate[slots]]
+
+
+def nearest_member_ancestors(
+    parents: np.ndarray,
+    members: np.ndarray,
+    nodes: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Each node's nearest proper ancestor in ``members`` by walking
+    parent chains -- all chains stepped together, one vectorized round
+    per ancestor level (the overlap-tolerant sibling of
+    :func:`covering_members`; ``members`` must be sorted ascending).
+
+    Returns the subset of ``nodes`` that has a member ancestor and the
+    aligned ancestors, in ``nodes`` order.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    if members.size == 0 or nodes.size == 0:
+        return empty, empty
+    current = parents[nodes]
+    found = np.full(len(nodes), -1, dtype=np.int64)
+    active = np.flatnonzero(current >= 0)
+    while active.size:
+        walk = current[active]
+        slot = np.searchsorted(members, walk)
+        hit = (slot < len(members)) & (members[np.minimum(slot, len(members) - 1)] == walk)
+        found[active[hit]] = walk[hit]
+        rest = active[~hit]
+        current[rest] = parents[current[rest]]
+        active = rest[current[rest] >= 0]
+    slots = np.flatnonzero(found >= 0)
+    return nodes[slots], found[slots]
 
 
 def nearest_member_pairs(
@@ -343,17 +374,19 @@ def build_statistics_parallel(
     true_histogram = PositionHistogram(
         grid, {divmod(key, g): float(c) for key, c in true_cells.items()}
     )
-    coverage_numerators: dict[str, dict[CellPair, int]] = {}
+    coverage_numerators: dict[str, CoverageNumerators] = {}
     for code, flag in sorted(code_no_overlap.items()):
         if not flag:
             continue  # the estimators never build coverage for overlap tags
-        numerators: dict[CellPair, int] = {}
-        for key, count in coverage_cells.get(code, {}).items():
-            covered, covering = divmod(key, g2)
-            i, j = divmod(covered, g)
-            m, n = divmod(covering, g)
-            numerators[(i, j, m, n)] = count
-        coverage_numerators[names[code]] = numerators
+        cells = coverage_cells.get(code, {})
+        # pair_key = covered_cell * g^2 + covering_cell is exactly the
+        # packed quad code CoverageNumerators stores -- no per-entry
+        # decomposition needed.
+        coverage_numerators[names[code]] = CoverageNumerators.from_code_counts(
+            g,
+            np.fromiter(cells.keys(), dtype=np.int64, count=len(cells)),
+            np.fromiter(cells.values(), dtype=np.int64, count=len(cells)),
+        )
 
     return BuiltStatistics(
         grid=grid,

@@ -121,6 +121,97 @@ def gap_for_insert(
     return lo, int(tree.start[follower]), follower
 
 
+def slice_subtree_sizes(depth: np.ndarray, pslot: np.ndarray) -> np.ndarray:
+    """Per-node subtree sizes for a pre-order slice, bottom-up.
+
+    ``depth`` holds relative depths (top nodes of the slice at 1),
+    ``pslot`` in-slice parent slots (-1 for top nodes).  One stable
+    grouping by depth, then ``np.add.at`` folds each level's finished
+    sizes into its parents -- O(n) work plus one kernel call per level.
+    """
+    sizes = np.ones(len(depth), dtype=np.int64)
+    if len(depth) == 0:
+        return sizes
+    order = np.argsort(depth, kind="stable")
+    sorted_d = depth[order]
+    cuts = np.flatnonzero(
+        np.concatenate(([True], sorted_d[1:] != sorted_d[:-1]))
+    )
+    groups = np.split(order, cuts[1:])
+    for group in reversed(groups[1:]):  # deepest level first; top level has no in-slice parent
+        np.add.at(sizes, pslot[group], sizes[group])
+    return sizes
+
+
+def spread_labels(
+    depth: np.ndarray,
+    pslot: np.ndarray,
+    base: int,
+    stride: int,
+    hole_event: Optional[int] = None,
+    hole_width: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized enter/exit label assignment for a pre-order slice.
+
+    Node ``k`` (0-based pre-order slot, relative depth ``d_k``) has
+    enter event ``e_k = 2k - d_k + 1`` and exit event
+    ``e_k + 2*s_k - 1`` with ``s_k`` its subtree size; event ``t``
+    receives label ``base + stride * (t + 1)`` -- exactly the sequence
+    the sequential enter/exit walk emits.  When ``hole_event`` is set,
+    events at or past it shift by ``hole_width``, reserving that many
+    event positions (for a splice that will land inside the slice).
+    """
+    k = np.arange(len(depth), dtype=np.int64)
+    sizes = slice_subtree_sizes(depth, pslot)
+    entry = 2 * k - depth + 1
+    exit_ = entry + 2 * sizes - 1
+    if hole_event is not None:
+        entry = np.where(entry >= hole_event, entry + hole_width, entry)
+        exit_ = np.where(exit_ >= hole_event, exit_ + hole_width, exit_)
+    starts = base + stride * (entry + 1)
+    ends = base + stride * (exit_ + 1)
+    return starts, ends
+
+
+def _spread_labels_python(
+    depth: np.ndarray,
+    pslot: np.ndarray,
+    base: int,
+    stride: int,
+    hole_event: Optional[int] = None,
+    hole_width: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pre-vectorization enter/exit walk behind :func:`spread_labels`,
+    kept as the bit-identity reference for the differential tests and
+    the scale benchmark: one stack frame per event, one label per step,
+    the hole skipped by bumping the counter when its event arrives."""
+    n = len(depth)
+    starts = np.empty(n, dtype=np.int64)
+    ends = np.empty(n, dtype=np.int64)
+    children: list[list[int]] = [[] for _ in range(n)]
+    tops: list[int] = []
+    for slot in range(n):
+        p = int(pslot[slot])
+        (tops if p < 0 else children[p]).append(slot)
+    stack = [(slot, True) for slot in reversed(tops)]
+    counter = base
+    event = 0
+    while stack:
+        slot, entering = stack.pop()
+        if hole_event is not None and event == hole_event:
+            counter += stride * hole_width
+        counter += stride
+        event += 1
+        if entering:
+            starts[slot] = counter
+            stack.append((slot, False))
+            for child in reversed(children[slot]):
+                stack.append((child, True))
+        else:
+            ends[slot] = counter
+    return starts, ends
+
+
 def plan_insert(
     tree: LabeledTree,
     parent: int,
@@ -137,6 +228,62 @@ def plan_insert(
     the gap has fewer free integer positions than the subtree needs
     (two labels per element).
     """
+    if not 0 <= parent < len(tree):
+        raise IndexError(f"parent index {parent} outside the tree")
+    if subtree.parent is not None:
+        raise ValueError("subtree to insert must be detached (parent is None)")
+    # One light DFS collects pre-order slots, parent slots, and relative
+    # depths; all label arithmetic after it is vectorized.  The walk
+    # visits children in the same reversed-stack order as
+    # ``Element.iter``, so slot numbering matches the offline labeler.
+    elements: list[Element] = []
+    parent_slots: list[int] = []
+    depths: list[int] = []
+    walk: list[tuple[Element, int, int]] = [(subtree, -1, 1)]
+    while walk:
+        node, pslot, d = walk.pop()
+        slot = len(elements)
+        elements.append(node)
+        parent_slots.append(pslot)
+        depths.append(d)
+        for child in reversed(list(node.child_elements())):
+            walk.append((child, slot, d + 1))
+
+    need = 2 * len(elements)
+    lo, hi, position = gap_for_insert(tree, parent, child_position)
+    gap = hi - lo - 1
+    if gap < need:
+        raise GapExhausted(
+            f"insertion under node {parent} needs {need} labels, gap has {gap}"
+        )
+    stride = gap // need
+    parent_level = int(tree.level[parent])
+
+    depth = np.asarray(depths, dtype=np.int64)
+    pslot = np.asarray(parent_slots, dtype=np.int64)
+    starts, ends = spread_labels(depth, pslot, lo, stride)
+    levels = parent_level + depth
+    parents = np.where(pslot < 0, parent, position + pslot)
+
+    return InsertPlan(
+        position=position,
+        elements=elements,
+        start=starts,
+        end=ends,
+        level=levels,
+        parent_index=parents,
+        stride=stride,
+    )
+
+
+def _plan_insert_python(
+    tree: LabeledTree,
+    parent: int,
+    subtree: Element,
+    child_position: Optional[int] = None,
+) -> InsertPlan:
+    """Pre-vectorization sequential walk, kept as the bit-identity
+    reference for the differential tests and the scale benchmark."""
     if not 0 <= parent < len(tree):
         raise IndexError(f"parent index {parent} outside the tree")
     if subtree.parent is not None:
@@ -208,6 +355,69 @@ def apply_insert(tree: LabeledTree, plan: InsertPlan) -> None:
         [shifted_parents[:pos], plan.parent_index, shifted_parents[pos:]]
     )
     tree.invalidate_element_index()
+
+
+def rebalance_for_insert(
+    tree: LabeledTree,
+    parent: int,
+    need_elements: int,
+    child_position: Optional[int] = None,
+) -> Optional[tuple[int, int]]:
+    """Respread labels locally so an exhausted gap can hold an insert.
+
+    Walks up from ``parent`` to the smallest ancestor region whose label
+    interval can hold its current occupants plus ``need_elements`` new
+    nodes at integer stride, then respreads the region's labels evenly
+    with a hole of ``2 * need_elements`` event positions reserved at the
+    splice point.  Only ``tree.start``/``tree.end`` change (replaced,
+    never written in place), only for nodes strictly inside the region;
+    structure, levels and the region root's own labels are untouched.
+
+    Returns the moved pre-order slice ``(lo, hi)`` (``hi`` exclusive) so
+    the caller can patch maintained statistics, or ``None`` when no
+    ancestor interval is wide enough (the full-relabel fallback).
+    """
+    region = parent
+    while True:
+        hi_idx = tree.subtree_slice(region).stop
+        n_slice = hi_idx - region - 1
+        width = int(tree.end[region]) - int(tree.start[region]) - 1
+        stride = width // (2 * (n_slice + need_elements))
+        if stride >= 1:
+            break
+        region = int(tree.parent_index[region])
+        if region < 0:
+            return None
+
+    base = int(tree.start[region])
+    lo_idx = region + 1
+    depth = tree.level[lo_idx:hi_idx] - int(tree.level[region])
+    region_parents = tree.parent_index[lo_idx:hi_idx]
+    pslot = np.where(region_parents == region, -1, region_parents - lo_idx)
+    sizes = slice_subtree_sizes(depth, pslot)
+    entry = 2 * np.arange(n_slice, dtype=np.int64) - depth + 1
+
+    children = child_indices(tree, parent)
+    if child_position is None or child_position >= len(children):
+        if parent == region:
+            hole_event = 2 * n_slice
+        else:
+            slot = parent - lo_idx
+            hole_event = int(entry[slot]) + 2 * int(sizes[slot]) - 1
+    else:
+        hole_event = int(entry[int(children[child_position]) - lo_idx])
+    hole_width = 2 * need_elements
+
+    exit_ = entry + 2 * sizes - 1
+    entry = np.where(entry >= hole_event, entry + hole_width, entry)
+    exit_ = np.where(exit_ >= hole_event, exit_ + hole_width, exit_)
+    new_start = tree.start.copy()
+    new_end = tree.end.copy()
+    new_start[lo_idx:hi_idx] = base + stride * (entry + 1)
+    new_end[lo_idx:hi_idx] = base + stride * (exit_ + 1)
+    tree.start = new_start
+    tree.end = new_end
+    return lo_idx, hi_idx
 
 
 def apply_delete(tree: LabeledTree, index: int) -> tuple[int, int]:

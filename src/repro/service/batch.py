@@ -30,9 +30,15 @@ a later operation).  What changes is the maintenance cost model:
   invalidated once per batch.
 
 The batch is also the atomicity unit for rebuild decisions: the dirty
-threshold is evaluated once against the batch's total touched nodes,
-and a label-gap exhaustion mid-batch relabels in place and finishes the
-batch under a full statistics rebuild.  Batches are atomic with respect
+threshold is evaluated once against the batch's total touched nodes.
+A label-gap exhaustion mid-batch first tries a *local* rebalance
+(:func:`repro.labeling.dynamic.rebalance_for_insert`): labels are
+respread inside the smallest ancestor region wide enough to make room,
+the moved slice's surviving nodes are re-filed in every maintained
+summary by the flush (``-old`` / ``+new`` cells), and the batch stays
+on the incremental path.  Only when no ancestor region is wide enough
+does the batch fall back to relabeling the whole forest and finishing
+under a full statistics rebuild.  Batches are atomic with respect
 to failures: every operation's document-model mutation is journalled as
 it is applied, and if a later operation fails -- even half-way through
 its own splice -- the journal is unwound and the pre-batch label arrays
@@ -47,9 +53,11 @@ layers that must decide between replaying and skipping the batch).
 
 Net-delta correctness rests on two invariants of subtree updates: a
 surviving node's labels and ancestor chain never change within a batch
-(splices never relabel or reparent existing nodes), and a deleted
-node's covering predicate ancestors are deleted with it only if the
-node itself is inside the deleted subtree.
+(splices never relabel or reparent existing nodes; the one exception,
+a local rebalance, reports exactly which slice it moved so the flush
+can re-file those nodes), and a deleted node's covering predicate
+ancestors are deleted with it only if the node itself is inside the
+deleted subtree.
 """
 
 from __future__ import annotations
@@ -66,6 +74,7 @@ from repro.labeling.dynamic import (
     apply_delete,
     apply_insert,
     plan_insert,
+    rebalance_for_insert,
 )
 from repro.labeling.interval import label_forest, relabel_preorder
 from repro.predicates.base import Predicate
@@ -185,6 +194,10 @@ class BatchApplier:
         self.nodes_inserted = 0
         self.nodes_deleted = 0
         self.degraded = False
+        self.rebalances = 0
+        # Pre-batch indices of surviving nodes whose labels a local
+        # rebalance moved; the flush re-files their cells (-old/+new).
+        self.moved_old = np.empty(0, dtype=np.int64)
         self._initial_index: Optional[dict[int, int]] = None
         # Document-model journal for rollback: ("insert", subtree_root)
         # and ("delete", element, parent, child_slot) entries in apply
@@ -366,19 +379,24 @@ class BatchApplier:
         try:
             plan = plan_insert(self.tree, parent_index, subtree, op.position)
         except GapExhausted:
-            self.degraded = True
-            # The relabel moves every surviving node's labels, so the
-            # incremental-state delta against the last full checkpoint
-            # no longer describes this tree.  (Rollback restores the
-            # pre-batch tracker; the degraded batch otherwise ends in a
-            # rebuild, which keeps it invalidated.)
-            self.service._ckpt_tracker = None
-            relabel_preorder(self.tree, self.service.spacing)
-            try:
-                plan = plan_insert(self.tree, parent_index, subtree, op.position)
-            except GapExhausted:
-                self._oversized_insert(parent_index, op)
-                return
+            plan = self._rebalanced_plan(parent_index, subtree, op.position)
+            if plan is None:
+                self.degraded = True
+                # The relabel moves every surviving node's labels, so
+                # the incremental-state delta against the last full
+                # checkpoint no longer describes this tree.  (Rollback
+                # restores the pre-batch tracker; the degraded batch
+                # otherwise ends in a rebuild, which keeps it
+                # invalidated.)
+                self.service._ckpt_tracker = None
+                relabel_preorder(self.tree, self.service.spacing)
+                try:
+                    plan = plan_insert(
+                        self.tree, parent_index, subtree, op.position
+                    )
+                except GapExhausted:
+                    self._oversized_insert(parent_index, op)
+                    return
         self._undo.append(("insert", subtree))
         self.service._attach_child(
             self.tree.elements[parent_index], subtree, op.position
@@ -387,6 +405,38 @@ class BatchApplier:
         self.service._track_insert(plan.position, plan.size)
         self._shift_up(plan.position, plan.size)
         self._track_insert(plan.elements, plan.position)
+
+    def _rebalanced_plan(self, parent_index: int, subtree, position):
+        """Try to make room for an exhausted-gap insert with a *local*
+        label rebalance instead of a full-forest relabel.
+
+        On success the batch stays on the incremental path
+        (``degraded`` is not set): only the rebalanced slice's labels
+        moved, its surviving pre-batch nodes are queued for the
+        flush's moved-node re-file, and the retried
+        :func:`~repro.labeling.dynamic.plan_insert` is returned.
+        Returns ``None`` when no ancestor region is wide enough (or,
+        defensively, when the retry still cannot fit), sending the
+        caller down the existing full-relabel path.
+        """
+        need = sum(1 for _ in subtree.iter())
+        region = rebalance_for_insert(self.tree, parent_index, need, position)
+        if region is None:
+            return None
+        lo, hi = region
+        # Labels moved, so the incremental-checkpoint delta no longer
+        # describes this tree (the moved slice is label-, not
+        # structure-, dirty, which the tracker cannot express).
+        self.service._ckpt_tracker = None
+        moved = np.flatnonzero((self.orig_pos >= lo) & (self.orig_pos < hi))
+        if moved.size:
+            self.moved_old = np.union1d(self.moved_old, moved)
+            self.touched += int(moved.size)
+        self.rebalances += 1
+        try:
+            return plan_insert(self.tree, parent_index, subtree, position)
+        except GapExhausted:
+            return None
 
     def _oversized_insert(self, parent_index: int, op: InsertOp) -> None:
         """A subtree larger than any fresh gap: attach it and relabel
@@ -485,6 +535,15 @@ class BatchApplier:
             if self.deleted_old
             else np.empty(0, dtype=np.int64)
         )
+        # Surviving nodes a mid-batch rebalance moved: every summary
+        # counted them at their pre-batch cells and must re-file them at
+        # their post-batch ones.  (Moved nodes deleted later in the
+        # batch are already in ``del_old`` with pre-batch labels --
+        # their rebalanced labels never reached any summary.)
+        moved = self.moved_old
+        if moved.size:
+            moved = moved[self.orig_pos[moved] >= 0]
+        moved_cur = self.orig_pos[moved]
 
         ins_cols = grid.buckets(tree.start[ins_pos])
         ins_rows = grid.buckets(tree.end[ins_pos])
@@ -503,6 +562,23 @@ class BatchApplier:
                 np.concatenate([ins_rows, del_rows]),
                 signs,
             )
+            if moved.size:
+                estimator._true_hist.apply_signed_delta(
+                    np.concatenate(
+                        [grid.buckets(tree.start[moved_cur]),
+                         grid.buckets(self.start0[moved])]
+                    ),
+                    np.concatenate(
+                        [grid.buckets(tree.end[moved_cur]),
+                         grid.buckets(self.end0[moved])]
+                    ),
+                    np.concatenate(
+                        [
+                            np.ones(moved.size, dtype=np.int64),
+                            -np.ones(moved.size, dtype=np.int64),
+                        ]
+                    ),
+                )
 
         # Old membership must be captured before the catalog remaps it:
         # deleted nodes pair with the members they had when deleted.
@@ -542,6 +618,54 @@ class BatchApplier:
                 # not maintain: force a from-scratch rebuild on next use.
                 estimator._coverage_cache.pop(predicate, None)
 
+        if moved.size:
+            # Re-file moved members in every cached per-predicate
+            # summary.  Membership itself is untouched by a rebalance
+            # (it depends on the element, not its labels), so the
+            # post-batch catalog identifies the moved members directly.
+            derived = (
+                set(estimator._position_cache)
+                | set(estimator._level_cache)
+                | set(estimator._coefficient_cache)
+            )
+            for predicate in derived:
+                members = service.catalog.stats(predicate).node_indices
+                if members.size:
+                    slots = np.minimum(
+                        np.searchsorted(members, moved_cur), members.size - 1
+                    )
+                    hit = members[slots] == moved_cur
+                else:
+                    hit = np.zeros(moved.size, dtype=bool)
+                if not hit.any():
+                    continue
+                sel_old = moved[hit]
+                sel_cur = moved_cur[hit]
+                histogram = estimator._position_cache.get(predicate)
+                if histogram is not None:
+                    histogram.apply_signed_delta(
+                        np.concatenate(
+                            [grid.buckets(tree.start[sel_cur]),
+                             grid.buckets(self.start0[sel_old])]
+                        ),
+                        np.concatenate(
+                            [grid.buckets(tree.end[sel_cur]),
+                             grid.buckets(self.end0[sel_old])]
+                        ),
+                        np.concatenate(
+                            [
+                                np.ones(sel_cur.size, dtype=np.int64),
+                                -np.ones(sel_old.size, dtype=np.int64),
+                            ]
+                        ),
+                    )
+                invalidated += estimator.invalidate_derived(predicate)
+            # Coverages the service does not maintain numerators for
+            # cannot be delta-patched; moved cells make them stale.
+            for predicate in list(estimator._coverage_cache):
+                if predicate not in service._numerators:
+                    estimator._coverage_cache.pop(predicate, None)
+
         for predicate in list(service._numerators):
             stats = service.catalog.stats(predicate)
             if not stats.effective_no_overlap:
@@ -549,28 +673,31 @@ class BatchApplier:
                 estimator._coverage_cache.pop(predicate, None)
                 continue
             members_old, flag_old = old_members[predicate]
-            lost = _covering_pairs(
+            # Moved nodes re-file on both sides of the patch: their
+            # pre-batch pairs leave with the pre-batch table, their
+            # post-batch pairs arrive with the current one.  A moved
+            # *member*'s covered nodes all sit inside the rebalanced
+            # slice (they are its descendants), so keying the pass on
+            # moved covered-nodes captures every pair either side of
+            # which moved.
+            lost_nodes = (
+                np.concatenate([del_old, moved]) if moved.size else del_old
+            )
+            gained_nodes = (
+                np.concatenate([ins_pos, moved_cur]) if moved.size else ins_pos
+            )
+            lost_codes, lost_counts = _covering_pairs(
                 self.start0, self.end0, self.parent0,
-                del_old, members_old, flag_old, grid,
+                lost_nodes, members_old, flag_old, grid,
             )
-            gained = _covering_pairs(
+            gained_codes, gained_counts = _covering_pairs(
                 tree.start, tree.end, tree.parent_index,
-                ins_pos, stats.node_indices, stats.no_overlap, grid,
+                gained_nodes, stats.node_indices, stats.no_overlap, grid,
             )
-            numerators = service._numerators[predicate]
-            for key, amount in lost.items():
-                remaining = numerators.get(key, 0) - amount
-                if remaining < 0:
-                    raise AssertionError(
-                        f"coverage numerator underflow for "
-                        f"{predicate.name!r} at {key}"
-                    )
-                if remaining == 0:
-                    numerators.pop(key, None)
-                else:
-                    numerators[key] = remaining
-            for key, amount in gained.items():
-                numerators[key] = numerators.get(key, 0) + amount
+            service._numerators[predicate] = service._numerators[predicate].patch(
+                gained_codes, gained_counts, lost_codes, lost_counts,
+                owner=predicate.name,
+            )
             service._install_coverage(predicate)
         return len(changed), invalidated
 
@@ -579,6 +706,7 @@ class BatchApplier:
     def _count_into_stats(self) -> None:
         stats = self.service.stats
         stats.batches += 1
+        stats.rebalances += self.rebalances
         stats.inserts += self.inserts
         stats.deletes += self.deletes
         stats.nodes_inserted += self.nodes_inserted
@@ -606,41 +734,31 @@ def _covering_pairs(
     members: np.ndarray,
     no_overlap: bool,
     grid: GridSpec,
-) -> dict[CellPair, int]:
+) -> tuple[np.ndarray, np.ndarray]:
     """Count ``(cell(node), cell(covering member))`` pairs for a node
     subset against one consistent label table.
 
+    Returns sorted packed pair codes with counts (the
+    :class:`~repro.histograms.coverage.CoverageNumerators` layout).
     With the no-overlap property (in the data), each node's unique
     covering member comes from the shared
     :func:`~repro.histograms.parallel.covering_members` kernel;
-    otherwise the nearest member ancestor is found by walking parent
-    chains (the semantics the per-update maintenance path uses for
-    schema-asserted no-overlap predicates).
+    otherwise the nearest member ancestor comes from the vectorized
+    parent-chain walk (the semantics the per-update maintenance path
+    uses for schema-asserted no-overlap predicates).
     """
-    from repro.histograms.parallel import covering_members
+    from repro.histograms.parallel import covering_members, nearest_member_ancestors
 
+    empty = np.empty(0, dtype=np.int64)
     if nodes.size == 0 or members.size == 0:
-        return {}
+        return empty, empty
     g = grid.size
     if no_overlap:
         node_idx, member_idx = covering_members(starts, ends, members, nodes)
-        if node_idx.size == 0:
-            return {}
     else:
-        member_set = set(members.tolist())
-        node_list: list[int] = []
-        member_list: list[int] = []
-        for node in nodes.tolist():
-            walk = int(parents[node])
-            while walk != -1 and walk not in member_set:
-                walk = int(parents[walk])
-            if walk != -1:
-                node_list.append(node)
-                member_list.append(walk)
-        if not node_list:
-            return {}
-        node_idx = np.asarray(node_list, dtype=np.int64)
-        member_idx = np.asarray(member_list, dtype=np.int64)
+        node_idx, member_idx = nearest_member_ancestors(parents, members, nodes)
+    if node_idx.size == 0:
+        return empty, empty
 
     keys = (
         (grid.buckets(starts[node_idx]) * g + grid.buckets(ends[node_idx]))
@@ -648,11 +766,4 @@ def _covering_pairs(
         + grid.buckets(starts[member_idx]) * g
         + grid.buckets(ends[member_idx])
     )
-    unique, counts = np.unique(keys, return_counts=True)
-    out: dict[CellPair, int] = {}
-    for key, count in zip(unique.tolist(), counts.tolist()):
-        covered_code, covering_code = divmod(key, g * g)
-        i, j = divmod(covered_code, g)
-        m, n = divmod(covering_code, g)
-        out[(i, j, m, n)] = count
-    return out
+    return np.unique(keys, return_counts=True)

@@ -57,6 +57,7 @@ from repro.estimation.result import EstimationResult
 from repro.histograms.coverage import (
     CellPair,
     CoverageHistogram,
+    CoverageNumerators,
     build_coverage_numerators,
     coverage_from_numerators,
 )
@@ -92,6 +93,7 @@ class ServiceStats:
     nodes_inserted: int = 0
     nodes_deleted: int = 0
     rebuilds: int = 0
+    rebalances: int = 0
     coefficient_invalidations: int = 0
     batches: int = 0
 
@@ -251,7 +253,7 @@ class EstimationService:
             catalog=self.catalog,
             grid=self.grid_kind,
         )
-        self._numerators: dict[Predicate, dict[CellPair, int]] = {}
+        self._numerators: dict[Predicate, CoverageNumerators] = {}
         self._dirty_nodes = 0
         self._optimizer: Optional[Optimizer] = None
         self._executor: Optional[PlanExecutor] = None
@@ -977,26 +979,34 @@ class EstimationService:
         self,
         pos: int,
         size: int,
-        members: set[int],
+        members: np.ndarray,
         outside_ancestor: int,
-    ) -> list[int]:
+    ) -> np.ndarray:
         """Nearest covering member for each node of a pre-order slice.
 
-        ``members`` holds global indices of predicate nodes inside the
-        slice; nodes whose chain leaves the slice inherit
+        ``members`` holds sorted global indices of predicate nodes
+        inside the slice; nodes whose chain leaves the slice inherit
         ``outside_ancestor`` (the unique covering node beyond the slice
-        for a no-overlap predicate, or ``-1``).
+        for a no-overlap predicate, or ``-1``).  All chains step
+        together, one vectorized round per ancestor level.
         """
-        nearest = [0] * size
         parent_index = self.tree.parent_index
-        for k in range(size):
-            par = int(parent_index[pos + k])
-            if par < pos:
-                nearest[k] = outside_ancestor
-            elif par in members:
-                nearest[k] = par
+        current = parent_index[pos : pos + size].copy()
+        nearest = np.full(size, outside_ancestor, dtype=np.int64)
+        active = np.flatnonzero(current >= pos)
+        while active.size:
+            walk = current[active]
+            if members.size:
+                slot = np.minimum(
+                    np.searchsorted(members, walk), len(members) - 1
+                )
+                hit = members[slot] == walk
             else:
-                nearest[k] = nearest[par - pos]
+                hit = np.zeros(len(walk), dtype=bool)
+            nearest[active[hit]] = walk[hit]
+            rest = active[~hit]
+            current[rest] = parent_index[current[rest]]
+            active = rest[current[rest] >= pos]
         return nearest
 
     def _insert_deltas(
@@ -1026,6 +1036,7 @@ class EstimationService:
                 # not maintain: force a from-scratch rebuild on next use.
                 estimator._coverage_cache.pop(predicate, None)
 
+        empty = np.empty(0, dtype=np.int64)
         for predicate in list(self._numerators):
             stats = self.catalog.stats(predicate)
             if not stats.effective_no_overlap:
@@ -1033,23 +1044,33 @@ class EstimationService:
                 self.estimator._coverage_cache.pop(predicate, None)
                 continue
             inserted = changed.get(predicate)
-            members = set(inserted.tolist()) if inserted is not None else set()
+            members = np.sort(inserted) if inserted is not None else empty
             outside = self._nearest_member(parent_index, stats.node_indices)
             nearest = self._slice_ancestors(pos, size, members, outside)
-            numerators = self._numerators[predicate]
-            cell_cache: dict[int, tuple[int, int]] = {}
-            for k in range(size):
-                ancestor = nearest[k]
-                if ancestor == -1:
-                    continue
-                cell = cell_cache.get(ancestor)
-                if cell is None:
-                    cell = self._cell(ancestor)
-                    cell_cache[ancestor] = cell
-                key = (int(cols[k]), int(rows[k]), cell[0], cell[1])
-                numerators[key] = numerators.get(key, 0) + 1
+            codes, counts = self._pair_codes(cols, rows, nearest)
+            self._numerators[predicate] = self._numerators[predicate].patch(
+                codes, counts, empty, empty, owner=predicate.name
+            )
             self._install_coverage(predicate)
         return invalidated
+
+    def _pair_codes(
+        self, cols: np.ndarray, rows: np.ndarray, nearest: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Packed coverage pair codes with counts for slice nodes whose
+        nearest covering member is ``nearest[k]`` (-1 = uncovered)."""
+        grid = self.estimator.grid
+        g = grid.size
+        valid = np.flatnonzero(nearest >= 0)
+        if valid.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        ancestors = nearest[valid]
+        keys = (cols[valid] * g + rows[valid]) * (g * g) + (
+            grid.buckets(self.tree.start[ancestors]) * g
+            + grid.buckets(self.tree.end[ancestors])
+        )
+        return np.unique(keys, return_counts=True)
 
     def _delete_pair_deltas(
         self,
@@ -1058,35 +1079,22 @@ class EstimationService:
         count: int,
         cols: np.ndarray,
         rows: np.ndarray,
-    ) -> dict[Predicate, dict[CellPair, int]]:
+    ) -> dict[Predicate, tuple[np.ndarray, np.ndarray]]:
         """Coverage pairs lost with the subtree at ``index`` (computed
         against the pre-delete tree, which the walk requires)."""
-        deltas: dict[Predicate, dict[CellPair, int]] = {}
+        deltas: dict[Predicate, tuple[np.ndarray, np.ndarray]] = {}
         root_parent = int(self.tree.parent_index[index])
         for predicate in self._numerators:
             members_arr = self.catalog.stats(predicate).node_indices
             lo = int(np.searchsorted(members_arr, pos))
             hi = int(np.searchsorted(members_arr, pos + count))
-            members = set(members_arr[lo:hi].tolist())
             outside = (
                 self._nearest_member(root_parent, members_arr)
                 if root_parent != -1
                 else -1
             )
-            nearest = self._slice_ancestors(pos, count, members, outside)
-            lost: dict[CellPair, int] = {}
-            cell_cache: dict[int, tuple[int, int]] = {}
-            for k in range(count):
-                ancestor = nearest[k]
-                if ancestor == -1:
-                    continue
-                cell = cell_cache.get(ancestor)
-                if cell is None:
-                    cell = self._cell(ancestor)
-                    cell_cache[ancestor] = cell
-                key = (int(cols[k]), int(rows[k]), cell[0], cell[1])
-                lost[key] = lost.get(key, 0) + 1
-            deltas[predicate] = lost
+            nearest = self._slice_ancestors(pos, count, members_arr[lo:hi], outside)
+            deltas[predicate] = self._pair_codes(cols, rows, nearest)
         return deltas
 
     def _delete_deltas(
@@ -1095,7 +1103,7 @@ class EstimationService:
         cols: np.ndarray,
         rows: np.ndarray,
         changed: dict[Predicate, np.ndarray],
-        pair_deltas: dict[Predicate, dict[CellPair, int]],
+        pair_deltas: dict[Predicate, tuple[np.ndarray, np.ndarray]],
     ) -> int:
         """Patch every maintained summary for a completed delete."""
         estimator = self.estimator
@@ -1112,17 +1120,10 @@ class EstimationService:
             if predicate not in self._numerators:
                 estimator._coverage_cache.pop(predicate, None)
 
-        for predicate, lost in pair_deltas.items():
-            numerators = self._numerators[predicate]
-            for key, amount in lost.items():
-                remaining = numerators.get(key, 0) - amount
-                if remaining < 0:
-                    raise AssertionError(
-                        f"coverage numerator underflow for {predicate.name!r} at {key}"
-                    )
-                if remaining == 0:
-                    numerators.pop(key, None)
-                else:
-                    numerators[key] = remaining
+        empty = np.empty(0, dtype=np.int64)
+        for predicate, (lost_codes, lost_counts) in pair_deltas.items():
+            self._numerators[predicate] = self._numerators[predicate].patch(
+                empty, empty, lost_codes, lost_counts, owner=predicate.name
+            )
             self._install_coverage(predicate)
         return invalidated

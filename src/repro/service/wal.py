@@ -92,6 +92,161 @@ _HEADER = struct.Struct("<II")  # payload length, crc32(payload)
 # older than it (the replay suffix those checkpoints need is gone).
 _RECORD_TYPES = ("batch", "commit", "abort", "base")
 
+# -- v2 binary payloads ------------------------------------------------------
+#
+# Outer framing is identical to v1 (<u32 len> <u32 crc32> <payload>), so
+# offsets, torn-tail truncation, and byte-for-byte compaction work
+# unchanged on mixed logs.  Payloads self-discriminate by first byte:
+# 0x7B ("{") is a v1 JSON record, _V2_MARKER a binary v2 record,
+# anything else is corruption.  A v2 payload is
+#
+#   <u8 marker> <u8 type> <i64 lsn>                      -- all records
+#   <u8 flags> <u32 n_ops>                               -- batch only
+#   op_kind  u8[n]    0=insert 1=delete
+#   ref_kind u8[n]    0=["index",a] 1=["node",a] 2=["op",a,b]
+#   ref_a    i64[n]
+#   ref_b    i64[n]
+#   position i64[n]   -1 = None
+#   xml_off  i64[n+1] cumulative byte offsets into the xml blob
+#   xml blob          concatenated utf-8 subtree texts (empty for deletes)
+#
+# i.e. raw little-endian array dumps -- no JSON round-trip, no
+# per-field tokenization.
+_V2_MARKER = 0xB2
+_V2_HEAD = struct.Struct("<BBq")
+_V2_BATCH_HEAD = struct.Struct("<BI")
+_TARGET_KINDS = ("index", "node", "op")
+
+
+def _encode_payload_v2(obj: dict) -> bytes:
+    record_type = obj["type"]
+    head = _V2_HEAD.pack(
+        _V2_MARKER, _RECORD_TYPES.index(record_type), int(obj["lsn"])
+    )
+    if record_type != "batch":
+        return head
+    ops = obj["ops"]
+    n = len(ops)
+    op_kinds = np.empty(n, dtype=np.uint8)
+    ref_kinds = np.empty(n, dtype=np.uint8)
+    ref_a = np.zeros(n, dtype=np.int64)
+    ref_b = np.zeros(n, dtype=np.int64)
+    positions = np.full(n, -1, dtype=np.int64)
+    lengths = np.zeros(n + 1, dtype=np.int64)
+    chunks: list[bytes] = []
+    for k, op in enumerate(ops):
+        if op["kind"] == "insert":
+            op_kinds[k] = 0
+            ref = op["parent"]
+            chunk = op["xml"].encode("utf-8")
+            chunks.append(chunk)
+            lengths[k + 1] = len(chunk)
+            if op.get("position") is not None:
+                positions[k] = op["position"]
+        else:
+            op_kinds[k] = 1
+            ref = op["node"]
+        ref_kinds[k] = _TARGET_KINDS.index(ref[0])
+        ref_a[k] = ref[1]
+        if len(ref) > 2:
+            ref_b[k] = ref[2]
+    flags = 1 if obj.get("single") else 0
+    return b"".join(
+        [
+            head,
+            _V2_BATCH_HEAD.pack(flags, n),
+            op_kinds.tobytes(),
+            ref_kinds.tobytes(),
+            ref_a.tobytes(),
+            ref_b.tobytes(),
+            positions.tobytes(),
+            np.cumsum(lengths).tobytes(),
+            *chunks,
+        ]
+    )
+
+
+def _decode_payload_v2(payload: bytes) -> Optional[dict]:
+    """Decode a v2 binary payload; ``None`` marks it corrupt (the
+    framing CRC already passed, so this is defense in depth)."""
+    try:
+        marker, type_code, lsn = _V2_HEAD.unpack_from(payload, 0)
+        if marker != _V2_MARKER or type_code >= len(_RECORD_TYPES):
+            return None
+        record_type = _RECORD_TYPES[type_code]
+        if record_type != "batch":
+            if len(payload) != _V2_HEAD.size:
+                return None
+            return {"lsn": lsn, "type": record_type}
+        offset = _V2_HEAD.size
+        flags, n = _V2_BATCH_HEAD.unpack_from(payload, offset)
+        offset += _V2_BATCH_HEAD.size
+        fixed = 2 * n + 8 * 3 * n + 8 * (n + 1)
+        if offset + fixed > len(payload):
+            return None
+        op_kinds = np.frombuffer(payload, np.uint8, n, offset)
+        offset += n
+        ref_kinds = np.frombuffer(payload, np.uint8, n, offset)
+        offset += n
+        ref_a = np.frombuffer(payload, np.int64, n, offset)
+        offset += 8 * n
+        ref_b = np.frombuffer(payload, np.int64, n, offset)
+        offset += 8 * n
+        positions = np.frombuffer(payload, np.int64, n, offset)
+        offset += 8 * n
+        xml_offsets = np.frombuffer(payload, np.int64, n + 1, offset)
+        offset += 8 * (n + 1)
+        blob = payload[offset:]
+        if (
+            (op_kinds > 1).any()
+            or (ref_kinds > 2).any()
+            or (n and int(xml_offsets[0]) != 0)
+            or (np.diff(xml_offsets) < 0).any()
+            or int(xml_offsets[-1]) != len(blob)
+        ):
+            return None
+        ops: list[dict] = []
+        offs = xml_offsets.tolist()
+        for k, (op_kind, ref_kind, a, b, position) in enumerate(
+            zip(
+                op_kinds.tolist(),
+                ref_kinds.tolist(),
+                ref_a.tolist(),
+                ref_b.tolist(),
+                positions.tolist(),
+            )
+        ):
+            ref = (
+                ["op", a, b]
+                if ref_kind == 2
+                else [_TARGET_KINDS[ref_kind], a]
+            )
+            if op_kind == 0:
+                ops.append(
+                    {
+                        "kind": "insert",
+                        "parent": ref,
+                        "xml": blob[offs[k] : offs[k + 1]].decode("utf-8"),
+                        "position": None if position < 0 else position,
+                    }
+                )
+            else:
+                ops.append({"kind": "delete", "node": ref})
+        return {
+            "lsn": lsn,
+            "type": "batch",
+            "single": bool(flags & 1),
+            "ops": ops,
+        }
+    except (struct.error, UnicodeDecodeError, ValueError):
+        return None
+
+
+def _encode_record_payload(obj: dict, codec: str) -> bytes:
+    if codec == "binary":
+        return _encode_payload_v2(obj)
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8")
+
 
 class WalError(RuntimeError):
     """The durable directory cannot be recovered (no valid checkpoint)."""
@@ -151,15 +306,22 @@ def read_records(path: Union[str, Path]) -> tuple[list[WalRecord], int]:
         payload = data[start:end]
         if zlib.crc32(payload) != checksum:
             break
-        try:
-            obj = json.loads(payload.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            break
-        if (
-            not isinstance(obj, dict)
-            or not isinstance(obj.get("lsn"), int)
-            or obj.get("type") not in _RECORD_TYPES
-        ):
+        if payload[:1] == b"{":  # v1 JSON payload
+            try:
+                obj = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                break
+            if (
+                not isinstance(obj, dict)
+                or not isinstance(obj.get("lsn"), int)
+                or obj.get("type") not in _RECORD_TYPES
+            ):
+                break
+        elif payload[:1] == bytes([_V2_MARKER]):  # v2 binary payload
+            obj = _decode_payload_v2(payload)
+            if obj is None:
+                break
+        else:
             break
         records.append(WalRecord(obj["lsn"], obj["type"], obj, offset, end))
         offset = end
@@ -181,8 +343,16 @@ class WriteAheadLog:
         self,
         path: Union[str, Path],
         scanned: Optional[tuple[list[WalRecord], int]] = None,
+        codec: str = "binary",
     ) -> None:
+        if codec not in ("binary", "json"):
+            raise ValueError(f"unknown WAL codec {codec!r}")
         self.path = Path(path)
+        self.codec = codec
+        # Frames of unsynced markers, held in process until the next
+        # fsync'd append (group commit): one buffered write per batch
+        # instead of one OS write per logical record.
+        self._pending = bytearray()
         records, valid_end = (
             scanned if scanned is not None else read_records(self.path)
         )
@@ -200,13 +370,24 @@ class WriteAheadLog:
             self._sync()
 
     def _append(self, obj: dict, sync: bool) -> None:
-        payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
-        self._fh.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
-        self._fh.write(payload)
-        if sync:
-            self._sync()
-        else:
-            self._fh.flush()
+        payload = _encode_record_payload(obj, self.codec)
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        if not sync:
+            # Markers only need to be durable by the *next* fsync (an
+            # unmarked logged batch is redo work either way), so they
+            # ride in the same write as the next synced record.
+            self._pending += frame
+            return
+        if self._pending:
+            frame = bytes(self._pending) + frame
+            self._pending.clear()
+        self._fh.write(frame)
+        self._sync()
+
+    def _flush_pending(self) -> None:
+        if self._pending:
+            self._fh.write(bytes(self._pending))
+            self._pending.clear()
 
     def _sync(self) -> None:
         self._fh.flush()
@@ -236,10 +417,12 @@ class WriteAheadLog:
 
     def sync(self) -> None:
         """Force every buffered marker to disk (checkpoint prologue)."""
+        self._flush_pending()
         self._sync()
 
     def close(self) -> None:
         if self._fh is not None and not self._fh.closed:
+            self._flush_pending()
             self._sync()
             self._fh.close()
 
@@ -435,17 +618,25 @@ def _encode_forest(documents, tree) -> tuple[dict, dict]:
 def _decode_forest(archive, fast_meta, parent_index):
     """Inverse of :func:`_encode_forest`: the documents plus the
     pre-order element list (identity-aligned with the label table)."""
+    from repro.utils.arrays import group_by_code
+
     vocab = fast_meta["tag_vocab"]
     codes = archive["fast.tags"]
     elements = [Element(vocab[int(code)]) for code in codes.tolist()]
     for raw_index, attrs in fast_meta["attributes"].items():
         elements[int(raw_index)].attributes = dict(attrs)
-    roots: list[Element] = []
-    for index, parent in enumerate(parent_index.tolist()):
+    # Children grouped per parent in one argsort pass, then attached
+    # with bulk list assignment instead of a per-node append call.
+    parent_array = np.asarray(parent_index, dtype=np.int64)
+    roots = [elements[i] for i in np.flatnonzero(parent_array < 0).tolist()]
+    for parent, slots in group_by_code(parent_array).items():
         if parent < 0:
-            roots.append(elements[index])
-        else:
-            elements[parent].append(elements[index])
+            continue
+        parent_element = elements[parent]
+        children = [elements[i] for i in slots.tolist()]
+        for child in children:
+            child.parent = parent_element
+        parent_element.children = children
     text_owner = archive["fast.text_owner"].tolist()
     text_slot = archive["fast.text_slot"].tolist()
     offsets = archive["fast.text_offsets"].tolist()
@@ -519,12 +710,11 @@ def _numerator_arrays(service) -> tuple[list[str], dict[str, np.ndarray]]:
             continue
         slot = len(numerator_tags)
         numerator_tags.append(predicate.tag)
-        entries = sorted(numerators.items())
-        numerator_arrays[f"cvgnum{slot}.keys"] = np.asarray(
-            [key for key, _ in entries], dtype=np.int64
-        ).reshape(len(entries), 4)
+        # Sorted code order equals sorted tuple-key order, so the
+        # archive bytes match what the per-entry encoder produced.
+        numerator_arrays[f"cvgnum{slot}.keys"] = numerators.quad_array()
         numerator_arrays[f"cvgnum{slot}.counts"] = np.asarray(
-            [count for _, count in entries], dtype=np.int64
+            numerators.counts, dtype=np.int64
         )
     return numerator_tags, numerator_arrays
 
@@ -771,14 +961,15 @@ class _LoadedCheckpoint:
 
 
 def _decode_numerators(archive, meta) -> dict:
+    from repro.histograms.coverage import CoverageNumerators
+
+    g = int(meta["grid_size"])
     numerators = {}
     for slot, tag in enumerate(meta.get("coverage_numerators", [])):
-        keys = archive[f"cvgnum{slot}.keys"]
-        counts = archive[f"cvgnum{slot}.counts"]
-        numerators[tag] = {
-            (int(i), int(j), int(m), int(n)): int(count)
-            for (i, j, m, n), count in zip(keys.tolist(), counts.tolist())
-        }
+        keys = np.asarray(archive[f"cvgnum{slot}.keys"], dtype=np.int64)
+        counts = np.asarray(archive[f"cvgnum{slot}.counts"], dtype=np.int64)
+        codes = ((keys[:, 0] * g + keys[:, 1]) * g + keys[:, 2]) * g + keys[:, 3]
+        numerators[tag] = CoverageNumerators(g, codes, counts)
     return numerators
 
 
@@ -1139,9 +1330,10 @@ def compact(
         return CompactStats(old_base, 0, len(raw), len(raw), pruned)
 
     keep_records = [r for r in records if r.type != "base" and r.lsn > base]
-    payload = json.dumps(
-        {"lsn": base, "type": "base"}, separators=(",", ":")
-    ).encode("utf-8")
+    payload = _encode_record_payload(
+        {"lsn": base, "type": "base"},
+        wal.codec if wal is not None else "binary",
+    )
     chunks = [WAL_MAGIC, _HEADER.pack(len(payload), zlib.crc32(payload)), payload]
     chunks.extend(raw[r.offset : r.end_offset] for r in keep_records)
     new_bytes = b"".join(chunks)

@@ -1,0 +1,201 @@
+"""Vectorized histogram kernels pinned bit-exact to their references.
+
+``merge_page`` and ``coverage_from_numerators`` were rewritten as flat
+array passes; their pre-vectorization implementations survive as
+``_merge_page_dict`` and ``_coverage_from_numerators_items`` purely so
+these tests can assert the kernels produce *bit-identical* float
+results (counts compared through their int64 bit patterns, fractions by
+exact equality) over random inputs, engineered exact cancellations, and
+the empty edge cases.  The columnar :class:`CoverageNumerators` store
+is pinned against plain-dict pair arithmetic.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.histograms.coverage import (
+    CoverageNumerators,
+    _coverage_from_numerators_items,
+    build_coverage_numerators,
+    coverage_from_numerators,
+)
+from repro.histograms.epoch import HistogramPage, _merge_page_dict, merge_page
+from repro.histograms.grid import GridSpec
+from repro.histograms.truehist import build_true_histogram
+from repro.predicates.base import TagPredicate
+from repro.predicates.catalog import PredicateCatalog
+
+
+def bit_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    return np.array_equal(a.view(np.int64), b.view(np.int64))
+
+
+def random_page(rng: random.Random, cells: int) -> HistogramPage:
+    mapping = {
+        rng.randrange(200): rng.uniform(0.5, 50.0) for _ in range(cells)
+    }
+    return HistogramPage.from_mapping(mapping)
+
+
+def random_layers(rng: random.Random, page: HistogramPage) -> list[dict]:
+    layers = []
+    for _ in range(rng.randrange(5)):
+        layer: dict[int, float] = {}
+        for _ in range(rng.randrange(12)):
+            layer[rng.randrange(200)] = rng.choice([-1.0, 1.0]) * rng.uniform(
+                0.0, 8.0
+            )
+        # Sometimes cancel a page cell exactly: the float negation of
+        # its count sums to bitwise +0.0, which the merge must drop.
+        if len(page) and rng.random() < 0.5:
+            slot = rng.randrange(len(page))
+            layer[int(page.codes[slot])] = -float(page.counts[slot])
+        layers.append(layer)
+    return layers
+
+
+class TestMergePage:
+    @pytest.mark.parametrize("seed", range(60))
+    def test_matches_dict_reference_bitwise(self, seed):
+        rng = random.Random(seed)
+        page = random_page(rng, rng.randrange(30))
+        layers = random_layers(rng, page)
+        merged = merge_page(page, layers)
+        reference = _merge_page_dict(page, layers)
+        assert np.array_equal(merged.codes, reference.codes)
+        assert bit_equal(merged.counts, reference.counts)
+
+    def test_empty_page_and_layers(self):
+        merged = merge_page(HistogramPage.empty(), [{}, {}])
+        assert len(merged) == 0
+
+    def test_full_cancellation_drops_every_cell(self):
+        page = HistogramPage.from_mapping({3: 1.5, 9: 2.25})
+        layers = [{3: -1.5}, {9: -2.25}]
+        merged = merge_page(page, layers)
+        reference = _merge_page_dict(page, layers)
+        assert len(merged) == 0 and len(reference) == 0
+
+    def test_accumulation_order_is_page_then_layers(self):
+        # 0.1 + 0.2 + 0.3 != 0.1 + (0.2 + 0.3) in float64: the merge
+        # must add in stack order to stay bit-identical to a reader.
+        page = HistogramPage.from_mapping({5: 0.1})
+        layers = [{5: 0.2}, {5: 0.3}]
+        merged = merge_page(page, layers)
+        assert merged.counts[0] == (0.1 + 0.2) + 0.3
+
+
+def grid_and_true(tree, grid_size: int):
+    grid = GridSpec(grid_size, tree.max_label)
+    return grid, build_true_histogram(tree, grid)
+
+
+def random_numerators(
+    rng: random.Random, g: int, entries: int, true_hist=None
+) -> dict:
+    out = {}
+    for _ in range(entries):
+        # Valid cells sit on or above the diagonal (start <= end).
+        i = rng.randrange(g)
+        m = rng.randrange(g)
+        key = (i, rng.randrange(i, g), m, rng.randrange(m, g))
+        # Real numerators never exceed the covered cell's node count
+        # (the fraction stays in (0, 1]); empty covered cells are kept
+        # sometimes -- both derivations must filter them out.
+        ceiling = 39
+        if true_hist is not None:
+            ceiling = int(true_hist.count(key[0], key[1]))
+            if ceiling == 0 and rng.random() < 0.7:
+                continue
+        out[key] = rng.randrange(1, max(2, ceiling + 1))
+    return out
+
+
+class TestCoverageFromNumerators:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_matches_per_entry_reference(self, paper_tree, seed):
+        rng = random.Random(seed)
+        g = rng.choice([3, 4, 6])
+        _grid, true_hist = grid_and_true(paper_tree, g)
+        mapping = random_numerators(rng, g, rng.randrange(1, 25), true_hist)
+        numerators = CoverageNumerators.from_mapping(g, mapping)
+        fast = coverage_from_numerators(numerators, true_hist)
+        reference = _coverage_from_numerators_items(mapping, true_hist)
+        assert dict(fast.entries()) == dict(reference.entries())
+
+    def test_built_numerators_round_trip(self, paper_tree):
+        grid, true_hist = grid_and_true(paper_tree, 4)
+        stats = PredicateCatalog(paper_tree).stats(TagPredicate("faculty"))
+        numerators = build_coverage_numerators(
+            paper_tree, stats.node_indices, grid
+        )
+        fast = coverage_from_numerators(numerators, true_hist)
+        reference = _coverage_from_numerators_items(
+            numerators.to_mapping(), true_hist
+        )
+        assert dict(fast.entries()) == dict(reference.entries())
+
+    def test_empty_numerators(self, paper_tree):
+        _grid, true_hist = grid_and_true(paper_tree, 4)
+        coverage = coverage_from_numerators(CoverageNumerators.empty(4), true_hist)
+        assert dict(coverage.entries()) == {}
+
+
+class TestCoverageNumerators:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_mapping_round_trip(self, seed):
+        rng = random.Random(seed)
+        g = rng.choice([3, 5, 8])
+        mapping = random_numerators(rng, g, rng.randrange(30))
+        numerators = CoverageNumerators.from_mapping(g, mapping)
+        assert numerators.to_mapping() == mapping
+        assert numerators == mapping  # Mapping __eq__ path
+        assert len(numerators) == len(mapping)
+        assert np.array_equal(np.sort(numerators.codes), numerators.codes)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_patch_matches_dict_arithmetic(self, seed):
+        rng = random.Random(seed)
+        g = 4
+        base = random_numerators(rng, g, 20)
+        numerators = CoverageNumerators.from_mapping(g, base)
+        gained = random_numerators(rng, g, rng.randrange(10))
+        # Losses only remove what is present (plus what was just gained).
+        combined = dict(base)
+        for key, count in gained.items():
+            combined[key] = combined.get(key, 0) + count
+        lost = {
+            key: rng.randrange(0, combined[key] + 1)
+            for key in rng.sample(sorted(combined), min(6, len(combined)))
+        }
+        patched = numerators.patch(
+            CoverageNumerators.from_mapping(g, gained).codes,
+            CoverageNumerators.from_mapping(g, gained).counts,
+            CoverageNumerators.from_mapping(g, lost).codes,
+            CoverageNumerators.from_mapping(g, lost).counts,
+        )
+        expected = {
+            key: count - lost.get(key, 0)
+            for key, count in combined.items()
+            if count - lost.get(key, 0) > 0
+        }
+        assert patched.to_mapping() == expected
+
+    def test_patch_underflow_raises_with_owner_and_key(self):
+        numerators = CoverageNumerators.from_mapping(3, {(1, 2, 0, 1): 2})
+        lost = CoverageNumerators.from_mapping(3, {(1, 2, 0, 1): 3})
+        empty = np.empty(0, dtype=np.int64)
+        with pytest.raises(AssertionError) as info:
+            numerators.patch(empty, empty, lost.codes, lost.counts, owner="//a")
+        assert "'//a'" in str(info.value)
+        assert "(1, 2, 0, 1)" in str(info.value)
+
+    def test_patch_of_empty_is_identity_for_gains(self):
+        gained = CoverageNumerators.from_mapping(3, {(0, 1, 1, 2): 5})
+        empty = np.empty(0, dtype=np.int64)
+        patched = CoverageNumerators.empty(3).patch(
+            gained.codes, gained.counts, empty, empty
+        )
+        assert patched == gained

@@ -1,0 +1,214 @@
+"""Vectorized splice kernels pinned bit-exact to their sequential
+references.
+
+``plan_insert`` was rewritten as flat-array arithmetic (one light DFS,
+then :func:`slice_subtree_sizes` + :func:`spread_labels`); the original
+enter/exit walk survives as ``_plan_insert_python`` purely so these
+tests can assert the kernel emits *identical* plans -- labels, levels,
+parent indices, splice position, stride, and the ``GapExhausted``
+message -- over random trees and random insertion points.
+``rebalance_for_insert`` has no sequential twin; it is pinned by its
+invariants instead: only the reported slice's start/end labels move,
+everything else is bit-identical, and the retried insert fits.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.labeling.dynamic import (
+    GapExhausted,
+    _plan_insert_python,
+    _spread_labels_python,
+    apply_insert,
+    plan_insert,
+    rebalance_for_insert,
+    slice_subtree_sizes,
+    spread_labels,
+)
+from repro.labeling.interval import label_document
+from repro.xmltree.tree import Document, Element
+
+TAGS = ["a", "b", "c", "d"]
+
+
+def random_document(rng: random.Random, nodes: int) -> Document:
+    document = Document()
+    root = Element("root")
+    document.append(root)
+    spine = [root]
+    for _ in range(nodes - 1):
+        child = Element(rng.choice(TAGS))
+        rng.choice(spine[-6:]).append(child)
+        spine.append(child)
+    return document
+
+
+def random_subtree(rng: random.Random, max_size: int = 7) -> Element:
+    root = Element(rng.choice(TAGS))
+    spine = [root]
+    for _ in range(rng.randrange(max_size)):
+        child = Element(rng.choice(TAGS))
+        rng.choice(spine).append(child)
+        spine.append(child)
+    return root
+
+
+def assert_plans_identical(plan, reference):
+    assert plan.position == reference.position
+    assert plan.stride == reference.stride
+    assert [id(e) for e in plan.elements] == [id(e) for e in reference.elements]
+    assert np.array_equal(plan.start, reference.start)
+    assert np.array_equal(plan.end, reference.end)
+    assert np.array_equal(plan.level, reference.level)
+    assert np.array_equal(plan.parent_index, reference.parent_index)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_plan_insert_matches_sequential_reference(seed):
+    rng = random.Random(seed)
+    tree = label_document(
+        random_document(rng, rng.randrange(4, 50)),
+        spacing=rng.choice([4, 16, 64]),
+    )
+    for _ in range(6):
+        parent = rng.randrange(len(tree))
+        subtree = random_subtree(rng)
+        position = rng.choice([None, 0, 1, 2, 99])
+        try:
+            reference = _plan_insert_python(tree, parent, subtree, position)
+        except GapExhausted as exc:
+            with pytest.raises(GapExhausted) as info:
+                plan_insert(tree, parent, subtree, position)
+            assert str(info.value) == str(exc)
+            continue
+        plan = plan_insert(tree, parent, subtree, position)
+        assert_plans_identical(plan, reference)
+        # Evolve the tree so later iterations plan against spliced state.
+        apply_insert(tree, plan)
+        tree.validate()
+
+
+def test_plan_single_node_and_deep_chain_match():
+    tree = label_document(random_document(random.Random(7), 10), spacing=32)
+    single = Element("a")
+    assert_plans_identical(
+        plan_insert(tree, 0, single, 0), _plan_insert_python(tree, 0, single, 0)
+    )
+    chain = Element("a")
+    tip = chain
+    for _ in range(9):
+        nxt = Element("b")
+        tip.append(nxt)
+        tip = nxt
+    assert_plans_identical(
+        plan_insert(tree, 0, chain), _plan_insert_python(tree, 0, chain)
+    )
+
+
+def test_slice_subtree_sizes_known_shape():
+    # Slice: [x (3 nodes), y leaf, z (2 nodes)] in pre-order.
+    depth = np.array([1, 2, 2, 1, 1, 2], dtype=np.int64)
+    pslot = np.array([-1, 0, 0, -1, -1, 4], dtype=np.int64)
+    assert slice_subtree_sizes(depth, pslot).tolist() == [3, 1, 1, 1, 2, 1]
+    assert slice_subtree_sizes(
+        np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    ).tolist() == []
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_spread_labels_matches_sequential_walk(seed):
+    """The respread kernel (shared by insert planning and local
+    rebalance) against the retained enter/exit stack walk, over region
+    arrays extracted from real trees, with and without a hole."""
+    rng = random.Random(seed)
+    tree = label_document(
+        random_document(rng, rng.randrange(4, 60)),
+        spacing=rng.choice([4, 64]),
+    )
+    region = rng.randrange(len(tree))
+    lo, hi = region + 1, tree.subtree_slice(region).stop
+    depth = tree.level[lo:hi] - int(tree.level[region])
+    region_parents = tree.parent_index[lo:hi]
+    pslot = np.where(region_parents == region, -1, region_parents - lo)
+    base = int(tree.start[region])
+    stride = rng.randrange(1, 9)
+    n = hi - lo
+    hole_event = rng.choice([None, 0, max(0, 2 * n - 1), rng.randrange(2 * n + 1)])
+    hole_width = 0 if hole_event is None else 2 * rng.randrange(1, 5)
+    kernel = spread_labels(depth, pslot, base, stride, hole_event, hole_width)
+    reference = _spread_labels_python(
+        depth, pslot, base, stride, hole_event, hole_width
+    )
+    assert np.array_equal(kernel[0], reference[0])
+    assert np.array_equal(kernel[1], reference[1])
+
+
+def exhaust_gap(tree, parent, position=0):
+    """Insert single nodes at one child rank until the gap exhausts."""
+    while True:
+        node = Element("b")
+        try:
+            plan = plan_insert(tree, parent, node, position)
+        except GapExhausted:
+            return node
+        apply_insert(tree, plan)
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_rebalance_moves_only_the_reported_slice(seed):
+    rng = random.Random(seed)
+    tree = label_document(random_document(rng, rng.randrange(6, 40)), spacing=4)
+    parent = rng.randrange(len(tree))
+    node = exhaust_gap(tree, parent)
+    before_start = tree.start
+    before_end = tree.end
+    before_level = tree.level
+    before_parents = tree.parent_index
+    before_elements = tree.elements
+    before_max = tree.max_label
+    region = rebalance_for_insert(tree, parent, 1, 0)
+    assert region is not None
+    lo, hi = region
+    # The region root (lo - 1) is the parent or one of its ancestors.
+    assert 0 < lo <= hi <= len(tree)
+    assert lo - 1 <= parent < hi
+    # Untouched outside the slice; structure untouched everywhere.
+    assert np.array_equal(tree.start[:lo], before_start[:lo])
+    assert np.array_equal(tree.start[hi:], before_start[hi:])
+    assert np.array_equal(tree.end[:lo], before_end[:lo])
+    assert np.array_equal(tree.end[hi:], before_end[hi:])
+    assert tree.level is before_level
+    assert tree.parent_index is before_parents
+    assert tree.elements is before_elements
+    assert tree.max_label == before_max
+    tree.validate()
+    # The reserved hole fits the retried insert, which stays valid.
+    plan = plan_insert(tree, parent, node, 0)
+    apply_insert(tree, plan)
+    tree.validate()
+
+
+def test_rebalance_returns_none_when_no_region_is_wide_enough():
+    # Dense labels (spacing 1) leave no slack anywhere in the forest.
+    tree = label_document(random_document(random.Random(3), 8), spacing=1)
+    assert rebalance_for_insert(tree, 0, 1) is None
+
+
+def test_rebalance_reserves_hole_at_interior_child_rank():
+    document = Document()
+    root = Element("root")
+    document.append(root)
+    for _ in range(4):
+        root.append(Element("a"))
+    tree = label_document(document, spacing=4)
+    exhaust_gap(tree, 0, position=2)
+    region = rebalance_for_insert(tree, 0, 2, 2)
+    assert region is not None
+    tree.validate()
+    wide = Element("b")
+    wide.append(Element("c"))
+    plan = plan_insert(tree, 0, wide, 2)
+    apply_insert(tree, plan)
+    tree.validate()

@@ -1,0 +1,170 @@
+"""Mid-batch local label rebalance: exhausted gaps no longer force a
+full-forest relabel.
+
+The construction engineers one exhausted gap deterministically: with
+``spacing=4`` a leaf's interior gap holds exactly one single-node
+insert, so a second insert at the same child rank exhausts it.  The
+enclosing parent interval is too narrow to respread, but the next
+ancestor's is wide enough -- the batch must rebalance *that* region
+locally (moving only its handful of nodes), keep ``rebuilt`` False, and
+leave every maintained summary bit-identical to a from-scratch build
+over the post-batch tree.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.predicates.base import TagPredicate
+from repro.service import BatchError, DeleteOp, EstimationService, InsertOp
+from repro.xmltree.tree import Document, Element
+
+QUERIES = ["//root//a", "//c//d", "//root//b", "//c//b"]
+TAGS = ["a", "b", "c", "d", "root"]
+
+
+def narrow_gap_document(width: int = 60) -> Document:
+    """A wide, shallow tree plus one deep chain ``root/c/d``.
+
+    ``width`` filler leaves keep the moved slice a small fraction of
+    the tree, so the batch's touched count stays under the rebuild
+    threshold and the incremental path is the one under test.
+    """
+    document = Document()
+    root = Element("root")
+    document.append(root)
+    for _ in range(width):
+        root.append(Element("a"))
+    c = Element("c")
+    root.append(c)
+    c.append(Element("d"))
+    return document
+
+
+def primed_service(**overrides) -> EstimationService:
+    settings = dict(grid_size=5, spacing=4, rebuild_threshold=0.99)
+    settings.update(overrides)
+    service = EstimationService(narrow_gap_document(), **settings)
+    service.estimate_many(QUERIES)
+    for tag in TAGS:
+        predicate = TagPredicate(tag)
+        service.position_histogram(predicate)
+        service.coverage_histogram(predicate)
+        service.estimator.level_histogram(predicate)
+    _ = service.estimator.true_histogram
+    return service
+
+
+def chain_index(service: EstimationService, tag: str) -> int:
+    (element,) = [e for e in service.tree.elements if e.tag == tag]
+    return service.tree.index_of(element)
+
+
+def exhausting_ops(d_index: int) -> list:
+    # The first insert fits in d's interior gap; the second, at the
+    # same child rank, finds it exhausted and must rebalance.
+    return [InsertOp(d_index, Element("b"), 0), InsertOp(d_index, Element("b"), 0)]
+
+
+def assert_labels_valid(service: EstimationService) -> None:
+    tree = service.tree
+    assert np.all(tree.start < tree.end)
+    parents = tree.parent_index
+    has_parent = parents >= 0
+    assert np.all(tree.start[has_parent] > tree.start[parents[has_parent]])
+    assert np.all(tree.end[has_parent] < tree.end[parents[has_parent]])
+    order = np.argsort(tree.start)
+    assert np.array_equal(order, np.arange(len(tree)))  # pre-order by start
+
+
+def test_exhausted_gap_rebalances_locally_instead_of_relabeling():
+    service = primed_service()
+    result = service.apply_batch(exhausting_ops(chain_index(service, "d")))
+    assert not result.rebuilt
+    assert service.stats.rebuilds == 0
+    assert service.stats.rebalances == 1
+    assert_labels_valid(service)
+    service.differential_check(QUERIES)
+
+
+def test_rebalance_invalidates_incremental_checkpoint_delta():
+    service = primed_service()
+    # As if a full checkpoint just happened: identity index mapping.
+    service._ckpt_tracker = np.arange(len(service), dtype=np.int64)
+    service.apply_batch(exhausting_ops(chain_index(service, "d")))
+    assert service._ckpt_tracker is None
+
+
+def test_rebalance_matches_sequential_structure():
+    batched = primed_service()
+    sequential = primed_service()
+    d_batched = chain_index(batched, "d")
+    d_sequential = chain_index(sequential, "d")
+    batched.apply_batch(exhausting_ops(d_batched))
+    sequential.insert_subtree(d_sequential, Element("b"), position=0)
+    sequential.insert_subtree(d_sequential, Element("b"), position=0)
+    assert [e.tag for e in batched.tree.elements] == [
+        e.tag for e in sequential.tree.elements
+    ]
+    assert np.array_equal(
+        batched.tree.parent_index, sequential.tree.parent_index
+    )
+    batched.differential_check(QUERIES)
+    sequential.differential_check(QUERIES)
+
+
+def test_delete_of_rebalance_moved_nodes_in_same_batch():
+    """A node whose labels a rebalance moved can be deleted later in
+    the same batch: its summary exits use pre-batch labels (the moved
+    labels never reached any summary)."""
+    service = primed_service()
+    d_index = chain_index(service, "d")
+    result = service.apply_batch(
+        exhausting_ops(d_index) + [DeleteOp(d_index)]
+    )
+    assert not result.rebuilt
+    assert service.stats.rebalances == 1
+    assert_labels_valid(service)
+    service.differential_check(QUERIES)
+
+
+def test_rollback_after_rebalance_restores_pre_batch_state():
+    service = primed_service()
+    d_index = chain_index(service, "d")
+    start0 = service.tree.start.copy()
+    end0 = service.tree.end.copy()
+    tags0 = [e.tag for e in service.tree.elements]
+    estimates0 = {q: service.estimate(q).value for q in QUERIES}
+    with pytest.raises(BatchError) as info:
+        service.apply_batch(exhausting_ops(d_index) + [DeleteOp(10**9)])
+    assert not info.value.applied
+    assert [e.tag for e in service.tree.elements] == tags0
+    assert np.array_equal(service.tree.start, start0)
+    assert np.array_equal(service.tree.end, end0)
+    assert {q: service.estimate(q).value for q in QUERIES} == estimates0
+    service.differential_check(QUERIES)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_concentrated_inserts_fuzz(seed):
+    """Random single-node inserts hammered into one small subtree:
+    gaps exhaust repeatedly, and whatever mix of rebalances and
+    fallback rebuilds results, the maintenance contract holds."""
+    rng = random.Random(seed)
+    service = primed_service(rebuild_threshold=0.95)
+    c_index = chain_index(service, "c")
+    region = [c_index]
+    for _ in range(3):
+        ops = []
+        for _ in range(4):
+            target = rng.choice(region)
+            ops.append(InsertOp(target, Element(rng.choice(["b", "d"])), 0))
+        try:
+            service.apply_batch(ops)
+        except BatchError:
+            pass  # rolled back is an acceptable (and checked) outcome
+        sub = service.tree.subtree_slice(c_index)
+        region = list(range(sub.start, sub.stop))
+        assert_labels_valid(service)
+        service.differential_check(QUERIES)
