@@ -1,0 +1,337 @@
+"""Serve-tier benchmark: admission batching under concurrent clients.
+
+Three measurements over a live TCP server (line-delimited JSON
+protocol, real sockets, durable WAL-attached service):
+
+* **estimate latency** -- p50/p99 of lock-free (weak) estimates
+  through :class:`~repro.service.client.ServiceClient` at 1, 4, and 16
+  concurrent clients.  Weak reads run against the engine's pinned
+  epoch view and never queue behind writers.
+
+* **admission throughput** -- sustained insert throughput with 16
+  concurrent writers when the admission batcher coalesces (one
+  ``apply_batch`` + one WAL fsync per group, ``max_ops=64``) against
+  the serialized baseline (``max_ops=1``: every op its own flush and
+  fsync).  Acceptance bar on the full run: the coalesced server
+  sustains >= 2x the serialized throughput;
+  ``admission_throughput_speedup`` is floored at 1.0x in CI.
+
+* **read isolation under a write burst** -- one reader hammers weak
+  estimates while 16 writers burst inserts; a snapshot pinned before
+  the burst must answer bit-identically throughout, and the reader's
+  p99 latency is held to a fixed 50 ms budget
+  (``read_p99_budget_overhead`` <= 1.5 in CI: reads never stall
+  behind the write queue).
+
+Writes a ``BENCH_server.json`` artifact; ``check_perf_floors.py``
+guards ``admission_throughput_speedup`` and
+``read_p99_budget_overhead``.
+
+Run:  python benchmarks/bench_server.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets import generate_dblp  # noqa: E402
+from repro.service import EstimationService, ServiceClient  # noqa: E402
+from repro.service.server import serve_forever  # noqa: E402
+
+QUERIES = ["//article//author", "//article//cite", "//dblp//title"]
+
+#: Fixed per-request latency budget for reads during a write burst (s).
+READ_BUDGET_SECONDS = 0.050
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def build_service(workdir: Path, name: str, scale: float) -> EstimationService:
+    service = EstimationService.open_durable(
+        workdir / name,
+        generate_dblp(seed=7, scale=scale),
+        grid_size=10,
+        spacing=64,
+        checkpoint_every=10**9,  # measure the log path, not checkpoints
+    )
+    for stats in service.catalog.register_all_tags():
+        service.position_histogram(stats.predicate)
+    service.estimate_many(QUERIES)
+    return service
+
+
+def run_clients(count: int, work, timeout: float = 300.0) -> float:
+    """Run ``work(k, barrier)`` on ``count`` threads; returns wall
+    seconds from the post-connect barrier to the last join."""
+    barrier = threading.Barrier(count + 1)
+    errors: list[BaseException] = []
+
+    def runner(k: int) -> None:
+        try:
+            work(k, barrier)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+
+    threads = [threading.Thread(target=runner, args=(k,)) for k in range(count)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join(timeout)
+    elapsed = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return elapsed
+
+
+def measure_estimate_latency(server, clients: int, per_client: int) -> dict:
+    lock = threading.Lock()
+    samples: list[float] = []
+
+    def work(k: int, barrier) -> None:
+        with ServiceClient(server.host, server.port) as db:
+            barrier.wait()
+            local = []
+            for i in range(per_client):
+                query = QUERIES[i % len(QUERIES)]
+                started = time.perf_counter()
+                db.estimate(query)
+                local.append(time.perf_counter() - started)
+            with lock:
+                samples.extend(local)
+
+    run_clients(clients, work)
+    return {
+        "clients": clients,
+        "requests": len(samples),
+        "p50_ms": percentile(samples, 0.50) * 1e3,
+        "p99_ms": percentile(samples, 0.99) * 1e3,
+        "mean_ms": statistics.fmean(samples) * 1e3,
+    }
+
+
+def measure_update_throughput(
+    workdir: Path, name: str, scale: float, *, max_ops: int, clients: int,
+    ops_per_client: int,
+) -> dict:
+    service = build_service(workdir, name, scale)
+    engine, server = serve_forever(
+        service, max_ops=max_ops, linger=0.002 if max_ops > 1 else None
+    )
+    try:
+
+        def work(k: int, barrier) -> None:
+            with ServiceClient(server.host, server.port) as db:
+                barrier.wait()
+                for i in range(ops_per_client):
+                    db.insert("article", f"<note><author>W{k}.{i}</author></note>")
+
+        elapsed = run_clients(clients, work)
+        total = clients * ops_per_client
+        assert engine.stats.ops_admitted == total
+        return {
+            "max_ops": max_ops,
+            "clients": clients,
+            "ops": total,
+            "seconds": elapsed,
+            "ops_per_second": total / elapsed,
+            "flushes": engine.stats.flushes,
+            "largest_group": engine.stats.largest_group,
+            "mean_group": total / max(1, engine.stats.flushes),
+        }
+    finally:
+        server.stop()
+        server.join(timeout=10)
+        engine.close()
+        service.close()
+
+
+def measure_read_isolation(
+    workdir: Path, scale: float, *, writers: int, ops_per_writer: int
+) -> dict:
+    service = build_service(workdir, "isolation", scale)
+    engine, server = serve_forever(service, max_ops=64, linger=0.002)
+    try:
+        control = ServiceClient(server.host, server.port)
+        pinned_values = {q: control.estimate(q, strong=True) for q in QUERIES}
+        snapshot = control.snapshot()
+
+        read_latencies: list[float] = []
+        writers_done = threading.Event()
+
+        def reader() -> None:
+            with ServiceClient(server.host, server.port) as db:
+                while not writers_done.is_set():
+                    started = time.perf_counter()
+                    db.estimate(QUERIES[0])
+                    read_latencies.append(time.perf_counter() - started)
+
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+
+        def work(k: int, barrier) -> None:
+            with ServiceClient(server.host, server.port) as db:
+                barrier.wait()
+                for i in range(ops_per_writer):
+                    db.insert("article", f"<note><author>B{k}.{i}</author></note>")
+
+        burst_seconds = run_clients(writers, work)
+        writers_done.set()
+        reader_thread.join(60)
+
+        # The snapshot pinned before the burst answers bit-identically.
+        drift = {
+            q: abs(snapshot.estimate(q) - pinned_values[q]) for q in QUERIES
+        }
+        assert all(v == 0.0 for v in drift.values()), drift
+        snapshot.release()
+        live_moved = any(
+            control.estimate(q, strong=True) != pinned_values[q] for q in QUERIES
+        )
+        assert live_moved, "the write burst never changed a live answer"
+        control.close()
+
+        p99 = percentile(read_latencies, 0.99)
+        return {
+            "writers": writers,
+            "burst_ops": writers * ops_per_writer,
+            "burst_seconds": burst_seconds,
+            "reads_during_burst": len(read_latencies),
+            "read_p50_ms": percentile(read_latencies, 0.50) * 1e3,
+            "read_p99_ms": p99 * 1e3,
+            "budget_ms": READ_BUDGET_SECONDS * 1e3,
+            "snapshot_bit_identical": True,
+        }, p99 / READ_BUDGET_SECONDS
+    finally:
+        server.stop()
+        server.join(timeout=10)
+        engine.close()
+        service.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small tree / fewer ops (CI smoke)"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_server.json"),
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.15 if args.quick else 0.8
+    latency_fanouts = [1, 4] if args.quick else [1, 4, 16]
+    latency_per_client = 40 if args.quick else 150
+    throughput_clients = 4 if args.quick else 16
+    ops_per_client = 20 if args.quick else 60
+    burst_writers = 4 if args.quick else 16
+    ops_per_writer = 15 if args.quick else 40
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_server_"))
+    try:
+        # -- 1. estimate latency by fan-out ---------------------------------
+        service = build_service(workdir, "latency", scale)
+        nodes = len(service)
+        print(f"synthetic dblp tree: {nodes} nodes (scale {scale})")
+        engine, server = serve_forever(service, max_ops=64, linger=0.002)
+        latency = []
+        try:
+            for fanout in latency_fanouts:
+                row = measure_estimate_latency(server, fanout, latency_per_client)
+                latency.append(row)
+                print(
+                    f"estimate latency @ {row['clients']:2d} clients: "
+                    f"p50 {row['p50_ms']:6.2f} ms, p99 {row['p99_ms']:6.2f} ms "
+                    f"({row['requests']} requests)"
+                )
+        finally:
+            server.stop()
+            server.join(timeout=10)
+            engine.close()
+            service.close()
+
+        # -- 2. admission throughput: coalesced vs serialized ---------------
+        serialized = measure_update_throughput(
+            workdir, "serialized", scale, max_ops=1,
+            clients=throughput_clients, ops_per_client=ops_per_client,
+        )
+        coalesced = measure_update_throughput(
+            workdir, "coalesced", scale, max_ops=64,
+            clients=throughput_clients, ops_per_client=ops_per_client,
+        )
+        throughput_speedup = (
+            coalesced["ops_per_second"] / serialized["ops_per_second"]
+        )
+        print(
+            f"update throughput @ {throughput_clients} clients: serialized "
+            f"{serialized['ops_per_second']:7.1f} ops/s "
+            f"({serialized['flushes']} flushes), coalesced "
+            f"{coalesced['ops_per_second']:7.1f} ops/s "
+            f"({coalesced['flushes']} flushes, largest group "
+            f"{coalesced['largest_group']}) -> {throughput_speedup:.1f}x"
+        )
+
+        # -- 3. read isolation under a write burst --------------------------
+        isolation, read_overhead = measure_read_isolation(
+            workdir, scale, writers=burst_writers, ops_per_writer=ops_per_writer
+        )
+        print(
+            f"read isolation @ {burst_writers} bursting writers: read p99 "
+            f"{isolation['read_p99_ms']:.2f} ms (budget "
+            f"{isolation['budget_ms']:.0f} ms, {read_overhead:.2f}x), "
+            f"snapshot bit-identical across "
+            f"{isolation['burst_ops']} writes"
+        )
+
+        artifact = {
+            "meta": {"nodes": nodes, "quick": args.quick, "grid": 10, "seed": 7},
+            "estimate_latency": latency,
+            "throughput": {
+                "serialized": serialized,
+                "coalesced": coalesced,
+            },
+            "admission_throughput_speedup": throughput_speedup,
+            "read_isolation": isolation,
+            "read_p99_budget_overhead": read_overhead,
+        }
+        Path(args.out).write_text(json.dumps(artifact, indent=1) + "\n")
+        print(f"wrote {args.out}")
+
+        if not args.quick:
+            assert throughput_speedup >= 2.0, (
+                f"coalesced admission {throughput_speedup:.2f}x below the "
+                f"2x acceptance bar"
+            )
+            assert coalesced["largest_group"] >= 2, "no coalescing happened"
+            assert read_overhead <= 1.5, (
+                f"read p99 {isolation['read_p99_ms']:.1f} ms blew the "
+                f"{isolation['budget_ms']:.0f} ms budget"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

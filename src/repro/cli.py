@@ -44,7 +44,6 @@ from typing import Optional, Sequence
 from repro.estimation import AnswerSizeEstimator
 from repro.histograms.storage import coverage_storage_bytes, position_storage_bytes
 from repro.labeling import label_document
-from repro.predicates.base import TagPredicate
 from repro.utils.tables import format_table
 from repro.xmltree.parser import parse_document
 from repro.xmltree.writer import write_document
@@ -200,6 +199,41 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --wal-dir: keep every checkpoint and never compact "
         "the log (disables --keep-checkpoints)",
+    )
+    serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="[HOST:]PORT",
+        help="also serve the line-delimited JSON protocol on TCP "
+        "(port 0 picks a free port); after the script/stdin stream "
+        "ends the process keeps serving until a client sends shutdown",
+    )
+    serve.add_argument(
+        "--linger-ms",
+        type=float,
+        default=0.0,
+        help="admission window in milliseconds: hold a non-full update "
+        "group open for straggling concurrent writers before flushing "
+        "(0 = flush as soon as the queue drains)",
+    )
+
+    client = commands.add_parser(
+        "client",
+        help="connect to a `serve --listen` server and run the serve "
+        "command language over the network",
+    )
+    client.add_argument("address", metavar="[HOST:]PORT", help="server address")
+    client.add_argument(
+        "--script",
+        default=None,
+        help="command file (default: read commands from stdin)",
+    )
+    client.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="queue up to N consecutive insert/delete commands "
+        "client-side and submit them as one atomic batch",
     )
 
     recover = commands.add_parser(
@@ -390,10 +424,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                    default first) with the tag
         stats                      one status line (nodes, dirty, rebuilds)
         save <path.npz>            persist current statistics
+        shutdown                   stop the service (and any TCP server)
         quit                       stop reading commands
 
     Every response is a single parseable line; errors are reported as
-    ``error: ...`` and the stream continues.
+    ``error: ...`` and the stream continues -- including for malformed
+    raw input (non-UTF-8 bytes, over-limit lines).
 
     With ``--batch-size N > 1``, consecutive insert/delete commands are
     queued (response ``queued ...``) and applied as one
@@ -401,6 +437,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     queue reaches N commands, a read command arrives, or the stream
     ends (response ``ok batch ...``).  Update targets resolve when the
     batch flushes, against the database state the batch started from.
+
+    With ``--listen [HOST:]PORT``, the same service additionally takes
+    concurrent network clients over the line-delimited JSON protocol
+    (see README, *Wire protocol*); the stdin loop becomes one local
+    client among many, all writes funnel through the admission
+    batcher's single writer thread, and the process keeps serving after
+    local EOF until a client sends ``shutdown``.
     """
     from repro.service import EstimationService
 
@@ -494,52 +537,42 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
     print(f"serving {args.data}: {len(service):,} elements, grid {service.estimator.grid.size}")
 
-    # Everything past this point runs under try/finally: however the
-    # command loop ends (EOF, quit, a bug in a handler, Ctrl-C), the
-    # trailing partial batch is flushed before the session summary and
-    # the service's worker pool + WAL are released.
+    from repro.service.protocol import iter_raw_lines
+    from repro.service.server import EstimationServer, ServiceEngine, parse_listen
+
+    # All mutation flows through the admission engine's single writer
+    # thread, so the local command stream and any network clients share
+    # one serialization point; --batch-size doubles as the coalescing
+    # cap for concurrent network writers.  Everything runs under
+    # try/finally: however the command loop ends (EOF, quit, a handler
+    # bug, Ctrl-C), the trailing partial batch flushes before the
+    # session summary and the engine, server, worker pool, and WAL are
+    # released.
+    engine = ServiceEngine(
+        service,
+        max_ops=args.batch_size,
+        linger=(args.linger_ms / 1000.0) if args.linger_ms else None,
+    )
+    server = None
     try:
+        if args.listen is not None:
+            try:
+                host, port = parse_listen(args.listen)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            server = EstimationServer(engine, host=host, port=port)
+            server.start()
+            print(f"listening on {server.host}:{server.port}")
         if args.script:
-            lines = Path(args.script).read_text().splitlines()
+            lines = iter(Path(args.script).read_bytes().splitlines())
         else:
-            lines = sys.stdin
-        queue: list[tuple] = []
-        try:
-            for raw in lines:
-                line = raw.strip()
-                if not line or line.startswith("#"):
-                    continue
-                if line == "quit":
-                    break
-                command = line.split(None, 1)[0]
-                if args.batch_size > 1 and command in ("insert", "delete"):
-                    try:
-                        queue.append(_parse_update(line))
-                        response = f"queued {command} ({len(queue)}/{args.batch_size})"
-                        if len(queue) >= args.batch_size:
-                            response = _flush_updates(service, queue)
-                    except Exception as exc:  # drop the poisoned batch
-                        response = f"error: {exc}"
-                    print(response)
-                    continue
-                if queue:  # read commands see all queued updates applied
-                    try:
-                        print(_flush_updates(service, queue))
-                    except Exception as exc:
-                        print(f"error: {exc}")
-                try:
-                    response = _serve_command(service, line)
-                except Exception as exc:  # keep serving; report the failure
-                    response = f"error: {exc}"
-                print(response)
-        finally:
-            # EOF / quit / handler escape with updates still queued: the
-            # partial trailing batch must apply before the final stats.
-            if queue:
-                try:
-                    print(_flush_updates(service, queue))
-                except Exception as exc:
-                    print(f"error: {exc}")
+            lines = iter_raw_lines(sys.stdin.buffer)
+        _run_text_session(engine.request, lines, args.batch_size)
+        if server is not None and not engine.shutdown_event.is_set():
+            # The local stream ended but network clients may still be
+            # talking; keep serving until one of them sends shutdown.
+            engine.shutdown_event.wait()
 
         stats = service.stats
         print(
@@ -553,7 +586,117 @@ def cmd_serve(args: argparse.Namespace) -> int:
             lsn = service.checkpoint()
             print(f"checkpointed {args.wal_dir} at lsn {lsn}")
     finally:
+        if server is not None:
+            server.stop()
+            server.join(timeout=10)
+        engine.close()
         service.close()
+    return 0
+
+
+def _run_text_session(request_fn, lines, batch_size: int, out=print) -> None:
+    """Drive one serve-language command stream through ``request_fn``.
+
+    ``request_fn`` is either a local engine's
+    :meth:`~repro.service.server.ServiceEngine.request` or a network
+    :meth:`~repro.service.client.ServiceClient.request` -- the session
+    is a thin client either way.  Update commands queue locally under
+    ``batch_size > 1`` and submit as one atomic ``batch`` request when
+    the queue fills, a read command arrives, or the stream ends, so the
+    persisted/observed state always reflects every acknowledged
+    ``queued`` response.  Malformed raw input (non-UTF-8 bytes,
+    over-limit lines) yields one ``error:`` line and the loop lives on.
+    """
+    from repro.service.protocol import (
+        ProtocolError,
+        decode_line,
+        format_flush_response,
+        format_text_response,
+        parse_text_command,
+    )
+
+    pending: list[dict] = []
+
+    def flush() -> str:
+        ops = list(pending)
+        pending.clear()
+        response = request_fn({"op": "batch", "ops": ops})
+        if not response.get("ok", False):
+            return f"error: {response.get('error', 'unknown failure')}"
+        return format_flush_response(response)
+
+    try:
+        for raw in lines:
+            try:
+                line = decode_line(raw)
+            except ProtocolError as exc:
+                out(f"error: {exc}")
+                continue
+            if not line or line.startswith("#"):
+                continue
+            if line == "quit":
+                break
+            command = line.split(None, 1)[0]
+            if batch_size > 1 and command in ("insert", "delete"):
+                try:
+                    pending.append(parse_text_command(line))
+                    response = f"queued {command} ({len(pending)}/{batch_size})"
+                    if len(pending) >= batch_size:
+                        response = flush()
+                except Exception as exc:  # drop the poisoned command
+                    response = f"error: {exc}"
+                out(response)
+                continue
+            if pending:  # read commands see all queued updates applied
+                try:
+                    out(flush())
+                except Exception as exc:
+                    out(f"error: {exc}")
+            try:
+                request = parse_text_command(line)
+                response = format_text_response(request, request_fn(request))
+            except Exception as exc:  # keep serving; report the failure
+                response = f"error: {exc}"
+            out(response)
+            if command == "shutdown":
+                break
+    finally:
+        # EOF / quit / handler escape with updates still queued: the
+        # partial trailing batch must apply before the final stats.
+        if pending:
+            try:
+                out(flush())
+            except Exception as exc:
+                out(f"error: {exc}")
+
+
+def cmd_client(args: argparse.Namespace) -> int:
+    """Run the serve command language against a ``serve --listen`` server."""
+    from repro.service.client import ServiceClient
+    from repro.service.protocol import iter_raw_lines
+    from repro.service.server import parse_listen
+
+    try:
+        host, port = parse_listen(args.address)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.batch_size < 1:
+        print("error: --batch-size must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        client = ServiceClient(host, port)
+    except OSError as exc:
+        print(f"error: cannot connect to {host}:{port}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        if args.script:
+            lines = iter(Path(args.script).read_bytes().splitlines())
+        else:
+            lines = iter_raw_lines(sys.stdin.buffer)
+        _run_text_session(client.request, lines, args.batch_size)
+    finally:
+        client.close()
     return 0
 
 
@@ -608,110 +751,6 @@ def cmd_recover(args: argparse.Namespace) -> int:
     finally:
         service.close()
     return 0
-
-
-def _parse_update(line: str) -> tuple:
-    """Validate and parse one insert/delete command into a description
-    resolvable at flush time."""
-    command, _, rest = line.partition(" ")
-    rest = rest.strip()
-    if command == "insert":
-        tag, _, xml = rest.partition(" ")
-        if not tag or not xml.strip():
-            raise ValueError("usage: insert <parent-tag> <xml-snippet>")
-        snippet = parse_document(xml.strip())
-        subtree = snippet.root_element
-        snippet.children.remove(subtree)
-        subtree.parent = None
-        return ("insert", tag, subtree)
-    parts = rest.split()
-    if not parts:
-        raise ValueError("usage: delete <tag> [ordinal]")
-    ordinal = int(parts[1]) if len(parts) > 1 else 1
-    return ("delete", parts[0], ordinal)
-
-
-def _flush_updates(service, queue: list[tuple]) -> str:
-    """Apply the queued updates as one batch; targets resolve now.
-
-    The queue empties regardless of outcome: a batch that fails to
-    resolve is dropped (and reported) rather than poisoning later
-    flushes.
-    """
-    from repro.service.batch import DeleteOp, InsertOp
-
-    descriptions = list(queue)
-    queue.clear()
-    ops = []
-    for description in descriptions:
-        if description[0] == "insert":
-            parent = service.tree.elements[_nth_element(service, description[1], 1)]
-            ops.append(InsertOp(parent, description[2]))
-        else:
-            victim = service.tree.elements[
-                _nth_element(service, description[1], description[2])
-            ]
-            ops.append(DeleteOp(victim))
-    result = service.apply_batch(ops)
-    mode = "rebuild" if result.rebuilt else "incremental"
-    return (
-        f"ok batch {result.ops} ops +{result.nodes_inserted}"
-        f"/-{result.nodes_deleted} nodes ({mode})"
-    )
-
-
-def _serve_command(service, line: str) -> str:
-    """Execute one ``serve`` command line, returning the response line."""
-    command, _, rest = line.partition(" ")
-    rest = rest.strip()
-    if command == "estimate":
-        if not rest:
-            raise ValueError("usage: estimate <query>")
-        return f"estimate {service.estimate(rest).value:.2f}"
-    if command == "exact":
-        if not rest:
-            raise ValueError("usage: exact <query>")
-        return f"exact {service.real_answer(rest)}"
-    if command == "insert":
-        _, tag, subtree = _parse_update(line)
-        parent = _nth_element(service, tag, 1)
-        result = service.insert_subtree(parent, subtree)
-        mode = "rebuild" if result.rebuilt else "incremental"
-        return f"ok insert {result.nodes} nodes ({mode})"
-    if command == "delete":
-        parts = rest.split()
-        if not parts:
-            raise ValueError("usage: delete <tag> [ordinal]")
-        ordinal = int(parts[1]) if len(parts) > 1 else 1
-        victim = _nth_element(service, parts[0], ordinal)
-        result = service.delete_subtree(victim)
-        mode = "rebuild" if result.rebuilt else "incremental"
-        return f"ok delete {result.nodes} nodes ({mode})"
-    if command == "stats":
-        return (
-            f"stats nodes={len(service)} "
-            f"predicates={len(service.catalog)} "
-            f"dirty={service.dirty_fraction:.4f} "
-            f"rebuilds={service.stats.rebuilds}"
-        )
-    if command == "save":
-        if not rest:
-            raise ValueError("usage: save <path.npz>")
-        written = service.save_statistics(rest)
-        return f"ok save {written} predicates -> {rest}"
-    raise ValueError(f"unknown command {command!r}")
-
-
-def _nth_element(service, tag: str, ordinal: int) -> int:
-    """Pre-order index of the ``ordinal``-th element with ``tag`` (1-based)."""
-    if ordinal < 1:
-        raise ValueError(f"ordinal must be >= 1, got {ordinal}")
-    indices = service.catalog.stats(TagPredicate(tag)).node_indices
-    if len(indices) < ordinal:
-        raise ValueError(
-            f"only {len(indices)} elements with tag {tag!r} (wanted #{ordinal})"
-        )
-    return int(indices[ordinal - 1])
 
 
 def cmd_build(args: argparse.Namespace) -> int:
@@ -769,6 +808,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "estimate": cmd_estimate,
         "workload": cmd_workload,
         "serve": cmd_serve,
+        "client": cmd_client,
         "build": cmd_build,
         "recover": cmd_recover,
     }

@@ -31,6 +31,7 @@ Three pieces live here:
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Iterable, Mapping, Optional
 
 import numpy as np
@@ -149,7 +150,14 @@ def _merge_page_dict(
 
 
 class EpochPin:
-    """One reader's hold on an epoch; release is idempotent."""
+    """One reader's hold on an epoch; release is idempotent.
+
+    Idempotence is enforced under the registry's lock: two racing
+    ``release()`` calls (a double ``close()``, a close racing the GC
+    finalizer, or concurrent readers tearing down on different threads)
+    decrement the epoch's refcount exactly once, so a pin can never free
+    pages another reader still has pinned.
+    """
 
     __slots__ = ("_registry", "epoch", "_released")
 
@@ -159,8 +167,7 @@ class EpochPin:
         self._released = False
 
     def release(self) -> None:
-        if not self._released:
-            self._released = True
+        if self._registry._consume_release(self):
             self._registry._release(self.epoch)
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
@@ -178,28 +185,46 @@ class EpochRegistry:
     sealed pages) strongly referenced until every pin of that epoch is
     released.  The owning service stays lean: a page the live side has
     merged past is freed the moment its last pinning snapshot drops.
+
+    All bookkeeping runs under one lock: pins are taken and released
+    from arbitrary reader threads (the network serve tier closes
+    snapshots from its connection handlers), so both the refcount
+    arithmetic and each pin's released-flag transition must be atomic.
     """
 
     def __init__(self) -> None:
         self._refs: dict[int, int] = {}
         self._held: dict[int, list] = {}
+        self._lock = threading.Lock()
 
     def pin(self, epoch: int, objects: Iterable[object] = ()) -> EpochPin:
-        self._refs[epoch] = self._refs.get(epoch, 0) + 1
-        self._held.setdefault(epoch, []).extend(objects)
-        return EpochPin(self, epoch)
+        with self._lock:
+            self._refs[epoch] = self._refs.get(epoch, 0) + 1
+            self._held.setdefault(epoch, []).extend(objects)
+            return EpochPin(self, epoch)
+
+    def _consume_release(self, pin: EpochPin) -> bool:
+        """Atomically claim a pin's one release (False when already spent)."""
+        with self._lock:
+            if pin._released:
+                return False
+            pin._released = True
+            return True
 
     def _release(self, epoch: int) -> None:
-        count = self._refs.get(epoch, 0) - 1
-        if count > 0:
-            self._refs[epoch] = count
-        else:
-            self._refs.pop(epoch, None)
-            self._held.pop(epoch, None)
+        with self._lock:
+            count = self._refs.get(epoch, 0) - 1
+            if count > 0:
+                self._refs[epoch] = count
+            else:
+                self._refs.pop(epoch, None)
+                self._held.pop(epoch, None)
 
     def refcount(self, epoch: int) -> int:
-        return self._refs.get(epoch, 0)
+        with self._lock:
+            return self._refs.get(epoch, 0)
 
     def live_epochs(self) -> list[int]:
         """Epochs still pinned by at least one reader, ascending."""
-        return sorted(self._refs)
+        with self._lock:
+            return sorted(self._refs)

@@ -9,6 +9,9 @@ statistics subsystem must.  See
 """
 
 from repro.service.batch import BatchError, BatchResult, DeleteOp, InsertOp
+from repro.service.client import ClientSnapshot, ServiceClient, ServiceError
+from repro.service.protocol import MAX_LINE_BYTES, ProtocolError
+from repro.service.server import EstimationServer, ServiceEngine
 from repro.service.service import EstimationService, ServiceStats, UpdateResult
 from repro.service.snapshot import ServiceSnapshot
 from repro.service.wal import (
@@ -22,11 +25,18 @@ from repro.service.wal import (
 __all__ = [
     "BatchError",
     "BatchResult",
+    "ClientSnapshot",
     "CompactStats",
     "DeleteOp",
+    "EstimationServer",
     "EstimationService",
     "InsertOp",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
     "RecoveryInfo",
+    "ServiceClient",
+    "ServiceEngine",
+    "ServiceError",
     "ServiceSnapshot",
     "ServiceStats",
     "UpdateResult",

@@ -1,0 +1,203 @@
+"""Synchronous Python client for the estimation server.
+
+:class:`ServiceClient` speaks the line-delimited JSON protocol of
+:mod:`repro.service.protocol` over one TCP connection.  The raw
+transport is :meth:`ServiceClient.request` (request dict in, response
+dict out, never raises on an ``ok: false`` reply); the typed
+convenience methods raise :class:`ServiceError` on error replies, so
+application code can write::
+
+    with ServiceClient("127.0.0.1", 9630) as db:
+        db.insert("article", "<note><author>X</author></note>")
+        print(db.estimate("//article//author"))
+        with db.snapshot() as snap:          # pinned epoch reads
+            before = snap.estimate("//article//author")
+
+The client is thread-safe by serialisation: one lock covers each
+request/response round-trip.  For pipelining, open one client per
+thread -- connections are cheap and the server coalesces concurrent
+writers' ops into shared admission batches regardless of which
+connection they arrive on.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterable, Optional, Sequence
+
+import threading
+
+from repro.service.protocol import MAX_LINE_BYTES, ProtocolError, encode_frame
+
+
+class ServiceError(RuntimeError):
+    """The server answered ``ok: false``; the message is its ``error``."""
+
+
+class ClientSnapshot:
+    """A server-side pinned snapshot; estimates against it read the
+    epoch it pinned no matter what writers do afterwards."""
+
+    def __init__(self, client: "ServiceClient", sid: int, epoch: int) -> None:
+        self._client = client
+        self.snapshot_id = sid
+        self.epoch = epoch
+        self._released = False
+
+    def estimate(self, query: str) -> float:
+        return self._client.estimate(query, snapshot=self.snapshot_id)
+
+    def estimate_many(self, queries: Sequence[str]) -> list[float]:
+        return self._client.estimate_many(queries, snapshot=self.snapshot_id)
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self._client.release(self.snapshot_id)
+
+    def __enter__(self) -> "ClientSnapshot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class ServiceClient:
+    """One TCP connection to an :class:`~repro.service.server.EstimationServer`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, *, timeout: Optional[float] = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- transport ---------------------------------------------------------
+
+    def request(self, request: dict) -> dict:
+        """One request/response round-trip; returns the raw response."""
+        import json
+
+        with self._lock:
+            if self._closed:
+                raise ConnectionError("client is closed")
+            self._sock.sendall(encode_frame(request))
+            raw = self._file.readline(MAX_LINE_BYTES + 1)
+        if not raw:
+            raise ConnectionError("server closed the connection")
+        if len(raw) > MAX_LINE_BYTES:
+            raise ProtocolError("oversized response frame")
+        return json.loads(raw.decode("utf-8"))
+
+    def _call(self, request: dict) -> dict:
+        response = self.request(request)
+        if not response.get("ok", False):
+            raise ServiceError(response.get("error", "unknown server error"))
+        return response
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._file.close()
+            finally:
+                self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reads -------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return self._call({"op": "ping"})["ok"]
+
+    def estimate(
+        self,
+        query: str,
+        *,
+        snapshot: Optional[int] = None,
+        strong: bool = False,
+    ) -> float:
+        request: dict[str, Any] = {"op": "estimate", "query": query}
+        if snapshot is not None:
+            request["snapshot"] = snapshot
+        elif strong:
+            request["strong"] = True
+        return float(self._call(request)["value"])
+
+    def estimate_many(
+        self,
+        queries: Sequence[str],
+        *,
+        snapshot: Optional[int] = None,
+        strong: bool = False,
+    ) -> list[float]:
+        request: dict[str, Any] = {"op": "estimate", "queries": list(queries)}
+        if snapshot is not None:
+            request["snapshot"] = snapshot
+        elif strong:
+            request["strong"] = True
+        return [float(v) for v in self._call(request)["values"]]
+
+    def exact(self, query: str) -> int:
+        return int(self._call({"op": "exact", "query": query})["value"])
+
+    def execute(self, query: str) -> dict:
+        return self._call({"op": "execute", "query": query})
+
+    def stats(self) -> dict:
+        return self._call({"op": "stats"})
+
+    def snapshot(self) -> ClientSnapshot:
+        response = self._call({"op": "snapshot"})
+        return ClientSnapshot(self, int(response["snapshot"]), int(response["epoch"]))
+
+    def release(self, snapshot_id: int) -> None:
+        self._call({"op": "release", "snapshot": snapshot_id})
+
+    # -- writes ------------------------------------------------------------
+
+    def insert(
+        self,
+        parent_tag: str,
+        xml: str,
+        *,
+        ordinal: int = 1,
+        position: Optional[int] = None,
+    ) -> dict:
+        request: dict[str, Any] = {
+            "op": "insert",
+            "parent": {"tag": parent_tag, "ordinal": ordinal},
+            "xml": xml,
+        }
+        if position is not None:
+            request["position"] = position
+        return self._call(request)
+
+    def delete(self, tag: str, *, ordinal: int = 1) -> dict:
+        return self._call(
+            {"op": "delete", "node": {"tag": tag, "ordinal": ordinal}}
+        )
+
+    def batch(self, ops: Iterable[dict]) -> dict:
+        """All-or-nothing batch: every op applies in one admission unit
+        (one WAL record, one fsync) or none do."""
+        return self._call({"op": "batch", "ops": list(ops)})
+
+    def save(self, path: str) -> dict:
+        return self._call({"op": "save", "path": str(path)})
+
+    # -- control -----------------------------------------------------------
+
+    def shutdown(self) -> dict:
+        return self._call({"op": "shutdown"})
+
+
+__all__ = ["ClientSnapshot", "ServiceClient", "ServiceError"]

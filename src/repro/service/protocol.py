@@ -1,0 +1,239 @@
+"""Wire protocol of the concurrent serve tier.
+
+One grammar, two encodings, shared by every entry point into the
+service:
+
+* the **frame codec** -- the network protocol is line-delimited JSON
+  over TCP: each request is one UTF-8 JSON object on one line, each
+  response is one JSON object on one line.  :func:`decode_frame` is the
+  single defensive decoder (:class:`ProtocolError` for oversized lines,
+  non-UTF-8 bytes, bare whitespace, malformed JSON, non-object
+  payloads, missing/ill-typed ``op``), so a malformed client can never
+  raise out of a connection handler;
+* the **text command language** -- the ``serve`` stdin loop and the
+  ``client`` subcommand speak the historical one-command-per-line
+  language (``estimate <query>``, ``insert <parent-tag> <xml>``, ...).
+  :func:`parse_text_command` translates a text line into the same
+  request objects the network protocol carries, and
+  :func:`format_text_response` renders a response back into the
+  historical single-line replies, so both loops are thin clients over
+  one dispatch path.
+
+Request objects
+---------------
+Every request is ``{"op": <str>, ...}``; an optional ``"id"`` is echoed
+back untouched (clients use it to match pipelined responses).  Update
+targets are ``{"tag": t, "ordinal": k}`` (the *k*-th element with tag
+``t`` in pre-order, 1-based, default 1) or ``{"index": i}`` (pre-order
+index), resolved when the admission batch the op joins flushes.
+
+Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": msg}``.
+See the README's *Wire protocol* section for the per-op field tables.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional, Union
+
+#: Hard per-line bound for both the text loop and the network decoder:
+#: a single oversized (or unterminated) line is refused as one error
+#: instead of buffering without limit.
+MAX_LINE_BYTES = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A malformed request line/frame; the connection stays usable."""
+
+
+def decode_line(
+    raw: Union[bytes, bytearray, str], *, max_bytes: int = MAX_LINE_BYTES
+) -> str:
+    """Defensively decode one raw command line.
+
+    Accepts the bytes exactly as read off the stream (trailing
+    newline included) or an already-decoded string.  Returns the
+    stripped text -- ``""`` for a blank line, which the *text* loop
+    skips and the *frame* decoder refuses.  Raises
+    :class:`ProtocolError` for an oversized line (checked before
+    decoding) or bytes that are not valid UTF-8.
+    """
+    if isinstance(raw, (bytes, bytearray)):
+        if len(raw) > max_bytes:
+            raise ProtocolError(
+                f"line of {len(raw)} bytes exceeds the {max_bytes}-byte limit"
+            )
+        try:
+            text = bytes(raw).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"line is not valid UTF-8 ({exc.reason})") from None
+    else:
+        text = raw
+        if len(text.encode("utf-8", errors="surrogateescape")) > max_bytes:
+            raise ProtocolError(
+                f"line exceeds the {max_bytes}-byte limit"
+            )
+        try:
+            text.encode("utf-8")
+        except UnicodeEncodeError:
+            # Surrogate escapes smuggled through a permissive stdin
+            # decoder: the original bytes were not UTF-8.
+            raise ProtocolError("line is not valid UTF-8") from None
+    return text.strip()
+
+
+def iter_raw_lines(stream, *, max_bytes: int = MAX_LINE_BYTES):
+    """Yield raw byte lines from a binary stream, bounding memory.
+
+    A line longer than ``max_bytes`` is *drained* (read and discarded
+    up to its newline) and surfaced as a single over-limit line, so
+    :func:`decode_line` reports it as one error instead of the reader
+    buffering an unbounded line -- the stdin serve loop's defence
+    against hostile or corrupt input.
+    """
+    while True:
+        raw = stream.readline(max_bytes + 1)
+        if not raw:
+            return
+        if len(raw) > max_bytes and not raw.endswith(b"\n"):
+            while True:
+                more = stream.readline(1 << 20)
+                if not more or more.endswith(b"\n"):
+                    break
+        yield raw
+
+
+def decode_frame(
+    raw: Union[bytes, bytearray, str], *, max_bytes: int = MAX_LINE_BYTES
+) -> dict:
+    """Decode one network request frame into a request object.
+
+    The frame must be one non-blank UTF-8 line holding one JSON object
+    with a string ``"op"``; anything else raises
+    :class:`ProtocolError` with a message fit to ship back in an error
+    frame.
+    """
+    line = decode_line(raw, max_bytes=max_bytes)
+    if not line:
+        raise ProtocolError("empty frame (requests are one JSON object per line)")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"malformed JSON frame: {exc.msg}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(obj).__name__}"
+        )
+    op = obj.get("op")
+    if not isinstance(op, str) or not op:
+        raise ProtocolError('frame is missing a string "op" field')
+    return obj
+
+
+def encode_frame(obj: dict) -> bytes:
+    """One response/request object as one newline-terminated JSON line."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def error_response(message: str, request: Optional[dict] = None) -> dict:
+    """The error frame for a failed (or undecodable) request."""
+    response: dict[str, Any] = {"ok": False, "error": str(message)}
+    if request is not None and "id" in request:
+        response["id"] = request["id"]
+    return response
+
+
+# -- text command language --------------------------------------------------
+
+#: Commands whose reply depends on state the *session* owns (queue
+#: depth, flush results); everything else formats directly from the
+#: response object.
+UPDATE_COMMANDS = ("insert", "delete")
+
+
+def parse_text_command(line: str) -> dict:
+    """Translate one serve-language line into a protocol request.
+
+    Raises ``ValueError`` with the historical usage messages on a
+    malformed command, and parses an insert's XML snippet eagerly so
+    syntax errors are reported on the ``insert`` line itself (the
+    snippet travels as text and is re-parsed when the admission batch
+    flushes).
+    """
+    command, _, rest = line.partition(" ")
+    rest = rest.strip()
+    if command == "estimate":
+        if not rest:
+            raise ValueError("usage: estimate <query>")
+        return {"op": "estimate", "query": rest, "strong": True}
+    if command == "exact":
+        if not rest:
+            raise ValueError("usage: exact <query>")
+        return {"op": "exact", "query": rest}
+    if command == "execute":
+        if not rest:
+            raise ValueError("usage: execute <query>")
+        return {"op": "execute", "query": rest}
+    if command == "insert":
+        tag, _, xml = rest.partition(" ")
+        xml = xml.strip()
+        if not tag or not xml:
+            raise ValueError("usage: insert <parent-tag> <xml-snippet>")
+        from repro.xmltree.parser import parse_document
+
+        parse_document(xml)  # eager validation, historical behaviour
+        return {"op": "insert", "parent": {"tag": tag, "ordinal": 1}, "xml": xml}
+    if command == "delete":
+        parts = rest.split()
+        if not parts:
+            raise ValueError("usage: delete <tag> [ordinal]")
+        ordinal = int(parts[1]) if len(parts) > 1 else 1
+        return {"op": "delete", "node": {"tag": parts[0], "ordinal": ordinal}}
+    if command == "stats":
+        return {"op": "stats"}
+    if command == "save":
+        if not rest:
+            raise ValueError("usage: save <path.npz>")
+        return {"op": "save", "path": rest}
+    if command == "shutdown":
+        return {"op": "shutdown"}
+    raise ValueError(f"unknown command {command!r}")
+
+
+def format_text_response(request: dict, response: dict) -> str:
+    """Render a response object as the historical single-line reply."""
+    if not response.get("ok", False):
+        return f"error: {response.get('error', 'unknown failure')}"
+    op = request["op"]
+    if op == "estimate":
+        return f"estimate {response['value']:.2f}"
+    if op == "exact":
+        return f"exact {response['value']}"
+    if op == "execute":
+        return f"execute {response['rows']} rows cost={response['cost']:.2f}"
+    if op in UPDATE_COMMANDS:
+        return (
+            f"ok {op} {response['nodes']} nodes "
+            f"({'rebuild' if response['rebuilt'] else 'incremental'})"
+        )
+    if op == "stats":
+        return (
+            f"stats nodes={response['nodes']} "
+            f"predicates={response['predicates']} "
+            f"dirty={response['dirty']:.4f} "
+            f"rebuilds={response['rebuilds']}"
+        )
+    if op == "save":
+        return f"ok save {response['predicates']} predicates -> {response['path']}"
+    if op == "shutdown":
+        return "ok shutdown"
+    return f"ok {op}"
+
+
+def format_flush_response(result: dict) -> str:
+    """The historical one-line reply for a completed admission flush."""
+    return (
+        f"ok batch {result['ops']} ops "
+        f"+{result['nodes_inserted']}/-{result['nodes_deleted']} nodes "
+        f"({'rebuild' if result['rebuilt'] else 'incremental'})"
+    )

@@ -44,6 +44,7 @@ build over the current tree** (:meth:`EstimationService.differential_check`).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence, Union
@@ -181,6 +182,13 @@ class EstimationService:
         """Durability + epoch bookkeeping; a plain service keeps the
         durability half inert.  (Shared init hook of the constructor
         and the checkpoint-recovery path.)"""
+        # Serialises state transitions (updates, batches, rebuilds,
+        # checkpoints, statistics saves) against snapshot construction,
+        # so a concurrent serve tier can pin read views from any thread
+        # while one writer mutates.  Reentrant: updates fall back to
+        # rebuild() internally.  Reads through an already-pinned
+        # snapshot never take it.
+        self._state_lock = threading.RLock()
         self._wal = None
         self._wal_dir: Optional[Path] = None
         self._replaying = False
@@ -321,6 +329,13 @@ class EstimationService:
         the documents.  The default stays safe for external callers who
         may have attached document content behind the service's back.
         """
+        self._state_lock.acquire()
+        try:
+            self._rebuild(from_documents, catalog_in_sync)
+        finally:
+            self._state_lock.release()
+
+    def _rebuild(self, from_documents: bool, catalog_in_sync: bool) -> None:
         primed_positions = list(self.estimator._position_cache)
         primed_coverages = [
             p for p, c in self.estimator._coverage_cache.items() if c is not None
@@ -447,14 +462,15 @@ class EstimationService:
         """
         from repro.service.batch import InsertOp
 
-        lsn = self._log_update(InsertOp(parent, subtree, position))
-        try:
-            result = self._insert_subtree(parent, subtree, position)
-        except BaseException:
-            self._abort_update(lsn)
-            raise
-        self._commit_update(lsn)
-        return result
+        with self._state_lock:
+            lsn = self._log_update(InsertOp(parent, subtree, position))
+            try:
+                result = self._insert_subtree(parent, subtree, position)
+            except BaseException:
+                self._abort_update(lsn)
+                raise
+            self._commit_update(lsn)
+            return result
 
     def _insert_subtree(
         self,
@@ -495,14 +511,15 @@ class EstimationService:
         """
         from repro.service.batch import DeleteOp
 
-        lsn = self._log_update(DeleteOp(node))
-        try:
-            result = self._delete_subtree(node)
-        except BaseException:
-            self._abort_update(lsn)
-            raise
-        self._commit_update(lsn)
-        return result
+        with self._state_lock:
+            lsn = self._log_update(DeleteOp(node))
+            try:
+                result = self._delete_subtree(node)
+            except BaseException:
+                self._abort_update(lsn)
+                raise
+            self._commit_update(lsn)
+            return result
 
     def _delete_subtree(self, node: Union[Element, int]) -> UpdateResult:
         index = self._resolve(node)
@@ -548,30 +565,31 @@ class EstimationService:
         """
         from repro.service.batch import BatchApplier, normalize_ops
 
-        plan = normalize_ops(ops)
-        lsn = None
-        if self._wal is not None and not self._replaying and plan:
-            from repro.service.wal import encode_ops
+        with self._state_lock:
+            plan = normalize_ops(ops)
+            lsn = None
+            if self._wal is not None and not self._replaying and plan:
+                from repro.service.wal import encode_ops
 
-            lsn = self._wal.log_batch(encode_ops(self, plan))
-        try:
-            result = BatchApplier(self).apply(plan)
-        except BaseException as exc:
+                lsn = self._wal.log_batch(encode_ops(self, plan))
+            try:
+                result = BatchApplier(self).apply(plan)
+            except BaseException as exc:
+                if lsn is not None:
+                    if getattr(exc, "applied", False):
+                        # The batch's operations stayed applied (the flush
+                        # failed and a rebuild repaired the summaries):
+                        # replaying it at recovery is correct and required.
+                        self._wal.mark_committed(lsn)
+                        self._last_lsn = lsn
+                    else:
+                        self._wal.mark_aborted(lsn)
+                raise
             if lsn is not None:
-                if getattr(exc, "applied", False):
-                    # The batch's operations stayed applied (the flush
-                    # failed and a rebuild repaired the summaries):
-                    # replaying it at recovery is correct and required.
-                    self._wal.mark_committed(lsn)
-                    self._last_lsn = lsn
-                else:
-                    self._wal.mark_aborted(lsn)
-            raise
-        if lsn is not None:
-            self._wal.mark_committed(lsn)
-            self._last_lsn = lsn
-            self._maybe_checkpoint()
-        return result
+                self._wal.mark_committed(lsn)
+                self._last_lsn = lsn
+                self._maybe_checkpoint()
+            return result
 
     def snapshot(self) -> "ServiceSnapshot":
         """An immutable read view of the current state.
@@ -582,7 +600,8 @@ class EstimationService:
         """
         from repro.service.snapshot import ServiceSnapshot
 
-        return ServiceSnapshot(self)
+        with self._state_lock:
+            return ServiceSnapshot(self)
 
     @staticmethod
     def _attach_child(
@@ -744,21 +763,22 @@ class EstimationService:
         """
         from repro.service.wal import compact, prune_checkpoints, write_checkpoint
 
-        if self._wal is None:
-            raise ValueError("no write-ahead log attached to checkpoint")
-        self._wal.sync()
-        write_checkpoint(self, self._wal_dir, self._last_lsn, force_full=full)
-        self._last_checkpoint_lsn = self._last_lsn
-        self._checkpoint_requested = False
-        if self._auto_compact:
-            compact(
-                self._wal_dir,
-                keep_checkpoints=self._keep_checkpoints,
-                wal=self._wal,
-            )
-        elif self._keep_checkpoints is not None:
-            prune_checkpoints(self._wal_dir, self._keep_checkpoints)
-        return self._last_lsn
+        with self._state_lock:
+            if self._wal is None:
+                raise ValueError("no write-ahead log attached to checkpoint")
+            self._wal.sync()
+            write_checkpoint(self, self._wal_dir, self._last_lsn, force_full=full)
+            self._last_checkpoint_lsn = self._last_lsn
+            self._checkpoint_requested = False
+            if self._auto_compact:
+                compact(
+                    self._wal_dir,
+                    keep_checkpoints=self._keep_checkpoints,
+                    wal=self._wal,
+                )
+            elif self._keep_checkpoints is not None:
+                prune_checkpoints(self._wal_dir, self._keep_checkpoints)
+            return self._last_lsn
 
     def compact(self) -> "object":
         """Compact the attached write-ahead log directory now.
@@ -825,7 +845,8 @@ class EstimationService:
 
     def save_statistics(self, path: Union[str, Path]) -> int:
         """Persist all built histograms as a versioned binary store."""
-        return save_binary_summaries(self.estimator, path)
+        with self._state_lock:
+            return save_binary_summaries(self.estimator, path)
 
     @classmethod
     def warm_start(

@@ -118,13 +118,18 @@ class ServiceSnapshot:
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
-        """Release the epoch pin (idempotent).
+        """Release the epoch pin (idempotent, thread-safe).
 
         Once every snapshot of an epoch is closed, sealed pages the
         live service no longer references become unreachable and are
         freed.  The snapshot itself keeps answering (it still holds its
         own references); closing only ends its participation in the
-        epoch refcount.
+        epoch refcount.  A double ``close()`` -- including a ``close()``
+        after context-manager exit, or two racing closes on different
+        threads -- decrements the registry's refcount exactly once
+        (:meth:`~repro.histograms.epoch.EpochPin.release` claims its one
+        release under the registry lock), so it can never free pages a
+        *different* snapshot of the same epoch still pins.
         """
         self._pin.release()
 

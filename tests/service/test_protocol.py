@@ -1,0 +1,255 @@
+"""Wire-protocol codec tests: the single defensive decode path.
+
+Every entry point into the serve tier -- the network frame decoder,
+the stdin command loop, and the ``client`` subcommand -- funnels raw
+input through :mod:`repro.service.protocol`.  These tests pin the
+grammar both ways: every malformed-input category yields exactly one
+:class:`ProtocolError` with a shippable message (never a raw
+``UnicodeDecodeError``/``JSONDecodeError``), and the text command
+language round-trips to the same request objects the JSON protocol
+carries.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_frame,
+    decode_line,
+    encode_frame,
+    error_response,
+    format_flush_response,
+    format_text_response,
+    iter_raw_lines,
+    parse_text_command,
+)
+
+
+class TestDecodeLine:
+    def test_strips_bytes_and_text(self):
+        assert decode_line(b"  estimate //a//b \n") == "estimate //a//b"
+        assert decode_line("  estimate //a//b \n") == "estimate //a//b"
+        assert decode_line(b"\n") == ""
+        assert decode_line(b"") == ""
+
+    def test_non_utf8_bytes_refused(self):
+        with pytest.raises(ProtocolError, match="not valid UTF-8"):
+            decode_line(b"estimate \xff\xfe//a\n")
+
+    def test_oversized_line_refused_before_decoding(self):
+        # The size check runs before the UTF-8 decode: an oversized line
+        # of garbage bytes reports its length, not a decode error.
+        raw = b"\xff" * (MAX_LINE_BYTES + 1)
+        with pytest.raises(ProtocolError, match="exceeds the"):
+            decode_line(raw)
+
+    def test_custom_limit(self):
+        with pytest.raises(ProtocolError, match="exceeds the 8-byte limit"):
+            decode_line(b"123456789", max_bytes=8)
+        assert decode_line(b"12345678", max_bytes=8) == "12345678"
+
+    def test_surrogate_escapes_in_text_refused(self):
+        # A permissive stdin decoder smuggles undecodable bytes through
+        # as surrogates; the defensive path still refuses them.
+        smuggled = b"estimate \xff".decode("utf-8", errors="surrogateescape")
+        with pytest.raises(ProtocolError, match="not valid UTF-8"):
+            decode_line(smuggled)
+
+
+class TestIterRawLines:
+    def test_yields_lines_and_stops_at_eof(self):
+        stream = io.BytesIO(b"one\ntwo\nthree")
+        assert list(iter_raw_lines(stream)) == [b"one\n", b"two\n", b"three"]
+
+    def test_overlong_line_surfaces_once_and_stream_recovers(self):
+        # A line past the limit is drained to its newline and yielded as
+        # a single over-limit chunk; the next line parses normally.
+        blob = b"x" * 40 + b"\nok\n"
+        lines = list(iter_raw_lines(io.BytesIO(blob), max_bytes=16))
+        assert len(lines) == 2
+        with pytest.raises(ProtocolError):
+            decode_line(lines[0], max_bytes=16)
+        assert decode_line(lines[1], max_bytes=16) == "ok"
+
+    def test_overlong_unterminated_tail(self):
+        lines = list(iter_raw_lines(io.BytesIO(b"y" * 64), max_bytes=16))
+        assert len(lines) == 1
+        with pytest.raises(ProtocolError):
+            decode_line(lines[0], max_bytes=16)
+
+
+class TestDecodeFrame:
+    def test_round_trip(self):
+        request = {"op": "estimate", "query": "//a//b", "id": 7}
+        assert decode_frame(encode_frame(request)) == request
+
+    @pytest.mark.parametrize(
+        "raw, fragment",
+        [
+            (b"\n", "empty frame"),
+            (b"   \t  \n", "empty frame"),  # bare whitespace
+            (b"{not json\n", "malformed JSON frame"),
+            (b"[1, 2, 3]\n", "frame must be a JSON object, got list"),
+            (b'"estimate"\n', "frame must be a JSON object, got str"),
+            (b"{}\n", 'missing a string "op"'),
+            (b'{"op": 3}\n', 'missing a string "op"'),
+            (b'{"op": ""}\n', 'missing a string "op"'),
+            (b"\xff\xfe{}\n", "not valid UTF-8"),
+        ],
+    )
+    def test_malformed_frames(self, raw, fragment):
+        with pytest.raises(ProtocolError, match=fragment):
+            decode_frame(raw)
+
+    def test_oversized_frame(self):
+        payload = json.dumps({"op": "insert", "xml": "x" * (MAX_LINE_BYTES)})
+        with pytest.raises(ProtocolError, match="exceeds the"):
+            decode_frame(payload.encode() + b"\n")
+
+    def test_encode_frame_is_one_line(self):
+        frame = encode_frame({"op": "estimate", "query": "//a//b\n//c"})
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1  # newlines inside strings escaped
+
+
+class TestErrorResponse:
+    def test_plain(self):
+        assert error_response("boom") == {"ok": False, "error": "boom"}
+
+    def test_echoes_request_id(self):
+        response = error_response("boom", {"op": "estimate", "id": 42})
+        assert response == {"ok": False, "error": "boom", "id": 42}
+
+    def test_no_id_key_when_request_has_none(self):
+        assert "id" not in error_response("boom", {"op": "estimate"})
+
+
+class TestParseTextCommand:
+    def test_estimate_is_strong(self):
+        assert parse_text_command("estimate //a//b") == {
+            "op": "estimate",
+            "query": "//a//b",
+            "strong": True,
+        }
+
+    def test_exact_and_execute(self):
+        assert parse_text_command("exact //a//b") == {"op": "exact", "query": "//a//b"}
+        assert parse_text_command("execute //a//b") == {
+            "op": "execute",
+            "query": "//a//b",
+        }
+
+    def test_insert(self):
+        request = parse_text_command("insert root <a><b/></a>")
+        assert request == {
+            "op": "insert",
+            "parent": {"tag": "root", "ordinal": 1},
+            "xml": "<a><b/></a>",
+        }
+
+    def test_insert_validates_xml_eagerly(self):
+        with pytest.raises(Exception):
+            parse_text_command("insert root <a><unclosed>")
+
+    def test_delete_with_and_without_ordinal(self):
+        assert parse_text_command("delete a") == {
+            "op": "delete",
+            "node": {"tag": "a", "ordinal": 1},
+        }
+        assert parse_text_command("delete a 3") == {
+            "op": "delete",
+            "node": {"tag": "a", "ordinal": 3},
+        }
+
+    def test_nullary_commands(self):
+        assert parse_text_command("stats") == {"op": "stats"}
+        assert parse_text_command("shutdown") == {"op": "shutdown"}
+        assert parse_text_command("save /tmp/x.npz") == {
+            "op": "save",
+            "path": "/tmp/x.npz",
+        }
+
+    @pytest.mark.parametrize(
+        "line, message",
+        [
+            ("estimate", "usage: estimate <query>"),
+            ("exact", "usage: exact <query>"),
+            ("execute", "usage: execute <query>"),
+            ("insert root", "usage: insert <parent-tag> <xml-snippet>"),
+            ("insert", "usage: insert <parent-tag> <xml-snippet>"),
+            ("delete", "usage: delete <tag> [ordinal]"),
+            ("save", "usage: save <path.npz>"),
+            ("frobnicate //a", "unknown command 'frobnicate'"),
+        ],
+    )
+    def test_usage_errors_keep_historical_wording(self, line, message):
+        with pytest.raises(ValueError) as excinfo:
+            parse_text_command(line)
+        assert str(excinfo.value) == message
+
+
+class TestFormatTextResponse:
+    def test_error_formatting(self):
+        assert (
+            format_text_response({"op": "stats"}, {"ok": False, "error": "boom"})
+            == "error: boom"
+        )
+
+    def test_estimate_exact_execute(self):
+        assert (
+            format_text_response(
+                {"op": "estimate"}, {"ok": True, "value": 6.004, "epoch": 3}
+            )
+            == "estimate 6.00"
+        )
+        assert (
+            format_text_response({"op": "exact"}, {"ok": True, "value": 7}) == "exact 7"
+        )
+        # The server returns rows + chosen-plan cost for execute.
+        assert (
+            format_text_response(
+                {"op": "execute"}, {"ok": True, "rows": 3, "cost": 1.5}
+            )
+            == "execute 3 rows cost=1.50"
+        )
+
+    def test_update_and_flush_lines(self):
+        ok_insert = {"ok": True, "nodes": 4, "rebuilt": False, "coalesced": 1}
+        assert (
+            format_text_response({"op": "insert"}, ok_insert)
+            == "ok insert 4 nodes (incremental)"
+        )
+        ok_delete = {"ok": True, "nodes": 2, "rebuilt": True, "coalesced": 1}
+        assert (
+            format_text_response({"op": "delete"}, ok_delete)
+            == "ok delete 2 nodes (rebuild)"
+        )
+        flush = {"ops": 3, "nodes_inserted": 5, "nodes_deleted": 2, "rebuilt": False}
+        assert format_flush_response(flush) == "ok batch 3 ops +5/-2 nodes (incremental)"
+
+    def test_stats_save_shutdown(self):
+        stats = {
+            "ok": True,
+            "nodes": 32,
+            "predicates": 2,
+            "dirty": 0.03125,
+            "rebuilds": 0,
+        }
+        assert (
+            format_text_response({"op": "stats"}, stats)
+            == "stats nodes=32 predicates=2 dirty=0.0312 rebuilds=0"
+        )
+        assert (
+            format_text_response(
+                {"op": "save"}, {"ok": True, "predicates": 5, "path": "x.npz"}
+            )
+            == "ok save 5 predicates -> x.npz"
+        )
+        assert (
+            format_text_response({"op": "shutdown"}, {"ok": True, "op": "shutdown"})
+            == "ok shutdown"
+        )

@@ -368,3 +368,26 @@ def test_snapshot_isolated_from_service_cache_churn():
     service.insert_subtree(0, random_subtree(random.Random(8)))
     for query, value in before.items():
         assert snapshot.estimate(query).value == value
+
+
+def test_snapshot_close_is_idempotent():
+    """Regression: ``close()`` drops the epoch pin exactly once however
+    many times it runs -- double close, close after context exit, or
+    close through the engine's drop path must never steal a sibling
+    snapshot's refcount."""
+    service = make_service(seed=47)
+    first = service.snapshot()
+    second = service.snapshot()
+    epoch = first.epoch
+    assert service.epoch_registry.refcount(epoch) == 2
+    first.close()
+    first.close()
+    first.close()
+    assert service.epoch_registry.refcount(epoch) == 1
+    with second:
+        value = second.estimate(QUERIES[0]).value
+    second.close()  # close after the context manager already released
+    assert service.epoch_registry.refcount(epoch) == 0
+    assert service.epoch_registry.live_epochs() == []
+    # A closed snapshot keeps answering (documented contract).
+    assert first.estimate(QUERIES[0]).value == value

@@ -1,0 +1,260 @@
+"""Concurrent snapshot pin/release vs a live writer.
+
+The serve tier reads lock-free against pinned epochs while one writer
+thread mutates the service, so the epoch registry's refcounting must
+be correct under real thread interleavings.  These tests hammer
+``service.snapshot()`` open / estimate / close from reader threads
+while a writer applies batches -- including an engineered
+gap-exhaustion rebalance (``spacing=4`` leaves 3-label gaps, so
+repeated inserts under one leaf force relabels and full rebuilds) --
+then check the registry drained to baseline: every refcount returned
+to zero, no epoch leaked, and no superseded page was freed while any
+snapshot still pinned it.
+"""
+
+import gc
+import random
+import threading
+import weakref
+
+from repro.predicates.base import TagPredicate
+from repro.service import DeleteOp, EstimationService, InsertOp
+from repro.xmltree.tree import Document, Element
+from tests.service.test_batch import (
+    QUERIES,
+    prime,
+    random_document,
+    random_subtree,
+)
+
+
+def make_service(seed: int = 7, nodes: int = 60, **overrides) -> EstimationService:
+    settings = dict(grid_size=5, spacing=4, rebuild_threshold=0.99)
+    settings.update(overrides)
+    service = EstimationService(random_document(random.Random(seed), nodes), **settings)
+    prime(service)
+    return service
+
+
+def run_threads(targets, timeout=60.0):
+    threads = [threading.Thread(target=t) for t in targets]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout)
+        assert not thread.is_alive(), "worker thread hung"
+
+
+def test_readers_hammer_pin_release_against_batching_writer():
+    """Readers open/read/close snapshots as fast as they can while the
+    writer applies mixed batches; the tight spacing makes relabels and
+    rebuilds routine, so epochs churn constantly under the readers."""
+    service = make_service(seed=11)
+    stop = threading.Event()
+    errors = []
+
+    def reader(seed: int):
+        rng = random.Random(seed)
+        try:
+            while not stop.is_set():
+                snapshot = service.snapshot()
+                try:
+                    query = rng.choice(QUERIES)
+                    first = snapshot.estimate(query).value
+                    # A pinned snapshot is immutable: re-asking mid-write
+                    # must be bit-identical.
+                    assert snapshot.estimate(query).value == first
+                finally:
+                    snapshot.close()
+                if rng.random() < 0.3:
+                    snapshot.close()  # racing double close: still one decref
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+            stop.set()
+
+    def writer():
+        rng = random.Random(99)
+        try:
+            for round_ in range(30):
+                if round_ % 3 == 2 and len(service) > 20:
+                    # Deletes go one per batch: an in-batch delete shifts
+                    # later integer targets, so mixing random indices
+                    # into one batch is not structurally valid.
+                    service.apply_batch([DeleteOp(rng.randrange(1, len(service)))])
+                else:
+                    service.apply_batch(
+                        [
+                            InsertOp(rng.randrange(len(service)), random_subtree(rng))
+                            for _ in range(rng.randrange(1, 5))
+                        ]
+                    )
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    run_threads([lambda s=s: reader(s) for s in range(6)] + [writer])
+    assert not errors, errors[0]
+    # Every pin was released: the registry drained back to baseline.
+    assert service.epoch_registry.live_epochs() == []
+    service.differential_check(QUERIES)
+
+
+def test_engineered_rebalance_under_pinned_readers():
+    """The narrow-gap path: spacing=2 leaves 1-label gaps, so hammering
+    inserts under a single leaf exhausts gaps and forces mid-batch
+    relabels + rebuilds while readers hold pins across them."""
+    document = Document()
+    root = Element("root")
+    document.append(root)
+    for tag in ("a", "b", "c"):
+        root.append(Element(tag))
+    service = EstimationService(
+        document, grid_size=4, spacing=2, rebuild_threshold=0.99
+    )
+    prime(service)
+    queries = ["//root//a", "//root//b", "//a//b"]
+    stop = threading.Event()
+    errors = []
+    pinned = []  # (snapshot, expected values) held across rebuilds
+
+    def reader(seed: int):
+        rng = random.Random(seed)
+        try:
+            while not stop.is_set():
+                snapshot = service.snapshot()
+                query = rng.choice(queries)
+                value = snapshot.estimate(query).value
+                assert snapshot.estimate(query).value == value
+                snapshot.close()
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+            stop.set()
+
+    def writer():
+        try:
+            rebuilds0 = service.stats.rebuilds
+            for round_ in range(10):
+                pinned.append(
+                    (
+                        service.snapshot(),
+                        {q: service.estimate(q).value for q in queries},
+                    )
+                )
+                # Consecutive inserts under the same (deep) leaf cannot
+                # fit the 1-label gaps: relabel + rebuild in flight.
+                target = service.tree.elements[len(service) - 1]
+                service.apply_batch(
+                    [InsertOp(target, Element("b")), InsertOp(target, Element("c"))]
+                )
+            assert service.stats.rebuilds > rebuilds0
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    run_threads([lambda s=s: reader(s) for s in range(4)] + [writer])
+    assert not errors, errors[0]
+    # Long-held pins stayed bit-stable across every forced rebuild.
+    for snapshot, expected in pinned:
+        for query, value in expected.items():
+            assert snapshot.estimate(query).value == value
+        snapshot.close()
+    assert service.epoch_registry.live_epochs() == []
+
+
+def test_racing_closes_decrement_exactly_once():
+    """N threads all close the same snapshot at once: the pin drops
+    exactly once, never stealing a sibling snapshot's refcount."""
+    service = make_service(seed=13, spacing=64)
+    for _ in range(20):
+        victim = service.snapshot()
+        keeper = service.snapshot()
+        epoch = victim.epoch
+        assert service.epoch_registry.refcount(epoch) == 2
+        barrier = threading.Barrier(8)
+
+        def close_it():
+            barrier.wait()
+            victim.close()
+
+        run_threads([close_it] * 8)
+        assert service.epoch_registry.refcount(epoch) == 1  # keeper survives
+        keeper.close()
+        assert service.epoch_registry.refcount(epoch) == 0
+    assert service.epoch_registry.live_epochs() == []
+
+
+def test_superseded_page_pinned_by_racing_readers_freed_only_after_last_close():
+    """A page superseded mid-churn stays alive while any concurrent
+    reader still pins its epoch, and dies once the last pin drops."""
+    service = make_service(seed=17, spacing=64)
+    service.estimate("//a//b")
+    predicate = next(iter(service.estimator._position_cache))
+    page_ref = weakref.ref(service.estimator._position_cache[predicate].page)
+
+    holders = [service.snapshot() for _ in range(4)]
+    rng = random.Random(19)
+    for _ in range(8):  # push the live histograms onto fresh pages
+        service.snapshot().close()
+        service.insert_subtree(rng.randrange(len(service)), random_subtree(rng))
+
+    errors = []
+
+    def close_some(snapshots):
+        try:
+            for snapshot in snapshots:
+                snapshot.close()
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    # Close all but one concurrently; the survivor must keep the page.
+    run_threads(
+        [lambda: close_some(holders[:2]), lambda: close_some(holders[2:3])]
+    )
+    assert not errors
+    gc.collect()
+    assert page_ref() is not None, "page freed while still pinned"
+    holders[3].close()
+    del holders
+    gc.collect()
+    assert page_ref() is None
+    assert service.epoch_registry.live_epochs() == []
+
+
+def test_snapshot_open_during_writer_publish_never_pins_torn_state():
+    """Opening snapshots concurrently with single-update publishes:
+    every snapshot observes some complete epoch (its estimates are
+    internally consistent and repeatable)."""
+    service = make_service(seed=23, spacing=64, nodes=40)
+    stop = threading.Event()
+    errors = []
+    count_pred = TagPredicate("a")
+
+    def opener():
+        try:
+            while not stop.is_set():
+                with service.snapshot() as snapshot:
+                    # Catalog and label table must agree inside a pin.
+                    count = snapshot.catalog.stats(count_pred).count
+                    total = snapshot.position_histogram(count_pred).total()
+                    assert total == float(count)
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+            stop.set()
+
+    def writer():
+        rng = random.Random(29)
+        try:
+            for _ in range(40):
+                service.insert_subtree(
+                    rng.randrange(len(service)), Element("a")
+                )
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+        finally:
+            stop.set()
+
+    run_threads([opener, opener, writer])
+    assert not errors, errors[0]
+    assert service.epoch_registry.live_epochs() == []

@@ -228,6 +228,7 @@ class TestAllSubcommandsSmoke:
         )
         assert sorted(subparsers.choices) == [
             "build",
+            "client",
             "estimate",
             "generate",
             "recover",
@@ -675,3 +676,197 @@ class TestServeBatched:
         out = capsys.readouterr().out
         assert "error:" in out
         assert "stats nodes=" in out
+
+
+class TestServeSaveFlush:
+    """``save`` is a barrier: with updates still queued under
+    ``--batch-size > 1``, the pending batch flushes *before* the
+    statistics are persisted, so the saved store always reflects every
+    acknowledged ``queued`` response."""
+
+    def test_save_flushes_pending_batch_first(self, dataset_path, tmp_path, capsys):
+        import numpy as np
+
+        store1 = tmp_path / "before.npz"
+        store2 = tmp_path / "after.npz"
+        script = tmp_path / "saveflush.txt"
+        script.write_text(
+            f"save {store1}\n"
+            "insert article <note><author>S1</author></note>\n"
+            "insert article <note><author>S2</author></note>\n"
+            f"save {store2}\n"
+        )
+        assert (
+            main(
+                [
+                    "serve",
+                    str(dataset_path),
+                    "--script",
+                    str(script),
+                    "--batch-size",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "queued insert (1/8)" in out and "queued insert (2/8)" in out
+        # The flush line precedes the second save's acknowledgment.
+        flush_at = out.index("ok batch 2 ops")
+        save2_at = out.rindex(f"-> {store2}")
+        assert flush_at < save2_at
+        assert "session inserts=2" in out
+        # And the persisted statistics really contain the queued
+        # inserts: the post-flush store differs from the pre-insert one.
+        with np.load(store1, allow_pickle=True) as a, np.load(
+            store2, allow_pickle=True
+        ) as b:
+            differs = sorted(a.files) != sorted(b.files) or any(
+                not np.array_equal(a[key], b[key]) for key in a.files
+            )
+        assert differs
+
+
+class TestServeMalformedInput:
+    """Malformed raw input on the serve stream -- non-UTF-8 bytes and
+    over-limit lines -- yields one ``error:`` line each and the loop
+    keeps serving to a clean session summary."""
+
+    def test_bad_bytes_and_oversized_lines_keep_serving(
+        self, dataset_path, tmp_path, capsys
+    ):
+        from repro.service.protocol import MAX_LINE_BYTES
+
+        script = tmp_path / "hostile.bin"
+        script.write_bytes(
+            b"exact //article//author\n"
+            + b"\xff\xfe garbage bytes\n"          # not UTF-8
+            + b"x" * (MAX_LINE_BYTES + 64) + b"\n"  # over the line limit
+            + b"   \t  \n"                           # bare whitespace: skipped
+            + b"stats\n"
+        )
+        assert main(["serve", str(dataset_path), "--script", str(script)]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        errors = [l for l in lines if l.startswith("error: ")]
+        assert len(errors) == 2  # one per malformed line, none for blanks
+        assert any("not valid UTF-8" in l for l in errors)
+        assert any("exceeds the" in l for l in errors)
+        # The stream survived both: the trailing command still answered,
+        # and the session wound down normally.
+        assert any(l.startswith("exact ") for l in lines)
+        assert any(l.startswith("stats nodes=") for l in lines)
+        assert "session inserts=0" in out
+
+
+class TestServeListen:
+    """``serve --listen`` + the ``client`` subcommand: a real TCP
+    round trip between two processes speaking the serve language."""
+
+    def test_client_round_trip_and_remote_shutdown(
+        self, dataset_path, tmp_path, capsys
+    ):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-u",
+                "-m",
+                "repro",
+                "serve",
+                str(dataset_path),
+                "--listen",
+                "127.0.0.1:0",
+                "--script",
+                os.devnull,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            address = None
+            for line in proc.stdout:
+                if line.startswith("listening on "):
+                    address = line.split()[-1]
+                    break
+            assert address, "server never announced its port"
+
+            # First client: plain round trip, leaves the server up.
+            script = tmp_path / "client1.txt"
+            script.write_text(
+                "estimate //article//author\n"
+                "insert article <note><author>NET</author></note>\n"
+                "exact //article//author\n"
+                "stats\n"
+            )
+            assert main(["client", address, "--script", str(script)]) == 0
+            out = capsys.readouterr().out
+            assert any(l.startswith("estimate ") for l in out.splitlines())
+            assert "ok insert 2 nodes" in out
+            assert any(l.startswith("exact ") for l in out.splitlines())
+            assert "stats nodes=" in out
+
+            # Second client: batched updates travel as one atomic batch
+            # request, then shuts the server down remotely.
+            script2 = tmp_path / "client2.txt"
+            script2.write_text(
+                "insert article <note><author>B1</author></note>\n"
+                "insert article <note><author>B2</author></note>\n"
+                "shutdown\n"
+            )
+            assert (
+                main(
+                    ["client", address, "--script", str(script2), "--batch-size", "2"]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert "queued insert (1/2)" in out
+            assert "ok batch 2 ops" in out
+            assert "ok shutdown" in out
+
+            remainder = proc.stdout.read()
+            assert proc.wait(timeout=30) == 0
+            # Both clients' writes reached the one service.
+            assert "session inserts=3" in remainder
+        finally:
+            proc.kill()
+            proc.stdout.close()
+
+    def test_client_cannot_connect_is_exit_1(self, tmp_path, capsys):
+        script = tmp_path / "noop.txt"
+        script.write_text("stats\n")
+        assert main(["client", "127.0.0.1:1", "--script", str(script)]) == 1
+        assert "cannot connect" in capsys.readouterr().err
+
+    def test_client_malformed_address_is_exit_2(self, capsys):
+        assert main(["client", "not-an-address"]) == 2
+        assert "malformed --listen" in capsys.readouterr().err
+
+    def test_serve_malformed_listen_is_exit_2(self, dataset_path, tmp_path, capsys):
+        script = tmp_path / "s.txt"
+        script.write_text("stats\n")
+        assert (
+            main(
+                [
+                    "serve",
+                    str(dataset_path),
+                    "--script",
+                    str(script),
+                    "--listen",
+                    "nope",
+                ]
+            )
+            == 2
+        )
+        assert "malformed --listen" in capsys.readouterr().err
