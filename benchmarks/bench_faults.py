@@ -1,0 +1,287 @@
+"""Fault-path benchmark: what hardening costs when nothing is failing,
+and what failures cost when they happen.
+
+Three measurements over a live TCP server backed by a durable
+(WAL-attached) service, with faults injected through the seeded
+:class:`~repro.service.faults.FaultPlan` schedules the chaos suites
+use:
+
+* **degraded-read latency** -- p50/p99 of weak estimates while the
+  service is SERVING versus after a WAL outage has forced it into
+  sticky read-only DEGRADED mode.  Degraded reads answer from the same
+  pinned epoch view, so the mode must be free for readers:
+  ``degraded_read_p99_overhead`` <= 1.5 in CI.
+
+* **dedup-hit latency** -- p50/p99 of a fresh insert versus a replayed
+  one (same idempotency key resent, answered from the dedup window
+  without touching the WAL or the tree).  A replay must never cost
+  more than the apply it stands in for: ``dedup_hit_overhead`` <= 1.5
+  in CI.
+
+* **retry storm** (informational) -- a client driving inserts through
+  a server whose send path tears ~20% of response frames mid-write,
+  with bounded-backoff retries and idempotency keys.  Reports achieved
+  throughput, injected faults, and dedup replays, and asserts the
+  exactly-once invariant: the tree grows by precisely one subtree per
+  acknowledged insert, no matter how many times each was retried.
+
+Writes a ``BENCH_faults.json`` artifact; ``check_perf_floors.py``
+guards ``degraded_read_p99_overhead`` and ``dedup_hit_overhead``.
+
+Run:  python benchmarks/bench_faults.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets import generate_dblp  # noqa: E402
+from repro.service import (  # noqa: E402
+    EstimationService,
+    FaultPlan,
+    FaultRule,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.faults import NET_SEND, WAL_FSYNC, WAL_WRITE  # noqa: E402
+from repro.service.server import EstimationServer, ServiceEngine  # noqa: E402
+
+QUERIES = ["//article//author", "//article//cite", "//dblp//title"]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def build_service(workdir: Path, name: str, scale: float) -> EstimationService:
+    service = EstimationService.open_durable(
+        workdir / name,
+        generate_dblp(seed=7, scale=scale),
+        grid_size=10,
+        spacing=64,
+        checkpoint_every=10**9,  # measure the log path, not checkpoints
+    )
+    for stats in service.catalog.register_all_tags():
+        service.position_histogram(stats.predicate)
+    service.estimate_many(QUERIES)
+    return service
+
+
+def start_server(service, *, faults=None, **engine_options):
+    engine = ServiceEngine(service, **engine_options)
+    server = EstimationServer(engine, host="127.0.0.1", port=0, faults=faults)
+    server.start()
+    return engine, server
+
+
+def stop_server(engine, server, service) -> None:
+    server.stop()
+    server.join(timeout=10)
+    engine.close()
+    service.close()
+
+
+def timed_reads(db: ServiceClient, requests: int) -> list[float]:
+    samples = []
+    for i in range(requests):
+        query = QUERIES[i % len(QUERIES)]
+        started = time.perf_counter()
+        db.estimate(query)
+        samples.append(time.perf_counter() - started)
+    return samples
+
+
+def summarize(samples: list[float]) -> dict:
+    return {
+        "requests": len(samples),
+        "p50_ms": percentile(samples, 0.50) * 1e3,
+        "p99_ms": percentile(samples, 0.99) * 1e3,
+        "mean_ms": statistics.fmean(samples) * 1e3,
+    }
+
+
+def measure_degraded_reads(workdir: Path, scale: float, requests: int):
+    """Weak-read latency SERVING vs DEGRADED on the same server."""
+    service = build_service(workdir, "degraded", scale)
+    plan = FaultPlan()  # armed mid-run; empty plans inject nothing
+    service.attach_fault_plan(plan)
+    engine, server = start_server(service, max_ops=64, linger=0.002)
+    try:
+        with ServiceClient(server.host, server.port) as db:
+            timed_reads(db, max(10, requests // 10))  # warm the path
+            serving = timed_reads(db, requests)
+            assert db.health()["mode"] == "SERVING"
+
+            # One failed WAL append flips the service into sticky
+            # read-only mode; the insert's rollback is exact.
+            plan.rules.append(FaultRule(WAL_FSYNC, nth=1, count=None))
+            plan.rules.append(FaultRule(WAL_WRITE, nth=1, count=None))
+            try:
+                db.insert("article", "<note><author>X</author></note>")
+                raise AssertionError("insert during outage should fail")
+            except ServiceError as exc:
+                assert exc.code == "read_only", exc
+            assert db.health()["mode"] == "DEGRADED"
+
+            degraded = timed_reads(db, requests)
+        overhead = percentile(degraded, 0.99) / percentile(serving, 0.99)
+        return {
+            "serving": summarize(serving),
+            "degraded": summarize(degraded),
+        }, overhead
+    finally:
+        stop_server(engine, server, service)
+
+
+def measure_dedup_hits(workdir: Path, scale: float, ops: int):
+    """Fresh-insert latency vs a replayed (dedup-window) insert."""
+    service = build_service(workdir, "dedup", scale)
+    engine, server = start_server(
+        service, max_ops=64, linger=None, dedup_window=4 * ops
+    )
+    try:
+        with ServiceClient(server.host, server.port) as db:
+            fresh, replayed = [], []
+            for i in range(ops):
+                request = {
+                    "op": "insert",
+                    "parent": {"tag": "article"},
+                    "xml": f"<note><author>D{i}</author></note>",
+                    "idem": f"bench-dedup-{i}",
+                }
+                started = time.perf_counter()
+                first = db.request(dict(request))
+                fresh.append(time.perf_counter() - started)
+                started = time.perf_counter()
+                second = db.request(dict(request))
+                replayed.append(time.perf_counter() - started)
+                assert first["ok"] and second["ok"]
+                assert second.get("deduped") is True, second
+        assert engine.stats.ops_deduped == ops
+        overhead = percentile(replayed, 0.99) / percentile(fresh, 0.99)
+        return {
+            "fresh_insert": summarize(fresh),
+            "dedup_replay": summarize(replayed),
+        }, overhead
+    finally:
+        stop_server(engine, server, service)
+
+
+def measure_retry_storm(workdir: Path, scale: float, ops: int) -> dict:
+    """Exactly-once insert throughput through a torn-frame send path."""
+    service = build_service(workdir, "storm", scale)
+    plan = FaultPlan(
+        [FaultRule(NET_SEND, probability=0.2, count=None, action="torn")],
+        seed=42,
+    )
+    engine, server = start_server(service, max_ops=64, linger=0.002, faults=plan)
+    try:
+        nodes_before = len(service)
+        started = time.perf_counter()
+        with ServiceClient(
+            server.host, server.port,
+            timeout=30.0, retries=10, backoff_ms=1.0, retry_seed=7,
+        ) as db:
+            for i in range(ops):
+                result = db.insert(
+                    "article", f"<note><author>S{i}</author></note>"
+                )
+                assert result["ok"]
+        elapsed = time.perf_counter() - started
+        applied = len(service) - nodes_before
+        # The exactly-once invariant under the storm: 2 nodes per
+        # acknowledged insert, regardless of retries and replays.
+        assert applied == 2 * ops, (applied, ops)
+        return {
+            "ops": ops,
+            "seconds": elapsed,
+            "ops_per_second": ops / elapsed,
+            "frames_torn": len(plan.fired),
+            "dedup_replays": engine.stats.ops_deduped,
+            "exactly_once": True,
+        }
+    finally:
+        stop_server(engine, server, service)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small tree / fewer ops (CI smoke)"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_faults.json"),
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.15 if args.quick else 0.8
+    read_requests = 60 if args.quick else 400
+    dedup_ops = 25 if args.quick else 120
+    storm_ops = 20 if args.quick else 80
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_faults_"))
+    try:
+        degraded, degraded_overhead = measure_degraded_reads(
+            workdir, scale, read_requests
+        )
+        print(
+            f"degraded reads: SERVING p99 "
+            f"{degraded['serving']['p99_ms']:6.2f} ms, DEGRADED p99 "
+            f"{degraded['degraded']['p99_ms']:6.2f} ms "
+            f"-> {degraded_overhead:.2f}x"
+        )
+
+        dedup, dedup_overhead = measure_dedup_hits(workdir, scale, dedup_ops)
+        print(
+            f"dedup hits: fresh insert p99 "
+            f"{dedup['fresh_insert']['p99_ms']:6.2f} ms, replay p99 "
+            f"{dedup['dedup_replay']['p99_ms']:6.2f} ms "
+            f"-> {dedup_overhead:.2f}x"
+        )
+
+        storm = measure_retry_storm(workdir, scale, storm_ops)
+        print(
+            f"retry storm: {storm['ops']} inserts at "
+            f"{storm['ops_per_second']:6.1f} ops/s with "
+            f"{storm['frames_torn']} torn frames and "
+            f"{storm['dedup_replays']} dedup replays (exactly-once held)"
+        )
+
+        artifact = {
+            "meta": {"quick": args.quick, "grid": 10, "seed": 7, "scale": scale},
+            "degraded_reads": degraded,
+            "degraded_read_p99_overhead": degraded_overhead,
+            "dedup": dedup,
+            "dedup_hit_overhead": dedup_overhead,
+            "retry_storm": storm,
+        }
+        Path(args.out).write_text(json.dumps(artifact, indent=1) + "\n")
+        print(f"wrote {args.out}")
+
+        if not args.quick:
+            assert degraded_overhead <= 1.5, (
+                f"degraded reads {degraded_overhead:.2f}x over the healthy p99"
+            )
+            assert dedup_overhead <= 1.5, (
+                f"dedup replay {dedup_overhead:.2f}x over a fresh apply"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

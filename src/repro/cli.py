@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -216,6 +217,40 @@ def build_parser() -> argparse.ArgumentParser:
         "group open for straggling concurrent writers before flushing "
         "(0 = flush as soon as the queue drains)",
     )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the admission queue: past N pending requests new "
+        "submissions are fast-rejected with a retryable `overloaded` "
+        "error (default: unbounded)",
+    )
+    serve.add_argument(
+        "--client-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --listen: evict a connection that sends nothing for "
+        "this long, cancelling its unflushed ops (default: never)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="with --listen: how long connection teardown waits for "
+        "pending responses to flush before cutting the client off",
+    )
+    serve.add_argument(
+        "--read-only-on-wal-error",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="on a WAL append/fsync failure, degrade to read-only mode "
+        "(reads keep serving, writes get `read_only` errors, operator "
+        "`resume` re-probes the device); --no-read-only-on-wal-error "
+        "surfaces the raw storage error instead",
+    )
 
     client = commands.add_parser(
         "client",
@@ -234,6 +269,31 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="queue up to N consecutive insert/delete commands "
         "client-side and submit them as one atomic batch",
+    )
+    client.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry each request up to N times on connect failure, "
+        "timeout, mid-frame disconnect, or a retryable `overloaded` "
+        "reply; idempotency keys keep retried mutations exactly-once",
+    )
+    client.add_argument(
+        "--backoff-ms",
+        type=float,
+        default=50.0,
+        metavar="MS",
+        help="base retry backoff in milliseconds (doubles per attempt, "
+        "with jitter)",
+    )
+    client.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-request response timeout (raises a client timeout "
+        "instead of hanging on a stalled server)",
     )
 
     recover = commands.add_parser(
@@ -548,12 +608,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     # bug, Ctrl-C), the trailing partial batch flushes before the
     # session summary and the engine, server, worker pool, and WAL are
     # released.
+    service.read_only_on_wal_error = args.read_only_on_wal_error
     engine = ServiceEngine(
         service,
         max_ops=args.batch_size,
         linger=(args.linger_ms / 1000.0) if args.linger_ms else None,
+        max_queue=args.max_queue,
     )
     server = None
+    restore_signals: list[tuple[int, object]] = []
     try:
         if args.listen is not None:
             try:
@@ -561,9 +624,34 @@ def cmd_serve(args: argparse.Namespace) -> int:
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
-            server = EstimationServer(engine, host=host, port=port)
+            server = EstimationServer(
+                engine,
+                host=host,
+                port=port,
+                drain_timeout=args.drain_timeout,
+                client_timeout=args.client_timeout,
+            )
             server.start()
             print(f"listening on {server.host}:{server.port}")
+            # Container orchestration stops the process with SIGTERM (or
+            # Ctrl-C in a terminal): enter SHUTTING_DOWN exactly as a
+            # client-sent shutdown would -- stop admitting, flush the
+            # pending group, then the normal exit path checkpoints and
+            # drains connections.  The handler only nudges a daemon
+            # thread: engine.request blocks on the writer thread, and
+            # signal handlers must not (the Condition is not reentrant).
+            import signal as _signal
+
+            def _graceful(signum, frame):  # pragma: no cover - signal path
+                threading.Thread(
+                    target=lambda: engine.request({"op": "shutdown"}),
+                    name="signal-shutdown",
+                    daemon=True,
+                ).start()
+
+            for signum in (_signal.SIGTERM, _signal.SIGINT):
+                restore_signals.append((signum, _signal.getsignal(signum)))
+                _signal.signal(signum, _graceful)
         if args.script:
             lines = iter(Path(args.script).read_bytes().splitlines())
         else:
@@ -586,6 +674,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             lsn = service.checkpoint()
             print(f"checkpointed {args.wal_dir} at lsn {lsn}")
     finally:
+        if restore_signals:
+            import signal as _signal
+
+            for signum, previous in restore_signals:
+                try:
+                    _signal.signal(signum, previous)
+                except (ValueError, TypeError):  # pragma: no cover
+                    pass
         if server is not None:
             server.stop()
             server.join(timeout=10)
@@ -610,6 +706,7 @@ def _run_text_session(request_fn, lines, batch_size: int, out=print) -> None:
     from repro.service.protocol import (
         ProtocolError,
         decode_line,
+        format_error,
         format_flush_response,
         format_text_response,
         parse_text_command,
@@ -622,7 +719,7 @@ def _run_text_session(request_fn, lines, batch_size: int, out=print) -> None:
         pending.clear()
         response = request_fn({"op": "batch", "ops": ops})
         if not response.get("ok", False):
-            return f"error: {response.get('error', 'unknown failure')}"
+            return f"error: {format_error(response.get('error', 'unknown failure'))}"
         return format_flush_response(response)
 
     try:
@@ -684,8 +781,17 @@ def cmd_client(args: argparse.Namespace) -> int:
     if args.batch_size < 1:
         print("error: --batch-size must be >= 1", file=sys.stderr)
         return 2
+    if args.retries < 0:
+        print("error: --retries must be >= 0", file=sys.stderr)
+        return 2
     try:
-        client = ServiceClient(host, port)
+        client = ServiceClient(
+            host,
+            port,
+            timeout=args.timeout,
+            retries=args.retries,
+            backoff_ms=args.backoff_ms,
+        )
     except OSError as exc:
         print(f"error: cannot connect to {host}:{port}: {exc}", file=sys.stderr)
         return 1
@@ -694,7 +800,7 @@ def cmd_client(args: argparse.Namespace) -> int:
             lines = iter(Path(args.script).read_bytes().splitlines())
         else:
             lines = iter_raw_lines(sys.stdin.buffer)
-        _run_text_session(client.request, lines, args.batch_size)
+        _run_text_session(client.request_retrying, lines, args.batch_size)
     finally:
         client.close()
     return 0

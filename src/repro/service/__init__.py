@@ -9,8 +9,21 @@ statistics subsystem must.  See
 """
 
 from repro.service.batch import BatchError, BatchResult, DeleteOp, InsertOp
-from repro.service.client import ClientSnapshot, ServiceClient, ServiceError
-from repro.service.protocol import MAX_LINE_BYTES, ProtocolError
+from repro.service.client import (
+    ClientSnapshot,
+    ClientTimeout,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.faults import FaultPlan, FaultRule
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    CodedError,
+    OverloadedError,
+    ProtocolError,
+    ReadOnlyError,
+    ShuttingDownError,
+)
 from repro.service.server import EstimationServer, ServiceEngine
 from repro.service.service import EstimationService, ServiceStats, UpdateResult
 from repro.service.snapshot import ServiceSnapshot
@@ -26,13 +39,20 @@ __all__ = [
     "BatchError",
     "BatchResult",
     "ClientSnapshot",
+    "ClientTimeout",
+    "CodedError",
     "CompactStats",
     "DeleteOp",
     "EstimationServer",
     "EstimationService",
+    "FaultPlan",
+    "FaultRule",
     "InsertOp",
     "MAX_LINE_BYTES",
+    "OverloadedError",
     "ProtocolError",
+    "ReadOnlyError",
+    "ShuttingDownError",
     "RecoveryInfo",
     "ServiceClient",
     "ServiceEngine",

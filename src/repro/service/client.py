@@ -18,20 +18,57 @@ request/response round-trip.  For pipelining, open one client per
 thread -- connections are cheap and the server coalesces concurrent
 writers' ops into shared admission batches regardless of which
 connection they arrive on.
+
+Resilience
+----------
+``timeout`` applies to the whole round-trip -- connect *and* each
+per-request receive -- and a stalled server surfaces as a typed
+:class:`ClientTimeout` rather than a raw ``socket.timeout``.  With
+``retries > 0`` the client retries transport failures (connect
+refusal, timeout, disconnect -- including a *mid-frame* disconnect,
+where the line arrived without its newline) and ``overloaded``
+rejections, reconnecting and backing off exponentially with seeded
+jitter between attempts.  Every mutation carries a client-generated
+**idempotency key** (``"idem"``), so a retry of an acked-but-lost op
+replays the server's recorded reply instead of applying twice --
+at-most-once effects with at-least-once delivery.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
+import uuid
 from typing import Any, Iterable, Optional, Sequence
 
+import itertools
 import threading
 
-from repro.service.protocol import MAX_LINE_BYTES, ProtocolError, encode_frame
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    encode_frame,
+    format_error,
+)
 
 
 class ServiceError(RuntimeError):
-    """The server answered ``ok: false``; the message is its ``error``."""
+    """The server answered ``ok: false``; ``code`` is the structured
+    error code (``None`` for plain-string errors)."""
+
+    def __init__(self, error) -> None:
+        super().__init__(format_error(error))
+        self.code: Optional[str] = (
+            error.get("code") if isinstance(error, dict) else None
+        )
+        self.retryable: bool = bool(
+            error.get("retryable") if isinstance(error, dict) else False
+        )
+
+
+class ClientTimeout(TimeoutError):
+    """The server did not answer within the client's ``timeout``."""
 
 
 class ClientSnapshot:
@@ -67,45 +104,180 @@ class ServiceClient:
     """One TCP connection to an :class:`~repro.service.server.EstimationServer`."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 0, *, timeout: Optional[float] = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: Optional[float] = 60.0,
+        retries: int = 0,
+        backoff_ms: float = 50.0,
+        retry_seed: Optional[int] = None,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rb")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff_ms < 0:
+            raise ValueError("backoff_ms must be >= 0")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.retries = retries
+        self.backoff_ms = backoff_ms
+        self._rng = random.Random(retry_seed)
         self._lock = threading.Lock()
         self._closed = False
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        # Idempotency keys: unique per client instance and per mutation,
+        # stable across that mutation's retries.
+        self._idem_prefix = uuid.uuid4().hex
+        self._idem_counter = itertools.count(1)
+        try:
+            self._connect_locked()
+        except socket.timeout as exc:
+            raise ClientTimeout(f"connect timed out: {exc}") from exc
 
     # -- transport ---------------------------------------------------------
 
+    def _connect_locked(self) -> None:
+        """(Re-)establish the connection.  Caller holds no round-trip in
+        flight (constructor, or the retry loop under ``_lock``)."""
+        self._teardown_socket()
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        sock.settimeout(self._timeout)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+
+    def _teardown_socket(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def next_idempotency_key(self) -> str:
+        return f"{self._idem_prefix}-{next(self._idem_counter)}"
+
     def request(self, request: dict) -> dict:
-        """One request/response round-trip; returns the raw response."""
+        """One request/response round-trip; returns the raw response.
+
+        Raises :class:`ConnectionError` on disconnect (including a
+        mid-frame one), :class:`ClientTimeout` when the server stalls
+        past ``timeout``.  No retrying at this layer -- that is
+        :meth:`_call`'s job, where idempotency keys make it safe.
+        """
+        with self._lock:
+            return self._request_locked(request)
+
+    def _request_locked(self, request: dict) -> dict:
         import json
 
-        with self._lock:
-            if self._closed:
-                raise ConnectionError("client is closed")
+        if self._closed:
+            raise ConnectionError("client is closed")
+        if self._sock is None:
+            try:
+                self._connect_locked()
+            except socket.timeout as exc:
+                raise ClientTimeout(f"connect timed out: {exc}") from exc
+            except ConnectionError:
+                raise
+            except OSError as exc:
+                raise ConnectionError(f"reconnect failed: {exc}") from exc
+        try:
             self._sock.sendall(encode_frame(request))
             raw = self._file.readline(MAX_LINE_BYTES + 1)
+        except socket.timeout as exc:
+            # The connection state is ambiguous (a late reply would
+            # desynchronise the stream): drop it, reconnect lazily.
+            self._teardown_socket()
+            raise ClientTimeout(
+                f"no response within {self._timeout}s"
+            ) from exc
+        except OSError as exc:
+            self._teardown_socket()
+            raise ConnectionError(f"connection failed mid-request: {exc}") from exc
         if not raw:
+            self._teardown_socket()
             raise ConnectionError("server closed the connection")
+        if not raw.endswith(b"\n"):
+            # A frame is one newline-terminated line; bytes without the
+            # terminator mean the server vanished mid-frame.
+            self._teardown_socket()
+            raise ConnectionError("server disconnected mid-frame")
         if len(raw) > MAX_LINE_BYTES:
             raise ProtocolError("oversized response frame")
         return json.loads(raw.decode("utf-8"))
 
+    def request_retrying(self, request: dict) -> dict:
+        """:meth:`request` plus the bounded retry/backoff of the typed
+        methods; error replies come back as response dicts.  A mutation
+        without an ``"idem"`` key gets one stamped first (when retries
+        are enabled), so the retries stay exactly-once."""
+        if (
+            self.retries > 0
+            and request.get("op") in ("insert", "delete", "batch")
+            and "idem" not in request
+        ):
+            request = {**request, "idem": self.next_idempotency_key()}
+        attempt = 0
+        while True:
+            try:
+                with self._lock:
+                    response = self._request_locked(request)
+            except (ConnectionError, ClientTimeout):
+                if attempt >= self.retries or self._closed:
+                    raise
+                self._backoff(attempt)
+                attempt += 1
+                continue
+            if not response.get("ok", False):
+                error = response.get("error")
+                if (
+                    attempt < self.retries
+                    and isinstance(error, dict)
+                    and error.get("retryable")
+                ):
+                    self._backoff(attempt, hint=error.get("retry_after_ms"))
+                    attempt += 1
+                    continue
+            return response
+
     def _call(self, request: dict) -> dict:
-        response = self.request(request)
+        """Typed round-trip with bounded retry.
+
+        Retries transport failures and retryable coded errors
+        (``overloaded``) up to ``retries`` times, reconnecting first
+        and sleeping an exponentially growing, jittered backoff between
+        attempts.  The *same* request object -- same idempotency key --
+        is resent, so mutations cannot double-apply.
+        """
+        response = self.request_retrying(request)
         if not response.get("ok", False):
             raise ServiceError(response.get("error", "unknown server error"))
         return response
+
+    def _backoff(self, attempt: int, hint: Optional[float] = None) -> None:
+        base = self.backoff_ms / 1000.0
+        if hint is not None:
+            base = max(base, float(hint) / 1000.0)
+        delay = base * (2 ** attempt) * (0.5 + self._rng.random() / 2)
+        if delay > 0:
+            time.sleep(delay)
 
     def close(self) -> None:
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            try:
-                self._file.close()
-            finally:
-                self._sock.close()
+            self._teardown_socket()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -117,6 +289,9 @@ class ServiceClient:
 
     def ping(self) -> bool:
         return self._call({"op": "ping"})["ok"]
+
+    def health(self) -> dict:
+        return self._call({"op": "health"})
 
     def estimate(
         self,
@@ -176,6 +351,7 @@ class ServiceClient:
             "op": "insert",
             "parent": {"tag": parent_tag, "ordinal": ordinal},
             "xml": xml,
+            "idem": self.next_idempotency_key(),
         }
         if position is not None:
             request["position"] = position
@@ -183,21 +359,40 @@ class ServiceClient:
 
     def delete(self, tag: str, *, ordinal: int = 1) -> dict:
         return self._call(
-            {"op": "delete", "node": {"tag": tag, "ordinal": ordinal}}
+            {
+                "op": "delete",
+                "node": {"tag": tag, "ordinal": ordinal},
+                "idem": self.next_idempotency_key(),
+            }
         )
 
     def batch(self, ops: Iterable[dict]) -> dict:
         """All-or-nothing batch: every op applies in one admission unit
         (one WAL record, one fsync) or none do."""
-        return self._call({"op": "batch", "ops": list(ops)})
+        return self._call(
+            {
+                "op": "batch",
+                "ops": list(ops),
+                "idem": self.next_idempotency_key(),
+            }
+        )
 
     def save(self, path: str) -> dict:
         return self._call({"op": "save", "path": str(path)})
 
     # -- control -----------------------------------------------------------
 
+    def resume(self) -> dict:
+        """Operator resume after storage-fault degradation."""
+        return self._call({"op": "resume"})
+
     def shutdown(self) -> dict:
         return self._call({"op": "shutdown"})
 
 
-__all__ = ["ClientSnapshot", "ServiceClient", "ServiceError"]
+__all__ = [
+    "ClientSnapshot",
+    "ClientTimeout",
+    "ServiceClient",
+    "ServiceError",
+]

@@ -1,0 +1,275 @@
+"""Deterministic fault injection for the durability and serve tiers.
+
+Every hardening suite before this module injected faults ad hoc --
+truncating log files byte by byte, monkeypatching ``os.fsync`` -- which
+covers crash *recovery* but not the runtime failure paths: what the
+live service does the moment an ``fsync`` raises ``EIO``, a write
+stops halfway through a record, or a client vanishes mid-frame.
+
+:class:`FaultPlan` is the one pluggable injection point for all of
+them.  A plan is a list of :class:`FaultRule` schedules over named
+**fault points** -- ``"wal.fsync"``, ``"wal.write"``, ``"ckpt.write"``,
+``"ckpt.rename"``, ``"dir.fsync"``, ``"net.send"``, ``"net.recv"`` --
+that the write-ahead log, the checkpoint writer, and the TCP server
+consult before the real operation.  A rule fires
+
+* on the **Nth hit** of its point (``nth=3`` = the third fsync), or
+* with **probability p**, drawn from the plan's seeded RNG, optionally
+  only ``after_byte`` bytes have passed through the point,
+
+and every firing is appended to :attr:`FaultPlan.fired`, so a chaos
+run is fully replayable: same rules + same seed + same workload =
+the same faults at the same operations.
+
+Storage actions raise :class:`OSError` with a configurable ``errno``
+(``EIO`` by default; use ``errno.ENOSPC`` for disk-full schedules).
+``action="torn"`` additionally writes a prefix of the buffer before
+raising, simulating a short write that leaves a torn record on disk
+for recovery to truncate.  Network actions (``disconnect``, ``stall``,
+``delay``, ``torn``) are returned to the server's connection handler,
+which enacts them on the socket.
+
+The plan is thread-safe: the WAL writer thread, the asyncio server
+thread, and checkpoint callers may all consult it concurrently; the
+hit counters advance under one lock, so "the Nth fsync" is the Nth
+fsync in wall-clock order across all threads.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+#: Storage fault points (consulted by :mod:`repro.service.wal`).
+WAL_WRITE = "wal.write"      # appending a record frame to the log
+WAL_FSYNC = "wal.fsync"      # fsync of the log file
+CKPT_WRITE = "ckpt.write"    # writing a checkpoint/compaction temp file
+CKPT_FSYNC = "ckpt.fsync"    # fsync of a checkpoint temp file
+CKPT_RENAME = "ckpt.rename"  # atomic rename of a temp file into place
+DIR_FSYNC = "dir.fsync"      # fsync of the durable directory entry
+#: Network fault points (consulted by the TCP server).
+NET_SEND = "net.send"        # before writing a response frame
+NET_RECV = "net.recv"        # after reading a request frame
+
+STORAGE_POINTS = (WAL_WRITE, WAL_FSYNC, CKPT_WRITE, CKPT_FSYNC, CKPT_RENAME, DIR_FSYNC)
+NETWORK_POINTS = (NET_SEND, NET_RECV)
+
+_ACTIONS = ("error", "torn", "disconnect", "stall", "delay")
+
+
+@dataclass
+class FaultRule:
+    """One scheduled fault at one fault point.
+
+    Exactly one trigger applies: ``nth`` (fire on the Nth hit of the
+    point, 1-based) when set, else ``probability`` (an independent
+    seeded draw per hit).  ``after_byte`` gates either trigger until
+    that many bytes have passed through the point.  ``count`` bounds
+    how many times the rule fires in total (``None`` = every time the
+    trigger matches -- a persistent outage).
+    """
+
+    point: str
+    nth: Optional[int] = None
+    probability: float = 0.0
+    after_byte: int = 0
+    count: Optional[int] = 1
+    action: str = "error"
+    errno: int = _errno.EIO
+    torn_fraction: float = 0.5
+    delay: float = 0.0
+    message: str = "injected fault"
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if self.nth is not None and self.nth < 1:
+            raise ValueError(f"nth is 1-based, got {self.nth}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {self.probability}")
+        if not 0.0 <= self.torn_fraction <= 1.0:
+            raise ValueError(
+                f"torn fraction must be in [0, 1], got {self.torn_fraction}"
+            )
+
+    def to_error(self) -> OSError:
+        return OSError(self.errno, f"{self.message} [{self.point}]")
+
+
+@dataclass
+class FiredFault:
+    """One rule firing: the replayable chaos-run trace entry."""
+
+    point: str
+    hit: int
+    action: str
+    nbytes: int
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of faults over named points.
+
+    Construct with the rules and a seed, hand it to
+    :class:`~repro.service.wal.WriteAheadLog` (storage points) and/or
+    :class:`~repro.service.server.EstimationServer` (network points),
+    and drive the workload; :attr:`fired` records what fired where.
+    ``clear()`` resets counters so one plan object can be re-armed
+    between runs (the RNG re-seeds too, keeping replays identical).
+    """
+
+    def __init__(self, rules: Optional[list[FaultRule]] = None, seed: int = 0) -> None:
+        self.rules = list(rules or [])
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._hits: dict[str, int] = {}
+        self._bytes: dict[str, int] = {}
+        self.fired: list[FiredFault] = []
+
+    # -- schedule construction helpers --------------------------------------
+
+    @classmethod
+    def failing(cls, point: str, nth: int = 1, *, count: Optional[int] = 1,
+                errno: int = _errno.EIO, seed: int = 0) -> "FaultPlan":
+        """The common one-rule plan: fail the Nth operation at a point."""
+        return cls([FaultRule(point, nth=nth, count=count, errno=errno)], seed=seed)
+
+    @classmethod
+    def outage(cls, *points: str, after: int = 0, seed: int = 0) -> "FaultPlan":
+        """A persistent outage: from hit ``after + 1`` on, every
+        operation at each point fails (the sticky-degradation drill)."""
+        return cls(
+            [FaultRule(p, nth=after + 1, count=None) for p in points], seed=seed
+        )
+
+    def clear(self) -> None:
+        """Reset hit counters, rule budgets, and the RNG (re-arm)."""
+        with self._lock:
+            self._hits.clear()
+            self._bytes.clear()
+            self.fired.clear()
+            self._rng = random.Random(self.seed)
+            for rule in self.rules:
+                rule.fired = 0
+
+    def hits(self, point: str) -> int:
+        with self._lock:
+            return self._hits.get(point, 0)
+
+    # -- firing --------------------------------------------------------------
+
+    def check(self, point: str, nbytes: int = 0) -> Optional[FaultRule]:
+        """Record one hit at ``point``; return the rule that fires, if any.
+
+        Deterministic: the decision depends only on the rules, the
+        seed, and the sequence of ``check`` calls so far.
+        """
+        with self._lock:
+            hit = self._hits.get(point, 0) + 1
+            self._hits[point] = hit
+            seen = self._bytes.get(point, 0)
+            self._bytes[point] = seen + max(0, int(nbytes))
+            for rule in self.rules:
+                if rule.point != point:
+                    continue
+                if rule.count is not None and rule.fired >= rule.count:
+                    continue
+                if seen < rule.after_byte:
+                    continue
+                if rule.nth is not None:
+                    if hit < rule.nth:
+                        continue
+                    # count=1 fires exactly on the Nth hit; an unbounded
+                    # (or multi-shot) rule keeps firing from the Nth on.
+                    if rule.count == 1 and hit != rule.nth:
+                        continue
+                elif not (
+                    rule.probability > 0.0
+                    and self._rng.random() < rule.probability
+                ):
+                    continue
+                rule.fired += 1
+                self.fired.append(FiredFault(point, hit, rule.action, nbytes))
+                return rule
+            return None
+
+    def fire(self, point: str, nbytes: int = 0) -> None:
+        """Raise the scheduled :class:`OSError` at a storage point.
+
+        ``delay``/``stall`` actions sleep instead of raising, modelling
+        a slow device rather than a failed one.
+        """
+        rule = self.check(point, nbytes)
+        if rule is None:
+            return
+        if rule.action in ("delay", "stall"):
+            if rule.delay > 0:
+                import time
+
+                time.sleep(rule.delay)
+            return
+        raise rule.to_error()
+
+    def intercept_write(
+        self, point: str, data: bytes
+    ) -> tuple[bytes, Optional[OSError]]:
+        """Mediate one buffer write at a storage point.
+
+        Returns ``(prefix, error)``: the caller writes ``prefix`` (the
+        whole buffer when no rule fires), then raises ``error`` if it
+        is not ``None``.  ``action="torn"`` yields a strict prefix --
+        the short/torn write that leaves a checksummed-invalid tail on
+        disk; ``action="error"`` yields no bytes at all.
+        """
+        rule = self.check(point, len(data))
+        if rule is None:
+            return data, None
+        if rule.action == "torn":
+            cut = int(len(data) * rule.torn_fraction)
+            cut = max(1, min(len(data) - 1, cut)) if len(data) > 1 else 0
+            return data[:cut], rule.to_error()
+        if rule.action in ("delay", "stall"):
+            if rule.delay > 0:
+                import time
+
+                time.sleep(rule.delay)
+            return data, None
+        return b"", rule.to_error()
+
+    def network(self, point: str, nbytes: int = 0) -> Optional[FaultRule]:
+        """The fired rule at a network point (``None`` = proceed).
+
+        The connection handler enacts the action: ``disconnect`` closes
+        the socket, ``torn`` closes it mid-frame, ``stall``/``delay``
+        sleep before proceeding, ``error`` maps to ``disconnect``.
+        """
+        return self.check(point, nbytes)
+
+
+def fire(plan: Optional[FaultPlan], point: str, nbytes: int = 0) -> None:
+    """``plan.fire`` that tolerates ``plan=None`` (no injection)."""
+    if plan is not None:
+        plan.fire(point, nbytes)
+
+
+__all__ = [
+    "CKPT_FSYNC",
+    "CKPT_RENAME",
+    "CKPT_WRITE",
+    "DIR_FSYNC",
+    "FaultPlan",
+    "FaultRule",
+    "FiredFault",
+    "NET_RECV",
+    "NET_SEND",
+    "NETWORK_POINTS",
+    "STORAGE_POINTS",
+    "WAL_FSYNC",
+    "WAL_WRITE",
+    "fire",
+]

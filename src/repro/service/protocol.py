@@ -28,7 +28,16 @@ targets are ``{"tag": t, "ordinal": k}`` (the *k*-th element with tag
 index), resolved when the admission batch the op joins flushes.
 
 Responses are ``{"ok": true, ...}`` or ``{"ok": false, "error": msg}``.
-See the README's *Wire protocol* section for the per-op field tables.
+``error`` is historically a plain string; *coded* failures -- the ones
+a client is expected to branch on (``read_only``, ``overloaded``,
+``shutting_down``) -- carry a structured object instead::
+
+    {"ok": false, "error": {"code": "read_only", "message": "...",
+                            "retryable": false}}
+
+with an optional ``retry_after_ms`` hint on retryable codes.  See the
+README's *Wire protocol* and *Failure modes* sections for the per-op
+field tables and the full error-code table.
 """
 
 from __future__ import annotations
@@ -44,6 +53,76 @@ MAX_LINE_BYTES = 1 << 20
 
 class ProtocolError(ValueError):
     """A malformed request line/frame; the connection stays usable."""
+
+
+class CodedError(RuntimeError):
+    """A failure clients branch on: serialised as a structured error.
+
+    Subclasses fix ``code`` (stable, machine-readable) and
+    ``retryable`` (whether the *same* request can be expected to
+    succeed later without operator action).  ``retry_after_ms`` is an
+    optional backoff hint shipped with retryable codes.
+    """
+
+    code = "error"
+    retryable = False
+
+    def __init__(self, message: str, *, retry_after_ms: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+    def payload(self) -> dict:
+        out: dict[str, Any] = {
+            "code": self.code,
+            "message": str(self),
+            "retryable": self.retryable,
+        }
+        if self.retry_after_ms is not None:
+            out["retry_after_ms"] = float(self.retry_after_ms)
+        return out
+
+
+class ReadOnlyError(CodedError):
+    """Mutations refused: the service degraded to read-only after a
+    storage fault; an operator ``resume`` re-admits writes."""
+
+    code = "read_only"
+    retryable = False
+
+
+class OverloadedError(CodedError):
+    """Admission refused fast: the queue (or the connection's in-flight
+    budget) is at its high-water mark.  Retry after backing off."""
+
+    code = "overloaded"
+    retryable = True
+
+
+class ShuttingDownError(CodedError):
+    """The service is draining for shutdown; no new work is admitted."""
+
+    code = "shutting_down"
+    retryable = False
+
+
+def error_code(response: dict) -> Optional[str]:
+    """The machine-readable code of an error response (``None`` for
+    ``ok`` responses and plain-string errors)."""
+    error = response.get("error")
+    if isinstance(error, dict):
+        code = error.get("code")
+        return str(code) if code is not None else None
+    return None
+
+
+def format_error(error) -> str:
+    """One human-readable line for a response's ``error`` field,
+    whichever shape (plain string or coded object) it has."""
+    if isinstance(error, dict):
+        message = error.get("message", "")
+        code = error.get("code", "error")
+        return f"{code}: {message}" if message else str(code)
+    return str(error)
 
 
 def decode_line(
@@ -135,12 +214,30 @@ def encode_frame(obj: dict) -> bytes:
     return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
 
 
-def error_response(message: str, request: Optional[dict] = None) -> dict:
-    """The error frame for a failed (or undecodable) request."""
-    response: dict[str, Any] = {"ok": False, "error": str(message)}
+def error_response(message, request: Optional[dict] = None) -> dict:
+    """The error frame for a failed (or undecodable) request.
+
+    ``message`` may be a plain string (historical errors), a
+    :class:`CodedError` (serialised structurally), or an
+    already-structured error dict (passed through).
+    """
+    if isinstance(message, CodedError):
+        error: Union[str, dict] = message.payload()
+    elif isinstance(message, dict):
+        error = message
+    else:
+        error = str(message)
+    response: dict[str, Any] = {"ok": False, "error": error}
     if request is not None and "id" in request:
         response["id"] = request["id"]
     return response
+
+
+def exception_response(exc: BaseException, request: Optional[dict] = None) -> dict:
+    """The error frame for a raised exception, keeping codes intact."""
+    if isinstance(exc, CodedError):
+        return error_response(exc, request)
+    return error_response(str(exc), request)
 
 
 # -- text command language --------------------------------------------------
@@ -195,6 +292,10 @@ def parse_text_command(line: str) -> dict:
         if not rest:
             raise ValueError("usage: save <path.npz>")
         return {"op": "save", "path": rest}
+    if command == "health":
+        return {"op": "health"}
+    if command == "resume":
+        return {"op": "resume"}
     if command == "shutdown":
         return {"op": "shutdown"}
     raise ValueError(f"unknown command {command!r}")
@@ -203,7 +304,7 @@ def parse_text_command(line: str) -> dict:
 def format_text_response(request: dict, response: dict) -> str:
     """Render a response object as the historical single-line reply."""
     if not response.get("ok", False):
-        return f"error: {response.get('error', 'unknown failure')}"
+        return f"error: {format_error(response.get('error', 'unknown failure'))}"
     op = request["op"]
     if op == "estimate":
         return f"estimate {response['value']:.2f}"
@@ -225,6 +326,13 @@ def format_text_response(request: dict, response: dict) -> str:
         )
     if op == "save":
         return f"ok save {response['predicates']} predicates -> {response['path']}"
+    if op == "health":
+        return (
+            f"health {response['mode']} queue={response['queue_depth']} "
+            f"epoch={response['epoch']} wal_lag={response['wal']['lag']}"
+        )
+    if op == "resume":
+        return f"ok resume {'resumed' if response.get('resumed') else 'already serving'}"
     if op == "shutdown":
         return "ok shutdown"
     return f"ok {op}"

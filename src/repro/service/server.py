@@ -45,6 +45,7 @@ import asyncio
 import itertools
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -52,12 +53,17 @@ import numpy as np
 
 from repro.predicates.base import TagPredicate
 from repro.service.batch import BatchError, DeleteOp, InsertOp
+from repro.service.faults import NET_RECV, NET_SEND
 from repro.service.protocol import (
     MAX_LINE_BYTES,
+    OverloadedError,
     ProtocolError,
+    ReadOnlyError,
+    ShuttingDownError,
     decode_frame,
     encode_frame,
     error_response,
+    exception_response,
 )
 from repro.xmltree.parser import parse_document
 
@@ -231,16 +237,22 @@ class EngineStats:
     ops_admitted: int = 0
     ops_failed: int = 0
     ops_cancelled: int = 0
+    ops_deduped: int = 0
+    ops_rejected: int = 0
+    sessions_evicted: int = 0
     largest_group: int = 0
     view_refreshes: int = 0
     protocol_errors: int = 0
 
 
-#: Ops executed inline by the submitting thread, never queued.
-_IMMEDIATE_OPS = frozenset({"ping", "release"})
+#: Ops executed inline by the submitting thread, never queued.  Health
+#: is deliberately immediate: it must answer even when the writer is
+#: wedged behind a slow flush or the service is degraded.
+_IMMEDIATE_OPS = frozenset({"ping", "release", "health"})
 #: Ops the writer thread runs as barriers (pending writes flush first).
 _CONTROL_OPS = frozenset(
-    {"estimate", "exact", "execute", "stats", "save", "snapshot", "batch", "shutdown"}
+    {"estimate", "exact", "execute", "stats", "save", "snapshot", "batch",
+     "resume", "shutdown"}
 )
 
 
@@ -252,14 +264,36 @@ class ServiceEngine:
     ops coalesced into one ``apply_batch`` call; ``linger`` (seconds,
     ``None`` = greedy) holds a non-full group open for stragglers once
     at least one op is pending.
+
+    ``max_queue`` bounds the admission queue: past the high-water mark
+    ``submit`` fast-rejects with :class:`OverloadedError` instead of
+    letting one fast writer grow the queue without limit.
+    ``dedup_window`` sizes the idempotency LRU -- the last N committed
+    request keys with their recorded replies, so a client retry of an
+    acked-but-lost mutation replays the reply instead of re-applying.
     """
 
-    def __init__(self, service, *, max_ops: int = 64, linger: Optional[float] = None) -> None:
+    def __init__(
+        self,
+        service,
+        *,
+        max_ops: int = 64,
+        linger: Optional[float] = None,
+        max_queue: Optional[int] = None,
+        dedup_window: int = 1024,
+    ) -> None:
         if max_ops < 1:
             raise ValueError("max_ops must be >= 1")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
         self.service = service
         self.max_ops = max_ops
         self.linger = linger if linger else None
+        self.max_queue = max_queue
+        self.dedup_window = max(0, int(dedup_window))
+        #: Idempotency LRU: key -> recorded success reply.  Touched only
+        #: by the writer thread (flush paths), so it needs no lock.
+        self._dedup: "OrderedDict[str, dict]" = OrderedDict()
         self.stats = EngineStats()
         self.shutdown_event = threading.Event()
         self._on_shutdown: list[Callable[[], None]] = []
@@ -280,6 +314,17 @@ class ServiceEngine:
     def session(self) -> Session:
         return Session(self)
 
+    @property
+    def mode(self) -> str:
+        """``SERVING`` | ``DEGRADED`` | ``SHUTTING_DOWN`` -- the health
+        state machine (shutdown wins: a degraded service draining for
+        exit reports SHUTTING_DOWN)."""
+        if self._stopping:
+            return "SHUTTING_DOWN"
+        if getattr(self.service, "degraded", False):
+            return "DEGRADED"
+        return "SERVING"
+
     def request(self, request: dict, session: Optional[Session] = None) -> dict:
         """Synchronous dispatch: immediate ops run inline, everything
         else queues to the writer thread and blocks for the response."""
@@ -292,7 +337,7 @@ class ServiceEngine:
                 return self._immediate(request, session)
             return self.submit(request, session).wait()
         except Exception as exc:
-            return error_response(str(exc), request)
+            return exception_response(exc, request)
 
     def submit(
         self,
@@ -328,7 +373,13 @@ class ServiceEngine:
             if self._failed is not None:
                 raise RuntimeError(f"admission writer died: {self._failed}")
             if self._stopping:
-                raise RuntimeError("service is shutting down")
+                raise ShuttingDownError("service is shutting down")
+            if self.max_queue is not None and len(self._queue) >= self.max_queue:
+                self.stats.ops_rejected += 1
+                raise OverloadedError(
+                    f"admission queue at its high-water mark ({self.max_queue})",
+                    retry_after_ms=50.0,
+                )
             self._queue.append(ticket)
             self._cond.notify_all()
         return ticket
@@ -364,6 +415,8 @@ class ServiceEngine:
         op = request["op"]
         if op == "ping":
             return {"ok": True, "op": "ping"}
+        if op == "health":
+            return self._health_response()
         if op == "release":
             sid = int(request.get("snapshot", 0))
             if not self._drop_snapshot(sid):
@@ -382,6 +435,32 @@ class ServiceEngine:
         else:
             view = self._view
         return self._estimate_on(view, request)
+
+    def _health_response(self) -> dict:
+        """Liveness + mode + load, served without touching the queue.
+
+        Reads racy counters without the condition lock -- health must
+        answer while the writer is mid-flush or wedged, and a depth off
+        by one is fine for an operator signal.
+        """
+        service = self.service
+        wal: dict[str, Any] = {"attached": service.wal_attached}
+        if service.wal_attached:
+            wal["lag"] = int(service._last_lsn - service._last_checkpoint_lsn)
+            wal["last_lsn"] = int(service._last_lsn)
+        else:
+            wal["lag"] = 0
+        response: dict[str, Any] = {
+            "ok": True,
+            "op": "health",
+            "mode": self.mode,
+            "queue_depth": len(self._queue),
+            "epoch": int(service.epoch),
+            "wal": wal,
+        }
+        if getattr(service, "degraded", False):
+            response["degraded_reason"] = service.degraded_reason
+        return response
 
     @staticmethod
     def _estimate_on(view, request: dict) -> dict:
@@ -464,60 +543,131 @@ class ServiceEngine:
                 live.append(ticket)
         return live
 
+    # -- idempotent dedup (writer thread only) ------------------------------
+
+    @staticmethod
+    def _idem_key(request: dict) -> Optional[str]:
+        key = request.get("idem")
+        return key if isinstance(key, str) and key else None
+
+    def _dedup_record(self, request: dict, response: dict) -> None:
+        """Remember a *committed* reply under its idempotency key.
+
+        Only success replies are recorded: a failed op was never
+        applied, so retrying it is safe and should really retry.  The
+        stored copy drops ``id`` (each delivery echoes its own).
+        """
+        key = self._idem_key(request)
+        if key is None or self.dedup_window == 0 or not response.get("ok"):
+            return
+        self._dedup[key] = {k: v for k, v in response.items() if k != "id"}
+        self._dedup.move_to_end(key)
+        while len(self._dedup) > self.dedup_window:
+            self._dedup.popitem(last=False)
+
+    def _dedup_replay(self, ticket: Ticket) -> bool:
+        """Replay the recorded reply for a retried key, if one exists."""
+        key = self._idem_key(ticket.request)
+        if key is None:
+            return False
+        stored = self._dedup.get(key)
+        if stored is None:
+            return False
+        self._dedup.move_to_end(key)
+        self.stats.ops_deduped += 1
+        response = dict(stored)
+        response["deduped"] = True
+        ticket.resolve(response)
+        return True
+
+    def _finish_op(self, ticket: Ticket, nodes: int, rebuilt: bool, coalesced: int) -> None:
+        response = self._op_response(ticket, nodes, rebuilt, coalesced)
+        self._dedup_record(ticket.request, response)
+        ticket.resolve(response)
+
     def _flush_group(self, group: list[Ticket]) -> None:
         """One coalesced ``apply_batch`` for a group of single-op tickets,
         with per-op attribution on failure."""
         service = self.service
+        if getattr(service, "degraded", False):
+            # Sticky read-only: reject the whole group fast (dedup
+            # still replays committed retries -- they *did* apply).
+            for ticket in self._live(group):
+                if self._dedup_replay(ticket):
+                    continue
+                self.stats.ops_failed += 1
+                ticket.resolve(error_response(ReadOnlyError(
+                    f"service is read-only (degraded): {service.degraded_reason}"
+                ), ticket.request))
+            return
         resolved: list[tuple[Ticket, Any, int]] = []
+        deferred: list[Ticket] = []
+        group_keys: set[str] = set()
         for ticket in self._live(group):
+            if self._dedup_replay(ticket):
+                continue
+            key = self._idem_key(ticket.request)
+            if key is not None:
+                if key in group_keys:
+                    # Duplicate key *within* this group: hold it back
+                    # until the first instance commits, then replay.
+                    deferred.append(ticket)
+                    continue
+                group_keys.add(key)
             try:
                 op, nodes = ticket.spec.resolve(service)
             except Exception as exc:
                 self.stats.ops_failed += 1
-                ticket.resolve(error_response(str(exc), ticket.request))
+                ticket.resolve(exception_response(exc, ticket.request))
                 continue
             resolved.append((ticket, op, nodes))
-        if not resolved:
-            return
-        try:
-            result = service.apply_batch([op for _, op, _ in resolved])
-        except BatchError as exc:
-            if exc.applied:
-                # Every op applied; only the summary flush failed and the
-                # service re-synchronised with a rebuild.  Report success.
-                self._record_flush(len(resolved))
-                for ticket, _, nodes in resolved:
-                    ticket.resolve(self._op_response(ticket, nodes, True, len(resolved)))
+        if resolved:
+            try:
+                result = service.apply_batch([op for _, op, _ in resolved])
+            except BatchError as exc:
+                if exc.applied:
+                    # Every op applied; only the summary flush failed and
+                    # the service re-synchronised with a rebuild.  Report
+                    # success.
+                    self._record_flush(len(resolved))
+                    for ticket, _, nodes in resolved:
+                        self._finish_op(ticket, nodes, True, len(resolved))
+                else:
+                    self._retry_singly([t for t, _, _ in resolved])
+                self._refresh_view()
+            except Exception:
+                # First-op failure: apply_batch re-raised the original
+                # error with the pre-batch state restored (a WAL append
+                # failure degrades the service and applies nothing --
+                # the singly retries then get coded read_only errors).
+                self._retry_singly([t for t, _, _ in resolved])
+                self._refresh_view()
             else:
-                self._retry_singly(resolved)
+                self._record_flush(result.ops)
+                for ticket, _, nodes in resolved:
+                    self._finish_op(ticket, nodes, result.rebuilt, result.ops)
+                self._refresh_view()
+        if deferred:
+            self._retry_singly(deferred)
             self._refresh_view()
-            return
-        except Exception:
-            # First-op failure: apply_batch re-raised the original error
-            # with the pre-batch state restored.  Attribute per op.
-            self._retry_singly(resolved)
-            self._refresh_view()
-            return
-        self._record_flush(result.ops)
-        for ticket, _, nodes in resolved:
-            ticket.resolve(self._op_response(ticket, nodes, result.rebuilt, result.ops))
-        self._refresh_view()
 
-    def _retry_singly(self, resolved: list[tuple[Ticket, Any, int]]) -> None:
+    def _retry_singly(self, tickets: list[Ticket]) -> None:
         """A grouped flush was rolled back (state bit-identical to
         pre-batch); re-apply one op at a time so each client learns the
         fate of exactly its own op and failing ops are never admitted."""
         service = self.service
-        for ticket, _, _ in resolved:
+        for ticket in tickets:
+            if self._dedup_replay(ticket):
+                continue
             try:
                 op, nodes = ticket.spec.resolve(service)
                 result = service.apply_batch([op])
             except Exception as exc:
                 self.stats.ops_failed += 1
-                ticket.resolve(error_response(str(exc), ticket.request))
+                ticket.resolve(exception_response(exc, ticket.request))
                 continue
             self._record_flush(result.ops)
-            ticket.resolve(self._op_response(ticket, nodes, result.rebuilt, result.ops))
+            self._finish_op(ticket, nodes, result.rebuilt, result.ops)
 
     @staticmethod
     def _op_response(ticket: Ticket, nodes: int, rebuilt: bool, coalesced: int) -> dict:
@@ -553,7 +703,7 @@ class ServiceEngine:
         try:
             response = self._control_response(ticket)
         except Exception as exc:
-            response = error_response(str(exc), ticket.request)
+            response = exception_response(exc, ticket.request)
         ticket.resolve(response)
         if ticket.request["op"] == "shutdown" and response.get("ok"):
             # Fire the teardown hooks only after the requester has its
@@ -593,12 +743,16 @@ class ServiceEngine:
                 "dirty": service.dirty_fraction,
                 "rebuilds": service.stats.rebuilds,
                 "epoch": service.epoch,
+                "mode": self.mode,
                 "server": {
                     "requests": stats.requests,
                     "flushes": stats.flushes,
                     "ops_admitted": stats.ops_admitted,
                     "ops_failed": stats.ops_failed,
                     "ops_cancelled": stats.ops_cancelled,
+                    "ops_deduped": stats.ops_deduped,
+                    "ops_rejected": stats.ops_rejected,
+                    "sessions_evicted": stats.sessions_evicted,
                     "largest_group": stats.largest_group,
                     "snapshots_pinned": len(self._snapshots),
                 },
@@ -619,6 +773,10 @@ class ServiceEngine:
             return {"ok": True, "snapshot": sid, "epoch": snap.epoch}
         if op == "batch":
             return self._apply_batch_request(ticket)
+        if op == "resume":
+            result = service.resume_writes()
+            self._refresh_view()
+            return {"ok": True, "op": "resume", **result}
         if op == "shutdown":
             with self._cond:
                 self._stopping = True
@@ -635,6 +793,14 @@ class ServiceEngine:
         had.  The whole batch is one WAL record + one fsync.
         """
         service = self.service
+        key = self._idem_key(ticket.request)
+        if key is not None:
+            stored = self._dedup.get(key)
+            if stored is not None:
+                # Retried batch whose first delivery committed: replay.
+                self._dedup.move_to_end(key)
+                self.stats.ops_deduped += 1
+                return {**stored, "deduped": True}
         ops = []
         nodes = []
         for spec in ticket.specs or []:
@@ -647,7 +813,7 @@ class ServiceEngine:
         result = service.apply_batch(ops)
         self._record_flush(result.ops)
         self._refresh_view()
-        return {
+        response = {
             "ok": True,
             "op": "batch",
             "ops": result.ops,
@@ -661,6 +827,8 @@ class ServiceEngine:
                 for count in nodes
             ],
         }
+        self._dedup_record(ticket.request, response)
+        return response
 
     def _drop_snapshot(self, sid: int) -> bool:
         snap = self._snapshots.pop(sid, None)
@@ -679,12 +847,41 @@ class EstimationServer:
     order.  Queued ops resolve through thread-safe callbacks into the
     loop; weak reads run on the default executor so estimation work
     never stalls the loop.
+
+    ``client_timeout`` (seconds) evicts a stalled client: a connection
+    that sends nothing for that long is closed and its unflushed ops
+    are cancelled through the :class:`Session` path.  ``max_inflight``
+    caps queued requests per connection (excess gets an ``overloaded``
+    fast-reject frame, the connection stays usable).  ``drain_timeout``
+    bounds how long teardown waits for the responder to flush pending
+    replies before cancelling it.  ``faults`` arms a
+    :class:`~repro.service.faults.FaultPlan` over the network points.
     """
 
-    def __init__(self, engine: ServiceEngine, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        engine: ServiceEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        drain_timeout: float = 5.0,
+        client_timeout: Optional[float] = None,
+        max_inflight: Optional[int] = None,
+        faults=None,
+    ) -> None:
+        if drain_timeout <= 0:
+            raise ValueError("drain_timeout must be > 0")
+        if client_timeout is not None and client_timeout <= 0:
+            raise ValueError("client_timeout must be > 0")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
         self.engine = engine
         self.host = host
         self.port = port
+        self.drain_timeout = drain_timeout
+        self.client_timeout = client_timeout
+        self.max_inflight = max_inflight
+        self.faults = faults
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._started = threading.Event()
         self._stop_event: Optional[asyncio.Event] = None
@@ -776,9 +973,14 @@ class EstimationServer:
             session.close()
             responses.put_nowait(None)
             try:
-                await asyncio.wait_for(responder, timeout=5.0)
+                await asyncio.wait_for(responder, timeout=self.drain_timeout)
             except BaseException:
+                # Timeout (wait_for already cancelled it), teardown
+                # cancellation, or a responder crash: make sure the
+                # task is cancelled AND awaited, so a slow client never
+                # leaks a responder still pending on its queue.
                 responder.cancel()
+                await asyncio.gather(responder, return_exceptions=True)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -790,13 +992,38 @@ class EstimationServer:
     async def _connection_loop(
         self, engine, loop, session, reader, responses
     ) -> None:
-        """Read frames until EOF, dispatching each in request order."""
+        """Read frames until EOF, dispatching each in request order.
+
+        The per-connection in-flight count lives in a one-cell list
+        mutated only on the loop thread: incremented at dispatch,
+        decremented by each future's done callback (``call_soon`` runs
+        those on the loop thread too), so it needs no lock.
+        """
+        inflight = [0]
         while True:
-            raw = await self._read_line(reader)
+            if self.client_timeout is not None:
+                try:
+                    raw = await asyncio.wait_for(
+                        self._read_line(reader), timeout=self.client_timeout
+                    )
+                except asyncio.TimeoutError:
+                    # Stalled client: evict.  The finally in the handler
+                    # closes the session, cancelling unflushed ops.
+                    engine.stats.sessions_evicted += 1
+                    break
+            else:
+                raw = await self._read_line(reader)
             if raw is None:
                 break
             if raw == b"" or raw == b"\n":
                 continue  # blank keep-alive line
+            if self.faults is not None:
+                rule = self.faults.network(NET_RECV, len(raw))
+                if rule is not None:
+                    if rule.action in ("stall", "delay"):
+                        await asyncio.sleep(rule.delay)
+                    else:
+                        break  # injected disconnect after the read
             fut = loop.create_future()
             await responses.put(fut)
             try:
@@ -811,22 +1038,51 @@ class EstimationServer:
             ):
                 engine.stats.requests += 1
                 self._dispatch_immediate(loop, fut, request, session)
-            else:
-                try:
-                    engine.submit(
-                        request,
-                        session,
-                        callback=lambda resp, f=fut: loop.call_soon_threadsafe(
-                            self._fulfil, f, resp
-                        ),
-                    )
-                except Exception as exc:
-                    fut.set_result(error_response(str(exc), request))
+                continue
+            if (
+                self.max_inflight is not None
+                and inflight[0] >= self.max_inflight
+            ):
+                engine.stats.ops_rejected += 1
+                fut.set_result(error_response(OverloadedError(
+                    f"connection already has {inflight[0]} requests in "
+                    f"flight (cap {self.max_inflight})",
+                    retry_after_ms=50.0,
+                ), request))
+                continue
+            inflight[0] += 1
+            fut.add_done_callback(
+                lambda _f: inflight.__setitem__(0, inflight[0] - 1)
+            )
+            try:
+                engine.submit(
+                    request,
+                    session,
+                    callback=lambda resp, f=fut: self._fulfil_threadsafe(
+                        loop, f, resp
+                    ),
+                )
+            except Exception as exc:
+                self._fulfil(fut, exception_response(exc, request))
 
     @staticmethod
     def _fulfil(fut: "asyncio.Future", response: dict) -> None:
         if not fut.done():
             fut.set_result(response)
+
+    @classmethod
+    def _fulfil_threadsafe(cls, loop, fut: "asyncio.Future", response: dict) -> None:
+        """Resolve a connection future from the writer thread.
+
+        The loop may already be closed when an op outlives its server
+        (teardown under drain_timeout, or engine.close flushing after
+        server shutdown); the client is gone either way, so the
+        response is simply dropped.
+        """
+        try:
+            loop.call_soon_threadsafe(cls._fulfil, fut, response)
+        except RuntimeError:
+            pass
 
     def _dispatch_immediate(self, loop, fut, request: dict, session: Session) -> None:
         def work() -> dict:
@@ -838,7 +1094,7 @@ class EstimationServer:
         task = loop.run_in_executor(None, work)
         task.add_done_callback(
             lambda t: self._fulfil(fut, t.result() if t.exception() is None
-                                   else error_response(str(t.exception()), request))
+                                   else exception_response(t.exception(), request))
         )
 
     async def _read_line(self, reader) -> Optional[bytes]:
@@ -871,8 +1127,34 @@ class EstimationServer:
             if fut is None:
                 return
             response = await fut
+            frame = encode_frame(response)
+            if self.faults is not None:
+                rule = self.faults.network(NET_SEND, len(frame))
+                if rule is not None:
+                    if rule.action in ("stall", "delay"):
+                        await asyncio.sleep(rule.delay)
+                    else:
+                        # "torn" sends a strict prefix of the frame (no
+                        # newline) before hanging up -- the mid-frame
+                        # disconnect clients must detect and retry;
+                        # "disconnect"/"error" hang up before a byte.
+                        if rule.action == "torn" and len(frame) > 1:
+                            cut = max(1, min(
+                                len(frame) - 1,
+                                int(len(frame) * rule.torn_fraction),
+                            ))
+                            try:
+                                writer.write(frame[:cut])
+                                await writer.drain()
+                            except (ConnectionError, RuntimeError):
+                                pass
+                        try:
+                            writer.close()
+                        except Exception:
+                            pass
+                        return
             try:
-                writer.write(encode_frame(response))
+                writer.write(frame)
                 await writer.drain()
             except (ConnectionError, RuntimeError):
                 return

@@ -80,6 +80,7 @@ from repro.labeling.dynamic import (
 from repro.labeling.interval import LabeledTree, label_forest, relabel_preorder
 from repro.optimizer.optimizer import Optimizer, PlanChoice
 from repro.predicates.base import Predicate, TagPredicate
+from repro.service.protocol import ReadOnlyError
 from repro.predicates.catalog import PredicateCatalog
 from repro.query.pattern import PatternTree
 from repro.xmltree.tree import Document, Element
@@ -201,6 +202,16 @@ class EstimationService:
         self._ckpt_tracker: Optional[np.ndarray] = None
         self._ckpt_prior: Optional[dict] = None
         self.recovery_info = None
+        # Storage-fault degradation: when a WAL append/fsync or
+        # checkpoint write fails with an OSError and the policy flag is
+        # set (default), the service turns *sticky read-only* -- reads,
+        # snapshots, and stats keep serving from the last durable
+        # epoch; mutations raise ReadOnlyError until an operator
+        # resume_writes() re-probes the device successfully.
+        self.read_only_on_wal_error = True
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
+        self._fault_plan = None  # FaultPlan consulted by checkpoint writes
         # Epoch state: the published-epoch id readers pin, and the
         # refcount registry that frees superseded pages when the last
         # pinning snapshot drops.
@@ -303,7 +314,18 @@ class EstimationService:
             self._pool.join()
             self._pool = None
         if self._wal is not None:
-            self._wal.close()
+            try:
+                self._wal.close()
+            except OSError:
+                if not self.degraded:
+                    raise
+                # A degraded service's device may still refuse the
+                # closing flush; the log's committed prefix is already
+                # durable, so a failed final flush loses nothing acked.
+                try:
+                    self._wal._fh.close()
+                except Exception:
+                    pass
             self._wal = None
 
     def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
@@ -418,29 +440,165 @@ class EstimationService:
 
     # -- update API --------------------------------------------------------
 
+    def _check_writable(self) -> None:
+        """Refuse mutations while degraded (sticky until resume)."""
+        if self.degraded:
+            raise ReadOnlyError(
+                f"service is read-only (degraded): {self.degraded_reason}"
+            )
+
+    def _storage_failure(self, exc: BaseException) -> bool:
+        """Record a storage-layer failure.
+
+        Returns ``True`` when the policy turned the service read-only
+        (callers then serve reads and reject writes); ``False`` when
+        the operator disabled degradation and wants the raw error.
+        """
+        if not self.read_only_on_wal_error:
+            return False
+        if not self.degraded:
+            self.degraded = True
+            self.degraded_reason = f"{type(exc).__name__}: {exc}"
+        return True
+
+    def _abort_lost_append(self) -> None:
+        """Best-effort abort marker for an append that just failed.
+
+        A failed append's frame can still reach the disk later -- its
+        bytes sit in the file buffer and flush on close -- and an
+        unmarked batch record is *redo* work at recovery, which would
+        silently apply an op this service reported as failed.  Queueing
+        an abort marker behind it closes that window: whenever the
+        batch frame manages to land, the marker lands with (or after)
+        it.  If the device refuses this write too, nothing of either
+        frame becomes durable, which is just as consistent.
+        ``log_batch`` advances ``next_lsn`` before the write, so the
+        lost record's LSN is ``next_lsn - 1``.
+        """
+        if self._wal is None:
+            return
+        try:
+            self._wal.mark_aborted(self._wal.next_lsn - 1)
+        except OSError:
+            pass
+
+    def resume_writes(self) -> dict:
+        """Operator resume: re-probe the WAL device, clear DEGRADED.
+
+        The failed append may have left a torn record at the log tail
+        and the in-memory append handle mid-write, so resuming reopens
+        the log from disk -- the constructor scan truncates any torn
+        tail, exactly as crash recovery would -- and then forces one
+        fsync through the device as the probe.  On probe failure the
+        service *stays* degraded (and this raises the probe's
+        :class:`~repro.service.protocol.ReadOnlyError`); committed
+        state is never at risk either way, because every acknowledged
+        mutation's batch record was already durable before it applied.
+        """
+        with self._state_lock:
+            if not self.degraded:
+                return {"resumed": False, "mode": "SERVING"}
+            if self._wal is None:
+                self.degraded = False
+                self.degraded_reason = None
+                return {"resumed": True, "mode": "SERVING"}
+            from repro.service.wal import WriteAheadLog, read_records
+
+            old = self._wal
+            # Close the failed handle *first*: its buffer may still hold
+            # the torn record's bytes, and close() flushes them (or
+            # fails trying -- either way the fd is released).  Whatever
+            # lands on disk is exactly what the probe's constructor
+            # scan then truncates away, as crash recovery would.
+            try:
+                old._fh.close()
+            except OSError:
+                pass
+            try:
+                scanned = read_records(old.path)
+                probe = WriteAheadLog(
+                    old.path, scanned, codec=old.codec, faults=old.faults
+                )
+                # A failed append can still land whole on disk (the
+                # buffer flushed on close): an *unmarked* record past
+                # the last acknowledged commit is exactly an op this
+                # service rolled back and reported failed -- recovery
+                # must never redo it.  Abort-mark them now that the
+                # device answers again.
+                records, _ = scanned
+                marked = {
+                    r.lsn for r in records if r.type in ("commit", "abort")
+                }
+                for record in records:
+                    if (
+                        record.type == "batch"
+                        and record.lsn > self._last_lsn
+                        and record.lsn not in marked
+                    ):
+                        probe.mark_aborted(record.lsn)
+                probe.sync()
+            except OSError as exc:
+                raise ReadOnlyError(
+                    f"WAL probe failed, still degraded: {exc}"
+                ) from exc
+            self._wal = probe
+            self.degraded = False
+            self.degraded_reason = None
+            return {
+                "resumed": True,
+                "mode": "SERVING",
+                "next_lsn": probe.next_lsn,
+            }
+
     def _log_update(self, op) -> Optional[int]:
         """Durably log one normalized op as a single-update record.
 
         Returns its LSN, or ``None`` when no WAL is attached (or the
         service is replaying its own log).  Runs strictly before any
-        mutation -- this is the write-ahead discipline.
+        mutation -- this is the write-ahead discipline.  A storage
+        failure here leaves *nothing* applied: the op simply never
+        happened, and the service degrades to read-only (policy-gated).
         """
         if self._wal is None or self._replaying:
             return None
         from repro.service.wal import encode_ops
 
-        return self._wal.log_batch(encode_ops(self, [op]), single=True)
+        try:
+            return self._wal.log_batch(encode_ops(self, [op]), single=True)
+        except OSError as exc:
+            self._abort_lost_append()
+            if self._storage_failure(exc):
+                raise ReadOnlyError(
+                    f"write-ahead log failure, entering read-only: {exc}"
+                ) from exc
+            raise
 
     def _commit_update(self, lsn: Optional[int]) -> None:
         if lsn is None:
             return
+        # mark_committed only buffers (it rides the next fsync), so the
+        # commit itself cannot fail here; the checkpoint that may
+        # follow can, and its failure must not fail the op -- the op is
+        # applied and its batch record is durable (recovery replays an
+        # unmarked logged batch), so report success and degrade.
         self._wal.mark_committed(lsn)
         self._last_lsn = lsn
-        self._maybe_checkpoint()
+        try:
+            self._maybe_checkpoint()
+        except OSError as exc:
+            if not self._storage_failure(exc):
+                raise
 
     def _abort_update(self, lsn: Optional[int]) -> None:
         if lsn is not None:
-            self._wal.mark_aborted(lsn)
+            try:
+                self._wal.mark_aborted(lsn)
+            except OSError as exc:
+                # The abort marker could not be made durable; recovery
+                # will re-attempt the logged batch, fail the same
+                # deterministic way, and skip it.  Degrade (the device
+                # is failing) but let the original op error propagate.
+                self._storage_failure(exc)
 
     def insert_subtree(
         self,
@@ -463,6 +621,7 @@ class EstimationService:
         from repro.service.batch import InsertOp
 
         with self._state_lock:
+            self._check_writable()
             lsn = self._log_update(InsertOp(parent, subtree, position))
             try:
                 result = self._insert_subtree(parent, subtree, position)
@@ -512,6 +671,7 @@ class EstimationService:
         from repro.service.batch import DeleteOp
 
         with self._state_lock:
+            self._check_writable()
             lsn = self._log_update(DeleteOp(node))
             try:
                 result = self._delete_subtree(node)
@@ -566,12 +726,24 @@ class EstimationService:
         from repro.service.batch import BatchApplier, normalize_ops
 
         with self._state_lock:
+            self._check_writable()
             plan = normalize_ops(ops)
             lsn = None
             if self._wal is not None and not self._replaying and plan:
                 from repro.service.wal import encode_ops
 
-                lsn = self._wal.log_batch(encode_ops(self, plan))
+                try:
+                    lsn = self._wal.log_batch(encode_ops(self, plan))
+                except OSError as exc:
+                    # Write-ahead discipline: nothing has been applied,
+                    # so a failed append *is* the exact rollback.  The
+                    # service degrades to read-only (policy-gated).
+                    self._abort_lost_append()
+                    if self._storage_failure(exc):
+                        raise ReadOnlyError(
+                            f"write-ahead log failure, entering read-only: {exc}"
+                        ) from exc
+                    raise
             try:
                 result = BatchApplier(self).apply(plan)
             except BaseException as exc:
@@ -583,12 +755,10 @@ class EstimationService:
                         self._wal.mark_committed(lsn)
                         self._last_lsn = lsn
                     else:
-                        self._wal.mark_aborted(lsn)
+                        self._abort_update(lsn)
                 raise
             if lsn is not None:
-                self._wal.mark_committed(lsn)
-                self._last_lsn = lsn
-                self._maybe_checkpoint()
+                self._commit_update(lsn)
             return result
 
     def snapshot(self) -> "ServiceSnapshot":
@@ -711,6 +881,14 @@ class EstimationService:
     def wal_attached(self) -> bool:
         return self._wal is not None
 
+    def attach_fault_plan(self, plan) -> None:
+        """Arm a :class:`~repro.service.faults.FaultPlan` over this
+        service's storage operations (WAL appends/fsyncs, checkpoint
+        writes/renames, directory fsyncs)."""
+        self._fault_plan = plan
+        if self._wal is not None:
+            self._wal.faults = plan
+
     # -- incremental-checkpoint splice tracker ------------------------------
 
     def _reset_tracker(self) -> None:
@@ -766,6 +944,7 @@ class EstimationService:
         with self._state_lock:
             if self._wal is None:
                 raise ValueError("no write-ahead log attached to checkpoint")
+            self._check_writable()
             self._wal.sync()
             write_checkpoint(self, self._wal_dir, self._last_lsn, force_full=full)
             self._last_checkpoint_lsn = self._last_lsn

@@ -73,6 +73,16 @@ import numpy as np
 
 from repro.histograms.store import SummaryFormatError, tree_fingerprint
 from repro.service.batch import BatchError, DeleteOp, InsertOp
+from repro.service.faults import (
+    CKPT_FSYNC,
+    CKPT_RENAME,
+    CKPT_WRITE,
+    DIR_FSYNC,
+    WAL_FSYNC,
+    WAL_WRITE,
+    FaultPlan,
+    fire,
+)
 from repro.xmltree.parser import parse_document
 from repro.xmltree.tree import Document, Element, Text
 from repro.xmltree.writer import write_document, write_node
@@ -344,11 +354,15 @@ class WriteAheadLog:
         path: Union[str, Path],
         scanned: Optional[tuple[list[WalRecord], int]] = None,
         codec: str = "binary",
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if codec not in ("binary", "json"):
             raise ValueError(f"unknown WAL codec {codec!r}")
         self.path = Path(path)
         self.codec = codec
+        #: Fault-injection plan consulted before every write/fsync
+        #: (``None`` = no injection; see :mod:`repro.service.faults`).
+        self.faults = faults
         # Frames of unsynced markers, held in process until the next
         # fsync'd append (group commit): one buffered write per batch
         # instead of one OS write per logical record.
@@ -381,15 +395,32 @@ class WriteAheadLog:
         if self._pending:
             frame = bytes(self._pending) + frame
             self._pending.clear()
-        self._fh.write(frame)
+        self._write(frame)
         self._sync()
+
+    def _write(self, frame: bytes) -> None:
+        """One log write, mediated by the fault plan: an injected torn
+        write puts a strict prefix on disk (the crash-tail shape
+        recovery truncates) before the error surfaces."""
+        if self.faults is not None:
+            data, fault = self.faults.intercept_write(WAL_WRITE, frame)
+            if fault is not None:
+                if data:
+                    self._fh.write(data)
+                    try:
+                        self._fh.flush()
+                    except OSError:  # pragma: no cover - double fault
+                        pass
+                raise fault
+        self._fh.write(frame)
 
     def _flush_pending(self) -> None:
         if self._pending:
-            self._fh.write(bytes(self._pending))
+            self._write(bytes(self._pending))
             self._pending.clear()
 
     def _sync(self) -> None:
+        fire(self.faults, WAL_FSYNC)
         self._fh.flush()
         os.fsync(self._fh.fileno())
 
@@ -671,8 +702,9 @@ def _decode_forest(archive, fast_meta, parent_index):
     return documents, elements
 
 
-def _fsync_path(path: Path) -> None:
+def _fsync_path(path: Path, faults: Optional[FaultPlan] = None) -> None:
     """Force a file's contents to stable storage."""
+    fire(faults, CKPT_FSYNC)
     fd = os.open(path, os.O_RDONLY)
     try:
         os.fsync(fd)
@@ -680,9 +712,12 @@ def _fsync_path(path: Path) -> None:
         os.close(fd)
 
 
-def _fsync_directory(directory: Path) -> None:
+def _fsync_directory(directory: Path, faults: Optional[FaultPlan] = None) -> None:
     """Force directory entries (renames) to stable storage; best-effort
-    on platforms that cannot fsync a directory handle."""
+    on platforms that cannot fsync a directory handle.  An *injected*
+    failure raises (the hardening under test is the caller's reaction
+    to a device that reports the error instead of eating it)."""
+    fire(faults, DIR_FSYNC)
     try:
         fd = os.open(directory, os.O_RDONLY)
     except OSError:  # pragma: no cover - platform-dependent
@@ -818,14 +853,19 @@ def _encode_state_delta(service, base_lsn: int, base_nodes: int) -> tuple[dict, 
     return arrays, meta
 
 
-def _write_state_archive(path: Path, arrays: dict, directory: Path) -> int:
+def _write_state_archive(
+    path: Path, arrays: dict, directory: Path, faults: Optional[FaultPlan] = None
+) -> int:
     tmp = path.with_suffix(".tmp")
+    fire(faults, CKPT_WRITE)
     with open(tmp, "wb") as handle:
         np.savez_compressed(handle, **arrays)
         handle.flush()
+        fire(faults, CKPT_FSYNC)
         os.fsync(handle.fileno())
+    fire(faults, CKPT_RENAME)
     os.replace(tmp, path)
-    _fsync_directory(directory)
+    _fsync_directory(directory, faults)
     return path.stat().st_size
 
 
@@ -880,14 +920,17 @@ def write_checkpoint(
 
     from repro.histograms.store import save_summary_pages, summary_page_refs
 
+    faults = getattr(service, "_fault_plan", None)
     summary_tmp = summary_path.with_suffix(".tmp")
+    fire(faults, CKPT_WRITE)
     index = save_summary_pages(
         service.estimator,
         summary_tmp,
         lsn,
         prior=prior["summaries"] if incremental and prior else None,
     )
-    _fsync_path(summary_tmp)
+    _fsync_path(summary_tmp, faults)
+    fire(faults, CKPT_RENAME)
     os.replace(summary_tmp, summary_path)
 
     numerator_tags, numerator_arrays = _numerator_arrays(service)
@@ -924,7 +967,7 @@ def write_checkpoint(
     arrays["meta"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
-    _write_state_archive(state_path, arrays, directory)
+    _write_state_archive(state_path, arrays, directory, faults)
 
     # Both files are durable: adopt the new checkpoint as the delta
     # baseline for the next one.
@@ -1338,17 +1381,21 @@ def compact(
     chunks.extend(raw[r.offset : r.end_offset] for r in keep_records)
     new_bytes = b"".join(chunks)
 
+    faults = wal.faults if wal is not None else None
     if wal is not None:
         wal.sync()
         wal._fh.close()
     try:
         tmp = directory / (LOG_NAME + ".tmp")
+        fire(faults, CKPT_WRITE)
         with open(tmp, "wb") as handle:
             handle.write(new_bytes)
             handle.flush()
+            fire(faults, CKPT_FSYNC)
             os.fsync(handle.fileno())
+        fire(faults, CKPT_RENAME)
         os.replace(tmp, log_path)
-        _fsync_directory(directory)
+        _fsync_directory(directory, faults)
     finally:
         # Reopen the append handle no matter what: a failed rewrite
         # (say ENOSPC) leaves the old log intact on disk, and the live

@@ -1,0 +1,262 @@
+"""Admission backpressure: queue bounds, per-connection in-flight
+caps, stalled-client eviction, drain bounds, and the `health` op.
+
+These are the overload paths: the server must refuse work it cannot
+queue (fast, with a retryable coded error) rather than buffer without
+bound, must not let one stalled or flooding connection starve the
+rest, and must keep answering `health` throughout.
+"""
+
+import time
+
+import pytest
+
+from repro.service import OverloadedError, ServiceClient
+from repro.service.protocol import encode_frame
+from repro.service.server import EstimationServer, ServiceEngine
+from tests.service.test_server import make_service, raw_connection, read_frame
+
+WAIT = 30.0
+
+
+def start_server(service, *, engine_options=None, **server_options):
+    engine = ServiceEngine(service, **(engine_options or {}))
+    server = EstimationServer(engine, host="127.0.0.1", port=0, **server_options)
+    server.start()
+    return engine, server
+
+
+def stop_server(engine, server, service):
+    server.stop()
+    server.join(timeout=10)
+    engine.close()
+    service.close()
+
+
+class TestQueueBound:
+    def test_overloaded_frame_over_the_wire(self):
+        """A queue past its high-water mark answers mutations with a
+        retryable `overloaded` frame without touching the writer."""
+        service = make_service(seed=7)
+        engine, server = start_server(service)
+        sock = raw_connection(server)
+        try:
+            fileobj = sock.makefile("rb")
+            engine.max_queue = 0  # everything is past the mark
+            sock.sendall(encode_frame(
+                {"op": "insert", "parent": {"tag": "root"},
+                 "xml": "<a/>", "id": 1}
+            ))
+            rejected = read_frame(fileobj)
+            assert rejected["ok"] is False and rejected["id"] == 1
+            assert rejected["error"]["code"] == "overloaded"
+            assert rejected["error"]["retryable"] is True
+            assert rejected["error"]["retry_after_ms"] > 0
+            assert engine.stats.ops_rejected == 1
+            # The connection survives the rejection; once the queue
+            # relents the same connection's mutations flow again.
+            engine.max_queue = None
+            sock.sendall(encode_frame(
+                {"op": "insert", "parent": {"tag": "root"},
+                 "xml": "<a/>", "id": 2}
+            ))
+            accepted = read_frame(fileobj)
+            assert accepted["ok"] and accepted["id"] == 2
+        finally:
+            sock.close()
+            stop_server(engine, server, service)
+
+    def test_immediate_ops_bypass_the_queue_bound(self):
+        service = make_service(seed=7)
+        engine, server = start_server(service)
+        try:
+            engine.max_queue = 0
+            with ServiceClient(server.host, server.port, timeout=WAIT) as db:
+                assert db.ping()
+                assert db.health()["mode"] == "SERVING"
+        finally:
+            stop_server(engine, server, service)
+
+    def test_constructor_validates_max_queue(self):
+        service = make_service(seed=7)
+        try:
+            with pytest.raises(ValueError, match="max_queue"):
+                ServiceEngine(service, max_queue=0)
+        finally:
+            service.close()
+
+    def test_engine_level_reject_shape(self):
+        service = make_service(seed=7)
+        engine = ServiceEngine(service, max_queue=1)
+        try:
+            engine.max_queue = 0
+            with pytest.raises(OverloadedError) as excinfo:
+                engine.submit({"op": "stats"})
+            assert excinfo.value.code == "overloaded"
+            assert excinfo.value.retryable
+        finally:
+            engine.close()
+            service.close()
+
+
+class TestInflightCap:
+    def test_per_connection_cap_fast_rejects(self):
+        """With the writer lingering, a second pipelined mutation on the
+        same connection breaches max_inflight=1 and is fast-rejected;
+        the first completes and the connection stays usable."""
+        service = make_service(seed=7)
+        engine, server = start_server(
+            service,
+            engine_options={"max_ops": 64, "linger": 0.5},
+            max_inflight=1,
+        )
+        sock = raw_connection(server)
+        try:
+            fileobj = sock.makefile("rb")
+            sock.sendall(encode_frame(
+                {"op": "insert", "parent": {"tag": "root"},
+                 "xml": "<a/>", "id": 1}
+            ) + encode_frame(
+                {"op": "insert", "parent": {"tag": "root"},
+                 "xml": "<b/>", "id": 2}
+            ))
+            # Responses are written strictly in request order: the
+            # lingering insert's ack first, then the fast-reject that
+            # was actually decided long before it.
+            first = read_frame(fileobj)
+            assert first["ok"] and first["id"] == 1
+            second = read_frame(fileobj)
+            assert second["ok"] is False and second["id"] == 2
+            assert second["error"]["code"] == "overloaded"
+            assert second["error"]["retryable"] is True
+            assert "in flight" in second["error"]["message"]
+            assert engine.stats.ops_rejected == 1
+            # Un-pipelined traffic on the same connection still flows.
+            sock.sendall(encode_frame(
+                {"op": "insert", "parent": {"tag": "root"},
+                 "xml": "<c/>", "id": 3}
+            ))
+            assert read_frame(fileobj)["ok"]
+        finally:
+            sock.close()
+            stop_server(engine, server, service)
+
+    def test_separate_connections_have_separate_caps(self):
+        service = make_service(seed=7)
+        engine, server = start_server(service, max_inflight=1)
+        one = raw_connection(server)
+        two = raw_connection(server)
+        try:
+            frame = encode_frame(
+                {"op": "insert", "parent": {"tag": "root"}, "xml": "<a/>"}
+            )
+            one.sendall(frame)
+            two.sendall(frame)
+            assert read_frame(one.makefile("rb"))["ok"]
+            assert read_frame(two.makefile("rb"))["ok"]
+            assert engine.stats.ops_rejected == 0
+        finally:
+            one.close()
+            two.close()
+            stop_server(engine, server, service)
+
+    def test_constructor_validates_options(self):
+        service = make_service(seed=7)
+        engine = ServiceEngine(service)
+        try:
+            with pytest.raises(ValueError, match="max_inflight"):
+                EstimationServer(engine, max_inflight=0)
+            with pytest.raises(ValueError, match="drain_timeout"):
+                EstimationServer(engine, drain_timeout=0)
+            with pytest.raises(ValueError, match="client_timeout"):
+                EstimationServer(engine, client_timeout=-1.0)
+        finally:
+            engine.close()
+            service.close()
+
+
+class TestStalledClients:
+    def test_silent_connection_is_evicted(self):
+        service = make_service(seed=7)
+        engine, server = start_server(service, client_timeout=0.2)
+        sock = raw_connection(server)
+        try:
+            # Send nothing: the read deadline passes and the server
+            # hangs up (EOF on our side).
+            assert sock.makefile("rb").readline() == b""
+            deadline = time.monotonic() + WAIT
+            while (engine.stats.sessions_evicted == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert engine.stats.sessions_evicted == 1
+        finally:
+            sock.close()
+            stop_server(engine, server, service)
+
+    def test_active_connection_is_not_evicted(self):
+        service = make_service(seed=7)
+        engine, server = start_server(service, client_timeout=0.5)
+        try:
+            with ServiceClient(server.host, server.port, timeout=WAIT) as db:
+                for _ in range(4):
+                    time.sleep(0.2)  # each request resets the deadline
+                    assert db.ping()
+            assert engine.stats.sessions_evicted == 0
+        finally:
+            stop_server(engine, server, service)
+
+    def test_drain_timeout_bounds_teardown(self):
+        """Teardown with an unflushed response pending completes within
+        the configured drain bound instead of waiting out the writer."""
+        service = make_service(seed=7)
+        engine, server = start_server(
+            service,
+            engine_options={"max_ops": 64, "linger": 5.0},
+            drain_timeout=0.1,
+        )
+        sock = raw_connection(server)
+        try:
+            sock.sendall(encode_frame(
+                {"op": "insert", "parent": {"tag": "root"}, "xml": "<a/>"}
+            ))
+            time.sleep(0.05)  # let the loop admit it
+            started = time.monotonic()
+            server.stop()
+            server.join(timeout=10)
+            assert time.monotonic() - started < 3.0
+        finally:
+            sock.close()
+            engine.close()
+            service.close()
+
+
+class TestHealthOp:
+    def test_health_over_the_wire(self):
+        service = make_service(seed=7)
+        engine, server = start_server(service)
+        try:
+            with ServiceClient(server.host, server.port, timeout=WAIT) as db:
+                health = db.health()
+                assert health["ok"] and health["op"] == "health"
+                assert health["mode"] == "SERVING"
+                assert health["queue_depth"] == 0
+                assert health["epoch"] >= 0
+                assert health["wal"] == {"attached": False, "lag": 0}
+        finally:
+            stop_server(engine, server, service)
+
+    def test_health_answers_while_queue_is_full(self):
+        """`health` is an immediate op: it reports even when admissions
+        are being rejected, which is exactly when operators need it."""
+        service = make_service(seed=7)
+        engine, server = start_server(service)
+        try:
+            engine.max_queue = 0
+            with ServiceClient(server.host, server.port, timeout=WAIT) as db:
+                refused = db.request({"op": "insert", "parent": {"tag": "root"},
+                                      "xml": "<a/>"})  # raw: no retry
+                assert refused["ok"] is False
+                assert refused["error"]["code"] == "overloaded"
+                assert db.health()["mode"] == "SERVING"
+        finally:
+            stop_server(engine, server, service)

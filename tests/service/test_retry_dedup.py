@@ -1,0 +1,401 @@
+"""Client retry, idempotency keys, and the server dedup window.
+
+The exactly-once contract under test: a client that retries a mutation
+after a lost acknowledgment -- a timeout, an admission rejection, or a
+mid-frame disconnect injected by a seeded network fault plan -- never
+double-applies it.  The idempotency key travels with the retry, the
+engine's dedup window recognises the committed first delivery, and the
+recorded reply is replayed (flagged ``deduped``).  Pinned
+differentially: a control service applying each acknowledged op once
+ends bit-identical to the served database.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    ClientTimeout,
+    FaultPlan,
+    FaultRule,
+    OverloadedError,
+    ServiceClient,
+)
+from repro.service.faults import NET_SEND
+from repro.service.server import EstimationServer, ServiceEngine
+from repro.xmltree.parser import parse_document
+from tests.service.test_batch import QUERIES, random_subtree
+from tests.service.test_server import make_service
+from tests.service.test_wal import assert_state, state_of
+
+WAIT = 30.0
+
+
+def render(element) -> str:
+    inner = "".join(
+        render(child) for child in element.children if hasattr(child, "tag")
+    )
+    return f"<{element.tag}>{inner}</{element.tag}>"
+
+
+def start_server(service, **server_options):
+    engine = ServiceEngine(service, **server_options.pop("engine_options", {}))
+    server = EstimationServer(engine, host="127.0.0.1", port=0, **server_options)
+    server.start()
+    return engine, server
+
+
+def stop_server(engine, server, service):
+    server.stop()
+    server.join(timeout=10)
+    engine.close()
+    service.close()
+
+
+class TestEngineDedup:
+    def test_duplicate_key_applies_once_and_replays(self):
+        service = make_service(seed=3)
+        engine = ServiceEngine(service)
+        try:
+            nodes = len(service)
+            request = {
+                "op": "insert",
+                "parent": {"tag": "root"},
+                "xml": "<a><b/></a>",
+                "idem": "k-1",
+            }
+            first = engine.request(dict(request))
+            assert first["ok"] and "deduped" not in first
+            second = engine.request(dict(request))
+            assert second["ok"] and second["deduped"] is True
+            # Identical substantive reply, exactly one application.
+            assert second["nodes"] == first["nodes"] == 2
+            assert len(service) == nodes + 2
+            assert engine.stats.ops_deduped == 1
+        finally:
+            engine.close()
+            service.close()
+
+    def test_distinct_keys_apply_independently(self):
+        service = make_service(seed=3)
+        engine = ServiceEngine(service)
+        try:
+            nodes = len(service)
+            for key in ("a", "b", "c"):
+                response = engine.request({
+                    "op": "insert", "parent": {"tag": "root"},
+                    "xml": "<x/>", "idem": key,
+                })
+                assert response["ok"]
+            assert len(service) == nodes + 3
+            assert engine.stats.ops_deduped == 0
+        finally:
+            engine.close()
+            service.close()
+
+    def test_failed_op_is_not_recorded(self):
+        service = make_service(seed=3)
+        engine = ServiceEngine(service)
+        try:
+            request = {
+                "op": "delete",
+                "node": {"tag": "nosuchtag", "ordinal": 1},
+                "idem": "retry-me",
+            }
+            first = engine.request(dict(request))
+            assert not first["ok"]
+            # The key was not burned: a corrected retry (same key, now
+            # resolvable) really applies instead of replaying the error.
+            engine.request({
+                "op": "insert", "parent": {"tag": "root"},
+                "xml": "<nosuchtag/>",
+            })
+            second = engine.request(dict(request))
+            assert second["ok"] and "deduped" not in second
+        finally:
+            engine.close()
+            service.close()
+
+    def test_duplicate_keys_within_one_group_apply_once(self):
+        """Duplicate keys racing into one admission group: the first
+        instance applies, the duplicates defer and replay its reply."""
+        service = make_service(seed=5)
+        engine = ServiceEngine(service, max_ops=8, linger=0.2)
+        try:
+            nodes = len(service)
+            request = {
+                "op": "insert", "parent": {"tag": "root"},
+                "xml": "<dup/>", "idem": "same-key",
+            }
+            tickets = [engine.submit(dict(request)) for _ in range(3)]
+            responses = [ticket.wait(WAIT) for ticket in tickets]
+            assert all(response["ok"] for response in responses)
+            assert sum(1 for r in responses if r.get("deduped")) == 2
+            assert len(service) == nodes + 1
+        finally:
+            engine.close()
+            service.close()
+
+    def test_window_eviction_is_lru(self):
+        service = make_service(seed=3)
+        engine = ServiceEngine(service, dedup_window=2)
+        try:
+            for key in ("k1", "k2", "k3"):  # k1 evicted by k3
+                engine.request({
+                    "op": "insert", "parent": {"tag": "root"},
+                    "xml": "<x/>", "idem": key,
+                })
+            nodes = len(service)
+            replay = engine.request({
+                "op": "insert", "parent": {"tag": "root"},
+                "xml": "<x/>", "idem": "k3",
+            })
+            assert replay["deduped"] is True and len(service) == nodes
+            evicted = engine.request({
+                "op": "insert", "parent": {"tag": "root"},
+                "xml": "<x/>", "idem": "k1",
+            })
+            assert "deduped" not in evicted and len(service) == nodes + 1
+        finally:
+            engine.close()
+            service.close()
+
+    def test_batch_request_dedups_wholesale(self):
+        service = make_service(seed=3)
+        engine = ServiceEngine(service)
+        try:
+            nodes = len(service)
+            request = {
+                "op": "batch",
+                "ops": [
+                    {"op": "insert", "parent": {"tag": "root"}, "xml": "<a/>"},
+                    {"op": "insert", "parent": {"tag": "root"}, "xml": "<b/>"},
+                ],
+                "idem": "batch-1",
+            }
+            first = engine.request(dict(request))
+            assert first["ok"] and first["ops"] == 2
+            second = engine.request(dict(request))
+            assert second["deduped"] is True and second["ops"] == 2
+            assert len(service) == nodes + 2
+        finally:
+            engine.close()
+            service.close()
+
+    def test_overloaded_fast_reject_is_coded_and_retryable(self):
+        service = make_service(seed=3)
+        engine = ServiceEngine(service)
+        try:
+            engine.max_queue = 0  # everything is past the high-water mark
+            with pytest.raises(OverloadedError) as excinfo:
+                engine.submit({"op": "stats"})
+            assert excinfo.value.code == "overloaded"
+            assert excinfo.value.retryable
+            assert excinfo.value.retry_after_ms is not None
+            assert engine.stats.ops_rejected == 1
+            engine.max_queue = None
+            assert engine.request({"op": "stats"})["ok"]
+        finally:
+            engine.close()
+            service.close()
+
+
+class TestClientRetry:
+    def test_retry_after_midframe_disconnect_exactly_once(self):
+        """The acceptance differential: the ack of an applied insert is
+        torn mid-frame; the client retries with the same idempotency
+        key; the op applies exactly once and the recorded reply is
+        replayed."""
+        service = make_service(seed=7)
+        # Third response frame dies mid-write (ping, estimate, then the
+        # insert's ack) -- after the op committed server-side.
+        plan = FaultPlan([FaultRule(NET_SEND, nth=3, action="torn")])
+        engine, server = start_server(service, faults=plan)
+        try:
+            nodes = len(service)
+            with ServiceClient(
+                server.host, server.port,
+                timeout=WAIT, retries=3, backoff_ms=1.0, retry_seed=1,
+            ) as db:
+                assert db.ping()
+                assert db.estimate(QUERIES[0]) >= 0.0
+                result = db.insert("root", "<a><b/><c/></a>")
+                assert result["ok"] and result["nodes"] == 3
+                assert result.get("deduped") is True  # replayed reply
+            assert len(service) == nodes + 3  # applied exactly once
+            assert engine.stats.ops_deduped == 1
+            assert [fired.point for fired in plan.fired] == [NET_SEND]
+        finally:
+            stop_server(engine, server, service)
+
+    def test_retry_after_full_disconnect_exactly_once(self):
+        service = make_service(seed=7)
+        plan = FaultPlan([FaultRule(NET_SEND, nth=1, action="disconnect")])
+        engine, server = start_server(service, faults=plan)
+        try:
+            nodes = len(service)
+            with ServiceClient(
+                server.host, server.port,
+                timeout=WAIT, retries=3, backoff_ms=1.0, retry_seed=1,
+            ) as db:
+                result = db.insert("root", "<a/>")
+                assert result["ok"]
+                assert result.get("deduped") is True
+            assert len(service) == nodes + 1
+        finally:
+            stop_server(engine, server, service)
+
+    def test_no_retries_surfaces_the_disconnect(self):
+        service = make_service(seed=7)
+        plan = FaultPlan([FaultRule(NET_SEND, nth=1, action="torn")])
+        engine, server = start_server(service, faults=plan)
+        try:
+            with ServiceClient(server.host, server.port, timeout=WAIT) as db:
+                with pytest.raises(ConnectionError):
+                    db.insert("root", "<a/>")
+        finally:
+            stop_server(engine, server, service)
+
+    def test_client_timeout_is_typed(self):
+        """A stalled server surfaces as ClientTimeout (a TimeoutError
+        subclass), not a raw socket.timeout."""
+        service = make_service(seed=7)
+        plan = FaultPlan(
+            [FaultRule(NET_SEND, nth=1, action="stall", delay=3.0)]
+        )
+        engine, server = start_server(service, faults=plan)
+        try:
+            with ServiceClient(server.host, server.port, timeout=0.3) as db:
+                with pytest.raises(ClientTimeout):
+                    db.ping()
+        finally:
+            stop_server(engine, server, service)
+
+    def test_timeout_then_retry_recovers(self):
+        service = make_service(seed=7)
+        plan = FaultPlan(
+            [FaultRule(NET_SEND, nth=1, action="stall", delay=2.0)]
+        )
+        engine, server = start_server(service, faults=plan)
+        try:
+            nodes = len(service)
+            with ServiceClient(
+                server.host, server.port,
+                timeout=0.4, retries=3, backoff_ms=1.0, retry_seed=2,
+            ) as db:
+                result = db.insert("root", "<a/>")
+                assert result["ok"]
+            assert len(service) == nodes + 1
+            assert engine.stats.ops_deduped >= 1  # first delivery applied
+        finally:
+            stop_server(engine, server, service)
+
+    def test_retries_exhausted_raises(self):
+        service = make_service(seed=7)
+        plan = FaultPlan(
+            [FaultRule(NET_SEND, probability=1.0, count=None,
+                       action="disconnect")]
+        )
+        engine, server = start_server(service, faults=plan)
+        try:
+            with ServiceClient(
+                server.host, server.port,
+                timeout=WAIT, retries=2, backoff_ms=1.0, retry_seed=3,
+            ) as db:
+                with pytest.raises(ConnectionError):
+                    db.ping()
+        finally:
+            stop_server(engine, server, service)
+
+    def test_client_retries_overloaded_until_admitted(self):
+        """An `overloaded` rejection carries retry metadata the client
+        honours: back off, resend, succeed once the queue relents."""
+        service = make_service(seed=7)
+        engine, server = start_server(service)
+        engine.max_queue = 0  # reject every admission for now
+        relent = threading.Timer(0.3, setattr, (engine, "max_queue", None))
+        relent.start()
+        try:
+            nodes = len(service)
+            with ServiceClient(
+                server.host, server.port,
+                timeout=WAIT, retries=6, backoff_ms=50.0, retry_seed=5,
+            ) as db:
+                result = db.insert("root", "<a/>")
+                assert result["ok"]
+            assert len(service) == nodes + 1
+            assert engine.stats.ops_rejected >= 1
+        finally:
+            relent.cancel()
+            stop_server(engine, server, service)
+
+    def test_differential_with_retry_storm(self):
+        """Seeded probabilistic send faults + a retrying client: the
+        served database ends bit-identical to a control applying each
+        acknowledged op exactly once."""
+        rng = random.Random(23)
+        xmls = [render(random_subtree(rng)) for _ in range(12)]
+        service = make_service(seed=19, nodes=50)
+        control = make_service(seed=19, nodes=50)
+        plan = FaultPlan(
+            [FaultRule(NET_SEND, probability=0.25, count=None, action="torn")],
+            seed=99,
+        )
+        engine, server = start_server(service, faults=plan)
+        try:
+            with ServiceClient(
+                server.host, server.port,
+                timeout=WAIT, retries=8, backoff_ms=1.0, retry_seed=4,
+            ) as db:
+                for xml in xmls:
+                    assert db.insert("root", xml)["ok"]
+            assert plan.fired, "the fault schedule never fired"
+            # Mirror each acknowledged insert into the control via the
+            # same XML round-trip, then compare bit-exactly.
+            for xml in xmls:
+                snippet = parse_document(xml)
+                detached = snippet.root_element
+                snippet.children.remove(detached)
+                detached.parent = None
+                control.insert_subtree(control.tree.elements[0], detached)
+            assert_state(service, state_of(control))
+        finally:
+            stop_server(engine, server, service)
+            control.close()
+
+    def test_idempotency_keys_are_unique(self):
+        service = make_service(seed=7)
+        engine, server = start_server(service)
+        try:
+            with ServiceClient(server.host, server.port, timeout=WAIT) as db:
+                keys = {db.next_idempotency_key() for _ in range(100)}
+                assert len(keys) == 100
+        finally:
+            stop_server(engine, server, service)
+
+    def test_request_retrying_respects_explicit_keys(self):
+        """Auto-stamped keys are fresh per call (two calls = two
+        applications); a caller-provided key pins the op (two calls =
+        one application plus a replay)."""
+        service = make_service(seed=7)
+        engine, server = start_server(service)
+        try:
+            nodes = len(service)
+            with ServiceClient(
+                server.host, server.port,
+                timeout=WAIT, retries=2, backoff_ms=1.0, retry_seed=6,
+            ) as db:
+                auto = {"op": "insert", "parent": {"tag": "root"},
+                        "xml": "<a/>"}
+                assert db.request_retrying(dict(auto))["ok"]
+                assert db.request_retrying(dict(auto))["ok"]
+                assert len(service) == nodes + 2  # distinct auto keys
+                pinned = {**auto, "idem": "caller-key"}
+                assert db.request_retrying(dict(pinned))["ok"]
+                replay = db.request_retrying(dict(pinned))
+                assert replay["ok"] and replay["deduped"] is True
+                assert len(service) == nodes + 3  # pinned key dedups
+        finally:
+            stop_server(engine, server, service)

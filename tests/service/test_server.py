@@ -228,7 +228,9 @@ class TestServiceEngine:
             }
             assert engine.shutdown_event.is_set()
             late = engine.request({"op": "stats"})
-            assert late["ok"] is False and "shutting down" in late["error"]
+            assert late["ok"] is False
+            assert late["error"]["code"] == "shutting_down"
+            assert "shutting down" in late["error"]["message"]
         finally:
             engine.close()
             service.close()

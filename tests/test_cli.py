@@ -843,6 +843,78 @@ class TestServeListen:
             proc.kill()
             proc.stdout.close()
 
+    def test_sigterm_drains_checkpoints_and_exits_cleanly(
+        self, dataset_path, tmp_path, capsys
+    ):
+        """Orchestrated stop: SIGTERM enters SHUTTING_DOWN exactly like
+        a client-sent shutdown -- the pending work flushes, the WAL
+        checkpoints, the session summary prints, and the process exits
+        0 (not with the default signal death)."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+        wal_dir = tmp_path / "wal"
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-u",
+                "-m",
+                "repro",
+                "serve",
+                str(dataset_path),
+                "--listen",
+                "127.0.0.1:0",
+                "--script",
+                os.devnull,
+                "--wal-dir",
+                str(wal_dir),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            address = None
+            for line in proc.stdout:
+                if line.startswith("listening on "):
+                    address = line.split()[-1]
+                    break
+            assert address, "server never announced its port"
+
+            script = tmp_path / "client.txt"
+            script.write_text(
+                "insert article <note><author>SIG</author></note>\n"
+            )
+            assert main(["client", address, "--script", str(script)]) == 0
+            assert "ok insert" in capsys.readouterr().out
+
+            proc.send_signal(signal.SIGTERM)
+            remainder = proc.stdout.read()
+            assert proc.wait(timeout=30) == 0
+            assert "session inserts=1" in remainder
+            assert f"checkpointed {wal_dir}" in remainder
+        finally:
+            proc.kill()
+            proc.stdout.close()
+
+        # The checkpoint the signal path cut is recoverable: the write
+        # that was acknowledged before the SIGTERM survives it.
+        from repro.service.service import EstimationService
+
+        recovered = EstimationService.open_durable(wal_dir)
+        try:
+            assert recovered.real_answer("//note//author") >= 1
+        finally:
+            recovered.close()
+
     def test_client_cannot_connect_is_exit_1(self, tmp_path, capsys):
         script = tmp_path / "noop.txt"
         script.write_text("stats\n")
