@@ -1,0 +1,252 @@
+"""Out-of-core storage benchmark: mmap-backed lazy warm start vs .npz.
+
+One durable XMark-scale service is built and fully checkpointed twice
+-- once in the page-file container, once in the legacy ``.npz``
+spelling -- then each warm-start mode runs in its **own subprocess**
+(``ru_maxrss`` is a process-wide high-water mark, so modes cannot share
+a process without polluting each other's peak):
+
+* ``npz``       -- eager ``open_durable`` over the ``.npz`` checkpoint:
+                   the legacy bulk load (decompress every member, build
+                   every ``Element``);
+* ``eager``     -- eager ``open_durable`` over the page-file pair:
+                   label arrays adopted as zero-copy mmap views, forest
+                   still decoded up front;
+* ``lazy``      -- ``open_durable(lazy=True)``: the forest stays on
+                   disk; estimation is served from the mapping and the
+                   catalog's stored tag index.
+
+Every mode answers the same query set and the values must be
+bit-identical before any timing is trusted.  Acceptance bars (embedded
+in the artifact, enforced by ``check_perf_floors.py``):
+
+* ``warm_start_speedup`` (npz open time / lazy open time)  >= 2.0x
+* ``lazy_rss_ratio`` (lazy peak-RSS delta / npz peak-RSS delta,
+  both net of an import-only baseline process)              <= 0.6x
+
+Writes a ``BENCH_mmap.json`` artifact.
+
+Run:  python benchmarks/bench_mmap.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets import generate_xmark  # noqa: E402
+from repro.service import EstimationService  # noqa: E402
+
+QUERIES = [
+    "//item//parlist",
+    "//people//person",
+    "//open_auction//increase",
+    "//site//name",
+]
+
+
+def prime(service) -> None:
+    for stats in service.catalog.register_all_tags():
+        service.position_histogram(stats.predicate)
+        service.coverage_histogram(stats.predicate)
+    _ = service.estimator.true_histogram
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set of THIS process image, in KiB.
+
+    ``VmHWM`` is preferred over ``ru_maxrss``: the rusage counter
+    survives ``exec``, so a child forked from a parent that held the
+    whole dataset would inherit the parent's high-water mark and every
+    mode would report the same number.  ``VmHWM`` belongs to the
+    process image and resets on ``exec``.
+    """
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:  # pragma: no cover - non-Linux fallback
+        pass
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+# -- child modes (one process per measurement) -------------------------------
+
+
+def run_child(mode: str, directory: str) -> int:
+    """Open the durable directory per ``mode``, estimate, report JSON."""
+    if mode == "baseline":
+        # Import-only floor: the interpreter + numpy + repro modules,
+        # no data.  Both RSS deltas are taken against this.
+        print(json.dumps({"mode": mode, "rss_kb": peak_rss_kb()}))
+        return 0
+    started = time.perf_counter()
+    service = EstimationService.open_durable(directory, lazy=(mode == "lazy"))
+    open_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    estimates = {q: service.estimate(q).value for q in QUERIES}
+    estimate_seconds = time.perf_counter() - started
+    forced = getattr(service.tree.elements, "materialized", True)
+    if mode == "lazy" and forced:
+        print("lazy warm start materialised the forest", file=sys.stderr)
+        return 1
+    print(
+        json.dumps(
+            {
+                "mode": mode,
+                "nodes": len(service),
+                "open_seconds": open_seconds,
+                "estimate_seconds": estimate_seconds,
+                "estimates": estimates,
+                "forest_materialized": bool(forced),
+                "rss_kb": peak_rss_kb(),
+            }
+        )
+    )
+    service.close()
+    return 0
+
+
+def measure(mode: str, directory: Path) -> dict:
+    proc = subprocess.run(
+        [sys.executable, __file__, "--child", mode, "--dir", str(directory)],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"child {mode!r} failed:\n{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+# -- the benchmark -----------------------------------------------------------
+
+
+def build_checkpoints(workdir: Path, scale: float) -> tuple[Path, Path, dict]:
+    """Build one durable service, checkpoint it in both containers."""
+    pgf_dir = workdir / "wal-pagefile"
+    npz_dir = workdir / "wal-npz"
+
+    started = time.perf_counter()
+    document = generate_xmark(seed=23, scale=scale)
+    nodes = document.count_nodes()
+    print(f"xmark tree: {nodes} nodes "
+          f"({time.perf_counter() - started:.1f}s to generate)")
+
+    started = time.perf_counter()
+    service = EstimationService.open_durable(
+        pgf_dir, document, grid_size=10, spacing=64, checkpoint_every=10**9
+    )
+    prime(service)
+    service.checkpoint(full=True)
+    live = {q: service.estimate(q).value for q in QUERIES}
+    service.close()
+    print(f"durable build + page-file checkpoint: "
+          f"{time.perf_counter() - started:.1f}s")
+
+    # Same state, legacy container: clone the directory and re-cut the
+    # checkpoint as .npz (the rewrite drops the page-file twin).
+    started = time.perf_counter()
+    shutil.copytree(pgf_dir, npz_dir)
+    service = EstimationService.open_durable(npz_dir)
+    service._ckpt_container = "npz"
+    service.checkpoint(full=True)
+    service.close()
+    print(f".npz re-checkpoint: {time.perf_counter() - started:.1f}s")
+    return pgf_dir, npz_dir, {"nodes": nodes, "estimates": live}
+
+
+def bench(scale: float, quick: bool, workdir: Path) -> dict:
+    pgf_dir, npz_dir, built = build_checkpoints(workdir, scale)
+
+    baseline = measure("baseline", pgf_dir)
+    npz = measure("npz", npz_dir)
+    eager = measure("eager", pgf_dir)
+    lazy = measure("lazy", pgf_dir)
+
+    for mode in (npz, eager, lazy):
+        assert mode["estimates"] == built["estimates"], (
+            f"{mode['mode']} estimates diverged from the live service"
+        )
+        assert mode["nodes"] == built["nodes"], mode["mode"]
+    assert not lazy["forest_materialized"]
+
+    base_kb = baseline["rss_kb"]
+    npz_delta = max(1, npz["rss_kb"] - base_kb)
+    lazy_delta = max(0, lazy["rss_kb"] - base_kb)
+    eager_delta = max(0, eager["rss_kb"] - base_kb)
+    record = {
+        "quick": quick,
+        "scale": scale,
+        "nodes": built["nodes"],
+        "baseline_rss_kb": base_kb,
+        "npz": npz,
+        "pagefile_eager": eager,
+        "pagefile_lazy": lazy,
+        "warm_start_speedup": npz["open_seconds"] / lazy["open_seconds"],
+        "eager_open_ratio": npz["open_seconds"] / eager["open_seconds"],
+        "lazy_rss_ratio": lazy_delta / npz_delta,
+        "eager_rss_ratio": eager_delta / npz_delta,
+        "floors": {"warm_start_speedup": 2.0},
+        "ceilings": {"lazy_rss_ratio": 0.6},
+    }
+    print(
+        f"warm start: npz {npz['open_seconds']:.3f}s, "
+        f"pagefile eager {eager['open_seconds']:.3f}s, "
+        f"lazy {lazy['open_seconds']:.3f}s "
+        f"-> {record['warm_start_speedup']:.1f}x"
+    )
+    print(
+        f"peak RSS over baseline ({base_kb} KiB): npz +{npz_delta} KiB, "
+        f"eager +{eager_delta} KiB, lazy +{lazy_delta} KiB "
+        f"-> lazy ratio {record['lazy_rss_ratio']:.2f}x"
+    )
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small tree for CI smoke (ratios still bound)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override the XMark scale factor")
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_mmap.json"),
+    )
+    parser.add_argument("--child", default=None, help=argparse.SUPPRESS)
+    parser.add_argument("--dir", default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.child:
+        return run_child(args.child, args.dir)
+
+    scale = args.scale if args.scale is not None else (20 if args.quick else 640)
+    workdir = Path(tempfile.mkdtemp(prefix="bench_mmap_"))
+    try:
+        record = bench(scale, args.quick, workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    Path(args.out).write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    ok = (
+        record["warm_start_speedup"] >= record["floors"]["warm_start_speedup"]
+        and record["lazy_rss_ratio"] <= record["ceilings"]["lazy_rss_ratio"]
+    )
+    print("acceptance:", "ok" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

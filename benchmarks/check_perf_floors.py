@@ -10,7 +10,14 @@ nesting depth:
 * every numeric value stored under a key named ``overhead`` or ending
   in ``_overhead`` must be <= the ceiling (default 1.5) -- a safety
   layer (e.g. the write-ahead log's fsync-before-apply) whose tax grew
-  past its budget fails the build instead of riding along silently.
+  past its budget fails the build instead of riding along silently;
+* an artifact may additionally embed its own bounds in top-level
+  ``"floors"`` / ``"ceilings"`` maps (``{metric_key: bound}``): every
+  numeric value stored anywhere in the artifact under a listed key is
+  then held to that bound, on top of the naming conventions above.
+  This is how a benchmark ships acceptance bars stricter than the
+  global 1.0x/1.5x defaults (e.g. ``BENCH_mmap.json`` requires
+  ``warm_start_speedup >= 2.0`` and ``lazy_rss_ratio <= 0.6``).
 
 Run:  python benchmarks/check_perf_floors.py BENCH_hotpaths.json BENCH_wal.json
 """
@@ -26,24 +33,50 @@ FLOOR = 1.0
 OVERHEAD_CEILING = 1.5
 
 
-def collect_metrics(payload, path=""):
-    """Yield ``(kind, json_path, value)`` for every recorded speedup
-    (``kind == "speedup"``) and overhead (``kind == "overhead"``)."""
+def embedded_bounds(payload) -> tuple[dict, dict]:
+    """The artifact's own ``"floors"`` / ``"ceilings"`` maps, if any."""
+    floors = ceilings = {}
+    if isinstance(payload, dict):
+        if isinstance(payload.get("floors"), dict):
+            floors = {
+                str(k): float(v)
+                for k, v in payload["floors"].items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            }
+        if isinstance(payload.get("ceilings"), dict):
+            ceilings = {
+                str(k): float(v)
+                for k, v in payload["ceilings"].items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            }
+    return floors, ceilings
+
+
+def collect_metrics(payload, path="", floors=(), ceilings=()):
+    """Yield ``(kind, json_path, value, bound)`` for every recorded
+    speedup / overhead (conventional ``None`` bound: the CLI defaults
+    apply) and every value under an embedded-bound key."""
     if isinstance(payload, dict):
         for key, value in payload.items():
             where = f"{path}.{key}" if path else key
+            if not path and key in ("floors", "ceilings"):
+                continue  # the bound declarations, not measurements
             is_number = isinstance(value, (int, float)) and not isinstance(
                 value, bool
             )
-            if (key == "speedup" or key.endswith("_speedup")) and is_number:
-                yield "speedup", where, float(value)
+            if is_number and key in floors:
+                yield "speedup", where, float(value), floors[key]
+            elif is_number and key in ceilings:
+                yield "overhead", where, float(value), ceilings[key]
+            elif (key == "speedup" or key.endswith("_speedup")) and is_number:
+                yield "speedup", where, float(value), None
             elif (key == "overhead" or key.endswith("_overhead")) and is_number:
-                yield "overhead", where, float(value)
+                yield "overhead", where, float(value), None
             else:
-                yield from collect_metrics(value, where)
+                yield from collect_metrics(value, where, floors, ceilings)
     elif isinstance(payload, list):
         for index, value in enumerate(payload):
-            yield from collect_metrics(value, f"{path}[{index}]")
+            yield from collect_metrics(value, f"{path}[{index}]", floors, ceilings)
 
 
 def main(argv=None) -> int:
@@ -69,19 +102,22 @@ def main(argv=None) -> int:
             failures.append((artifact, "missing"))
             continue
         payload = json.loads(path.read_text())
-        found = list(collect_metrics(payload))
+        floors, ceilings = embedded_bounds(payload)
+        found = list(collect_metrics(payload, floors=floors, ceilings=ceilings))
         if not found:
             print(f"perf floor: {artifact} records no speedups or overheads")
             failures.append((artifact, "no metrics recorded"))
             continue
-        for kind, where, value in found:
+        for kind, where, value, limit in found:
             total += 1
             if kind == "speedup":
-                ok = value >= args.floor
-                bound = f">= {args.floor:.1f}x"
+                limit = args.floor if limit is None else limit
+                ok = value >= limit
+                bound = f">= {limit:.1f}x"
             else:
-                ok = value <= args.overhead_ceiling
-                bound = f"<= {args.overhead_ceiling:.1f}x"
+                limit = args.overhead_ceiling if limit is None else limit
+                ok = value <= limit
+                bound = f"<= {limit:.1f}x"
             status = "ok" if ok else "FAIL"
             print(
                 f"perf floor: {artifact}:{where} = {value:.2f}x "

@@ -202,6 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
         "the log (disables --keep-checkpoints)",
     )
     serve.add_argument(
+        "--lazy",
+        action="store_true",
+        help="with --wal-dir: map the newest page-file checkpoint and "
+        "defer decoding the forest until the first structural touch "
+        "(read-only estimation serves straight from the mapping)",
+    )
+    serve.add_argument(
         "--listen",
         default=None,
         metavar="[HOST:]PORT",
@@ -326,6 +333,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --compact: retain at most N checkpoints (plus any "
         "they reference)",
     )
+    recover.add_argument(
+        "--lazy",
+        action="store_true",
+        help="map the newest page-file checkpoint instead of decoding "
+        "the forest eagerly (replaying a non-empty log suffix still "
+        "forces it)",
+    )
 
     build = commands.add_parser(
         "build",
@@ -333,7 +347,12 @@ def build_parser() -> argparse.ArgumentParser:
         "processes) and persist it as a binary .npz store",
     )
     build.add_argument("data", help="XML file path")
-    build.add_argument("--out", required=True, help="output .npz store path")
+    build.add_argument(
+        "--out",
+        required=True,
+        help="output store path (.npz archive, or .pgf for the "
+        "mmap-friendly page-file container)",
+    )
     build.add_argument("--grid", type=int, default=10, help="grid side g")
     build.add_argument(
         "--grid-kind",
@@ -560,6 +579,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             checkpoint_every=args.checkpoint_every,
             keep_checkpoints=None if args.no_compact else args.keep_checkpoints,
             auto_compact=not args.no_compact,
+            lazy=args.lazy,
         )
         if service.recovery_info is not None:
             info = service.recovery_info
@@ -817,6 +837,7 @@ def cmd_recover(args: argparse.Namespace) -> int:
         service = EstimationService.open_durable(
             args.wal_dir,
             keep_checkpoints=args.keep_checkpoints if args.compact else None,
+            lazy=args.lazy,
         )
     except WalError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -30,13 +30,13 @@ Three pieces live here:
 
 from __future__ import annotations
 
-import itertools
 import threading
 from typing import Iterable, Mapping, Optional
 
 import numpy as np
 
-_EPOCH_COUNTER = itertools.count(1)
+_EPOCH_LOCK = threading.Lock()
+_EPOCH_NEXT = 1
 
 #: Merge the sealed overlay stack into a fresh page once it holds more
 #: layers than this...
@@ -47,7 +47,25 @@ MERGE_FLOOR = 64
 
 def next_epoch() -> int:
     """A fresh process-unique epoch id (monotonically increasing)."""
-    return next(_EPOCH_COUNTER)
+    global _EPOCH_NEXT
+    with _EPOCH_LOCK:
+        value = _EPOCH_NEXT
+        _EPOCH_NEXT += 1
+        return value
+
+
+def ensure_epoch_floor(epoch: int) -> None:
+    """Advance the counter past ``epoch`` so it is never re-issued.
+
+    Checkpoint loaders adopt *stored* epoch ids (stamped by a previous
+    process) so an incremental checkpoint cut right after recovery can
+    still reference unchanged members instead of re-archiving them.
+    Adoption is only sound if no future content change can collide with
+    an adopted id, hence the floor."""
+    global _EPOCH_NEXT
+    with _EPOCH_LOCK:
+        if int(epoch) >= _EPOCH_NEXT:
+            _EPOCH_NEXT = int(epoch) + 1
 
 
 class HistogramPage:
@@ -56,22 +74,37 @@ class HistogramPage:
     ``codes[k] = i * g + j`` for cell ``(i, j)``; both arrays are marked
     read-only, so any accidental write raises instead of corrupting
     every epoch that shares the page.
+
+    ``backing`` is the optional owner of the bytes the arrays view --
+    an open :class:`~repro.storage.pagefile.PageFile` when the page was
+    materialised straight out of a checkpoint mapping.  Holding it here
+    keeps the mapping alive (and visible to retention) for exactly as
+    long as any epoch still reads it: ``ascontiguousarray`` on an
+    already-contiguous aligned int64/float64 mmap view returns the view
+    itself, so such a page is genuinely zero-copy.
     """
 
-    __slots__ = ("codes", "counts", "epoch", "__weakref__")
+    __slots__ = ("codes", "counts", "epoch", "backing", "__weakref__")
 
     def __init__(
-        self, codes: np.ndarray, counts: np.ndarray, epoch: Optional[int] = None
+        self,
+        codes: np.ndarray,
+        counts: np.ndarray,
+        epoch: Optional[int] = None,
+        backing: Optional[object] = None,
     ) -> None:
         codes = np.ascontiguousarray(codes, dtype=np.int64)
         counts = np.ascontiguousarray(counts, dtype=np.float64)
         if codes.shape != counts.shape:
             raise ValueError("page codes and counts must be aligned")
-        codes.setflags(write=False)
-        counts.setflags(write=False)
+        if codes.flags.writeable:
+            codes.setflags(write=False)
+        if counts.flags.writeable:
+            counts.setflags(write=False)
         self.codes = codes
         self.counts = counts
         self.epoch = next_epoch() if epoch is None else epoch
+        self.backing = backing
 
     def __len__(self) -> int:
         return len(self.codes)

@@ -39,7 +39,20 @@ from repro.histograms.coverage import CellPair, CoverageNumerators
 from repro.histograms.grid import GridSpec
 from repro.histograms.position import PositionHistogram
 from repro.labeling.interval import LabeledTree
+from repro.storage.pagefile import PageFile
 from repro.utils.arrays import group_by_code
+
+#: Per-worker cache of read-only checkpoint mappings (see the
+#: ``"mapped"`` payload in :func:`_build_shard`): one ``mmap`` per file
+#: per worker process, reused across shards and rebuilds.
+_WORKER_PAGEFILES: dict[str, PageFile] = {}
+
+
+def _worker_pagefile(path: str) -> PageFile:
+    mapping = _WORKER_PAGEFILES.get(path)
+    if mapping is None:
+        mapping = _WORKER_PAGEFILES[path] = PageFile(path)
+    return mapping
 
 
 @dataclass
@@ -151,8 +164,26 @@ def _build_shard(payload: tuple) -> dict:
     ``global_index`` (the nodes' pre-order indices in the full tree).
     Coverage pairs are computed for every tag; the parent discards the
     tags that turn out to overlap globally before anything merges.
+
+    When the parent's tree is served from a checkpoint mapping, the
+    payload is ``("mapped", path, ranges, remap, grid)`` instead: the
+    worker opens the same page file read-only (cached per process) and
+    gathers its slices straight out of the mapping, so nothing but the
+    range list and the tag-code remap crosses the process boundary.
+    The gathers below produce the same arrays the eager payload
+    carries, bit for bit.
     """
-    starts, ends, codes, global_index, grid = payload
+    if isinstance(payload[0], str) and payload[0] == "mapped":
+        _, path, ranges, remap, grid = payload
+        mapping = _worker_pagefile(path)
+        global_index = np.concatenate(
+            [np.arange(lo, hi, dtype=np.int64) for lo, hi in ranges]
+        )
+        starts = mapping["start"][global_index]
+        ends = mapping["end"][global_index]
+        codes = remap[mapping["fast.tags"][global_index]]
+    else:
+        starts, ends, codes, global_index, grid = payload
     g = grid.size
     g2 = g * g
     cols = grid.buckets(starts)
@@ -245,6 +276,19 @@ def _tag_codes(
         for code, tag in enumerate(names):
             codes[tag_indices[tag]] = code
         return codes, names
+    mapped = getattr(tree, "mapped_labels", None)
+    if (
+        mapped is not None
+        and mapped.get("start") is tree.start
+        and mapped.get("codes") is not None
+    ):
+        # Lazily recovered tree: the stored tag-code segment stands in
+        # for the element scan (which would force the whole forest).
+        vocab = mapped["vocab"]
+        names = sorted(vocab)
+        order = {tag: code for code, tag in enumerate(names)}
+        remap = np.asarray([order[tag] for tag in vocab], dtype=np.int64)
+        return remap[np.asarray(mapped["codes"], dtype=np.int64)], names
     code_of: dict[str, int] = {}
     codes = np.fromiter(
         (code_of.setdefault(e.tag, len(code_of)) for e in tree.elements),
@@ -289,9 +333,29 @@ def build_statistics_parallel(
     g2 = g * g
 
     shard_ranges, spine = partition_units(tree, n_workers)
+    mapped = getattr(tree, "mapped_labels", None)
+    use_mapped = (
+        mapped is not None
+        and mapped.get("start") is tree.start
+        and mapped.get("end") is tree.end
+        and mapped.get("codes") is not None
+        and set(mapped.get("vocab") or ()) == set(names)
+        and len(mapped.get("vocab") or ()) == len(names)
+    )
+    if use_mapped:
+        # Workers gather from the same mapping; ship only ranges plus
+        # the stored-code -> names-order remap (set equality above
+        # guarantees it is a bijection).
+        order = {tag: code for code, tag in enumerate(names)}
+        mapped_remap = np.asarray(
+            [order[tag] for tag in mapped["vocab"]], dtype=np.int64
+        )
     payloads = []
     for ranges in shard_ranges:
         if not ranges:
+            continue
+        if use_mapped:
+            payloads.append(("mapped", mapped["path"], ranges, mapped_remap, grid))
             continue
         gidx = np.concatenate(
             [np.arange(lo, hi, dtype=np.int64) for lo, hi in ranges]

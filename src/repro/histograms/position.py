@@ -91,6 +91,48 @@ class PositionHistogram:
         """Build from an explicit ``{(i, j): count}`` mapping."""
         return cls(grid, cells, name=name)
 
+    @classmethod
+    def from_page_arrays(
+        cls,
+        grid: GridSpec,
+        codes: np.ndarray,
+        counts: np.ndarray,
+        name: str = "",
+        epoch: Optional[int] = None,
+        backing: Optional[object] = None,
+    ) -> "PositionHistogram":
+        """Adopt stored ``(codes, counts)`` page arrays directly.
+
+        This is the checkpoint loader's zero-copy path: the arrays are
+        installed as the frozen page without a per-cell dict round trip,
+        so mmap-backed segments stay views into the mapping (``backing``
+        keeps the owning page file alive).  Validation is the vectorised
+        equivalent of :meth:`_validate_cell` plus the page invariants --
+        strictly increasing codes, cells on or above the diagonal,
+        strictly positive counts (the builders never store zeros) -- so
+        a corrupt segment raises instead of poisoning later estimates.
+        """
+        codes = np.ascontiguousarray(codes, dtype=np.int64)
+        counts = np.ascontiguousarray(counts, dtype=np.float64)
+        if codes.shape != counts.shape or codes.ndim != 1:
+            raise ValueError("page codes and counts must be aligned 1-D arrays")
+        g = grid.size
+        if codes.size:
+            if (np.diff(codes) <= 0).any():
+                raise ValueError(f"page codes for {name!r} are not sorted unique")
+            if int(codes[0]) < 0 or int(codes[-1]) >= g * g:
+                raise ValueError(f"page codes for {name!r} fall outside the grid")
+            if (codes % g < codes // g).any():
+                raise ValueError(
+                    f"page for {name!r} populates cells below the diagonal"
+                )
+            if (counts <= 0).any():
+                raise ValueError(f"page counts for {name!r} must be positive")
+        histogram = cls(grid, name=name)
+        histogram._page = HistogramPage(codes, counts, epoch=epoch, backing=backing)
+        histogram.version = histogram._page.epoch
+        return histogram
+
     def _validate_cell(self, i: int, j: int, count: float) -> None:
         if not (0 <= i < self.grid.size and 0 <= j < self.grid.size):
             raise ValueError(f"cell ({i}, {j}) outside {self.grid.size}x{self.grid.size} grid")

@@ -40,6 +40,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.histograms.coverage import CoverageHistogram
+from repro.histograms.epoch import ensure_epoch_floor
 from repro.histograms.grid import GridSpec
 from repro.histograms.position import PositionHistogram
 from repro.histograms.storage import (
@@ -47,6 +48,11 @@ from repro.histograms.storage import (
     grid_payload,
     load_histogram,
     save_histogram,
+)
+from repro.storage.pagefile import (
+    PageFile,
+    encode_page_file,
+    open_array_container,
 )
 
 BINARY_FORMAT = "repro-summaries"
@@ -168,12 +174,27 @@ def tree_fingerprint(tree) -> str:
     histogram is valid for both, so it is the staleness check for
     warm starts (same element *count* alone is not enough).
     """
+    return tree_fingerprint_from_parts(
+        tree.start, tree.end, (e.tag for e in tree.elements)
+    )
+
+
+def tree_fingerprint_from_parts(start, end, tags) -> str:
+    """:func:`tree_fingerprint` from its raw ingredients.
+
+    ``tags`` is the pre-order tag sequence as an iterable of strings.
+    The lazy checkpoint loader uses this to validate a mapped
+    checkpoint without materialising a single ``Element``: the label
+    arrays are mmap views and the tag sequence comes from the stored
+    tag-code segment plus the vocabulary -- byte-identical input to
+    what the eager path hashes.
+    """
     import hashlib
 
     digest = hashlib.sha256()
-    digest.update(np.ascontiguousarray(tree.start, dtype=np.int64).tobytes())
-    digest.update(np.ascontiguousarray(tree.end, dtype=np.int64).tobytes())
-    digest.update("\x00".join(e.tag for e in tree.elements).encode("utf-8"))
+    digest.update(np.ascontiguousarray(start, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(end, dtype=np.int64).tobytes())
+    digest.update("\x00".join(tags).encode("utf-8"))
     return digest.hexdigest()
 
 
@@ -217,8 +238,10 @@ class LoadedSummaries:
         return {s.name: s for s in self.summaries}
 
 
-def save_binary_summaries(estimator, path: Union[str, Path]) -> int:
-    """Persist every built histogram of ``estimator`` as one ``.npz`` file.
+def save_binary_summaries(
+    estimator, path: Union[str, Path], container: Optional[str] = None
+) -> int:
+    """Persist every built histogram of ``estimator`` as one file.
 
     The archive's ``manifest`` member is a JSON header
     (``format``/``version``/grid/predicate index); each predicate ``k``
@@ -227,6 +250,12 @@ def save_binary_summaries(estimator, path: Union[str, Path]) -> int:
     ``p<k>.cvg_keys`` (int64, shape ``(n, 4)``) and ``p<k>.cvg_fracs``
     (float64) when a coverage histogram exists.  Returns the number of
     predicates written.
+
+    ``container`` picks the envelope: ``"npz"`` (compressed archive,
+    the default) or ``"pagefile"`` (mmap-served
+    :mod:`repro.storage.pagefile`, zero-copy warm starts); paths ending
+    in ``.pgf`` default to the page file.  Loaders sniff the container
+    by magic, so either loads transparently.
     """
     arrays: dict[str, np.ndarray] = {}
     manifest: dict = {
@@ -274,8 +303,13 @@ def save_binary_summaries(estimator, path: Union[str, Path]) -> int:
     )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "wb") as handle:
-        np.savez_compressed(handle, **arrays)
+    if container is None:
+        container = "pagefile" if path.suffix == ".pgf" else "npz"
+    if container == "pagefile":
+        path.write_bytes(encode_page_file(arrays))
+    else:
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
     return written
 
 
@@ -284,6 +318,7 @@ def save_summary_pages(
     path: Union[str, Path],
     lsn: int,
     prior: Optional[dict] = None,
+    container: str = "npz",
 ) -> dict:
     """Write a checkpoint summary archive with epoch-addressed members.
 
@@ -303,6 +338,16 @@ def save_summary_pages(
     so a referencing manifest can locate them without knowing the
     writer's predicate ordering.  Returns the new index to thread into
     the next checkpoint.
+
+    ``container`` selects the envelope.  ``"npz"`` keeps the legacy
+    compressed archive.  ``"pagefile"`` writes an mmap-served
+    :mod:`repro.storage.pagefile` whose position members are the frozen
+    page's *packed* arrays (``e<epoch>.codes`` + ``e<epoch>.counts``,
+    exactly :meth:`~repro.histograms.position.PositionHistogram.cell_arrays`)
+    -- sealed/merged pages materialise straight into the file, and the
+    loader adopts the segments back as zero-copy pages.  The loader
+    accepts either member spelling from either envelope, so reference
+    chains may cross formats.
     """
     arrays: dict[str, np.ndarray] = {}
     manifest: dict = {
@@ -333,6 +378,14 @@ def save_summary_pages(
         at = lsn
         if previous.get("epoch") == epoch:
             entry["ref"] = at = previous["at"]
+        elif container == "pagefile":
+            # The frozen page's packed arrays verbatim: when the
+            # histogram carries no overlay this references the page's
+            # own buffers, so a sealed/merged page is materialised into
+            # the file without any per-cell conversion.
+            codes, counts = histogram.cell_arrays()
+            arrays[f"e{epoch}.codes"] = codes
+            arrays[f"e{epoch}.counts"] = counts
         else:
             cells = list(histogram.cells())
             arrays[f"e{epoch}.cells"] = np.asarray(
@@ -351,6 +404,10 @@ def save_summary_pages(
             cvg_at = lsn
             if previous.get("cvg_epoch") == cvg_epoch:
                 entry["cvg_ref"] = cvg_at = previous["cvg_at"]
+            elif container == "pagefile":
+                i, j, m, n, fractions = coverage.entry_arrays()
+                arrays[f"c{cvg_epoch}.keys"] = np.stack([i, j, m, n], axis=1)
+                arrays[f"c{cvg_epoch}.fracs"] = fractions
             else:
                 entries = list(coverage.entries())
                 arrays[f"c{cvg_epoch}.keys"] = np.asarray(
@@ -368,8 +425,11 @@ def save_summary_pages(
     )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "wb") as handle:
-        np.savez_compressed(handle, **arrays)
+    if container == "pagefile":
+        path.write_bytes(encode_page_file(arrays))
+    else:
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
     return index
 
 
@@ -397,7 +457,7 @@ def load_summary_pages(path: Union[str, Path], resolve=None) -> LoadedSummaries:
     if not path.exists():
         raise FileNotFoundError(f"no binary summary store at {path}")
     try:
-        archive = np.load(path)
+        archive = open_array_container(path)
     except (zipfile.BadZipFile, ValueError, OSError, EOFError) as exc:
         raise SummaryFormatError(f"{path} is not a summary archive: {exc}") from exc
     with archive:
@@ -432,40 +492,65 @@ def load_summary_pages(path: Union[str, Path], resolve=None) -> LoadedSummaries:
                 f"this build reads versions {BINARY_VERSION} and {PAGED_VERSION}"
             )
 
-        def member(entry_ref, name):
+        def source_for(entry_ref):
             if entry_ref is None:
-                source = archive
-            else:
-                if resolve is None:
-                    raise SummaryFormatError(
-                        f"{path} references checkpoint {entry_ref} but no "
-                        f"resolver was provided"
-                    )
-                source = resolve(int(entry_ref))
+                return archive
+            if resolve is None:
+                raise SummaryFormatError(
+                    f"{path} references checkpoint {entry_ref} but no "
+                    f"resolver was provided"
+                )
+            return resolve(int(entry_ref))
+
+        def member(source, name):
             if name not in source.files:
                 raise KeyError(f"missing member {name!r}")
             return source[name]
 
+        max_epoch = 0
         try:
             grid = grid_from_payload(manifest["grid"])
             summaries = []
             for entry in manifest["predicates"]:
                 epoch = int(entry["epoch"])
-                cells = member(entry.get("ref"), f"e{epoch}.cells")
-                counts = member(entry.get("ref"), f"e{epoch}.counts")
-                position = PositionHistogram(
-                    grid,
-                    {
-                        (int(i), int(j)): float(count)
-                        for (i, j), count in zip(cells.tolist(), counts.tolist())
-                    },
-                    name=entry["name"],
-                )
+                max_epoch = max(max_epoch, epoch)
+                source = source_for(entry.get("ref"))
+                if f"e{epoch}.codes" in source.files:
+                    # Page-file layout: the member *is* the frozen
+                    # page.  Adopt it (and its stored epoch) zero-copy;
+                    # ``backing`` keeps the mapping alive as long as
+                    # any snapshot still reads the page.
+                    position = PositionHistogram.from_page_arrays(
+                        grid,
+                        member(source, f"e{epoch}.codes"),
+                        member(source, f"e{epoch}.counts"),
+                        name=entry["name"],
+                        epoch=epoch,
+                        backing=source if isinstance(source, PageFile) else None,
+                    )
+                else:
+                    cells = member(source, f"e{epoch}.cells")
+                    counts = member(source, f"e{epoch}.counts")
+                    position = PositionHistogram(
+                        grid,
+                        {
+                            (int(i), int(j)): float(count)
+                            for (i, j), count in zip(cells.tolist(), counts.tolist())
+                        },
+                        name=entry["name"],
+                    )
+                    # Same content the writer stamped with this epoch:
+                    # adopt the id so post-recovery incremental
+                    # checkpoints can reference instead of re-archive.
+                    position._page.epoch = epoch
+                    position.version = epoch
                 coverage = None
                 if entry.get("has_coverage"):
                     cvg_epoch = int(entry["cvg_epoch"])
-                    keys = member(entry.get("cvg_ref"), f"c{cvg_epoch}.keys")
-                    fracs = member(entry.get("cvg_ref"), f"c{cvg_epoch}.fracs")
+                    max_epoch = max(max_epoch, cvg_epoch)
+                    cvg_source = source_for(entry.get("cvg_ref"))
+                    keys = member(cvg_source, f"c{cvg_epoch}.keys")
+                    fracs = member(cvg_source, f"c{cvg_epoch}.fracs")
                     coverage = CoverageHistogram(
                         grid,
                         {
@@ -476,6 +561,7 @@ def load_summary_pages(path: Union[str, Path], resolve=None) -> LoadedSummaries:
                         },
                         name=entry["name"],
                     )
+                    coverage.version = cvg_epoch
                 summaries.append(
                     LoadedSummary(
                         name=entry["name"],
@@ -491,6 +577,7 @@ def load_summary_pages(path: Union[str, Path], resolve=None) -> LoadedSummaries:
             raise SummaryFormatError(
                 f"{path} is corrupt or incomplete: {exc}"
             ) from exc
+    ensure_epoch_floor(max_epoch)
     return LoadedSummaries(
         grid=grid, summaries=summaries, fingerprint=manifest.get("fingerprint")
     )
@@ -499,7 +586,7 @@ def load_summary_pages(path: Union[str, Path], resolve=None) -> LoadedSummaries:
 def read_summary_manifest(path: Union[str, Path]) -> dict:
     """The JSON manifest of a summary archive (any version)."""
     try:
-        with np.load(Path(path)) as archive:
+        with open_array_container(Path(path)) as archive:
             return json.loads(bytes(archive["manifest"]).decode("utf-8"))
     except _MALFORMED_MEMBER_ERRORS as exc:
         raise SummaryFormatError(f"{path} has no readable manifest: {exc}") from exc
@@ -522,7 +609,7 @@ def load_binary_summaries(path: Union[str, Path]) -> LoadedSummaries:
     if not path.exists():
         raise FileNotFoundError(f"no binary summary store at {path}")
     try:
-        archive = np.load(path)
+        archive = open_array_container(path)
     except (zipfile.BadZipFile, ValueError, OSError, EOFError) as exc:
         raise SummaryFormatError(f"{path} is not a summary archive: {exc}") from exc
     with archive:

@@ -201,6 +201,12 @@ class EstimationService:
         self._auto_compact = False
         self._ckpt_tracker: Optional[np.ndarray] = None
         self._ckpt_prior: Optional[dict] = None
+        # Checkpoint container override ("pagefile" / "npz"; None = the
+        # module default) and, after a lazy recovery, the open page-file
+        # mapping the tree's label arrays view -- held here so retention
+        # sees the file as mapped for the service's lifetime.
+        self._ckpt_container: Optional[str] = None
+        self._ckpt_backing = None
         self.recovery_info = None
         # Storage-fault degradation: when a WAL append/fsync or
         # checkpoint write fails with an OSError and the policy flag is
@@ -990,6 +996,7 @@ class EstimationService:
         checkpoint_every: int = 16,
         keep_checkpoints: Optional[int] = None,
         auto_compact: bool = False,
+        lazy: bool = False,
     ) -> "EstimationService":
         """Open (or initialise) a crash-recoverable service.
 
@@ -1004,6 +1011,12 @@ class EstimationService:
         what recovery did.  A fresh directory requires ``documents`` and
         writes an initial checkpoint before the first update is
         accepted.
+
+        ``lazy=True`` maps the newest page-file checkpoint instead of
+        materialising the forest: estimates over the persisted tag
+        predicates serve straight from the mapping, and element objects
+        are decoded on first structural touch (see
+        :func:`repro.service.wal.open_durable`).
         """
         from repro.service.wal import open_durable as _open_durable
 
@@ -1018,6 +1031,7 @@ class EstimationService:
             checkpoint_every=checkpoint_every,
             keep_checkpoints=keep_checkpoints,
             auto_compact=auto_compact,
+            lazy=lazy,
         )
 
     # -- persistence --------------------------------------------------------

@@ -13,12 +13,17 @@ discipline:
   markers ride to disk with the next record's fsync, which is safe
   because recovery treats an unmarked logged batch as redo work and a
   rolled-back batch leaves no state to redo;
-* **periodic checkpoints** pair the versioned ``.npz`` summary store
-  (:func:`~repro.histograms.store.save_binary_summaries`) with a second
-  ``.npz`` holding the serialized document forest, the exact label
+* **periodic checkpoints** pair the versioned summary store
+  (:func:`~repro.histograms.store.save_summary_pages`) with a state
+  archive holding the serialized document forest, the exact label
   arrays (labels are path-dependent under gap allocation, so they
   cannot be re-derived from the documents), and the log sequence
-  number (LSN) of the last batch the checkpoint covers;
+  number (LSN) of the last batch the checkpoint covers.  Both sides
+  are written as mmap-friendly **page files**
+  (:mod:`repro.storage.pagefile`) by default -- checksummed,
+  64-byte-aligned raw segments a warm start maps instead of
+  decompressing -- while legacy ``.npz`` checkpoints keep loading
+  transparently (and ``container="npz"`` keeps writing them);
 * **recovery** (:func:`open_durable` via
   :meth:`~repro.service.service.EstimationService.open_durable`) loads
   the newest checkpoint whose files validate -- falling back to older
@@ -52,11 +57,15 @@ exactly the live path's sequential semantics:
 * ``["op", j, k]`` -- a handle into the subtree inserted by the
   batch's ``j``-th operation, at pre-order offset ``k``.
 
-Checkpoints are ``ckpt-<lsn>.summaries.npz`` (the binary summary
-store) plus ``ckpt-<lsn>.state.npz`` (documents + label arrays + meta);
-a checkpoint exists only when both files do, and the summary store's
-document fingerprint must match the restored label table, so a torn
-checkpoint write is never half-loaded.
+Checkpoints are ``ckpt-<lsn>.summaries.pgf`` (the binary summary
+store) plus ``ckpt-<lsn>.state.pgf`` (documents + label arrays + meta)
+-- or the legacy ``.npz`` pair; either spelling is accepted, and a
+checkpoint exists only when one *complete* pair does.  The summary
+store's document fingerprint must match the restored label table, so a
+torn checkpoint write is never half-loaded.  Opening with
+``lazy=True`` serves straight from the mapped page files: label
+arrays and histogram pages are zero-copy mmap views, and the element
+forest is decoded only if something actually touches it.
 """
 
 from __future__ import annotations
@@ -71,8 +80,18 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.histograms.store import SummaryFormatError, tree_fingerprint
+from repro.histograms.store import (
+    SummaryFormatError,
+    tree_fingerprint,
+    tree_fingerprint_from_parts,
+)
 from repro.service.batch import BatchError, DeleteOp, InsertOp
+from repro.storage.pagefile import (
+    PageFile,
+    encode_page_file,
+    mapped_paths,
+    open_array_container,
+)
 from repro.service.faults import (
     CKPT_FSYNC,
     CKPT_RENAME,
@@ -92,6 +111,16 @@ LOG_NAME = "wal.log"
 CHECKPOINT_PREFIX = "ckpt-"
 STATE_SUFFIX = ".state.npz"
 SUMMARY_SUFFIX = ".summaries.npz"
+PAGED_STATE_SUFFIX = ".state.pgf"
+PAGED_SUMMARY_SUFFIX = ".summaries.pgf"
+#: Default container for new checkpoints: ``"pagefile"`` (mmap-friendly
+#: aligned segments) or ``"npz"`` (legacy compressed archives).  Either
+#: kind loads transparently regardless of this setting.
+CHECKPOINT_CONTAINER = "pagefile"
+_CONTAINER_SUFFIXES = {
+    "pagefile": (PAGED_STATE_SUFFIX, PAGED_SUMMARY_SUFFIX),
+    "npz": (STATE_SUFFIX, SUMMARY_SUFFIX),
+}
 #: After this many consecutive delta checkpoints, the next one re-bases
 #: (writes a full checkpoint) so old bases -- and the log records they
 #: pin -- can be reclaimed by retention and compaction.
@@ -176,9 +205,151 @@ def _encode_payload_v2(obj: dict) -> bytes:
     )
 
 
+class ColumnarOps:
+    """Zero-copy view over a v2 batch record's operation columns.
+
+    The original v2 decoder expanded every operation into a dict before
+    anything looked at it; at replay scale that per-op Python loop
+    dominated log reads.  This view keeps the columns as the numpy
+    arrays sliced straight out of the (already CRC-checked) payload and
+    materialises the dict spelling only on demand -- indexing,
+    iteration, and equality all yield exactly the dicts the reference
+    decoder produced, while the replay fast path in :func:`decode_ops`
+    reads the columns directly and never asks for them.
+    """
+
+    __slots__ = (
+        "op_kinds",
+        "ref_kinds",
+        "ref_a",
+        "ref_b",
+        "positions",
+        "xml_offsets",
+        "blob",
+    )
+
+    def __init__(
+        self, op_kinds, ref_kinds, ref_a, ref_b, positions, xml_offsets, blob
+    ):
+        self.op_kinds = op_kinds
+        self.ref_kinds = ref_kinds
+        self.ref_a = ref_a
+        self.ref_b = ref_b
+        self.positions = positions
+        self.xml_offsets = xml_offsets
+        self.blob = blob
+
+    def __len__(self) -> int:
+        return len(self.op_kinds)
+
+    def entry(self, k: int) -> dict:
+        """Op ``k`` in the v1 dict spelling."""
+        ref_kind = int(self.ref_kinds[k])
+        a = int(self.ref_a[k])
+        ref = (
+            ["op", a, int(self.ref_b[k])]
+            if ref_kind == 2
+            else [_TARGET_KINDS[ref_kind], a]
+        )
+        if int(self.op_kinds[k]) == 0:
+            position = int(self.positions[k])
+            lo, hi = int(self.xml_offsets[k]), int(self.xml_offsets[k + 1])
+            return {
+                "kind": "insert",
+                "parent": ref,
+                "xml": self.blob[lo:hi].decode("utf-8"),
+                "position": None if position < 0 else position,
+            }
+        return {"kind": "delete", "node": ref}
+
+    def __getitem__(self, key):
+        if isinstance(key, slice):
+            return [self.entry(k) for k in range(len(self))[key]]
+        return self.entry(range(len(self))[key])
+
+    def __iter__(self):
+        for k in range(len(self)):
+            yield self.entry(k)
+
+    def __eq__(self, other):
+        if isinstance(other, ColumnarOps):
+            other = list(other)
+        if isinstance(other, list):
+            return list(self) == other
+        return NotImplemented
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ColumnarOps({list(self)!r})"
+
+
 def _decode_payload_v2(payload: bytes) -> Optional[dict]:
     """Decode a v2 binary payload; ``None`` marks it corrupt (the
-    framing CRC already passed, so this is defense in depth)."""
+    framing CRC already passed, so this is defense in depth).
+
+    Batch records come back with ``"ops"`` as a :class:`ColumnarOps`
+    view -- validation is fully vectorized and no per-op objects are
+    built here.  The view compares equal to (and iterates as) the
+    dict list the reference decoder produces, pinned by the
+    differential test against :func:`_decode_payload_v2_reference`.
+    """
+    try:
+        marker, type_code, lsn = _V2_HEAD.unpack_from(payload, 0)
+        if marker != _V2_MARKER or type_code >= len(_RECORD_TYPES):
+            return None
+        record_type = _RECORD_TYPES[type_code]
+        if record_type != "batch":
+            if len(payload) != _V2_HEAD.size:
+                return None
+            return {"lsn": lsn, "type": record_type}
+        offset = _V2_HEAD.size
+        flags, n = _V2_BATCH_HEAD.unpack_from(payload, offset)
+        offset += _V2_BATCH_HEAD.size
+        fixed = 2 * n + 8 * 3 * n + 8 * (n + 1)
+        if offset + fixed > len(payload):
+            return None
+        op_kinds = np.frombuffer(payload, np.uint8, n, offset)
+        offset += n
+        ref_kinds = np.frombuffer(payload, np.uint8, n, offset)
+        offset += n
+        ref_a = np.frombuffer(payload, np.int64, n, offset)
+        offset += 8 * n
+        ref_b = np.frombuffer(payload, np.int64, n, offset)
+        offset += 8 * n
+        positions = np.frombuffer(payload, np.int64, n, offset)
+        offset += 8 * n
+        xml_offsets = np.frombuffer(payload, np.int64, n + 1, offset)
+        offset += 8 * (n + 1)
+        blob = payload[offset:]
+        if (
+            (op_kinds > 1).any()
+            or (ref_kinds > 2).any()
+            or (n and int(xml_offsets[0]) != 0)
+            or (np.diff(xml_offsets) < 0).any()
+            or int(xml_offsets[-1]) != len(blob)
+        ):
+            return None
+        return {
+            "lsn": lsn,
+            "type": "batch",
+            "single": bool(flags & 1),
+            "ops": ColumnarOps(
+                op_kinds, ref_kinds, ref_a, ref_b, positions, xml_offsets, blob
+            ),
+        }
+    except (struct.error, UnicodeDecodeError, ValueError):
+        return None
+
+
+def _decode_payload_v2_reference(payload: bytes) -> Optional[dict]:
+    """Pre-vectorization per-op decoder, kept as the bit-identity
+    reference the differential tests pin :func:`_decode_payload_v2`
+    against (mixed v1/v2 logs, every record type)."""
     try:
         marker, type_code, lsn = _V2_HEAD.unpack_from(payload, 0)
         if marker != _V2_MARKER or type_code >= len(_RECORD_TYPES):
@@ -515,6 +686,8 @@ def decode_ops(service, entries: Sequence[dict]) -> list[Union[InsertOp, DeleteO
     re-materialise as element handles so the batch applier tracks them
     through earlier splices exactly as it did live.
     """
+    if isinstance(entries, ColumnarOps):
+        return _decode_ops_columnar(service, entries)
     tree = service.tree
     subtrees: list[Optional[list[Element]]] = []
     ops: list[Union[InsertOp, DeleteOp]] = []
@@ -531,6 +704,49 @@ def decode_ops(service, entries: Sequence[dict]) -> list[Union[InsertOp, DeleteO
             subtrees.append(list(subtree.iter()))
         else:
             ops.append(DeleteOp(_decode_target(tree, entry["node"], subtrees)))
+            subtrees.append(None)
+    return ops
+
+
+def _decode_ops_columnar(service, cols: ColumnarOps) -> list[Union[InsertOp, DeleteOp]]:
+    """Replay fast path over a v2 record's columns: one ``tolist`` per
+    column instead of a dict per op.  Targets resolve *before* the op's
+    subtree joins the lookup list, preserving the op-reference ordering
+    semantics of the dict path (an op can only reference earlier ops).
+    """
+    tree = service.tree
+    subtrees: list[Optional[list[Element]]] = []
+    ops: list[Union[InsertOp, DeleteOp]] = []
+    offs = cols.xml_offsets.tolist()
+    blob = cols.blob
+    for k, (op_kind, ref_kind, a, b, position) in enumerate(
+        zip(
+            cols.op_kinds.tolist(),
+            cols.ref_kinds.tolist(),
+            cols.ref_a.tolist(),
+            cols.ref_b.tolist(),
+            cols.positions.tolist(),
+        )
+    ):
+        if ref_kind == 0:
+            target = a
+        elif ref_kind == 1:
+            target = tree.elements[a]
+        else:
+            nodes = subtrees[a]
+            if nodes is None:
+                raise ValueError(
+                    f"logged target references a delete op: {['op', a, b]!r}"
+                )
+            target = nodes[b]
+        if op_kind == 0:
+            subtree = _parse_subtree(blob[offs[k] : offs[k + 1]].decode("utf-8"))
+            ops.append(
+                InsertOp(target, subtree, None if position < 0 else position)
+            )
+            subtrees.append(list(subtree.iter()))
+        else:
+            ops.append(DeleteOp(target))
             subtrees.append(None)
     return ops
 
@@ -560,32 +776,72 @@ def _parse_subtree(xml: str) -> Element:
 # -- checkpoints -------------------------------------------------------------
 
 
-def checkpoint_paths(directory: Union[str, Path], lsn: int) -> tuple[Path, Path]:
+def _checkpoint_pairs(
+    directory: Union[str, Path], lsn: int
+) -> dict[str, tuple[Path, Path]]:
+    """Candidate ``(state, summary)`` pairs for ``lsn`` per container,
+    in resolution preference order (pagefile before legacy npz)."""
     stem = f"{CHECKPOINT_PREFIX}{lsn:016d}"
     directory = Path(directory)
-    return directory / (stem + STATE_SUFFIX), directory / (stem + SUMMARY_SUFFIX)
+    return {
+        container: (
+            directory / (stem + state_suffix),
+            directory / (stem + summary_suffix),
+        )
+        for container, (state_suffix, summary_suffix) in _CONTAINER_SUFFIXES.items()
+    }
+
+
+def checkpoint_paths(
+    directory: Union[str, Path], lsn: int, container: Optional[str] = None
+) -> tuple[Path, Path]:
+    """The ``(state, summary)`` paths of checkpoint ``lsn``.
+
+    An explicit ``container`` names that pair unconditionally (the
+    write path uses this).  With ``container=None`` the first
+    *complete* on-disk pair wins, pagefile preferred -- so readers
+    resolve whatever spelling a checkpoint was actually written in --
+    and when neither pair is complete, the default-container pair is
+    returned (the target of a checkpoint about to be written).
+    """
+    pairs = _checkpoint_pairs(directory, lsn)
+    if container is not None:
+        return pairs[container]
+    for pair in pairs.values():
+        if pair[0].exists() and pair[1].exists():
+            return pair
+    return pairs[CHECKPOINT_CONTAINER]
 
 
 def list_checkpoints(directory: Union[str, Path]) -> list[int]:
     """LSNs of the directory's complete checkpoints, newest first.
 
-    A checkpoint is complete only when **both canonical paired files**
-    (state + summaries) exist.  The glob may surface stray files whose
-    name parses to an LSN but is not the canonical ``%016d`` spelling;
-    requiring both canonical paths (rather than trusting the globbed
-    path for one half) keeps such strays -- and a crash that renamed
-    only one half -- from ever being offered to recovery.
+    A checkpoint is complete only when **one complete canonical pair**
+    (state + summaries, in the same container) exists -- pagefile and
+    legacy ``.npz`` both count, and an incomplete pair in one container
+    never masks a complete pair in the other.  The glob may surface
+    stray files whose name parses to an LSN but is not the canonical
+    ``%016d`` spelling; requiring the canonical paths (rather than
+    trusting the globbed path for one half) keeps such strays -- and a
+    crash that renamed only one half -- from ever being offered to
+    recovery.
     """
     directory = Path(directory)
     lsns: set[int] = set()
-    for path in directory.glob(f"{CHECKPOINT_PREFIX}*{STATE_SUFFIX}"):
-        raw = path.name[len(CHECKPOINT_PREFIX) : -len(STATE_SUFFIX)]
-        if not raw.isdigit():
-            continue
-        lsn = int(raw)
-        state_path, summary_path = checkpoint_paths(directory, lsn)
-        if state_path.exists() and summary_path.exists():
-            lsns.add(lsn)
+    for state_suffix in (PAGED_STATE_SUFFIX, STATE_SUFFIX):
+        for path in directory.glob(f"{CHECKPOINT_PREFIX}*{state_suffix}"):
+            raw = path.name[len(CHECKPOINT_PREFIX) : -len(state_suffix)]
+            if not raw.isdigit():
+                continue
+            lsn = int(raw)
+            if lsn in lsns:
+                continue
+            for state_path, summary_path in _checkpoint_pairs(
+                directory, lsn
+            ).values():
+                if state_path.exists() and summary_path.exists():
+                    lsns.add(lsn)
+                    break
     return sorted(lsns, reverse=True)
 
 
@@ -854,12 +1110,19 @@ def _encode_state_delta(service, base_lsn: int, base_nodes: int) -> tuple[dict, 
 
 
 def _write_state_archive(
-    path: Path, arrays: dict, directory: Path, faults: Optional[FaultPlan] = None
+    path: Path,
+    arrays: dict,
+    directory: Path,
+    faults: Optional[FaultPlan] = None,
+    container: str = "npz",
 ) -> int:
     tmp = path.with_suffix(".tmp")
     fire(faults, CKPT_WRITE)
     with open(tmp, "wb") as handle:
-        np.savez_compressed(handle, **arrays)
+        if container == "pagefile":
+            handle.write(encode_page_file(arrays))
+        else:
+            np.savez_compressed(handle, **arrays)
         handle.flush()
         fire(faults, CKPT_FSYNC)
         os.fsync(handle.fileno())
@@ -896,7 +1159,8 @@ def write_checkpoint(
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    state_path, summary_path = checkpoint_paths(directory, lsn)
+    container = getattr(service, "_ckpt_container", None) or CHECKPOINT_CONTAINER
+    state_path, summary_path = checkpoint_paths(directory, lsn, container=container)
     tree = service.tree
 
     tracker = service._ckpt_tracker
@@ -928,6 +1192,7 @@ def write_checkpoint(
         summary_tmp,
         lsn,
         prior=prior["summaries"] if incremental and prior else None,
+        container=container,
     )
     _fsync_path(summary_tmp, faults)
     fire(faults, CKPT_RENAME)
@@ -967,7 +1232,21 @@ def write_checkpoint(
     arrays["meta"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
-    _write_state_archive(state_path, arrays, directory, faults)
+    _write_state_archive(state_path, arrays, directory, faults, container=container)
+
+    # A re-checkpoint of the same LSN under a different container would
+    # otherwise leave a stale twin pair that path resolution could
+    # prefer over the bytes just written; drop the other spelling now
+    # that this one is durable (mapped files are left for retention).
+    mapped = mapped_paths()
+    for other, pair in _checkpoint_pairs(directory, lsn).items():
+        if other == container:
+            continue
+        victims = [path for path in pair if path.exists()]
+        if victims and not any(path.resolve() in mapped for path in victims):
+            for path in victims:
+                path.unlink()
+            _fsync_directory(directory)
 
     # Both files are durable: adopt the new checkpoint as the delta
     # baseline for the next one.
@@ -1001,6 +1280,18 @@ class _LoadedCheckpoint:
     summaries: "object"  # LoadedSummaries
     numerators: dict  # tag -> {(i, j, m, n): int}
     elements: Optional[list] = None  # pre-order, aligned with the arrays
+    #: Open :class:`PageFile` the label arrays (and deferred forest)
+    #: view, for a lazy load; holding it here keeps the mapping alive
+    #: and visible to retention.
+    backing: Optional[PageFile] = None
+    #: Pre-computed tree fingerprint (lazy loads hash the stored tag
+    #: codes instead of touching ``Element`` objects).
+    fingerprint: Optional[str] = None
+    #: Stored pre-order tag codes + vocabulary (lazy loads only): lets
+    #: the service seed its per-tag index without the forest.
+    tag_codes: Optional[np.ndarray] = None
+    tag_vocab: Optional[list] = None
+    lazy: bool = False
 
 
 def _decode_numerators(archive, meta) -> dict:
@@ -1014,6 +1305,15 @@ def _decode_numerators(archive, meta) -> dict:
         codes = ((keys[:, 0] * g + keys[:, 1]) * g + keys[:, 2]) * g + keys[:, 3]
         numerators[tag] = CoverageNumerators(g, codes, counts)
     return numerators
+
+
+def _label_array(values) -> np.ndarray:
+    """A stored label column as int64, copying only when the stored
+    dtype differs -- a mapped page-file segment stays a zero-copy view."""
+    arr = np.asarray(values)
+    if arr.dtype == np.int64:
+        return arr
+    return arr.astype(np.int64)
 
 
 def _derived_elements(documents) -> list[Element]:
@@ -1145,60 +1445,115 @@ def _apply_state_delta(base: "_LoadedCheckpoint", archive, meta, state_path):
 
 
 def _load_state(
-    directory: Union[str, Path], lsn: int, allow_delta: bool = True
+    directory: Union[str, Path],
+    lsn: int,
+    allow_delta: bool = True,
+    lazy: bool = False,
 ) -> _LoadedCheckpoint:
     """Load (and for delta checkpoints, reconstruct) one checkpoint's
-    state archive; ``summaries`` is left unset."""
+    state archive; ``summaries`` is left unset.
+
+    ``lazy=True`` is honoured for *full* checkpoints whose state lives
+    in a page file with the fast forest encoding: the label arrays come
+    back as zero-copy mmap views, the ``Element`` decode is deferred
+    behind :mod:`repro.storage.lazy` proxies, and the open mapping
+    rides on ``backing``.  Anything else (legacy ``.npz``, delta
+    checkpoints, XML-only archives) silently degrades to an eager load.
+    """
     state_path = checkpoint_paths(directory, lsn)[0]
     try:
-        archive = np.load(state_path)
+        archive = open_array_container(state_path)
     except Exception as exc:
         raise SummaryFormatError(
             f"{state_path} is not a checkpoint state archive: {exc}"
         ) from exc
+    lazy = bool(lazy) and isinstance(archive, PageFile)
+    fingerprint = None
+    tag_codes = tag_vocab = None
     try:
-        with archive:
-            meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
-            elements = None
-            if "incremental" in meta:
-                if not allow_delta:
-                    raise SummaryFormatError(
-                        f"{state_path} chains a delta onto another delta"
-                    )
-                base = _load_state(
-                    directory, int(meta["incremental"]["base_lsn"]), allow_delta=False
+        meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        elements = None
+        if "incremental" in meta:
+            if not allow_delta:
+                raise SummaryFormatError(
+                    f"{state_path} chains a delta onto another delta"
                 )
-                (
-                    documents,
-                    elements,
-                    start,
-                    end,
-                    level,
-                    parent_index,
-                ) = _apply_state_delta(base, archive, meta, state_path)
-            else:
-                start = archive["start"].astype(np.int64)
-                end = archive["end"].astype(np.int64)
-                level = archive["level"].astype(np.int64)
-                parent_index = archive["parent_index"].astype(np.int64)
-                if "fast" in meta:
-                    # Numpy-native forest: rebuild the elements without
-                    # tokenizing the XML members (kept for fidelity).
-                    documents, elements = _decode_forest(
-                        archive, meta["fast"], parent_index
+            lazy = False
+            base = _load_state(
+                directory, int(meta["incremental"]["base_lsn"]), allow_delta=False
+            )
+            (
+                documents,
+                elements,
+                start,
+                end,
+                level,
+                parent_index,
+            ) = _apply_state_delta(base, archive, meta, state_path)
+        else:
+            start = _label_array(archive["start"])
+            end = _label_array(archive["end"])
+            level = _label_array(archive["level"])
+            parent_index = _label_array(archive["parent_index"])
+            if "fast" not in meta:
+                lazy = False
+                documents = [
+                    parse_document(bytes(archive[f"doc{k}"]).decode("utf-8"))
+                    for k in range(int(meta["documents"]))
+                ]
+            elif lazy:
+                from repro.storage.lazy import (
+                    LazyDocuments,
+                    LazyElements,
+                    LazyForestState,
+                )
+
+                fast_meta = meta["fast"]
+                tag_vocab = list(fast_meta["tag_vocab"])
+                tag_codes = np.asarray(archive["fast.tags"], dtype=np.int64)
+                if len(tag_codes) != len(start):
+                    raise SummaryFormatError(
+                        f"{state_path} stores {len(tag_codes)} tag codes "
+                        f"for {len(start)} labels"
                     )
-                else:
-                    documents = [
-                        parse_document(bytes(archive[f"doc{k}"]).decode("utf-8"))
-                        for k in range(int(meta["documents"]))
-                    ]
-            numerators = _decode_numerators(archive, meta)
+                if len(tag_codes) and (
+                    int(tag_codes.min()) < 0
+                    or int(tag_codes.max()) >= len(tag_vocab)
+                ):
+                    raise SummaryFormatError(
+                        f"{state_path} tag codes fall outside the vocabulary"
+                    )
+                # Validating the fingerprint needs labels + tags only,
+                # so a lazy open never touches the forest segments.
+                fingerprint = tree_fingerprint_from_parts(
+                    start, end, (tag_vocab[c] for c in tag_codes.tolist())
+                )
+                state = LazyForestState(
+                    lambda: _decode_forest(archive, fast_meta, parent_index),
+                    expected_documents=len(fast_meta["doc_roots"]),
+                    expected_elements=len(start),
+                )
+                documents = LazyDocuments(state)
+                elements = LazyElements(state)
+            else:
+                # Numpy-native forest: rebuild the elements without
+                # tokenizing the XML members (kept for fidelity).
+                documents, elements = _decode_forest(
+                    archive, meta["fast"], parent_index
+                )
+        numerators = _decode_numerators(archive, meta)
     except SummaryFormatError:
+        archive.close()
         raise
     except Exception as exc:
+        archive.close()
         raise SummaryFormatError(
             f"{state_path} checkpoint state is corrupt: {exc}"
         ) from exc
+    if not lazy:
+        # A PageFile with exported views survives this close (it
+        # releases on the last view drop); an npz handle just closes.
+        archive.close()
     if not (len(start) == len(end) == len(level) == len(parent_index)):
         raise SummaryFormatError(f"{state_path} label arrays disagree in length")
     return _LoadedCheckpoint(
@@ -1212,6 +1567,11 @@ def _load_state(
         summaries=None,
         numerators=numerators,
         elements=elements,
+        backing=archive if lazy else None,
+        fingerprint=fingerprint,
+        tag_codes=tag_codes,
+        tag_vocab=tag_vocab,
+        lazy=lazy,
     )
 
 
@@ -1221,18 +1581,23 @@ def checkpoint_refs(directory: Union[str, Path], lsn: int) -> set[int]:
     empty set -- such a checkpoint cannot recover anyway."""
     state_path = checkpoint_paths(directory, lsn)[0]
     try:
-        with np.load(state_path) as archive:
+        with open_array_container(state_path) as archive:
             meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
         return {int(ref) for ref in meta.get("refs", [])}
     except Exception:
         return set()
 
 
-def load_checkpoint(directory: Union[str, Path], lsn: int) -> _LoadedCheckpoint:
+def load_checkpoint(
+    directory: Union[str, Path], lsn: int, lazy: bool = False
+) -> _LoadedCheckpoint:
     """Load and validate one checkpoint; raises
     :class:`~repro.histograms.store.SummaryFormatError` on any
     malformed, truncated, mismatched, or unresolvable file (including a
-    referenced older checkpoint that is itself missing or corrupt)."""
+    referenced older checkpoint that is itself missing or corrupt).
+    Both the checkpoint and its references resolve in whichever
+    container they were written -- a pagefile delta may reference a
+    legacy ``.npz`` base and vice versa."""
     from repro.histograms.store import load_summary_pages
 
     directory = Path(directory)
@@ -1244,7 +1609,7 @@ def load_checkpoint(directory: Union[str, Path], lsn: int) -> _LoadedCheckpoint:
             if ref_lsn not in opened:
                 ref_path = checkpoint_paths(directory, ref_lsn)[1]
                 try:
-                    opened[ref_lsn] = np.load(ref_path)
+                    opened[ref_lsn] = open_array_container(ref_path)
                 except Exception as exc:
                     raise SummaryFormatError(
                         f"{summary_path} references checkpoint {ref_lsn} "
@@ -1254,9 +1619,11 @@ def load_checkpoint(directory: Union[str, Path], lsn: int) -> _LoadedCheckpoint:
 
         summaries = load_summary_pages(summary_path, resolve=resolve)
     finally:
+        # A PageFile whose segments were adopted zero-copy survives
+        # this close until the last adopted page drops it.
         for archive in opened.values():
             archive.close()
-    checkpoint = _load_state(directory, lsn)
+    checkpoint = _load_state(directory, lsn, lazy=lazy)
     checkpoint.summaries = summaries
     return checkpoint
 
@@ -1308,16 +1675,32 @@ def prune_checkpoints(
     fails cleanly and falls back), never a live manifest referencing a
     deleted file -- referenced bases are always in the retention set.
 
+    Retention is **mapping-aware**: a checkpoint any file of which is
+    currently mmap'd in this process (a lazy service, a live snapshot
+    holding zero-copy pages) is deferred even when it falls outside the
+    retention set -- the next prune reclaims it once the last mapping
+    drops.  Every container spelling of a pruned LSN is unlinked, so a
+    re-checkpoint that switched formats leaves no orphaned twin.
+
     Returns the pruned LSNs (newest first -- also the deletion order,
     so a referencing delta dies before its base).
     """
     directory = Path(directory)
     live = live_checkpoint_lsns(directory, keep_checkpoints)
+    mapped = mapped_paths()
     pruned: list[int] = []
     for lsn in list_checkpoints(directory):  # newest first
         if lsn in live:
             continue
-        for path in checkpoint_paths(directory, lsn):
+        victims = [
+            path
+            for pair in _checkpoint_pairs(directory, lsn).values()
+            for path in pair
+            if path.exists()
+        ]
+        if any(path.resolve() in mapped for path in victims):
+            continue
+        for path in victims:
             try:
                 path.unlink()
             except FileNotFoundError:  # pragma: no cover - racing cleanup
@@ -1468,6 +1851,7 @@ def open_durable(
     checkpoint_every: int = 16,
     keep_checkpoints: Optional[int] = None,
     auto_compact: bool = False,
+    lazy: bool = False,
 ):
     """Open a durable estimation service rooted at ``directory``.
 
@@ -1480,6 +1864,16 @@ def open_durable(
     bounds checkpoint retention (older ones are pruned after each new
     checkpoint, minus anything still referenced); ``auto_compact``
     additionally compacts the log after every checkpoint.
+
+    ``lazy=True`` warm-starts from the checkpoint's mmap'd page files
+    instead of materialising the forest up front: label arrays and
+    histogram pages are zero-copy views of the mapping, estimation over
+    registered tag predicates works immediately, and the ``Element``
+    objects are decoded only when something actually touches them (an
+    update batch, a structural scan).  WAL-suffix replay forces the
+    forest, so a lazy open stays lazy exactly when the log holds no
+    batches past the checkpoint.  Legacy ``.npz`` checkpoints ignore
+    the flag and load eagerly.
     """
     directory = Path(directory)
     has_state = (directory / LOG_NAME).exists() or bool(list_checkpoints(directory))
@@ -1507,6 +1901,7 @@ def open_durable(
         checkpoint_every=checkpoint_every,
         keep_checkpoints=keep_checkpoints,
         auto_compact=auto_compact,
+        lazy=lazy,
     )
 
 
@@ -1516,6 +1911,7 @@ def _recover(
     checkpoint_every: int,
     keep_checkpoints: Optional[int] = None,
     auto_compact: bool = False,
+    lazy: bool = False,
 ):
     records, valid_end = read_records(directory / LOG_NAME)
     raw_size = (
@@ -1538,7 +1934,7 @@ def _recover(
             # (fingerprint, element-count alignment) must pass for a
             # checkpoint to be usable; a mismatched pair falls back to
             # an older checkpoint exactly like a corrupt file.
-            checkpoint = load_checkpoint(directory, lsn)
+            checkpoint = load_checkpoint(directory, lsn, lazy=lazy)
             service = _service_from_checkpoint(checkpoint, n_workers)
             break
         except SummaryFormatError as exc:
@@ -1548,6 +1944,10 @@ def _recover(
             f"{directory} has no loadable checkpoint; cannot recover"
             + (f" (last error: {last_error})" if last_error else "")
         )
+    # Re-arm the incremental checkpointer from the stored manifest
+    # *before* replay, so the splice tracker composes the replayed
+    # batches over the recovered baseline.
+    _seed_checkpoint_prior(service, directory, checkpoint)
 
     aborted = {r.lsn for r in records if r.type == "abort"}
     committed = {r.lsn for r in records if r.type == "commit"}
@@ -1617,14 +2017,77 @@ def _recover(
     return service
 
 
+def _seed_checkpoint_prior(
+    service, directory: Path, checkpoint: _LoadedCheckpoint
+) -> None:
+    """Re-arm the incremental checkpointer straight out of recovery.
+
+    The in-memory prior index (histogram epoch -> archive location)
+    used to die with the process, forcing the first post-recovery
+    checkpoint to re-archive everything.  The stored manifest carries
+    the same facts, and the summary loader adopts stored epoch ids
+    (with a global floor so they are never re-issued), so rebuilding
+    the index here lets the next checkpoint reference every unchanged
+    page -- and cut a state delta against the recovered base -- exactly
+    as an uninterrupted run would have.
+
+    Only *full* checkpoints with epoch-addressed manifests qualify;
+    anything else leaves the prior unset and the next checkpoint
+    re-bases (the old behavior).
+    """
+    if "incremental" in checkpoint.meta:
+        return
+    from repro.histograms.store import read_summary_manifest
+
+    summary_path = checkpoint_paths(directory, checkpoint.lsn)[1]
+    try:
+        manifest = read_summary_manifest(summary_path)
+    except Exception:
+        return
+    lsn = checkpoint.lsn
+    index: dict[str, dict] = {}
+    for entry in manifest.get("predicates", []):
+        if "epoch" not in entry or "name" not in entry:
+            return  # pre-epoch manifest: nothing referenceable
+        row = {
+            "epoch": int(entry["epoch"]),
+            "at": int(entry["ref"]) if entry.get("ref") is not None else lsn,
+        }
+        if entry.get("has_coverage"):
+            if "cvg_epoch" not in entry:
+                return
+            row["cvg_epoch"] = int(entry["cvg_epoch"])
+            row["cvg_at"] = (
+                int(entry["cvg_ref"]) if entry.get("cvg_ref") is not None else lsn
+            )
+        index[entry["name"]] = row
+    service._ckpt_prior = {
+        "lsn": lsn,
+        "base_lsn": lsn,
+        "base_nodes": len(checkpoint.start),
+        "summaries": index,
+        "deltas_since_base": 0,
+    }
+    service._reset_tracker()
+
+
 def _service_from_checkpoint(checkpoint: _LoadedCheckpoint, n_workers: int):
     """Materialise a service from checkpointed documents + labels +
-    summaries, without rebuilding any persisted statistic."""
+    summaries, without rebuilding any persisted statistic.
+
+    For a lazy checkpoint the tree is assembled around the proxy lists
+    (bypassing ``LabeledTree.__init__``'s defensive ``list()`` copy,
+    which would force the forest) and the catalog's per-tag index is
+    seeded from the stored tag-code segment -- so registration,
+    estimation, and the fingerprint check below all complete without a
+    single ``Element`` existing.
+    """
     from repro.estimation.estimator import AnswerSizeEstimator
     from repro.labeling.interval import LabeledTree
     from repro.predicates.base import TagPredicate
     from repro.predicates.catalog import PredicateCatalog
     from repro.service.service import EstimationService, ServiceStats
+    from repro.utils.arrays import group_by_code
 
     meta = checkpoint.meta
     if checkpoint.elements is not None:
@@ -1635,6 +2098,8 @@ def _service_from_checkpoint(checkpoint: _LoadedCheckpoint, n_workers: int):
             for child in document.children:
                 if isinstance(child, Element):
                     elements.extend(child.iter())
+    # A lazy proxy answers len() from the checkpoint metadata, so this
+    # alignment check stays free either way.
     if len(elements) != len(checkpoint.start):
         raise SummaryFormatError(
             f"checkpoint documents hold {len(elements)} elements but the "
@@ -1651,21 +2116,57 @@ def _service_from_checkpoint(checkpoint: _LoadedCheckpoint, n_workers: int):
     service.stats = ServiceStats()
     service._pool = None
     service._init_wal_state()
-    service.tree = LabeledTree(
-        elements,
-        checkpoint.start,
-        checkpoint.end,
-        checkpoint.level,
-        checkpoint.parent_index,
-        int(meta["max_label"]),
-    )
+    if checkpoint.lazy:
+        tree = LabeledTree.__new__(LabeledTree)
+        tree.elements = elements
+        tree.start = checkpoint.start
+        tree.end = checkpoint.end
+        tree.level = checkpoint.level
+        tree.parent_index = checkpoint.parent_index
+        tree.max_label = int(meta["max_label"])
+        tree._index_of = None
+        # Advertise the mapping to the sharded statistics builder:
+        # workers re-open the page file read-only instead of receiving
+        # pickled array copies.  The identity fields double as a
+        # staleness guard (any relabel replaces the arrays).
+        tree.mapped_labels = {
+            "path": str(checkpoint.backing.path),
+            "start": checkpoint.start,
+            "end": checkpoint.end,
+            "codes": checkpoint.tag_codes,
+            "vocab": checkpoint.tag_vocab,
+        }
+        service.tree = tree
+    else:
+        service.tree = LabeledTree(
+            elements,
+            checkpoint.start,
+            checkpoint.end,
+            checkpoint.level,
+            checkpoint.parent_index,
+            int(meta["max_label"]),
+        )
+    service._ckpt_backing = checkpoint.backing
     loaded = checkpoint.summaries
-    if loaded.fingerprint != tree_fingerprint(service.tree):
+    fingerprint = (
+        checkpoint.fingerprint
+        if checkpoint.fingerprint is not None
+        else tree_fingerprint(service.tree)
+    )
+    if loaded.fingerprint != fingerprint:
         raise SummaryFormatError(
             "checkpoint summaries do not match the checkpointed documents "
             "(fingerprint mismatch)"
         )
     service.catalog = PredicateCatalog(service.tree)
+    if checkpoint.lazy:
+        vocab = checkpoint.tag_vocab
+        grouped = group_by_code(checkpoint.tag_codes)
+        for group in grouped.values():
+            group.setflags(write=False)
+        service.catalog._tag_indices = {
+            vocab[code]: group for code, group in grouped.items()
+        }
     service.estimator = AnswerSizeEstimator(
         service.tree, grid_size=service.grid_size, catalog=service.catalog
     )

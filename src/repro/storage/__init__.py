@@ -1,0 +1,29 @@
+"""Out-of-core storage: the memory-mapped page-file container.
+
+:mod:`repro.storage.pagefile` defines the append-only, checksummed,
+64-byte-aligned container of immutable numpy segments that checkpoints
+and summary stores are written into, plus the mmap-backed reader that
+serves those segments as zero-copy read-only arrays.
+"""
+
+from repro.storage.pagefile import (
+    PAGEFILE_MAGIC,
+    PageFile,
+    PageFormatError,
+    encode_page_file,
+    is_page_file,
+    mapped_paths,
+    open_array_container,
+    write_page_file,
+)
+
+__all__ = [
+    "PAGEFILE_MAGIC",
+    "PageFile",
+    "PageFormatError",
+    "encode_page_file",
+    "is_page_file",
+    "mapped_paths",
+    "open_array_container",
+    "write_page_file",
+]

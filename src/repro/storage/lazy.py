@@ -1,0 +1,242 @@
+"""Lazy forest proxies for mapped-checkpoint warm starts.
+
+A full checkpoint stores the forest twice over: flat label arrays (mmap
+views, essentially free to adopt) and the numpy-native element encoding
+that :func:`repro.service.wal._decode_forest` expands into millions of
+``Element`` objects -- the dominant cost of an eager warm start.  A
+*lazy* open defers that expansion: the service's ``documents`` list and
+the tree's ``elements`` list become list subclasses that answer
+``len()`` from the checkpoint metadata and materialise the real objects
+on first element access (indexing, iteration, membership, mutation).
+
+Both proxies share one :class:`LazyForestState`, so whichever side is
+touched first runs the decode exactly once; estimation over tag
+predicates never touches either (the catalog's per-tag index is seeded
+from the stored tag-code segment), so a read-only serving process keeps
+the forest on disk for its whole lifetime.
+
+The proxies ARE lists (``isinstance(x, list)`` holds, C-level list
+storage backs them after the first touch), so every consumer that walks
+or splices ``tree.elements`` keeps working unchanged; only ``len()``
+and truthiness are answered without forcing.  Note the one sharp edge
+of subclassing ``list``: C-level comparisons and concatenation read the
+raw storage, so those are overridden to materialise first.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+
+class LazyForestState:
+    """Shared run-once thunk producing ``(documents, elements)``.
+
+    ``force()`` is thread-safe (snapshot readers on the serve tier may
+    race a writer into the first touch) and validates the decoded
+    lengths against the checkpoint metadata -- a mismatch raises
+    :class:`~repro.histograms.store.SummaryFormatError` exactly like an
+    eager load would have at recovery time.
+    """
+
+    __slots__ = ("_thunk", "_result", "_lock", "expected_documents",
+                 "expected_elements")
+
+    def __init__(
+        self,
+        thunk: Callable[[], tuple[list, list]],
+        expected_documents: int,
+        expected_elements: int,
+    ) -> None:
+        self._thunk = thunk
+        self._result = None
+        self._lock = threading.Lock()
+        self.expected_documents = int(expected_documents)
+        self.expected_elements = int(expected_elements)
+
+    @property
+    def forced(self) -> bool:
+        return self._thunk is None
+
+    def force(self) -> tuple[list, list]:
+        with self._lock:
+            if self._thunk is not None:
+                from repro.histograms.store import SummaryFormatError
+
+                documents, elements = self._thunk()
+                if (
+                    len(documents) != self.expected_documents
+                    or len(elements) != self.expected_elements
+                ):
+                    raise SummaryFormatError(
+                        f"lazy checkpoint decoded {len(documents)} documents /"
+                        f" {len(elements)} elements; metadata promised "
+                        f"{self.expected_documents} / {self.expected_elements}"
+                    )
+                self._result = (documents, elements)
+                self._thunk = None
+            return self._result
+
+
+class _LazyList(list):
+    """A list whose contents materialise on first touch.
+
+    ``len()`` and truthiness come from the declared length so the hot
+    bookkeeping paths (``len(tree)``, checkpoint gating, catalog
+    emptiness checks) never force; everything that actually reads or
+    writes an element does.
+    """
+
+    __slots__ = ("_state", "_length")
+    #: Which half of ``LazyForestState.force()`` this proxy holds.
+    _SLOT = 0
+
+    def __init__(self, state: LazyForestState, length: int) -> None:
+        super().__init__()
+        self._state = state
+        self._length = int(length)
+
+    def _materialize(self) -> "list":
+        state = self._state
+        if state is not None:
+            items = state.force()[type(self)._SLOT]
+            self._state = None  # before extend: len() must switch source
+            super().extend(items)
+        return self
+
+    @property
+    def materialized(self) -> bool:
+        return self._state is None
+
+    def __len__(self) -> int:
+        if self._state is not None:
+            return self._length
+        return super().__len__()
+
+    # -- reads force -----------------------------------------------------
+
+    def __getitem__(self, key):
+        self._materialize()
+        return super().__getitem__(key)
+
+    def __iter__(self):
+        self._materialize()
+        return super().__iter__()
+
+    def __reversed__(self):
+        self._materialize()
+        return super().__reversed__()
+
+    def __contains__(self, item):
+        self._materialize()
+        return super().__contains__(item)
+
+    def index(self, *args):
+        self._materialize()
+        return super().index(*args)
+
+    def count(self, item):
+        self._materialize()
+        return super().count(item)
+
+    def copy(self):
+        self._materialize()
+        return list(self)
+
+    # -- C-level storage readers must force both sides -------------------
+
+    def __eq__(self, other):
+        self._materialize()
+        if isinstance(other, _LazyList):
+            other._materialize()
+        return list.__eq__(self, other)
+
+    def __ne__(self, other):
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None
+
+    def __add__(self, other):
+        self._materialize()
+        return list(self) + list(other)
+
+    def __radd__(self, other):
+        self._materialize()
+        return list(other) + list(self)
+
+    def __mul__(self, factor):
+        self._materialize()
+        return list.__mul__(self, factor)
+
+    __rmul__ = __mul__
+
+    # -- mutations force -------------------------------------------------
+
+    def append(self, item):
+        self._materialize()
+        super().append(item)
+
+    def extend(self, items):
+        self._materialize()
+        super().extend(items)
+
+    def insert(self, position, item):
+        self._materialize()
+        super().insert(position, item)
+
+    def remove(self, item):
+        self._materialize()
+        super().remove(item)
+
+    def pop(self, *args):
+        self._materialize()
+        return super().pop(*args)
+
+    def clear(self):
+        self._materialize()
+        super().clear()
+
+    def sort(self, **kwargs):
+        self._materialize()
+        super().sort(**kwargs)
+
+    def reverse(self):
+        self._materialize()
+        super().reverse()
+
+    def __setitem__(self, key, value):
+        self._materialize()
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key):
+        self._materialize()
+        super().__delitem__(key)
+
+    def __iadd__(self, other):
+        self._materialize()
+        super().extend(other)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._state is not None:
+            return f"<{type(self).__name__} unforced, len={self._length}>"
+        return list.__repr__(self)
+
+
+class LazyDocuments(_LazyList):
+    """The service's ``documents`` list, decoded on first touch."""
+
+    _SLOT = 0
+
+    def __init__(self, state: LazyForestState) -> None:
+        super().__init__(state, state.expected_documents)
+
+
+class LazyElements(_LazyList):
+    """The tree's pre-order ``elements`` list, decoded on first touch."""
+
+    _SLOT = 1
+
+    def __init__(self, state: LazyForestState) -> None:
+        super().__init__(state, state.expected_elements)

@@ -1,0 +1,354 @@
+"""The page file: an mmap-served container of immutable numpy segments.
+
+Checkpoints and summary stores used to be ``.npz`` archives: every load
+decompressed every member into private heap memory, so warm start paid
+a full deserialize and peak RSS tracked the dataset.  A page file keeps
+the same "named array members" model but stores each segment as its raw
+little-endian bytes, 64-byte aligned, so a reader can ``mmap`` the file
+once and hand out **zero-copy read-only array views** backed by the OS
+page cache -- shared across processes (sharded-build workers, replicas)
+and faulted in lazily.
+
+Layout (all integers little-endian)::
+
+    offset 0    8-byte magic  b"RPPGF1\\0\\n"
+    ...         segments: raw C-contiguous array bytes, each starting
+                on a 64-byte boundary (zero padding between)
+    ...         footer: JSON directory
+                {"format", "version", "meta": {...},
+                 "segments": {name: {"offset", "nbytes", "dtype",
+                                     "shape", "crc32"}}}
+    tail -16    <u32 footer length> <u32 crc32(footer)>
+    tail -8     8-byte magic again (truncation tripwire)
+
+The file is **append-only in spirit**: segments are immutable once
+written, the footer directory is the single point of truth, and a
+writer produces the whole file tmp+rename-atomically (the durability
+choreography -- fsync ordering, fault injection points -- stays with
+the caller, see ``repro.service.wal``).  Every segment carries a CRC32
+checked on first access, so a bit-flip is detected at read time exactly
+like a corrupt ``.npz`` member; the footer carries its own CRC so a
+truncated or overwritten tail is rejected before any segment is
+trusted.
+
+:class:`PageFile` duck-types the two ``NpzFile`` affordances the
+summary/checkpoint loaders use (``.files`` and ``__getitem__``), so
+one loading path serves both containers.  Open readers register in a
+module-level table: :func:`mapped_paths` is how checkpoint retention
+refuses to unlink a file that a live snapshot or lazy-loaded service
+still maps.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import threading
+import weakref
+import zlib
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Union
+
+import numpy as np
+
+PAGEFILE_MAGIC = b"RPPGF1\x00\n"
+PAGEFILE_FORMAT = "repro-pagefile"
+PAGEFILE_VERSION = 1
+#: Segment alignment: every segment starts on a 64-byte boundary, so an
+#: int64/float64 view is always itemsize-aligned (and cache-line
+#: aligned) no matter what preceded it.
+SEGMENT_ALIGN = 64
+_TAIL = struct.Struct("<II")  # footer length, crc32(footer)
+#: magic + footer + tail struct + trailing magic
+_MIN_SIZE = len(PAGEFILE_MAGIC) + _TAIL.size + len(PAGEFILE_MAGIC)
+
+
+class PageFormatError(ValueError):
+    """The file is not a readable page file (foreign, truncated, or
+    corrupt).  A ``ValueError`` subtype so the summary/checkpoint
+    loaders' malformed-member nets catch it like any other bad store."""
+
+
+# -- writing -----------------------------------------------------------------
+
+
+def encode_page_file(
+    arrays: Mapping[str, np.ndarray], meta: Optional[dict] = None
+) -> bytes:
+    """Serialise named arrays into page-file bytes (pure function).
+
+    Segments are laid out in iteration order, each zero-padded to a
+    64-byte boundary and CRC32'd.  Durability (tmp files, fsync,
+    rename) is the caller's business -- this only defines the bytes.
+    """
+    chunks: list[bytes] = [PAGEFILE_MAGIC]
+    offset = len(PAGEFILE_MAGIC)
+    segments: dict[str, dict] = {}
+    for name, array in arrays.items():
+        array = np.ascontiguousarray(array)
+        raw = array.tobytes()
+        pad = (-offset) % SEGMENT_ALIGN
+        if pad:
+            chunks.append(b"\x00" * pad)
+            offset += pad
+        segments[str(name)] = {
+            "offset": offset,
+            "nbytes": len(raw),
+            "dtype": array.dtype.str,
+            "shape": list(array.shape),
+            "crc32": zlib.crc32(raw),
+        }
+        chunks.append(raw)
+        offset += len(raw)
+    footer = json.dumps(
+        {
+            "format": PAGEFILE_FORMAT,
+            "version": PAGEFILE_VERSION,
+            "meta": meta or {},
+            "segments": segments,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    chunks.append(footer)
+    chunks.append(_TAIL.pack(len(footer), zlib.crc32(footer)))
+    chunks.append(PAGEFILE_MAGIC)
+    return b"".join(chunks)
+
+
+def write_page_file(
+    path: Union[str, Path],
+    arrays: Mapping[str, np.ndarray],
+    meta: Optional[dict] = None,
+) -> int:
+    """Write a page file atomically (tmp + rename); returns its size.
+
+    Plain convenience for stores outside the checkpoint lifecycle
+    (benchmarks, the binary summary store); checkpoint writes go
+    through ``repro.service.wal`` which owns fsync ordering and fault
+    injection around the same :func:`encode_page_file` bytes.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = encode_page_file(arrays, meta)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return len(data)
+
+
+# -- reading -----------------------------------------------------------------
+
+#: Live readers, for mapping-aware retention.  Weak so an abandoned
+#: reader does not pin its file forever; anything that serves arrays
+#: out of a mapping (a lazy service, a histogram page's ``backing``)
+#: holds its :class:`PageFile` strongly, which is what keeps the entry
+#: alive exactly as long as the mapping is actually reachable.
+_LIVE: "weakref.WeakSet[PageFile]" = weakref.WeakSet()
+_LIVE_LOCK = threading.Lock()
+
+
+def mapped_paths() -> set[Path]:
+    """Resolved paths of every page file currently mapped by a live
+    reader in this process.  Checkpoint retention consults this before
+    unlinking: a mapped file is deferred, never deleted out from under
+    a snapshot."""
+    with _LIVE_LOCK:
+        return {pf.path for pf in _LIVE if not pf.closed}
+
+
+def is_page_file(path: Union[str, Path]) -> bool:
+    """Magic sniff: does ``path`` start with the page-file magic?"""
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(PAGEFILE_MAGIC)) == PAGEFILE_MAGIC
+    except OSError:
+        return False
+
+
+def open_array_container(path: Union[str, Path]):
+    """Open a named-array container by content, not extension.
+
+    Returns an ``NpzFile`` for zip-magic files and a :class:`PageFile`
+    for page-file magic -- both answer ``.files`` / ``__getitem__`` /
+    ``close()`` / context-manager, so loaders stay container-agnostic
+    and legacy ``.npz`` checkpoints keep loading transparently.
+    Anything else raises :class:`PageFormatError`.
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        head = handle.read(len(PAGEFILE_MAGIC))
+    if head[:2] == b"PK":
+        return np.load(path)
+    if head == PAGEFILE_MAGIC:
+        return PageFile(path)
+    raise PageFormatError(f"{path} is neither a page file nor an npz archive")
+
+
+class PageFile:
+    """Memory-mapped reader for one page file.
+
+    Segments come back as read-only ndarray views into the mapping --
+    zero copies, faulted in by the OS on first touch, shared across
+    every process that maps the same file.  Each segment's CRC is
+    verified once, on first access (reading a segment is what faults
+    its pages in anyway, so verification adds no extra I/O pattern).
+
+    ``close()`` is safe while views are still alive: the underlying
+    ``mmap`` refuses to unmap exported buffers, in which case the
+    reader stays open (and stays visible to :func:`mapped_paths`) until
+    the last view is garbage collected.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path).resolve()
+        self._verified: set[str] = set()
+        self._mm: Optional[mmap.mmap] = None
+        fh = open(self.path, "rb")
+        try:
+            try:
+                mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError) as exc:  # empty / unmappable
+                raise PageFormatError(
+                    f"{self.path} cannot be mapped as a page file: {exc}"
+                ) from exc
+        finally:
+            # The mapping holds its own reference to the file.
+            fh.close()
+        try:
+            self._parse_footer(mm)
+        except PageFormatError:
+            mm.close()
+            raise
+        self._mm = mm
+        self._buf = memoryview(mm)
+        with _LIVE_LOCK:
+            _LIVE.add(self)
+
+    def _parse_footer(self, mm: mmap.mmap) -> None:
+        total = len(mm)
+        magic = len(PAGEFILE_MAGIC)
+        if total < _MIN_SIZE:
+            raise PageFormatError(f"{self.path} is truncated ({total} bytes)")
+        if mm[:magic] != PAGEFILE_MAGIC:
+            raise PageFormatError(f"{self.path} has no page-file magic")
+        if mm[total - magic :] != PAGEFILE_MAGIC:
+            raise PageFormatError(
+                f"{self.path} lost its trailing magic (truncated write?)"
+            )
+        footer_len, footer_crc = _TAIL.unpack(
+            mm[total - magic - _TAIL.size : total - magic]
+        )
+        footer_start = total - magic - _TAIL.size - footer_len
+        if footer_start < magic:
+            raise PageFormatError(f"{self.path} footer overruns the file")
+        footer_bytes = mm[footer_start:footer_start + footer_len]
+        if zlib.crc32(footer_bytes) != footer_crc:
+            raise PageFormatError(f"{self.path} footer failed its checksum")
+        try:
+            footer = json.loads(footer_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise PageFormatError(
+                f"{self.path} footer is not valid JSON: {exc}"
+            ) from exc
+        if (
+            not isinstance(footer, dict)
+            or footer.get("format") != PAGEFILE_FORMAT
+            or not isinstance(footer.get("segments"), dict)
+        ):
+            raise PageFormatError(f"{self.path} is not a {PAGEFILE_FORMAT} file")
+        if footer.get("version") != PAGEFILE_VERSION:
+            raise PageFormatError(
+                f"{self.path} is page-file version {footer.get('version')}; "
+                f"this build reads version {PAGEFILE_VERSION}"
+            )
+        self.meta: dict = footer.get("meta") or {}
+        self._segments: dict[str, dict] = footer["segments"]
+        self._data_end = footer_start
+
+    # -- NpzFile-compatible surface --------------------------------------
+
+    @property
+    def files(self) -> list[str]:
+        return list(self._segments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._segments
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        if self._mm is None:
+            raise PageFormatError(f"{self.path} page file is closed")
+        info = self._segments[name]  # KeyError propagates, as NpzFile does
+        try:
+            offset = int(info["offset"])
+            nbytes = int(info["nbytes"])
+            dtype = np.dtype(str(info["dtype"]))
+            shape = tuple(int(n) for n in info["shape"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PageFormatError(
+                f"{self.path} segment {name!r} has a malformed directory "
+                f"entry: {exc}"
+            ) from exc
+        if offset < 0 or offset % SEGMENT_ALIGN or offset + nbytes > self._data_end:
+            raise PageFormatError(
+                f"{self.path} segment {name!r} lies outside the data region"
+            )
+        raw = self._buf[offset:offset + nbytes]
+        if name not in self._verified:
+            if zlib.crc32(raw) != int(info["crc32"]):
+                raise PageFormatError(
+                    f"{self.path} segment {name!r} failed its checksum"
+                )
+            self._verified.add(name)
+        try:
+            return np.frombuffer(raw, dtype=dtype).reshape(shape)
+        except ValueError as exc:
+            raise PageFormatError(
+                f"{self.path} segment {name!r} does not decode as "
+                f"{dtype}{shape}: {exc}"
+            ) from exc
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._mm is None
+
+    def nbytes(self) -> int:
+        """Mapped file size."""
+        return 0 if self._mm is None else len(self._mm)
+
+    def segment_names(self) -> Iterable[str]:
+        return self._segments.keys()
+
+    def close(self) -> None:
+        """Unmap, unless live array views still export the buffer -- in
+        which case the mapping (and the retention entry) stays until
+        the views are collected.  Idempotent."""
+        if self._mm is None:
+            return
+        buf, self._buf = self._buf, None
+        if buf is not None:
+            buf.release()
+        try:
+            self._mm.close()
+        except BufferError:
+            self._buf = memoryview(self._mm)
+            return
+        self._mm = None
+        with _LIVE_LOCK:
+            _LIVE.discard(self)
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else f"{len(self._segments)} segments"
+        return f"PageFile({str(self.path)!r}, {state})"

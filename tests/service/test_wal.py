@@ -451,9 +451,11 @@ class TestCheckpointForestFidelity:
         service.close()
         lsn = max(list_checkpoints(tmp_path / "wal"))
         state_path, _ = checkpoint_paths(tmp_path / "wal", lsn)
-        with np.load(state_path) as archive:
+        from repro.storage.pagefile import encode_page_file, open_array_container
+
+        with open_array_container(state_path) as archive:
             arrays = {
-                name: archive[name]
+                name: np.asarray(archive[name]).copy()
                 for name in archive.files
                 if not name.startswith("fast.")
             }
@@ -464,8 +466,11 @@ class TestCheckpointForestFidelity:
         arrays["meta"] = np.frombuffer(
             json_module.dumps(meta).encode("utf-8"), dtype=np.uint8
         )
-        with open(state_path, "wb") as handle:
-            np.savez_compressed(handle, **arrays)
+        if state_path.suffix == ".pgf":
+            state_path.write_bytes(encode_page_file(arrays))
+        else:
+            with open(state_path, "wb") as handle:
+                np.savez_compressed(handle, **arrays)
         assert load_checkpoint(tmp_path / "wal", lsn).elements is None
         recovered = EstimationService.open_durable(tmp_path / "wal")
         assert_state(recovered, states[-1])

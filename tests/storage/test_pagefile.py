@@ -1,0 +1,316 @@
+"""Page-file container: layout, zero-copy mapping, and failure paths.
+
+The page file is the storage substrate for checkpoints, summary stores,
+and lazy warm starts, so this suite pins the format contract directly:
+byte layout (magic/alignment/footer/tail), the NpzFile-compatible read
+surface, zero-copy read-only views, every corruption class (truncation
+at each prefix length, bit flips in segments and footer, directory
+lies), and the mapped-path registry that checkpoint retention trusts.
+"""
+
+import gc
+import json
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.storage.pagefile import (
+    PAGEFILE_MAGIC,
+    SEGMENT_ALIGN,
+    PageFile,
+    PageFormatError,
+    encode_page_file,
+    is_page_file,
+    mapped_paths,
+    open_array_container,
+    write_page_file,
+)
+
+
+def _footer_span(data: bytes):
+    """(footer_start, parsed footer dict) for raw page-file bytes.
+
+    Tail layout: ``... footer <u32 len><u32 crc> magic``.
+    """
+    magic = len(PAGEFILE_MAGIC)
+    footer_len, _ = struct.unpack("<II", data[-magic - 8 : -magic])
+    start = len(data) - magic - 8 - footer_len
+    return start, json.loads(data[start : start + footer_len].decode())
+
+
+def _parse_footer(data: bytes) -> dict:
+    return _footer_span(data)[1]
+
+
+def sample_arrays():
+    return {
+        "start": np.arange(17, dtype=np.int64) * 3,
+        "end": np.arange(17, dtype=np.int64) * 3 + 2,
+        "fracs": np.linspace(0.0, 1.0, 11, dtype=np.float64),
+        "cells": np.arange(12, dtype=np.int64).reshape(3, 4),
+        "tags": np.array(["a", "bb", "ccc"]),
+        "empty": np.zeros(0, dtype=np.int64),
+    }
+
+
+class TestRoundTrip:
+    def test_every_member_survives_bit_identically(self, tmp_path):
+        arrays = sample_arrays()
+        path = tmp_path / "store.pgf"
+        write_page_file(path, arrays, meta={"kind": "test", "n": 17})
+        with PageFile(path) as pf:
+            assert sorted(pf.files) == sorted(arrays)
+            assert pf.meta == {"kind": "test", "n": 17}
+            for name, expected in arrays.items():
+                got = pf[name]
+                assert got.dtype == expected.dtype
+                assert got.shape == expected.shape
+                assert np.array_equal(got, expected)
+
+    def test_segments_are_64_byte_aligned(self, tmp_path):
+        data = encode_page_file(sample_arrays())
+        path = tmp_path / "aligned.pgf"
+        path.write_bytes(data)
+        with PageFile(path) as pf:
+            for name in pf.files:
+                assert pf._segments[name]["offset"] % SEGMENT_ALIGN == 0, name
+
+    def test_head_and_tail_magic(self, tmp_path):
+        data = encode_page_file({"x": np.arange(4)})
+        assert data.startswith(PAGEFILE_MAGIC)
+        assert data.endswith(PAGEFILE_MAGIC)
+
+    def test_views_are_zero_copy_and_read_only(self, tmp_path):
+        path = tmp_path / "views.pgf"
+        write_page_file(path, {"col": np.arange(100, dtype=np.int64)})
+        pf = PageFile(path)
+        view = pf["col"]
+        assert not view.flags.writeable
+        assert not view.flags.owndata  # a view into the mapping, not a copy
+        with pytest.raises((ValueError, RuntimeError)):
+            view[0] = 99
+        pf.close()
+
+    def test_repeated_reads_share_the_mapping(self, tmp_path):
+        path = tmp_path / "shared.pgf"
+        write_page_file(path, {"col": np.arange(8, dtype=np.int64)})
+        with PageFile(path) as pf:
+            a = pf["col"]
+            b = pf["col"]
+            assert a.base is not None and b.base is not None
+            assert np.shares_memory(a, b)
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        path = tmp_path / "atomic.pgf"
+        size = write_page_file(path, sample_arrays())
+        assert path.stat().st_size == size
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_empty_container_round_trips(self, tmp_path):
+        path = tmp_path / "empty.pgf"
+        write_page_file(path, {})
+        with PageFile(path) as pf:
+            assert pf.files == []
+
+
+class TestContainerSniffing:
+    def test_open_array_container_dispatches_by_magic(self, tmp_path):
+        pgf = tmp_path / "a.bin"
+        npz = tmp_path / "b.bin"  # extension deliberately lies
+        write_page_file(pgf, {"x": np.arange(3)})
+        with open(npz, "wb") as handle:
+            np.savez_compressed(handle, x=np.arange(3))
+        with open_array_container(pgf) as archive:
+            assert isinstance(archive, PageFile)
+            assert np.array_equal(archive["x"], np.arange(3))
+        with open_array_container(npz) as archive:
+            assert not isinstance(archive, PageFile)
+            assert np.array_equal(archive["x"], np.arange(3))
+
+    def test_is_page_file(self, tmp_path):
+        pgf = tmp_path / "yes.pgf"
+        write_page_file(pgf, {})
+        assert is_page_file(pgf)
+        other = tmp_path / "no.bin"
+        other.write_bytes(b"not a page file")
+        assert not is_page_file(other)
+        assert not is_page_file(tmp_path / "missing.pgf")
+
+    def test_foreign_bytes_are_rejected(self, tmp_path):
+        path = tmp_path / "foreign.bin"
+        path.write_bytes(b"\x00" * 256)
+        with pytest.raises(PageFormatError):
+            open_array_container(path)
+
+
+class TestCorruption:
+    def test_truncation_at_every_prefix_is_rejected(self, tmp_path):
+        # Small container so the sweep is exhaustive: every proper
+        # prefix must fail to open -- there is no prefix length at
+        # which a torn write looks like a valid page file.
+        data = encode_page_file({"x": np.arange(6, dtype=np.int64)})
+        path = tmp_path / "torn.pgf"
+        for cut in range(len(data)):
+            path.write_bytes(data[:cut])
+            with pytest.raises(PageFormatError):
+                PageFile(path)
+        path.write_bytes(data)
+        with PageFile(path) as pf:  # the full file still opens
+            assert np.array_equal(pf["x"], np.arange(6))
+
+    def test_bit_flip_in_segment_fails_crc_on_read(self, tmp_path):
+        arrays = {"x": np.arange(64, dtype=np.int64)}
+        data = bytearray(encode_page_file(arrays))
+        offset = _parse_footer(bytes(data))["segments"]["x"]["offset"]
+        data[offset + 5] ^= 0x40
+        path = tmp_path / "flipped.pgf"
+        path.write_bytes(bytes(data))
+        pf = PageFile(path)  # footer is intact, so the open succeeds
+        with pytest.raises(PageFormatError, match="checksum"):
+            pf["x"]
+        pf.close()
+
+    def test_bit_flip_in_footer_rejected_at_open(self, tmp_path):
+        data = bytearray(encode_page_file({"x": np.arange(4)}))
+        # Flip a byte inside the JSON footer (just before the 8-byte
+        # tail struct and the trailing magic).
+        data[-(8 + len(PAGEFILE_MAGIC)) - 3] ^= 0x01
+        path = tmp_path / "badfooter.pgf"
+        path.write_bytes(bytes(data))
+        with pytest.raises(PageFormatError):
+            PageFile(path)
+
+    def _rewrite_footer(self, data: bytes, mutate) -> bytes:
+        """Re-encode with a mutated directory but a VALID footer CRC,
+        so only the directory-sanity checks can catch the lie."""
+        start, footer = _footer_span(data)
+        mutate(footer)
+        raw = json.dumps(footer, separators=(",", ":")).encode()
+        return (
+            data[:start]
+            + raw
+            + struct.pack("<II", len(raw), zlib.crc32(raw))
+            + PAGEFILE_MAGIC
+        )
+
+    def test_directory_offset_outside_data_region(self, tmp_path):
+        data = encode_page_file({"x": np.arange(4, dtype=np.int64)})
+
+        def lie(footer):
+            footer["segments"]["x"]["offset"] = 1 << 40
+
+        path = tmp_path / "liar.pgf"
+        path.write_bytes(self._rewrite_footer(data, lie))
+        pf = PageFile(path)
+        with pytest.raises(PageFormatError, match="outside the data region"):
+            pf["x"]
+        pf.close()
+
+    def test_directory_misaligned_offset(self, tmp_path):
+        data = encode_page_file({"x": np.arange(4, dtype=np.int64)})
+
+        def lie(footer):
+            footer["segments"]["x"]["offset"] += 1
+
+        path = tmp_path / "misaligned.pgf"
+        path.write_bytes(self._rewrite_footer(data, lie))
+        pf = PageFile(path)
+        with pytest.raises(PageFormatError):
+            pf["x"]
+        pf.close()
+
+    def test_directory_malformed_dtype(self, tmp_path):
+        data = encode_page_file({"x": np.arange(4, dtype=np.int64)})
+
+        def lie(footer):
+            footer["segments"]["x"]["dtype"] = "not-a-dtype"
+
+        path = tmp_path / "baddtype.pgf"
+        path.write_bytes(self._rewrite_footer(data, lie))
+        pf = PageFile(path)
+        with pytest.raises(PageFormatError, match="malformed"):
+            pf["x"]
+        pf.close()
+
+    def test_wrong_version_rejected(self, tmp_path):
+        data = encode_page_file({"x": np.arange(4)})
+
+        def lie(footer):
+            footer["version"] = 999
+
+        path = tmp_path / "future.pgf"
+        path.write_bytes(self._rewrite_footer(data, lie))
+        with pytest.raises(PageFormatError, match="version"):
+            PageFile(path)
+
+    def test_missing_member_raises_key_error_like_npz(self, tmp_path):
+        path = tmp_path / "keys.pgf"
+        write_page_file(path, {"x": np.arange(3)})
+        with PageFile(path) as pf:
+            with pytest.raises(KeyError):
+                pf["absent"]
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "zero.pgf"
+        path.write_bytes(b"")
+        with pytest.raises(PageFormatError):
+            PageFile(path)
+
+
+class TestMappingLifecycle:
+    def test_mapped_paths_tracks_open_and_close(self, tmp_path):
+        path = tmp_path / "track.pgf"
+        write_page_file(path, {"x": np.arange(4)})
+        resolved = path.resolve()
+        assert resolved not in mapped_paths()
+        pf = PageFile(path)
+        assert resolved in mapped_paths()
+        pf.close()
+        assert resolved not in mapped_paths()
+        assert pf.closed
+
+    def test_close_with_live_views_keeps_the_mapping_visible(self, tmp_path):
+        path = tmp_path / "pinned.pgf"
+        write_page_file(path, {"x": np.arange(100, dtype=np.int64)})
+        resolved = path.resolve()
+        pf = PageFile(path)
+        view = pf["x"]
+        pf.close()  # refused: the view still exports the buffer
+        assert not pf.closed
+        assert resolved in mapped_paths()
+        assert np.array_equal(view, np.arange(100))  # still readable
+        del view
+        gc.collect()
+        pf.close()  # now it can actually unmap
+        assert pf.closed
+        assert resolved not in mapped_paths()
+
+    def test_close_is_idempotent(self, tmp_path):
+        path = tmp_path / "twice.pgf"
+        write_page_file(path, {"x": np.arange(4)})
+        pf = PageFile(path)
+        pf.close()
+        pf.close()
+        assert pf.closed
+
+    def test_read_after_close_is_an_error(self, tmp_path):
+        path = tmp_path / "closed.pgf"
+        write_page_file(path, {"x": np.arange(4)})
+        pf = PageFile(path)
+        pf.close()
+        with pytest.raises(PageFormatError, match="closed"):
+            pf["x"]
+
+    def test_unlink_while_mapped_views_stay_valid(self, tmp_path):
+        # POSIX semantics the retention logic leans on: even if a file
+        # IS unlinked, live mappings keep serving the old bytes.
+        path = tmp_path / "ghost.pgf"
+        write_page_file(path, {"x": np.arange(50, dtype=np.int64)})
+        pf = PageFile(path)
+        view = pf["x"]
+        Path(path).unlink()
+        assert np.array_equal(view, np.arange(50))
+        pf.close()
