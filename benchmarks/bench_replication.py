@@ -1,0 +1,394 @@
+"""Replication benchmark: read scale-out over log-shipping followers.
+
+Three configurations over live TCP servers (durable WAL-attached
+primary, line-delimited JSON protocol, real sockets), all under the
+same 4-writer insert burst:
+
+* **single / strong** -- the baseline a replica fleet replaces: every
+  read is read-your-writes (``strong``), so it queues behind the
+  admission groups of the bursting writers.  This is the consistency a
+  single server must give a client that cannot tolerate stale answers.
+
+* **single / weak** -- the same reader fleet on epoch-snapshot (weak)
+  estimates against the one server; recorded as the informational
+  ``weak_read_scaleout_ratio`` denominator (no floor: on a single core
+  the extra server processes buy no weak-read throughput; the win of
+  replication is removing the *queue*, not adding cores).
+
+* **replicated / weak** -- a primary plus two log-shipping followers;
+  the readers fan across the followers while the writers burst against
+  the primary.  Reads never touch the write queue at all.
+
+Acceptance bars (embedded in the artifact, enforced by
+``check_perf_floors.py`` on quick CI runs too):
+
+* ``replica_read_offload_speedup`` >= 1.8 -- aggregate follower reads
+  beat the strong single-server baseline by 1.8x: offloading reads to
+  replicas must decisively beat queueing them behind the writers;
+* ``burst_catchup_overhead`` <= 1.25 -- wall time from burst start
+  until both followers hold the primary's last committed LSN, over the
+  burst itself: steady-state replication lag stays bounded;
+* follower estimates at the matched LSN are **bit-identical** to the
+  primary's (asserted, recorded as ``bit_identical``).
+
+Writes a ``BENCH_replication.json`` artifact.
+
+Run:  python benchmarks/bench_replication.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.datasets import generate_dblp  # noqa: E402
+from repro.service import EstimationService, ServiceClient  # noqa: E402
+from repro.service.replica import Follower, bootstrap_follower  # noqa: E402
+from repro.service.server import (  # noqa: E402
+    EstimationServer,
+    ServiceEngine,
+    serve_forever,
+)
+
+QUERIES = ["//article//author", "//article//cite", "//dblp//title"]
+
+FLOORS = {"replica_read_offload_speedup": 1.8}
+CEILINGS = {"burst_catchup_overhead": 1.25}
+
+
+def build_service(workdir: Path, name: str, scale: float) -> EstimationService:
+    service = EstimationService.open_durable(
+        workdir / name,
+        generate_dblp(seed=7, scale=scale),
+        grid_size=10,
+        spacing=64,
+        checkpoint_every=10**9,  # measure the log path, not checkpoints
+    )
+    for stats in service.catalog.register_all_tags():
+        service.position_histogram(stats.predicate)
+    service.estimate_many(QUERIES)
+    # Re-cut the initial checkpoint with the primed summaries so
+    # followers bootstrap them instead of rebuilding on first read.
+    service.checkpoint()
+    return service
+
+
+class ReplicaHandle:
+    """One running follower: service + engine + apply loop + TCP server."""
+
+    def __init__(self, workdir: Path, name: str, primary_server) -> None:
+        self.info = bootstrap_follower(
+            workdir / name, primary_server.host, primary_server.port
+        )
+        self.service = EstimationService.open_durable(
+            workdir / name, checkpoint_every=10**9
+        )
+        self.engine = ServiceEngine(self.service)
+        self.follower = Follower(
+            self.service,
+            self.engine,
+            primary_server.host,
+            primary_server.port,
+            read_timeout=30.0,
+        )
+        self.follower.start()
+        self.server = EstimationServer(self.engine)
+        self.server.start()
+
+    def close(self) -> None:
+        self.follower.stop(30.0)
+        self.server.stop()
+        self.server.join(10)
+        self.engine.close()
+        self.service.close()
+
+
+def run_burst_with_readers(
+    server_targets: list[tuple[str, int]],
+    primary_server,
+    *,
+    writers: int,
+    ops_per_writer: int,
+    strong: bool,
+) -> dict:
+    """Burst ``writers`` inserters against the primary while one reader
+    per target hammers estimates; returns the burst wall time and the
+    aggregate reads completed during it."""
+    writers_done = threading.Event()
+    reads = [0] * len(server_targets)
+    reader_errors: list[BaseException] = []
+
+    def reader(k: int, host: str, port: int) -> None:
+        try:
+            with ServiceClient(host, port) as db:
+                i = 0
+                while not writers_done.is_set():
+                    db.estimate(QUERIES[i % len(QUERIES)], strong=strong)
+                    reads[k] += 1
+                    i += 1
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            reader_errors.append(exc)
+
+    reader_threads = [
+        threading.Thread(target=reader, args=(k, host, port))
+        for k, (host, port) in enumerate(server_targets)
+    ]
+
+    barrier = threading.Barrier(writers + 1)
+    writer_errors: list[BaseException] = []
+
+    def writer(k: int) -> None:
+        try:
+            with ServiceClient(primary_server.host, primary_server.port) as db:
+                barrier.wait()
+                for i in range(ops_per_writer):
+                    db.insert(
+                        "article", f"<note><author>W{k}.{i}</author></note>"
+                    )
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            writer_errors.append(exc)
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+
+    writer_threads = [
+        threading.Thread(target=writer, args=(k,)) for k in range(writers)
+    ]
+    for thread in reader_threads + writer_threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in writer_threads:
+        thread.join(300)
+    burst_seconds = time.perf_counter() - started
+    writers_done.set()
+    for thread in reader_threads:
+        thread.join(60)
+    if writer_errors or reader_errors:
+        raise (writer_errors + reader_errors)[0]
+    return {
+        "burst_seconds": burst_seconds,
+        "burst_ops": writers * ops_per_writer,
+        "reads": sum(reads),
+        "reads_per_reader": reads,
+        "reads_per_second": sum(reads) / burst_seconds,
+        "started_at_perf": started,
+    }
+
+
+def measure_single(
+    workdir: Path, name: str, scale: float, *, readers: int,
+    writers: int, ops_per_writer: int, strong: bool,
+) -> dict:
+    service = build_service(workdir, name, scale)
+    engine, server = serve_forever(service, max_ops=64, linger=0.002)
+    try:
+        result = run_burst_with_readers(
+            [(server.host, server.port)] * readers,
+            server,
+            writers=writers,
+            ops_per_writer=ops_per_writer,
+            strong=strong,
+        )
+        result.pop("started_at_perf")
+        result["consistency"] = "strong" if strong else "weak"
+        return result
+    finally:
+        server.stop()
+        server.join(10)
+        engine.close()
+        service.close()
+
+
+def measure_replicated(
+    workdir: Path, scale: float, *, replicas: int, writers: int,
+    ops_per_writer: int,
+) -> dict:
+    service = build_service(workdir, "primary", scale)
+    engine, server = serve_forever(service, max_ops=64, linger=0.002)
+    fleet: list[ReplicaHandle] = []
+    try:
+        for k in range(replicas):
+            fleet.append(ReplicaHandle(workdir, f"replica{k}", server))
+        result = run_burst_with_readers(
+            [(h.server.host, h.server.port) for h in fleet],
+            server,
+            writers=writers,
+            ops_per_writer=ops_per_writer,
+            strong=False,
+        )
+        started = result.pop("started_at_perf")
+        # catch-up: burst start -> both followers at the committed LSN
+        target = int(service._last_lsn)
+        deadline = time.time() + 120
+        for handle in fleet:
+            while int(handle.service._last_lsn) < target:
+                if time.time() > deadline:
+                    raise RuntimeError(
+                        f"follower stuck at {handle.service._last_lsn} "
+                        f"(target {target}): {handle.service.replica_status}"
+                    )
+                time.sleep(0.005)
+        caught_up = time.perf_counter() - started
+        # bit-identity at the matched LSN
+        primary_values = [service.estimate(q).value for q in QUERIES]
+        for handle in fleet:
+            follower_values = [
+                handle.service.estimate(q).value for q in QUERIES
+            ]
+            assert follower_values == primary_values, (
+                follower_values,
+                primary_values,
+            )
+        result["consistency"] = "weak"
+        result["replicas"] = replicas
+        result["transfer"] = [h.info["transfer"] for h in fleet]
+        result["catchup_seconds"] = caught_up - result["burst_seconds"]
+        result["caught_up_seconds"] = caught_up
+        result["final_lsn"] = target
+        result["records_applied"] = [
+            h.follower.records_applied for h in fleet
+        ]
+        result["bit_identical"] = True
+        return result
+    finally:
+        for handle in fleet:
+            handle.close()
+        server.stop()
+        server.join(10)
+        engine.close()
+        service.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small tree / fewer ops (CI smoke)"
+    )
+    parser.add_argument(
+        "--out",
+        default=str(
+            Path(__file__).resolve().parent.parent / "BENCH_replication.json"
+        ),
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+
+    scale = 0.15 if args.quick else 0.8
+    writers = 4
+    ops_per_writer = 25 if args.quick else 60
+    replicas = 2
+
+    workdir = Path(tempfile.mkdtemp(prefix="bench_replication_"))
+    try:
+        probe = build_service(workdir, "probe", scale)
+        nodes = len(probe)
+        probe.close()
+        shutil.rmtree(workdir / "probe", ignore_errors=True)
+        print(f"synthetic dblp tree: {nodes} nodes (scale {scale})")
+
+        single_strong = measure_single(
+            workdir, "strong", scale, readers=replicas,
+            writers=writers, ops_per_writer=ops_per_writer, strong=True,
+        )
+        print(
+            f"single server, strong reads under {writers}-writer burst: "
+            f"{single_strong['reads_per_second']:7.1f} reads/s "
+            f"({single_strong['reads']} reads in "
+            f"{single_strong['burst_seconds']:.2f} s)"
+        )
+
+        single_weak = measure_single(
+            workdir, "weak", scale, readers=replicas,
+            writers=writers, ops_per_writer=ops_per_writer, strong=False,
+        )
+        print(
+            f"single server, weak reads under the same burst:   "
+            f"{single_weak['reads_per_second']:7.1f} reads/s"
+        )
+
+        replicated = measure_replicated(
+            workdir, scale, replicas=replicas,
+            writers=writers, ops_per_writer=ops_per_writer,
+        )
+        print(
+            f"{replicas} followers, weak reads under the same burst:   "
+            f"{replicated['reads_per_second']:7.1f} reads/s "
+            f"(per follower {replicated['reads_per_reader']}, "
+            f"transfer {replicated['transfer']})"
+        )
+
+        offload_speedup = (
+            replicated["reads_per_second"] / single_strong["reads_per_second"]
+        )
+        scaleout_ratio = (
+            replicated["reads_per_second"] / single_weak["reads_per_second"]
+        )
+        catchup_overhead = (
+            replicated["caught_up_seconds"] / replicated["burst_seconds"]
+        )
+        print(
+            f"read offload speedup vs strong baseline: "
+            f"{offload_speedup:.2f}x (floor "
+            f"{FLOORS['replica_read_offload_speedup']:.1f}x); "
+            f"weak/weak scale-out ratio {scaleout_ratio:.2f} "
+            f"(informational)"
+        )
+        print(
+            f"burst catch-up: followers at lsn {replicated['final_lsn']} "
+            f"{replicated['catchup_seconds'] * 1e3:.0f} ms after the burst "
+            f"-> {catchup_overhead:.2f}x of burst wall time (ceiling "
+            f"{CEILINGS['burst_catchup_overhead']:.2f}x); estimates "
+            f"bit-identical at the matched LSN"
+        )
+
+        artifact = {
+            "meta": {
+                "nodes": nodes,
+                "quick": args.quick,
+                "grid": 10,
+                "seed": 7,
+                "writers": writers,
+                "ops_per_writer": ops_per_writer,
+                "replicas": replicas,
+            },
+            "floors": FLOORS,
+            "ceilings": CEILINGS,
+            "single_strong": single_strong,
+            "single_weak": single_weak,
+            "replicated": replicated,
+            "replica_read_offload_speedup": offload_speedup,
+            "weak_read_scaleout_ratio": scaleout_ratio,
+            "burst_catchup_overhead": catchup_overhead,
+            "bit_identical": replicated["bit_identical"],
+        }
+        Path(args.out).write_text(json.dumps(artifact, indent=1) + "\n")
+        print(f"wrote {args.out}")
+
+        assert replicated["bit_identical"]
+        if not args.quick:
+            assert offload_speedup >= FLOORS["replica_read_offload_speedup"], (
+                f"replica read offload {offload_speedup:.2f}x below the "
+                f"{FLOORS['replica_read_offload_speedup']:.1f}x acceptance bar"
+            )
+            assert catchup_overhead <= CEILINGS["burst_catchup_overhead"], (
+                f"followers needed {catchup_overhead:.2f}x of the burst to "
+                f"catch up (ceiling "
+                f"{CEILINGS['burst_catchup_overhead']:.2f}x)"
+            )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -120,7 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="online estimation service: estimates stay correct under "
         "insert/delete commands read from a script or stdin",
     )
-    serve.add_argument("data", help="XML file path")
+    serve.add_argument(
+        "data",
+        nargs="?",
+        default=None,
+        help="XML file path (omitted when --replica-of bootstraps the "
+        "state from a primary)",
+    )
     # Defaults resolve in cmd_serve: with --warm-start the grid comes
     # from the store, and an explicit --grid/--grid-kind is an error.
     serve.add_argument(
@@ -248,6 +254,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="with --listen: how long connection teardown waits for "
         "pending responses to flush before cutting the client off",
+    )
+    serve.add_argument(
+        "--replica-of",
+        default=None,
+        metavar="HOST:PORT",
+        help="run as a read replica of the given primary: bootstrap "
+        "--wal-dir (required) from its newest checkpoint, then stream "
+        "and apply its committed WAL records continuously; mutations "
+        "are refused with a `read_only` error.  Restart without this "
+        "flag to promote the replica to a standalone primary",
     )
     serve.add_argument(
         "--read-only-on-wal-error",
@@ -532,6 +548,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.replica_of is not None:
+        return _cmd_serve_replica(args)
+    if args.data is None:
+        print("error: serve needs an XML data file (or --replica-of)", file=sys.stderr)
+        return 2
     if args.wal_dir and args.warm_start:
         print(
             "error: --warm-start conflicts with --wal-dir (a durable "
@@ -702,6 +723,155 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     _signal.signal(signum, previous)
                 except (ValueError, TypeError):  # pragma: no cover
                     pass
+        if server is not None:
+            server.stop()
+            server.join(timeout=10)
+        engine.close()
+        service.close()
+    return 0
+
+
+def _cmd_serve_replica(args: argparse.Namespace) -> int:
+    """``serve --replica-of HOST:PORT``: run as a read replica.
+
+    Bootstraps ``--wal-dir`` from the primary's newest checkpoint
+    (direct copy when the primary's directory is readable locally,
+    chunked ``repl.fetch`` otherwise), recovers it with the ordinary
+    durable-open path, then streams and applies the primary's committed
+    WAL records continuously.  Reads (``estimate``/``exact``/
+    ``execute``/``stats``/``health`` and pinned snapshots) serve
+    normally -- locally and over ``--listen`` -- while mutations are
+    refused with the ``read_only`` coded error.  Restarting the same
+    ``--wal-dir`` without ``--replica-of`` promotes the replica: it
+    recovers as a standalone primary at its last applied LSN.
+    """
+    from repro.service import EstimationService
+    from repro.service.protocol import iter_raw_lines
+    from repro.service.replica import Follower, ReplicaError, bootstrap_follower
+    from repro.service.server import EstimationServer, ServiceEngine, parse_listen
+
+    if not args.wal_dir:
+        print("error: --replica-of requires --wal-dir", file=sys.stderr)
+        return 2
+    conflicts = {
+        "a data file": args.data is not None,
+        "--warm-start": args.warm_start is not None,
+        "--grid/--grid-kind": args.grid is not None or args.grid_kind is not None,
+        "--spacing": args.spacing is not None,
+        "--rebuild-threshold": args.rebuild_threshold is not None,
+    }
+    for name, present in conflicts.items():
+        if present:
+            print(
+                f"error: {name} conflicts with --replica-of (the primary's "
+                "replicated state fixes it)",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        primary_host, primary_port = parse_listen(args.replica_of)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        info = bootstrap_follower(args.wal_dir, primary_host, primary_port)
+    except (ReplicaError, ConnectionError, OSError) as exc:
+        print(f"error: replica bootstrap failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"replica bootstrap: {info['transfer']}"
+        + (
+            f" of checkpoint lsn {info['checkpoint_lsn']} "
+            f"({info['files']} files)"
+            if info["transfer"] != "resume"
+            else f" from existing state in {info['directory']}"
+        )
+    )
+    service = EstimationService.open_durable(
+        Path(args.wal_dir),
+        None,
+        n_workers=args.workers,
+        checkpoint_every=args.checkpoint_every,
+        keep_checkpoints=None if args.no_compact else args.keep_checkpoints,
+        auto_compact=not args.no_compact,
+        lazy=args.lazy,
+    )
+    service.read_only_on_wal_error = args.read_only_on_wal_error
+    if service.recovery_info is not None:
+        rec = service.recovery_info
+        print(
+            f"recovered {args.wal_dir}: checkpoint lsn {rec.checkpoint_lsn}, "
+            f"{rec.batches_replayed} replayed, {rec.batches_skipped} skipped"
+        )
+    engine = ServiceEngine(
+        service,
+        max_ops=args.batch_size,
+        linger=(args.linger_ms / 1000.0) if args.linger_ms else None,
+        max_queue=args.max_queue,
+    )
+    follower = Follower(service, engine, primary_host, primary_port)
+    server = None
+    restore_signals: list[tuple[int, object]] = []
+    try:
+        follower.start()
+        print(
+            f"replicating from {primary_host}:{primary_port} "
+            f"(applied lsn {service._last_lsn})"
+        )
+        if args.listen is not None:
+            try:
+                host, port = parse_listen(args.listen)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            server = EstimationServer(
+                engine,
+                host=host,
+                port=port,
+                drain_timeout=args.drain_timeout,
+                client_timeout=args.client_timeout,
+            )
+            server.start()
+            print(f"listening on {server.host}:{server.port} (read-only replica)")
+            import signal as _signal
+
+            def _graceful(signum, frame):  # pragma: no cover - signal path
+                threading.Thread(
+                    target=lambda: engine.request({"op": "shutdown"}),
+                    name="signal-shutdown",
+                    daemon=True,
+                ).start()
+
+            for signum in (_signal.SIGTERM, _signal.SIGINT):
+                restore_signals.append((signum, _signal.getsignal(signum)))
+                _signal.signal(signum, _graceful)
+        if args.script:
+            lines = iter(Path(args.script).read_bytes().splitlines())
+        else:
+            lines = iter_raw_lines(sys.stdin.buffer)
+        _run_text_session(engine.request, lines, args.batch_size)
+        if server is not None and not engine.shutdown_event.is_set():
+            engine.shutdown_event.wait()
+        status = service.replica_status or {}
+        print(
+            f"replica session applied_lsn={service._last_lsn} "
+            f"source_lsn={status.get('source_committed_lsn', service._last_lsn)} "
+            f"connected={status.get('connected', False)}"
+        )
+        follower.stop()
+        if service.wal_attached and not service.degraded:
+            lsn = service.checkpoint()
+            print(f"checkpointed {args.wal_dir} at lsn {lsn}")
+    finally:
+        if restore_signals:
+            import signal as _signal
+
+            for signum, previous in restore_signals:
+                try:
+                    _signal.signal(signum, previous)
+                except (ValueError, TypeError):  # pragma: no cover
+                    pass
+        follower.stop()
         if server is not None:
             server.stop()
             server.join(timeout=10)

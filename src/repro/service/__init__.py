@@ -12,6 +12,7 @@ from repro.service.batch import BatchError, BatchResult, DeleteOp, InsertOp
 from repro.service.client import (
     ClientSnapshot,
     ClientTimeout,
+    ReplicaSet,
     ServiceClient,
     ServiceError,
 )
@@ -23,6 +24,14 @@ from repro.service.protocol import (
     ProtocolError,
     ReadOnlyError,
     ShuttingDownError,
+    StaleLsnError,
+)
+from repro.service.replica import (
+    Follower,
+    ReplicaError,
+    ReplicationHub,
+    StaleFollowerError,
+    bootstrap_follower,
 )
 from repro.service.server import EstimationServer, ServiceEngine
 from repro.service.service import EstimationService, ServiceStats, UpdateResult
@@ -31,6 +40,7 @@ from repro.service.wal import (
     CompactStats,
     RecoveryInfo,
     WalError,
+    WalTailer,
     WriteAheadLog,
     compact,
 )
@@ -47,12 +57,18 @@ __all__ = [
     "EstimationService",
     "FaultPlan",
     "FaultRule",
+    "Follower",
     "InsertOp",
     "MAX_LINE_BYTES",
     "OverloadedError",
     "ProtocolError",
     "ReadOnlyError",
+    "ReplicaError",
+    "ReplicaSet",
+    "ReplicationHub",
     "ShuttingDownError",
+    "StaleFollowerError",
+    "StaleLsnError",
     "RecoveryInfo",
     "ServiceClient",
     "ServiceEngine",
@@ -61,6 +77,8 @@ __all__ = [
     "ServiceStats",
     "UpdateResult",
     "WalError",
+    "WalTailer",
     "WriteAheadLog",
+    "bootstrap_follower",
     "compact",
 ]

@@ -390,9 +390,237 @@ class ServiceClient:
         return self._call({"op": "shutdown"})
 
 
+def _address(spec) -> tuple[str, int]:
+    """``(host, port)``, ``"host:port"`` or ``"port"`` -> ``(host, port)``."""
+    if isinstance(spec, (tuple, list)) and len(spec) == 2:
+        return str(spec[0]), int(spec[1])
+    text = str(spec)
+    host, _, port = text.rpartition(":")
+    if not host:
+        host = "127.0.0.1"
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"malformed replica address {spec!r}") from None
+
+
+class _Node:
+    """One fleet member: lazy connection + short-lived failure memory."""
+
+    def __init__(self, spec, timeout, retries, cooldown) -> None:
+        self.host, self.port = _address(spec)
+        self._timeout = timeout
+        self._retries = retries
+        self._cooldown = cooldown
+        self._client: Optional[ServiceClient] = None
+        self._down_until = 0.0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def available(self) -> bool:
+        return time.monotonic() >= self._down_until
+
+    def client(self) -> ServiceClient:
+        if self._client is None:
+            self._client = ServiceClient(
+                self.host, self.port,
+                timeout=self._timeout, retries=self._retries,
+            )
+        return self._client
+
+    def fail(self) -> None:
+        """Bench the node for a cooldown after a transport failure."""
+        self._down_until = time.monotonic() + self._cooldown
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+
+class ReplicaSet:
+    """A fleet-aware client: primary for writes, replicas for reads.
+
+    Mutations (``insert``/``delete``/``batch``) and strong reads always
+    go to the primary.  Weak reads (``estimate``/``estimate_many``/
+    ``execute``/``exact``) round-robin across the replicas, skipping
+    nodes that recently failed (they are retried after ``cooldown``
+    seconds) and falling back to the primary when every replica is
+    down.  Replica reads are *eventually consistent*: they trail the
+    primary by replication lag.
+
+    ``read_your_writes=True`` upgrades replica reads to
+    read-your-writes: after a mutation, the next read first learns the
+    primary's ``last_committed_lsn`` (one health round-trip) and waits
+    -- bounded by ``wait_timeout`` -- for the chosen replica to report
+    having applied it, falling back to the primary on timeout.  The
+    same machinery is public as :meth:`wait_for_lsn`.
+    """
+
+    def __init__(
+        self,
+        primary,
+        replicas: Sequence = (),
+        *,
+        timeout: Optional[float] = 60.0,
+        retries: int = 0,
+        cooldown: float = 1.0,
+        read_your_writes: bool = False,
+        wait_timeout: float = 10.0,
+    ) -> None:
+        self._primary = _Node(primary, timeout, retries, cooldown)
+        self._replicas = [
+            _Node(spec, timeout, retries, cooldown) for spec in replicas
+        ]
+        self.read_your_writes = read_your_writes
+        self.wait_timeout = wait_timeout
+        self._rr = itertools.count()
+        self._lock = threading.Lock()
+        self._rw_dirty = False
+        self._rw_lsn = 0
+
+    # -- routing -----------------------------------------------------------
+
+    @property
+    def primary(self) -> ServiceClient:
+        return self._primary.client()
+
+    def replica_clients(self) -> list[ServiceClient]:
+        """Connected clients for every currently-available replica."""
+        return [node.client() for node in self._replicas if node.available()]
+
+    def _read_target_lsn(self) -> int:
+        """The LSN a read-your-writes read must observe (0 = any)."""
+        if not self.read_your_writes:
+            return 0
+        with self._lock:
+            dirty = self._rw_dirty
+        if dirty:
+            lsn = int(self.primary.health().get("last_committed_lsn", 0))
+            with self._lock:
+                self._rw_lsn = max(self._rw_lsn, lsn)
+                self._rw_dirty = False
+        with self._lock:
+            return self._rw_lsn
+
+    def _on_replica(self, fn):
+        """Run a read on some live replica, primary as the fallback."""
+        target_lsn = self._read_target_lsn()
+        n = len(self._replicas)
+        if n:
+            start = next(self._rr)
+            for step in range(n):
+                node = self._replicas[(start + step) % n]
+                if not node.available():
+                    continue
+                try:
+                    client = node.client()
+                    if target_lsn and not self._wait_on(
+                        client, target_lsn, self.wait_timeout
+                    ):
+                        continue  # lagging past the bound: try elsewhere
+                    return fn(client)
+                except (ConnectionError, ClientTimeout, OSError):
+                    node.fail()
+        return fn(self.primary)
+
+    def _mutate(self, fn):
+        response = fn(self.primary)
+        if self.read_your_writes:
+            with self._lock:
+                self._rw_dirty = True
+        return response
+
+    # -- waiting -----------------------------------------------------------
+
+    @staticmethod
+    def _wait_on(client: ServiceClient, lsn: int, timeout: float) -> bool:
+        deadline = time.monotonic() + timeout
+        delay = 0.005
+        while True:
+            health = client.health()
+            if int(health.get("last_committed_lsn", 0)) >= lsn:
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(delay)
+            delay = min(delay * 2, 0.25)
+
+    def wait_for_lsn(self, lsn: int, *, timeout: Optional[float] = None) -> bool:
+        """Block until every available replica has applied ``lsn``."""
+        timeout = self.wait_timeout if timeout is None else timeout
+        deadline = time.monotonic() + timeout
+        for node in self._replicas:
+            if not node.available():
+                continue
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                if not self._wait_on(node.client(), lsn, remaining):
+                    return False
+            except (ConnectionError, ClientTimeout, OSError):
+                node.fail()
+        return True
+
+    # -- reads (replica-fanned) --------------------------------------------
+
+    def estimate(self, query: str) -> float:
+        return self._on_replica(lambda c: c.estimate(query))
+
+    def estimate_many(self, queries: Sequence[str]) -> list[float]:
+        return self._on_replica(lambda c: c.estimate_many(queries))
+
+    def exact(self, query: str) -> int:
+        return self._on_replica(lambda c: c.exact(query))
+
+    def execute(self, query: str) -> dict:
+        return self._on_replica(lambda c: c.execute(query))
+
+    def health(self) -> dict:
+        """Primary health plus each replica's, keyed by address."""
+        out = self.primary.health()
+        out["replicas"] = {}
+        for node in self._replicas:
+            try:
+                out["replicas"][node.address] = node.client().health()
+            except (ConnectionError, ClientTimeout, OSError, ServiceError) as exc:
+                node.fail()
+                out["replicas"][node.address] = {"ok": False, "error": str(exc)}
+        return out
+
+    # -- writes (primary-routed) -------------------------------------------
+
+    def insert(self, parent_tag: str, xml: str, **kwargs) -> dict:
+        return self._mutate(lambda c: c.insert(parent_tag, xml, **kwargs))
+
+    def delete(self, tag: str, **kwargs) -> dict:
+        return self._mutate(lambda c: c.delete(tag, **kwargs))
+
+    def batch(self, ops: Iterable[dict]) -> dict:
+        return self._mutate(lambda c: c.batch(list(ops)))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        self._primary.close()
+        for node in self._replicas:
+            node.close()
+
+    def __enter__(self) -> "ReplicaSet":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 __all__ = [
     "ClientSnapshot",
     "ClientTimeout",
+    "ReplicaSet",
     "ServiceClient",
     "ServiceError",
 ]

@@ -105,6 +105,15 @@ class ShuttingDownError(CodedError):
     retryable = False
 
 
+class StaleLsnError(CodedError):
+    """A replication subscriber asked to resume below the log's
+    compaction watermark: the records it needs were dropped, so it must
+    re-bootstrap from a checkpoint instead of resuming the stream."""
+
+    code = "stale_lsn"
+    retryable = False
+
+
 def error_code(response: dict) -> Optional[str]:
     """The machine-readable code of an error response (``None`` for
     ``ok`` responses and plain-string errors)."""
@@ -327,10 +336,28 @@ def format_text_response(request: dict, response: dict) -> str:
     if op == "save":
         return f"ok save {response['predicates']} predicates -> {response['path']}"
     if op == "health":
-        return (
+        line = (
             f"health {response['mode']} queue={response['queue_depth']} "
             f"epoch={response['epoch']} wal_lag={response['wal']['lag']}"
         )
+        if "last_committed_lsn" in response:
+            line += f" last_committed_lsn={response['last_committed_lsn']}"
+        replication = response.get("replication")
+        if isinstance(replication, dict):
+            if replication.get("role") == "follower":
+                lag_lsns = replication.get("replica_lag_lsns")
+                lag_seconds = replication.get("replica_lag_seconds")
+                line += (
+                    f" replica_of={replication.get('primary')}"
+                    f" replica_lag_lsns={lag_lsns}"
+                )
+                if lag_seconds is not None:
+                    line += f" replica_lag_seconds={lag_seconds:.3f}"
+                if not replication.get("connected", True):
+                    line += " replica_disconnected"
+            elif replication.get("role") == "primary":
+                line += f" subscribers={replication.get('subscribers')}"
+        return line
     if op == "resume":
         return f"ok resume {'resumed' if response.get('resumed') else 'already serving'}"
     if op == "shutdown":

@@ -1,0 +1,543 @@
+"""Log-shipping replication: primaries stream, followers replay.
+
+The WAL built for crash recovery is already a replication log: every
+committed batch is one self-contained, checksummed record that replays
+deterministically.  This module adds the three pieces that turn it
+into read scale-out:
+
+* :class:`ReplicationHub` -- the **primary side**, owned by the serve
+  tier.  Wraps a :class:`~repro.service.wal.WalTailer` over the live
+  log and a commit notifier hooked into the service, so subscriber
+  streams wake on commit instead of polling.  Also answers the two
+  bootstrap requests: ``repl.manifest`` (which checkpoint to copy, and
+  the transitive delta/ref chain of files it needs) and ``repl.fetch``
+  (chunked file reads for followers without filesystem access to the
+  primary's directory).
+
+* :func:`bootstrap_follower` -- the **catch-up protocol**.  A fresh
+  follower directory receives the newest complete checkpoint (copied
+  directly when the primary's directory is readable locally, fetched
+  in chunks otherwise) and a seed log holding only a ``base``
+  watermark record -- exactly the shape :func:`~repro.service.wal.
+  compact` leaves, so ordinary ``open_durable`` recovery loads the
+  checkpoint and resumes at its LSN.  A directory that already holds
+  durable state skips the transfer: recovery *is* the resume path.
+
+* :class:`Follower` -- the **apply loop**.  Subscribes over the
+  primary's ordinary TCP front-end (``repl.subscribe from_lsn=N``),
+  appends each shipped record payload verbatim to its own WAL, and
+  applies it through :func:`~repro.service.wal.apply_logged_batch` --
+  the *same function crash recovery runs*, which is why a follower
+  paused at LSN N is bit-identical to ``open_durable`` recovery of a
+  log truncated at N.  Reconnects resume from the follower's own
+  committed LSN; a resume point that fell below the primary's
+  compaction watermark surfaces as ``stale_lsn`` (re-bootstrap; see
+  the README runbook).
+
+Consistency model: followers serve *weak* (epoch-snapshot) reads that
+trail the primary by replication lag; mutations are refused with the
+``read_only`` coded error.  Read-your-writes across the fleet is the
+client's job (:class:`~repro.service.client.ReplicaSet` waits on
+``last_committed_lsn``).
+"""
+
+from __future__ import annotations
+
+import base64
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    encode_frame,
+    format_error,
+)
+from repro.service.wal import (
+    LOG_NAME,
+    TailBatch,
+    WalTailer,
+    apply_logged_batch,
+    checkpoint_paths,
+    checkpoint_refs,
+    decode_payload,
+    list_checkpoints,
+    seed_log,
+)
+
+#: Chunk size for ``repl.fetch``: base64 inflates by 4/3, and the whole
+#: response frame must stay under the protocol's 1 MiB line cap.
+FETCH_CHUNK_BYTES = 256 * 1024
+
+
+class ReplicaError(RuntimeError):
+    """A replication-layer failure (bootstrap or stream)."""
+
+
+class StaleFollowerError(ReplicaError):
+    """The primary compacted past this follower's resume LSN; the
+    follower must re-bootstrap from a fresh checkpoint."""
+
+
+class ReplicationHub:
+    """Primary-side state shared by every subscribed follower."""
+
+    def __init__(self, service) -> None:
+        if not getattr(service, "wal_attached", False):
+            raise ValueError("replication requires a durable service")
+        self.service = service
+        self.directory: Path = service._wal_dir
+        self.tailer = WalTailer(self.directory / LOG_NAME)
+        self._lock = threading.Lock()
+        self._subscribers: list = []
+        service._commit_listeners.append(self._on_commit)
+
+    # -- commit fan-out ----------------------------------------------------
+
+    def _on_commit(self, lsn: int) -> None:
+        with self._lock:
+            subscribers = list(self._subscribers)
+        for notify in subscribers:
+            try:
+                notify(lsn)
+            except Exception:
+                pass
+
+    def add_subscriber(self, notify) -> None:
+        with self._lock:
+            self._subscribers.append(notify)
+
+    def remove_subscriber(self, notify) -> None:
+        with self._lock:
+            try:
+                self._subscribers.remove(notify)
+            except ValueError:
+                pass
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+    # -- log tailing -------------------------------------------------------
+
+    @property
+    def committed_lsn(self) -> int:
+        """The authoritative committed floor.
+
+        The in-process ``_last_lsn``, not the on-disk commit markers:
+        markers are group-committed and lag the acknowledged state, and
+        a record the primary acknowledged must ship.
+        """
+        return int(self.service._last_lsn)
+
+    def poll(self, after_lsn: int, limit: int = 256) -> TailBatch:
+        return self.tailer.poll(
+            after_lsn, committed_floor=self.committed_lsn, limit=limit
+        )
+
+    def base_lsn(self) -> int:
+        """Current compaction watermark (one poll refreshes it)."""
+        return self.tailer.poll(1 << 62).base_lsn
+
+    # -- bootstrap ---------------------------------------------------------
+
+    def manifest(self) -> dict:
+        """The newest complete checkpoint and every file it needs.
+
+        Delta checkpoints reference older ones (delta base + shared
+        summary pages), so the file list covers the *transitive*
+        reference chain -- a follower that copies exactly these files
+        can run ``load_checkpoint`` unmodified.
+        """
+        for lsn in list_checkpoints(self.directory):
+            chain = {lsn}
+            worklist = [lsn]
+            while worklist:
+                for ref in checkpoint_refs(self.directory, worklist.pop()):
+                    if ref not in chain:
+                        chain.add(ref)
+                        worklist.append(ref)
+            files = []
+            complete = True
+            for member in sorted(chain):
+                state, summary = checkpoint_paths(self.directory, member)
+                for path in (state, summary):
+                    if not path.exists():
+                        complete = False
+                        break
+                    files.append(
+                        {"name": path.name, "size": path.stat().st_size}
+                    )
+                if not complete:
+                    break
+            if not complete:
+                continue  # raced a prune; try the next-newest checkpoint
+            return {
+                "checkpoint_lsn": lsn,
+                "committed": self.committed_lsn,
+                "files": files,
+                "directory": str(self.directory.resolve()),
+            }
+        raise ReplicaError("primary has no complete checkpoint to bootstrap from")
+
+    def read_chunk(
+        self, name: Any, offset: Any = 0, limit: Optional[Any] = None
+    ) -> dict:
+        """One chunk of a checkpoint file, for ``repl.fetch``."""
+        if not isinstance(name, str) or not name or "/" in name or "\\" in name:
+            raise ValueError(f"malformed fetch name {name!r}")
+        if name in (".", "..") or not name.startswith("ckpt-"):
+            raise ValueError(f"fetch refused for {name!r} (not a checkpoint file)")
+        offset = int(offset)
+        if offset < 0:
+            raise ValueError("fetch offset must be >= 0")
+        limit = FETCH_CHUNK_BYTES if limit is None else int(limit)
+        limit = max(1, min(limit, FETCH_CHUNK_BYTES))
+        path = self.directory / name
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                data = handle.read(limit)
+                size = handle.seek(0, 2)
+        except FileNotFoundError:
+            raise ReplicaError(
+                f"checkpoint file {name} vanished (pruned?); re-fetch the manifest"
+            ) from None
+        return {
+            "name": name,
+            "offset": offset,
+            "size": size,
+            "eof": offset + len(data) >= size,
+            "data": base64.b64encode(data).decode("ascii"),
+        }
+
+
+# -- follower bootstrap ------------------------------------------------------
+
+
+def bootstrap_follower(
+    directory: Union[str, Path],
+    primary_host: str,
+    primary_port: int,
+    *,
+    timeout: Optional[float] = 60.0,
+) -> dict:
+    """Seed a follower directory from the primary's newest checkpoint.
+
+    Idempotent: a directory that already holds a complete checkpoint is
+    left untouched (``open_durable`` recovery is the resume path) and
+    reported with ``transfer: "resume"``.  Otherwise the checkpoint
+    chain is copied directly when the primary's directory is readable
+    on this host (shared filesystem), or streamed in ``repl.fetch``
+    chunks, and a seed log holding the checkpoint's ``base`` watermark
+    is written so recovery starts exactly at the transferred LSN.
+    """
+    from repro.service.client import ServiceClient
+
+    directory = Path(directory)
+    resumable = bool(list_checkpoints(directory))
+    with ServiceClient(primary_host, primary_port, timeout=timeout) as client:
+        try:
+            response = client.request({"op": "repl.manifest"})
+        except (ConnectionError, OSError):
+            if resumable:
+                # The primary is unreachable but this directory already
+                # holds a checkpoint: resume from local state (the
+                # stream will catch up once the primary is back).
+                return {"transfer": "resume", "directory": str(directory)}
+            raise
+        if not response.get("ok"):
+            if resumable:
+                return {"transfer": "resume", "directory": str(directory)}
+            raise ReplicaError(
+                "manifest fetch failed: "
+                + format_error(response.get("error", "unknown error"))
+            )
+        source = Path(response["directory"])
+        directory.mkdir(parents=True, exist_ok=True)
+        if directory.resolve() == source.resolve():
+            raise ReplicaError(
+                "follower directory must differ from the primary's"
+            )
+        if resumable:
+            return {"transfer": "resume", "directory": str(directory)}
+        shared = all(
+            (source / entry["name"]).is_file() for entry in response["files"]
+        )
+        for entry in response["files"]:
+            target = directory / entry["name"]
+            if shared:
+                target.write_bytes((source / entry["name"]).read_bytes())
+            else:
+                _fetch_file(client, entry, target)
+        seed_log(directory / LOG_NAME, int(response["checkpoint_lsn"]))
+    return {
+        "transfer": "copy" if shared else "fetch",
+        "checkpoint_lsn": int(response["checkpoint_lsn"]),
+        "files": len(response["files"]),
+        "directory": str(directory),
+    }
+
+
+def _fetch_file(client, entry: dict, target: Path) -> None:
+    """Stream one checkpoint file over ``repl.fetch`` chunks."""
+    name = entry["name"]
+    with open(target, "wb") as handle:
+        offset = 0
+        while True:
+            response = client.request(
+                {"op": "repl.fetch", "name": name, "offset": offset}
+            )
+            if not response.get("ok"):
+                raise ReplicaError(
+                    f"fetch of {name} failed: "
+                    + format_error(response.get("error", "unknown error"))
+                )
+            data = base64.b64decode(response["data"])
+            handle.write(data)
+            offset += len(data)
+            if response.get("eof") or not data:
+                break
+    if offset != int(entry["size"]) and offset < int(entry["size"]):
+        raise ReplicaError(
+            f"fetch of {name} ended short ({offset} < {entry['size']} bytes)"
+        )
+
+
+# -- follower apply loop -----------------------------------------------------
+
+
+class Follower:
+    """Continuous apply loop of one read replica.
+
+    Owns a background thread that subscribes to the primary, appends
+    each shipped record to the follower's own WAL, applies it through
+    the recovery code path, and refreshes the engine's read view so
+    weak estimates observe the new epoch.  Reconnects with backoff,
+    resuming from the follower's committed LSN; stops loudly when the
+    primary compacted past that LSN (``stale_lsn`` -> re-bootstrap) or
+    a committed record fails to apply (divergence).
+    """
+
+    def __init__(
+        self,
+        service,
+        engine,
+        primary_host: str,
+        primary_port: int,
+        *,
+        connect_timeout: float = 5.0,
+        read_timeout: float = 10.0,
+        reconnect_backoff: float = 0.2,
+        max_backoff: float = 5.0,
+    ) -> None:
+        if not getattr(service, "wal_attached", False):
+            raise ValueError("a follower requires a durable service")
+        self.service = service
+        self.engine = engine
+        self.primary_host = primary_host
+        self.primary_port = int(primary_port)
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+        self.reconnect_backoff = reconnect_backoff
+        self.max_backoff = max_backoff
+        self.records_applied = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        service.follower_of = f"{primary_host}:{self.primary_port}"
+        self._set_status(connected=False)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, name="replica-apply", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: Optional[float] = 30.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    @property
+    def stopped(self) -> bool:
+        return self._stop.is_set()
+
+    def _set_status(
+        self,
+        *,
+        connected: bool,
+        source_committed_lsn: Optional[int] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        previous = self.service.replica_status or {}
+        self.service.replica_status = {
+            "primary": self.service.follower_of,
+            "connected": connected,
+            "last_applied_lsn": int(self.service._last_lsn),
+            "source_committed_lsn": int(
+                source_committed_lsn
+                if source_committed_lsn is not None
+                else previous.get("source_committed_lsn", self.service._last_lsn)
+            ),
+            "applied_at": previous.get("applied_at", time.time()),
+            "error": error,
+        }
+
+    # -- the loop ----------------------------------------------------------
+
+    def _run(self) -> None:
+        backoff = self.reconnect_backoff
+        while not self._stop.is_set():
+            try:
+                self._stream_once()
+                backoff = self.reconnect_backoff  # clean EOF: reset
+            except StaleFollowerError as exc:
+                self._set_status(connected=False, error=str(exc))
+                self._stop.set()
+                return
+            except ReplicaError as exc:
+                self._set_status(connected=False, error=str(exc))
+                self._stop.set()
+                return
+            except (OSError, ConnectionError, ProtocolError) as exc:
+                self._set_status(connected=False, error=str(exc))
+            if self._stop.is_set():
+                return
+            self._stop.wait(backoff)
+            backoff = min(backoff * 2, self.max_backoff)
+
+    def _stream_once(self) -> None:
+        with socket.create_connection(
+            (self.primary_host, self.primary_port), timeout=self.connect_timeout
+        ) as sock:
+            sock.settimeout(self.read_timeout)
+            stream = sock.makefile("rb")
+            from_lsn = int(self.service._last_lsn)
+            sock.sendall(
+                encode_frame({"op": "repl.subscribe", "from_lsn": from_lsn})
+            )
+            handshake = self._read_frame(stream)
+            if not handshake.get("ok"):
+                error = handshake.get("error")
+                code = error.get("code") if isinstance(error, dict) else None
+                if code == "stale_lsn":
+                    raise StaleFollowerError(format_error(error))
+                raise ReplicaError(
+                    "subscribe refused: " + format_error(error or "unknown")
+                )
+            self._set_status(
+                connected=True,
+                source_committed_lsn=handshake.get("committed"),
+            )
+            while not self._stop.is_set():
+                try:
+                    frame = self._read_frame(stream)
+                except socket.timeout:
+                    raise ConnectionError(
+                        "no frame (not even a keepalive) from the primary "
+                        f"within {self.read_timeout}s"
+                    ) from None
+                op = frame.get("op")
+                if op == "repl.record":
+                    self._apply_record(frame)
+                elif op == "repl.keepalive":
+                    self._set_status(
+                        connected=True,
+                        source_committed_lsn=frame.get("committed"),
+                    )
+                elif frame.get("ok") is False:
+                    error = frame.get("error")
+                    code = error.get("code") if isinstance(error, dict) else None
+                    if code == "stale_lsn":
+                        raise StaleFollowerError(format_error(error))
+                    raise ReplicaError("stream error: " + format_error(error))
+                # anything else: ignore (forward-compatible stream frames)
+
+    def _read_frame(self, stream) -> dict:
+        import json
+
+        raw = stream.readline(MAX_LINE_BYTES + 1)
+        if not raw:
+            raise ConnectionError("primary closed the replication stream")
+        if not raw.endswith(b"\n"):
+            raise ConnectionError("primary disconnected mid-frame")
+        if len(raw) > MAX_LINE_BYTES:
+            raise ProtocolError("oversized replication frame")
+        try:
+            frame = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(f"malformed replication frame: {exc}") from None
+        if not isinstance(frame, dict):
+            raise ProtocolError("replication frame must be a JSON object")
+        return frame
+
+    def _apply_record(self, frame: dict) -> None:
+        service = self.service
+        try:
+            lsn = int(frame["lsn"])
+            payload = base64.b64decode(frame["raw"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(f"malformed repl.record frame: {exc}") from None
+        obj = decode_payload(payload)
+        if obj is None or obj.get("type") != "batch" or obj.get("lsn") != lsn:
+            raise ProtocolError(
+                f"repl.record payload for lsn {lsn} fails validation"
+            )
+        with service._state_lock:
+            if lsn <= service._last_lsn:
+                return  # duplicate delivery (reconnect overlap): idempotent
+            # Mirror the primary's log discipline: record first, then
+            # apply, then the commit marker (buffered; it rides with the
+            # next record).  No fsync -- a torn tail is truncated on
+            # restart and re-shipped from the resume LSN.
+            service._wal.append_raw(payload, lsn)
+            applied = apply_logged_batch(service, obj, committed=True)
+            if applied:
+                service._wal.mark_committed(lsn)
+            else:
+                service._wal.mark_aborted(lsn)
+            self.records_applied += 1
+            checkpoint_due = (
+                lsn - service._last_checkpoint_lsn >= service._checkpoint_every
+            )
+        # Publish the new read view *before* advancing the committed LSN:
+        # a read-your-writes client gates on ``health.last_committed_lsn``
+        # and must never observe the LSN without the epoch that contains
+        # it.  (``snapshot()`` pins the epoch itself, so this cannot run
+        # under the state lock.)
+        if self.engine is not None:
+            self.engine._refresh_view()
+        with service._state_lock:
+            service._note_commit(lsn)
+        status = self.service.replica_status or {}
+        self.service.replica_status = {
+            **status,
+            "connected": True,
+            "last_applied_lsn": lsn,
+            "source_committed_lsn": int(
+                frame.get("committed", max(lsn, status.get("source_committed_lsn", 0)))
+            ),
+            "applied_at": time.time(),
+            "error": None,
+        }
+        if checkpoint_due:
+            try:
+                service.checkpoint()
+            except Exception:
+                pass  # lag-bounded durability is best-effort on replicas
+
+
+__all__ = [
+    "FETCH_CHUNK_BYTES",
+    "Follower",
+    "ReplicaError",
+    "ReplicationHub",
+    "StaleFollowerError",
+    "bootstrap_follower",
+]

@@ -42,6 +42,7 @@ language and the network protocol cannot drift apart.
 from __future__ import annotations
 
 import asyncio
+import base64
 import itertools
 import threading
 import time
@@ -60,11 +61,17 @@ from repro.service.protocol import (
     ProtocolError,
     ReadOnlyError,
     ShuttingDownError,
+    StaleLsnError,
     decode_frame,
     encode_frame,
     error_response,
     exception_response,
 )
+
+#: Idle-stream heartbeat: a subscribed follower receives at least one
+#: frame this often, carrying the primary's committed LSN (the lag
+#: yardstick) and doubling as the dead-primary detector.
+REPL_KEEPALIVE_SECONDS = 0.5
 from repro.xmltree.parser import parse_document
 
 
@@ -303,6 +310,8 @@ class ServiceEngine:
         self._failed: Optional[BaseException] = None
         self._snapshots: dict[int, Any] = {}
         self._snapshot_ids = itertools.count(1)
+        self._repl_hub = None
+        self._repl_lock = threading.Lock()
         self._view = service.snapshot()
         self._writer = threading.Thread(
             target=self._run, name="admission-writer", daemon=True
@@ -384,6 +393,21 @@ class ServiceEngine:
             self._cond.notify_all()
         return ticket
 
+    @property
+    def replication_hub(self):
+        """The primary-side streaming hub, created on first use.
+
+        ``None`` when the service has no WAL attached -- replication
+        needs a log to ship.
+        """
+        if self._repl_hub is None and getattr(self.service, "wal_attached", False):
+            with self._repl_lock:
+                if self._repl_hub is None:
+                    from repro.service.replica import ReplicationHub
+
+                    self._repl_hub = ReplicationHub(self.service)
+        return self._repl_hub
+
     def on_shutdown(self, callback: Callable[[], None]) -> None:
         """Register a callable fired once when ``shutdown`` is admitted."""
         self._on_shutdown.append(callback)
@@ -457,10 +481,43 @@ class ServiceEngine:
             "queue_depth": len(self._queue),
             "epoch": int(service.epoch),
             "wal": wal,
+            "last_committed_lsn": int(service._last_lsn),
         }
+        replication = self._replication_status()
+        if replication is not None:
+            response["replication"] = replication
         if getattr(service, "degraded", False):
             response["degraded_reason"] = service.degraded_reason
         return response
+
+    def _replication_status(self) -> Optional[dict]:
+        """Role + lag, for health/stats.  ``None`` off the replication
+        paths (a plain primary with no subscribers stays quiet)."""
+        service = self.service
+        status = getattr(service, "replica_status", None)
+        if getattr(service, "follower_of", None) is not None:
+            out: dict[str, Any] = {
+                "role": "follower",
+                "primary": service.follower_of,
+                "last_applied_lsn": int(service._last_lsn),
+            }
+            if status is not None:
+                source = int(status.get("source_committed_lsn", service._last_lsn))
+                lag = max(0, source - int(service._last_lsn))
+                out["replica_lag_lsns"] = lag
+                applied_at = status.get("applied_at")
+                if lag > 0 and applied_at is not None:
+                    out["replica_lag_seconds"] = max(0.0, time.time() - applied_at)
+                else:
+                    out["replica_lag_seconds"] = 0.0
+                out["connected"] = bool(status.get("connected", False))
+                if status.get("error"):
+                    out["error"] = str(status["error"])
+            return out
+        hub = self._repl_hub
+        if hub is not None and hub.subscriber_count > 0:
+            return {"role": "primary", "subscribers": hub.subscriber_count}
+        return None
 
     @staticmethod
     def _estimate_on(view, request: dict) -> dict:
@@ -736,6 +793,7 @@ class ServiceEngine:
             }
         if op == "stats":
             stats = self.stats
+            replication = self._replication_status()
             return {
                 "ok": True,
                 "nodes": len(service),
@@ -744,6 +802,8 @@ class ServiceEngine:
                 "rebuilds": service.stats.rebuilds,
                 "epoch": service.epoch,
                 "mode": self.mode,
+                **({"replication": replication} if replication else {}),
+                "last_committed_lsn": int(service._last_lsn),
                 "server": {
                     "requests": stats.requests,
                     "flushes": stats.flushes,
@@ -964,23 +1024,39 @@ class EstimationServer:
         # CancelledError noisily otherwise); state is released in the
         # inner finally either way.
         try:
-            await self._connection_loop(
+            subscribe = await self._connection_loop(
                 engine, loop, session, reader, responses
             )
+            if subscribe is not None:
+                # Replication handover: flush the request/response
+                # pipeline (the subscribe handshake rides out with it),
+                # then the connection becomes a one-way record stream.
+                responses.put_nowait(None)
+                try:
+                    await asyncio.wait_for(responder, timeout=self.drain_timeout)
+                    drained = True
+                except BaseException:
+                    responder.cancel()
+                    await asyncio.gather(responder, return_exceptions=True)
+                    drained = False
+                responder = None
+                if drained:
+                    await self._stream_replication(reader, writer, subscribe)
         except asyncio.CancelledError:
             pass
         finally:
             session.close()
-            responses.put_nowait(None)
-            try:
-                await asyncio.wait_for(responder, timeout=self.drain_timeout)
-            except BaseException:
-                # Timeout (wait_for already cancelled it), teardown
-                # cancellation, or a responder crash: make sure the
-                # task is cancelled AND awaited, so a slow client never
-                # leaks a responder still pending on its queue.
-                responder.cancel()
-                await asyncio.gather(responder, return_exceptions=True)
+            if responder is not None:
+                responses.put_nowait(None)
+                try:
+                    await asyncio.wait_for(responder, timeout=self.drain_timeout)
+                except BaseException:
+                    # Timeout (wait_for already cancelled it), teardown
+                    # cancellation, or a responder crash: make sure the
+                    # task is cancelled AND awaited, so a slow client
+                    # never leaks a responder still pending on its queue.
+                    responder.cancel()
+                    await asyncio.gather(responder, return_exceptions=True)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -1033,6 +1109,20 @@ class EstimationServer:
                 fut.set_result(error_response(str(exc)))
                 continue
             op = request.get("op")
+            if isinstance(op, str) and op.startswith("repl."):
+                if op == "repl.subscribe":
+                    handshake = self._subscribe_handshake(request)
+                    fut.set_result(handshake)
+                    if handshake.get("ok"):
+                        # Hand the connection over to the record stream.
+                        return request
+                    continue
+                if op in ("repl.manifest", "repl.fetch"):
+                    self._dispatch_replication(loop, fut, request)
+                    continue
+                engine.stats.protocol_errors += 1
+                fut.set_result(error_response(f"unknown op {op!r}", request))
+                continue
             if op in _IMMEDIATE_OPS or (
                 op == "estimate" and engine._is_weak(request)
             ):
@@ -1127,37 +1217,221 @@ class EstimationServer:
             if fut is None:
                 return
             response = await fut
-            frame = encode_frame(response)
-            if self.faults is not None:
-                rule = self.faults.network(NET_SEND, len(frame))
-                if rule is not None:
-                    if rule.action in ("stall", "delay"):
-                        await asyncio.sleep(rule.delay)
-                    else:
-                        # "torn" sends a strict prefix of the frame (no
-                        # newline) before hanging up -- the mid-frame
-                        # disconnect clients must detect and retry;
-                        # "disconnect"/"error" hang up before a byte.
-                        if rule.action == "torn" and len(frame) > 1:
-                            cut = max(1, min(
-                                len(frame) - 1,
-                                int(len(frame) * rule.torn_fraction),
-                            ))
-                            try:
-                                writer.write(frame[:cut])
-                                await writer.drain()
-                            except (ConnectionError, RuntimeError):
-                                pass
-                        try:
-                            writer.close()
-                        except Exception:
-                            pass
-                        return
-            try:
-                writer.write(frame)
-                await writer.drain()
-            except (ConnectionError, RuntimeError):
+            if not await self._send_frame(writer, response):
                 return
+
+    async def _send_frame(self, writer, response: dict) -> bool:
+        """Write one frame, mediated by the NET_SEND fault point.
+
+        Returns ``False`` when the connection is gone (injected or
+        real); ``drain()`` per frame is the send-side backpressure --
+        a slow reader stalls its own stream, nobody else's.
+        """
+        frame = encode_frame(response)
+        if self.faults is not None:
+            rule = self.faults.network(NET_SEND, len(frame))
+            if rule is not None:
+                if rule.action in ("stall", "delay"):
+                    await asyncio.sleep(rule.delay)
+                else:
+                    # "torn" sends a strict prefix of the frame (no
+                    # newline) before hanging up -- the mid-frame
+                    # disconnect clients must detect and retry;
+                    # "disconnect"/"error" hang up before a byte.
+                    if rule.action == "torn" and len(frame) > 1:
+                        cut = max(1, min(
+                            len(frame) - 1,
+                            int(len(frame) * rule.torn_fraction),
+                        ))
+                        try:
+                            writer.write(frame[:cut])
+                            await writer.drain()
+                        except (ConnectionError, RuntimeError):
+                            pass
+                    try:
+                        writer.close()
+                    except Exception:
+                        pass
+                    return False
+        try:
+            writer.write(frame)
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            return False
+        return True
+
+    # -- replication streaming ---------------------------------------------
+
+    def _subscribe_handshake(self, request: dict) -> dict:
+        """Validate a ``repl.subscribe`` and build its handshake frame."""
+        hub = self.engine.replication_hub
+        if hub is None:
+            return error_response(
+                "replication requires a durable service (no WAL attached)",
+                request,
+            )
+        from_lsn = request.get("from_lsn")
+        if not isinstance(from_lsn, int) or isinstance(from_lsn, bool) or from_lsn < 0:
+            self.engine.stats.protocol_errors += 1
+            return error_response(
+                'repl.subscribe needs an integer "from_lsn" >= 0', request
+            )
+        base = hub.base_lsn()
+        if from_lsn < base:
+            return error_response(
+                StaleLsnError(
+                    f"from_lsn {from_lsn} is below the compaction "
+                    f"watermark {base}; re-bootstrap from a checkpoint"
+                ),
+                request,
+            )
+        response = {
+            "ok": True,
+            "op": "repl.subscribe",
+            "from_lsn": from_lsn,
+            "committed": hub.committed_lsn,
+            "base": base,
+        }
+        if "id" in request:
+            response["id"] = request["id"]
+        return response
+
+    def _dispatch_replication(self, loop, fut, request: dict) -> None:
+        """Run a manifest/fetch request on the executor (file I/O)."""
+        hub = self.engine.replication_hub
+
+        def work() -> dict:
+            try:
+                if hub is None:
+                    raise ValueError(
+                        "replication requires a durable service "
+                        "(no WAL attached)"
+                    )
+                if request["op"] == "repl.manifest":
+                    out = {"ok": True, "op": "repl.manifest", **hub.manifest()}
+                else:
+                    out = {"ok": True, "op": "repl.fetch", **hub.read_chunk(
+                        request.get("name"),
+                        request.get("offset", 0),
+                        request.get("limit"),
+                    )}
+                if "id" in request:
+                    out["id"] = request["id"]
+                return out
+            except Exception as exc:
+                return exception_response(exc, request)
+
+        task = loop.run_in_executor(None, work)
+        task.add_done_callback(
+            lambda t: self._fulfil(fut, t.result() if t.exception() is None
+                                   else exception_response(t.exception(), request))
+        )
+
+    async def _stream_replication(self, reader, writer, request: dict) -> None:
+        """Ship committed records to one subscribed follower.
+
+        The subscriber's cursor only moves forward, so a record is sent
+        at most once per subscription even when ``compact()`` rewrites
+        the log file underneath (the tailer rescans the new inode and
+        the cursor skips everything already delivered).  When there is
+        nothing to ship the stream waits on the commit notifier with a
+        keepalive timeout, so followers can measure lag while idle and
+        detect a dead primary.  Any further frame from the subscriber
+        (a duplicate subscribe included) is refused and ends the
+        stream; EOF ends it quietly.
+        """
+        engine = self.engine
+        hub = engine.replication_hub
+        loop = asyncio.get_running_loop()
+        cursor = int(request["from_lsn"])
+        wake = asyncio.Event()
+
+        def _notify(_lsn: int) -> None:
+            try:
+                loop.call_soon_threadsafe(wake.set)
+            except RuntimeError:
+                pass
+
+        stop = asyncio.Event()
+        intruder: list = []
+
+        async def _watch_client() -> None:
+            # The record stream is one-way; the reader side only
+            # detects EOF (clean unsubscribe) or protocol misuse.
+            while True:
+                raw = await self._read_line(reader)
+                if raw is None:
+                    stop.set()
+                    return
+                if raw in (b"", b"\n"):
+                    continue
+                intruder.append(raw)
+                stop.set()
+                return
+
+        hub.add_subscriber(_notify)
+        watcher = asyncio.create_task(_watch_client())
+        stopper = asyncio.create_task(stop.wait())
+        try:
+            while not engine.shutdown_event.is_set() and not stop.is_set():
+                batch = await loop.run_in_executor(None, hub.poll, cursor)
+                if cursor < batch.base_lsn:
+                    await self._send_frame(writer, error_response(
+                        StaleLsnError(
+                            f"resume point {cursor} fell below the "
+                            f"compaction watermark {batch.base_lsn} "
+                            "mid-stream; re-bootstrap from a checkpoint"
+                        ),
+                    ))
+                    return
+                sent_any = False
+                for lsn, payload in batch.records:
+                    if stop.is_set():
+                        break
+                    ok = await self._send_frame(writer, {
+                        "op": "repl.record",
+                        "lsn": lsn,
+                        "committed": hub.committed_lsn,
+                        "raw": base64.b64encode(payload).decode("ascii"),
+                    })
+                    if not ok:
+                        return
+                    cursor = lsn
+                    sent_any = True
+                if sent_any:
+                    continue  # drain everything available before waiting
+                wake.clear()
+                if hub.committed_lsn > cursor:
+                    continue  # raced a commit between poll and clear
+                waiter = asyncio.create_task(wake.wait())
+                done, _pending = await asyncio.wait(
+                    {waiter, stopper},
+                    timeout=REPL_KEEPALIVE_SECONDS,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not done:  # idle: keepalive carries the lag signal
+                    waiter.cancel()
+                    await asyncio.gather(waiter, return_exceptions=True)
+                    ok = await self._send_frame(writer, {
+                        "op": "repl.keepalive",
+                        "committed": hub.committed_lsn,
+                        "base": hub.base_lsn(),
+                    })
+                    if not ok:
+                        return
+                elif waiter not in done:
+                    waiter.cancel()
+                    await asyncio.gather(waiter, return_exceptions=True)
+            if intruder:
+                await self._send_frame(writer, error_response(
+                    "connection is a replication stream; further requests "
+                    "(including duplicate repl.subscribe) are not accepted",
+                ))
+        finally:
+            hub.remove_subscriber(_notify)
+            for task in (watcher, stopper):
+                task.cancel()
+            await asyncio.gather(watcher, stopper, return_exceptions=True)
 
 
 def parse_listen(value: str) -> tuple[str, int]:

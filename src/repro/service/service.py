@@ -218,6 +218,16 @@ class EstimationService:
         self.degraded = False
         self.degraded_reason: Optional[str] = None
         self._fault_plan = None  # FaultPlan consulted by checkpoint writes
+        # Replication: a follower records its primary's address here and
+        # refuses externally-submitted mutations (the apply loop and
+        # checkpoints go through internal entry points).  replica_status
+        # is the apply loop's published lag snapshot; _commit_listeners
+        # are called (under the state lock) each time the committed LSN
+        # advances -- the primary's streaming hub uses this to wake
+        # subscribers without polling.
+        self.follower_of: Optional[str] = None
+        self.replica_status: Optional[dict] = None
+        self._commit_listeners: list = []
         # Epoch state: the published-epoch id readers pin, and the
         # refcount registry that frees superseded pages when the last
         # pinning snapshot drops.
@@ -446,11 +456,21 @@ class EstimationService:
 
     # -- update API --------------------------------------------------------
 
-    def _check_writable(self) -> None:
-        """Refuse mutations while degraded (sticky until resume)."""
+    def _check_writable(self, external: bool = True) -> None:
+        """Refuse mutations while degraded (sticky until resume).
+
+        On a follower, *external* mutations (client inserts/deletes) are
+        refused too -- only the replication apply loop and internal
+        maintenance (``external=False``, e.g. checkpoints) may write.
+        """
         if self.degraded:
             raise ReadOnlyError(
                 f"service is read-only (degraded): {self.degraded_reason}"
+            )
+        if external and self.follower_of is not None and not self._replaying:
+            raise ReadOnlyError(
+                f"service is a read replica of {self.follower_of}; "
+                "send mutations to the primary"
             )
 
     def _storage_failure(self, exc: BaseException) -> bool:
@@ -588,12 +608,25 @@ class EstimationService:
         # applied and its batch record is durable (recovery replays an
         # unmarked logged batch), so report success and degrade.
         self._wal.mark_committed(lsn)
-        self._last_lsn = lsn
+        self._note_commit(lsn)
         try:
             self._maybe_checkpoint()
         except OSError as exc:
             if not self._storage_failure(exc):
                 raise
+
+    def _note_commit(self, lsn: int) -> None:
+        """Advance the committed LSN and wake replication listeners.
+
+        Listener callbacks run under the state lock and must not block:
+        the streaming hub only flips a per-subscriber event.
+        """
+        self._last_lsn = lsn
+        for listener in self._commit_listeners:
+            try:
+                listener(lsn)
+            except Exception:
+                pass
 
     def _abort_update(self, lsn: Optional[int]) -> None:
         if lsn is not None:
@@ -759,7 +792,7 @@ class EstimationService:
                         # failed and a rebuild repaired the summaries):
                         # replaying it at recovery is correct and required.
                         self._wal.mark_committed(lsn)
-                        self._last_lsn = lsn
+                        self._note_commit(lsn)
                     else:
                         self._abort_update(lsn)
                 raise
@@ -950,7 +983,9 @@ class EstimationService:
         with self._state_lock:
             if self._wal is None:
                 raise ValueError("no write-ahead log attached to checkpoint")
-            self._check_writable()
+            # Internal maintenance: followers checkpoint their own
+            # directory too (external=False skips the replica gate).
+            self._check_writable(external=False)
             self._wal.sync()
             write_checkpoint(self, self._wal_dir, self._last_lsn, force_full=full)
             self._last_checkpoint_lsn = self._last_lsn

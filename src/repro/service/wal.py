@@ -70,9 +70,11 @@ forest is decoded only if something actually touches it.
 
 from __future__ import annotations
 
+import bisect
 import json
 import os
 import struct
+import threading
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -458,6 +460,52 @@ class RecoveryInfo:
 # -- log reading -------------------------------------------------------------
 
 
+def decode_payload(payload: bytes) -> Optional[dict]:
+    """Decode one record payload (v1 JSON or v2 binary) to its record
+    object, or ``None`` when it is neither -- the self-discrimination
+    every log reader and the replication stream share."""
+    if payload[:1] == b"{":  # v1 JSON payload
+        try:
+            obj = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if (
+            not isinstance(obj, dict)
+            or not isinstance(obj.get("lsn"), int)
+            or obj.get("type") not in _RECORD_TYPES
+        ):
+            return None
+        return obj
+    if payload[:1] == bytes([_V2_MARKER]):  # v2 binary payload
+        return _decode_payload_v2(payload)
+    return None
+
+
+def _parse_records(
+    data: bytes, offset: int
+) -> tuple[list[WalRecord], int]:
+    """Decode intact records of a log image starting at ``offset``;
+    stops at the first torn or corrupted record (the crash tail)."""
+    records: list[WalRecord] = []
+    while True:
+        if offset + _HEADER.size > len(data):
+            break
+        length, checksum = _HEADER.unpack_from(data, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > len(data):
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != checksum:
+            break
+        obj = decode_payload(payload)
+        if obj is None:
+            break
+        records.append(WalRecord(obj["lsn"], obj["type"], obj, offset, end))
+        offset = end
+    return records, offset
+
+
 def read_records(path: Union[str, Path]) -> tuple[list[WalRecord], int]:
     """Decode every intact record of a log file.
 
@@ -474,39 +522,7 @@ def read_records(path: Union[str, Path]) -> tuple[list[WalRecord], int]:
     data = path.read_bytes()
     if len(data) < len(WAL_MAGIC) or not data.startswith(WAL_MAGIC):
         return [], 0
-    records: list[WalRecord] = []
-    offset = len(WAL_MAGIC)
-    while True:
-        if offset + _HEADER.size > len(data):
-            break
-        length, checksum = _HEADER.unpack_from(data, offset)
-        start = offset + _HEADER.size
-        end = start + length
-        if end > len(data):
-            break
-        payload = data[start:end]
-        if zlib.crc32(payload) != checksum:
-            break
-        if payload[:1] == b"{":  # v1 JSON payload
-            try:
-                obj = json.loads(payload.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError):
-                break
-            if (
-                not isinstance(obj, dict)
-                or not isinstance(obj.get("lsn"), int)
-                or obj.get("type") not in _RECORD_TYPES
-            ):
-                break
-        elif payload[:1] == bytes([_V2_MARKER]):  # v2 binary payload
-            obj = _decode_payload_v2(payload)
-            if obj is None:
-                break
-        else:
-            break
-        records.append(WalRecord(obj["lsn"], obj["type"], obj, offset, end))
-        offset = end
-    return records, offset
+    return _parse_records(data, len(WAL_MAGIC))
 
 
 class WriteAheadLog:
@@ -609,6 +625,26 @@ class WriteAheadLog:
         )
         return lsn
 
+    def append_raw(self, payload: bytes, lsn: int, sync: bool = False) -> None:
+        """Append an already-encoded record payload verbatim.
+
+        The replication path ships the primary's record payload bytes
+        unchanged; appending them verbatim keeps the follower's log a
+        byte-exact suffix copy, so follower recovery is *the same code
+        path* as primary recovery.  ``lsn`` is the payload's own LSN and
+        only advances ``next_lsn``.  Followers default to ``sync=False``:
+        a torn tail is truncated on restart and re-shipped from the
+        resume LSN, so per-record fsync buys nothing.
+        """
+        frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        if self._pending:
+            frame = bytes(self._pending) + frame
+            self._pending.clear()
+        self._write(frame)
+        if sync:
+            self._sync()
+        self.next_lsn = max(self.next_lsn, lsn + 1)
+
     def mark_committed(self, lsn: int) -> None:
         """Record that the batch applied (buffered; see class docs)."""
         self._append({"lsn": lsn, "type": "commit"}, sync=False)
@@ -627,6 +663,140 @@ class WriteAheadLog:
             self._flush_pending()
             self._sync()
             self._fh.close()
+
+
+@dataclass
+class TailBatch:
+    """One :meth:`WalTailer.poll` result.
+
+    ``records`` holds ``(lsn, payload_bytes)`` pairs for committed batch
+    records strictly above the caller's cursor, in LSN order; the
+    payload bytes are shipped verbatim so followers append a byte-exact
+    copy.  ``base_lsn`` is the log's current compaction watermark: a
+    subscriber whose cursor is below it can no longer be served from
+    this log and must re-bootstrap from a checkpoint.
+    """
+
+    base_lsn: int
+    last_lsn: int
+    records: list[tuple[int, bytes]]
+
+
+class WalTailer:
+    """LSN-addressed tailing reader over a live (or dead) log file.
+
+    Re-parses only the newly appended suffix on each poll, and falls
+    back to a full rescan whenever the file was swapped (``compact()``
+    replaces the inode) or shrank (resume truncation).  Every shipped
+    record is a whole, CRC-validated frame -- a torn or mid-copy tail
+    simply isn't shipped yet -- and the per-call ``after_lsn`` cursor
+    means a record is delivered at most once to a given subscriber even
+    across a compaction that rewrites the file around it.
+
+    Thread-safe: concurrent subscribers poll through one shared lock.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._reset()
+
+    def _reset(self) -> None:
+        self._buf = b""
+        self._valid_end = 0
+        self._ino: Optional[int] = None
+        self._base = 0
+        self._aborted: set[int] = set()
+        self._commits: set[int] = set()
+        self._batch_lsns: list[int] = []
+        self._batches: list[WalRecord] = []
+
+    def _ingest(self, records: list[WalRecord]) -> None:
+        for record in records:
+            if record.type == "batch":
+                self._batch_lsns.append(record.lsn)
+                self._batches.append(record)
+            elif record.type == "commit":
+                self._commits.add(record.lsn)
+            elif record.type == "abort":
+                self._aborted.add(record.lsn)
+            elif record.type == "base":
+                self._base = max(self._base, record.lsn)
+
+    def _refresh(self) -> None:
+        try:
+            st = os.stat(self.path)
+        except FileNotFoundError:
+            self._reset()
+            return
+        if (
+            self._ino is not None
+            and st.st_ino == self._ino
+            and st.st_size == len(self._buf)
+        ):
+            return
+        if self._ino is None or st.st_ino != self._ino or st.st_size < len(self._buf):
+            # Swapped (compaction) or truncated (resume): rescan whole.
+            try:
+                with open(self.path, "rb") as fh:
+                    ino = os.fstat(fh.fileno()).st_ino
+                    data = fh.read()
+            except FileNotFoundError:
+                self._reset()
+                return
+            self._reset()
+            self._ino = ino
+            if not data.startswith(WAL_MAGIC):
+                return
+            self._buf = data
+            records, self._valid_end = _parse_records(data, len(WAL_MAGIC))
+            self._ingest(records)
+            return
+        # Same inode, grew: read and parse just the appended suffix.
+        with open(self.path, "rb") as fh:
+            if os.fstat(fh.fileno()).st_ino != self._ino:
+                # Swapped between stat and open; next poll rescans.
+                return
+            fh.seek(len(self._buf))
+            suffix = fh.read()
+        self._buf += suffix
+        records, self._valid_end = _parse_records(self._buf, self._valid_end)
+        self._ingest(records)
+
+    def poll(
+        self,
+        after_lsn: int,
+        committed_floor: Optional[int] = None,
+        limit: int = 256,
+    ) -> TailBatch:
+        """Return committed batch records with ``after_lsn < lsn``.
+
+        ``committed_floor`` is the caller's authoritative committed LSN
+        (the primary's in-process ``_last_lsn``); commit markers in the
+        file lag it because they are group-committed.  When ``None``,
+        only records with an on-disk commit marker ship -- the offline
+        tail mode.  Abort-marked records never ship.
+        """
+        with self._lock:
+            self._refresh()
+            out: list[tuple[int, bytes]] = []
+            start = bisect.bisect_right(self._batch_lsns, after_lsn)
+            last = self._batch_lsns[-1] if self._batch_lsns else 0
+            for record in self._batches[start:]:
+                if len(out) >= limit:
+                    break
+                if record.lsn in self._aborted:
+                    continue
+                if committed_floor is not None:
+                    if record.lsn > committed_floor:
+                        break
+                elif record.lsn not in self._commits:
+                    break
+                payload = self._buf[
+                    record.offset + _HEADER.size : record.end_offset
+                ]
+                out.append((record.lsn, payload))
+            return TailBatch(base_lsn=self._base, last_lsn=last, records=out)
 
 
 # -- op (de)serialisation ----------------------------------------------------
@@ -1797,6 +1967,29 @@ def compact(
     )
 
 
+def seed_log(
+    path: Union[str, Path], base_lsn: int, codec: str = "binary"
+) -> None:
+    """Write a fresh log whose only record is a ``base`` watermark.
+
+    Exactly the head :func:`compact` leaves: recovery over it loads the
+    checkpoint at ``base_lsn`` (refusing anything older) and replays
+    nothing.  Follower bootstrap seeds its directory with this so the
+    transferred checkpoint plus an empty replay suffix recover, and the
+    apply loop's first shipped record lands at ``base_lsn + 1``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = _encode_record_payload({"lsn": int(base_lsn), "type": "base"}, codec)
+    frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(WAL_MAGIC + frame)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
 # -- durable open / recovery -------------------------------------------------
 
 
@@ -1905,6 +2098,50 @@ def open_durable(
     )
 
 
+def apply_logged_batch(service, payload: dict, committed: bool = False) -> bool:
+    """Apply one logged batch record exactly as recovery replay does.
+
+    Shared by crash recovery and the follower apply loop -- a follower
+    that has applied records up to LSN N is bit-identical to
+    ``open_durable`` recovery of a log truncated at N *because they run
+    this same function*.  Returns ``True`` when the batch applied
+    (including the repaired-and-committed :class:`BatchError` shape) and
+    ``False`` when it rolled back, leaving the pre-batch state.  A batch
+    known to have committed live that cannot be reproduced raises
+    :class:`WalError`: continuing would silently diverge every later
+    record's pre-batch references.
+    """
+    service._replaying = True
+    try:
+        ops = decode_ops(service, payload["ops"])
+        if payload.get("single") and len(ops) == 1:
+            op = ops[0]
+            if isinstance(op, InsertOp):
+                service.insert_subtree(op.parent, op.subtree, op.position)
+            else:
+                service.delete_subtree(op.node)
+        else:
+            service.apply_batch(ops)
+        return True
+    except BatchError as exc:
+        # applied=True: the live run hit the same flush failure,
+        # repaired with a rebuild, and committed -- state matches.
+        # applied=False: rolled back, bit-identical to pre-batch.
+        return bool(exc.applied)
+    except Exception as exc:
+        if committed:
+            raise WalError(
+                f"replay of committed batch lsn {payload.get('lsn')} "
+                f"failed: {exc}"
+            ) from exc
+        # Unmarked record: the live run crashed mid-apply (or failed
+        # the same way before writing its abort marker); the
+        # rolled-back applier left the pre-batch state.
+        return False
+    finally:
+        service._replaying = False
+
+
 def _recover(
     directory: Path,
     n_workers: int,
@@ -1958,40 +2195,12 @@ def _recover(
         if record.lsn in aborted:
             skipped += 1
             continue
-        service._replaying = True
-        try:
-            ops = decode_ops(service, record.payload["ops"])
-            if record.payload.get("single") and len(ops) == 1:
-                op = ops[0]
-                if isinstance(op, InsertOp):
-                    service.insert_subtree(op.parent, op.subtree, op.position)
-                else:
-                    service.delete_subtree(op.node)
-            else:
-                service.apply_batch(ops)
+        if apply_logged_batch(
+            service, record.payload, committed=record.lsn in committed
+        ):
             replayed += 1
-        except BatchError as exc:
-            if exc.applied:
-                # The live run hit the same flush failure, repaired with
-                # a rebuild, and committed: state matches, carry on.
-                replayed += 1
-            else:
-                skipped += 1  # rolled back, bit-identical to pre-batch
-        except Exception as exc:
-            if record.lsn in committed:
-                # The batch provably applied live but cannot be
-                # reproduced here: continuing would silently diverge
-                # every later record's pre-batch references.
-                raise WalError(
-                    f"replay of committed batch lsn {record.lsn} failed: "
-                    f"{exc}"
-                ) from exc
-            # Unmarked record: the live run crashed mid-apply (or failed
-            # the same way before writing its abort marker); the
-            # rolled-back applier left the pre-batch state.
+        else:
             skipped += 1
-        finally:
-            service._replaying = False
 
     # Truncate the torn tail; reuse the scan instead of re-reading.
     wal = WriteAheadLog(directory / LOG_NAME, scanned=(records, valid_end))

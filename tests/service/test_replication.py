@@ -1,0 +1,812 @@
+"""Log-shipping replication: WAL tailing, bootstrap, follower apply, chaos.
+
+Five layers are exercised:
+
+* :class:`~repro.service.wal.WalTailer` in isolation -- committed batch
+  records ship exactly once per cursor, torn tails and aborted batches
+  never ship, the committed floor gates group-committed markers, and an
+  inode swap (compaction) forces a safe full rescan;
+* follower bootstrap -- checkpoint transfer over a shared directory and
+  over chunked ``repl.fetch``, resume idempotence, path traversal and
+  same-directory refusals;
+* the live stream -- catch-up plus continuous apply, read-only refusal
+  on followers, health/lag reporting on both roles, and the
+  :class:`~repro.service.client.ReplicaSet` read-your-writes gate;
+* the differential pin (the acceptance criterion): a follower paused at
+  LSN N is bit-identical to ``open_durable`` recovery of the primary's
+  log truncated at N -- across single ops, batches, aborted batches,
+  rebuild-triggering churn, and a compaction -- and the columnar
+  (vectorized) apply path is pinned bit-identical to the reference
+  per-op dict decoder;
+* chaos -- seeded ``net.send`` disconnect/torn sweeps over the stream,
+  follower kill/restart (including a simulated torn tail), duplicate
+  subscribe refusal, malformed-frame fuzz, the ``stale_lsn`` signal
+  after compaction outruns a follower, and the promote-by-restart
+  drill.
+"""
+
+import base64
+import json
+import random
+import shutil
+import socket
+import time
+
+import pytest
+
+from repro.service import (
+    DeleteOp,
+    EstimationService,
+    FaultPlan,
+    FaultRule,
+    ReadOnlyError,
+    ServiceClient,
+    ServiceError,
+    WalTailer,
+    compact,
+)
+from repro.service.client import ReplicaSet
+from repro.service.faults import NET_SEND
+from repro.service.protocol import encode_frame, format_text_response
+from repro.service.replica import (
+    Follower,
+    ReplicaError,
+    ReplicationHub,
+    bootstrap_follower,
+)
+from repro.service.server import ServiceEngine, serve_forever
+from repro.service.wal import (
+    _HEADER,
+    _decode_payload_v2_reference,
+    LOG_NAME,
+    ColumnarOps,
+    apply_logged_batch,
+    checkpoint_paths,
+    decode_payload,
+    list_checkpoints,
+    read_records,
+)
+from tests.service.test_batch import QUERIES, prime, random_document, random_subtree
+from tests.service.test_wal import (
+    assert_state,
+    make_durable,
+    run_batches,
+    state_of,
+)
+
+WAIT = 30.0  # generous; every wait below resolves in well under a second
+
+
+def wait_for(predicate, timeout=WAIT, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def wait_caught_up(follower_service, target, timeout=WAIT):
+    ok = wait_for(lambda: int(follower_service._last_lsn) >= target, timeout)
+    assert ok, (
+        follower_service._last_lsn,
+        target,
+        follower_service.replica_status,
+    )
+
+
+class cluster:
+    """One durable primary behind a TCP server, plus streaming followers.
+
+    Context manager; tears everything down in dependency order.  Keeps
+    the test bodies about replication, not plumbing.
+    """
+
+    def __init__(self, tmp_path, **durable_kwargs):
+        self.root = tmp_path
+        self.primary = make_durable(tmp_path / "primary", **durable_kwargs)
+        self.engine, self.server = serve_forever(self.primary)
+        self._followers = []
+
+    @property
+    def host(self):
+        return self.server.host
+
+    @property
+    def port(self):
+        return self.server.port
+
+    def add_follower(self, name="follower", engine=False, **follower_kwargs):
+        directory = self.root / name
+        info = bootstrap_follower(directory, self.host, self.port)
+        service = EstimationService.open_durable(directory)
+        eng = ServiceEngine(service) if engine else None
+        follower = Follower(
+            service, eng, self.host, self.port,
+            read_timeout=5.0, **follower_kwargs,
+        )
+        follower.start()
+        self._followers.append((service, eng, follower))
+        return service, eng, follower, info
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        for service, eng, follower in reversed(self._followers):
+            follower.stop(WAIT)
+            if eng is not None:
+                eng.close()
+            service.close()
+        self.server.stop()
+        self.server.join(WAIT)
+        self.engine.close()
+        self.primary.close()
+
+
+def insert_some(service, rng, count):
+    for _ in range(count):
+        service.insert_subtree(rng.randrange(len(service)), random_subtree(rng))
+    return int(service._last_lsn)
+
+
+def raw_subscribe(host, port, from_lsn, timeout=5.0):
+    """A bare-socket ``repl.subscribe``; returns (sock, stream, handshake)."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(timeout)
+    stream = sock.makefile("rb")
+    sock.sendall(encode_frame({"op": "repl.subscribe", "from_lsn": from_lsn}))
+    handshake = json.loads(stream.readline())
+    return sock, stream, handshake
+
+
+class TestWalTailer:
+    def test_ships_committed_batches_incrementally(self, tmp_path):
+        service = make_durable(tmp_path / "w")
+        rng = random.Random(3)
+        try:
+            insert_some(service, rng, 3)
+            service._wal.sync()
+            tailer = WalTailer(tmp_path / "w" / LOG_NAME)
+            batch = tailer.poll(0, committed_floor=int(service._last_lsn))
+            assert [lsn for lsn, _ in batch.records] == [1, 2, 3]
+            for lsn, payload in batch.records:
+                obj = decode_payload(payload)
+                assert obj["type"] == "batch" and obj["lsn"] == lsn
+            # only the new suffix on the next poll
+            insert_some(service, rng, 2)
+            service._wal.sync()
+            batch = tailer.poll(3, committed_floor=int(service._last_lsn))
+            assert [lsn for lsn, _ in batch.records] == [4, 5]
+            assert tailer.poll(
+                5, committed_floor=int(service._last_lsn)
+            ).records == []
+        finally:
+            service.close()
+
+    def test_committed_floor_gates_delivery(self, tmp_path):
+        service = make_durable(tmp_path / "w")
+        try:
+            insert_some(service, random.Random(4), 3)
+            service._wal.sync()
+            tailer = WalTailer(tmp_path / "w" / LOG_NAME)
+            batch = tailer.poll(0, committed_floor=1)
+            assert [lsn for lsn, _ in batch.records] == [1]
+        finally:
+            service.close()
+
+    def test_offline_mode_needs_on_disk_markers(self, tmp_path):
+        service = make_durable(tmp_path / "w")
+        rng = random.Random(5)
+        try:
+            insert_some(service, rng, 3)
+            service._wal.sync()
+            # One more write: its commit marker is group-committed, i.e.
+            # still buffered in memory.
+            insert_some(service, rng, 1)
+            tailer = WalTailer(tmp_path / "w" / LOG_NAME)
+            batch = tailer.poll(0, committed_floor=None)
+            assert [lsn for lsn, _ in batch.records] == [1, 2, 3]
+            # The live floor (the primary's in-process LSN) ships it.
+            live = tailer.poll(0, committed_floor=int(service._last_lsn))
+            assert [lsn for lsn, _ in live.records] == [1, 2, 3, 4]
+            # Once the marker lands on disk, offline mode ships it too.
+            service._wal.sync()
+            batch = tailer.poll(3, committed_floor=None)
+            assert [lsn for lsn, _ in batch.records] == [4]
+        finally:
+            service.close()
+
+    def test_torn_tail_is_not_shipped(self, tmp_path):
+        service = make_durable(tmp_path / "w")
+        try:
+            insert_some(service, random.Random(6), 3)
+            service._wal.sync()
+            committed = int(service._last_lsn)
+        finally:
+            service.close()
+        records, _ = read_records(tmp_path / "w" / LOG_NAME)
+        last_batch = [r for r in records if r.type == "batch"][-1]
+        assert last_batch.lsn == 3
+        torn = tmp_path / "torn.log"
+        data = (tmp_path / "w" / LOG_NAME).read_bytes()
+        # cut mid-frame inside the last batch record: a subscriber must
+        # see it only once the whole CRC-validated frame exists
+        torn.write_bytes(data[:last_batch.offset + _HEADER.size + 2])
+        tailer = WalTailer(torn)
+        batch = tailer.poll(0, committed_floor=committed)
+        assert [lsn for lsn, _ in batch.records] == [1, 2]
+        for lsn, payload in batch.records:
+            assert decode_payload(payload)["lsn"] == lsn
+        # the completed frame ships once the full bytes arrive
+        torn.write_bytes(data)
+        batch = tailer.poll(2, committed_floor=committed)
+        assert [lsn for lsn, _ in batch.records] == [3]
+
+    def test_aborted_batches_never_ship(self, tmp_path):
+        service = make_durable(tmp_path / "w")
+        rng = random.Random(7)
+        try:
+            insert_some(service, rng, 2)
+            # Logged, rolled back, abort-marked: the second delete's
+            # index is outrun by the first (same shape run_batches
+            # documents).
+            last = len(service) - 1
+            with pytest.raises(Exception):
+                service.apply_batch([DeleteOp(last), DeleteOp(last)])
+            aborted_lsn = 3
+            insert_some(service, rng, 1)
+            service._wal.sync()
+            records, _ = read_records(tmp_path / "w" / LOG_NAME)
+            assert any(
+                r.type == "abort" and r.lsn == aborted_lsn for r in records
+            ), "expected the failed batch to be abort-marked"
+            tailer = WalTailer(tmp_path / "w" / LOG_NAME)
+            batch = tailer.poll(0, committed_floor=int(service._last_lsn))
+            lsns = [lsn for lsn, _ in batch.records]
+            assert aborted_lsn not in lsns
+            assert lsns == [1, 2, 4]
+        finally:
+            service.close()
+
+    def test_compaction_swap_forces_clean_rescan(self, tmp_path):
+        service = make_durable(tmp_path / "w")
+        rng = random.Random(8)
+        try:
+            insert_some(service, rng, 4)
+            service._wal.sync()
+            tailer = WalTailer(tmp_path / "w" / LOG_NAME)
+            first = tailer.poll(0, committed_floor=int(service._last_lsn))
+            assert [lsn for lsn, _ in first.records] == [1, 2, 3, 4]
+            service.checkpoint(full=True)
+            compact(tmp_path / "w", keep_checkpoints=1, wal=service._wal)
+            insert_some(service, rng, 2)
+            service._wal.sync()
+            # cursor at 4: exactly the post-compaction records, no
+            # duplicates, base advanced to the surviving checkpoint
+            batch = tailer.poll(4, committed_floor=int(service._last_lsn))
+            assert [lsn for lsn, _ in batch.records] == [5, 6]
+            assert batch.base_lsn == 4
+            for lsn, payload in batch.records:
+                assert decode_payload(payload)["lsn"] == lsn
+            # a cursor below the watermark is told so, not fed garbage
+            stale = tailer.poll(0, committed_floor=int(service._last_lsn))
+            assert stale.base_lsn == 4 > 0
+        finally:
+            service.close()
+
+
+class TestBootstrap:
+    def test_shared_directory_copy(self, tmp_path):
+        with cluster(tmp_path) as c:
+            expected = state_of(c.primary)
+            info = bootstrap_follower(tmp_path / "f", c.host, c.port)
+            assert info["transfer"] == "copy"
+            assert info["files"] >= 2
+            service = EstimationService.open_durable(tmp_path / "f")
+            try:
+                assert_state(service, expected)
+            finally:
+                service.close()
+
+    def test_chunked_fetch_transfer(self, tmp_path, monkeypatch):
+        with cluster(tmp_path) as c:
+            expected = state_of(c.primary)
+            real = ReplicationHub.manifest
+
+            def remote_manifest(self):
+                out = real(self)
+                out["directory"] = str(tmp_path / "not-on-this-host")
+                return out
+
+            monkeypatch.setattr(ReplicationHub, "manifest", remote_manifest)
+            # small chunks force the multi-roundtrip path
+            monkeypatch.setattr(
+                "repro.service.replica.FETCH_CHUNK_BYTES", 1024
+            )
+            info = bootstrap_follower(tmp_path / "f", c.host, c.port)
+            assert info["transfer"] == "fetch"
+            service = EstimationService.open_durable(tmp_path / "f")
+            try:
+                assert_state(service, expected)
+            finally:
+                service.close()
+
+    def test_resume_leaves_existing_checkpoints_alone(self, tmp_path):
+        with cluster(tmp_path) as c:
+            bootstrap_follower(tmp_path / "f", c.host, c.port)
+            before = sorted(p.name for p in (tmp_path / "f").iterdir())
+            info = bootstrap_follower(tmp_path / "f", c.host, c.port)
+            assert info["transfer"] == "resume"
+            assert sorted(p.name for p in (tmp_path / "f").iterdir()) == before
+
+    def test_refuses_the_primary_directory(self, tmp_path):
+        with cluster(tmp_path) as c:
+            with pytest.raises(ReplicaError, match="must differ"):
+                bootstrap_follower(tmp_path / "primary", c.host, c.port)
+
+    def test_fetch_rejects_traversal_and_unknown_names(self, tmp_path):
+        with cluster(tmp_path) as c:
+            hub = c.engine.replication_hub
+            for name in ("../wal.log", "wal.log", "ckpt-none.npz", None):
+                with pytest.raises((ReplicaError, Exception)):
+                    hub.read_chunk(name, 0, None)
+            # over the wire the same refusals are error frames
+            with ServiceClient(c.host, c.port) as client:
+                for name in ("../wal.log", "wal.log", "ckpt-none.npz"):
+                    response = client.request(
+                        {"op": "repl.fetch", "name": name}
+                    )
+                    assert response["ok"] is False
+                assert client.ping()
+
+
+class TestReplicationStream:
+    def test_catchup_live_stream_and_read_only(self, tmp_path):
+        with cluster(tmp_path) as c:
+            rng = random.Random(11)
+            insert_some(c.primary, rng, 4)  # pre-bootstrap: catch-up replay
+            fsvc, feng, follower, info = c.add_follower(engine=True)
+            assert info["transfer"] == "copy"
+            target = insert_some(c.primary, rng, 6)  # live stream
+            wait_caught_up(fsvc, target)
+            assert_state(fsvc, state_of(c.primary))
+            # followers refuse external mutations, locally and over the
+            # wire, with the coded read_only error
+            with pytest.raises(ReadOnlyError, match="read replica"):
+                fsvc.insert_subtree(0, random_subtree(rng))
+            from repro.service.server import EstimationServer
+
+            fserver = EstimationServer(feng)
+            fserver.start()
+            try:
+                with ServiceClient(c.host, fserver.port) as client:
+                    assert client.estimate(QUERIES[0]) == \
+                        c.primary.estimate(QUERIES[0]).value
+                    with pytest.raises(ServiceError) as err:
+                        client.insert("root", "<a/>")
+                    assert err.value.code == "read_only"
+            finally:
+                fserver.stop()
+                fserver.join(WAIT)
+
+    def test_health_reports_roles_and_lag(self, tmp_path):
+        with cluster(tmp_path) as c:
+            rng = random.Random(12)
+            fsvc, feng, follower, _ = c.add_follower(engine=True)
+            target = insert_some(c.primary, rng, 3)
+            wait_caught_up(fsvc, target)
+            with ServiceClient(c.host, c.port) as client:
+                health = client.health()
+            assert health["last_committed_lsn"] == target
+            assert health["replication"]["role"] == "primary"
+            assert health["replication"]["subscribers"] >= 1
+            fh = feng.request({"op": "health"})
+            assert fh["last_committed_lsn"] == target
+            repl = fh["replication"]
+            assert repl["role"] == "follower"
+            assert repl["primary"] == f"{c.host}:{c.port}"
+            assert repl["replica_lag_lsns"] == 0
+            assert repl["replica_lag_seconds"] == 0.0
+            assert repl["connected"] is True
+            # the text protocol renders the same fields (satellite 2)
+            line = format_text_response({"op": "health"}, fh)
+            assert f"last_committed_lsn={target}" in line
+            assert f"replica_of={c.host}:{c.port}" in line
+            assert "replica_lag_lsns=0" in line
+            pline = format_text_response({"op": "health"}, health)
+            assert "subscribers=1" in pline
+
+    def test_keepalives_and_record_frames_on_the_wire(self, tmp_path):
+        with cluster(tmp_path) as c:
+            rng = random.Random(13)
+            base = insert_some(c.primary, rng, 2)
+            sock, stream, handshake = raw_subscribe(c.host, c.port, base)
+            try:
+                assert handshake["ok"] and handshake["from_lsn"] == base
+                assert handshake["committed"] == base
+                lsn = insert_some(c.primary, rng, 1)
+                frame = json.loads(stream.readline())
+                assert frame["op"] == "repl.record" and frame["lsn"] == lsn
+                payload = base64.b64decode(frame["raw"])
+                obj = decode_payload(payload)
+                assert obj["type"] == "batch" and obj["lsn"] == lsn
+                # idle connection: a keepalive carries the lag signal
+                frame = json.loads(stream.readline())
+                assert frame["op"] == "repl.keepalive"
+                assert frame["committed"] == lsn
+                assert "base" in frame
+            finally:
+                sock.close()
+
+    def test_replica_set_routes_and_reads_its_writes(self, tmp_path):
+        from repro.service.server import EstimationServer
+
+        with cluster(tmp_path) as c:
+            fsvc, feng, follower, _ = c.add_follower(engine=True)
+            fserver = EstimationServer(feng)
+            fserver.start()
+            try:
+                rs = ReplicaSet(
+                    (c.host, c.port),
+                    [(c.host, fserver.port)],
+                    read_your_writes=True,
+                )
+                with rs:
+                    rs.insert("root", "<a><b/></a>")
+                    value = rs.estimate("//a//b")
+                    assert value == c.primary.estimate("//a//b").value
+                    health = rs.health()
+                    assert "replicas" in health and len(health["replicas"]) == 1
+                    (replica_health,) = health["replicas"].values()
+                    assert replica_health["replication"]["role"] == "follower"
+                # reads fall back to the primary when the replica is gone
+                fserver.stop()
+                fserver.join(WAIT)
+                with ReplicaSet(
+                    (c.host, c.port), [(c.host, fserver.port)], timeout=5.0
+                ) as rs:
+                    assert rs.estimate(QUERIES[0]) == pytest.approx(
+                        c.primary.estimate(QUERIES[0]).value
+                    )
+            finally:
+                fserver.stop()
+                fserver.join(WAIT)
+
+
+class TestFollowerDifferentialPin:
+    def test_follower_equals_truncated_recovery_at_every_stage(self, tmp_path):
+        """The acceptance pin: a follower paused at LSN N is bit-identical
+        to ``open_durable`` recovery of the primary's log truncated at N --
+        across single ops, mixed/aborted batches, and rebuild churn."""
+        pdir = tmp_path / "primary"
+        primary = make_durable(pdir, seed=21, threshold=0.25)
+        engine, server = serve_forever(primary)
+        rng = random.Random(21)
+        log_path = pdir / LOG_NAME
+        stages = []
+        fsvc = follower = None
+        try:
+            insert_some(primary, rng, 3)  # pre-bootstrap catch-up replay
+            bootstrap_follower(tmp_path / "f", server.host, server.port)
+            fsvc = EstimationService.open_durable(tmp_path / "f")
+            follower = Follower(
+                fsvc, None, server.host, server.port, read_timeout=5.0
+            )
+            follower.start()
+
+            def stage():
+                target = int(primary._last_lsn)
+                primary._wal.sync()
+                size = log_path.stat().st_size
+                wait_caught_up(fsvc, target)
+                assert int(fsvc._last_lsn) == target
+                snapshot = state_of(fsvc)
+                # live bit-identity at the matched LSN
+                assert_state(primary, snapshot)
+                stages.append((target, size, snapshot))
+
+            # stage 1: single-op inserts and deletes
+            insert_some(primary, rng, 4)
+            primary.delete_subtree(rng.randrange(1, len(primary)))
+            stage()
+            # stage 2: mixed batches -- chained inserts, deletes, and
+            # the occasional logged-and-aborted batch
+            run_batches(primary, rng, batches=4, ops_per_batch=5)
+            stage()
+            # stage 3: churn until the dirty threshold forces a rebuild
+            # (the follower must reproduce the rebalance exactly)
+            before = primary.stats.rebuilds
+            guard = 0
+            while primary.stats.rebuilds == before:
+                insert_some(primary, rng, 1)
+                guard += 1
+                assert guard < 500, "rebuild threshold never crossed"
+            stage()
+        finally:
+            if follower is not None:
+                follower.stop(WAIT)
+            if fsvc is not None:
+                fsvc.close()
+            server.stop()
+            server.join(WAIT)
+            engine.close()
+            primary.close()
+
+        assert len(stages) == 3
+        for target, size, snapshot in stages:
+            work = tmp_path / f"cut-{target}"
+            shutil.copytree(pdir, work)
+            with open(work / LOG_NAME, "r+b") as handle:
+                handle.truncate(size)
+            for lsn in list_checkpoints(work):
+                if lsn > target:
+                    for path in checkpoint_paths(work, lsn):
+                        path.unlink(missing_ok=True)
+            recovered = EstimationService.open_durable(work)
+            try:
+                assert int(recovered._last_lsn) == target
+                assert_state(recovered, snapshot)
+            finally:
+                recovered.close()
+
+    def test_follower_streams_through_a_compaction(self, tmp_path):
+        """Satellite 3: compact() racing an active subscription ships
+        every record exactly once and never tears a frame."""
+        with cluster(tmp_path) as c:
+            rng = random.Random(22)
+            fsvc, _, follower, _ = c.add_follower()
+            for _ in range(3):
+                target = insert_some(c.primary, rng, 3)
+                wait_caught_up(fsvc, target)
+                c.primary.checkpoint(full=True)
+                compact(
+                    tmp_path / "primary",
+                    keep_checkpoints=1,
+                    wal=c.primary._wal,
+                )
+                target = insert_some(c.primary, rng, 2)
+                wait_caught_up(fsvc, target)
+            assert_state(fsvc, state_of(c.primary))
+            # exactly-once: the follower's own log holds one batch
+            # record per LSN, strictly increasing, and applied counts
+            # match -- duplicates would have been skipped, not logged
+            fsvc._wal.sync()
+            records, _ = read_records(tmp_path / "follower" / LOG_NAME)
+            batch_lsns = [r.lsn for r in records if r.type == "batch"]
+            assert batch_lsns == sorted(set(batch_lsns))
+            assert follower.records_applied == len(batch_lsns)
+
+    def test_columnar_apply_pins_to_reference_decoder(self, tmp_path):
+        """Satellite 1: the vectorized (ColumnarOps) replay path the
+        follower uses is bit-identical to the reference per-op dict
+        decoder applied to the same shipped payload bytes."""
+        source = make_durable(tmp_path / "src", seed=13)
+        rng = random.Random(13)
+        insert_some(source, rng, 2)
+        source.delete_subtree(rng.randrange(1, len(source)))
+        run_batches(source, rng, batches=5, ops_per_batch=5)
+        source.close()
+        records, _ = read_records(tmp_path / "src" / LOG_NAME)
+        committed = {r.lsn for r in records if r.type == "commit"}
+        aborted = {r.lsn for r in records if r.type == "abort"}
+        batches = [
+            r for r in records
+            if r.type == "batch" and r.lsn in committed and r.lsn not in aborted
+        ]
+        assert len(batches) >= 5
+        raw = (tmp_path / "src" / LOG_NAME).read_bytes()
+
+        def twin():
+            service = EstimationService(
+                random_document(random.Random(13), 50),
+                grid_size=5,
+                spacing=64,
+                rebuild_threshold=0.95,
+            )
+            prime(service)
+            return service
+
+        fast, reference = twin(), twin()
+        saw_columnar = False
+        try:
+            for record in batches:
+                assert decode_payload(
+                    raw[record.offset + _HEADER.size:record.end_offset]
+                ) is not None
+                if isinstance(record.payload.get("ops"), ColumnarOps):
+                    saw_columnar = True
+                obj_ref = _decode_payload_v2_reference(
+                    raw[record.offset + _HEADER.size:record.end_offset]
+                )
+                assert obj_ref is not None, "log is not v2-encoded"
+                assert apply_logged_batch(fast, record.payload, committed=True)
+                assert apply_logged_batch(reference, obj_ref, committed=True)
+            assert saw_columnar, "no batch took the columnar fast path"
+            assert_state(reference, state_of(fast))
+        finally:
+            fast.close()
+            reference.close()
+
+
+class TestReplicationChaos:
+    def test_malformed_subscribe_fuzz_keeps_connection(self, tmp_path):
+        with cluster(tmp_path) as c:
+            with ServiceClient(c.host, c.port) as client:
+                for bad in (
+                    {"op": "repl.subscribe"},
+                    {"op": "repl.subscribe", "from_lsn": True},
+                    {"op": "repl.subscribe", "from_lsn": -1},
+                    {"op": "repl.subscribe", "from_lsn": "0"},
+                    {"op": "repl.subscribe", "from_lsn": 1.5},
+                    {"op": "repl.subscribe", "from_lsn": None},
+                    {"op": "repl.nonsense"},
+                    {"op": "repl.fetch"},
+                    {"op": "repl.fetch", "name": 7},
+                    {"op": "repl.fetch", "name": "ckpt-0.npz", "offset": -1},
+                ):
+                    response = client.request(bad)
+                    assert response["ok"] is False, bad
+                    # one error frame per bad request, connection intact
+                    assert client.ping()
+
+    def test_subscribe_needs_a_durable_service(self, tmp_path):
+        service = EstimationService(
+            random_document(random.Random(1), 40), grid_size=5, spacing=64
+        )
+        prime(service)
+        engine, server = serve_forever(service)
+        try:
+            with ServiceClient(server.host, server.port) as client:
+                response = client.request(
+                    {"op": "repl.subscribe", "from_lsn": 0}
+                )
+                assert response["ok"] is False
+                assert "durable" in str(response["error"])
+        finally:
+            server.stop()
+            server.join(WAIT)
+            engine.close()
+            service.close()
+
+    def test_duplicate_subscribe_is_refused(self, tmp_path):
+        with cluster(tmp_path) as c:
+            lsn = insert_some(c.primary, random.Random(2), 2)
+            sock, stream, handshake = raw_subscribe(c.host, c.port, lsn)
+            try:
+                assert handshake["ok"]
+                sock.sendall(
+                    encode_frame({"op": "repl.subscribe", "from_lsn": 0})
+                )
+                # skip stream frames until the refusal arrives
+                for _ in range(20):
+                    frame = json.loads(stream.readline())
+                    if frame.get("ok") is False:
+                        break
+                else:
+                    pytest.fail("no refusal frame")
+                assert "replication stream" in str(frame["error"])
+                assert stream.readline() == b""  # then the stream closes
+            finally:
+                sock.close()
+
+    def test_net_send_fault_sweep_resumes_from_lsn(self, tmp_path):
+        """Disconnect or tear the stream at every frame position; the
+        follower must reconnect, resume from its LSN, and converge."""
+        with cluster(tmp_path) as c:
+            rng = random.Random(23)
+            fsvc, _, follower, _ = c.add_follower(
+                reconnect_backoff=0.05, max_backoff=0.2
+            )
+            sweep = [
+                (1, "disconnect"), (1, "torn"), (2, "disconnect"),
+                (2, "torn"), (3, "disconnect"), (4, "torn"),
+            ]
+            for nth, action in sweep:
+                c.server.faults = FaultPlan(
+                    [FaultRule(NET_SEND, nth=nth, action=action)]
+                )
+                target = insert_some(c.primary, rng, 3)
+                wait_caught_up(fsvc, target)
+                c.server.faults = None
+                assert_state(fsvc, state_of(c.primary))
+            assert not follower.stopped
+
+    def test_follower_restart_sweep_resumes(self, tmp_path):
+        with cluster(tmp_path) as c:
+            rng = random.Random(24)
+            final = insert_some(c.primary, rng, 18)
+            expected = state_of(c.primary)
+            fdir = tmp_path / "f"
+            bootstrap_follower(fdir, c.host, c.port)
+            applied = 0
+            for stop_at in (4, 9, 14, final):
+                fsvc = EstimationService.open_durable(fdir)
+                assert int(fsvc._last_lsn) >= applied
+                follower = Follower(
+                    fsvc, None, c.host, c.port,
+                    read_timeout=5.0, reconnect_backoff=0.05,
+                )
+                follower.start()
+                wait_caught_up(fsvc, stop_at)
+                follower.stop(WAIT)
+                applied = int(fsvc._last_lsn)
+                fsvc.close()
+                if stop_at == 9:
+                    # simulated kill: a torn tail on the follower's own
+                    # log must be truncated and re-shipped on restart
+                    with open(fdir / LOG_NAME, "ab") as handle:
+                        handle.write(b"\x03\x02\x01")
+            fsvc = EstimationService.open_durable(fdir)
+            try:
+                assert int(fsvc._last_lsn) == final
+                assert_state(fsvc, expected)
+            finally:
+                fsvc.close()
+
+    def test_compaction_outrunning_a_follower_signals_stale(self, tmp_path):
+        with cluster(tmp_path) as c:
+            rng = random.Random(25)
+            # bootstrap at the LSN-0 checkpoint, but do not stream yet
+            fdir = tmp_path / "f"
+            bootstrap_follower(fdir, c.host, c.port)
+            insert_some(c.primary, rng, 4)
+            c.primary.checkpoint(full=True)
+            compact(tmp_path / "primary", keep_checkpoints=1,
+                    wal=c.primary._wal)
+            # the wire handshake refuses with the coded stale_lsn error
+            with ServiceClient(c.host, c.port) as client:
+                response = client.request(
+                    {"op": "repl.subscribe", "from_lsn": 0}
+                )
+                assert response["ok"] is False
+                assert response["error"]["code"] == "stale_lsn"
+                assert client.ping()
+            # a follower behind the watermark stops loudly, not silently
+            fsvc = EstimationService.open_durable(fdir)
+            follower = Follower(fsvc, None, c.host, c.port, read_timeout=5.0)
+            follower.start()
+            try:
+                assert wait_for(lambda: follower.stopped)
+                status = fsvc.replica_status
+                assert status["connected"] is False
+                assert "re-bootstrap" in status["error"]
+            finally:
+                follower.stop(WAIT)
+                fsvc.close()
+            # re-bootstrap from the fresh checkpoint is the repair path
+            shutil.rmtree(fdir)
+            info = bootstrap_follower(fdir, c.host, c.port)
+            assert info["transfer"] in ("copy", "fetch")
+            fsvc = EstimationService.open_durable(fdir)
+            follower = Follower(fsvc, None, c.host, c.port, read_timeout=5.0)
+            follower.start()
+            try:
+                wait_caught_up(fsvc, int(c.primary._last_lsn))
+                assert_state(fsvc, state_of(c.primary))
+            finally:
+                follower.stop(WAIT)
+                fsvc.close()
+
+    def test_promote_follower_by_restart(self, tmp_path):
+        """Primary-crash drill: restart the follower's directory without
+        --replica-of and it serves writes from the replicated state."""
+        rng = random.Random(26)
+        fdir = tmp_path / "f"
+        with cluster(tmp_path) as c:
+            insert_some(c.primary, rng, 6)
+            fsvc, _, follower, _ = c.add_follower(name="f")
+            target = insert_some(c.primary, rng, 4)
+            wait_caught_up(fsvc, target)
+            expected = state_of(fsvc)
+        # the whole cluster is gone; promote by plain open_durable
+        promoted = EstimationService.open_durable(fdir)
+        try:
+            assert promoted.follower_of is None
+            assert int(promoted._last_lsn) == target
+            assert_state(promoted, expected)
+            result = promoted.insert_subtree(0, random_subtree(rng))
+            assert result.nodes >= 1
+            assert int(promoted._last_lsn) == target + 1
+        finally:
+            promoted.close()
