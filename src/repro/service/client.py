@@ -500,11 +500,20 @@ class ReplicaSet:
             return 0
         with self._lock:
             dirty = self._rw_dirty
+            # Claim the flag *before* the health round-trip: a mutation
+            # landing on another thread while the request is in flight
+            # re-dirties and is observed by the next read, instead of
+            # being wiped by a clear-after-fetch.
+            self._rw_dirty = False
         if dirty:
-            lsn = int(self.primary.health().get("last_committed_lsn", 0))
+            try:
+                lsn = int(self.primary.health().get("last_committed_lsn", 0))
+            except BaseException:
+                with self._lock:
+                    self._rw_dirty = True
+                raise
             with self._lock:
                 self._rw_lsn = max(self._rw_lsn, lsn)
-                self._rw_dirty = False
         with self._lock:
             return self._rw_lsn
 

@@ -44,6 +44,8 @@ client's job (:class:`~repro.service.client.ReplicaSet` waits on
 from __future__ import annotations
 
 import base64
+import os
+import shutil
 import socket
 import threading
 import time
@@ -219,6 +221,37 @@ class ReplicationHub:
 # -- follower bootstrap ------------------------------------------------------
 
 
+#: Scratch subdirectory a bootstrap transfer stages into before any
+#: file lands in the follower directory proper.
+BOOTSTRAP_STAGING = ".bootstrap.tmp"
+
+
+def _has_complete_local_state(directory: Path) -> bool:
+    """True when ``directory`` can resume through ordinary recovery:
+    the log file exists *and* some checkpoint's transitive reference
+    chain is fully on disk.  A bootstrap interrupted mid-transfer
+    (checkpoint files copied, seed log never written) must NOT look
+    resumable -- recovery over it would fail on an incomplete chain or
+    subscribe below the primary's compaction watermark."""
+    if not (directory / LOG_NAME).is_file():
+        return False
+    for lsn in list_checkpoints(directory):
+        chain = {lsn}
+        worklist = [lsn]
+        while worklist:
+            for ref in checkpoint_refs(directory, worklist.pop()):
+                if ref not in chain:
+                    chain.add(ref)
+                    worklist.append(ref)
+        if all(
+            state.is_file() and summary.is_file()
+            for member in chain
+            for state, summary in [checkpoint_paths(directory, member)]
+        ):
+            return True
+    return False
+
+
 def bootstrap_follower(
     directory: Union[str, Path],
     primary_host: str,
@@ -228,25 +261,33 @@ def bootstrap_follower(
 ) -> dict:
     """Seed a follower directory from the primary's newest checkpoint.
 
-    Idempotent: a directory that already holds a complete checkpoint is
-    left untouched (``open_durable`` recovery is the resume path) and
-    reported with ``transfer: "resume"``.  Otherwise the checkpoint
-    chain is copied directly when the primary's directory is readable
-    on this host (shared filesystem), or streamed in ``repl.fetch``
-    chunks, and a seed log holding the checkpoint's ``base`` watermark
-    is written so recovery starts exactly at the transferred LSN.
+    Idempotent: a directory that already holds a complete checkpoint
+    chain *and* a log file is left untouched (``open_durable`` recovery
+    is the resume path) and reported with ``transfer: "resume"``.
+    Otherwise the checkpoint chain is copied directly when the
+    primary's directory is readable on this host (shared filesystem),
+    or streamed in ``repl.fetch`` chunks, and a seed log holding the
+    checkpoint's ``base`` watermark is written so recovery starts
+    exactly at the transferred LSN.
+
+    Crash-atomic: the transfer stages into a scratch subdirectory and
+    files move into place only once everything (seed log included) is
+    on disk, log last -- so a bootstrap killed at any point leaves a
+    directory the retry recognises as incomplete and re-transfers,
+    never one that false-reports ``resume`` over a partial chain.
     """
     from repro.service.client import ServiceClient
 
     directory = Path(directory)
-    resumable = bool(list_checkpoints(directory))
+    staging = directory / BOOTSTRAP_STAGING
+    resumable = _has_complete_local_state(directory)
     with ServiceClient(primary_host, primary_port, timeout=timeout) as client:
         try:
             response = client.request({"op": "repl.manifest"})
         except (ConnectionError, OSError):
             if resumable:
                 # The primary is unreachable but this directory already
-                # holds a checkpoint: resume from local state (the
+                # holds complete durable state: resume from it (the
                 # stream will catch up once the primary is back).
                 return {"transfer": "resume", "directory": str(directory)}
             raise
@@ -264,17 +305,28 @@ def bootstrap_follower(
                 "follower directory must differ from the primary's"
             )
         if resumable:
+            shutil.rmtree(staging, ignore_errors=True)  # stale scratch
             return {"transfer": "resume", "directory": str(directory)}
+        shutil.rmtree(staging, ignore_errors=True)
+        staging.mkdir()
         shared = all(
             (source / entry["name"]).is_file() for entry in response["files"]
         )
         for entry in response["files"]:
-            target = directory / entry["name"]
+            target = staging / entry["name"]
             if shared:
                 target.write_bytes((source / entry["name"]).read_bytes())
             else:
                 _fetch_file(client, entry, target)
-        seed_log(directory / LOG_NAME, int(response["checkpoint_lsn"]))
+        seed_log(staging / LOG_NAME, int(response["checkpoint_lsn"]))
+        # Publish: checkpoint files first, the log LAST -- resumability
+        # requires the log, so a crash anywhere before the final move
+        # leaves a directory the retry re-transfers (os.replace
+        # overwrites any stale partial from an earlier attempt).
+        for entry in response["files"]:
+            os.replace(staging / entry["name"], directory / entry["name"])
+        os.replace(staging / LOG_NAME, directory / LOG_NAME)
+        shutil.rmtree(staging, ignore_errors=True)
     return {
         "transfer": "copy" if shared else "fetch",
         "checkpoint_lsn": int(response["checkpoint_lsn"]),
@@ -407,6 +459,17 @@ class Follower:
                 return
             except (OSError, ConnectionError, ProtocolError) as exc:
                 self._set_status(connected=False, error=str(exc))
+            except Exception as exc:
+                # Divergence (``WalError``: a committed record failed to
+                # apply) or any other unexpected apply failure.  Stop
+                # loudly -- a silent thread death would leave
+                # ``replica_status`` reporting a healthy, connected
+                # follower while replication is dead.
+                self._set_status(
+                    connected=False, error=f"{type(exc).__name__}: {exc}"
+                )
+                self._stop.set()
+                return
             if self._stop.is_set():
                 return
             self._stop.wait(backoff)
@@ -435,6 +498,13 @@ class Follower:
                 connected=True,
                 source_committed_lsn=handshake.get("committed"),
             )
+            # A record payload larger than one line arrives as a chunk
+            # sequence (every frame but the last carries ``more``);
+            # chunks of one record are contiguous on the stream, keyed
+            # by LSN, and a disconnect mid-sequence simply discards the
+            # partial buffer -- the reconnect resumes below the record.
+            pending_lsn: Optional[int] = None
+            pending_chunks: list = []
             while not self._stop.is_set():
                 try:
                     frame = self._read_frame(stream)
@@ -445,7 +515,20 @@ class Follower:
                     ) from None
                 op = frame.get("op")
                 if op == "repl.record":
-                    self._apply_record(frame)
+                    lsn, chunk = self._decode_record_chunk(frame)
+                    if pending_lsn is not None and lsn != pending_lsn:
+                        raise ProtocolError(
+                            f"repl.record chunk for lsn {lsn} interleaved "
+                            f"with an unfinished record for lsn {pending_lsn}"
+                        )
+                    pending_chunks.append(chunk)
+                    if frame.get("more"):
+                        pending_lsn = lsn
+                        continue
+                    payload = b"".join(pending_chunks)
+                    pending_lsn = None
+                    pending_chunks = []
+                    self._apply_record(frame, lsn, payload)
                 elif op == "repl.keepalive":
                     self._set_status(
                         connected=True,
@@ -477,13 +560,16 @@ class Follower:
             raise ProtocolError("replication frame must be a JSON object")
         return frame
 
-    def _apply_record(self, frame: dict) -> None:
-        service = self.service
+    @staticmethod
+    def _decode_record_chunk(frame: dict) -> tuple:
+        """``(lsn, raw_bytes)`` of one ``repl.record`` frame."""
         try:
-            lsn = int(frame["lsn"])
-            payload = base64.b64decode(frame["raw"])
+            return int(frame["lsn"]), base64.b64decode(frame["raw"])
         except (KeyError, TypeError, ValueError) as exc:
             raise ProtocolError(f"malformed repl.record frame: {exc}") from None
+
+    def _apply_record(self, frame: dict, lsn: int, payload: bytes) -> None:
+        service = self.service
         obj = decode_payload(payload)
         if obj is None or obj.get("type") != "batch" or obj.get("lsn") != lsn:
             raise ProtocolError(

@@ -72,6 +72,13 @@ from repro.service.protocol import (
 #: frame this often, carrying the primary's committed LSN (the lag
 #: yardstick) and doubling as the dead-primary detector.
 REPL_KEEPALIVE_SECONDS = 0.5
+#: Raw payload bytes per ``repl.record`` frame.  Base64 inflates by 4/3
+#: and followers refuse any line over ``MAX_LINE_BYTES`` (1 MiB), while
+#: admission batching can coalesce many near-cap client ops into ONE
+#: WAL record -- so large records ship as a chunk sequence (``more``
+#: marks every frame but the last) the follower reassembles by LSN.
+#: 512 KiB raw -> ~683 KiB encoded, comfortably under the line cap.
+REPL_RECORD_CHUNK_BYTES = 512 * 1024
 from repro.xmltree.parser import parse_document
 
 
@@ -1111,7 +1118,12 @@ class EstimationServer:
             op = request.get("op")
             if isinstance(op, str) and op.startswith("repl."):
                 if op == "repl.subscribe":
-                    handshake = self._subscribe_handshake(request)
+                    # Off the loop: the handshake's base_lsn() poll (and
+                    # a first access constructing the hub's WalTailer)
+                    # re-reads the whole log after a compaction swap.
+                    handshake = await loop.run_in_executor(
+                        None, self._subscribe_handshake, request
+                    )
                     fut.set_result(handshake)
                     if handshake.get("ok"):
                         # Hand the connection over to the record stream.
@@ -1298,10 +1310,12 @@ class EstimationServer:
 
     def _dispatch_replication(self, loop, fut, request: dict) -> None:
         """Run a manifest/fetch request on the executor (file I/O)."""
-        hub = self.engine.replication_hub
 
         def work() -> dict:
             try:
+                # Resolved on the executor: a first access constructs
+                # the hub (WalTailer over the whole log) off the loop.
+                hub = self.engine.replication_hub
                 if hub is None:
                     raise ValueError(
                         "replication requires a durable service "
@@ -1388,14 +1402,25 @@ class EstimationServer:
                 for lsn, payload in batch.records:
                     if stop.is_set():
                         break
-                    ok = await self._send_frame(writer, {
-                        "op": "repl.record",
-                        "lsn": lsn,
-                        "committed": hub.committed_lsn,
-                        "raw": base64.b64encode(payload).decode("ascii"),
-                    })
-                    if not ok:
-                        return
+                    # A record larger than one line ships as a chunk
+                    # sequence; the group is never torn mid-record by
+                    # ``stop`` (it is at most a few frames long).
+                    chunks = [
+                        payload[i : i + REPL_RECORD_CHUNK_BYTES]
+                        for i in range(0, len(payload), REPL_RECORD_CHUNK_BYTES)
+                    ] or [payload]
+                    for index, chunk in enumerate(chunks):
+                        frame = {
+                            "op": "repl.record",
+                            "lsn": lsn,
+                            "committed": hub.committed_lsn,
+                            "raw": base64.b64encode(chunk).decode("ascii"),
+                        }
+                        if index + 1 < len(chunks):
+                            frame["more"] = True
+                        ok = await self._send_frame(writer, frame)
+                        if not ok:
+                            return
                     cursor = lsn
                     sent_any = True
                 if sent_any:
@@ -1412,10 +1437,13 @@ class EstimationServer:
                 if not done:  # idle: keepalive carries the lag signal
                     waiter.cancel()
                     await asyncio.gather(waiter, return_exceptions=True)
+                    # base_lsn() polls the log (a full re-read after a
+                    # compaction swap): keep it off the event loop.
+                    base = await loop.run_in_executor(None, hub.base_lsn)
                     ok = await self._send_frame(writer, {
                         "op": "repl.keepalive",
                         "committed": hub.committed_lsn,
-                        "base": hub.base_lsn(),
+                        "base": base,
                     })
                     if not ok:
                         return

@@ -47,7 +47,11 @@ from repro.service import (
 )
 from repro.service.client import ReplicaSet
 from repro.service.faults import NET_SEND
-from repro.service.protocol import encode_frame, format_text_response
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    encode_frame,
+    format_text_response,
+)
 from repro.service.replica import (
     Follower,
     ReplicaError,
@@ -60,6 +64,7 @@ from repro.service.wal import (
     _decode_payload_v2_reference,
     LOG_NAME,
     ColumnarOps,
+    WalError,
     apply_logged_batch,
     checkpoint_paths,
     decode_payload,
@@ -340,6 +345,30 @@ class TestBootstrap:
             assert info["transfer"] == "resume"
             assert sorted(p.name for p in (tmp_path / "f").iterdir()) == before
 
+    def test_interrupted_transfer_is_not_resumable(self, tmp_path):
+        """A bootstrap killed after copying checkpoint files but before
+        the seed log must re-transfer on retry, never false-report
+        ``resume`` over a directory recovery cannot load."""
+        with cluster(tmp_path) as c:
+            expected = state_of(c.primary)
+            directory = tmp_path / "f"
+            directory.mkdir()
+            # fake the interruption: every checkpoint file landed, the
+            # seed log never did, and the dead attempt left its scratch
+            for lsn in list_checkpoints(tmp_path / "primary"):
+                for path in checkpoint_paths(tmp_path / "primary", lsn):
+                    if path.exists():
+                        shutil.copy(path, directory / path.name)
+            (directory / ".bootstrap.tmp").mkdir()
+            info = bootstrap_follower(directory, c.host, c.port)
+            assert info["transfer"] == "copy"  # re-transferred
+            assert not (directory / ".bootstrap.tmp").exists()
+            service = EstimationService.open_durable(directory)
+            try:
+                assert_state(service, expected)
+            finally:
+                service.close()
+
     def test_refuses_the_primary_directory(self, tmp_path):
         with cluster(tmp_path) as c:
             with pytest.raises(ReplicaError, match="must differ"):
@@ -438,6 +467,84 @@ class TestReplicationStream:
                 assert "base" in frame
             finally:
                 sock.close()
+
+    def test_oversized_record_ships_chunked(self, tmp_path):
+        """A WAL record whose base64 payload would overflow one line
+        (the v2 codec stores XML uncompressed, and admission batching
+        coalesces many client ops into ONE record) ships as a chunk
+        sequence of line-cap-respecting frames a follower reassembles
+        -- not as one oversized frame it would refuse forever."""
+        with cluster(tmp_path) as c:
+            from repro.xmltree.tree import Element
+
+            before = int(c.primary._last_lsn)
+            blob = Element("blob")
+            blob.append_text("x" * (900 * 1024))
+            c.primary.insert_subtree(0, blob)
+            target = int(c.primary._last_lsn)
+            sock, stream, handshake = raw_subscribe(
+                c.host, c.port, before, timeout=15.0
+            )
+            try:
+                assert handshake["ok"]
+                chunks, more_frames = [], 0
+                while True:
+                    raw = stream.readline()
+                    assert raw.endswith(b"\n")
+                    # what Follower._read_frame enforces per line
+                    assert len(raw) <= MAX_LINE_BYTES
+                    frame = json.loads(raw)
+                    if frame.get("op") != "repl.record":
+                        continue
+                    assert frame["lsn"] == target
+                    chunks.append(base64.b64decode(frame["raw"]))
+                    if frame.get("more"):
+                        more_frames += 1
+                        continue
+                    break
+            finally:
+                sock.close()
+            assert more_frames >= 1  # genuinely chunked
+            obj = decode_payload(b"".join(chunks))
+            assert obj is not None
+            assert obj["type"] == "batch" and obj["lsn"] == target
+            # and a real follower reassembles and applies it
+            fsvc, _feng, _follower, _ = c.add_follower()
+            wait_caught_up(fsvc, target)
+            assert_state(fsvc, state_of(c.primary))
+
+    def test_read_your_writes_dirty_survives_concurrent_mutation(self):
+        """A mutation landing while the read-your-writes health
+        round-trip is in flight must stay pending -- the old
+        clear-after-fetch wiped it, letting a later read be served from
+        a replica that had not applied it."""
+        rs = ReplicaSet("127.0.0.1:1", read_your_writes=True)
+
+        class StubPrimary:
+            def __init__(self):
+                self.lsn = 5
+                self.mutate_once = True
+
+            def health(self):
+                if self.mutate_once:
+                    # a writer thread lands a mutation mid-round-trip
+                    self.mutate_once = False
+                    with rs._lock:
+                        rs._rw_dirty = True
+                self.lsn += 1
+                return {"last_committed_lsn": self.lsn}
+
+        stub = StubPrimary()
+        rs._primary.client = lambda: stub
+        with rs._lock:
+            rs._rw_dirty = True
+        assert rs._read_target_lsn() == 6
+        # the mid-flight mutation is still pending, not silently lost
+        assert rs._rw_dirty is True
+        assert rs._read_target_lsn() == 7
+        # quiescent now: no further health round-trips
+        assert rs._read_target_lsn() == 7
+        assert stub.lsn == 7
 
     def test_replica_set_routes_and_reads_its_writes(self, tmp_path):
         from repro.service.server import EstimationServer
@@ -743,6 +850,29 @@ class TestReplicationChaos:
                 assert_state(fsvc, expected)
             finally:
                 fsvc.close()
+
+    def test_apply_failure_stops_the_follower_loudly(self, tmp_path, monkeypatch):
+        """Divergence (``WalError``: a committed record fails to apply)
+        must stop the apply thread AND say so in ``replica_status`` --
+        not die silently while health keeps reporting a connected,
+        healthy follower."""
+        with cluster(tmp_path) as c:
+            rng = random.Random(23)
+            fsvc, _feng, follower, _ = c.add_follower()
+            wait_caught_up(fsvc, insert_some(c.primary, rng, 1))
+
+            def diverge(service, payload, committed=False):
+                raise WalError("committed record failed to apply")
+
+            import repro.service.replica as replica_mod
+
+            monkeypatch.setattr(replica_mod, "apply_logged_batch", diverge)
+            insert_some(c.primary, rng, 1)
+            assert wait_for(lambda: follower.stopped)
+            status = fsvc.replica_status
+            assert status["connected"] is False
+            assert "WalError" in status["error"]
+            assert "failed to apply" in status["error"]
 
     def test_compaction_outrunning_a_follower_signals_stale(self, tmp_path):
         with cluster(tmp_path) as c:
